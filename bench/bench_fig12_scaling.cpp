@@ -1,0 +1,94 @@
+// Figure 12: (a) transponder count and (b) spectrum usage versus the
+// bandwidth-capacity scale for 100G-WAN, RADWAN, and FlexWAN on the
+// T-backbone, plus the maximum scale each scheme supports with the existing
+// fiber plant ("N/M" in the paper are confidential absolutes; the shape and
+// the ratios are the reproducible signal).  Also sweeps K (candidate paths)
+// as the DESIGN.md ablation.
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+namespace {
+
+const transponder::Catalog* kCatalogs[] = {
+    &transponder::fixed_grid_100g(),
+    &transponder::bvt_radwan(),
+    &transponder::svt_flexwan(),
+};
+
+}  // namespace
+
+int main() {
+  const auto net = topology::make_tbackbone();
+  std::printf("=== Figure 12: hardware cost vs bandwidth capacity scale ===\n");
+  std::printf("topology %s: %d sites, %d fibers, %d IP links, %.0f Gbps\n\n",
+              net.name.c_str(), net.optical.node_count(),
+              net.optical.fiber_count(), net.ip.link_count(),
+              net.ip.total_demand_gbps());
+
+  TextTable table({"scale", "scheme", "transponders", "spectrum (GHz)",
+                   "max fiber util"});
+  for (double scale = 1.0; scale <= 8.0; scale += 1.0) {
+    const topology::Network scaled{net.name, net.optical,
+                                   net.ip.scaled(scale)};
+    for (const auto* catalog : kCatalogs) {
+      planning::HeuristicPlanner planner(*catalog, {});
+      const auto plan = planner.plan(scaled);
+      if (!plan) {
+        table.add_row({TextTable::num(scale, 0), catalog->name(),
+                       "infeasible", "-", "-"});
+        continue;
+      }
+      const auto m = planning::compute_metrics(*plan, scaled);
+      table.add_row({TextTable::num(scale, 0), catalog->name(),
+                     std::to_string(m.transponder_count),
+                     TextTable::num(m.spectrum_usage_ghz, 0),
+                     TextTable::num(m.max_fiber_utilization, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Headline savings at scale 1 (paper: FlexWAN saves 85 % / 57 %
+  // transponders and 67 % / 36 % spectrum vs 100G-WAN / RADWAN).
+  planning::PlanMetrics m[3];
+  for (int i = 0; i < 3; ++i) {
+    planning::HeuristicPlanner planner(*kCatalogs[i], {});
+    m[i] = planning::compute_metrics(*planner.plan(net), net);
+  }
+  std::printf("FlexWAN saves %.0f%% transponders vs 100G-WAN (paper 85%%), "
+              "%.0f%% vs RADWAN (paper 57%%)\n",
+              100.0 * (1.0 - static_cast<double>(m[2].transponder_count) /
+                                 m[0].transponder_count),
+              100.0 * (1.0 - static_cast<double>(m[2].transponder_count) /
+                                 m[1].transponder_count));
+  std::printf("FlexWAN reduces spectrum %.0f%% vs 100G-WAN (paper 67%%), "
+              "%.0f%% vs RADWAN (paper 36%%)\n",
+              100.0 * (1.0 - m[2].spectrum_usage_ghz / m[0].spectrum_usage_ghz),
+              100.0 * (1.0 - m[2].spectrum_usage_ghz / m[1].spectrum_usage_ghz));
+
+  // Max supported scale (paper: 3x / 5x / 8x).
+  std::printf("\nmax supported capacity scale (paper: 100G-WAN 3x, RADWAN 5x, "
+              "FlexWAN 8x):\n");
+  for (const auto* catalog : kCatalogs) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    std::printf("  %-9s %.1fx\n", catalog->name().c_str(),
+                planning::max_supported_scale(net, planner, 12.0, 0.5));
+  }
+
+  // Ablation: K candidate paths vs FlexWAN's max scale.
+  std::printf("\nablation: K (KSP candidates) vs FlexWAN max scale\n");
+  for (int k : {1, 2, 3, 4, 6}) {
+    planning::PlannerConfig config;
+    config.k_paths = k;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    std::printf("  K=%d -> %.1fx\n", k,
+                planning::max_supported_scale(net, planner, 12.0, 0.5));
+  }
+  return 0;
+}

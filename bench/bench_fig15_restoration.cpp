@@ -1,0 +1,105 @@
+// Figure 15: (a) the distribution of gaps between restored and original
+// optical paths and (b) the mean restoration capability versus capacity
+// scale for the three schemes.  §8's headline: in the overloaded (5x)
+// backbone FlexWAN revives ~15 % more capacity than RADWAN.
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto net = topology::make_tbackbone();
+  const auto scenarios =
+      restoration::standard_scenario_set(net.optical, 12, 5);
+  std::printf("scenario set: %d single-fiber cuts + %d probabilistic = %zu\n\n",
+              net.optical.fiber_count(),
+              static_cast<int>(scenarios.size()) - net.optical.fiber_count(),
+              scenarios.size());
+
+  // (a) restored vs original path gaps, FlexWAN at scale 1.
+  {
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+    const auto plan = planner.plan(net);
+    restoration::Restorer restorer(transponder::svt_flexwan());
+    const auto m = restoration::evaluate_scenarios(net, *plan, restorer,
+                                                   scenarios);
+    std::printf("=== Figure 15(a): restored path - original path (km) ===\n");
+    TextTable gap({"gap (km)", "CDF"});
+    for (double x : {0.0, 100.0, 250.0, 500.0, 1000.0, 1500.0, 2500.0}) {
+      gap.add_row({TextTable::num(x, 0),
+                   TextTable::num(100.0 * cdf_at(m.path_gaps_km, x), 0) + "%"});
+    }
+    std::printf("%s", gap.render().c_str());
+    int longer = 0;
+    for (double s : m.path_stretch) {
+      if (s > 1.0) ++longer;
+    }
+    const auto stretch = summarize(m.path_stretch);
+    std::printf("restored longer than original: %.0f%% (paper: 90%%); max "
+                "stretch %.1fx (paper: >10x extremes)\n\n",
+                m.path_stretch.empty()
+                    ? 0.0
+                    : 100.0 * longer / static_cast<double>(m.path_stretch.size()),
+                stretch.max);
+  }
+
+  // (b) mean restoration capability vs scale.
+  std::printf("=== Figure 15(b): mean restoration capability vs scale ===\n");
+  const transponder::Catalog* catalogs[] = {&transponder::fixed_grid_100g(),
+                                            &transponder::bvt_radwan(),
+                                            &transponder::svt_flexwan()};
+  // The paper's overloaded point is 5x on its production backbone; on the
+  // synthetic stand-in we use RADWAN's own feasibility limit, where its
+  // spectrum is just as exhausted.
+  planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
+  const double overload = planning::max_supported_scale(
+      net, rad_probe, 10.0, 0.5);
+  std::vector<double> scales;
+  for (double s = 1.0; s + 1e-9 < overload; s += 1.0) scales.push_back(s);
+  scales.push_back(overload);
+
+  TextTable cap({"scale", "100G-WAN", "RADWAN", "FlexWAN"});
+  double flex_over = 0.0;
+  double rad_over = 0.0;
+  for (double scale : scales) {
+    const topology::Network scaled{net.name, net.optical,
+                                   net.ip.scaled(scale)};
+    std::vector<std::string> row{TextTable::num(scale, 1)};
+    for (const auto* catalog : catalogs) {
+      planning::HeuristicPlanner planner(*catalog, {});
+      const auto plan = planner.plan(scaled);
+      if (!plan) {
+        row.push_back("infeasible");
+        continue;
+      }
+      restoration::Restorer restorer(*catalog);
+      const auto m = restoration::evaluate_scenarios(scaled, *plan, restorer,
+                                                     scenarios);
+      row.push_back(TextTable::num(m.mean_capability, 3));
+      if (scale == overload && catalog == &transponder::svt_flexwan()) {
+        flex_over = m.mean_capability;
+      }
+      if (scale == overload && catalog == &transponder::bvt_radwan()) {
+        rad_over = m.mean_capability;
+      }
+    }
+    cap.add_row(std::move(row));
+  }
+  std::printf("%s", cap.render().c_str());
+  if (rad_over > 0.0) {
+    std::printf("overloaded %.1fx: FlexWAN revives %.1f%% more capacity than "
+                "RADWAN (paper: +15%% at its 5x overload point)\n",
+                overload, 100.0 * (flex_over / rad_over - 1.0));
+  }
+  std::printf("paper: baselines restore nearly everything when underloaded\n"
+              "(spare reach redundancy) but fall behind FlexWAN when the\n"
+              "spectrum fills up.\n");
+  return 0;
+}

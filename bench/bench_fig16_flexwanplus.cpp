@@ -1,0 +1,78 @@
+// Figure 16: the distribution of restoration capability in the underloaded
+// (1x) and overloaded (5x) backbone, including FlexWAN+ — FlexWAN with half
+// of the transponders it saved (vs RADWAN) redeployed per link as extra
+// restoration spares.
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto base = topology::make_tbackbone();
+  const auto scenarios =
+      restoration::standard_scenario_set(base.optical, 12, 5);
+
+  // "Overloaded" = the largest scale at which RADWAN can still plan (the
+  // paper uses 5x on its production backbone; the synthetic stand-in's
+  // limit differs, but the regime — RADWAN out of spare spectrum — is the
+  // same).
+  planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
+  const double overload =
+      planning::max_supported_scale(base, rad_probe, 10.0, 0.5);
+
+  for (double scale : {1.0, overload}) {
+    const topology::Network net{base.name, base.optical,
+                                base.ip.scaled(scale)};
+    std::printf("=== Figure 16(%s): capability CDF at scale %.1fx (%s) ===\n",
+                scale == 1.0 ? "a" : "b", scale,
+                scale == 1.0 ? "underloaded" : "overloaded");
+
+    planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
+    planning::HeuristicPlanner rad(transponder::bvt_radwan(), {});
+    const auto pf = flex.plan(net);
+    const auto pr = rad.plan(net);
+    if (!pf || !pr) {
+      std::printf("planning infeasible at this scale\n");
+      continue;
+    }
+    const auto extras = restoration::flexwan_plus_spares(*pf, *pr);
+    int extra_total = 0;
+    for (const auto& [link, n] : extras) extra_total += n;
+
+    restoration::Restorer flex_restorer(transponder::svt_flexwan());
+    restoration::Restorer rad_restorer(transponder::bvt_radwan());
+    const auto m_rad = restoration::evaluate_scenarios(net, *pr, rad_restorer,
+                                                       scenarios);
+    const auto m_flex = restoration::evaluate_scenarios(net, *pf,
+                                                        flex_restorer,
+                                                        scenarios);
+    const auto m_plus = restoration::evaluate_scenarios(net, *pf,
+                                                        flex_restorer,
+                                                        scenarios, extras);
+
+    TextTable table({"capability <=", "RADWAN", "FlexWAN", "FlexWAN+"});
+    for (double x : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0}) {
+      table.add_row(
+          {TextTable::num(x, 2),
+           TextTable::num(100.0 * cdf_at(m_rad.capabilities, x), 0) + "%",
+           TextTable::num(100.0 * cdf_at(m_flex.capabilities, x), 0) + "%",
+           TextTable::num(100.0 * cdf_at(m_plus.capabilities, x), 0) + "%"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("mean capability: RADWAN %.3f, FlexWAN %.3f, FlexWAN+ %.3f "
+                "(%d extra spares)\n\n",
+                m_rad.mean_capability, m_flex.mean_capability,
+                m_plus.mean_capability, extra_total);
+  }
+  std::printf(
+      "paper: FlexWAN+ beats RADWAN even underloaded — the redeployed\n"
+      "spares absorb the degradation from longer restoration paths.\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 2(b): the maximum data rate supported by the RADWAN BVT and the
+// FlexWAN SVT as a function of the traveling distance.  The gap at short
+// distances is the paper's core motivation.
+#include <cstdio>
+
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto& bvt = transponder::bvt_radwan();
+  const auto& svt = transponder::svt_flexwan();
+
+  std::printf("=== Figure 2(b): max data rate vs distance, BVT vs SVT ===\n");
+  TextTable table({"distance (km)", "BVT (Gbps)", "SVT (Gbps)", "SVT gain"});
+  for (double d : {100.0, 200.0, 300.0, 500.0, 800.0, 1100.0, 1400.0, 1900.0,
+                   2000.0, 3000.0, 5000.0}) {
+    const auto b = bvt.max_rate_mode(d);
+    const auto s = svt.max_rate_mode(d);
+    const double br = b ? b->data_rate_gbps : 0.0;
+    const double sr = s ? s->data_rate_gbps : 0.0;
+    table.add_row({TextTable::num(d, 0), TextTable::num(br, 0),
+                   TextTable::num(sr, 0),
+                   br > 0 ? TextTable::num(sr / br, 2) + "x" : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "paper: SVT reaches 800 Gbps on short paths where the BVT caps at\n"
+      "300 Gbps — a 2.67x gap that motivates spacing-variable hardware.\n");
+  return 0;
+}

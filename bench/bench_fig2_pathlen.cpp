@@ -1,0 +1,39 @@
+// Figure 2(a): the distribution of optical path lengths in the production
+// WAN.  Prints the empirical CDF of the shortest optical path of every IP
+// link on the synthetic T-backbone; the paper's headline is that ~50 % of
+// paths are shorter than 200 km while the tail passes 2000 km.
+#include <cstdio>
+
+#include "topology/builders.h"
+#include "topology/ksp.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto net = topology::make_tbackbone();
+  std::vector<double> lengths;
+  for (const auto& link : net.ip.links()) {
+    const auto path = topology::shortest_path(net.optical, link.src, link.dst);
+    if (path) lengths.push_back(path->length_km);
+  }
+
+  std::printf("=== Figure 2(a): optical path length distribution (%s) ===\n",
+              net.name.c_str());
+  TextTable table({"path length (km)", "CDF"});
+  for (double x : {100.0, 200.0, 400.0, 600.0, 800.0, 1000.0, 1500.0, 2000.0,
+                   2500.0}) {
+    table.add_row({TextTable::num(x, 0),
+                   TextTable::num(100.0 * cdf_at(lengths, x), 0) + "%"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto s = summarize(lengths);
+  std::printf(
+      "paths: %zu  min %.0f km  median %.0f km  p90 %.0f km  max %.0f km\n",
+      s.count, s.min, s.median, s.p90, s.max);
+  std::printf("paper: ~50%% of optical paths are below 200 km; here: %.0f%%\n",
+              100.0 * cdf_at(lengths, 200.0));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Ablation: the exact Algorithm 1 MIP (in-repo branch-and-bound) versus the
+// scalable heuristic on validation-sized networks, plus the epsilon sweep
+// that trades transponder count against spectrum usage in the objective.
+// The paper solves the MIP with Gurobi at a <0.1 % gap; this bench shows
+// the decomposition heuristic stays within one transponder of our exact
+// solver where the exact solver is tractable.
+#include <cstdio>
+
+#include "planning/exact.h"
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+namespace {
+
+// Reduced SVT catalog for exact solves: five representative Table 2 rows.
+// The full 36-format table at C-band width produces thousands of binaries
+// per link — tractable for Gurobi, not for a teaching-grade dense B&B.
+const transponder::Catalog& mini_svt() {
+  static const transponder::Catalog catalog("FlexWAN-mini", [] {
+    std::vector<transponder::Mode> modes;
+    for (const auto& m : transponder::svt_flexwan().modes()) {
+      if ((m.data_rate_gbps == 100 && m.spacing_ghz == 50) ||
+          (m.data_rate_gbps == 200 && m.spacing_ghz == 75) ||
+          (m.data_rate_gbps == 400 && m.spacing_ghz == 87.5) ||
+          (m.data_rate_gbps == 400 && m.spacing_ghz == 112.5) ||
+          (m.data_rate_gbps == 600 && m.spacing_ghz == 87.5)) {
+        modes.push_back(m);
+      }
+    }
+    return modes;
+  }());
+  return catalog;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: exact MIP vs heuristic planner ===\n");
+  std::printf("(reduced 5-format SVT catalog, 16-pixel band: the largest\n"
+              "instances our dense-tableau branch-and-bound proves optimal)\n");
+  Rng rng(2024);
+  TextTable table({"net", "links", "exact txp", "heur txp", "exact obj",
+                   "nodes", "status"});
+  for (int trial = 0; trial < 6; ++trial) {
+    topology::RandomBackboneParams params;
+    params.nodes = 4 + trial % 3;
+    params.ip_links = 2;
+    params.max_fiber_km = 500;
+    params.min_demand_gbps = 100;
+    params.max_demand_gbps = 600;
+    const auto net = topology::random_backbone(params, rng);
+
+    planning::ExactPlannerConfig exact_config;
+    exact_config.band_pixels = 16;
+    exact_config.k_paths = 2;
+    exact_config.mip.max_nodes = 20000;
+    const auto exact =
+        planning::solve_exact_plan(net, mini_svt(), exact_config);
+    planning::PlannerConfig heur_config;
+    heur_config.band_pixels = 16;
+    heur_config.k_paths = 2;
+    planning::HeuristicPlanner planner(mini_svt(), heur_config);
+    const auto heuristic = planner.plan(net);
+
+    table.add_row(
+        {"random" + std::to_string(trial), std::to_string(net.ip.link_count()),
+         exact ? std::to_string(exact->plan.transponder_count()) : "-",
+         heuristic ? std::to_string(heuristic->transponder_count()) : "-",
+         exact ? TextTable::num(exact->objective, 3) : "-",
+         exact ? std::to_string(exact->nodes_explored) : "-",
+         exact ? (exact->status == milp::MipStatus::kOptimal ? "optimal"
+                                                             : "node-limit")
+               : exact.error().code});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("=== Ablation: epsilon sweep (objective balance, §5) ===\n");
+  const auto net = topology::make_tbackbone();
+  TextTable eps({"epsilon", "transponders", "spectrum (GHz)"});
+  for (double e : {0.0, 0.0001, 0.001, 0.01, 0.1}) {
+    planning::PlannerConfig config;
+    config.epsilon = e;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const auto plan = planner.plan(net);
+    if (!plan) continue;
+    eps.add_row({TextTable::num(e, 4),
+                 std::to_string(plan->transponder_count()),
+                 TextTable::num(plan->spectrum_usage_ghz(), 0)});
+  }
+  std::printf("%s", eps.render().c_str());
+  std::printf("epsilon > 0 breaks transponder-count ties toward narrower\n"
+              "channels; very large epsilon trades extra transponders for\n"
+              "spectrum.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Ablation (DESIGN.md): spectrum-assignment link ordering and exact vs
+// heuristic restoration.
+//
+// Part 1 — the planner assigns spectrum link by link; the order decides who
+// gets the clean low pixels and who fights fragmentation.  Compares
+// most-constrained-first (default) against longest-path-first and arbitrary
+// order by the maximum demand scale each sustains.
+//
+// Part 2 — the §8 restoration heuristic against the exact branch-and-bound
+// formulation on ring scenarios, reporting the optimality gap.
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/exact.h"
+#include "restoration/metrics.h"
+#include "restoration/restorer.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+namespace {
+
+topology::Network ring_net(double demand_gbps, double side_km) {
+  topology::Network net;
+  net.name = "ring";
+  for (int i = 0; i < 4; ++i) net.optical.add_node("n" + std::to_string(i));
+  net.optical.add_fiber(0, 1, side_km);
+  net.optical.add_fiber(1, 2, side_km);
+  net.optical.add_fiber(2, 3, side_km);
+  net.optical.add_fiber(3, 0, side_km);
+  net.ip.add_link(0, 1, demand_gbps);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: spectrum-assignment link ordering ===\n");
+  const auto net = topology::make_tbackbone();
+  const struct {
+    planning::LinkOrdering ordering;
+    const char* name;
+  } orderings[] = {
+      {planning::LinkOrdering::kMostConstrainedFirst, "most-constrained"},
+      {planning::LinkOrdering::kLongestPathFirst, "longest-path"},
+      {planning::LinkOrdering::kArbitrary, "arbitrary"},
+  };
+  TextTable table({"ordering", "txp @1x", "GHz @1x", "max scale"});
+  for (const auto& o : orderings) {
+    planning::PlannerConfig config;
+    config.ordering = o.ordering;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const auto plan = planner.plan(net);
+    if (!plan) {
+      table.add_row({o.name, "infeasible", "-", "-"});
+      continue;
+    }
+    table.add_row({o.name, std::to_string(plan->transponder_count()),
+                   TextTable::num(plan->spectrum_usage_ghz(), 0),
+                   TextTable::num(
+                       planning::max_supported_scale(net, planner, 12.0, 0.5),
+                       1) +
+                       "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("the 1x costs match (ordering changes packing, not formats);\n"
+              "the max scale is where ordering pays off.\n\n");
+
+  std::printf("=== Ablation: exact vs heuristic restoration ===\n");
+  TextTable rest({"demand", "side km", "affected", "heuristic", "exact",
+                  "gap", "B&B nodes"});
+  for (const auto& [demand, side] : std::initializer_list<std::pair<double, double>>{
+           {400, 300}, {600, 400}, {800, 300}, {1000, 300}, {1600, 300}}) {
+    auto ring = ring_net(demand, side);
+    planning::PlannerConfig config;
+    config.band_pixels = 48;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const auto plan = planner.plan(ring);
+    if (!plan) continue;
+    const restoration::FailureScenario scenario{{0}, 1.0};
+    restoration::Restorer heuristic(transponder::svt_flexwan(), {2});
+    const auto h = heuristic.restore(ring, *plan, scenario);
+    restoration::ExactRestorerConfig exact_config;
+    exact_config.k_paths = 2;
+    const auto e = restoration::solve_exact_restoration(
+        ring, *plan, scenario, transponder::svt_flexwan(), exact_config);
+    if (!e) continue;
+    const double gap =
+        e->outcome.restored_gbps > 0
+            ? (e->outcome.restored_gbps - h.restored_gbps) /
+                  e->outcome.restored_gbps
+            : 0.0;
+    rest.add_row({TextTable::num(demand, 0), TextTable::num(side, 0),
+                  TextTable::num(h.affected_gbps, 0),
+                  TextTable::num(h.restored_gbps, 0),
+                  TextTable::num(e->outcome.restored_gbps, 0),
+                  TextTable::num(100.0 * gap, 1) + "%",
+                  std::to_string(e->nodes_explored)});
+  }
+  std::printf("%s", rest.render().c_str());
+  std::printf("(negative gap = the heuristic's partial-credit accounting\n"
+              "revived payload the MIP's constraint (7) cannot count)\n\n");
+
+  // Part 3 — protection-spectrum reservation: withholding pixels from
+  // planning costs supported scale but buys restoration capability (§8's
+  // savings-vs-resilience balance as a spectrum policy).
+  std::printf("=== Ablation: protection-spectrum reservation ===\n");
+  const topology::Network loaded{net.name, net.optical, net.ip.scaled(5.0)};
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+  TextTable prot({"reserved (GHz)", "max scale", "capability @5x"});
+  for (int reserved : {0, 24, 48, 96}) {
+    planning::PlannerConfig config;
+    config.reserved_pixels = reserved;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const double scale = planning::max_supported_scale(net, planner, 12.0, 0.5);
+    const auto plan = planner.plan(loaded);
+    std::string capability = "infeasible";
+    if (plan) {
+      restoration::Restorer restorer(transponder::svt_flexwan(), {});
+      const auto m = restoration::evaluate_scenarios(loaded, *plan, restorer,
+                                                     scenarios);
+      capability = TextTable::num(m.mean_capability, 3);
+    }
+    prot.add_row({TextTable::num(reserved * 12.5, 0),
+                  TextTable::num(scale, 1) + "x", capability});
+  }
+  std::printf("%s", prot.render().c_str());
+  std::printf(
+      "negative result: reservation costs supported scale but barely moves\n"
+      "restoration capability — the restorer's binding constraints here are\n"
+      "spare transponders and residual-path existence, not spectrum (the cut\n"
+      "itself frees the affected wavelengths' pixels).  FlexWAN+'s extra\n"
+      "transponders (Fig. 16) attack the actual bottleneck.\n");
+  return 0;
+}

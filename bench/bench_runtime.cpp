@@ -1,0 +1,120 @@
+// Runtime microbenchmarks (google-benchmark) of the core algorithms: KSP,
+// the per-path DP, the full heuristic planner, restoration, the simplex,
+// and the calibrated phy sweep.  The paper runs its MIP "within hours"
+// offline; the practical value of the heuristic is that whole-backbone
+// planning lands in milliseconds.
+#include <benchmark/benchmark.h>
+
+#include "milp/branch_and_bound.h"
+#include "phy/calibration.h"
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "topology/builders.h"
+#include "topology/ksp.h"
+#include "transponder/catalog.h"
+
+using namespace flexwan;
+
+namespace {
+
+void BM_KspTbackbone(benchmark::State& state) {
+  const auto net = topology::make_tbackbone();
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    for (const auto& link : net.ip.links()) {
+      benchmark::DoNotOptimize(
+          topology::k_shortest_paths(net.optical, link.src, link.dst, k));
+    }
+  }
+}
+BENCHMARK(BM_KspTbackbone)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_BestModeSet(benchmark::State& state) {
+  const auto& catalog = transponder::svt_flexwan();
+  const double demand = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        planning::best_mode_set(catalog, 700.0, demand, 0.001));
+  }
+}
+BENCHMARK(BM_BestModeSet)->Arg(800)->Arg(3200)->Arg(12800);
+
+void BM_PlanTbackbone(benchmark::State& state) {
+  const auto net = topology::make_tbackbone();
+  const topology::Network scaled{
+      net.name, net.optical,
+      net.ip.scaled(static_cast<double>(state.range(0)))};
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(scaled));
+  }
+}
+BENCHMARK(BM_PlanTbackbone)->Arg(1)->Arg(4);
+
+void BM_PlanCernet(benchmark::State& state) {
+  const auto net = topology::make_cernet();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(net));
+  }
+}
+BENCHMARK(BM_PlanCernet);
+
+void BM_RestoreAllSingleCuts(benchmark::State& state) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  restoration::Restorer restorer(transponder::svt_flexwan());
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(restoration::evaluate_scenarios(
+        net, plan.value(), restorer, scenarios));
+  }
+}
+BENCHMARK(BM_RestoreAllSingleCuts);
+
+void BM_SimplexKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  milp::Model m;
+  m.set_direction(milp::Direction::kMaximize);
+  for (int i = 0; i < n; ++i) {
+    m.add_binary("x" + std::to_string(i), 1.0 + i % 7);
+  }
+  std::vector<milp::Term> terms;
+  for (int i = 0; i < n; ++i) terms.push_back(milp::Term{i, 1.0 + i % 3});
+  m.add_constraint(std::move(terms), milp::Sense::kLe, n / 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve_lp_relaxation(m));
+  }
+}
+BENCHMARK(BM_SimplexKnapsack)->Arg(16)->Arg(64);
+
+void BM_MipKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  milp::Model m;
+  m.set_direction(milp::Direction::kMaximize);
+  for (int i = 0; i < n; ++i) {
+    m.add_binary("x" + std::to_string(i), 1.0 + (i * 13) % 7);
+  }
+  std::vector<milp::Term> terms;
+  for (int i = 0; i < n; ++i) terms.push_back(milp::Term{i, 1.0 + i % 3});
+  m.add_constraint(std::move(terms), milp::Sense::kLe, n / 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::solve_mip(m));
+  }
+}
+BENCHMARK(BM_MipKnapsack)->Arg(10)->Arg(14);
+
+void BM_PhyReachSweep(benchmark::State& state) {
+  const auto& catalog = transponder::svt_flexwan();
+  const auto model = phy::calibrate(catalog);
+  for (auto _ : state) {
+    for (const auto& mode : catalog.modes()) {
+      benchmark::DoNotOptimize(model.predicted_reach_km(mode));
+    }
+  }
+}
+BENCHMARK(BM_PhyReachSweep);
+
+}  // namespace

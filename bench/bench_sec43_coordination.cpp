@@ -1,0 +1,60 @@
+// §4.3 / Figure 5: spectrum issues under distributed per-vendor control
+// versus FlexWAN's centralized controller, on identical provisioning.
+// The centralized controller configures the same spectrum on every device
+// along each path (channel consistency) from a holistic view (conflict
+// freedom); per-vendor controllers assign spectrum from vendor-local views
+// over legacy fixed-grid OLS gear, producing both Fig. 5 failure classes.
+#include <cstdio>
+
+#include "controller/centralized.h"
+#include "controller/distributed.h"
+#include "controller/fleet.h"
+#include "planning/heuristic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  std::printf("=== §4.3: centralized vs distributed optical control ===\n");
+  TextTable table({"topology", "control", "wavelengths", "inconsistencies",
+                   "conflicts", "RPCs"});
+  for (const auto& net :
+       {topology::make_tbackbone(), topology::make_cernet()}) {
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+    const auto plan = planner.plan(net);
+    if (!plan) continue;
+
+    // FlexWAN: centralized controller + spectrum-sliced (pixel-wise) OLS.
+    controller::Fleet central(net, *plan,
+                              controller::VendorAssignment::kPerRegionMixed,
+                              /*pixel_wise_ols=*/true);
+    controller::CentralizedController cc(net);
+    const auto cs = cc.deploy(central);
+    const auto ca = controller::audit_fleet(central, net);
+    table.add_row({net.name, "centralized",
+                   std::to_string(ca.wavelengths),
+                   std::to_string(ca.inconsistencies),
+                   std::to_string(ca.conflicts),
+                   cs ? std::to_string(cs->config_rpcs) : "-"});
+
+    // Pre-FlexWAN: three vendor controllers, legacy fixed-grid OLS.
+    controller::Fleet distributed(
+        net, *plan, controller::VendorAssignment::kPerRegionMixed,
+        /*pixel_wise_ols=*/false);
+    controller::DistributedControllers dc(net);
+    const auto ds = dc.deploy(distributed);
+    const auto da = controller::audit_fleet(distributed, net);
+    table.add_row({net.name, "per-vendor",
+                   std::to_string(da.wavelengths),
+                   std::to_string(da.inconsistencies),
+                   std::to_string(da.conflicts),
+                   ds ? std::to_string(ds->config_rpcs) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "paper: two years of production with the centralized controller saw\n"
+      "*zero* spectrum inconsistency and conflict issues.\n");
+  return 0;
+}

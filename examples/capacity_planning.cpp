@@ -1,0 +1,78 @@
+// Capacity planning for a growing backbone: the workload the paper's
+// intro motivates.  An operator holds the Cernet footprint, expects traffic
+// to double every planning cycle, and wants to know which transponder
+// generation carries the growth on the existing fiber plant — and what the
+// next bottleneck will be.
+#include <algorithm>
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  const auto net = topology::make_cernet();
+  std::printf("Cernet footprint: %d sites, %d fiber routes, %d IP links, "
+              "%.1f Tbps of demand\n\n",
+              net.optical.node_count(), net.optical.fiber_count(),
+              net.ip.link_count(), net.ip.total_demand_gbps() / 1000.0);
+
+  const transponder::Catalog* generations[] = {
+      &transponder::fixed_grid_100g(), &transponder::bvt_radwan(),
+      &transponder::svt_flexwan()};
+
+  // How many doubling cycles does each generation survive?
+  TextTable table({"generation", "txp @1x", "GHz @1x", "mean SE",
+                   "max scale", "growth cycles"});
+  for (const auto* catalog : generations) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    const auto plan = planner.plan(net);
+    if (!plan) {
+      table.add_row({catalog->name(), "infeasible", "-", "-", "-", "-"});
+      continue;
+    }
+    const auto m = planning::compute_metrics(*plan, net);
+    const double max_scale =
+        planning::max_supported_scale(net, planner, 16.0, 0.5);
+    int cycles = 0;
+    for (double s = 2.0; s <= max_scale + 1e-9; s *= 2.0) ++cycles;
+    table.add_row({catalog->name(), std::to_string(m.transponder_count),
+                   TextTable::num(m.spectrum_usage_ghz, 0),
+                   TextTable::num(m.mean_spectral_efficiency, 2),
+                   TextTable::num(max_scale, 1) + "x",
+                   std::to_string(cycles)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Where does FlexWAN's spectrum go?  Fiber-by-fiber utilisation at the
+  // highest common scale shows the next fiber to build.
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const double max_scale = planning::max_supported_scale(net, planner, 16.0, 0.5);
+  const topology::Network loaded{net.name, net.optical,
+                                 net.ip.scaled(max_scale)};
+  const auto plan = planner.plan(loaded);
+  if (plan) {
+    std::printf("FlexWAN at its %.1fx limit — five busiest fiber routes:\n",
+                max_scale);
+    std::vector<std::pair<double, topology::FiberId>> load;
+    for (topology::FiberId f = 0; f < loaded.optical.fiber_count(); ++f) {
+      const auto& occ = plan->fiber_occupancy(f);
+      load.emplace_back(
+          static_cast<double>(occ.used_pixels()) / occ.pixels(), f);
+    }
+    std::sort(load.rbegin(), load.rend());
+    for (int i = 0; i < 5 && i < static_cast<int>(load.size()); ++i) {
+      const auto& fiber = loaded.optical.fiber(load[static_cast<std::size_t>(i)].second);
+      std::printf("  %s - %s: %.0f%% of the C-band in use\n",
+                  loaded.optical.node(fiber.a).name.c_str(),
+                  loaded.optical.node(fiber.b).name.c_str(),
+                  100.0 * load[static_cast<std::size_t>(i)].first);
+    }
+    std::printf("(the top route is where new fiber buys the next 2x)\n");
+  }
+  return 0;
+}

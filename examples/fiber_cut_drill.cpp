@@ -1,0 +1,70 @@
+// A failure drill across the whole T-backbone: cut every fiber in turn,
+// compare how much capacity each transponder generation revives, and print
+// the worst cuts — the §8 evaluation as an operator tool.
+#include <algorithm>
+#include <cstdio>
+
+#include "planning/heuristic.h"
+#include "restoration/metrics.h"
+#include "restoration/restorer.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+int main() {
+  // An overloaded backbone (3x demand) is where restoration gets hard.
+  const auto base = topology::make_tbackbone();
+  const topology::Network net{base.name, base.optical, base.ip.scaled(3.0)};
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+  std::printf("drill: %zu single-fiber cut scenarios on %s at 3x demand\n\n",
+              scenarios.size(), net.name.c_str());
+
+  TextTable table({"generation", "mean capability", "worst", "cuts w/ loss"});
+  std::vector<double> flex_caps;
+  for (const auto* catalog :
+       {&transponder::fixed_grid_100g(), &transponder::bvt_radwan(),
+        &transponder::svt_flexwan()}) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    const auto plan = planner.plan(net);
+    if (!plan) {
+      table.add_row({catalog->name(), "plan infeasible at 3x", "-", "-"});
+      continue;
+    }
+    restoration::Restorer restorer(*catalog);
+    const auto m =
+        restoration::evaluate_scenarios(net, *plan, restorer, scenarios);
+    double worst = 1.0;
+    for (double c : m.capabilities) worst = std::min(worst, c);
+    table.add_row({catalog->name(), TextTable::num(m.mean_capability, 3),
+                   TextTable::num(worst, 3),
+                   std::to_string(m.scenarios_with_loss) + "/" +
+                       std::to_string(m.capabilities.size())});
+    if (catalog == &transponder::svt_flexwan()) flex_caps = m.capabilities;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Rank the most damaging cuts for FlexWAN: where to buy protection.
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  if (plan) {
+    restoration::Restorer restorer(transponder::svt_flexwan());
+    std::printf("five most damaging cuts under FlexWAN:\n");
+    std::vector<std::pair<double, topology::FiberId>> ranked;
+    for (const auto& s : scenarios) {
+      const auto outcome = restorer.restore(net, *plan, s);
+      ranked.emplace_back(outcome.capability(), s.cut_fibers[0]);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    for (int i = 0; i < 5 && i < static_cast<int>(ranked.size()); ++i) {
+      const auto& fiber =
+          net.optical.fiber(ranked[static_cast<std::size_t>(i)].second);
+      std::printf("  %s - %s (%.0f km): %.0f%% revived\n",
+                  net.optical.node(fiber.a).name.c_str(),
+                  net.optical.node(fiber.b).name.c_str(), fiber.length_km,
+                  100.0 * ranked[static_cast<std::size_t>(i)].first);
+    }
+  }
+  return 0;
+}

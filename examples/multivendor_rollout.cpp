@@ -1,0 +1,71 @@
+// Multi-vendor rollout: introduce a new vendor into a running backbone and
+// show why the standard device model matters (§4.3, §9).  The same planned
+// wavelength is configured on devices from all three vendors — each with a
+// different native dialect — through one standard document; then the same
+// provisioning is attempted with uncoordinated per-vendor controllers over
+// legacy fixed-grid OLS gear, reproducing the Fig. 5 failure classes.
+#include <cstdio>
+
+#include "controller/centralized.h"
+#include "controller/distributed.h"
+#include "controller/fleet.h"
+#include "devmodel/vendors.h"
+#include "planning/heuristic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+using namespace flexwan;
+
+int main() {
+  // One standard-model document, three vendor dialects.
+  const auto& catalog = transponder::svt_flexwan();
+  const auto mode = *catalog.narrowest_mode(600, 400);
+  const auto doc = devmodel::make_transponder_config(
+      "10.0.0.1", mode, spectrum::Range{0, mode.pixels()});
+  std::printf("standard document for %s:\n%s\n", mode.describe().c_str(),
+              doc.serialize().c_str());
+  for (const auto& vendor : devmodel::known_vendors()) {
+    std::printf("%s native: %s\n", vendor.c_str(),
+                devmodel::adapter_for(vendor).native_syntax(doc).c_str());
+  }
+
+  // Roll the whole Cernet plan out through both control models.
+  const auto net = topology::make_cernet();
+  planning::HeuristicPlanner planner(catalog, {});
+  const auto plan = planner.plan(net);
+  if (!plan) {
+    std::printf("planning failed: %s\n", plan.error().message.c_str());
+    return 1;
+  }
+  std::printf("\nrollout: %d wavelengths across %d sites, 3 vendors\n",
+              plan->transponder_count(), net.optical.node_count());
+
+  controller::Fleet central(net, *plan,
+                            controller::VendorAssignment::kPerRegionMixed,
+                            /*pixel_wise_ols=*/true);
+  controller::CentralizedController cc(net);
+  const auto cstats = cc.deploy(central);
+  const auto caudit = controller::audit_fleet(central, net);
+  std::printf("centralized + spectrum-sliced OLS: %d RPCs, "
+              "%d inconsistencies, %d conflicts\n",
+              cstats ? cstats->config_rpcs : -1, caudit.inconsistencies,
+              caudit.conflicts);
+
+  controller::Fleet legacy(net, *plan,
+                           controller::VendorAssignment::kPerRegionMixed,
+                           /*pixel_wise_ols=*/false);
+  controller::DistributedControllers dc(net);
+  const auto dstats = dc.deploy(legacy);
+  const auto daudit = controller::audit_fleet(legacy, net);
+  std::printf("per-vendor + legacy fixed-grid OLS:  %d RPCs, "
+              "%d inconsistencies, %d conflicts",
+              dstats ? dstats->config_rpcs : -1, daudit.inconsistencies,
+              daudit.conflicts);
+  if (dstats) {
+    std::printf(" (%d passbands clipped to a rigid grid)",
+                dstats->grid_clipped_passbands);
+  }
+  std::printf("\n\nthe centralized controller's holistic view is what keeps "
+              "the audit clean.\n");
+  return 0;
+}

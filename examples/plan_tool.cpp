@@ -1,0 +1,161 @@
+// plan_tool: bring-your-own-topology planning CLI.
+//
+//   plan_tool <network-file> [scheme]      scheme: flexwan|radwan|100g,
+//                                          or @<catalog-file> to plan with a
+//                                          custom transponder spec sheet
+//   plan_tool --sample                     print a sample network file
+//   plan_tool --sample-catalog             print a sample catalog file
+//
+// Reads a network description (see topology/io.h for the format), plans it
+// with the chosen transponder generation, and reports the wavelengths, the
+// cost metrics, the restoration drill over all single-fiber cuts, and a
+// graphviz rendering of the topology.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "topology/io.h"
+#include "transponder/catalog.h"
+#include "transponder/catalog_io.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+namespace {
+
+constexpr const char* kSample = R"(network sample
+node west
+node hub
+node east
+node south
+fiber west hub 180
+fiber hub east 220
+fiber west south 400
+fiber south east 450
+link west east 600 west-east
+link west hub 800 west-hub
+)";
+
+constexpr const char* kSampleCatalog = R"(catalog custom-svt
+mode 100 50 3000
+mode 200 75 2000
+mode 400 100 1500
+mode 600 112.5 700
+mode 800 150 300
+)";
+
+// Owns a loaded custom catalog so the returned reference stays valid.
+std::optional<transponder::Catalog> g_custom_catalog;
+
+const transponder::Catalog& pick_catalog(const char* scheme) {
+  if (scheme == nullptr || std::strcmp(scheme, "flexwan") == 0) {
+    return transponder::svt_flexwan();
+  }
+  if (std::strcmp(scheme, "radwan") == 0) return transponder::bvt_radwan();
+  if (std::strcmp(scheme, "100g") == 0) return transponder::fixed_grid_100g();
+  if (scheme[0] == '@') {
+    std::ifstream file(scheme + 1);
+    if (!file) {
+      std::fprintf(stderr, "cannot open catalog %s\n", scheme + 1);
+      std::exit(2);
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto catalog = transponder::load_catalog(buffer.str());
+    if (!catalog) {
+      std::fprintf(stderr, "catalog parse error: %s\n",
+                   catalog.error().message.c_str());
+      std::exit(1);
+    }
+    g_custom_catalog.emplace(std::move(catalog.value()));
+    return *g_custom_catalog;
+  }
+  std::fprintf(stderr,
+               "unknown scheme %s (flexwan|radwan|100g|@catalog-file)\n",
+               scheme);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <network-file> [flexwan|radwan|100g]\n"
+                         "       %s --sample\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--sample") == 0) {
+    std::printf("%s", kSample);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "--sample-catalog") == 0) {
+    std::printf("%s", kSampleCatalog);
+    return 0;
+  }
+
+  std::ifstream file(argv[1]);
+  if (!file) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto net = topology::load_network(buffer.str());
+  if (!net) {
+    std::fprintf(stderr, "parse error: %s\n", net.error().message.c_str());
+    return 1;
+  }
+  const auto& catalog = pick_catalog(argc > 2 ? argv[2] : nullptr);
+
+  std::printf("network %s: %d sites, %d fibers, %d IP links, %.0f Gbps\n\n",
+              net->name.c_str(), net->optical.node_count(),
+              net->optical.fiber_count(), net->ip.link_count(),
+              net->ip.total_demand_gbps());
+
+  planning::HeuristicPlanner planner(catalog, {});
+  const auto plan = planner.plan(*net);
+  if (!plan) {
+    std::fprintf(stderr, "planning failed (%s): %s\n",
+                 plan.error().code.c_str(), plan.error().message.c_str());
+    return 1;
+  }
+
+  TextTable waves({"link", "path (km)", "format", "pixels"});
+  for (const auto& lp : plan->links()) {
+    for (const auto& wl : lp.wavelengths) {
+      waves.add_row(
+          {net->ip.link(lp.link).name,
+           TextTable::num(
+               lp.paths[static_cast<std::size_t>(wl.path_index)].length_km, 0),
+           wl.mode.describe(), spectrum::to_string(wl.range)});
+    }
+  }
+  std::printf("%s\n", waves.render().c_str());
+
+  const auto m = planning::compute_metrics(*plan, *net);
+  std::printf("%s plan: %d transponder pairs, %.0f GHz, mean SE %.2f "
+              "b/s/Hz, busiest fiber %.0f%% full\n",
+              catalog.name().c_str(), m.transponder_count,
+              m.spectrum_usage_ghz, m.mean_spectral_efficiency,
+              100.0 * m.max_fiber_utilization);
+  std::printf("max demand scale on this fiber plant: %.1fx\n\n",
+              planning::max_supported_scale(*net, planner, 16.0, 0.5));
+
+  restoration::Restorer restorer(catalog);
+  const auto scenarios = restoration::single_fiber_cuts(net->optical);
+  const auto rm =
+      restoration::evaluate_scenarios(*net, *plan, restorer, scenarios);
+  std::printf("restoration drill (%zu cuts): mean capability %.1f%%, "
+              "%d cut(s) lose capacity\n\n",
+              scenarios.size(), 100.0 * rm.mean_capability,
+              rm.scenarios_with_loss);
+
+  std::printf("graphviz:\n%s", topology::to_dot(*net).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "controller/centralized.h"
+
+namespace flexwan::controller {
+
+CentralizedController::CentralizedController(const topology::Network& net)
+    : net_(&net) {}
+
+Expected<DeploymentStats> CentralizedController::deploy(Fleet& fleet) const {
+  DeploymentStats stats;
+  auto& netconf = fleet.netconf();
+  const auto& deployed = fleet.deployed();
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    const auto& dw = deployed[i];
+    const auto& mode = dw.wavelength.mode;
+    const auto& range = dw.wavelength.range;
+
+    // Transponder pair: identical channel configuration at both ends.
+    for (const std::string& ip : {dw.tx_ip, dw.rx_ip}) {
+      const auto doc = devmodel::make_transponder_config(ip, mode, range);
+      ++stats.config_rpcs;
+      const auto r = netconf.edit_config(doc);
+      if (!r) {
+        ++stats.failed_rpcs;
+        return Error::make("deploy_failed",
+                           ip + ": " + r.error().message);
+      }
+    }
+    // Every WSS filter port along the light path (add, per-hop egress
+    // degree, drop): a passband equal to the channel.
+    for (const auto& target : dw.wss_targets) {
+      const auto doc = devmodel::make_wss_config(target.device->info().ip,
+                                                 target.port, range);
+      ++stats.config_rpcs;
+      const auto r = netconf.edit_config(doc);
+      if (!r) {
+        ++stats.failed_rpcs;
+        return Error::make("deploy_failed", target.device->info().ip + ": " +
+                                                r.error().message);
+      }
+    }
+    ++stats.wavelengths_configured;
+  }
+  return stats;
+}
+
+}  // namespace flexwan::controller

@@ -1,0 +1,68 @@
+#include "controller/datastream.h"
+
+#include <algorithm>
+
+namespace flexwan::controller {
+
+DataStream::DataStream(std::size_t history_per_series)
+    : history_(history_per_series) {}
+
+void DataStream::ingest(TelemetrySample sample) {
+  auto& series = series_[{sample.device_ip, sample.key}];
+  series.samples.push_back(std::move(sample));
+  while (series.samples.size() > history_) {
+    series.samples.pop_front();
+  }
+}
+
+std::optional<double> DataStream::latest(const std::string& ip,
+                                         const std::string& key) const {
+  const auto it = series_.find({ip, key});
+  if (it == series_.end() || it->second.samples.empty()) return std::nullopt;
+  return it->second.samples.back().value;
+}
+
+void DataStream::watch_fiber(topology::FiberId f, std::string rx_device_ip) {
+  watched_fibers_[f] = std::move(rx_device_ip);
+}
+
+std::vector<FiberCutAlarm> DataStream::detect_cuts(double threshold_db) const {
+  std::vector<FiberCutAlarm> alarms;
+  for (const auto& [fiber, ip] : watched_fibers_) {
+    const auto it = series_.find({ip, "rx-power-dbm"});
+    if (it == series_.end() || it->second.samples.size() < 2) continue;
+    const auto& samples = it->second.samples;
+    const double peak =
+        std::max_element(samples.begin(), samples.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.value < b.value;
+                         })
+            ->value;
+    const auto& last = samples.back();
+    if (peak - last.value > threshold_db) {
+      alarms.push_back(FiberCutAlarm{fiber, last.timestamp_s,
+                                     peak - last.value});
+    }
+  }
+  return alarms;
+}
+
+void DataStream::watch_transponder(std::string rx_ip) {
+  watched_transponders_.push_back(std::move(rx_ip));
+}
+
+std::vector<DegradationAlarm> DataStream::detect_degradations(
+    double ber_threshold) const {
+  std::vector<DegradationAlarm> alarms;
+  for (const auto& ip : watched_transponders_) {
+    const auto it = series_.find({ip, "rx-ber"});
+    if (it == series_.end() || it->second.samples.empty()) continue;
+    const auto& last = it->second.samples.back();
+    if (last.value > ber_threshold) {
+      alarms.push_back(DegradationAlarm{ip, last.timestamp_s, last.value});
+    }
+  }
+  return alarms;
+}
+
+}  // namespace flexwan::controller

@@ -1,0 +1,80 @@
+// Data-stream module (paper §4.4): one-second-granularity collection of
+// optical-layer telemetry, and real-time fiber-cut detection from the
+// transmitted/received power at the two terminal devices of each fiber.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace flexwan::controller {
+
+// One telemetry sample from one device.
+struct TelemetrySample {
+  std::string device_ip;
+  std::string key;       // e.g. "rx-power-dbm"
+  double value = 0.0;
+  long timestamp_s = 0;
+};
+
+// A detected optical event.
+struct FiberCutAlarm {
+  topology::FiberId fiber = -1;
+  long detected_at_s = 0;
+  double power_drop_db = 0.0;
+};
+
+// A wavelength whose received signal degraded before outright failure —
+// the ephemeral events the one-second collection granularity exists to
+// catch (§4.4; OpTel [7]).
+struct DegradationAlarm {
+  std::string device_ip;  // receiving transponder
+  long detected_at_s = 0;
+  double rx_ber = 0.0;
+};
+
+// The online telemetry store: a bounded ring per (device, key) series, plus
+// the fiber-cut detector the Optical TopoMgr subscribes to.
+class DataStream {
+ public:
+  explicit DataStream(std::size_t history_per_series = 64);
+
+  void ingest(TelemetrySample sample);
+
+  // Latest value of a series, if any samples exist.
+  std::optional<double> latest(const std::string& ip,
+                               const std::string& key) const;
+
+  // Registers the rx-power series watched for fiber `f`: the receiving
+  // terminal device at the far end of the fiber.
+  void watch_fiber(topology::FiberId f, std::string rx_device_ip);
+
+  // A fiber is declared cut when its watched rx power drops by more than
+  // `threshold_db` relative to the series' historical maximum.
+  std::vector<FiberCutAlarm> detect_cuts(double threshold_db = 20.0) const;
+
+  // Registers a receiving transponder whose "rx-ber" series is watched.
+  void watch_transponder(std::string rx_ip);
+
+  // Transponders whose latest post-FEC BER exceeds `ber_threshold`: the
+  // signal still arrives (the fiber is not cut) but no longer decodes
+  // error-free — re-modulation or re-routing is needed.
+  std::vector<DegradationAlarm> detect_degradations(
+      double ber_threshold = 0.0) const;
+
+  std::size_t series_count() const { return series_.size(); }
+
+ private:
+  struct Series {
+    std::deque<TelemetrySample> samples;
+  };
+  std::size_t history_;
+  std::map<std::pair<std::string, std::string>, Series> series_;
+  std::map<topology::FiberId, std::string> watched_fibers_;
+  std::vector<std::string> watched_transponders_;
+};
+
+}  // namespace flexwan::controller

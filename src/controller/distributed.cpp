@@ -1,0 +1,90 @@
+#include "controller/distributed.h"
+
+#include <map>
+#include <vector>
+
+#include "spectrum/occupancy.h"
+
+namespace flexwan::controller {
+
+namespace {
+
+// Rounds a passband request inward to a legacy grid: start up, end down.
+// Returns an empty range when the grid swallows the channel entirely.
+spectrum::Range clip_to_grid(const spectrum::Range& request, int quantum) {
+  if (quantum <= 1) return request;
+  const int start = ((request.first + quantum - 1) / quantum) * quantum;
+  const int end = (request.end() / quantum) * quantum;
+  return spectrum::Range{start, std::max(0, end - start)};
+}
+
+}  // namespace
+
+DistributedControllers::DistributedControllers(const topology::Network& net)
+    : net_(&net) {}
+
+Expected<DistributedStats> DistributedControllers::deploy(Fleet& fleet) const {
+  DistributedStats stats;
+  auto& netconf = fleet.netconf();
+  auto& deployed = fleet.wavelengths();
+
+  // Group wavelengths by owning vendor (the vendor of their IP link).
+  std::map<std::string, std::vector<std::size_t>> by_vendor;
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    by_vendor[fleet.link_vendor(deployed[i].wavelength.link)].push_back(i);
+  }
+  stats.vendor_controllers = static_cast<int>(by_vendor.size());
+
+  for (auto& [vendor, indices] : by_vendor) {
+    // The vendor controller's *local* spectrum view: only its wavelengths.
+    std::vector<spectrum::Occupancy> local_view(
+        static_cast<std::size_t>(net_->optical.fiber_count()),
+        spectrum::Occupancy(spectrum::kCBandPixels));
+
+    for (std::size_t i : indices) {
+      auto& dw = deployed[i];
+      const auto& mode = dw.wavelength.mode;
+      // Vendor-local first-fit: ignorant of other vendors' assignments.
+      const auto fit =
+          planning::common_first_fit(local_view, dw.path, mode.pixels());
+      if (!fit) continue;  // local spectrum exhausted: wavelength dark
+      for (topology::FiberId f : dw.path.fibers) {
+        auto r = local_view[static_cast<std::size_t>(f)].reserve(*fit);
+        (void)r;
+      }
+      dw.wavelength.range = *fit;  // what this vendor actually configured
+
+      for (const std::string& ip : {dw.tx_ip, dw.rx_ip}) {
+        const auto doc = devmodel::make_transponder_config(ip, mode, *fit);
+        ++stats.config_rpcs;
+        const auto r = netconf.edit_config(doc);
+        if (!r) {
+          return Error::make("deploy_failed", ip + ": " + r.error().message);
+        }
+      }
+      for (const auto& target : dw.wss_targets) {
+        auto& wss = *target.device;
+        // Legacy fixed-grid sites cannot represent off-grid passbands; the
+        // work order gets clipped inward to whatever the equipment accepts.
+        spectrum::Range pb = *fit;
+        if (wss.grid_quantum_pixels() > 1) {
+          pb = clip_to_grid(pb, wss.grid_quantum_pixels());
+          if (pb != *fit) ++stats.grid_clipped_passbands;
+        }
+        if (pb.count <= 0) continue;  // channel vanished on this grid
+        const auto doc =
+            devmodel::make_wss_config(wss.info().ip, target.port, pb);
+        ++stats.config_rpcs;
+        const auto r = netconf.edit_config(doc);
+        if (!r) {
+          return Error::make("deploy_failed",
+                             wss.info().ip + ": " + r.error().message);
+        }
+      }
+      ++stats.wavelengths_configured;
+    }
+  }
+  return stats;
+}
+
+}  // namespace flexwan::controller

@@ -1,0 +1,43 @@
+// The distributed, per-vendor control baseline (paper §3.4 Challenge 1).
+//
+// Before FlexWAN, each vendor ran its own controller over its own devices
+// with no holistic view.  Two realistic failure modes follow:
+//
+//  * Channel conflict — each vendor controller assigns spectrum for its own
+//    links by first-fit over *its own* wavelengths only; wavelengths of
+//    different vendors sharing a fiber can land on overlapping pixels.
+//  * Channel inconsistency — a wavelength traverses optical sites owned by
+//    other vendors whose legacy WSS equipment only places passbands on its
+//    native rigid grid: vendorB rounds the request inward to its 75 GHz
+//    grid (clipping the channel), vendorC to its 50 GHz grid.  A clipped
+//    passband no longer covers the signal.
+//
+// The deployment succeeds RPC-wise — the devices accept everything they are
+// given — but the post-deployment audit reports the spectrum issues the
+// centralized controller eliminates (§4.3).
+#pragma once
+
+#include "controller/fleet.h"
+
+namespace flexwan::controller {
+
+struct DistributedStats {
+  int vendor_controllers = 0;
+  int wavelengths_configured = 0;
+  int config_rpcs = 0;
+  int grid_clipped_passbands = 0;  // inward-rounded by legacy equipment
+};
+
+class DistributedControllers {
+ public:
+  explicit DistributedControllers(const topology::Network& net);
+
+  // Each vendor controller configures its own links' wavelengths
+  // independently, assigning spectrum with a vendor-local view.
+  Expected<DistributedStats> deploy(Fleet& fleet) const;
+
+ private:
+  const topology::Network* net_;
+};
+
+}  // namespace flexwan::controller

@@ -1,0 +1,181 @@
+#include "controller/fleet.h"
+
+#include <map>
+
+namespace flexwan::controller {
+
+namespace {
+
+const transponder::Catalog& catalog_for_scheme(const std::string& scheme) {
+  if (scheme == "RADWAN") return transponder::bvt_radwan();
+  if (scheme == "100G-WAN") return transponder::fixed_grid_100g();
+  return transponder::svt_flexwan();
+}
+
+// Legacy fixed-grid quantum of a vendor's OLS equipment (pixels).
+int legacy_grid_quantum(const std::string& vendor) {
+  if (vendor == "vendorB") return 6;  // 75 GHz grid
+  if (vendor == "vendorC") return 4;  // 50 GHz grid
+  return 1;                            // vendorA ships pixel-wise LCoS
+}
+
+std::string vendor_at(VendorAssignment assignment, int index) {
+  if (assignment == VendorAssignment::kSingleVendor) return "vendorA";
+  const auto& vendors = devmodel::known_vendors();
+  return vendors[static_cast<std::size_t>(index) % vendors.size()];
+}
+
+}  // namespace
+
+Fleet::Fleet(const topology::Network& net, const planning::Plan& plan,
+             VendorAssignment assignment, bool pixel_wise_ols) {
+  const auto& catalog = catalog_for_scheme(plan.scheme());
+  const bool spacing_variable = plan.scheme() == "FlexWAN";
+  const double fixed_spacing = plan.scheme() == "100G-WAN" ? 50.0 : 75.0;
+
+  // ROADM anatomy per site: one add/drop WSS plus a line-degree WSS per
+  // attached fiber, each with enough filter ports for every wavelength.
+  const int ports = plan.transponder_count() + 4;
+  for (topology::NodeId n = 0; n < net.optical.node_count(); ++n) {
+    const std::string vendor = vendor_at(assignment, n);
+    const int quantum = pixel_wise_ols ? 1 : legacy_grid_quantum(vendor);
+    const std::string model = quantum == 1 ? "WSS-LCoS" : "WSS-FixGrid";
+    add_drop_index_.push_back(wss_.size());
+    wss_.emplace_back(
+        hardware::DeviceInfo{"10.1." + std::to_string(n) + ".1", vendor,
+                             model + "-AD"},
+        ports, quantum);
+    auto r = netconf_.register_device(&wss_.back());
+    (void)r;  // IPs are unique by construction
+    int degree = 2;  // .1 is the add/drop; degrees start at .2
+    for (topology::FiberId f : net.optical.incident(n)) {
+      degree_index_[{n, f}] = wss_.size();
+      wss_.emplace_back(
+          hardware::DeviceInfo{"10.1." + std::to_string(n) + "." +
+                                   std::to_string(degree++),
+                               vendor, model + "-DEG"},
+          ports, quantum);
+      auto rd = netconf_.register_device(&wss_.back());
+      (void)rd;
+    }
+  }
+
+  // Vendor per IP link (that vendor supplies the link's transponders).
+  link_vendors_.resize(static_cast<std::size_t>(net.ip.link_count()));
+  for (topology::LinkId l = 0; l < net.ip.link_count(); ++l) {
+    link_vendors_[static_cast<std::size_t>(l)] = vendor_at(assignment, l);
+  }
+
+  // Transponder pair per planned wavelength; filter ports allocated along
+  // each light path: add WSS, per-hop egress degree WSS, drop WSS.
+  std::vector<int> next_port(wss_.size(), 0);
+  int index = 0;
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      const std::string vendor =
+          link_vendors_[static_cast<std::size_t>(lp.link)];
+      DeployedWavelength dw;
+      dw.wavelength = wl;
+      dw.path = path;
+      dw.tx_ip = "10.2." + std::to_string(index) + ".1";
+      dw.rx_ip = "10.2." + std::to_string(index) + ".2";
+      const hardware::TransponderDevice::Capabilities caps{
+          &catalog, spacing_variable, fixed_spacing};
+      transponders_.emplace_back(
+          hardware::DeviceInfo{dw.tx_ip, vendor, catalog.name() + "-TXP"},
+          caps);
+      dw.tx = &transponders_.back();
+      transponders_.emplace_back(
+          hardware::DeviceInfo{dw.rx_ip, vendor, catalog.name() + "-TXP"},
+          caps);
+      dw.rx = &transponders_.back();
+      auto r1 = netconf_.register_device(dw.tx);
+      auto r2 = netconf_.register_device(dw.rx);
+      (void)r1;
+      (void)r2;
+
+      auto claim = [&](std::size_t device_index,
+                       topology::NodeId node) {
+        dw.wss_targets.push_back(
+            WssTarget{&wss_[device_index],
+                      next_port[device_index]++, node});
+      };
+      if (!path.fibers.empty()) {
+        claim(add_drop_index_[static_cast<std::size_t>(path.nodes.front())],
+              path.nodes.front());
+        for (std::size_t h = 0; h < path.fibers.size(); ++h) {
+          claim(degree_index_.at({path.nodes[h], path.fibers[h]}),
+                path.nodes[h]);
+        }
+        claim(add_drop_index_[static_cast<std::size_t>(path.nodes.back())],
+              path.nodes.back());
+      }
+      wavelengths_.push_back(std::move(dw));
+      ++index;
+    }
+  }
+}
+
+hardware::WssDevice& Fleet::add_drop_wss(topology::NodeId node) {
+  return wss_[add_drop_index_[static_cast<std::size_t>(node)]];
+}
+
+const hardware::WssDevice& Fleet::add_drop_wss(topology::NodeId node) const {
+  return wss_[add_drop_index_[static_cast<std::size_t>(node)]];
+}
+
+hardware::WssDevice& Fleet::degree_wss(topology::NodeId node,
+                                       topology::FiberId fiber) {
+  return wss_[degree_index_.at({node, fiber})];
+}
+
+const hardware::WssDevice& Fleet::degree_wss(topology::NodeId node,
+                                             topology::FiberId fiber) const {
+  return wss_[degree_index_.at({node, fiber})];
+}
+
+AuditReport audit_fleet(const Fleet& fleet, const topology::Network& net) {
+  AuditReport report;
+  const auto& deployed = fleet.deployed();
+  report.wavelengths = static_cast<int>(deployed.size());
+
+  // Channel consistency: the spectrum each transmitter actually emits must
+  // be covered by the passband of *its own filter port* at every WSS on the
+  // light path (Fig. 9a) — per-port, so a same-spectrum wavelength on
+  // another port cannot mask a misconfiguration.
+  for (const auto& dw : deployed) {
+    if (dw.tx == nullptr || !dw.tx->configured()) {
+      ++report.unconfigured;
+      continue;
+    }
+    const spectrum::Range emitted = dw.tx->range();
+    for (const auto& target : dw.wss_targets) {
+      const auto pb = target.device->passband(target.port);
+      if (!pb || !pb->covers(emitted)) {
+        ++report.inconsistencies;
+        break;
+      }
+    }
+  }
+
+  // Channel conflict: emitted spectra overlapping in a shared fiber (Fig. 9b).
+  std::map<topology::FiberId, std::vector<spectrum::Range>> per_fiber;
+  for (const auto& dw : deployed) {
+    if (dw.tx == nullptr || !dw.tx->configured()) continue;
+    for (topology::FiberId f : dw.path.fibers) {
+      per_fiber[f].push_back(dw.tx->range());
+    }
+  }
+  for (const auto& [fiber, ranges] : per_fiber) {
+    for (std::size_t a = 0; a < ranges.size(); ++a) {
+      for (std::size_t b = a + 1; b < ranges.size(); ++b) {
+        if (ranges[a].overlaps(ranges[b])) ++report.conflicts;
+      }
+    }
+  }
+  (void)net;
+  return report;
+}
+
+}  // namespace flexwan::controller

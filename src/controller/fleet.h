@@ -1,0 +1,120 @@
+// The optical fleet: every simulated device of a deployed backbone.
+//
+// Materializes the hardware a plan implies — a transponder pair per
+// wavelength and, at each ROADM site, an add/drop WSS plus one line-degree
+// WSS per attached fiber (the broadcast-and-select ROADM anatomy: what
+// enters a fiber is filtered by that degree's WSS, paper Fig. 1/8).
+// Assigns vendors, registers all devices with the NETCONF service, and
+// offers the spectrum audit the paper runs in production (§4.3: "zero
+// spectrum inconsistency and conflict").
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "devmodel/netconf.h"
+#include "hardware/devices.h"
+#include "planning/plan.h"
+#include "topology/builders.h"
+
+namespace flexwan::controller {
+
+// How the fleet assigns vendors to devices: production backbones mix
+// vendors (vendor diversity prevents monopolies and concurrent failures, §9).
+enum class VendorAssignment {
+  kSingleVendor,   // everything vendorA
+  kPerRegionMixed, // round-robin vendors across optical sites and links
+};
+
+// One WSS filter port a wavelength needs configured: its config target.
+struct WssTarget {
+  hardware::WssDevice* device = nullptr;
+  int port = -1;
+  topology::NodeId node = -1;  // site the device sits at
+};
+
+// One deployed wavelength and the device identities serving it.
+struct DeployedWavelength {
+  planning::Wavelength wavelength;
+  topology::Path path;   // resolved optical path
+  std::string tx_ip;
+  std::string rx_ip;
+  hardware::TransponderDevice* tx = nullptr;
+  hardware::TransponderDevice* rx = nullptr;
+  // Ordered WSS filter ports along the light path: the add WSS at the
+  // source, the egress line-degree WSS feeding each fiber, and the drop WSS
+  // at the destination.  The centralized controller configures exactly
+  // these; the audit and the link simulation check exactly these.
+  std::vector<WssTarget> wss_targets;
+};
+
+// Owns all simulated devices for one deployment.  Device objects live in
+// deques so registered pointers stay stable.
+class Fleet {
+ public:
+  // Builds devices for `plan` on `net`.  `pixel_wise_ols` selects FlexWAN's
+  // spectrum-sliced OLS (grid quantum 1) for every WSS; when false, each
+  // vendor's WSS keeps its legacy grid quantum (vendorB 75 GHz, vendorC
+  // 50 GHz) — the pre-FlexWAN world the distributed baseline operates in.
+  Fleet(const topology::Network& net, const planning::Plan& plan,
+        VendorAssignment assignment, bool pixel_wise_ols);
+
+  devmodel::NetconfService& netconf() { return netconf_; }
+  const devmodel::NetconfService& netconf() const { return netconf_; }
+
+  std::vector<DeployedWavelength>& wavelengths() { return wavelengths_; }
+  const std::vector<DeployedWavelength>& deployed() const {
+    return wavelengths_;
+  }
+
+  // Add/drop WSS at an optical site.
+  hardware::WssDevice& add_drop_wss(topology::NodeId node);
+  const hardware::WssDevice& add_drop_wss(topology::NodeId node) const;
+
+  // Line-degree WSS feeding `fiber` at `node` (node must touch the fiber).
+  hardware::WssDevice& degree_wss(topology::NodeId node,
+                                  topology::FiberId fiber);
+  const hardware::WssDevice& degree_wss(topology::NodeId node,
+                                        topology::FiberId fiber) const;
+
+  // Vendor owning an IP link's transponders (by the link's id).
+  const std::string& link_vendor(topology::LinkId link) const {
+    return link_vendors_[static_cast<std::size_t>(link)];
+  }
+
+  int transponder_count() const {
+    return static_cast<int>(transponders_.size());
+  }
+  int wss_count() const { return static_cast<int>(wss_.size()); }
+
+ private:
+  std::deque<hardware::TransponderDevice> transponders_;
+  std::deque<hardware::WssDevice> wss_;
+  // Device indices: add/drop per node, line degree per (node, fiber).
+  std::vector<std::size_t> add_drop_index_;
+  std::map<std::pair<topology::NodeId, topology::FiberId>, std::size_t>
+      degree_index_;
+  std::vector<std::string> link_vendors_;
+  std::vector<DeployedWavelength> wavelengths_;
+  devmodel::NetconfService netconf_;
+};
+
+// Result of the production spectrum audit.
+struct AuditReport {
+  int wavelengths = 0;
+  int inconsistencies = 0;  // a filter port fails to cover the channel
+  int conflicts = 0;        // two channels overlap in one fiber
+  int unconfigured = 0;     // transponders never configured
+  bool clean() const {
+    return inconsistencies == 0 && conflicts == 0 && unconfigured == 0;
+  }
+};
+
+// Audits the fleet's *device state* (not the plan): what spectrum did each
+// transponder actually get, and does each of its WSS filter ports cover it?
+AuditReport audit_fleet(const Fleet& fleet,
+                        const topology::Network& net);
+
+}  // namespace flexwan::controller

@@ -1,0 +1,193 @@
+#include "controller/operations.h"
+
+#include <vector>
+
+#include "planning/plan.h"
+#include "spectrum/occupancy.h"
+
+namespace flexwan::controller {
+
+namespace {
+
+// Rebuilds per-fiber occupancy from the fleet's deployed wavelengths,
+// optionally ignoring one wavelength (the one being re-tuned).
+std::vector<spectrum::Occupancy> occupancy_from_fleet(
+    const Fleet& fleet, const topology::Network& net,
+    std::size_t ignore_index) {
+  std::vector<spectrum::Occupancy> fibers(
+      static_cast<std::size_t>(net.optical.fiber_count()),
+      spectrum::Occupancy(spectrum::kCBandPixels));
+  const auto& deployed = fleet.deployed();
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    if (i == ignore_index) continue;
+    for (topology::FiberId f : deployed[i].path.fibers) {
+      auto r = fibers[static_cast<std::size_t>(f)].reserve(
+          deployed[i].wavelength.range);
+      (void)r;  // a deployed plan is conflict-free by construction
+    }
+  }
+  return fibers;
+}
+
+}  // namespace
+
+Expected<EvolutionResult> evolve_channel(Fleet& fleet,
+                                         const topology::Network& net,
+                                         std::size_t index,
+                                         const transponder::Mode& new_mode) {
+  if (index >= fleet.deployed().size()) {
+    return Error::make("bad_index", "no deployed wavelength " +
+                                        std::to_string(index));
+  }
+  auto& dw = fleet.wavelengths()[index];
+  EvolutionResult result;
+  result.old_mode = dw.wavelength.mode;
+  result.old_range = dw.wavelength.range;
+  result.new_mode = new_mode;
+
+  // Find room for the wider channel with every *other* wavelength pinned.
+  const auto fibers = occupancy_from_fleet(fleet, net, index);
+  const auto fit =
+      planning::common_first_fit(fibers, dw.path, new_mode.pixels());
+  if (!fit) {
+    return Error::make("no_spectrum",
+                       "no contiguous block of " +
+                           std::to_string(new_mode.pixels()) +
+                           " pixels on the path");
+  }
+  result.new_range = *fit;
+
+  // Reconfigure the transponder pair, then every WSS filter port on the
+  // light path — the same code path as a fresh deployment, which is the
+  // point: evolution is just configuration.
+  auto& netconf = fleet.netconf();
+  for (const std::string& ip : {dw.tx_ip, dw.rx_ip}) {
+    const auto r = netconf.edit_config(
+        devmodel::make_transponder_config(ip, new_mode, *fit));
+    if (!r) return r.error();
+    ++result.reconfigured_devices;
+  }
+  for (const auto& target : dw.wss_targets) {
+    const auto r = netconf.edit_config(devmodel::make_wss_config(
+        target.device->info().ip, target.port, *fit));
+    if (!r) return r.error();
+    ++result.reconfigured_devices;
+  }
+  dw.wavelength.mode = new_mode;
+  dw.wavelength.range = *fit;
+  return result;
+}
+
+namespace {
+
+// The wavelength's first WSS target at `node`, or null.
+const WssTarget* target_at(const Fleet& fleet, std::size_t index,
+                           topology::NodeId node) {
+  for (const auto& target : fleet.deployed()[index].wss_targets) {
+    if (target.node == node) return &target;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Expected<bool> inject_misconnection(Fleet& fleet, std::size_t index,
+                                    topology::NodeId node, int wrong_port) {
+  if (index >= fleet.deployed().size()) {
+    return Error::make("bad_index", "no deployed wavelength " +
+                                        std::to_string(index));
+  }
+  const WssTarget* target = target_at(fleet, index, node);
+  if (target == nullptr) {
+    return Error::make("not_on_path", "wavelength does not traverse node " +
+                                          std::to_string(node));
+  }
+  // The fibre pair now lands on `wrong_port`; whatever passband the right
+  // port held no longer filters this signal.
+  auto cleared = target->device->clear_passband(target->port);
+  if (!cleared) return cleared;
+  // The wrong port keeps its previous (unset or foreign) passband, so the
+  // signal is clipped — exactly the audit's inconsistency condition.
+  (void)wrong_port;
+  return true;
+}
+
+Expected<bool> recover_misconnection(Fleet& fleet, std::size_t index,
+                                     topology::NodeId node, int wrong_port) {
+  if (index >= fleet.deployed().size()) {
+    return Error::make("bad_index", "no deployed wavelength " +
+                                        std::to_string(index));
+  }
+  const WssTarget* target = target_at(fleet, index, node);
+  if (target == nullptr) {
+    return Error::make("not_on_path", "wavelength does not traverse node " +
+                                          std::to_string(node));
+  }
+  auto& dw = fleet.wavelengths()[index];
+  // Zero-touch: push the wavelength's spectrum onto the port the cable
+  // actually landed on, and track that port as the wavelength's target from
+  // now on.  No site visit, one NETCONF RPC.
+  const auto r = fleet.netconf().edit_config(devmodel::make_wss_config(
+      target->device->info().ip, wrong_port, dw.wavelength.range));
+  if (!r) return r;
+  for (auto& t : dw.wss_targets) {
+    if (&t == target) {
+      t.port = wrong_port;
+      break;
+    }
+  }
+  return true;
+}
+
+ControllerCluster::ControllerCluster(const topology::Network& net,
+                                     int replicas)
+    : net_(&net), replicas_(replicas) {}
+
+Expected<ReplicatedDeployment> ControllerCluster::deploy(
+    Fleet& fleet, const std::vector<int>& fail_after_rpcs) const {
+  ReplicatedDeployment result;
+  CentralizedController controller(*net_);
+  for (int replica = 0; replica < replicas_; ++replica) {
+    ++result.attempts;
+    const int budget =
+        static_cast<std::size_t>(replica) < fail_after_rpcs.size()
+            ? fail_after_rpcs[static_cast<std::size_t>(replica)]
+            : -1;  // this leader survives
+    if (budget < 0) {
+      const auto stats = controller.deploy(fleet);
+      if (!stats) return stats.error();
+      result.total_rpcs += stats->config_rpcs;
+      result.completed = true;
+      return result;
+    }
+    // Leader crashes after `budget` RPCs: replay the deployment partially.
+    // edit_config is idempotent, so the half-applied state is harmless — the
+    // next leader simply starts over.
+    int issued = 0;
+    auto& netconf = fleet.netconf();
+    for (std::size_t i = 0; i < fleet.deployed().size() && issued < budget;
+         ++i) {
+      const auto& dw = fleet.deployed()[i];
+      for (const std::string& ip : {dw.tx_ip, dw.rx_ip}) {
+        if (issued >= budget) break;
+        auto r = netconf.edit_config(devmodel::make_transponder_config(
+            ip, dw.wavelength.mode, dw.wavelength.range));
+        if (!r) return r.error();
+        ++issued;
+      }
+      for (const auto& target : dw.wss_targets) {
+        if (issued >= budget) break;
+        auto r = netconf.edit_config(devmodel::make_wss_config(
+            target.device->info().ip, target.port, dw.wavelength.range));
+        if (!r) return r.error();
+        ++issued;
+      }
+    }
+    result.total_rpcs += issued;
+    ++result.failovers;
+  }
+  return Error::make("cluster_exhausted",
+                     "every controller replica failed mid-deployment");
+}
+
+}  // namespace flexwan::controller

@@ -1,0 +1,87 @@
+// Operational procedures from two years of production experience (§9):
+//
+//  * Smooth optical backbone evolution — migrate a live wavelength to a
+//    wider channel spacing (e.g. when adopting more aggressive transponders)
+//    by re-tuning the SVT and re-slicing the OLS passbands, instead of
+//    replacing every fixed-grid box in the line system.
+//  * Zero-touch misconnection recovery — when a transponder is cabled into
+//    the wrong MUX filter port, reconfigure that port's passband to the
+//    wavelength's spectrum instead of rolling a truck.
+//  * Control-plane fault tolerance (§4.4) — the controller runs as
+//    geo-redundant replicas; configuration is idempotent, so a standby can
+//    replay a deployment that a failed leader left half-finished.
+#pragma once
+
+#include "controller/centralized.h"
+#include "controller/fleet.h"
+
+namespace flexwan::controller {
+
+// --- smooth evolution -------------------------------------------------------
+
+struct EvolutionResult {
+  transponder::Mode old_mode;
+  transponder::Mode new_mode;
+  spectrum::Range old_range;
+  spectrum::Range new_range;
+  int reconfigured_devices = 0;
+};
+
+// Re-tunes deployed wavelength `index` to `new_mode`: finds a contiguous
+// spectrum block free on every fiber of its path (considering all other
+// deployed wavelengths), then reconfigures the transponder pair and every
+// traversed WSS through NETCONF.  Fails with "no_spectrum" when the new
+// spacing does not fit, or with the device's error when the hardware cannot
+// realise the mode (e.g. a rigid BVT).  The paper's point: on FlexWAN this
+// is a pure software operation.
+Expected<EvolutionResult> evolve_channel(Fleet& fleet,
+                                         const topology::Network& net,
+                                         std::size_t index,
+                                         const transponder::Mode& new_mode);
+
+// --- misconnection recovery -------------------------------------------------
+
+// Simulates the §9 misconnection: wavelength `index`'s signal enters filter
+// port `wrong_port` at `node` instead of its allocated port (the allocated
+// port's passband is cleared — nothing points at the fibre pair any more).
+// After this, the fleet audit reports a channel inconsistency.
+Expected<bool> inject_misconnection(Fleet& fleet, std::size_t index,
+                                    topology::NodeId node, int wrong_port);
+
+// Zero-touch recovery: configure `wrong_port`'s passband to the wavelength's
+// spectrum through NETCONF — possible precisely because the spectrum-sliced
+// OLS supports any spectrum on any port.  The audit is clean again.
+Expected<bool> recover_misconnection(Fleet& fleet, std::size_t index,
+                                     topology::NodeId node, int wrong_port);
+
+// --- replicated control plane ------------------------------------------------
+
+struct ReplicatedDeployment {
+  int attempts = 0;           // leaders that started the deployment
+  int failovers = 0;          // leaders that died mid-push
+  int total_rpcs = 0;         // across all attempts (replays included)
+  bool completed = false;
+};
+
+// A cluster of controller replicas deployed in geo-disjoint regions.  The
+// leader pushes configuration; if it crashes mid-deployment a standby takes
+// over and replays from the start — correctness rests on edit-config being
+// idempotent, which the standard device model guarantees.
+class ControllerCluster {
+ public:
+  ControllerCluster(const topology::Network& net, int replicas);
+
+  int replica_count() const { return replicas_; }
+
+  // Deploys `fleet`'s plan.  `fail_after_rpcs` lists, per successive leader,
+  // how many RPCs it survives before crashing (empty / exhausted = leader
+  // completes).  Fails with "cluster_exhausted" when every replica dies.
+  Expected<ReplicatedDeployment> deploy(
+      Fleet& fleet, const std::vector<int>& fail_after_rpcs = {}) const;
+
+ private:
+  const topology::Network* net_;
+  int replicas_;
+};
+
+}  // namespace flexwan::controller

@@ -1,0 +1,102 @@
+#include "core/flexwan.h"
+
+namespace flexwan::core {
+
+const transponder::Catalog& catalog_for(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kFixed100G: return transponder::fixed_grid_100g();
+    case Scheme::kRadwan: return transponder::bvt_radwan();
+    case Scheme::kFlexWan: return transponder::svt_flexwan();
+  }
+  return transponder::svt_flexwan();
+}
+
+Session::Session(topology::Network net, Scheme scheme, SessionOptions options)
+    : net_(std::move(net)),
+      scheme_(scheme),
+      options_(options),
+      planner_(catalog_for(scheme), options.planner),
+      restorer_(catalog_for(scheme), options.restorer) {}
+
+Expected<const planning::Plan*> Session::plan() {
+  auto result = planner_.plan(net_);
+  if (!result) return result.error();
+  plan_.emplace(std::move(result.value()));
+  // Deployment and telemetry state belong to the previous plan.
+  fleet_.reset();
+  return Expected<const planning::Plan*>(&*plan_);
+}
+
+Expected<planning::PlanMetrics> Session::metrics() const {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  return planning::compute_metrics(*plan_, net_);
+}
+
+Expected<controller::AuditReport> Session::deploy() {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  fleet_ = std::make_unique<controller::Fleet>(
+      net_, *plan_, options_.vendors, /*pixel_wise_ols=*/true);
+  controller::CentralizedController controller(net_);
+  auto stats = controller.deploy(*fleet_);
+  if (!stats) return stats.error();
+
+  // Baseline telemetry: every fiber healthy, nominal rx power.
+  for (topology::FiberId f = 0; f < net_.optical.fiber_count(); ++f) {
+    const std::string rx_ip = "10.3." + std::to_string(f) + ".2";
+    datastream_.watch_fiber(f, rx_ip);
+    datastream_.ingest(
+        controller::TelemetrySample{rx_ip, "rx-power-dbm", -2.0, clock_s_});
+  }
+  ++clock_s_;
+  return controller::audit_fleet(*fleet_, net_);
+}
+
+Expected<controller::FiberCutAlarm> Session::simulate_fiber_cut(
+    topology::FiberId f) {
+  if (!fleet_) return Error::make("not_deployed", "call deploy() first");
+  if (f < 0 || f >= net_.optical.fiber_count()) {
+    return Error::make("bad_fiber", "no fiber " + std::to_string(f));
+  }
+  // The cut collapses the received power at the fiber's far terminal; the
+  // one-second collector picks it up on the next tick.
+  const std::string rx_ip = "10.3." + std::to_string(f) + ".2";
+  datastream_.ingest(
+      controller::TelemetrySample{rx_ip, "rx-power-dbm", -40.0, clock_s_});
+  ++clock_s_;
+  const auto alarms = datastream_.detect_cuts();
+  for (const auto& alarm : alarms) {
+    if (alarm.fiber == f) return alarm;
+  }
+  return Error::make("not_detected", "cut on fiber " + std::to_string(f) +
+                                         " produced no alarm");
+}
+
+Expected<controller::EvolutionResult> Session::evolve_channel(
+    std::size_t index, const transponder::Mode& new_mode) {
+  if (!fleet_) return Error::make("not_deployed", "call deploy() first");
+  return controller::evolve_channel(*fleet_, net_, index, new_mode);
+}
+
+Expected<planning::ExtensionResult> Session::extend(topology::LinkId link,
+                                                    double extra_gbps) {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  auto result = planning::extend_plan(*plan_, net_, link, extra_gbps,
+                                      options_.planner);
+  if (result) fleet_.reset();  // deployment no longer matches the plan
+  return result;
+}
+
+Expected<planning::DefragResult> Session::defragment_spectrum() {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  auto result = planning::defragment(*plan_);
+  if (result) fleet_.reset();
+  return result;
+}
+
+Expected<restoration::Outcome> Session::restore(topology::FiberId f) const {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  const restoration::FailureScenario scenario{{f}, 1.0};
+  return restorer_.restore(net_, *plan_, scenario);
+}
+
+}  // namespace flexwan::core

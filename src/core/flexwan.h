@@ -1,0 +1,99 @@
+// FlexWAN public façade — the entry point downstream users program against.
+//
+// A Session owns one network and one transponder generation (100G-WAN /
+// RADWAN / FlexWAN), and walks the paper's lifecycle:
+//
+//   Session s(net, Scheme::kFlexWan);
+//   auto plan    = s.plan();               // Algorithm 1 (§5)
+//   auto deploy  = s.deploy();             // centralized control (§4)
+//   auto cut     = s.simulate_fiber_cut(f);// telemetry + detection (§4.4)
+//   auto outcome = s.restore(cut->fiber);  // optical restoration (§8)
+//
+// Every step is also available à la carte from the individual libraries;
+// the façade wires the defaults the paper evaluates with.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "controller/centralized.h"
+#include "controller/datastream.h"
+#include "controller/fleet.h"
+#include "controller/operations.h"
+#include "planning/heuristic.h"
+#include "planning/incremental.h"
+#include "planning/metrics.h"
+#include "restoration/restorer.h"
+
+namespace flexwan::core {
+
+// The three backbone generations of the paper's evaluation.
+enum class Scheme { kFixed100G, kRadwan, kFlexWan };
+
+const transponder::Catalog& catalog_for(Scheme scheme);
+
+struct SessionOptions {
+  planning::PlannerConfig planner;
+  restoration::RestorerConfig restorer;
+  controller::VendorAssignment vendors =
+      controller::VendorAssignment::kPerRegionMixed;
+};
+
+class Session {
+ public:
+  Session(topology::Network net, Scheme scheme, SessionOptions options = {});
+
+  const topology::Network& network() const { return net_; }
+  Scheme scheme() const { return scheme_; }
+
+  // Runs network planning; the plan is cached for later stages.
+  Expected<const planning::Plan*> plan();
+
+  // Plan metrics (requires a successful plan()).
+  Expected<planning::PlanMetrics> metrics() const;
+
+  // Materializes the device fleet and pushes configuration through the
+  // centralized controller, then audits.  Requires plan().
+  Expected<controller::AuditReport> deploy();
+
+  // Injects a fiber cut: terminal rx power collapses in the data stream and
+  // the detector raises the alarm, which is returned.  Requires deploy().
+  Expected<controller::FiberCutAlarm> simulate_fiber_cut(topology::FiberId f);
+
+  // Runs optical restoration for a (detected or given) cut.  Requires plan().
+  Expected<restoration::Outcome> restore(topology::FiberId f) const;
+
+  // Incrementally provisions extra capacity on one IP link without
+  // re-planning (planning runs infrequently, §4.4).  Invalidates any
+  // existing deployment — the new wavelengths still need configuration.
+  Expected<planning::ExtensionResult> extend(topology::LinkId link,
+                                             double extra_gbps);
+
+  // Compacts the plan's spectrum (hitless defragmentation); invalidates any
+  // existing deployment.
+  Expected<planning::DefragResult> defragment_spectrum();
+
+  // Live channel evolution (§9): re-tune deployed wavelength `index` to a
+  // wider/narrower mode through the controller.  Requires deploy().
+  Expected<controller::EvolutionResult> evolve_channel(
+      std::size_t index, const transponder::Mode& new_mode);
+
+  const planning::Plan* current_plan() const {
+    return plan_ ? &*plan_ : nullptr;
+  }
+  const controller::Fleet* fleet() const { return fleet_.get(); }
+  controller::DataStream& datastream() { return datastream_; }
+
+ private:
+  topology::Network net_;
+  Scheme scheme_;
+  SessionOptions options_;
+  planning::HeuristicPlanner planner_;
+  restoration::Restorer restorer_;
+  std::optional<planning::Plan> plan_;
+  std::unique_ptr<controller::Fleet> fleet_;
+  controller::DataStream datastream_;
+  long clock_s_ = 0;
+};
+
+}  // namespace flexwan::core

@@ -1,0 +1,121 @@
+#include "devmodel/config.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace flexwan::devmodel {
+
+std::string to_string(DeviceKind k) {
+  switch (k) {
+    case DeviceKind::kTransponder: return "transponder";
+    case DeviceKind::kWss: return "wss";
+  }
+  return "?";
+}
+
+ConfigDocument::ConfigDocument(std::string target_ip, DeviceKind kind)
+    : target_ip_(std::move(target_ip)), kind_(kind) {}
+
+void ConfigDocument::set(const std::string& path, std::string value) {
+  entries_[path] = std::move(value);
+}
+
+void ConfigDocument::set_number(const std::string& path, double value) {
+  std::ostringstream os;
+  os << value;
+  entries_[path] = os.str();
+}
+
+std::optional<std::string> ConfigDocument::get(const std::string& path) const {
+  const auto it = entries_.find(path);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+Expected<double> ConfigDocument::get_number(const std::string& path) const {
+  const auto v = get(path);
+  if (!v) return Error::make("missing_leaf", "no leaf at " + path);
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    return Error::make("bad_leaf", path + " is not numeric: " + *v);
+  }
+}
+
+std::string ConfigDocument::serialize() const {
+  std::ostringstream os;
+  os << "<config device=\"" << target_ip_ << "\" model=\""
+     << to_string(kind_) << "\">\n";
+  for (const auto& [path, value] : entries_) {
+    os << "  <leaf path=\"" << path << "\">" << value << "</leaf>\n";
+  }
+  os << "</config>\n";
+  return os.str();
+}
+
+ConfigDocument make_transponder_config(const std::string& ip,
+                                       const transponder::Mode& mode,
+                                       const spectrum::Range& range) {
+  ConfigDocument doc(ip, DeviceKind::kTransponder);
+  doc.set_number("data-rate-gbps", mode.data_rate_gbps);
+  doc.set_number("channel-spacing-ghz", mode.spacing_ghz);
+  doc.set_number("optical-reach-km", mode.reach_km);
+  doc.set("dsp/modulation", transponder::to_string(mode.modulation));
+  doc.set_number("fec/overhead", mode.fec_overhead);
+  doc.set_number("dsp/baud-gbd", mode.baud_gbd);
+  doc.set_number("spectrum/start-pixel", range.first);
+  doc.set_number("spectrum/pixel-count", range.count);
+  return doc;
+}
+
+ConfigDocument make_wss_config(const std::string& ip, int port,
+                               const spectrum::Range& range) {
+  ConfigDocument doc(ip, DeviceKind::kWss);
+  const std::string prefix = "filter-port/" + std::to_string(port) + "/";
+  doc.set_number("port", port);
+  doc.set_number(prefix + "start-pixel", range.first);
+  doc.set_number(prefix + "pixel-count", range.count);
+  return doc;
+}
+
+Expected<transponder::Mode> parse_transponder_mode(const ConfigDocument& doc) {
+  transponder::Mode mode;
+  auto rate = doc.get_number("data-rate-gbps");
+  if (!rate) return rate.error();
+  auto spacing = doc.get_number("channel-spacing-ghz");
+  if (!spacing) return spacing.error();
+  auto reach = doc.get_number("optical-reach-km");
+  if (!reach) return reach.error();
+  auto fec = doc.get_number("fec/overhead");
+  if (!fec) return fec.error();
+  auto baud = doc.get_number("dsp/baud-gbd");
+  if (!baud) return baud.error();
+  mode.data_rate_gbps = *rate;
+  mode.spacing_ghz = *spacing;
+  mode.reach_km = *reach;
+  mode.fec_overhead = *fec;
+  mode.baud_gbd = *baud;
+  const auto modulation = doc.get("dsp/modulation");
+  using transponder::Modulation;
+  if (modulation) {
+    if (*modulation == "BPSK") mode.modulation = Modulation::kBpsk;
+    else if (*modulation == "QPSK") mode.modulation = Modulation::kQpsk;
+    else if (*modulation == "8QAM") mode.modulation = Modulation::k8Qam;
+    else if (*modulation == "16QAM") mode.modulation = Modulation::k16Qam;
+    else if (*modulation == "PCS-16QAM") mode.modulation = Modulation::kPcs16Qam;
+    else if (*modulation == "PCS-64QAM") mode.modulation = Modulation::kPcs64Qam;
+    else return Error::make("bad_leaf", "unknown modulation " + *modulation);
+  }
+  return mode;
+}
+
+Expected<spectrum::Range> parse_spectrum_range(const ConfigDocument& doc,
+                                               const std::string& prefix) {
+  auto start = doc.get_number(prefix + "start-pixel");
+  if (!start) return start.error();
+  auto count = doc.get_number(prefix + "pixel-count");
+  if (!count) return count.error();
+  return spectrum::Range{static_cast<int>(*start), static_cast<int>(*count)};
+}
+
+}  // namespace flexwan::devmodel

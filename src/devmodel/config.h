@@ -1,0 +1,68 @@
+// Standard device model and configuration documents (paper §4.3, §4.4).
+//
+// FlexWAN abstracts heterogeneous multi-vendor devices behind one standard
+// device model: every transponder is a {fec, dsp, eom} component group,
+// every WSS a set of filter ports, regardless of vendor.  The centralized
+// controller emits *standard* configuration documents (the YANG file of the
+// DevMgr); per-vendor adapters (vendors.h) translate them to each vendor's
+// native parameters.  A document is a flat path -> value map, which is all
+// the fidelity the control semantics here need.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "spectrum/grid.h"
+#include "transponder/mode.h"
+#include "util/expected.h"
+
+namespace flexwan::devmodel {
+
+// Device classes of the standard model.
+enum class DeviceKind { kTransponder, kWss };
+
+std::string to_string(DeviceKind k);
+
+// A YANG-file stand-in: ordered path -> value pairs plus the target device.
+class ConfigDocument {
+ public:
+  ConfigDocument(std::string target_ip, DeviceKind kind);
+
+  const std::string& target_ip() const { return target_ip_; }
+  DeviceKind kind() const { return kind_; }
+
+  void set(const std::string& path, std::string value);
+  void set_number(const std::string& path, double value);
+  std::optional<std::string> get(const std::string& path) const;
+  Expected<double> get_number(const std::string& path) const;
+
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+  // Renders an XML-ish <config> body for logs / golden tests.
+  std::string serialize() const;
+
+ private:
+  std::string target_ip_;
+  DeviceKind kind_;
+  std::map<std::string, std::string> entries_;
+};
+
+// Builders for the two intents the controller issues (standard model paths).
+//
+// Transponder: data-rate-gbps, channel-spacing-ghz, modulation, fec-overhead,
+// baud-gbd, spectrum/start-pixel, spectrum/pixel-count.
+ConfigDocument make_transponder_config(const std::string& ip,
+                                       const transponder::Mode& mode,
+                                       const spectrum::Range& range);
+
+// WSS: filter-port/<n>/start-pixel, filter-port/<n>/pixel-count.
+ConfigDocument make_wss_config(const std::string& ip, int port,
+                               const spectrum::Range& range);
+
+// Parses the standard paths back out of a document (the adapter side).
+Expected<transponder::Mode> parse_transponder_mode(const ConfigDocument& doc);
+Expected<spectrum::Range> parse_spectrum_range(const ConfigDocument& doc,
+                                               const std::string& prefix);
+
+}  // namespace flexwan::devmodel

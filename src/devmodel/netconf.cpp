@@ -1,0 +1,68 @@
+#include "devmodel/netconf.h"
+
+namespace flexwan::devmodel {
+
+namespace {
+
+template <typename Device>
+Expected<bool> register_impl(std::map<std::string, DeviceRef>& devices,
+                             Device* device) {
+  const std::string& ip = device->info().ip;
+  if (devices.contains(ip)) {
+    return Error::make("duplicate_ip", ip + " already registered");
+  }
+  devices.emplace(ip, device);
+  return true;
+}
+
+}  // namespace
+
+Expected<bool> NetconfService::register_device(
+    hardware::TransponderDevice* device) {
+  return register_impl(devices_, device);
+}
+
+Expected<bool> NetconfService::register_device(hardware::WssDevice* device) {
+  return register_impl(devices_, device);
+}
+
+Expected<bool> NetconfService::edit_config(const ConfigDocument& doc) {
+  ++rpc_count_;
+  const auto it = devices_.find(doc.target_ip());
+  if (it == devices_.end()) {
+    return Error::make("unknown_device", doc.target_ip() + " not registered");
+  }
+  return std::visit(
+      [&](auto* device) -> Expected<bool> {
+        const VendorAdapter& adapter = adapter_for(device->info().vendor);
+        using D = std::remove_pointer_t<decltype(device)>;
+        if constexpr (std::is_same_v<D, hardware::TransponderDevice>) {
+          if (doc.kind() != DeviceKind::kTransponder) {
+            return Error::make("kind_mismatch",
+                               doc.target_ip() + " is a transponder");
+          }
+          return adapter.configure_transponder(*device, doc);
+        } else {
+          if (doc.kind() != DeviceKind::kWss) {
+            return Error::make("kind_mismatch", doc.target_ip() + " is a WSS");
+          }
+          return adapter.configure_wss(*device, doc);
+        }
+      },
+      it->second);
+}
+
+Expected<double> NetconfService::get_telemetry(const std::string& ip,
+                                               const std::string& leaf) const {
+  const auto it = devices_.find(ip);
+  if (it == devices_.end()) {
+    return Error::make("unknown_device", ip + " not registered");
+  }
+  if (const auto* const* txp =
+          std::get_if<hardware::TransponderDevice*>(&it->second)) {
+    if (leaf == "rx-ber") return (*txp)->rx_ber();
+  }
+  return Error::make("unknown_leaf", ip + " has no leaf " + leaf);
+}
+
+}  // namespace flexwan::devmodel

@@ -1,0 +1,48 @@
+// NETCONF-like configuration transport simulation (paper §4.4 DevMgr).
+//
+// The DevMgr locates every optical device by its management IP and pushes a
+// YANG configuration document over NETCONF.  Here the registry maps IPs to
+// simulated devices; edit_config() routes a standard document through the
+// owning vendor's adapter.  RPC accounting lets benches report controller
+// workload.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "devmodel/config.h"
+#include "devmodel/vendors.h"
+#include "hardware/devices.h"
+
+namespace flexwan::devmodel {
+
+// A registry entry: a non-owning pointer to one simulated device.
+using DeviceRef =
+    std::variant<hardware::TransponderDevice*, hardware::WssDevice*>;
+
+class NetconfService {
+ public:
+  // Registers a device under its management IP.  The device must outlive
+  // the service.
+  Expected<bool> register_device(hardware::TransponderDevice* device);
+  Expected<bool> register_device(hardware::WssDevice* device);
+
+  // <edit-config>: routes the document to the target device through its
+  // vendor adapter.  Fails with "unknown_device" for unregistered IPs and
+  // propagates adapter / device errors.
+  Expected<bool> edit_config(const ConfigDocument& doc);
+
+  // <get>: reads one telemetry leaf ("rx-ber" for transponders).
+  Expected<double> get_telemetry(const std::string& ip,
+                                 const std::string& leaf) const;
+
+  int rpc_count() const { return rpc_count_; }
+  int device_count() const { return static_cast<int>(devices_.size()); }
+
+ private:
+  std::map<std::string, DeviceRef> devices_;
+  int rpc_count_ = 0;
+};
+
+}  // namespace flexwan::devmodel

@@ -1,0 +1,125 @@
+#include "devmodel/vendors.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace flexwan::devmodel {
+
+Expected<bool> VendorAdapter::configure_transponder(
+    hardware::TransponderDevice& device, const ConfigDocument& doc) const {
+  auto mode = parse_transponder_mode(doc);
+  if (!mode) return mode.error();
+  auto range = parse_spectrum_range(doc, "spectrum/");
+  if (!range) return range.error();
+  return device.configure(*mode, *range);
+}
+
+Expected<bool> VendorAdapter::configure_wss(hardware::WssDevice& device,
+                                            const ConfigDocument& doc) const {
+  auto port = doc.get_number("port");
+  if (!port) return port.error();
+  const std::string prefix =
+      "filter-port/" + std::to_string(static_cast<int>(*port)) + "/";
+  auto range = parse_spectrum_range(doc, prefix);
+  if (!range) return range.error();
+  return device.set_passband(static_cast<int>(*port), *range);
+}
+
+namespace {
+
+class VendorA final : public VendorAdapter {
+ public:
+  std::string vendor() const override { return "vendorA"; }
+
+  std::string native_syntax(const ConfigDocument& doc) const override {
+    std::ostringstream os;
+    if (doc.kind() == DeviceKind::kTransponder) {
+      os << "set och rate=" << *doc.get("data-rate-gbps") << "g"
+         << " spacing=" << *doc.get("channel-spacing-ghz") << "ghz"
+         << " mod=" << doc.get("dsp/modulation").value_or("?")
+         << " pixels=" << *doc.get("spectrum/start-pixel") << "+"
+         << *doc.get("spectrum/pixel-count");
+    } else {
+      const std::string port = doc.get("port").value_or("0");
+      os << "set wss port " << port << " passband pixels="
+         << *doc.get("filter-port/" + port + "/start-pixel") << "+"
+         << *doc.get("filter-port/" + port + "/pixel-count");
+    }
+    return os.str();
+  }
+};
+
+class VendorB final : public VendorAdapter {
+ public:
+  std::string vendor() const override { return "vendorB"; }
+
+  std::string native_syntax(const ConfigDocument& doc) const override {
+    std::ostringstream os;
+    if (doc.kind() == DeviceKind::kTransponder) {
+      const double rate = std::stod(*doc.get("data-rate-gbps"));
+      const double spacing = std::stod(*doc.get("channel-spacing-ghz"));
+      os << "och-config rate-mbps " << static_cast<long>(rate * 1000.0)
+         << " spacing-mhz " << static_cast<long>(spacing * 1000.0)
+         << " fec-percent "
+         << static_cast<int>(std::stod(*doc.get("fec/overhead")) * 100.0);
+    } else {
+      const std::string port = doc.get("port").value_or("0");
+      const double start =
+          std::stod(*doc.get("filter-port/" + port + "/start-pixel"));
+      const double count =
+          std::stod(*doc.get("filter-port/" + port + "/pixel-count"));
+      os << "wss-port " << port << " passband-mhz "
+         << static_cast<long>(start * 12500.0) << " width-mhz "
+         << static_cast<long>(count * 12500.0);
+    }
+    return os.str();
+  }
+};
+
+class VendorC final : public VendorAdapter {
+ public:
+  std::string vendor() const override { return "vendorC"; }
+
+  std::string native_syntax(const ConfigDocument& doc) const override {
+    std::ostringstream os;
+    if (doc.kind() == DeviceKind::kTransponder) {
+      const int start = static_cast<int>(
+          std::stod(*doc.get("spectrum/start-pixel")));
+      const int count = static_cast<int>(
+          std::stod(*doc.get("spectrum/pixel-count")));
+      // Inclusive-end slice convention: "slice a:b" covers pixels a..b.
+      os << "txp mode " << doc.get("dsp/modulation").value_or("?") << "/"
+         << *doc.get("dsp/baud-gbd") << "gbd slice " << start << ":"
+         << start + count - 1;
+    } else {
+      const std::string port = doc.get("port").value_or("0");
+      const int start = static_cast<int>(
+          std::stod(*doc.get("filter-port/" + port + "/start-pixel")));
+      const int count = static_cast<int>(
+          std::stod(*doc.get("filter-port/" + port + "/pixel-count")));
+      os << "filter " << port << " slice " << start << ":"
+         << start + count - 1;
+    }
+    return os.str();
+  }
+};
+
+}  // namespace
+
+const VendorAdapter& adapter_for(const std::string& vendor) {
+  static const VendorA a;
+  static const VendorB b;
+  static const VendorC c;
+  if (vendor == "vendorA") return a;
+  if (vendor == "vendorB") return b;
+  if (vendor == "vendorC") return c;
+  throw std::invalid_argument("unknown vendor: " + vendor);
+}
+
+const std::vector<std::string>& known_vendors() {
+  static const std::vector<std::string> vendors = {"vendorA", "vendorB",
+                                                   "vendorC"};
+  return vendors;
+}
+
+}  // namespace flexwan::devmodel

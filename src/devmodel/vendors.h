@@ -1,0 +1,48 @@
+// Vendor adapters (paper §4.3, §9 "vendor-agnostic optical backbone").
+//
+// Every vendor exposes different native parameters: one speaks GHz floats,
+// another MHz integers, a third raw pixel indices with an inclusive-end
+// convention.  FlexWAN's controller never sees any of that — it emits
+// standard-model documents, and the per-vendor adapter translates.  Adding a
+// vendor adds one adapter; controller complexity stays constant (§9).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "devmodel/config.h"
+#include "hardware/devices.h"
+
+namespace flexwan::devmodel {
+
+// Translates standard-model documents into native device configuration.
+class VendorAdapter {
+ public:
+  virtual ~VendorAdapter() = default;
+
+  virtual std::string vendor() const = 0;
+
+  // Applies a standard transponder document to the device.
+  virtual Expected<bool> configure_transponder(
+      hardware::TransponderDevice& device, const ConfigDocument& doc) const;
+
+  // Applies a standard WSS document to the device.
+  virtual Expected<bool> configure_wss(hardware::WssDevice& device,
+                                       const ConfigDocument& doc) const;
+
+  // Renders the vendor's native CLI/API representation of the document —
+  // exercised by tests to show the dialects really differ while the device
+  // outcome stays identical.
+  virtual std::string native_syntax(const ConfigDocument& doc) const = 0;
+};
+
+// vendorA: GHz floats, zero-based pixels ("set och rate=400g spacing=112.5ghz").
+// vendorB: MHz integers ("och-config rate-mbps 400000 spacing-mhz 112500").
+// vendorC: pixel slices with inclusive end ("slice 8:16" for pixels 8..16).
+const VendorAdapter& adapter_for(const std::string& vendor);
+
+// All known vendor names, for device assignment in simulations.
+const std::vector<std::string>& known_vendors();
+
+}  // namespace flexwan::devmodel

@@ -1,0 +1,99 @@
+#include "hardware/devices.h"
+
+#include <cmath>
+
+namespace flexwan::hardware {
+
+TransponderDevice::TransponderDevice(DeviceInfo info, Capabilities caps)
+    : info_(std::move(info)), caps_(caps) {}
+
+Expected<bool> TransponderDevice::configure(const transponder::Mode& mode,
+                                            const spectrum::Range& range) {
+  if (caps_.catalog != nullptr) {
+    // The FEC module / DSP must offer the requested combination.
+    bool supported = false;
+    for (const auto& m : caps_.catalog->modes()) {
+      if (m.data_rate_gbps == mode.data_rate_gbps &&
+          m.spacing_ghz == mode.spacing_ghz) {
+        supported = true;
+        break;
+      }
+    }
+    if (!supported) {
+      return Error::make("unsupported_mode",
+                         info_.ip + ": DSP/FEC cannot realise " +
+                             mode.describe());
+    }
+  }
+  if (!caps_.spacing_variable &&
+      std::abs(mode.spacing_ghz - caps_.fixed_spacing_ghz) > 1e-9) {
+    return Error::make("fixed_spacing",
+                       info_.ip + ": EOM is fixed at " +
+                           std::to_string(caps_.fixed_spacing_ghz) + " GHz");
+  }
+  if (!range.valid() || range.count != mode.pixels()) {
+    return Error::make("bad_range",
+                       info_.ip + ": range does not match channel spacing");
+  }
+  mode_ = mode;
+  range_ = range;
+  configured_ = true;
+  return true;
+}
+
+Expected<OpticalSignal> TransponderDevice::transmit() const {
+  if (!configured_) {
+    return Error::make("not_configured", info_.ip + ": transponder idle");
+  }
+  OpticalSignal s;
+  s.range = range_;
+  s.mode = mode_;
+  s.source_ip = info_.ip;
+  return s;
+}
+
+WssDevice::WssDevice(DeviceInfo info, int port_count, int grid_quantum_pixels)
+    : info_(std::move(info)),
+      ports_(static_cast<std::size_t>(port_count)),
+      grid_quantum_(grid_quantum_pixels) {}
+
+Expected<bool> WssDevice::set_passband(int port, const spectrum::Range& range) {
+  if (port < 0 || port >= port_count()) {
+    return Error::make("bad_port", info_.ip + ": no filter port " +
+                                       std::to_string(port));
+  }
+  if (!range.valid()) {
+    return Error::make("bad_range", info_.ip + ": invalid passband");
+  }
+  if (grid_quantum_ > 1 &&
+      (range.first % grid_quantum_ != 0 || range.count % grid_quantum_ != 0)) {
+    return Error::make("grid_misaligned",
+                       info_.ip + ": fixed-grid WSS cannot place " +
+                           spectrum::to_string(range));
+  }
+  ports_[static_cast<std::size_t>(port)] = range;
+  return true;
+}
+
+Expected<bool> WssDevice::clear_passband(int port) {
+  if (port < 0 || port >= port_count()) {
+    return Error::make("bad_port", info_.ip + ": no filter port " +
+                                       std::to_string(port));
+  }
+  ports_[static_cast<std::size_t>(port)].reset();
+  return true;
+}
+
+std::optional<spectrum::Range> WssDevice::passband(int port) const {
+  if (port < 0 || port >= port_count()) return std::nullopt;
+  return ports_[static_cast<std::size_t>(port)];
+}
+
+bool WssDevice::passes(const spectrum::Range& signal) const {
+  for (const auto& pb : ports_) {
+    if (pb && pb->covers(signal)) return true;
+  }
+  return false;
+}
+
+}  // namespace flexwan::hardware

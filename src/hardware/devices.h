@@ -1,0 +1,129 @@
+// Simulated optical hardware devices.
+//
+// These classes mirror the paper's device anatomy (Figs. 1, 7, 8):
+//  * TransponderDevice — control unit + FEC module + DSP + EOM.  A BVT's
+//    components are rigid (fixed FEC, fixed channel spacing in the EOM); an
+//    SVT's are adjustable.  The control unit only accepts configuration
+//    parameters the installed components support, which is exactly how the
+//    hardware distinction manifests to the controller.
+//  * WssDevice — an LCoS pixel-wise wavelength-selective switch: per filter
+//    port, a passband made of continuous pixels (§4.2).  Fixed-grid devices
+//    are modelled by a grid quantum the passband must align to.
+//  * AmplifierDevice / FiberSegment — the line plant between sites.
+// Every device carries a management IP and a vendor tag; the controller
+// addresses devices by IP (§4.4 DevMgr).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spectrum/grid.h"
+#include "transponder/catalog.h"
+#include "util/expected.h"
+
+namespace flexwan::hardware {
+
+// Management identity shared by every device.
+struct DeviceInfo {
+  std::string ip;      // management address the controller dials
+  std::string vendor;  // e.g. "vendorA"
+  std::string model;
+};
+
+// What travels in the fiber: a wavelength with its spectrum and format.
+struct OpticalSignal {
+  spectrum::Range range;        // occupied pixels
+  transponder::Mode mode;       // modulation / FEC / baud configuration
+  std::string source_ip;        // transmitting transponder
+  double distance_km = 0.0;     // accumulated fiber distance
+  bool dropped = false;         // lost at a filter (channel inconsistency)
+  std::string drop_reason;
+};
+
+// A transponder (Fig. 7): hardware capabilities constrain configuration.
+class TransponderDevice {
+ public:
+  // Capabilities of the installed components.  An SVT supports every
+  // catalog spacing; a BVT's EOM accepts exactly one channel spacing.
+  struct Capabilities {
+    const transponder::Catalog* catalog = nullptr;  // supported modes
+    bool spacing_variable = false;                  // EOM adjustable?
+    double fixed_spacing_ghz = 75.0;                // when not adjustable
+  };
+
+  TransponderDevice(DeviceInfo info, Capabilities caps);
+
+  const DeviceInfo& info() const { return info_; }
+  const Capabilities& capabilities() const { return caps_; }
+
+  // Control-unit entry point (§4.2): accepts (mode, spectrum) if the FEC
+  // module / DSP / EOM can realise them.  Fails with "unsupported_mode" or
+  // "fixed_spacing" otherwise.
+  Expected<bool> configure(const transponder::Mode& mode,
+                           const spectrum::Range& range);
+
+  bool configured() const { return configured_; }
+  const transponder::Mode& mode() const { return mode_; }
+  const spectrum::Range& range() const { return range_; }
+
+  // Generates the wavelength this transponder is configured for.
+  Expected<OpticalSignal> transmit() const;
+
+  // Received-signal state, set by link simulation; exposed as telemetry.
+  void set_rx_ber(double ber) { rx_ber_ = ber; }
+  double rx_ber() const { return rx_ber_; }
+
+ private:
+  DeviceInfo info_;
+  Capabilities caps_;
+  bool configured_ = false;
+  transponder::Mode mode_;
+  spectrum::Range range_;
+  double rx_ber_ = 0.0;
+};
+
+// A pixel-wise (or fixed-grid) WSS inside a MUX / ROADM (Fig. 8).
+class WssDevice {
+ public:
+  // grid_quantum_pixels = 1 → pixel-wise (spectrum-sliced OLS);
+  // e.g. 6 → rigid 75 GHz grid equipment that can only place passbands on
+  // 75 GHz boundaries with 75 GHz width multiples.
+  WssDevice(DeviceInfo info, int port_count, int grid_quantum_pixels = 1);
+
+  const DeviceInfo& info() const { return info_; }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+  int grid_quantum_pixels() const { return grid_quantum_; }
+
+  // Configures the passband of a filter port.  Pixel-wise devices accept
+  // any continuous range; fixed-grid devices reject unaligned ranges with
+  // "grid_misaligned".
+  Expected<bool> set_passband(int port, const spectrum::Range& range);
+  Expected<bool> clear_passband(int port);
+  std::optional<spectrum::Range> passband(int port) const;
+
+  // True if some port's passband fully covers the signal's range — i.e. the
+  // signal passes this optical site without clipping.
+  bool passes(const spectrum::Range& signal) const;
+
+ private:
+  DeviceInfo info_;
+  std::vector<std::optional<spectrum::Range>> ports_;
+  int grid_quantum_ = 1;
+};
+
+// An EDFA line amplifier: one per span; counted by the link simulation to
+// accumulate ASE noise.
+struct AmplifierDevice {
+  DeviceInfo info;
+  double gain_db = 16.0;
+  double noise_figure_db = 5.0;
+};
+
+// A span of fiber between amplifiers, carrying co-propagating signals.
+struct FiberSegment {
+  double length_km = 0.0;
+  bool cut = false;  // set by failure injection; detected via power loss
+};
+
+}  // namespace flexwan::hardware

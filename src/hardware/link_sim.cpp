@@ -1,0 +1,136 @@
+#include "hardware/link_sim.h"
+
+#include <map>
+
+#include "phy/ber.h"
+
+namespace flexwan::hardware {
+
+LinkSim::LinkSim(const phy::CalibratedModel& model) : model_(&model) {}
+
+int LinkSim::add_fiber(double length_km) {
+  fibers_.push_back(FiberSegment{length_km, false});
+  const int index = static_cast<int>(fibers_.size() - 1);
+  // One EDFA per plant span, addressed like production line amplifiers.
+  const int spans = phy::span_count(length_km, model_->plant());
+  std::vector<AmplifierDevice> amps;
+  amps.reserve(static_cast<std::size_t>(spans));
+  const double span_loss_db = model_->plant().span_km *
+                              model_->plant().attenuation_db_per_km;
+  for (int s = 0; s < spans; ++s) {
+    amps.push_back(AmplifierDevice{
+        DeviceInfo{"10.4." + std::to_string(index) + "." + std::to_string(s),
+                   "vendorA", "EDFA"},
+        span_loss_db, model_->plant().amp_noise_figure_db});
+  }
+  amps_.push_back(std::move(amps));
+  return index;
+}
+
+std::span<const AmplifierDevice> LinkSim::amplifiers(int fiber_index) const {
+  return amps_[static_cast<std::size_t>(fiber_index)];
+}
+
+void LinkSim::cut_fiber(int index) {
+  fibers_[static_cast<std::size_t>(index)].cut = true;
+}
+
+bool LinkSim::fiber_cut(int index) const {
+  return fibers_[static_cast<std::size_t>(index)].cut;
+}
+
+std::vector<TransmissionResult> LinkSim::propagate(
+    const std::vector<LightPath>& paths) const {
+  std::vector<TransmissionResult> results(paths.size());
+
+  // Pass 1: collect per-fiber occupancy to detect conflicts (two signals
+  // overlapping in the same fiber corrupt each other, Fig. 5b).
+  std::map<int, std::vector<std::pair<std::size_t, spectrum::Range>>>
+      fiber_signals;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto signal = paths[i].tx->transmit();
+    if (!signal) {
+      results[i].failure = signal.error().code + "@" + paths[i].tx->info().ip;
+      continue;
+    }
+    for (const auto& hop : paths[i].hops) {
+      fiber_signals[hop.fiber_index].emplace_back(i, signal->range);
+    }
+  }
+  std::vector<bool> conflicted(paths.size(), false);
+  std::vector<std::string> conflict_at(paths.size());
+  for (const auto& [fiber, sigs] : fiber_signals) {
+    for (std::size_t a = 0; a < sigs.size(); ++a) {
+      for (std::size_t b = a + 1; b < sigs.size(); ++b) {
+        if (sigs[a].first != sigs[b].first &&
+            sigs[a].second.overlaps(sigs[b].second)) {
+          conflicted[sigs[a].first] = true;
+          conflicted[sigs[b].first] = true;
+          const std::string where = "conflict@fiber" + std::to_string(fiber);
+          conflict_at[sigs[a].first] = where;
+          conflict_at[sigs[b].first] = where;
+        }
+      }
+    }
+  }
+
+  // Pass 2: walk each path hop by hop.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto& result = results[i];
+    if (!result.failure.empty()) continue;  // tx was idle
+    const auto signal_or = paths[i].tx->transmit();
+    OpticalSignal signal = signal_or.value();
+
+    if (conflicted[i]) {
+      result.failure = conflict_at[i];
+      result.post_fec_ber = 0.5;  // overlapping carriers cannot be decoded
+      if (paths[i].rx != nullptr) paths[i].rx->set_rx_ber(0.5);
+      continue;
+    }
+    bool lost = false;
+    for (const auto& hop : paths[i].hops) {
+      // Channel inconsistency (Fig. 5a): the site must provide a passband
+      // covering the signal's spectrum — on the specific patched port when
+      // one is given — otherwise the signal is clipped.
+      if (hop.site != nullptr) {
+        bool passes;
+        if (hop.port >= 0) {
+          const auto pb = hop.site->passband(hop.port);
+          passes = pb.has_value() && pb->covers(signal.range);
+        } else {
+          passes = hop.site->passes(signal.range);
+        }
+        if (!passes) {
+          result.failure = "inconsistency@" + hop.site->info().ip;
+          lost = true;
+          break;
+        }
+      }
+      if (fibers_[static_cast<std::size_t>(hop.fiber_index)].cut) {
+        result.failure = "cut@fiber" + std::to_string(hop.fiber_index);
+        lost = true;
+        break;
+      }
+      signal.distance_km += hop.fiber_km;
+      if (hop.fiber_km > 0.0) {
+        result.amplifiers_traversed += static_cast<int>(
+            amps_[static_cast<std::size_t>(hop.fiber_index)].size());
+      }
+    }
+    if (lost) {
+      result.post_fec_ber = 0.5;
+      if (paths[i].rx != nullptr) paths[i].rx->set_rx_ber(0.5);
+      continue;
+    }
+    result.distance_km = signal.distance_km;
+    result.post_fec_ber = model_->post_fec_ber(signal.mode, signal.distance_km);
+    result.delivered = result.post_fec_ber == 0.0;
+    if (!result.delivered && result.failure.empty()) {
+      result.failure = "snr_too_low";
+    }
+    if (paths[i].rx != nullptr) paths[i].rx->set_rx_ber(result.post_fec_ber);
+  }
+  return results;
+}
+
+}  // namespace flexwan::hardware

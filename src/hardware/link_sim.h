@@ -1,0 +1,74 @@
+// End-to-end optical link simulation.
+//
+// Propagates wavelengths from transmit transponders through the MUX and
+// every ROADM site's WSS to the receiver, checking the two failure classes
+// of Fig. 5 — channel inconsistency (a site's passband does not cover the
+// signal: clipped, dropped) and channel conflict (two signals overlap in the
+// same fiber: neither decodes) — and finally computing the post-FEC BER from
+// the accumulated distance through the calibrated phy model.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hardware/devices.h"
+#include "phy/calibration.h"
+
+namespace flexwan::hardware {
+
+// One hop of a light path: the WSS at an optical site followed by the fiber
+// segment toward the next site.
+struct LinkHop {
+  const WssDevice* site = nullptr;  // MUX or ROADM at the head of the hop
+  int fiber_index = -1;             // index into LinkSim's shared fiber table
+  double fiber_km = 0.0;
+  // Filter port the signal is patched into; -1 means "any port of the
+  // device may pass it" (broadcast-and-select without explicit patching).
+  int port = -1;
+};
+
+// A light path under simulation: transmitter, hops, receiver.
+struct LightPath {
+  const TransponderDevice* tx = nullptr;
+  TransponderDevice* rx = nullptr;  // rx_ber is written back here
+  std::vector<LinkHop> hops;
+};
+
+// Result of propagating one light path.
+struct TransmissionResult {
+  bool delivered = false;
+  double post_fec_ber = 0.5;
+  double distance_km = 0.0;
+  int amplifiers_traversed = 0;  // EDFAs the signal passed (ASE sources)
+  std::string failure;  // "inconsistency@<ip>", "conflict@fiber<i>", ""
+};
+
+// Simulates a set of light paths sharing fibers.
+class LinkSim {
+ public:
+  explicit LinkSim(const phy::CalibratedModel& model);
+
+  // Registers a shared fiber; returns its index for LinkHop::fiber_index.
+  // One EDFA (AmplifierDevice) is installed per plant span of the fiber —
+  // the §6 testbed's "amplifier for each 50~100 km".
+  int add_fiber(double length_km);
+  void cut_fiber(int index);
+  bool fiber_cut(int index) const;
+
+  // The line amplifiers installed on one fiber.
+  std::span<const AmplifierDevice> amplifiers(int fiber_index) const;
+
+  // Propagates every light path, checking passbands per site, conflicts per
+  // fiber, cuts, and finally the receiver BER.  Results are parallel to the
+  // input order; rx transponders get their rx_ber set.
+  std::vector<TransmissionResult> propagate(
+      const std::vector<LightPath>& paths) const;
+
+ private:
+  const phy::CalibratedModel* model_;
+  std::vector<FiberSegment> fibers_;
+  std::vector<std::vector<AmplifierDevice>> amps_;  // parallel to fibers_
+};
+
+}  // namespace flexwan::hardware

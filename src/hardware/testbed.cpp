@@ -1,0 +1,66 @@
+#include "hardware/testbed.h"
+
+#include "transponder/catalog.h"
+
+namespace flexwan::hardware {
+
+Testbed::Testbed(const phy::CalibratedModel& model, double bundle_km,
+                 double max_km)
+    : model_(&model), bundle_km_(bundle_km), max_km_(max_km) {}
+
+TestbedMeasurement Testbed::measure(const transponder::Mode& mode) const {
+  TestbedMeasurement m;
+  m.mode = mode;
+  m.table_reach_km = mode.reach_km;
+
+  // Build the testbed rig: a pair of SVTs and two MUX WSS sites.
+  const auto& catalog = transponder::svt_flexwan();
+  TransponderDevice tx({"10.0.0.1", "vendorA", "SVT-800"},
+                       {&catalog, /*spacing_variable=*/true, 0.0});
+  TransponderDevice rx({"10.0.0.2", "vendorA", "SVT-800"},
+                       {&catalog, /*spacing_variable=*/true, 0.0});
+  WssDevice mux_a({"10.0.1.1", "vendorA", "MUX-LCoS"}, 4);
+  WssDevice mux_b({"10.0.1.2", "vendorA", "MUX-LCoS"}, 4);
+
+  // The controller configures the format and the matching passbands.
+  const spectrum::Range range{0, mode.pixels()};
+  if (!tx.configure(mode, range) || !rx.configure(mode, range) ||
+      !mux_a.set_passband(0, range) || !mux_b.set_passband(0, range)) {
+    return m;  // unconfigurable format: reach stays 0
+  }
+
+  // Sweep: add fiber bundles until the post-FEC BER turns positive (§6).
+  for (double length = bundle_km_; length <= max_km_; length += bundle_km_) {
+    LinkSim sim(*model_);
+    const int fiber = sim.add_fiber(length);
+    LightPath path;
+    path.tx = &tx;
+    path.rx = &rx;
+    path.hops.push_back(LinkHop{&mux_a, fiber, length});
+    // The far-end MUX filters the signal again before the receiver; model
+    // it as a zero-length hop through the same fiber index (already free).
+    const int tail = sim.add_fiber(1e-6);
+    path.hops.push_back(LinkHop{&mux_b, tail, 0.0});
+
+    const auto results = sim.propagate({path});
+    ++m.sweep_steps;
+    if (results.front().delivered) {
+      m.measured_reach_km = length;
+    } else {
+      break;
+    }
+  }
+  return m;
+}
+
+std::vector<TestbedMeasurement> Testbed::measure_catalog(
+    const transponder::Catalog& catalog) const {
+  std::vector<TestbedMeasurement> out;
+  out.reserve(catalog.size());
+  for (const auto& mode : catalog.modes()) {
+    out.push_back(measure(mode));
+  }
+  return out;
+}
+
+}  // namespace flexwan::hardware

@@ -1,0 +1,47 @@
+// Production-level testbed simulation (paper §6, Fig. 10).
+//
+// The paper measures SVT specifications on a vendor testbed: a pair of SVTs,
+// MUXs, bundles of fiber with an amplifier every 50-100 km, and a controller
+// that sets the modulation format and grows the fiber length until the
+// post-FEC BER turns positive — the last error-free length is the measured
+// optical reach of that format.  This class reproduces that experiment over
+// the simulated devices and the calibrated phy model, regenerating Table 2.
+#pragma once
+
+#include <vector>
+
+#include "hardware/link_sim.h"
+#include "phy/calibration.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::hardware {
+
+// One measured row: format under test and the reach the sweep found.
+struct TestbedMeasurement {
+  transponder::Mode mode;          // format configured by the controller
+  double measured_reach_km = 0.0;  // last fiber length with post-FEC BER 0
+  double table_reach_km = 0.0;     // the catalog (Table 2) value
+  int sweep_steps = 0;             // fiber bundles added during the sweep
+};
+
+class Testbed {
+ public:
+  // `bundle_km` is the length of one fiber bundle added per sweep step.
+  Testbed(const phy::CalibratedModel& model, double bundle_km = 50.0,
+          double max_km = 8000.0);
+
+  // Runs the §6 experiment for one format: a pair of SVTs through MUX WSSs
+  // and a growing chain of amplified fiber bundles.
+  TestbedMeasurement measure(const transponder::Mode& mode) const;
+
+  // Sweeps every mode of a catalog (regenerates Table 2).
+  std::vector<TestbedMeasurement> measure_catalog(
+      const transponder::Catalog& catalog) const;
+
+ private:
+  const phy::CalibratedModel* model_;
+  double bundle_km_;
+  double max_km_;
+};
+
+}  // namespace flexwan::hardware

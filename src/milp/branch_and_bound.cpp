@@ -1,0 +1,142 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace flexwan::milp {
+
+namespace {
+
+// A search node: the bound-change constraints accumulated on the path from
+// the root, plus the parent relaxation bound used for best-first ordering.
+struct Node {
+  std::vector<Constraint> bounds;
+  double bound = 0.0;  // parent's relaxation objective (original direction)
+};
+
+// Most fractional integer-typed variable, or -1 if the point is integral.
+int pick_branch_var(const Model& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_score = tol;
+  for (int i = 0; i < model.var_count(); ++i) {
+    if (model.var(i).type == VarType::kContinuous) continue;
+    const double v = x[static_cast<std::size_t>(i)];
+    // Distance to the nearest integer: 0.5 is "most fractional".
+    const double score = std::min(v - std::floor(v), std::ceil(v) - v);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double MipSolution::gap() const {
+  if (status == MipStatus::kOptimal) return 0.0;
+  return std::abs(objective - best_bound) /
+         std::max(1.0, std::abs(objective));
+}
+
+MipSolution solve_mip(const Model& model, const MipOptions& options) {
+  MipSolution out;
+  const bool maximize = model.direction() == Direction::kMaximize;
+  // Normalize to minimization internally for bound comparisons.
+  auto better = [&](double a, double b) { return maximize ? a > b : a < b; };
+
+  double incumbent_obj =
+      maximize ? -std::numeric_limits<double>::infinity()
+               : std::numeric_limits<double>::infinity();
+  std::vector<double> incumbent;
+
+  auto node_cmp = [&](const Node& a, const Node& b) {
+    // Best-first: explore the node with the most promising parent bound.
+    return maximize ? a.bound < b.bound : a.bound > b.bound;
+  };
+  std::priority_queue<Node, std::vector<Node>, decltype(node_cmp)> open(
+      node_cmp);
+  open.push(Node{{}, maximize ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity()});
+
+  bool any_lp_solved = false;
+  double best_open_bound = 0.0;
+  while (!open.empty()) {
+    if (out.nodes_explored >= options.max_nodes) break;
+    Node node = open.top();
+    open.pop();
+    best_open_bound = node.bound;
+
+    // Prune by bound (parent relaxation already worse than incumbent).
+    if (!incumbent.empty() && !better(node.bound, incumbent_obj) &&
+        node.bound != incumbent_obj) {
+      continue;
+    }
+
+    const LpSolution relax =
+        solve_lp_relaxation(model, node.bounds, options.lp);
+    ++out.nodes_explored;
+    if (relax.status == LpStatus::kUnbounded && node.bounds.empty()) {
+      out.status = MipStatus::kUnbounded;
+      return out;
+    }
+    if (relax.status != LpStatus::kOptimal) continue;
+    any_lp_solved = true;
+
+    // Prune: relaxation no better than incumbent.
+    if (!incumbent.empty() && !better(relax.objective, incumbent_obj)) {
+      continue;
+    }
+
+    const int branch =
+        pick_branch_var(model, relax.x, options.integrality_tolerance);
+    if (branch < 0) {
+      // Integral: new incumbent.
+      if (incumbent.empty() || better(relax.objective, incumbent_obj)) {
+        incumbent_obj = relax.objective;
+        incumbent = relax.x;
+        // Round integer variables exactly.
+        for (int i = 0; i < model.var_count(); ++i) {
+          if (model.var(i).type != VarType::kContinuous) {
+            incumbent[static_cast<std::size_t>(i)] =
+                std::round(incumbent[static_cast<std::size_t>(i)]);
+          }
+        }
+      }
+      continue;
+    }
+
+    const double v = relax.x[static_cast<std::size_t>(branch)];
+    Node down = node;
+    down.bound = relax.objective;
+    down.bounds.push_back(
+        Constraint{{Term{branch, 1.0}}, Sense::kLe, std::floor(v), "bb_dn"});
+    Node up = node;
+    up.bound = relax.objective;
+    up.bounds.push_back(
+        Constraint{{Term{branch, 1.0}}, Sense::kGe, std::ceil(v), "bb_up"});
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent.empty()) {
+    out.status = any_lp_solved && out.nodes_explored >= options.max_nodes
+                     ? MipStatus::kNodeLimit
+                     : MipStatus::kInfeasible;
+    return out;
+  }
+  out.x = std::move(incumbent);
+  out.objective = incumbent_obj;
+  out.best_bound = open.empty() ? incumbent_obj : best_open_bound;
+  out.status = open.empty() || out.nodes_explored < options.max_nodes
+                   ? MipStatus::kOptimal
+                   : MipStatus::kNodeLimit;
+  // When we drained the queue, the bound equals the incumbent.
+  if (out.status == MipStatus::kOptimal) out.best_bound = incumbent_obj;
+  return out;
+}
+
+}  // namespace flexwan::milp

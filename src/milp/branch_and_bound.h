@@ -1,0 +1,44 @@
+// Branch-and-bound MILP solver over the simplex LP relaxation.
+//
+// Best-first search: nodes are ordered by their relaxation bound, branching
+// on the most-fractional integer variable.  Bound changes are expressed as
+// extra constraints so the base model is never copied.  Sufficient for the
+// validation-sized exact formulations of Algorithm 1 and the restoration
+// program (the production-scale paths go through planning/heuristic.h).
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace flexwan::milp {
+
+enum class MipStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kNodeLimit,   // best incumbent returned, optimality not proven
+};
+
+struct MipSolution {
+  MipStatus status = MipStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+  double best_bound = 0.0;  // proven bound on the optimum
+  // Relative gap between incumbent and bound (0 when proven optimal).
+  double gap() const;
+};
+
+struct MipOptions {
+  int max_nodes = 200000;
+  double integrality_tolerance = 1e-6;
+  // Stop when |incumbent - bound| / max(1,|incumbent|) falls below this.
+  double relative_gap = 1e-9;
+  LpOptions lp;
+};
+
+MipSolution solve_mip(const Model& model, const MipOptions& options = {});
+
+}  // namespace flexwan::milp

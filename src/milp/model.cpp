@@ -1,0 +1,67 @@
+#include "milp/model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flexwan::milp {
+
+VarId Model::add_var(std::string name, VarType type, double lower,
+                     double upper, double objective) {
+  if (lower > upper) {
+    throw std::invalid_argument("add_var: lower > upper for " + name);
+  }
+  vars_.push_back(Variable{std::move(name), type, lower, upper, objective});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void Model::add_constraint(Constraint c) {
+  for (const Term& t : c.terms) {
+    if (t.var < 0 || t.var >= var_count()) {
+      throw std::invalid_argument("add_constraint: unknown variable id");
+    }
+  }
+  constraints_.push_back(std::move(c));
+}
+
+void Model::add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                           std::string name) {
+  add_constraint(Constraint{std::move(terms), sense, rhs, std::move(name)});
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (std::size_t i = 0; i < vars_.size() && i < x.size(); ++i) {
+    v += vars_[i].objective * x[i];
+  }
+  return v;
+}
+
+bool Model::feasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const auto& v = vars_[i];
+    if (x[i] < v.lower - tol || x[i] > v.upper + tol) return false;
+    if (v.type != VarType::kContinuous &&
+        std::abs(x[i] - std::round(x[i])) > tol) {
+      return false;
+    }
+  }
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * x[static_cast<std::size_t>(t.var)];
+    switch (c.sense) {
+      case Sense::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Sense::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace flexwan::milp

@@ -1,0 +1,89 @@
+// Mixed-integer linear programming modeling layer.
+//
+// The paper solves Algorithm 1 (planning) and the §8 restoration program
+// with Gurobi; we have no solver bindings, so this module provides our own:
+// a declarative model (variables, linear constraints, objective), a dense
+// two-phase simplex for LP relaxations (simplex.h), and branch-and-bound for
+// integrality (branch_and_bound.h).  It is exact — used to validate the
+// scalable heuristic planner on small instances and for the ε-sweep ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace flexwan::milp {
+
+using VarId = int;
+
+enum class VarType { kContinuous, kInteger, kBinary };
+
+enum class Sense { kLe, kGe, kEq };
+
+enum class Direction { kMinimize, kMaximize };
+
+// A declared decision variable with simple bounds.
+struct Variable {
+  std::string name;
+  VarType type = VarType::kContinuous;
+  double lower = 0.0;
+  double upper = 1e30;  // treated as +infinity
+  double objective = 0.0;
+};
+
+// One term of a linear expression.
+struct Term {
+  VarId var = -1;
+  double coeff = 0.0;
+};
+
+// A linear constraint  sum(terms) sense rhs.
+struct Constraint {
+  std::vector<Term> terms;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+// A declarative MILP model.
+class Model {
+ public:
+  VarId add_var(std::string name, VarType type, double lower, double upper,
+                double objective = 0.0);
+  VarId add_binary(std::string name, double objective = 0.0) {
+    return add_var(std::move(name), VarType::kBinary, 0.0, 1.0, objective);
+  }
+  VarId add_integer(std::string name, double lower, double upper,
+                    double objective = 0.0) {
+    return add_var(std::move(name), VarType::kInteger, lower, upper,
+                   objective);
+  }
+
+  void add_constraint(Constraint c);
+  void add_constraint(std::vector<Term> terms, Sense sense, double rhs,
+                      std::string name = {});
+
+  void set_direction(Direction d) { direction_ = d; }
+  Direction direction() const { return direction_; }
+
+  int var_count() const { return static_cast<int>(vars_.size()); }
+  int constraint_count() const { return static_cast<int>(constraints_.size()); }
+  const Variable& var(VarId id) const { return vars_[static_cast<std::size_t>(id)]; }
+  Variable& var(VarId id) { return vars_[static_cast<std::size_t>(id)]; }
+  const std::vector<Variable>& vars() const { return vars_; }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  // Evaluates the objective for an assignment (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  // Checks an assignment against every constraint and bound within `tol`.
+  bool feasible(const std::vector<double>& x, double tol = 1e-6) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> constraints_;
+  Direction direction_ = Direction::kMinimize;
+};
+
+}  // namespace flexwan::milp

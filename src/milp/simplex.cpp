@@ -1,0 +1,302 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace flexwan::milp {
+
+namespace {
+
+constexpr double kInfinity = 1e29;
+
+// Internal standard form:  minimize c^T y,  R y (sense) b with b >= 0, y >= 0.
+struct StandardForm {
+  int n = 0;                          // structural (shifted) variables
+  std::vector<double> cost;           // size n
+  std::vector<std::vector<double>> rows;
+  std::vector<Sense> senses;
+  std::vector<double> rhs;
+  std::vector<double> shift;          // x_i = y_i + shift_i
+  double objective_constant = 0.0;
+  bool maximize = false;
+};
+
+StandardForm build_standard_form(const Model& model,
+                                 const std::vector<Constraint>& extra) {
+  StandardForm sf;
+  sf.n = model.var_count();
+  sf.maximize = model.direction() == Direction::kMaximize;
+  sf.cost.resize(static_cast<std::size_t>(sf.n));
+  sf.shift.resize(static_cast<std::size_t>(sf.n));
+  for (int i = 0; i < sf.n; ++i) {
+    const auto& v = model.var(i);
+    sf.shift[static_cast<std::size_t>(i)] = v.lower;
+    const double c = sf.maximize ? -v.objective : v.objective;
+    sf.cost[static_cast<std::size_t>(i)] = c;
+    sf.objective_constant += c * v.lower;
+  }
+
+  auto add_row = [&](const std::vector<Term>& terms, Sense sense, double rhs) {
+    std::vector<double> row(static_cast<std::size_t>(sf.n), 0.0);
+    double adjusted = rhs;
+    for (const Term& t : terms) {
+      row[static_cast<std::size_t>(t.var)] += t.coeff;
+      adjusted -= t.coeff * sf.shift[static_cast<std::size_t>(t.var)];
+    }
+    if (adjusted < 0.0) {
+      for (double& v : row) v = -v;
+      adjusted = -adjusted;
+      sense = sense == Sense::kLe ? Sense::kGe
+              : sense == Sense::kGe ? Sense::kLe
+                                    : Sense::kEq;
+    }
+    sf.rows.push_back(std::move(row));
+    sf.senses.push_back(sense);
+    sf.rhs.push_back(adjusted);
+  };
+
+  for (const auto& c : model.constraints()) add_row(c.terms, c.sense, c.rhs);
+  for (const auto& c : extra) add_row(c.terms, c.sense, c.rhs);
+  // Finite upper bounds become explicit rows on the shifted variable.
+  for (int i = 0; i < sf.n; ++i) {
+    const auto& v = model.var(i);
+    if (v.upper < kInfinity) {
+      add_row({Term{i, 1.0}}, Sense::kLe, v.upper);
+    }
+  }
+  return sf;
+}
+
+// Dense tableau simplex engine.
+class Tableau {
+ public:
+  Tableau(const StandardForm& sf, const LpOptions& options)
+      : sf_(sf), options_(options) {
+    const int m = static_cast<int>(sf.rows.size());
+    // Columns: structural | slack/surplus | artificial | rhs.
+    slack_start_ = sf.n;
+    int slack_count = 0;
+    for (Sense s : sf.senses) {
+      if (s != Sense::kEq) ++slack_count;
+    }
+    art_start_ = slack_start_ + slack_count;
+    cols_ = art_start_ + m;  // at most one artificial per row
+    rhs_col_ = cols_;
+
+    t_.assign(static_cast<std::size_t>(m),
+              std::vector<double>(static_cast<std::size_t>(cols_ + 1), 0.0));
+    basis_.assign(static_cast<std::size_t>(m), -1);
+    deleted_.assign(static_cast<std::size_t>(m), false);
+    artificial_.assign(static_cast<std::size_t>(cols_), false);
+
+    int slack = slack_start_;
+    int art = art_start_;
+    for (int r = 0; r < m; ++r) {
+      auto& row = t_[static_cast<std::size_t>(r)];
+      for (int j = 0; j < sf.n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            sf.rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)];
+      }
+      row[static_cast<std::size_t>(rhs_col_)] =
+          sf.rhs[static_cast<std::size_t>(r)];
+      switch (sf.senses[static_cast<std::size_t>(r)]) {
+        case Sense::kLe:
+          row[static_cast<std::size_t>(slack)] = 1.0;
+          basis_[static_cast<std::size_t>(r)] = slack++;
+          break;
+        case Sense::kGe:
+          row[static_cast<std::size_t>(slack)] = -1.0;
+          ++slack;
+          row[static_cast<std::size_t>(art)] = 1.0;
+          artificial_[static_cast<std::size_t>(art)] = true;
+          basis_[static_cast<std::size_t>(r)] = art++;
+          break;
+        case Sense::kEq:
+          row[static_cast<std::size_t>(art)] = 1.0;
+          artificial_[static_cast<std::size_t>(art)] = true;
+          basis_[static_cast<std::size_t>(r)] = art++;
+          break;
+      }
+    }
+  }
+
+  LpSolution solve() {
+    LpSolution out;
+    // Phase 1: minimize the sum of artificial variables.
+    std::vector<double> phase1(static_cast<std::size_t>(cols_), 0.0);
+    for (int j = 0; j < cols_; ++j) {
+      if (artificial_[static_cast<std::size_t>(j)]) {
+        phase1[static_cast<std::size_t>(j)] = 1.0;
+      }
+    }
+    if (!run(phase1, /*ban_artificials=*/false, out)) return out;
+    if (objective_of(phase1) > 1e-6) {
+      out.status = LpStatus::kInfeasible;
+      return out;
+    }
+    expel_artificials();
+
+    // Phase 2: minimize the real (standard-form) cost.
+    std::vector<double> phase2(static_cast<std::size_t>(cols_), 0.0);
+    for (int j = 0; j < sf_.n; ++j) {
+      phase2[static_cast<std::size_t>(j)] = sf_.cost[static_cast<std::size_t>(j)];
+    }
+    if (!run(phase2, /*ban_artificials=*/true, out)) return out;
+
+    out.status = LpStatus::kOptimal;
+    out.x.assign(static_cast<std::size_t>(sf_.n), 0.0);
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      if (deleted_[r]) continue;
+      const int b = basis_[r];
+      if (b >= 0 && b < sf_.n) {
+        out.x[static_cast<std::size_t>(b)] =
+            t_[r][static_cast<std::size_t>(rhs_col_)];
+      }
+    }
+    // Un-shift and restore the original direction.
+    double obj = sf_.objective_constant;
+    for (int j = 0; j < sf_.n; ++j) {
+      obj += sf_.cost[static_cast<std::size_t>(j)] *
+             out.x[static_cast<std::size_t>(j)];
+      out.x[static_cast<std::size_t>(j)] += sf_.shift[static_cast<std::size_t>(j)];
+    }
+    out.objective = sf_.maximize ? -obj : obj;
+    out.iterations = iterations_;
+    return out;
+  }
+
+ private:
+  double objective_of(const std::vector<double>& cost) const {
+    double v = 0.0;
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      if (deleted_[r]) continue;
+      const int b = basis_[r];
+      if (b >= 0) {
+        v += cost[static_cast<std::size_t>(b)] *
+             t_[r][static_cast<std::size_t>(rhs_col_)];
+      }
+    }
+    return v;
+  }
+
+  // Reduced cost of column j for the given cost vector: c_j - c_B^T A~_j.
+  double reduced_cost(const std::vector<double>& cost, int j) const {
+    double z = 0.0;
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      if (deleted_[r]) continue;
+      z += cost[static_cast<std::size_t>(basis_[r])] *
+           t_[r][static_cast<std::size_t>(j)];
+    }
+    return cost[static_cast<std::size_t>(j)] - z;
+  }
+
+  void pivot(int row, int col) {
+    auto& prow = t_[static_cast<std::size_t>(row)];
+    const double p = prow[static_cast<std::size_t>(col)];
+    for (double& v : prow) v /= p;
+    for (std::size_t r = 0; r < t_.size(); ++r) {
+      if (static_cast<int>(r) == row || deleted_[r]) continue;
+      const double factor = t_[r][static_cast<std::size_t>(col)];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < t_[r].size(); ++j) {
+        t_[r][j] -= factor * prow[j];
+      }
+      t_[r][static_cast<std::size_t>(col)] = 0.0;  // kill rounding residue
+    }
+    basis_[static_cast<std::size_t>(row)] = col;
+    ++iterations_;
+  }
+
+  // Runs Bland-rule simplex for the given cost vector.  Returns false (and
+  // fills `out.status`) on unboundedness or iteration limit.
+  bool run(const std::vector<double>& cost, bool ban_artificials,
+           LpSolution& out) {
+    while (true) {
+      if (iterations_ >= options_.max_iterations) {
+        out.status = LpStatus::kIterationLimit;
+        out.iterations = iterations_;
+        return false;
+      }
+      // Bland: entering = lowest-index column with negative reduced cost.
+      int entering = -1;
+      for (int j = 0; j < cols_; ++j) {
+        if (ban_artificials && artificial_[static_cast<std::size_t>(j)]) continue;
+        if (reduced_cost(cost, j) < -options_.tolerance) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering < 0) return true;  // optimal
+      // Ratio test; Bland tie-break on smallest basis index.
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t r = 0; r < t_.size(); ++r) {
+        if (deleted_[r]) continue;
+        const double a = t_[r][static_cast<std::size_t>(entering)];
+        if (a <= options_.tolerance) continue;
+        const double ratio = t_[r][static_cast<std::size_t>(rhs_col_)] / a;
+        if (ratio < best_ratio - 1e-12 ||
+            (std::abs(ratio - best_ratio) <= 1e-12 &&
+             (leaving < 0 ||
+              basis_[r] < basis_[static_cast<std::size_t>(leaving)]))) {
+          best_ratio = ratio;
+          leaving = static_cast<int>(r);
+        }
+      }
+      if (leaving < 0) {
+        out.status = LpStatus::kUnbounded;
+        out.iterations = iterations_;
+        return false;
+      }
+      pivot(leaving, entering);
+    }
+  }
+
+  // After phase 1, pivot zero-valued artificials out of the basis; rows that
+  // cannot be pivoted are redundant and get deleted.
+  void expel_artificials() {
+    for (std::size_t r = 0; r < basis_.size(); ++r) {
+      if (deleted_[r]) continue;
+      const int b = basis_[r];
+      if (b < 0 || !artificial_[static_cast<std::size_t>(b)]) continue;
+      int col = -1;
+      for (int j = 0; j < art_start_; ++j) {
+        if (std::abs(t_[r][static_cast<std::size_t>(j)]) > 1e-9) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) {
+        pivot(static_cast<int>(r), col);
+      } else {
+        deleted_[r] = true;  // redundant row
+      }
+    }
+  }
+
+  const StandardForm& sf_;
+  LpOptions options_;
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+  std::vector<bool> deleted_;
+  std::vector<bool> artificial_;
+  int slack_start_ = 0;
+  int art_start_ = 0;
+  int cols_ = 0;
+  int rhs_col_ = 0;
+  int iterations_ = 0;
+};
+
+}  // namespace
+
+LpSolution solve_lp_relaxation(const Model& model,
+                               const std::vector<Constraint>& extra,
+                               const LpOptions& options) {
+  const StandardForm sf = build_standard_form(model, extra);
+  Tableau tableau(sf, options);
+  return tableau.solve();
+}
+
+}  // namespace flexwan::milp

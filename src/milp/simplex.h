@@ -1,0 +1,36 @@
+// Dense two-phase primal simplex.
+//
+// Solves   minimize c^T x   s.t.  A x {<=,>=,=} b,  0 <= x <= u
+// Upper bounds are handled by appending explicit rows (models here are small
+// — the exact formulations are only run on validation-sized networks, so a
+// dense tableau with Bland's anti-cycling rule is the simple, robust choice).
+#pragma once
+
+#include <vector>
+
+#include "milp/model.h"
+
+namespace flexwan::milp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;        // in the *original* model direction
+  std::vector<double> x;         // one value per model variable
+  int iterations = 0;
+};
+
+struct LpOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-8;
+};
+
+// Solves the LP relaxation of `model` (integrality dropped).  Optional
+// `extra` constraints implement branch-and-bound bound changes without
+// copying the model.
+LpSolution solve_lp_relaxation(const Model& model,
+                               const std::vector<Constraint>& extra = {},
+                               const LpOptions& options = {});
+
+}  // namespace flexwan::milp

@@ -1,0 +1,25 @@
+#include "phy/ber.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/shannon.h"
+
+namespace flexwan::phy {
+
+double post_fec_ber(double snr_linear, const transponder::Mode& mode) {
+  const double needed = required_snr(mode);
+  if (snr_linear >= needed) return 0.0;
+  // FEC cliff: error rate rises exponentially with the SNR shortfall (dB).
+  const double shortfall_db =
+      10.0 * std::log10(needed / std::max(snr_linear, 1e-12));
+  // ~1e-9 just past the cliff, saturating toward 0.5 for hopeless signals.
+  const double ber = 1e-9 * std::pow(10.0, 2.0 * shortfall_db);
+  return std::min(ber, 0.5);
+}
+
+bool decodes_error_free(double snr_linear, const transponder::Mode& mode) {
+  return post_fec_ber(snr_linear, mode) == 0.0;
+}
+
+}  // namespace flexwan::phy

@@ -1,0 +1,21 @@
+// Post-FEC bit-error-rate model.
+//
+// The testbed (§6) uses post-FEC BER as the pass/fail signal: zero while the
+// SNR clears the mode's requirement, climbing sharply once it does not.  We
+// model the characteristic FEC cliff: exactly 0 at or above the required
+// SNR, then a steep exponential ramp below it.
+#pragma once
+
+#include "transponder/mode.h"
+
+namespace flexwan::phy {
+
+// Post-FEC BER for a received linear SNR.  Returns 0.0 when the signal is
+// decodable error-free, a positive value otherwise (the testbed's stop
+// condition is "post-FEC BER increases from 0 to a positive number").
+double post_fec_ber(double snr_linear, const transponder::Mode& mode);
+
+// Convenience: whether the signal decodes error-free at this SNR.
+bool decodes_error_free(double snr_linear, const transponder::Mode& mode);
+
+}  // namespace flexwan::phy

@@ -1,0 +1,95 @@
+#include "phy/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "phy/ber.h"
+#include "phy/shannon.h"
+
+namespace flexwan::phy {
+
+CalibratedModel::CalibratedModel(PlantParams plant,
+                                 std::map<MarginKey, double> margin_db)
+    : plant_(plant), margin_db_(std::move(margin_db)) {}
+
+double CalibratedModel::margin_db(const transponder::Mode& mode) const {
+  const auto it =
+      margin_db_.find(MarginKey{mode.data_rate_gbps, mode.fec_overhead});
+  return it == margin_db_.end() ? 0.0 : it->second;
+}
+
+double CalibratedModel::received_snr(const transponder::Mode& mode,
+                                     double distance_km) const {
+  const double snr = snr_linear(distance_km, mode.baud_gbd, plant_);
+  // The fitted margin is an extra penalty subtracted from the received SNR.
+  return snr / db_to_linear(margin_db(mode));
+}
+
+double CalibratedModel::post_fec_ber(const transponder::Mode& mode,
+                                     double distance_km) const {
+  return phy::post_fec_ber(received_snr(mode, distance_km), mode);
+}
+
+double CalibratedModel::predicted_reach_km(const transponder::Mode& mode,
+                                           double step_km,
+                                           double max_km) const {
+  double reach = 0.0;
+  for (double d = step_km; d <= max_km; d += step_km) {
+    if (post_fec_ber(mode, d) == 0.0) {
+      reach = d;
+    } else {
+      break;
+    }
+  }
+  return reach;
+}
+
+CalibratedModel calibrate(const transponder::Catalog& catalog,
+                          const PlantParams& plant) {
+  // For each row, find the margin that makes the model's SNR at the table
+  // reach exactly equal the mode's required SNR:
+  //   margin_db = SNR(table_reach) [dB] - required [dB].
+  std::map<MarginKey, std::vector<double>> samples;
+  for (const auto& mode : catalog.modes()) {
+    const double snr_at_reach =
+        snr_linear(mode.reach_km, mode.baud_gbd, plant);
+    const double needed = required_snr(mode);
+    if (snr_at_reach <= 0.0 || needed <= 0.0) continue;
+    samples[MarginKey{mode.data_rate_gbps, mode.fec_overhead}].push_back(
+        linear_to_db(snr_at_reach / needed));
+  }
+  std::map<MarginKey, double> margins;
+  for (const auto& [key, values] : samples) {
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    margins[key] = sum / static_cast<double>(values.size());
+  }
+  return CalibratedModel(plant, std::move(margins));
+}
+
+CalibrationReport evaluate(const CalibratedModel& model,
+                           const transponder::Catalog& catalog) {
+  CalibrationReport report;
+  double sum = 0.0;
+  for (const auto& mode : catalog.modes()) {
+    CalibrationRow row;
+    row.mode = mode;
+    row.table_reach_km = mode.reach_km;
+    row.model_reach_km = model.predicted_reach_km(mode);
+    row.relative_error =
+        mode.reach_km > 0.0
+            ? std::abs(row.model_reach_km - row.table_reach_km) /
+                  row.table_reach_km
+            : 0.0;
+    sum += row.relative_error;
+    report.max_relative_error =
+        std::max(report.max_relative_error, row.relative_error);
+    report.rows.push_back(row);
+  }
+  if (!report.rows.empty()) {
+    report.mean_relative_error = sum / static_cast<double>(report.rows.size());
+  }
+  return report;
+}
+
+}  // namespace flexwan::phy

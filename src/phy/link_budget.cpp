@@ -1,0 +1,38 @@
+#include "phy/link_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexwan::phy {
+
+namespace {
+// OSNR is conventionally referenced to 0.1 nm ~ 12.5 GHz at 1550 nm.
+constexpr double kOsnrReferenceGhz = 12.5;
+// 58 dB = 10 log10(1 mW / (h * nu * B_ref)) at 1550 nm, the standard
+// single-amplifier OSNR constant.
+constexpr double kOsnrConstantDb = 58.0;
+}  // namespace
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+int span_count(double distance_km, const PlantParams& params) {
+  if (distance_km <= 0.0) return 1;
+  return std::max(1, static_cast<int>(std::ceil(distance_km / params.span_km)));
+}
+
+double osnr_db(double distance_km, const PlantParams& params) {
+  const int spans = span_count(distance_km, params);
+  const double span_loss_db = params.span_km * params.attenuation_db_per_km;
+  return kOsnrConstantDb + params.launch_power_dbm - span_loss_db -
+         params.amp_noise_figure_db - 10.0 * std::log10(spans);
+}
+
+double snr_linear(double distance_km, double baud_gbd,
+                  const PlantParams& params) {
+  const double osnr = db_to_linear(osnr_db(distance_km, params));
+  // SNR in the signal bandwidth = OSNR * (B_ref / baud).
+  return osnr * (kOsnrReferenceGhz / std::max(baud_gbd, 1e-9));
+}
+
+}  // namespace flexwan::phy

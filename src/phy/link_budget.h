@@ -1,0 +1,37 @@
+// Optical link-budget model.
+//
+// The paper's testbed (§6) builds optical paths out of fiber bundles with an
+// amplifier every 50-100 km, then measures post-FEC BER as length grows.  We
+// model the same chain: each span attenuates the signal, each EDFA restores
+// it while adding ASE noise, and the accumulated noise sets the SNR at the
+// receiver.  Shorter paths → fewer amplifiers → higher SNR (paper §3.1).
+#pragma once
+
+namespace flexwan::phy {
+
+// Per-span plant parameters, consistent with a production long-haul system.
+struct PlantParams {
+  double span_km = 80.0;               // amplifier every 50-100 km (§6)
+  double attenuation_db_per_km = 0.2;  // standard SMF loss
+  double amp_noise_figure_db = 5.0;    // EDFA noise figure
+  double launch_power_dbm = 0.0;       // per-channel launch power
+};
+
+// Number of amplified spans needed to cover `distance_km` (at least one; the
+// terminal still has a pre-amplifier).
+int span_count(double distance_km, const PlantParams& params);
+
+// Optical SNR in dB, referenced to the conventional 12.5 GHz (0.1 nm)
+// resolution bandwidth, after traversing `distance_km`:
+//   OSNR = 58 + P_launch - span_loss - NF - 10 log10(N_spans).
+double osnr_db(double distance_km, const PlantParams& params);
+
+// Electrical SNR (linear) within a signal of the given symbol rate:
+// converts OSNR from the 12.5 GHz reference bandwidth to the signal baud.
+double snr_linear(double distance_km, double baud_gbd,
+                  const PlantParams& params);
+
+double db_to_linear(double db);
+double linear_to_db(double linear);
+
+}  // namespace flexwan::phy

@@ -1,0 +1,47 @@
+#include "phy/nonlinear.h"
+
+#include <cmath>
+
+namespace flexwan::phy {
+
+namespace {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+}  // namespace
+
+double ase_power_mw(double distance_km, double baud_gbd,
+                    const PlantParams& plant) {
+  // The linear model gives SNR = P_launch / N_ase; invert it.
+  const double snr = snr_linear(distance_km, baud_gbd, plant);
+  return dbm_to_mw(plant.launch_power_dbm) / snr;
+}
+
+double snr_with_nli(double power_mw, double distance_km, double baud_gbd,
+                    const PlantParams& plant, const NonlinearParams& nl) {
+  if (power_mw <= 0.0) return 0.0;
+  const double ase = ase_power_mw(distance_km, baud_gbd, plant);
+  const double spans = span_count(distance_km, plant);
+  const double nli = nl.eta_per_span * spans * power_mw * power_mw * power_mw;
+  return power_mw / (ase + nli);
+}
+
+double optimal_launch_power_dbm(double distance_km, double baud_gbd,
+                                const PlantParams& plant,
+                                const NonlinearParams& nl) {
+  const double ase = ase_power_mw(distance_km, baud_gbd, plant);
+  const double spans = span_count(distance_km, plant);
+  const double eta_total = nl.eta_per_span * spans;
+  // d/dP [P / (ase + eta P^3)] = 0  =>  P_opt^3 = ase / (2 eta).
+  return mw_to_dbm(std::cbrt(ase / (2.0 * eta_total)));
+}
+
+double optimal_snr(double distance_km, double baud_gbd,
+                   const PlantParams& plant, const NonlinearParams& nl) {
+  const double p_opt = dbm_to_mw(
+      optimal_launch_power_dbm(distance_km, baud_gbd, plant, nl));
+  return snr_with_nli(p_opt, distance_km, baud_gbd, plant, nl);
+}
+
+}  // namespace flexwan::phy

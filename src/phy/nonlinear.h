@@ -1,0 +1,47 @@
+// Fiber nonlinearity (GN-model style) and launch-power optimization.
+//
+// The paper notes (§3.1) that high-order formats are "susceptible to
+// optical impairments, including chromatic dispersion and fiber
+// nonlinearity".  The linear link budget in link_budget.h assumes ASE noise
+// only, which is accurate when channels launch at the power that balances
+// ASE against nonlinear interference (NLI) — operators run there on
+// purpose.  This module exposes that balance explicitly:
+//
+//   SNR(P) = P / (N_ase + eta * P^3)
+//
+// where eta aggregates the Kerr-effect NLI per span.  The optimum is at
+// P_opt = (N_ase / (2 eta))^(1/3), where NLI contributes exactly half the
+// ASE power — the classic "nonlinear threshold" rule of thumb.
+#pragma once
+
+#include "phy/link_budget.h"
+
+namespace flexwan::phy {
+
+struct NonlinearParams {
+  // NLI coefficient per span, normalized to mW^-2: NLI power (mW) generated
+  // per span by a channel launched at P mW is eta_per_span * P^3.
+  double eta_per_span = 1.5e-3;
+};
+
+// ASE noise power (mW) accumulated over the spans covering `distance_km`,
+// inside the signal bandwidth `baud_gbd` (the denominator of the linear
+// model's SNR when the launch power is plant.launch_power_dbm).
+double ase_power_mw(double distance_km, double baud_gbd,
+                    const PlantParams& plant);
+
+// SNR (linear) at launch power `power_mw`, including NLI.
+double snr_with_nli(double power_mw, double distance_km, double baud_gbd,
+                    const PlantParams& plant, const NonlinearParams& nl);
+
+// The launch power (dBm) that maximizes SNR over this path: the ASE/NLI
+// balance point (N_ase / (2 eta_total))^(1/3).
+double optimal_launch_power_dbm(double distance_km, double baud_gbd,
+                                const PlantParams& plant,
+                                const NonlinearParams& nl);
+
+// SNR at the optimal launch power (the best this path can ever deliver).
+double optimal_snr(double distance_km, double baud_gbd,
+                   const PlantParams& plant, const NonlinearParams& nl);
+
+}  // namespace flexwan::phy

@@ -1,0 +1,41 @@
+#include "phy/shannon.h"
+
+#include <cmath>
+
+#include "phy/link_budget.h"
+
+namespace flexwan::phy {
+
+double shannon_capacity_gbps(double spacing_ghz, double snr_linear) {
+  if (spacing_ghz <= 0.0 || snr_linear <= 0.0) return 0.0;
+  return 2.0 * spacing_ghz * std::log2(1.0 + snr_linear);
+}
+
+double shannon_required_snr(const transponder::Mode& mode) {
+  // Invert 2 * W * log2(1 + snr) = rate.
+  const double bits_per_hz = mode.data_rate_gbps / (2.0 * mode.spacing_ghz);
+  return std::pow(2.0, bits_per_hz) - 1.0;
+}
+
+double implementation_gap_db(const transponder::Mode& mode) {
+  using transponder::Modulation;
+  // Base gap of practical coded modulation; stronger FEC halves the distance
+  // to capacity, higher-order formats add implementation penalty.
+  double gap = mode.fec_overhead >= 0.25 ? 1.5 : 3.0;
+  switch (mode.modulation) {
+    case Modulation::kBpsk:
+    case Modulation::kQpsk: break;
+    case Modulation::k8Qam: gap += 0.5; break;
+    case Modulation::k16Qam: gap += 1.0; break;
+    case Modulation::kPcs16Qam: gap += 0.8; break;
+    case Modulation::kPcs64Qam: gap += 1.5; break;
+  }
+  return gap;
+}
+
+double required_snr(const transponder::Mode& mode) {
+  return shannon_required_snr(mode) *
+         db_to_linear(implementation_gap_db(mode));
+}
+
+}  // namespace flexwan::phy

@@ -1,0 +1,31 @@
+// Shannon-Hartley limits and per-mode SNR requirements.
+//
+// The paper grounds the SVT design in C = W log2(1 + S/N) (§1 footnote 2,
+// §3.1): a wavelength cannot exceed the Shannon limit of its channel spacing,
+// and the limit rises when the spacing widens — which is exactly the degree
+// of freedom the SVT exploits.
+#pragma once
+
+#include "transponder/mode.h"
+
+namespace flexwan::phy {
+
+// Shannon-Hartley capacity (Gbps) of a dual-polarisation channel of width
+// `spacing_ghz` at the given linear SNR: 2 * W * log2(1 + SNR).
+double shannon_capacity_gbps(double spacing_ghz, double snr_linear);
+
+// Minimum linear SNR at which the Shannon capacity of the mode's spacing
+// covers its data rate (ideal coding, no margin).
+double shannon_required_snr(const transponder::Mode& mode);
+
+// Implementation gap in dB for a mode: distance from the Shannon limit due
+// to finite-length FEC and modulation impairments.  Stronger FEC (higher
+// overhead) operates closer to the limit; high-order formats pay extra
+// penalty (chromatic dispersion / nonlinearity sensitivity, §3.1).
+double implementation_gap_db(const transponder::Mode& mode);
+
+// Required linear SNR including the implementation gap.  The signal decodes
+// error-free (post-FEC BER 0) iff the received SNR is at least this value.
+double required_snr(const transponder::Mode& mode);
+
+}  // namespace flexwan::phy

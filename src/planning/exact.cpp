@@ -1,0 +1,149 @@
+#include "planning/exact.h"
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "topology/ksp.h"
+
+namespace flexwan::planning {
+
+namespace {
+
+// One gamma variable's coordinates.
+struct GammaVar {
+  topology::LinkId link;
+  int path_index;
+  int mode_index;   // into catalog.modes()
+  int start_pixel;  // q-th order translated to its starting pixel
+};
+
+}  // namespace
+
+Expected<ExactResult> solve_exact_plan(const topology::Network& net,
+                                       const transponder::Catalog& catalog,
+                                       const ExactPlannerConfig& config) {
+  milp::Model model;
+  model.set_direction(milp::Direction::kMinimize);
+
+  const auto modes = catalog.modes();
+  std::vector<GammaVar> gammas;
+  std::vector<milp::VarId> gamma_ids;
+  std::vector<std::vector<topology::Path>> link_paths(
+      static_cast<std::size_t>(net.ip.link_count()));
+
+  for (const auto& link : net.ip.links()) {
+    auto paths = topology::k_shortest_paths(net.optical, link.src, link.dst,
+                                            config.k_paths);
+    if (paths.empty()) {
+      return Error::make("unreachable",
+                         "IP link " + link.name + " has no optical path");
+    }
+    link_paths[static_cast<std::size_t>(link.id)] = std::move(paths);
+  }
+
+  // Variables: gamma for every reach-feasible (e, k, j, q).
+  for (const auto& link : net.ip.links()) {
+    const auto& paths = link_paths[static_cast<std::size_t>(link.id)];
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      for (std::size_t j = 0; j < modes.size(); ++j) {
+        const auto& mode = modes[j];
+        if (!mode.reaches(paths[k].length_km)) continue;  // constraint (2)
+        const int pix = mode.pixels();
+        for (int q = 0; q + pix <= config.band_pixels; ++q) {
+          if (static_cast<int>(gammas.size()) >= config.max_variables) {
+            return Error::make("too_large",
+                               "exact formulation exceeds " +
+                                   std::to_string(config.max_variables) +
+                                   " variables");
+          }
+          const double cost = 1.0 + config.epsilon * mode.spacing_ghz;
+          gamma_ids.push_back(model.add_binary(
+              "g_e" + std::to_string(link.id) + "_k" + std::to_string(k) +
+                  "_j" + std::to_string(j) + "_q" + std::to_string(q),
+              cost));
+          gammas.push_back(GammaVar{link.id, static_cast<int>(k),
+                                    static_cast<int>(j), q});
+        }
+      }
+    }
+  }
+
+  // Constraint (1): demand coverage per link.
+  for (const auto& link : net.ip.links()) {
+    std::vector<milp::Term> terms;
+    for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+      if (gammas[gi].link != link.id) continue;
+      terms.push_back(milp::Term{
+          gamma_ids[gi],
+          modes[static_cast<std::size_t>(gammas[gi].mode_index)]
+              .data_rate_gbps});
+    }
+    if (terms.empty() && link.demand_gbps > 0.0) {
+      return Error::make("unreachable_demand",
+                         "IP link " + link.name +
+                             " has no reach-feasible format");
+    }
+    model.add_constraint(std::move(terms), milp::Sense::kGe, link.demand_gbps,
+                         "demand_e" + std::to_string(link.id));
+  }
+
+  // Constraints (3)+(5): per (fiber, pixel) at most one wavelength.  Only
+  // pixels that at least two gammas could touch need a row, but building all
+  // is simpler and row count is band_pixels * fibers.
+  for (topology::FiberId f = 0; f < net.optical.fiber_count(); ++f) {
+    for (int w = 0; w < config.band_pixels; ++w) {
+      std::vector<milp::Term> terms;
+      for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+        const auto& g = gammas[gi];
+        const auto& mode = modes[static_cast<std::size_t>(g.mode_index)];
+        if (w < g.start_pixel || w >= g.start_pixel + mode.pixels()) continue;
+        const auto& path =
+            link_paths[static_cast<std::size_t>(g.link)]
+                      [static_cast<std::size_t>(g.path_index)];
+        if (!path.uses_fiber(f)) continue;
+        terms.push_back(milp::Term{gamma_ids[gi], 1.0});
+      }
+      if (terms.size() > 1) {
+        model.add_constraint(std::move(terms), milp::Sense::kLe, 1.0,
+                             "pix_f" + std::to_string(f) + "_w" +
+                                 std::to_string(w));
+      }
+    }
+  }
+
+  const auto mip = milp::solve_mip(model, config.mip);
+  if (mip.status == milp::MipStatus::kInfeasible) {
+    return Error::make("infeasible", "no plan fits the configured band");
+  }
+  if (mip.status == milp::MipStatus::kUnbounded) {
+    return Error::make("unbounded", "formulation error: unbounded MIP");
+  }
+
+  ExactResult result{Plan(catalog.name(), net.optical.fiber_count(),
+                          config.band_pixels),
+                     mip.objective, mip.nodes_explored, mip.status};
+  for (const auto& link : net.ip.links()) {
+    auto& lp = result.plan.add_link_plan(link.id);
+    lp.paths = link_paths[static_cast<std::size_t>(link.id)];
+  }
+  for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+    if (mip.x[static_cast<std::size_t>(gamma_ids[gi])] < 0.5) continue;
+    const auto& g = gammas[gi];
+    const auto& mode = modes[static_cast<std::size_t>(g.mode_index)];
+    const auto& path = link_paths[static_cast<std::size_t>(g.link)]
+                                 [static_cast<std::size_t>(g.path_index)];
+    Wavelength wl{g.link, g.path_index, mode,
+                  spectrum::Range{g.start_pixel, mode.pixels()}};
+    auto placed = result.plan.place_wavelength(path, wl);
+    if (!placed) {
+      return Error::make("decode_conflict",
+                         "solver output violates spectrum constraints: " +
+                             placed.error().message);
+    }
+  }
+  return result;
+}
+
+}  // namespace flexwan::planning

@@ -1,0 +1,47 @@
+// Exact MILP formulation of Algorithm 1, solved with the in-repo
+// branch-and-bound (milp/).  Mirrors the paper's variables:
+//   gamma_{e,k,j,q} — path k of link e carries a wavelength at format j
+//                     starting at pixel order q (binary),
+//   lambda_{e,k,j}  — transponder count, implied as sum_q gamma,
+//   xi_{phi,w}      — pixel occupancy, implied through the conflict rows.
+// Constraints (1)-(6) are encoded directly; reach-infeasible (j, path)
+// combinations are simply not given variables (constraint 2), and spectrum
+// consistency (4) holds by construction because one gamma decides the same
+// range on every fiber of its path.
+//
+// Intended for validation-sized instances; var/row counts grow as
+// E * K * J * W, so `max_variables` guards against accidental blow-ups.
+#pragma once
+
+#include "milp/branch_and_bound.h"
+#include "planning/heuristic.h"
+#include "planning/plan.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/expected.h"
+
+namespace flexwan::planning {
+
+struct ExactPlannerConfig {
+  int k_paths = 2;
+  double epsilon = 0.001;
+  int band_pixels = 48;     // a narrow validation band keeps the MIP small
+  int max_variables = 20000;
+  milp::MipOptions mip;
+};
+
+struct ExactResult {
+  Plan plan;
+  double objective = 0.0;
+  int nodes_explored = 0;
+  milp::MipStatus status = milp::MipStatus::kInfeasible;
+};
+
+// Builds and solves the full Algorithm 1 MIP for `net`.  Fails with
+// "too_large" when the formulation exceeds max_variables, "infeasible" when
+// the solver proves no plan exists within the band.
+Expected<ExactResult> solve_exact_plan(const topology::Network& net,
+                                       const transponder::Catalog& catalog,
+                                       const ExactPlannerConfig& config);
+
+}  // namespace flexwan::planning

@@ -1,0 +1,254 @@
+#include "planning/heuristic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace flexwan::planning {
+
+namespace {
+
+// Demand granularity: every catalog rate is a multiple of 100 Gbps.
+constexpr double kUnitGbps = 100.0;
+
+// Common first-fit over the plan's current occupancy (constraint 4),
+// bounded away from the reserved protection spectrum.
+std::optional<spectrum::Range> plan_first_fit(const Plan& plan,
+                                              const topology::Path& path,
+                                              int count, int reserved) {
+  return common_first_fit(plan.fiber_occupancies(), path, count,
+                          plan.band_pixels() - reserved);
+}
+
+// Tries to place every mode of `set` on `path`.  Rolls back on failure.
+bool place_mode_set(Plan& plan, const topology::Path& path,
+                    topology::LinkId link, int path_index,
+                    const std::vector<transponder::Mode>& modes,
+                    int reserved) {
+  std::vector<Wavelength> placed;
+  for (const auto& mode : modes) {
+    const auto fit = plan_first_fit(plan, path, mode.pixels(), reserved);
+    if (!fit) {
+      for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+        auto r = plan.remove_wavelength(path, *it);
+        (void)r;
+      }
+      return false;
+    }
+    Wavelength wl{link, path_index, mode, *fit};
+    auto r = plan.place_wavelength(path, wl);
+    if (!r) {
+      for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+        auto rr = plan.remove_wavelength(path, *it);
+        (void)rr;
+      }
+      return false;
+    }
+    placed.push_back(wl);
+  }
+  return true;
+}
+
+struct LinkWork {
+  topology::LinkId link;
+  std::vector<topology::Path> paths;          // in KSP order
+  std::vector<Expected<ModeSet>> mode_sets;   // parallel to paths
+  std::vector<std::size_t> path_order;        // candidate order by cost
+  double difficulty = 0.0;                    // for most-constrained-first
+};
+
+}  // namespace
+
+double ModeSet::total_rate_gbps() const {
+  double total = 0.0;
+  for (const auto& m : modes) total += m.data_rate_gbps;
+  return total;
+}
+
+Expected<ModeSet> best_mode_set(const transponder::Catalog& catalog,
+                                double distance_km, double demand_gbps,
+                                double epsilon) {
+  ModeSet result;
+  if (demand_gbps <= 0.0) return result;
+
+  const auto feasible = catalog.feasible(distance_km);
+  if (feasible.empty()) {
+    return Error::make("unreachable_demand",
+                       "no " + catalog.name() + " mode reaches " +
+                           std::to_string(distance_km) + " km");
+  }
+
+  const int units = static_cast<int>(std::ceil(demand_gbps / kUnitGbps - 1e-9));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[d] = min cost to cover at least d demand units; choice[d] = mode used.
+  // Cost ties break toward the shortest-reach (then highest-rate) mode: at
+  // equal transponder count and spacing, the tighter fit keeps the optical
+  // reach close to the path length (the Fig. 14a gap metric) at zero cost.
+  std::vector<double> dp(static_cast<std::size_t>(units) + 1, kInf);
+  std::vector<int> choice(static_cast<std::size_t>(units) + 1, -1);
+  dp[0] = 0.0;
+  for (int d = 1; d <= units; ++d) {
+    for (std::size_t mi = 0; mi < feasible.size(); ++mi) {
+      const auto& m = feasible[mi];
+      const int rate_units =
+          static_cast<int>(std::lround(m.data_rate_gbps / kUnitGbps));
+      if (rate_units <= 0) continue;
+      const int prev = std::max(0, d - rate_units);
+      const double cost =
+          dp[static_cast<std::size_t>(prev)] + 1.0 + epsilon * m.spacing_ghz;
+      auto& best = dp[static_cast<std::size_t>(d)];
+      auto& pick = choice[static_cast<std::size_t>(d)];
+      if (cost < best - 1e-12) {
+        best = cost;
+        pick = static_cast<int>(mi);
+      } else if (pick >= 0 && std::abs(cost - best) <= 1e-12) {
+        const auto& cur = feasible[static_cast<std::size_t>(pick)];
+        if (m.reach_km < cur.reach_km ||
+            (m.reach_km == cur.reach_km &&
+             m.data_rate_gbps > cur.data_rate_gbps)) {
+          pick = static_cast<int>(mi);
+        }
+      }
+    }
+  }
+  int d = units;
+  while (d > 0) {
+    const int mi = choice[static_cast<std::size_t>(d)];
+    const auto& m = feasible[static_cast<std::size_t>(mi)];
+    result.modes.push_back(m);
+    result.total_pixels += m.pixels();
+    d = std::max(
+        0, d - static_cast<int>(std::lround(m.data_rate_gbps / kUnitGbps)));
+  }
+  result.cost = dp[static_cast<std::size_t>(units)];
+  // Widest channels first: placing big ranges before small ones packs better.
+  std::sort(result.modes.begin(), result.modes.end(),
+            [](const auto& a, const auto& b) {
+              return a.spacing_ghz > b.spacing_ghz;
+            });
+  return result;
+}
+
+HeuristicPlanner::HeuristicPlanner(const transponder::Catalog& catalog,
+                                   PlannerConfig config)
+    : catalog_(&catalog), config_(config) {}
+
+Expected<Plan> HeuristicPlanner::plan(const topology::Network& net) const {
+  Plan result(catalog_->name(), net.optical.fiber_count(),
+              config_.band_pixels);
+  for (const auto& link : net.ip.links()) {
+    result.add_link_plan(link.id);
+  }
+
+  // Stage 1: candidate paths and per-path optimal mode sets for every link.
+  std::vector<LinkWork> work;
+  for (const auto& link : net.ip.links()) {
+    LinkWork lw;
+    lw.link = link.id;
+    lw.paths = topology::k_shortest_paths(net.optical, link.src, link.dst,
+                                          config_.k_paths);
+    if (lw.paths.empty()) {
+      return Error::make("unreachable",
+                         "IP link " + link.name + " has no optical path");
+    }
+    for (const auto& p : lw.paths) {
+      lw.mode_sets.push_back(best_mode_set(*catalog_, p.length_km,
+                                           link.demand_gbps, config_.epsilon));
+    }
+    if (!lw.mode_sets.front()) {
+      // Even the shortest path exceeds the family's maximum reach.
+      return Error::make("unreachable_demand",
+                         "IP link " + link.name + ": " +
+                             lw.mode_sets.front().error().message);
+    }
+    lw.path_order.resize(lw.paths.size());
+    std::iota(lw.path_order.begin(), lw.path_order.end(), 0);
+    std::stable_sort(lw.path_order.begin(), lw.path_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double ca = lw.mode_sets[a]
+                                             ? lw.mode_sets[a].value().cost
+                                             : std::numeric_limits<double>::infinity();
+                       const double cb = lw.mode_sets[b]
+                                             ? lw.mode_sets[b].value().cost
+                                             : std::numeric_limits<double>::infinity();
+                       return ca < cb;
+                     });
+    const auto& best = lw.mode_sets[lw.path_order.front()].value();
+    switch (config_.ordering) {
+      case LinkOrdering::kMostConstrainedFirst:
+        lw.difficulty = static_cast<double>(best.total_pixels) *
+                        static_cast<double>(
+                            lw.paths[lw.path_order.front()].hop_count());
+        break;
+      case LinkOrdering::kLongestPathFirst:
+        lw.difficulty = lw.paths.front().length_km;
+        break;
+      case LinkOrdering::kArbitrary:
+        lw.difficulty = 0.0;  // stable sort keeps input order
+        break;
+    }
+    work.push_back(std::move(lw));
+  }
+
+  // Stage 2: spectrum assignment in configured difficulty order.
+  std::stable_sort(work.begin(), work.end(),
+                   [](const LinkWork& a, const LinkWork& b) {
+                     return a.difficulty > b.difficulty;
+                   });
+
+  for (const auto& lw : work) {
+    // Record candidate paths on the link plan (path_index refers here).
+    for (auto& lp : result.links()) {
+      if (lp.link == lw.link) lp.paths = lw.paths;
+    }
+    const double demand = net.ip.link(lw.link).demand_gbps;
+
+    bool done = false;
+    // First try to fit the whole optimal mode set on one candidate path.
+    for (std::size_t oi : lw.path_order) {
+      if (!lw.mode_sets[oi]) continue;
+      if (place_mode_set(result, lw.paths[oi], lw.link, static_cast<int>(oi),
+                         lw.mode_sets[oi].value().modes,
+                         config_.reserved_pixels)) {
+        done = true;
+        break;
+      }
+    }
+    if (done) continue;
+    if (!config_.allow_split) {
+      return Error::make("no_spectrum",
+                         "link " + net.ip.link(lw.link).name +
+                             " does not fit on any candidate path");
+    }
+
+    // Split: place wavelengths one at a time, re-deriving the remaining
+    // demand's optimal set per path as spectrum allows.
+    double remaining = demand;
+    for (std::size_t oi : lw.path_order) {
+      if (remaining <= 0.0) break;
+      if (!lw.mode_sets[oi]) continue;
+      auto set = best_mode_set(*catalog_, lw.paths[oi].length_km, remaining,
+                               config_.epsilon);
+      if (!set) continue;
+      for (const auto& mode : set.value().modes) {
+        if (remaining <= 0.0) break;
+        const auto fit = plan_first_fit(result, lw.paths[oi], mode.pixels(),
+                                        config_.reserved_pixels);
+        if (!fit) break;  // this path is exhausted; try the next one
+        Wavelength wl{lw.link, static_cast<int>(oi), mode, *fit};
+        auto r = result.place_wavelength(lw.paths[oi], wl);
+        if (!r) break;
+        remaining -= mode.data_rate_gbps;
+      }
+    }
+    if (remaining > 0.0) {
+      return Error::make("no_spectrum",
+                         "link " + net.ip.link(lw.link).name + " short " +
+                             std::to_string(remaining) + " Gbps of spectrum");
+    }
+  }
+  return result;
+}
+
+}  // namespace flexwan::planning

@@ -1,0 +1,82 @@
+// Scalable network planner implementing Algorithm 1's objective with a
+// two-level decomposition:
+//
+//  1. Per (link, candidate path): the optimal wavelength format multiset is
+//     computed by dynamic programming over the demand in 100 Gbps units,
+//     minimizing  #transponders + epsilon * spectrum  subject to the optical
+//     reach constraint (2) — exactly the per-path structure of the MIP.
+//  2. Network-wide: links are assigned spectrum most-constrained-first with
+//     contiguous first-fit ranges that are identical on every fiber of the
+//     path (constraints 3-5).  When a link's whole mode set does not fit on
+//     one path, the demand is split across its K candidate paths.
+//
+// The exact branch-and-bound formulation (exact.h) verifies this heuristic's
+// optimality gap on small instances (see tests and bench_milp_gap).
+#pragma once
+
+#include <vector>
+
+#include "planning/plan.h"
+#include "topology/builders.h"
+#include "topology/ksp.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::planning {
+
+// Order in which links receive spectrum (stage 2).  Most-constrained-first
+// is the default; the alternatives exist for the DESIGN.md ablation.
+enum class LinkOrdering {
+  kMostConstrainedFirst,  // widest pixel footprint x hops first
+  kLongestPathFirst,      // longest shortest-path first
+  kArbitrary,             // input order
+};
+
+struct PlannerConfig {
+  int k_paths = 3;          // K in the KSP pre-computation
+  double epsilon = 0.001;   // objective balance between transponders/spectrum
+  int band_pixels = spectrum::kCBandPixels;
+  bool allow_split = true;  // allow splitting a link across candidate paths
+  LinkOrdering ordering = LinkOrdering::kMostConstrainedFirst;
+  // Protection spectrum: the top `reserved_pixels` of the band are kept off
+  // limits to planning and stay free for optical restoration (the §8
+  // balance between cost savings and restoration headroom, by policy
+  // rather than FlexWAN+'s spare transponders).
+  int reserved_pixels = 0;
+};
+
+// The format multiset chosen for one path, with its objective cost.
+struct ModeSet {
+  std::vector<transponder::Mode> modes;
+  double cost = 0.0;        // #modes + epsilon * total spacing
+  int total_pixels = 0;
+
+  double total_rate_gbps() const;
+};
+
+// Optimal wavelength formats to carry `demand_gbps` over a path of
+// `distance_km`, minimizing count + epsilon * spacing (DP, exact for a
+// single path).  Fails with "unreachable_demand" when no catalog mode
+// reaches the distance.
+Expected<ModeSet> best_mode_set(const transponder::Catalog& catalog,
+                                double distance_km, double demand_gbps,
+                                double epsilon);
+
+class HeuristicPlanner {
+ public:
+  HeuristicPlanner(const transponder::Catalog& catalog, PlannerConfig config);
+
+  // Plans the whole network.  Fails with "no_spectrum" when some link cannot
+  // be provisioned within the C-band (this failure is the signal the
+  // Fig. 12 capacity-scale sweep detects) and "unreachable_demand" when a
+  // link's shortest path exceeds the family's maximum reach.
+  Expected<Plan> plan(const topology::Network& net) const;
+
+  const transponder::Catalog& catalog() const { return *catalog_; }
+  const PlannerConfig& config() const { return config_; }
+
+ private:
+  const transponder::Catalog* catalog_;
+  PlannerConfig config_;
+};
+
+}  // namespace flexwan::planning

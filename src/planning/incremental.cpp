@@ -1,0 +1,121 @@
+#include "planning/incremental.h"
+
+#include <algorithm>
+
+namespace flexwan::planning {
+
+Expected<ExtensionResult> extend_plan(Plan& plan,
+                                      const topology::Network& net,
+                                      topology::LinkId link,
+                                      double extra_gbps,
+                                      const PlannerConfig& config) {
+  ExtensionResult result;
+  if (extra_gbps <= 0.0) return result;
+
+  LinkPlan* lp = nullptr;
+  for (auto& candidate : plan.links()) {
+    if (candidate.link == link) {
+      lp = &candidate;
+      break;
+    }
+  }
+  if (lp == nullptr || lp->paths.empty()) {
+    return Error::make("unknown_link",
+                       "plan has no paths for link " + std::to_string(link));
+  }
+  const auto& catalog =
+      plan.scheme() == "RADWAN"     ? transponder::bvt_radwan()
+      : plan.scheme() == "100G-WAN" ? transponder::fixed_grid_100g()
+                                    : transponder::svt_flexwan();
+
+  // Greedy over candidate paths in length order, same as the planner's
+  // split stage, but every placement is recorded for rollback.
+  std::vector<std::pair<topology::Path, Wavelength>> placed;
+  double remaining = extra_gbps;
+  for (std::size_t k = 0; k < lp->paths.size() && remaining > 0.0; ++k) {
+    const auto& path = lp->paths[k];
+    auto set = best_mode_set(catalog, path.length_km, remaining,
+                             config.epsilon);
+    if (!set) continue;  // path too long for this family
+    for (const auto& mode : set->modes) {
+      if (remaining <= 0.0) break;
+      const auto fit =
+          common_first_fit(plan.fiber_occupancies(), path, mode.pixels(),
+                           plan.band_pixels() - config.reserved_pixels);
+      if (!fit) break;
+      Wavelength wl{link, static_cast<int>(k), mode, *fit};
+      auto r = plan.place_wavelength(path, wl);
+      if (!r) break;
+      placed.emplace_back(path, wl);
+      remaining -= mode.data_rate_gbps;
+      ++result.wavelengths_added;
+      result.capacity_added_gbps += mode.data_rate_gbps;
+    }
+  }
+  if (remaining > 0.0) {
+    for (auto it = placed.rbegin(); it != placed.rend(); ++it) {
+      auto r = plan.remove_wavelength(it->first, it->second);
+      (void)r;
+    }
+    return Error::make("no_spectrum",
+                       "extension short " + std::to_string(remaining) +
+                           " Gbps of residual spectrum");
+  }
+  (void)net;
+  return result;
+}
+
+Expected<DefragResult> defragment(Plan& plan) {
+  DefragResult result;
+  for (topology::FiberId f = 0; f < plan.fiber_count(); ++f) {
+    result.free_run_before += plan.fiber_occupancy(f).largest_free_run();
+  }
+
+  // Collect every wavelength with its path, widest channels first (stable on
+  // link then path so the re-pack is deterministic).
+  struct Item {
+    topology::Path path;
+    Wavelength wl;
+  };
+  std::vector<Item> items;
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      items.push_back(
+          Item{lp.paths[static_cast<std::size_t>(wl.path_index)], wl});
+    }
+  }
+  std::stable_sort(items.begin(), items.end(), [](const Item& a,
+                                                  const Item& b) {
+    return a.wl.range.count > b.wl.range.count;
+  });
+
+  // Lift everything out, then re-place first-fit.  Removal cannot fail (the
+  // plan placed these), and re-placement cannot fail either: first-fit into
+  // a superset of the previously feasible space always finds room, but we
+  // still guard and restore the original position if it ever did.
+  for (auto& item : items) {
+    auto removed = plan.remove_wavelength(item.path, item.wl);
+    (void)removed;
+  }
+  for (auto& item : items) {
+    const auto fit = common_first_fit(plan.fiber_occupancies(), item.path,
+                                      item.wl.range.count);
+    Wavelength moved = item.wl;
+    if (fit) {
+      moved.range = *fit;
+    }
+    auto placed = plan.place_wavelength(item.path, moved);
+    if (!placed) {
+      return Error::make("defrag_failed",
+                         "re-placement conflict: " + placed.error().message);
+    }
+    if (moved.range != item.wl.range) ++result.wavelengths_moved;
+  }
+
+  for (topology::FiberId f = 0; f < plan.fiber_count(); ++f) {
+    result.free_run_after += plan.fiber_occupancy(f).largest_free_run();
+  }
+  return result;
+}
+
+}  // namespace flexwan::planning

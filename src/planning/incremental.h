@@ -1,0 +1,53 @@
+// Incremental planning operations.
+//
+// The paper runs Algorithm 1 offline and infrequently (§4.4): bandwidth
+// capacity changes monthly or yearly.  In between, operators need two
+// lighter operations that this module provides on top of an existing plan:
+//
+//  * extend_plan()  — provision additional demand on one IP link (or a new
+//    IP link) without disturbing any deployed wavelength.  Runs the same
+//    per-path DP as the planner, but packs into the residual spectrum.
+//  * defragment()   — re-pack all wavelengths' spectrum ranges first-fit in
+//    a stable order, reducing fragmentation so future extensions and
+//    restorations find contiguous blocks.  Formats and paths are untouched;
+//    only ranges move (hitless spectrum defragmentation).
+#pragma once
+
+#include "planning/heuristic.h"
+#include "planning/plan.h"
+
+namespace flexwan::planning {
+
+struct ExtensionResult {
+  int wavelengths_added = 0;
+  double capacity_added_gbps = 0.0;
+};
+
+// Adds `extra_gbps` of capacity to IP link `link` in `plan`.  Existing
+// wavelengths are never moved; the new wavelengths use whatever contiguous
+// residual spectrum remains on the link's candidate paths.  Fails with
+// "no_spectrum" (plan unchanged) when the residual band cannot carry the
+// extension, or "unknown_link" when the plan has no entry for `link`.
+Expected<ExtensionResult> extend_plan(Plan& plan,
+                                      const topology::Network& net,
+                                      topology::LinkId link,
+                                      double extra_gbps,
+                                      const PlannerConfig& config = {});
+
+struct DefragResult {
+  int wavelengths_moved = 0;
+  // Sum over fibers of the largest contiguous free run, before and after —
+  // the headroom metric restoration cares about.
+  int free_run_before = 0;
+  int free_run_after = 0;
+};
+
+// Re-packs every wavelength's spectrum first-fit, widest channels first.
+// The result satisfies the same constraints (validated by construction via
+// Plan's reserve bookkeeping).  Compaction is best-effort: on a single
+// congested fiber it strictly consolidates free space, but on meshes the
+// shared-path interactions can shift headroom between fibers, so compare
+// free_run_before/after rather than assuming improvement.
+Expected<DefragResult> defragment(Plan& plan);
+
+}  // namespace flexwan::planning

@@ -1,0 +1,112 @@
+#include "planning/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace flexwan::planning {
+
+PlanMetrics compute_metrics(const Plan& plan, const topology::Network& net) {
+  PlanMetrics m;
+  m.transponder_count = plan.transponder_count();
+  m.spectrum_usage_ghz = plan.spectrum_usage_ghz();
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      m.reach_gaps_km.push_back(wl.mode.reach_km - path.length_km);
+      m.spectral_efficiencies.push_back(wl.mode.spectral_efficiency());
+      m.path_lengths_km.push_back(path.length_km);
+      m.path_length_weights_gbps.push_back(wl.mode.data_rate_gbps);
+    }
+  }
+  if (!m.spectral_efficiencies.empty()) {
+    m.mean_spectral_efficiency =
+        std::accumulate(m.spectral_efficiencies.begin(),
+                        m.spectral_efficiencies.end(), 0.0) /
+        static_cast<double>(m.spectral_efficiencies.size());
+  }
+  for (topology::FiberId f = 0; f < plan.fiber_count(); ++f) {
+    const auto& occ = plan.fiber_occupancy(f);
+    const double util = occ.pixels() > 0
+                            ? static_cast<double>(occ.used_pixels()) /
+                                  static_cast<double>(occ.pixels())
+                            : 0.0;
+    m.max_fiber_utilization = std::max(m.max_fiber_utilization, util);
+  }
+  (void)net;
+  return m;
+}
+
+Expected<bool> validate_plan(const Plan& plan, const topology::Network& net) {
+  // (1) demand coverage.
+  for (const auto& link : net.ip.links()) {
+    const LinkPlan* lp = plan.find_link(link.id);
+    const double provisioned = lp ? lp->provisioned_gbps() : 0.0;
+    if (provisioned + 1e-9 < link.demand_gbps) {
+      return Error::make("demand_violation",
+                         "link " + link.name + " provisioned " +
+                             std::to_string(provisioned) + " of " +
+                             std::to_string(link.demand_gbps) + " Gbps");
+    }
+  }
+  // (2) reach, plus structural checks on paths and ranges.
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      if (wl.path_index < 0 ||
+          wl.path_index >= static_cast<int>(lp.paths.size())) {
+        return Error::make("bad_path_index", "wavelength references path " +
+                                                 std::to_string(wl.path_index));
+      }
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      if (!wl.mode.reaches(path.length_km)) {
+        return Error::make("reach_violation",
+                           wl.mode.describe() + " on a " +
+                               std::to_string(path.length_km) + " km path");
+      }
+      if (!wl.range.valid() || wl.range.end() > plan.band_pixels()) {
+        return Error::make("bad_range", "invalid spectrum range " +
+                                            spectrum::to_string(wl.range));
+      }
+      if (wl.range.count != wl.mode.pixels()) {
+        return Error::make("range_mode_mismatch",
+                           "range width != mode channel spacing");
+      }
+    }
+  }
+  // (3)-(5) conflict-freedom and consistency: rebuild occupancy from scratch
+  // and compare — every wavelength must reserve the same range on every
+  // fiber of its path with no overlap anywhere.
+  std::vector<spectrum::Occupancy> rebuilt(
+      static_cast<std::size_t>(plan.fiber_count()),
+      spectrum::Occupancy(plan.band_pixels()));
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      for (topology::FiberId f : path.fibers) {
+        auto r = rebuilt[static_cast<std::size_t>(f)].reserve(wl.range);
+        if (!r) {
+          return Error::make("spectrum_conflict",
+                             "fiber " + std::to_string(f) + ": " +
+                                 r.error().message);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double max_supported_scale(const topology::Network& net,
+                           const HeuristicPlanner& planner, double max_scale,
+                           double step) {
+  double supported = 0.0;
+  for (double scale = step; scale <= max_scale + 1e-9; scale += step) {
+    topology::Network scaled{net.name, net.optical, net.ip.scaled(scale)};
+    if (planner.plan(scaled)) {
+      supported = scale;
+    } else {
+      break;
+    }
+  }
+  return supported;
+}
+
+}  // namespace flexwan::planning

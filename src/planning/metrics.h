@@ -1,0 +1,43 @@
+// Plan evaluation metrics: the quantities the paper's §7 figures report.
+#pragma once
+
+#include <vector>
+
+#include "planning/heuristic.h"
+#include "planning/plan.h"
+#include "topology/builders.h"
+
+namespace flexwan::planning {
+
+// Per-plan aggregates used by Figs. 12-14 and the §7 headline numbers.
+struct PlanMetrics {
+  int transponder_count = 0;        // Fig. 12(a)
+  double spectrum_usage_ghz = 0.0;  // Fig. 12(b): sum of lambda * Y
+  // Fig. 14(a): per-wavelength gap = optical reach - fiber path length (km).
+  std::vector<double> reach_gaps_km;
+  // Fig. 14(b): per-wavelength link spectral efficiency (bits/s/Hz).
+  std::vector<double> spectral_efficiencies;
+  double mean_spectral_efficiency = 0.0;
+  // Per-wavelength optical path lengths, demand-weighted inputs to Fig. 13(a).
+  std::vector<double> path_lengths_km;
+  std::vector<double> path_length_weights_gbps;
+  // Highest per-fiber pixel utilisation (spectrum headroom indicator).
+  double max_fiber_utilization = 0.0;
+};
+
+PlanMetrics compute_metrics(const Plan& plan, const topology::Network& net);
+
+// Verifies that the plan satisfies every Algorithm 1 constraint against the
+// network: demand coverage (1), reach (2), conflict-free/consistent spectrum
+// (3)-(5).  Returns the first violation, or true.  Used by tests and by the
+// controller before pushing configuration to devices.
+Expected<bool> validate_plan(const Plan& plan, const topology::Network& net);
+
+// Largest demand multiplier (in `step` increments up to `max_scale`) at
+// which the planner still finds a feasible plan — the paper's "supports up
+// to 8x present-day demands" metric (Fig. 12).
+double max_supported_scale(const topology::Network& net,
+                           const HeuristicPlanner& planner,
+                           double max_scale = 12.0, double step = 0.5);
+
+}  // namespace flexwan::planning

@@ -1,0 +1,121 @@
+#include "planning/plan.h"
+
+#include <algorithm>
+
+namespace flexwan::planning {
+
+double LinkPlan::provisioned_gbps() const {
+  double total = 0.0;
+  for (const auto& wl : wavelengths) total += wl.mode.data_rate_gbps;
+  return total;
+}
+
+Plan::Plan(std::string scheme, int fiber_count, int band_pixels)
+    : scheme_(std::move(scheme)), band_pixels_(band_pixels) {
+  fibers_.reserve(static_cast<std::size_t>(fiber_count));
+  for (int i = 0; i < fiber_count; ++i) {
+    fibers_.emplace_back(band_pixels);
+  }
+}
+
+LinkPlan& Plan::add_link_plan(topology::LinkId link) {
+  links_.push_back(LinkPlan{link, {}, {}});
+  return links_.back();
+}
+
+const LinkPlan* Plan::find_link(topology::LinkId link) const {
+  for (const auto& lp : links_) {
+    if (lp.link == link) return &lp;
+  }
+  return nullptr;
+}
+
+Expected<bool> Plan::place_wavelength(const topology::Path& path,
+                                      Wavelength wl) {
+  // Probe every fiber first so a failure leaves no partial reservation.
+  for (topology::FiberId f : path.fibers) {
+    if (!fibers_[static_cast<std::size_t>(f)].is_free(wl.range)) {
+      return Error::make("conflict", "fiber " + std::to_string(f) +
+                                         " busy at " +
+                                         spectrum::to_string(wl.range));
+    }
+  }
+  for (topology::FiberId f : path.fibers) {
+    auto r = fibers_[static_cast<std::size_t>(f)].reserve(wl.range);
+    (void)r;  // cannot fail: probed above
+  }
+  for (auto& lp : links_) {
+    if (lp.link == wl.link) {
+      lp.wavelengths.push_back(std::move(wl));
+      return true;
+    }
+  }
+  add_link_plan(wl.link).wavelengths.push_back(std::move(wl));
+  return true;
+}
+
+Expected<bool> Plan::remove_wavelength(const topology::Path& path,
+                                       const Wavelength& wl) {
+  for (auto& lp : links_) {
+    if (lp.link != wl.link) continue;
+    const auto it = std::find_if(
+        lp.wavelengths.begin(), lp.wavelengths.end(), [&](const Wavelength& w) {
+          return w.path_index == wl.path_index && w.range == wl.range &&
+                 w.mode.data_rate_gbps == wl.mode.data_rate_gbps;
+        });
+    if (it == lp.wavelengths.end()) break;
+    for (topology::FiberId f : path.fibers) {
+      auto r = fibers_[static_cast<std::size_t>(f)].release(wl.range);
+      if (!r) return r;
+    }
+    lp.wavelengths.erase(it);
+    return true;
+  }
+  return Error::make("not_found", "wavelength not present in plan");
+}
+
+int Plan::transponder_count() const {
+  int total = 0;
+  for (const auto& lp : links_) {
+    total += static_cast<int>(lp.wavelengths.size());
+  }
+  return total;
+}
+
+double Plan::spectrum_usage_ghz() const {
+  double total = 0.0;
+  for (const auto& lp : links_) {
+    for (const auto& wl : lp.wavelengths) total += wl.mode.spacing_ghz;
+  }
+  return total;
+}
+
+std::vector<Wavelength> Plan::all_wavelengths() const {
+  std::vector<Wavelength> out;
+  for (const auto& lp : links_) {
+    out.insert(out.end(), lp.wavelengths.begin(), lp.wavelengths.end());
+  }
+  return out;
+}
+
+std::optional<spectrum::Range> common_first_fit(
+    std::span<const spectrum::Occupancy> fibers, const topology::Path& path,
+    int count, int end_limit) {
+  if (count <= 0 || fibers.empty()) return std::nullopt;
+  const int band = fibers.front().pixels();
+  const int pixels = end_limit >= 0 ? std::min(end_limit, band) : band;
+  for (int start = 0; start + count <= pixels; ++start) {
+    const spectrum::Range range{start, count};
+    bool free = true;
+    for (topology::FiberId f : path.fibers) {
+      if (!fibers[static_cast<std::size_t>(f)].is_free(range)) {
+        free = false;
+        break;
+      }
+    }
+    if (free) return range;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flexwan::planning

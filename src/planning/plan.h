@@ -1,0 +1,102 @@
+// Plan data model: the output of network planning (Algorithm 1).
+//
+// A plan records, for every IP link, the chosen optical paths and the
+// wavelengths (transponder pairs) riding them: each wavelength has a mode
+// (the j-th format) and a spectrum range (the q-th order), identical on all
+// fibers of its path (spectrum consistency, constraint 4) and conflict-free
+// per fiber (constraint 3).
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spectrum/occupancy.h"
+#include "topology/graph.h"
+#include "transponder/mode.h"
+#include "util/expected.h"
+
+namespace flexwan::planning {
+
+// One provisioned wavelength: a transponder pair at a specific format and
+// spectrum position on one optical path of one IP link.
+struct Wavelength {
+  topology::LinkId link = -1;
+  int path_index = 0;               // k: which KSP path of the link
+  transponder::Mode mode;           // j-th format
+  spectrum::Range range;            // assigned pixels (same on every fiber)
+};
+
+// Per-IP-link slice of the plan.
+struct LinkPlan {
+  topology::LinkId link = -1;
+  std::vector<topology::Path> paths;  // KSP candidates, index = path_index
+  std::vector<Wavelength> wavelengths;
+
+  double provisioned_gbps() const;
+};
+
+// A full network plan plus the resulting per-fiber spectrum occupancy.
+class Plan {
+ public:
+  Plan(std::string scheme, int fiber_count, int band_pixels);
+
+  const std::string& scheme() const { return scheme_; }
+
+  LinkPlan& add_link_plan(topology::LinkId link);
+  std::span<const LinkPlan> links() const { return links_; }
+  std::span<LinkPlan> links() { return links_; }
+  const LinkPlan* find_link(topology::LinkId link) const;
+
+  // Reserves `range` on every fiber of `path` and appends the wavelength to
+  // its link plan.  Fails atomically on any conflict.
+  Expected<bool> place_wavelength(const topology::Path& path, Wavelength wl);
+
+  // Releases the wavelength's spectrum on every fiber of its path and
+  // removes it from the link plan.  Used by restoration (spare transponders)
+  // and by the planner's backtracking.
+  Expected<bool> remove_wavelength(const topology::Path& path,
+                                   const Wavelength& wl);
+
+  const spectrum::Occupancy& fiber_occupancy(topology::FiberId f) const {
+    return fibers_[static_cast<std::size_t>(f)];
+  }
+  std::span<const spectrum::Occupancy> fiber_occupancies() const {
+    return fibers_;
+  }
+  spectrum::Occupancy& fiber_occupancy(topology::FiberId f) {
+    return fibers_[static_cast<std::size_t>(f)];
+  }
+  int fiber_count() const { return static_cast<int>(fibers_.size()); }
+  int band_pixels() const { return band_pixels_; }
+
+  // --- Plan-wide cost metrics (paper §5 objective terms) -------------------
+
+  // Total transponder pairs: sum over links of wavelength count.
+  int transponder_count() const;
+
+  // Total spectrum usage (GHz): sum over wavelengths of their channel
+  // spacing Y_j (the objective's indirect-cost term).
+  double spectrum_usage_ghz() const;
+
+  // All wavelengths flattened, for metric computations.
+  std::vector<Wavelength> all_wavelengths() const;
+
+ private:
+  std::string scheme_;
+  int band_pixels_ = 0;
+  std::vector<LinkPlan> links_;
+  std::vector<spectrum::Occupancy> fibers_;
+};
+
+// Lowest start pixel where `count` contiguous pixels are free on *every*
+// fiber of `path` — the common first-fit realizing spectrum-consistency
+// constraint (4).  Shared by the planner and the restorer.  When
+// `end_limit` >= 0, only ranges ending at or below it are considered (used
+// to keep protection spectrum free during planning).
+std::optional<spectrum::Range> common_first_fit(
+    std::span<const spectrum::Occupancy> fibers, const topology::Path& path,
+    int count, int end_limit = -1);
+
+}  // namespace flexwan::planning

@@ -1,0 +1,149 @@
+#include "planning/plan_io.h"
+
+#include <sstream>
+
+#include "transponder/catalog.h"
+
+namespace flexwan::planning {
+
+namespace {
+
+Error parse_error(int line, const std::string& what) {
+  return Error::make("parse_error",
+                     "line " + std::to_string(line) + ": " + what);
+}
+
+// Finds a catalog mode by its (rate, spacing) signature; falls back to a
+// synthesized mode (still carrying the recorded reach) for custom catalogs.
+transponder::Mode mode_from(double rate, double spacing, double reach,
+                            const std::string& scheme) {
+  const transponder::Catalog* catalogs[] = {&transponder::svt_flexwan(),
+                                            &transponder::bvt_radwan(),
+                                            &transponder::fixed_grid_100g()};
+  for (const auto* catalog : catalogs) {
+    if (catalog->name() != scheme) continue;
+    for (const auto& m : catalog->modes()) {
+      if (m.data_rate_gbps == rate && m.spacing_ghz == spacing) return m;
+    }
+  }
+  transponder::Mode m;
+  m.data_rate_gbps = rate;
+  m.spacing_ghz = spacing;
+  m.reach_km = reach;
+  return m;
+}
+
+}  // namespace
+
+std::string save_plan(const Plan& plan) {
+  std::ostringstream os;
+  os << "plan " << plan.scheme() << " " << plan.fiber_count() << " "
+     << plan.band_pixels() << "\n";
+  for (const auto& lp : plan.links()) {
+    os << "link " << lp.link << "\n";
+    for (const auto& path : lp.paths) {
+      os << "path " << path.length_km;
+      for (topology::FiberId f : path.fibers) os << " " << f;
+      os << " ;";
+      for (topology::NodeId n : path.nodes) os << " " << n;
+      os << "\n";
+    }
+    for (const auto& wl : lp.wavelengths) {
+      os << "wavelength " << wl.path_index << " " << wl.mode.data_rate_gbps
+         << " " << wl.mode.spacing_ghz << " " << wl.mode.reach_km << " "
+         << wl.range.first << "\n";
+    }
+  }
+  return os.str();
+}
+
+Expected<Plan> load_plan(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+
+  // Header.
+  std::string scheme;
+  int fibers = 0;
+  int band = 0;
+  {
+    if (!std::getline(in, line)) return parse_error(1, "empty document");
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword >> scheme >> fibers >> band) || keyword != "plan" ||
+        fibers < 0 || band <= 0) {
+      return parse_error(line_no, "expected: plan <scheme> <fibers> <band>");
+    }
+  }
+  Plan plan(scheme, fibers, band);
+
+  LinkPlan* current = nullptr;
+  // Wavelengths are recorded after the paths of their link, so one pass
+  // suffices; each is re-placed through the conflict-checked API.
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "link") {
+      int id = -1;
+      if (!(ls >> id) || id < 0) return parse_error(line_no, "bad link id");
+      current = &plan.add_link_plan(id);
+    } else if (keyword == "path") {
+      if (current == nullptr) return parse_error(line_no, "path before link");
+      topology::Path path;
+      if (!(ls >> path.length_km)) {
+        return parse_error(line_no, "missing path length");
+      }
+      std::string token;
+      bool in_nodes = false;
+      while (ls >> token) {
+        if (token == ";") {
+          in_nodes = true;
+          continue;
+        }
+        try {
+          const int v = std::stoi(token);
+          (in_nodes ? path.nodes : path.fibers).push_back(v);
+        } catch (const std::exception&) {
+          return parse_error(line_no, "bad id " + token);
+        }
+      }
+      if (path.nodes.size() != path.fibers.size() + 1) {
+        return parse_error(line_no, "path node/fiber count mismatch");
+      }
+      current->paths.push_back(std::move(path));
+    } else if (keyword == "wavelength") {
+      if (current == nullptr) {
+        return parse_error(line_no, "wavelength before link");
+      }
+      int path_index = -1;
+      double rate = 0;
+      double spacing = 0;
+      double reach = 0;
+      int first = -1;
+      if (!(ls >> path_index >> rate >> spacing >> reach >> first)) {
+        return parse_error(line_no, "expected: wavelength <k> <rate> "
+                                    "<spacing> <reach> <pixel>");
+      }
+      if (path_index < 0 ||
+          path_index >= static_cast<int>(current->paths.size())) {
+        return parse_error(line_no, "wavelength references unknown path");
+      }
+      Wavelength wl;
+      wl.link = current->link;
+      wl.path_index = path_index;
+      wl.mode = mode_from(rate, spacing, reach, scheme);
+      wl.range = spectrum::Range{first, wl.mode.pixels()};
+      const auto placed = plan.place_wavelength(
+          current->paths[static_cast<std::size_t>(path_index)], wl);
+      if (!placed) return placed.error();  // "conflict": corrupt document
+    } else {
+      return parse_error(line_no, "unknown keyword " + keyword);
+    }
+  }
+  return plan;
+}
+
+}  // namespace flexwan::planning

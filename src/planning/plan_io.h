@@ -1,0 +1,31 @@
+// Plan serialization.
+//
+// Network planning runs offline and infrequently (§4.4); the configuration
+// it produces is pushed to devices later, possibly by a different process.
+// This module persists a Plan as a line-based text document:
+//
+//   plan <scheme> <fiber-count> <band-pixels>
+//   link <link-id>
+//   path <length-km> <fiber-id>... ; <node-id>...
+//   wavelength <path-index> <rate> <spacing> <reach> <first-pixel>
+//
+// save_plan() / load_plan() round-trip exactly; load re-reserves every
+// wavelength through Plan's bookkeeping, so a corrupted file that would
+// double-book spectrum is rejected rather than loaded.
+#pragma once
+
+#include <string>
+
+#include "planning/plan.h"
+#include "util/expected.h"
+
+namespace flexwan::planning {
+
+std::string save_plan(const Plan& plan);
+
+// Parses a plan document.  Fails with "parse_error" (line number in the
+// message) on malformed input and "conflict" when the recorded wavelengths
+// are not mutually consistent.
+Expected<Plan> load_plan(const std::string& text);
+
+}  // namespace flexwan::planning

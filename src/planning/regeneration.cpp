@@ -1,0 +1,88 @@
+#include "planning/regeneration.h"
+
+#include "topology/ksp.h"
+
+namespace flexwan::planning {
+
+namespace {
+
+// Splits `path` into maximal prefixes no longer than `max_reach_km`,
+// returning the node indices (into path.nodes) where regeneration happens.
+// Empty result means the whole path fits in one segment.
+Expected<std::vector<std::size_t>> regeneration_points(
+    const topology::OpticalTopology& topo, const topology::Path& path,
+    double max_reach_km) {
+  std::vector<std::size_t> cuts;
+  double segment = 0.0;
+  for (std::size_t i = 0; i < path.fibers.size(); ++i) {
+    const double hop = topo.fiber(path.fibers[i]).length_km;
+    if (hop > max_reach_km) {
+      return Error::make("unregenerable",
+                         "fiber span of " + std::to_string(hop) +
+                             " km exceeds the family's maximum reach");
+    }
+    if (segment + hop > max_reach_km) {
+      cuts.push_back(i);  // regenerate at path.nodes[i], before this fiber
+      segment = 0.0;
+    }
+    segment += hop;
+  }
+  return cuts;
+}
+
+}  // namespace
+
+Expected<RegeneratedPlan> plan_with_regeneration(
+    const topology::Network& net, const transponder::Catalog& catalog,
+    const PlannerConfig& config) {
+  const double max_reach = catalog.max_reach_km();
+
+  topology::Network effective;
+  effective.name = net.name;
+  effective.optical = net.optical;
+
+  std::map<topology::LinkId, std::vector<topology::LinkId>> segment_map;
+  int regenerator_sites = 0;
+
+  for (const auto& link : net.ip.links()) {
+    const auto shortest =
+        topology::shortest_path(net.optical, link.src, link.dst);
+    if (!shortest) {
+      return Error::make("unreachable",
+                         "IP link " + link.name + " has no optical path");
+    }
+    if (shortest->length_km <= max_reach) {
+      effective.ip.add_link(link.src, link.dst, link.demand_gbps, link.name);
+      continue;
+    }
+    // Beyond reach: regenerate along the shortest path.
+    auto cuts = regeneration_points(net.optical, *shortest, max_reach);
+    if (!cuts) return cuts.error();
+    std::vector<topology::LinkId> ids;
+    topology::NodeId segment_src = link.src;
+    int index = 0;
+    for (std::size_t cut : cuts.value()) {
+      const topology::NodeId regen_site = shortest->nodes[cut];
+      ids.push_back(effective.ip.add_link(
+          segment_src, regen_site, link.demand_gbps,
+          link.name + "/seg" + std::to_string(index++)));
+      segment_src = regen_site;
+      ++regenerator_sites;
+    }
+    ids.push_back(effective.ip.add_link(
+        segment_src, link.dst, link.demand_gbps,
+        link.name + "/seg" + std::to_string(index)));
+    segment_map[link.id] = std::move(ids);
+  }
+
+  HeuristicPlanner planner(catalog, config);
+  auto plan = planner.plan(effective);
+  if (!plan) return plan.error();
+
+  RegeneratedPlan result(std::move(effective), std::move(plan.value()));
+  result.segments = std::move(segment_map);
+  result.regenerator_sites = regenerator_sites;
+  return result;
+}
+
+}  // namespace flexwan::planning

@@ -1,0 +1,50 @@
+// OEO regeneration support.
+//
+// The paper keeps every wavelength within its format's optical reach
+// (Algorithm 1, constraint 2); production backbones serve the occasional
+// IP link whose every optical path exceeds the family's maximum reach by
+// regenerating — terminating the wavelength at an intermediate ROADM with a
+// back-to-back transponder pair and relaunching it.  Regeneration is the
+// expensive OEO conversion Shoofly [46] works to eliminate, which is
+// exactly why it deserves first-class cost accounting.
+//
+// plan_with_regeneration() keeps the Plan model untouched: IP links beyond
+// reach are split into *segment links* between regeneration sites chosen
+// along the shortest path, planning then runs over the rewritten IP
+// topology, and the report maps original links to their segments so cost
+// comparisons count regeneration transponders honestly.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "planning/heuristic.h"
+#include "planning/plan.h"
+
+namespace flexwan::planning {
+
+struct RegeneratedPlan {
+  // The rewritten network: unreachable IP links replaced by their segment
+  // links (everything else copied verbatim).  The plan validates against
+  // this network, not the original one.
+  topology::Network effective_net;
+  Plan plan;
+  // original link id -> segment link ids in the effective network (absent
+  // for links that needed no regeneration).
+  std::map<topology::LinkId, std::vector<topology::LinkId>> segments;
+  int regenerator_sites = 0;  // OEO sites added across all links
+
+  RegeneratedPlan(topology::Network net, Plan p)
+      : effective_net(std::move(net)), plan(std::move(p)) {}
+};
+
+// Plans `net` with regeneration allowed for links whose shortest optical
+// path exceeds the catalog's maximum reach.  Regeneration sites are placed
+// greedily along the shortest path (as far as one reach allows per hop).
+// Fails like HeuristicPlanner::plan, plus "unregenerable" when even a
+// single fiber span exceeds the family's maximum reach.
+Expected<RegeneratedPlan> plan_with_regeneration(
+    const topology::Network& net, const transponder::Catalog& catalog,
+    const PlannerConfig& config = {});
+
+}  // namespace flexwan::planning

@@ -1,0 +1,205 @@
+#include "restoration/exact.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "topology/ksp.h"
+
+namespace flexwan::restoration {
+
+namespace {
+
+// One gamma' variable: a restored wavelength candidate.
+struct GammaVar {
+  topology::LinkId link;
+  int path_index;   // into the link's restoration-path list
+  int mode_index;   // into catalog.modes()
+  int start_pixel;  // q-th order
+};
+
+}  // namespace
+
+Expected<ExactOutcome> solve_exact_restoration(
+    const topology::Network& net, const planning::Plan& plan,
+    const FailureScenario& scenario, const transponder::Catalog& catalog,
+    const ExactRestorerConfig& config,
+    const std::map<topology::LinkId, int>& extra_spares) {
+  // Residual spectrum phi_w: the plan's occupancy minus the affected
+  // wavelengths' reservations (their transponders become spares).
+  std::vector<spectrum::Occupancy> fibers(plan.fiber_occupancies().begin(),
+                                          plan.fiber_occupancies().end());
+  struct Affected {
+    double capacity = 0.0;        // c'_e
+    int spares = 0;               // N_e
+    std::vector<double> original_paths_km;
+  };
+  std::map<topology::LinkId, Affected> affected;
+  for (const auto& lp : plan.links()) {
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      const bool hit = std::any_of(
+          path.fibers.begin(), path.fibers.end(),
+          [&](topology::FiberId f) { return scenario.cuts(f); });
+      if (!hit) continue;
+      auto& a = affected[lp.link];
+      a.capacity += wl.mode.data_rate_gbps;
+      a.spares += 1;
+      a.original_paths_km.push_back(path.length_km);
+      for (topology::FiberId f : path.fibers) {
+        auto r = fibers[static_cast<std::size_t>(f)].release(wl.range);
+        (void)r;
+      }
+    }
+  }
+
+  ExactOutcome result;
+  if (affected.empty()) {
+    result.status = milp::MipStatus::kOptimal;
+    return result;
+  }
+  for (auto& [link, a] : affected) {
+    const auto it = extra_spares.find(link);
+    if (it != extra_spares.end()) a.spares += it->second;
+    result.outcome.affected_gbps += a.capacity;
+  }
+
+  milp::Model model;
+  model.set_direction(milp::Direction::kMaximize);
+  const auto modes = catalog.modes();
+  const int band = plan.band_pixels();
+
+  std::vector<GammaVar> gammas;
+  std::vector<milp::VarId> gamma_ids;
+  std::map<topology::LinkId, std::vector<topology::Path>> link_paths;
+
+  for (const auto& [link_id, a] : affected) {
+    const auto& ip_link = net.ip.link(link_id);
+    auto paths = topology::k_shortest_paths(net.optical, ip_link.src,
+                                            ip_link.dst, config.k_paths,
+                                            scenario.cut_fibers);
+    for (std::size_t k = 0; k < paths.size(); ++k) {
+      for (std::size_t j = 0; j < modes.size(); ++j) {
+        const auto& mode = modes[j];
+        if (!mode.reaches(paths[k].length_km)) continue;  // (10)
+        const int pix = mode.pixels();
+        for (int q = 0; q + pix <= band; ++q) {
+          // (9) pre-prune: a gamma whose range is already occupied on some
+          // fiber of its path can never be 1.
+          const spectrum::Range range{q, pix};
+          bool free = true;
+          for (topology::FiberId f : paths[k].fibers) {
+            if (!fibers[static_cast<std::size_t>(f)].is_free(range)) {
+              free = false;
+              break;
+            }
+          }
+          if (!free) continue;
+          if (static_cast<int>(gammas.size()) >= config.max_variables) {
+            return Error::make("too_large",
+                               "restoration MIP exceeds " +
+                                   std::to_string(config.max_variables) +
+                                   " variables");
+          }
+          gamma_ids.push_back(model.add_binary(
+              "g_e" + std::to_string(link_id) + "_k" + std::to_string(k) +
+                  "_j" + std::to_string(j) + "_q" + std::to_string(q),
+              mode.data_rate_gbps));  // objective: restored capacity
+          gammas.push_back(GammaVar{link_id, static_cast<int>(k),
+                                    static_cast<int>(j), q});
+        }
+      }
+    }
+    link_paths[link_id] = std::move(paths);
+  }
+
+  // (7) + (8): per affected link.
+  for (const auto& [link_id, a] : affected) {
+    std::vector<milp::Term> rate_terms;
+    std::vector<milp::Term> count_terms;
+    for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+      if (gammas[gi].link != link_id) continue;
+      rate_terms.push_back(milp::Term{
+          gamma_ids[gi],
+          modes[static_cast<std::size_t>(gammas[gi].mode_index)]
+              .data_rate_gbps});
+      count_terms.push_back(milp::Term{gamma_ids[gi], 1.0});
+    }
+    if (rate_terms.empty()) continue;  // link unrestorable in this scenario
+    model.add_constraint(std::move(rate_terms), milp::Sense::kLe, a.capacity,
+                         "cap_e" + std::to_string(link_id));
+    model.add_constraint(std::move(count_terms), milp::Sense::kLe,
+                         static_cast<double>(a.spares),
+                         "spares_e" + std::to_string(link_id));
+  }
+
+  // (11)-(12) conflict rows over the residual spectrum: at most one restored
+  // wavelength per (fiber, pixel); occupied pixels were pruned above.
+  for (topology::FiberId f = 0; f < net.optical.fiber_count(); ++f) {
+    if (scenario.cuts(f)) continue;
+    for (int w = 0; w < band; ++w) {
+      std::vector<milp::Term> terms;
+      for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+        const auto& g = gammas[gi];
+        const auto& mode = modes[static_cast<std::size_t>(g.mode_index)];
+        if (w < g.start_pixel || w >= g.start_pixel + mode.pixels()) continue;
+        const auto& path = link_paths.at(g.link)[static_cast<std::size_t>(
+            g.path_index)];
+        if (!path.uses_fiber(f)) continue;
+        terms.push_back(milp::Term{gamma_ids[gi], 1.0});
+      }
+      if (terms.size() > 1) {
+        model.add_constraint(std::move(terms), milp::Sense::kLe, 1.0,
+                             "pix_f" + std::to_string(f) + "_w" +
+                                 std::to_string(w));
+      }
+    }
+  }
+
+  const auto mip = milp::solve_mip(model, config.mip);
+  result.status = mip.status;
+  result.nodes_explored = mip.nodes_explored;
+  if (mip.status != milp::MipStatus::kOptimal &&
+      mip.status != milp::MipStatus::kNodeLimit) {
+    // The zero vector is always feasible, so infeasibility here would be a
+    // formulation bug — surface it.
+    return Error::make("solver_failed", "restoration MIP did not solve");
+  }
+  result.objective = mip.objective;
+
+  // Decode restored wavelengths.
+  std::map<topology::LinkId, std::size_t> next_original;
+  for (std::size_t gi = 0; gi < gammas.size(); ++gi) {
+    if (mip.x[static_cast<std::size_t>(gamma_ids[gi])] < 0.5) continue;
+    const auto& g = gammas[gi];
+    const auto& mode = modes[static_cast<std::size_t>(g.mode_index)];
+    RestoredWavelength rw;
+    rw.link = g.link;
+    rw.mode = mode;
+    rw.range = spectrum::Range{g.start_pixel, mode.pixels()};
+    rw.path = link_paths.at(g.link)[static_cast<std::size_t>(g.path_index)];
+    const auto& originals = affected.at(g.link).original_paths_km;
+    auto& idx = next_original[g.link];
+    rw.original_path_km = originals[std::min(idx, originals.size() - 1)];
+    ++idx;
+    result.outcome.wavelengths.push_back(std::move(rw));
+    result.outcome.restored_gbps += mode.data_rate_gbps;
+  }
+  // Per-link accounting.
+  for (const auto& [link_id, a] : affected) {
+    LinkRestoration lr;
+    lr.link = link_id;
+    lr.affected_gbps = a.capacity;
+    lr.spare_transponders = a.spares;
+    for (const auto& rw : result.outcome.wavelengths) {
+      if (rw.link == link_id) {
+        lr.restored_gbps += rw.mode.data_rate_gbps;
+        ++lr.used_transponders;
+      }
+    }
+    result.outcome.links.push_back(lr);
+  }
+  return result;
+}
+
+}  // namespace flexwan::restoration

@@ -1,0 +1,46 @@
+// Exact MILP formulation of the §8 optical-restoration program, solved with
+// the in-repo branch-and-bound.  Mirrors the paper's maximization:
+//
+//   maximize  sum d_j * lambda'_{e,k,j}
+//   s.t. (7)  restored capacity per link  <= affected capacity c'_e
+//        (8)  transponders used per link  <= spare transponders N_e
+//        (9)  restored spectrum only uses pixels left free by survivors
+//        (10)-(13)  reach / consistency / conflict / counting as in Alg. 1
+//
+// As with planning/exact.h this is for validation-sized instances; the
+// production-scale path is restoration/restorer.h, whose outcomes this
+// solver upper-bounds in tests and in the bench_milp_gap ablation.
+#pragma once
+
+#include "milp/branch_and_bound.h"
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::restoration {
+
+struct ExactRestorerConfig {
+  int k_paths = 3;          // restoration candidates on the residual graph
+  int max_variables = 20000;
+  milp::MipOptions mip;
+};
+
+struct ExactOutcome {
+  Outcome outcome;          // same shape as the heuristic's result
+  double objective = 0.0;   // total restored Gbps (the MIP objective)
+  int nodes_explored = 0;
+  milp::MipStatus status = milp::MipStatus::kInfeasible;
+};
+
+// Builds and solves the restoration MIP for one failure scenario against a
+// configured plan.  Fails with "too_large" when the formulation exceeds
+// max_variables.  A scenario that touches nothing yields an empty outcome
+// with capability 1.
+Expected<ExactOutcome> solve_exact_restoration(
+    const topology::Network& net, const planning::Plan& plan,
+    const FailureScenario& scenario, const transponder::Catalog& catalog,
+    const ExactRestorerConfig& config,
+    const std::map<topology::LinkId, int>& extra_spares = {});
+
+}  // namespace flexwan::restoration

@@ -1,0 +1,30 @@
+#include "restoration/metrics.h"
+
+namespace flexwan::restoration {
+
+ScenarioSetMetrics evaluate_scenarios(
+    const topology::Network& net, const planning::Plan& plan,
+    const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
+    const std::map<topology::LinkId, int>& extra_spares) {
+  ScenarioSetMetrics m;
+  double sum = 0.0;
+  for (const auto& scenario : scenarios) {
+    const Outcome outcome = restorer.restore(net, plan, scenario, extra_spares);
+    const double cap = outcome.capability();
+    m.capabilities.push_back(cap);
+    sum += cap;
+    if (cap < 1.0 - 1e-9) ++m.scenarios_with_loss;
+    for (const auto& rw : outcome.wavelengths) {
+      m.path_gaps_km.push_back(rw.path.length_km - rw.original_path_km);
+      if (rw.original_path_km > 0.0) {
+        m.path_stretch.push_back(rw.path.length_km / rw.original_path_km);
+      }
+    }
+  }
+  if (!m.capabilities.empty()) {
+    m.mean_capability = sum / static_cast<double>(m.capabilities.size());
+  }
+  return m;
+}
+
+}  // namespace flexwan::restoration

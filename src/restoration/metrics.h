@@ -1,0 +1,28 @@
+// Restoration evaluation across a scenario set (paper Figs. 15 and 16).
+#pragma once
+
+#include <vector>
+
+#include "restoration/restorer.h"
+
+namespace flexwan::restoration {
+
+// Aggregates over a scenario set.
+struct ScenarioSetMetrics {
+  // One restoration-capability value per scenario (Fig. 16 CDFs).
+  std::vector<double> capabilities;
+  double mean_capability = 0.0;  // Fig. 15(b) series value
+  // Per restored wavelength: restored path length - original (km) and
+  // restored / original ratio (Fig. 15(a)).
+  std::vector<double> path_gaps_km;
+  std::vector<double> path_stretch;
+  int scenarios_with_loss = 0;  // scenarios where capability < 1
+};
+
+// Runs the restorer on every scenario and aggregates.
+ScenarioSetMetrics evaluate_scenarios(
+    const topology::Network& net, const planning::Plan& plan,
+    const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
+    const std::map<topology::LinkId, int>& extra_spares = {});
+
+}  // namespace flexwan::restoration

@@ -1,0 +1,84 @@
+// Optical restoration (paper §8).
+//
+// When a fiber cut strikes, every wavelength whose optical path crosses the
+// cut is lost; its transponder pair becomes *spare* and can be retuned to a
+// new format and a new path.  The restorer maximizes the total restored
+// capacity subject to the paper's constraints:
+//   (7) restored capacity per link <= affected capacity,
+//   (8) transponders used per link <= spare transponders (+ FlexWAN+ extras),
+//   (9) restored wavelengths only use spectrum left free by the surviving
+//       plan, and
+//   (10)-(13) reach / consistency / conflict / counting as in Algorithm 1.
+//
+// The heuristic processes affected links most-affected-first and, per spare
+// transponder, picks the (restoration path, format) pair that revives the
+// most capacity and still finds contiguous spectrum.  SVTs can widen their
+// channel spacing to keep the data rate on a longer restoration path — the
+// §3.3 insight this module exists to exploit.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "planning/plan.h"
+#include "restoration/scenario.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::restoration {
+
+struct RestorerConfig {
+  int k_paths = 4;  // restoration path candidates on the residual topology
+};
+
+// One wavelength revived on a restoration path.
+struct RestoredWavelength {
+  topology::LinkId link = -1;
+  transponder::Mode mode;
+  spectrum::Range range;
+  topology::Path path;
+  double original_path_km = 0.0;  // path of the wavelength it replaces
+};
+
+// Per-link accounting of an outcome.
+struct LinkRestoration {
+  topology::LinkId link = -1;
+  double affected_gbps = 0.0;
+  double restored_gbps = 0.0;
+  int spare_transponders = 0;
+  int used_transponders = 0;
+};
+
+struct Outcome {
+  double affected_gbps = 0.0;
+  double restored_gbps = 0.0;
+  std::vector<RestoredWavelength> wavelengths;
+  std::vector<LinkRestoration> links;
+
+  // Restoration capability: restored / affected (1.0 when nothing was hit).
+  double capability() const {
+    return affected_gbps > 0.0 ? restored_gbps / affected_gbps : 1.0;
+  }
+};
+
+class Restorer {
+ public:
+  Restorer(const transponder::Catalog& catalog, RestorerConfig config = {});
+
+  // Computes the restoration plan for `scenario` against a configured plan.
+  // `extra_spares` adds FlexWAN+ transponders per link (empty = none).
+  Outcome restore(const topology::Network& net, const planning::Plan& plan,
+                  const FailureScenario& scenario,
+                  const std::map<topology::LinkId, int>& extra_spares = {}) const;
+
+ private:
+  const transponder::Catalog* catalog_;
+  RestorerConfig config_;
+};
+
+// FlexWAN+ helper (paper §8, Fig. 16): per-link extra spare transponders
+// equal to half the transponders FlexWAN saved versus a reference plan
+// (RADWAN), rounded down.
+std::map<topology::LinkId, int> flexwan_plus_spares(
+    const planning::Plan& flexwan_plan, const planning::Plan& reference_plan);
+
+}  // namespace flexwan::restoration

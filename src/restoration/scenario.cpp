@@ -1,0 +1,56 @@
+#include "restoration/scenario.h"
+
+#include <algorithm>
+
+namespace flexwan::restoration {
+
+bool FailureScenario::cuts(topology::FiberId f) const {
+  return std::find(cut_fibers.begin(), cut_fibers.end(), f) !=
+         cut_fibers.end();
+}
+
+std::vector<FailureScenario> single_fiber_cuts(
+    const topology::OpticalTopology& topo) {
+  std::vector<FailureScenario> out;
+  out.reserve(static_cast<std::size_t>(topo.fiber_count()));
+  for (topology::FiberId f = 0; f < topo.fiber_count(); ++f) {
+    out.push_back(FailureScenario{{f}, 1.0});
+  }
+  return out;
+}
+
+std::vector<FailureScenario> probabilistic_scenarios(
+    const topology::OpticalTopology& topo, int count, Rng& rng,
+    double cut_rate_per_1000km) {
+  std::vector<FailureScenario> out;
+  out.reserve(static_cast<std::size_t>(count));
+  int guard = count * 100;
+  while (static_cast<int>(out.size()) < count && guard-- > 0) {
+    FailureScenario s;
+    s.probability = 1.0;
+    for (topology::FiberId f = 0; f < topo.fiber_count(); ++f) {
+      const double p =
+          std::min(0.9, cut_rate_per_1000km * topo.fiber(f).length_km / 1000.0);
+      if (rng.chance(p)) {
+        s.cut_fibers.push_back(f);
+        s.probability *= p;
+      } else {
+        s.probability *= 1.0 - p;
+      }
+    }
+    if (!s.cut_fibers.empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<FailureScenario> standard_scenario_set(
+    const topology::OpticalTopology& topo, int probabilistic_count,
+    std::uint64_t seed) {
+  auto set = single_fiber_cuts(topo);
+  Rng rng(seed);
+  auto sampled = probabilistic_scenarios(topo, probabilistic_count, rng);
+  set.insert(set.end(), sampled.begin(), sampled.end());
+  return set;
+}
+
+}  // namespace flexwan::restoration

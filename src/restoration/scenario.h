@@ -1,0 +1,41 @@
+// Failure scenarios (paper §8).
+//
+// FlexWAN's restoration plans are produced offline for a scenario set that
+// contains both deterministic 1-failures [40] and probabilistic failures
+// [17]: every single-fiber cut, plus sampled multi-fiber cuts weighted by
+// per-fiber cut probability (long fibers are cut more often — construction
+// work scales with route length).
+#pragma once
+
+#include <vector>
+
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace flexwan::restoration {
+
+// One failure scenario: the set of simultaneously cut fibers.
+struct FailureScenario {
+  std::vector<topology::FiberId> cut_fibers;
+  double probability = 1.0;  // scenario weight for probabilistic sets
+
+  bool cuts(topology::FiberId f) const;
+};
+
+// All deterministic 1-failure scenarios (one per fiber).
+std::vector<FailureScenario> single_fiber_cuts(
+    const topology::OpticalTopology& topo);
+
+// Samples `count` probabilistic scenarios: each fiber is cut independently
+// with probability proportional to its length (base rate per 1000 km).
+// Scenarios with no cut fiber are re-drawn.
+std::vector<FailureScenario> probabilistic_scenarios(
+    const topology::OpticalTopology& topo, int count, Rng& rng,
+    double cut_rate_per_1000km = 0.08);
+
+// The combined set the paper uses: all 1-failures plus sampled scenarios.
+std::vector<FailureScenario> standard_scenario_set(
+    const topology::OpticalTopology& topo, int probabilistic_count,
+    std::uint64_t seed);
+
+}  // namespace flexwan::restoration

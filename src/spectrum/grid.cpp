@@ -1,0 +1,22 @@
+#include "spectrum/grid.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace flexwan::spectrum {
+
+int pixels_for_spacing(double spacing_ghz) {
+  if (spacing_ghz <= 0.0) return 0;
+  return static_cast<int>(std::ceil(spacing_ghz / kPixelWidthGhz - 1e-9));
+}
+
+double spacing_for_pixels(int pixels) { return pixels * kPixelWidthGhz; }
+
+std::string to_string(const Range& range) {
+  std::ostringstream os;
+  os << "[" << range.first << ".." << range.end() << ") ("
+     << range.width_ghz() << " GHz)";
+  return os.str();
+}
+
+}  // namespace flexwan::spectrum

@@ -1,0 +1,60 @@
+// The spectrum grid model.
+//
+// FlexWAN's spectrum-sliced OLS uses LCoS-based pixel-wise WSS hardware that
+// divides the C-band into 12.5 GHz pixels (paper §4.2).  A wavelength's
+// channel spacing maps to a run of *contiguous* pixels; the OLS passband is
+// configured with exactly that run so the passband and the wavelength's
+// occupied spectrum are identical (channel consistency, Fig. 9a).
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace flexwan::spectrum {
+
+// Width of one LCoS WSS pixel (GHz).  ITU-T G.694.1 flexible-grid granularity.
+inline constexpr double kPixelWidthGhz = 12.5;
+
+// Usable C-band width (GHz).  4.8 THz, the conventional C-band window used
+// for long-haul transmission (paper §2).
+inline constexpr double kCBandWidthGhz = 4800.0;
+
+// Number of pixels in the C-band: 4800 / 12.5.
+inline constexpr int kCBandPixels = 384;
+
+// Converts a channel spacing in GHz to the number of pixels required.
+// Spacings in this system are always multiples of 12.5 GHz; non-multiples are
+// rounded up (the wavelength must fit inside the passband).
+int pixels_for_spacing(double spacing_ghz);
+
+// Converts a pixel count back to spectrum width in GHz.
+double spacing_for_pixels(int pixels);
+
+// A contiguous run of pixels [first, first + count) on the grid.
+// This is both "the spectrum a wavelength occupies" and "the passband a WSS
+// filter port provides" — channel consistency means the two ranges are equal.
+struct Range {
+  int first = 0;  // index of the first pixel, in [0, kCBandPixels)
+  int count = 0;  // number of contiguous pixels, > 0 for a real channel
+
+  int end() const { return first + count; }
+  double width_ghz() const { return count * kPixelWidthGhz; }
+  bool valid() const {
+    return first >= 0 && count > 0 && end() <= kCBandPixels;
+  }
+  bool contains(int pixel) const { return pixel >= first && pixel < end(); }
+  bool overlaps(const Range& other) const {
+    return first < other.end() && other.first < end();
+  }
+  // True when `inner` lies fully inside this range.
+  bool covers(const Range& inner) const {
+    return first <= inner.first && inner.end() <= end();
+  }
+
+  friend auto operator<=>(const Range&, const Range&) = default;
+};
+
+// Human-readable "[first..end) (W GHz)" for logs and error messages.
+std::string to_string(const Range& range);
+
+}  // namespace flexwan::spectrum

@@ -1,0 +1,97 @@
+#include "spectrum/occupancy.h"
+
+#include <algorithm>
+
+#include "spectrum/grid.h"
+
+namespace flexwan::spectrum {
+
+Occupancy::Occupancy(int pixels) : used_(static_cast<std::size_t>(pixels), 0) {}
+
+bool Occupancy::is_free(int pixel) const {
+  return pixel >= 0 && pixel < pixels() &&
+         used_[static_cast<std::size_t>(pixel)] == 0;
+}
+
+bool Occupancy::is_free(const Range& range) const {
+  if (range.first < 0 || range.end() > pixels() || range.count <= 0)
+    return false;
+  for (int p = range.first; p < range.end(); ++p) {
+    if (used_[static_cast<std::size_t>(p)] != 0) return false;
+  }
+  return true;
+}
+
+Expected<bool> Occupancy::reserve(const Range& range) {
+  if (range.count <= 0 || range.first < 0 || range.end() > pixels()) {
+    return Error::make("out_of_band", "range " + to_string(range) +
+                                          " outside the usable band");
+  }
+  if (!is_free(range)) {
+    return Error::make("conflict",
+                       "range " + to_string(range) + " already partly in use");
+  }
+  for (int p = range.first; p < range.end(); ++p) {
+    used_[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+Expected<bool> Occupancy::release(const Range& range) {
+  if (range.count <= 0 || range.first < 0 || range.end() > pixels()) {
+    return Error::make("out_of_band", "range " + to_string(range) +
+                                          " outside the usable band");
+  }
+  for (int p = range.first; p < range.end(); ++p) {
+    if (used_[static_cast<std::size_t>(p)] == 0) {
+      return Error::make("not_reserved", "range " + to_string(range) +
+                                             " contains free pixels");
+    }
+  }
+  for (int p = range.first; p < range.end(); ++p) {
+    used_[static_cast<std::size_t>(p)] = 0;
+  }
+  return true;
+}
+
+std::optional<Range> Occupancy::first_fit(int count, int from) const {
+  if (count <= 0) return std::nullopt;
+  int run = 0;
+  for (int p = std::max(from, 0); p < pixels(); ++p) {
+    run = used_[static_cast<std::size_t>(p)] == 0 ? run + 1 : 0;
+    if (run >= count) return Range{p - count + 1, count};
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Occupancy::all_fits(int count) const {
+  std::vector<int> starts;
+  if (count <= 0) return starts;
+  for (int p = 0; p + count <= pixels(); ++p) {
+    if (is_free(Range{p, count})) starts.push_back(p);
+  }
+  return starts;
+}
+
+int Occupancy::used_pixels() const {
+  return static_cast<int>(std::count(used_.begin(), used_.end(), 1));
+}
+
+int Occupancy::largest_free_run() const {
+  int best = 0;
+  int run = 0;
+  for (std::uint8_t u : used_) {
+    run = u == 0 ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+double Occupancy::fragmentation() const {
+  const int free = free_pixels();
+  if (free == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_run()) /
+                   static_cast<double>(free);
+}
+
+}  // namespace flexwan::spectrum

@@ -1,0 +1,59 @@
+// Per-fiber spectrum occupancy tracking.
+//
+// Algorithm 1's spectrum-conflict constraint (3) says each pixel of each
+// fiber may be used by at most one wavelength.  Occupancy is the runtime
+// embodiment of that constraint: planners reserve ranges here, and
+// reservation fails rather than double-books.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "spectrum/grid.h"
+#include "util/expected.h"
+
+namespace flexwan::spectrum {
+
+// Occupancy bitmap of one fiber's C-band.
+class Occupancy {
+ public:
+  // Constructs a fully-free band with `pixels` pixels (default: full C-band).
+  explicit Occupancy(int pixels = kCBandPixels);
+
+  int pixels() const { return static_cast<int>(used_.size()); }
+
+  bool is_free(const Range& range) const;
+  bool is_free(int pixel) const;
+
+  // Marks `range` used.  Fails with code "conflict" if any pixel is already
+  // occupied (never partially applies).
+  Expected<bool> reserve(const Range& range);
+
+  // Frees `range`.  Fails with code "not_reserved" if any pixel is free
+  // (never partially applies); releasing must mirror a prior reserve.
+  Expected<bool> release(const Range& range);
+
+  // First contiguous run of `count` free pixels at index >= from, if any.
+  // The "q-th order" of Algorithm 1 corresponds to the starting pixel found.
+  std::optional<Range> first_fit(int count, int from = 0) const;
+
+  // All candidate starting positions for a run of `count` free pixels.
+  std::vector<int> all_fits(int count) const;
+
+  int used_pixels() const;
+  int free_pixels() const { return pixels() - used_pixels(); }
+
+  // Largest contiguous free run — determines the widest channel that still
+  // fits, which drives restoration feasibility in overloaded networks.
+  int largest_free_run() const;
+
+  // Fragmentation in [0, 1]: 1 - largest_free_run / free_pixels.
+  // 0 when all free spectrum is one block (or the band is full).
+  double fragmentation() const;
+
+ private:
+  std::vector<std::uint8_t> used_;  // 0 = free, 1 = used (vector<bool> avoided)
+};
+
+}  // namespace flexwan::spectrum

@@ -1,0 +1,96 @@
+#include "te/routing.h"
+
+#include <map>
+
+#include "milp/simplex.h"
+#include "topology/ksp.h"
+
+namespace flexwan::te {
+
+Expected<TeResult> route_traffic(const topology::Network& net,
+                                 const std::vector<LinkCapacity>& capacities,
+                                 const TrafficMatrix& matrix,
+                                 const TeConfig& config) {
+  TeResult result;
+
+  // Build the IP-layer graph: one node per optical site, one (unit-length)
+  // edge per IP link.  Edge index == position in `capacities`.
+  topology::OpticalTopology ip_graph;
+  for (int n = 0; n < net.optical.node_count(); ++n) {
+    ip_graph.add_node(net.optical.node(n).name);
+  }
+  for (const auto& cap : capacities) {
+    ip_graph.add_fiber(cap.src, cap.dst, 1.0);
+  }
+
+  milp::Model model;
+  model.set_direction(milp::Direction::kMaximize);
+
+  // x_{f,p} variables and their link memberships.
+  struct PathVar {
+    std::size_t flow;
+    std::vector<int> links;  // capacity indices this path crosses
+  };
+  std::vector<PathVar> vars;
+  std::vector<milp::VarId> ids;
+  for (std::size_t fi = 0; fi < matrix.size(); ++fi) {
+    const auto& flow = matrix[fi];
+    result.offered_gbps += flow.gbps;
+    const auto paths = topology::k_shortest_paths(ip_graph, flow.src,
+                                                  flow.dst, config.k_paths);
+    for (const auto& path : paths) {
+      PathVar pv;
+      pv.flow = fi;
+      pv.links.assign(path.fibers.begin(), path.fibers.end());
+      ids.push_back(model.add_var(
+          "x_f" + std::to_string(fi) + "_p" + std::to_string(vars.size()),
+          milp::VarType::kContinuous, 0.0, 1e30, 1.0));
+      vars.push_back(std::move(pv));
+    }
+  }
+
+  // Per-flow demand rows.
+  for (std::size_t fi = 0; fi < matrix.size(); ++fi) {
+    std::vector<milp::Term> terms;
+    for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+      if (vars[vi].flow == fi) terms.push_back(milp::Term{ids[vi], 1.0});
+    }
+    if (terms.empty()) continue;  // disconnected flow
+    model.add_constraint(std::move(terms), milp::Sense::kLe,
+                         matrix[fi].gbps, "demand_f" + std::to_string(fi));
+  }
+  // Per-link capacity rows.
+  for (std::size_t li = 0; li < capacities.size(); ++li) {
+    std::vector<milp::Term> terms;
+    for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+      for (int l : vars[vi].links) {
+        if (l == static_cast<int>(li)) {
+          terms.push_back(milp::Term{ids[vi], 1.0});
+          break;
+        }
+      }
+    }
+    if (terms.empty()) continue;
+    model.add_constraint(std::move(terms), milp::Sense::kLe,
+                         capacities[li].capacity_gbps,
+                         "cap_l" + std::to_string(li));
+  }
+
+  const auto lp = milp::solve_lp_relaxation(model);
+  if (lp.status != milp::LpStatus::kOptimal) {
+    return Error::make("lp_failed", "TE LP did not reach optimality");
+  }
+  result.served_gbps = lp.objective;
+
+  // Per-flow accounting.
+  std::map<std::size_t, double> served;
+  for (std::size_t vi = 0; vi < vars.size(); ++vi) {
+    served[vars[vi].flow] += lp.x[static_cast<std::size_t>(ids[vi])];
+  }
+  for (std::size_t fi = 0; fi < matrix.size(); ++fi) {
+    result.flows.push_back(FlowResult{matrix[fi], served[fi]});
+  }
+  return result;
+}
+
+}  // namespace flexwan::te

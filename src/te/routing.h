@@ -1,0 +1,51 @@
+// Traffic-engineering optimizer: multi-commodity flow over the IP layer.
+//
+// Maximizes total served traffic given per-IP-link capacities, splitting
+// each flow over its K shortest IP paths (path-based MCF).  The LP —
+// continuous, so the simplex solves it exactly without branching — is:
+//
+//   maximize   sum_f sum_p x_{f,p}
+//   s.t.       sum_p x_{f,p}                 <= demand_f       (per flow)
+//              sum_{(f,p) using link l} x_{f,p} <= capacity_l  (per link)
+//              x >= 0
+//
+// This is the measurement end of the paper's availability argument: served
+// traffic under a cut, with and without optical restoration.
+#pragma once
+
+#include "te/traffic.h"
+#include "util/expected.h"
+
+namespace flexwan::te {
+
+struct FlowResult {
+  Flow flow;
+  double served_gbps = 0.0;
+};
+
+struct TeResult {
+  double offered_gbps = 0.0;
+  double served_gbps = 0.0;
+  std::vector<FlowResult> flows;
+
+  // Fraction of offered traffic served (1.0 for an empty matrix).
+  double availability() const {
+    return offered_gbps > 0.0 ? served_gbps / offered_gbps : 1.0;
+  }
+};
+
+struct TeConfig {
+  int k_paths = 3;  // IP paths per flow
+};
+
+// Routes `matrix` over the IP topology induced by `capacities` (an edge per
+// IP link, both directions usable).  Flows whose endpoints are disconnected
+// at the IP layer simply serve 0.  Fails with "lp_failed" only if the
+// simplex cannot solve the LP (which would be a solver bug — the zero flow
+// is always feasible).
+Expected<TeResult> route_traffic(const topology::Network& net,
+                                 const std::vector<LinkCapacity>& capacities,
+                                 const TrafficMatrix& matrix,
+                                 const TeConfig& config = {});
+
+}  // namespace flexwan::te

@@ -1,0 +1,133 @@
+#include "te/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace flexwan::te {
+
+std::vector<LinkCapacity> capacities_from_plan(const topology::Network& net,
+                                               const planning::Plan& plan) {
+  std::vector<LinkCapacity> out;
+  for (const auto& lp : plan.links()) {
+    const auto& link = net.ip.link(lp.link);
+    out.push_back(
+        LinkCapacity{lp.link, link.src, link.dst, lp.provisioned_gbps()});
+  }
+  return out;
+}
+
+std::vector<LinkCapacity> degraded_capacities(
+    const topology::Network& net, const planning::Plan& plan,
+    const restoration::FailureScenario& scenario) {
+  std::vector<LinkCapacity> out;
+  for (const auto& lp : plan.links()) {
+    const auto& link = net.ip.link(lp.link);
+    double surviving = 0.0;
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      const bool hit = std::any_of(
+          path.fibers.begin(), path.fibers.end(),
+          [&](topology::FiberId f) { return scenario.cuts(f); });
+      if (!hit) surviving += wl.mode.data_rate_gbps;
+    }
+    out.push_back(LinkCapacity{lp.link, link.src, link.dst, surviving});
+  }
+  return out;
+}
+
+std::vector<LinkCapacity> restored_capacities(
+    const topology::Network& net, const planning::Plan& plan,
+    const restoration::FailureScenario& scenario,
+    const restoration::Outcome& outcome) {
+  auto capacities = degraded_capacities(net, plan, scenario);
+  // Revived capacity per link, clamped to what that link lost.
+  std::map<topology::LinkId, double> revived;
+  for (const auto& lr : outcome.links) {
+    revived[lr.link] = std::min(lr.restored_gbps, lr.affected_gbps);
+  }
+  for (auto& cap : capacities) {
+    const auto it = revived.find(cap.link);
+    if (it != revived.end()) cap.capacity_gbps += it->second;
+  }
+  return capacities;
+}
+
+TrafficMatrix random_traffic(const topology::Network& net,
+                             const planning::Plan& plan,
+                             double load_fraction, Rng& rng, int flow_count) {
+  double total_capacity = 0.0;
+  for (const auto& lp : plan.links()) {
+    total_capacity += lp.provisioned_gbps();
+  }
+  const double target = total_capacity * load_fraction;
+
+  // Traffic only makes sense between IP-connected sites: compute the
+  // connected components of the IP-link graph and draw endpoint pairs
+  // within components (union-find).
+  std::vector<int> component(
+      static_cast<std::size_t>(net.optical.node_count()));
+  for (std::size_t i = 0; i < component.size(); ++i) {
+    component[i] = static_cast<int>(i);
+  }
+  const auto find = [&](int n) {
+    while (component[static_cast<std::size_t>(n)] != n) {
+      n = component[static_cast<std::size_t>(n)] =
+          component[static_cast<std::size_t>(
+              component[static_cast<std::size_t>(n)])];
+    }
+    return n;
+  };
+  for (const auto& link : net.ip.links()) {
+    component[static_cast<std::size_t>(find(link.src))] = find(link.dst);
+  }
+
+  // Flow endpoints follow the capacity (gravity-style): most traffic runs
+  // between directly IP-linked sites, weighted by the provisioned capacity
+  // of that adjacency; a minority transits across several IP links.
+  std::vector<double> link_weight;
+  double weight_sum = 0.0;
+  for (const auto& lp : plan.links()) {
+    link_weight.push_back(lp.provisioned_gbps());
+    weight_sum += lp.provisioned_gbps();
+  }
+
+  TrafficMatrix matrix;
+  double volume = 0.0;
+  // Heavy-tailed raw sizes, then scale the whole matrix to the target.
+  int guard = flow_count * 100;
+  while (static_cast<int>(matrix.size()) < flow_count && guard-- > 0) {
+    Flow f;
+    if (weight_sum > 0.0 && rng.chance(0.8)) {
+      // Capacity-weighted adjacency flow.
+      double pick = rng.uniform(0.0, weight_sum);
+      std::size_t li = 0;
+      while (li + 1 < link_weight.size() && pick > link_weight[li]) {
+        pick -= link_weight[li];
+        ++li;
+      }
+      const auto& link = net.ip.link(plan.links()[li].link);
+      f.src = link.src;
+      f.dst = link.dst;
+    } else {
+      // Transit flow across the IP mesh.
+      f.src = rng.uniform_int(0, net.optical.node_count() - 1);
+      f.dst = f.src;
+      while (f.dst == f.src) {
+        f.dst = rng.uniform_int(0, net.optical.node_count() - 1);
+      }
+      if (find(f.src) != find(f.dst)) continue;  // IP-disconnected pair
+    }
+    f.gbps = rng.lognormal(0.0, 0.8);
+    volume += f.gbps;
+    matrix.push_back(f);
+  }
+  if (volume > 0.0) {
+    for (auto& f : matrix) {
+      f.gbps = std::round(f.gbps * target / volume * 10.0) / 10.0;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace flexwan::te

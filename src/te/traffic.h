@@ -1,0 +1,64 @@
+// IP-layer traffic model on top of the optical plan.
+//
+// The paper's chain of reasoning (§3.3, §8): fiber cuts remove optical
+// capacity; optical restoration revives part of it; whatever stays lost
+// "hampers the network's ability to meet traffic demands".  This module
+// closes that loop: it derives IP link capacities from a plan, degrades them
+// under a failure scenario (optionally crediting a restoration outcome), and
+// hands the result to the TE optimizer in routing.h to measure how much
+// traffic the network can still serve.
+#pragma once
+
+#include <vector>
+
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+#include "topology/builders.h"
+#include "util/rng.h"
+
+namespace flexwan::te {
+
+// One end-to-end traffic demand between two sites.
+struct Flow {
+  topology::NodeId src = -1;
+  topology::NodeId dst = -1;
+  double gbps = 0.0;
+};
+
+using TrafficMatrix = std::vector<Flow>;
+
+// The usable capacity of one IP link under some network condition.
+struct LinkCapacity {
+  topology::LinkId link = -1;
+  topology::NodeId src = -1;
+  topology::NodeId dst = -1;
+  double capacity_gbps = 0.0;
+};
+
+// Healthy capacities: what the plan provisioned per IP link.
+std::vector<LinkCapacity> capacities_from_plan(const topology::Network& net,
+                                               const planning::Plan& plan);
+
+// Capacities after `scenario`: wavelengths whose optical path crosses a cut
+// fiber contribute nothing.
+std::vector<LinkCapacity> degraded_capacities(
+    const topology::Network& net, const planning::Plan& plan,
+    const restoration::FailureScenario& scenario);
+
+// Degraded capacities plus the capacity a restoration outcome revived
+// (clamped per link so restoration never credits more than was lost).
+std::vector<LinkCapacity> restored_capacities(
+    const topology::Network& net, const planning::Plan& plan,
+    const restoration::FailureScenario& scenario,
+    const restoration::Outcome& outcome);
+
+// A synthetic traffic matrix whose total volume is `load_fraction` of the
+// plan's total provisioned capacity, spread over random site pairs with
+// heavy-tailed flow sizes.  Deterministic per seed.
+TrafficMatrix random_traffic(const topology::Network& net,
+                             const planning::Plan& plan,
+                             double load_fraction, Rng& rng,
+                             int flow_count = 40);
+
+}  // namespace flexwan::te

@@ -1,0 +1,211 @@
+#include "topology/builders.h"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "topology/demand.h"
+
+namespace flexwan::topology {
+
+namespace {
+
+// Rounds a demand to the 100 Gbps granularity the transponder catalog uses.
+double round_demand(double gbps) {
+  return std::max(100.0, std::round(gbps / 100.0) * 100.0);
+}
+
+}  // namespace
+
+Network make_cernet(std::uint64_t seed) {
+  Network net;
+  net.name = "Cernet";
+  auto& g = net.optical;
+
+  struct Edge {
+    const char* a;
+    const char* b;
+    double km;
+  };
+  // City sites and approximate intercity fiber route lengths (km).
+  static constexpr std::array<const char*, 22> kCities = {
+      "Beijing",  "Tianjin",   "Shijiazhuang", "Jinan",    "Shenyang",
+      "Changchun", "Harbin",   "Zhengzhou",    "Xian",     "Lanzhou",
+      "Urumqi",   "Chengdu",   "Chongqing",    "Guiyang",  "Kunming",
+      "Wuhan",    "Changsha",  "Guangzhou",    "Nanjing",  "Hefei",
+      "Shanghai", "Hangzhou"};
+  static constexpr std::array<Edge, 26> kEdges = {{
+      {"Beijing", "Tianjin", 140},      {"Beijing", "Shijiazhuang", 300},
+      {"Beijing", "Jinan", 420},        {"Beijing", "Shenyang", 700},
+      {"Shenyang", "Changchun", 300},   {"Changchun", "Harbin", 250},
+      {"Shijiazhuang", "Zhengzhou", 410},
+      {"Zhengzhou", "Xian", 480},       {"Xian", "Lanzhou", 620},
+      {"Lanzhou", "Urumqi", 1900},      {"Xian", "Chengdu", 700},
+      {"Chengdu", "Chongqing", 330},    {"Chongqing", "Guiyang", 350},
+      {"Guiyang", "Kunming", 520},      {"Kunming", "Guangzhou", 1400},
+      {"Zhengzhou", "Wuhan", 520},      {"Wuhan", "Changsha", 360},
+      {"Changsha", "Guangzhou", 710},   {"Wuhan", "Nanjing", 540},
+      {"Hefei", "Nanjing", 170},        {"Hefei", "Wuhan", 390},
+      {"Nanjing", "Shanghai", 300},     {"Shanghai", "Hangzhou", 180},
+      {"Hangzhou", "Guangzhou", 1250},  {"Jinan", "Nanjing", 600},
+      {"Tianjin", "Jinan", 320},
+  }};
+
+  for (const char* city : kCities) g.add_node(city);
+  for (const auto& e : kEdges) {
+    g.add_fiber(*g.find_node(e.a), *g.find_node(e.b), e.km);
+  }
+
+  // Point-to-point IP overlay (§7.2): one IP link per optical adjacency plus
+  // a deterministic sample of multi-hop region pairs.  Demands follow a
+  // heavy-tailed distribution as in [49].
+  Rng rng(seed);
+  for (const auto& e : kEdges) {
+    const double demand = round_demand(rng.lognormal(5.6, 0.6));
+    net.ip.add_link(*g.find_node(e.a), *g.find_node(e.b), demand,
+                    std::string(e.a) + "-" + e.b);
+  }
+  // Express IP links between major hubs.  Every pair's shortest optical
+  // path stays within 3000 km so the 100G-WAN baseline remains feasible at
+  // scale 1 (long-haul providers regenerate beyond that; we avoid modelling
+  // regeneration by keeping IP links within one optical reach).
+  static constexpr std::array<Edge, 8> kExpress = {{
+      {"Beijing", "Shanghai", 0},  {"Beijing", "Guangzhou", 0},
+      {"Shanghai", "Guangzhou", 0}, {"Beijing", "Wuhan", 0},
+      {"Shanghai", "Chengdu", 0},  {"Beijing", "Harbin", 0},
+      {"Guangzhou", "Chengdu", 0}, {"Beijing", "Chongqing", 0},
+  }};
+  for (const auto& e : kExpress) {
+    const double demand = round_demand(rng.lognormal(6.1, 0.5));
+    net.ip.add_link(*g.find_node(e.a), *g.find_node(e.b), demand,
+                    std::string(e.a) + "-" + e.b);
+  }
+  return net;
+}
+
+Network make_tbackbone(std::uint64_t seed, int regions) {
+  Network net;
+  net.name = "T-backbone";
+  auto& g = net.optical;
+  Rng rng(seed);
+
+  // Each region is a small metro cluster: 3-4 sites in a ring with short
+  // fibers.  Regions sit on a long-haul ring with one chord per few regions.
+  std::vector<std::vector<NodeId>> region_nodes(
+      static_cast<std::size_t>(regions));
+  for (int r = 0; r < regions; ++r) {
+    const int sites = rng.uniform_int(3, 4);
+    for (int s = 0; s < sites; ++s) {
+      region_nodes[static_cast<std::size_t>(r)].push_back(
+          g.add_node("R" + std::to_string(r) + "S" + std::to_string(s)));
+    }
+    // Metro ring with 40-150 km spans.
+    const auto& rn = region_nodes[static_cast<std::size_t>(r)];
+    for (std::size_t s = 0; s < rn.size(); ++s) {
+      const NodeId a = rn[s];
+      const NodeId b = rn[(s + 1) % rn.size()];
+      if (!g.find_fiber(a, b)) {
+        g.add_fiber(a, b, rng.uniform(40.0, 150.0));
+      }
+    }
+  }
+  // Long-haul ring joining region gateways (site 0 of each region).
+  for (int r = 0; r < regions; ++r) {
+    const NodeId a = region_nodes[static_cast<std::size_t>(r)][0];
+    const NodeId b =
+        region_nodes[static_cast<std::size_t>((r + 1) % regions)][0];
+    g.add_fiber(a, b, rng.uniform(500.0, 1100.0));
+  }
+  // Chords between opposite regions for path diversity.
+  for (int r = 0; r + regions / 2 < regions; ++r) {
+    const NodeId a = region_nodes[static_cast<std::size_t>(r)][1];
+    const NodeId b =
+        region_nodes[static_cast<std::size_t>(r + regions / 2)][1];
+    g.add_fiber(a, b, rng.uniform(900.0, 1600.0));
+  }
+
+  // IP links: ~60 % intra-region (short optical paths), ~25 % to an adjacent
+  // region, ~15 % long-haul.  This reproduces the Fig. 2(a) shape where about
+  // half of all optical paths are under 200 km.  Intra-region links carry
+  // heavier demands (nearby data-center regions exchange the most traffic),
+  // which is where rate-adaptive hardware pays off.
+  const int total_links = regions * 6;
+  for (int i = 0; i < total_links; ++i) {
+    const double kind = rng.uniform(0.0, 1.0);
+    const int r = rng.uniform_int(0, regions - 1);
+    const auto& rn = region_nodes[static_cast<std::size_t>(r)];
+    NodeId a = rn[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(rn.size()) - 1))];
+    NodeId b = a;
+    // Intra-region (data-center-to-data-center) links carry ~1 Tbps today;
+    // inter-region transit is an order of magnitude lighter.
+    double demand_mu = 6.6;
+    if (kind < 0.60) {
+      // Intra-region pair.
+      while (b == a) {
+        b = rn[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(rn.size()) - 1))];
+      }
+    } else {
+      const int hop = kind < 0.85 ? 1 : rng.uniform_int(2, regions / 2);
+      const auto& other =
+          region_nodes[static_cast<std::size_t>((r + hop) % regions)];
+      b = other[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(other.size()) - 1))];
+      demand_mu = hop == 1 ? 5.4 : 5.0;
+    }
+    const double demand = round_demand(rng.lognormal(demand_mu, 0.6));
+    net.ip.add_link(a, b, demand);
+  }
+  return net;
+}
+
+Network make_linear_chain(int hops, double span_km) {
+  Network net;
+  net.name = "chain" + std::to_string(hops);
+  auto& g = net.optical;
+  NodeId prev = g.add_node("N0");
+  for (int i = 1; i <= hops; ++i) {
+    const NodeId cur = g.add_node("N" + std::to_string(i));
+    g.add_fiber(prev, cur, span_km);
+    prev = cur;
+  }
+  if (hops > 0) {
+    net.ip.add_link(0, prev, 0.0, "end-to-end");
+  }
+  return net;
+}
+
+Network random_backbone(const RandomBackboneParams& params, Rng& rng) {
+  Network net;
+  net.name = "random";
+  auto& g = net.optical;
+  for (int i = 0; i < params.nodes; ++i) {
+    g.add_node("N" + std::to_string(i));
+  }
+  // Random spanning tree: attach each node i > 0 to a random earlier node.
+  for (int i = 1; i < params.nodes; ++i) {
+    const NodeId j = rng.uniform_int(0, i - 1);
+    g.add_fiber(i, j, rng.uniform(params.min_fiber_km, params.max_fiber_km));
+  }
+  // Extra chords.
+  for (int i = 0; i < params.nodes; ++i) {
+    for (int j = i + 2; j < params.nodes; ++j) {
+      if (!g.find_fiber(i, j) && rng.chance(params.extra_edge_prob)) {
+        g.add_fiber(i, j,
+                    rng.uniform(params.min_fiber_km, params.max_fiber_km));
+      }
+    }
+  }
+  for (int l = 0; l < params.ip_links; ++l) {
+    NodeId a = rng.uniform_int(0, params.nodes - 1);
+    NodeId b = a;
+    while (b == a) b = rng.uniform_int(0, params.nodes - 1);
+    const double demand = round_demand(
+        rng.uniform(params.min_demand_gbps, params.max_demand_gbps));
+    net.ip.add_link(a, b, demand);
+  }
+  return net;
+}
+
+}  // namespace flexwan::topology

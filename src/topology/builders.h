@@ -1,0 +1,57 @@
+// Topology builders.
+//
+// The paper evaluates on two networks: the (confidential) Tencent T-backbone
+// and the public Cernet research network (§7.2).  We provide:
+//  * make_cernet()      — a 22-node Chinese research-network topology with
+//                         realistic inter-city fiber distances,
+//  * make_tbackbone()   — a synthetic stand-in for the production backbone
+//                         whose optical-path-length distribution matches
+//                         Fig. 2(a): ~50 % of paths below 200 km with a tail
+//                         beyond 2000 km (metro clusters + long-haul trunks),
+//  * make_linear_chain()— an N-hop chain for testbed-style experiments,
+//  * random_backbone()  — a parameterised generator for property tests.
+#pragma once
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace flexwan::topology {
+
+// A bundled network instance: the optical substrate plus its IP overlay.
+struct Network {
+  std::string name;
+  OpticalTopology optical;
+  IpTopology ip;
+};
+
+// The Cernet topology (paper §7.2): long median optical paths.
+// IP links are generated point-to-point over the optical adjacencies plus a
+// deterministic sample of multi-hop pairs, with heavy-tailed demands.
+Network make_cernet(std::uint64_t seed = 7);
+
+// Synthetic T-backbone: `regions` metro clusters of 3-4 closely-spaced sites
+// (40-150 km) joined by long-haul trunks (500-1600 km).  IP links are mostly
+// intra-region, reproducing the short-path-dominated distribution of
+// Fig. 2(a).
+Network make_tbackbone(std::uint64_t seed = 11, int regions = 8);
+
+// A linear chain of `hops` fibers, each `span_km` long.  Used by the
+// testbed simulation (§6) where fiber bundles are added to sweep distance.
+Network make_linear_chain(int hops, double span_km);
+
+// Parameters for the random generator used in property tests.
+struct RandomBackboneParams {
+  int nodes = 12;
+  double extra_edge_prob = 0.3;   // chance of each non-tree candidate edge
+  double min_fiber_km = 80.0;
+  double max_fiber_km = 1200.0;
+  int ip_links = 16;
+  double min_demand_gbps = 100.0;
+  double max_demand_gbps = 2400.0;
+};
+
+// Random connected backbone (spanning tree + extra chords) with random IP
+// links.  Demands are rounded to 100 Gbps multiples.
+Network random_backbone(const RandomBackboneParams& params, Rng& rng);
+
+}  // namespace flexwan::topology

@@ -1,0 +1,15 @@
+#include "topology/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexwan::topology {
+
+double draw_demand(const DemandParams& params, Rng& rng) {
+  const double raw = rng.lognormal(params.mu, params.sigma);
+  const double rounded =
+      std::round(raw / params.granularity_gbps) * params.granularity_gbps;
+  return std::max(params.min_gbps, rounded);
+}
+
+}  // namespace flexwan::topology

@@ -1,0 +1,22 @@
+// Demand-model helpers shared by the topology builders and benches.
+#pragma once
+
+#include "topology/graph.h"
+#include "util/rng.h"
+
+namespace flexwan::topology {
+
+// Parameters of the heavy-tailed demand distribution used when the paper's
+// production demands are unavailable (they are confidential).  Lognormal
+// matches the shape used by prior WAN studies the paper builds on [49].
+struct DemandParams {
+  double mu = 6.5;     // underlying normal mean (exp(6.5) ~ 665 Gbps)
+  double sigma = 0.7;  // underlying normal stddev
+  double granularity_gbps = 100.0;
+  double min_gbps = 100.0;
+};
+
+// Draws one demand, rounded to granularity and clamped to the minimum.
+double draw_demand(const DemandParams& params, Rng& rng);
+
+}  // namespace flexwan::topology

@@ -1,0 +1,75 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace flexwan::topology {
+
+NodeId OpticalTopology::add_node(std::string name) {
+  nodes_.push_back(Node{std::move(name)});
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+FiberId OpticalTopology::add_fiber(NodeId a, NodeId b, double length_km) {
+  if (a < 0 || b < 0 || a >= node_count() || b >= node_count() || a == b) {
+    throw std::invalid_argument("add_fiber: bad endpoints");
+  }
+  if (length_km <= 0.0) {
+    throw std::invalid_argument("add_fiber: length must be positive");
+  }
+  fibers_.push_back(Fiber{a, b, length_km});
+  const auto id = static_cast<FiberId>(fibers_.size() - 1);
+  adjacency_[static_cast<std::size_t>(a)].push_back(id);
+  adjacency_[static_cast<std::size_t>(b)].push_back(id);
+  return id;
+}
+
+std::optional<NodeId> OpticalTopology::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+std::span<const FiberId> OpticalTopology::incident(NodeId n) const {
+  return adjacency_[static_cast<std::size_t>(n)];
+}
+
+std::optional<FiberId> OpticalTopology::find_fiber(NodeId a, NodeId b) const {
+  for (FiberId f : incident(a)) {
+    if (fiber(f).touches(b)) return f;
+  }
+  return std::nullopt;
+}
+
+bool Path::uses_fiber(FiberId f) const {
+  return std::find(fibers.begin(), fibers.end(), f) != fibers.end();
+}
+
+LinkId IpTopology::add_link(NodeId src, NodeId dst, double demand_gbps,
+                            std::string name) {
+  const auto id = static_cast<LinkId>(links_.size());
+  if (name.empty()) {
+    name = "link" + std::to_string(id);
+  }
+  links_.push_back(IpLink{id, src, dst, demand_gbps, std::move(name)});
+  return id;
+}
+
+IpTopology IpTopology::scaled(double factor) const {
+  IpTopology out;
+  for (const auto& l : links_) {
+    out.add_link(l.src, l.dst, l.demand_gbps * factor, l.name);
+  }
+  return out;
+}
+
+double IpTopology::total_demand_gbps() const {
+  double total = 0.0;
+  for (const auto& l : links_) total += l.demand_gbps;
+  return total;
+}
+
+}  // namespace flexwan::topology

@@ -1,0 +1,108 @@
+// Optical- and IP-layer topology model.
+//
+// The optical topology Go(Vo, Eo) has ROADM sites as nodes and fiber spans as
+// edges (paper §5 inputs).  The IP topology overlays it: an IP link e between
+// two routers demands c_e Gbps and is realised by wavelengths travelling one
+// or more optical paths P_{e,k} through Go.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace flexwan::topology {
+
+using NodeId = int;
+using FiberId = int;
+using LinkId = int;
+
+// A ROADM site.
+struct Node {
+  std::string name;
+};
+
+// An undirected fiber between two ROADM sites.  `length_km` drives both the
+// optical-reach constraint and the amplifier count in the phy simulation.
+struct Fiber {
+  NodeId a = -1;
+  NodeId b = -1;
+  double length_km = 0.0;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+  bool touches(NodeId n) const { return n == a || n == b; }
+};
+
+// The optical topology Go(Vo, Eo).
+class OpticalTopology {
+ public:
+  NodeId add_node(std::string name);
+  // Adds an undirected fiber; length must be positive.
+  FiberId add_fiber(NodeId a, NodeId b, double length_km);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int fiber_count() const { return static_cast<int>(fibers_.size()); }
+
+  const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  const Fiber& fiber(FiberId id) const { return fibers_[static_cast<std::size_t>(id)]; }
+  std::span<const Fiber> fibers() const { return fibers_; }
+
+  // Node id by name, if present.
+  std::optional<NodeId> find_node(std::string_view name) const;
+
+  // Fiber ids incident to `n`.
+  std::span<const FiberId> incident(NodeId n) const;
+
+  // Fiber between a and b (either orientation), if one exists.
+  std::optional<FiberId> find_fiber(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Fiber> fibers_;
+  std::vector<std::vector<FiberId>> adjacency_;
+};
+
+// An optical path: the ordered fibers a wavelength traverses, with the node
+// sequence and total length cached for constraint checks.
+struct Path {
+  std::vector<NodeId> nodes;    // nodes.size() == fibers.size() + 1
+  std::vector<FiberId> fibers;  // ordered source -> destination
+  double length_km = 0.0;
+
+  bool empty() const { return fibers.empty(); }
+  int hop_count() const { return static_cast<int>(fibers.size()); }
+  bool uses_fiber(FiberId f) const;
+};
+
+// An IP link: a router adjacency demanding `demand_gbps` of bandwidth
+// capacity, provisioned over optical paths between `src` and `dst` sites.
+struct IpLink {
+  LinkId id = -1;
+  NodeId src = -1;
+  NodeId dst = -1;
+  double demand_gbps = 0.0;
+  std::string name;
+};
+
+// The IP overlay: the set of IP links sharing one optical topology.
+class IpTopology {
+ public:
+  LinkId add_link(NodeId src, NodeId dst, double demand_gbps,
+                  std::string name = {});
+
+  int link_count() const { return static_cast<int>(links_.size()); }
+  const IpLink& link(LinkId id) const { return links_[static_cast<std::size_t>(id)]; }
+  std::span<const IpLink> links() const { return links_; }
+
+  // Scales every demand by `factor` (the paper's "bandwidth capacity scale").
+  IpTopology scaled(double factor) const;
+
+  double total_demand_gbps() const;
+
+ private:
+  std::vector<IpLink> links_;
+};
+
+}  // namespace flexwan::topology

@@ -1,0 +1,107 @@
+#include "topology/io.h"
+
+#include <sstream>
+
+namespace flexwan::topology {
+
+namespace {
+
+Error parse_error(int line, const std::string& what) {
+  return Error::make("parse_error",
+                     "line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Expected<Network> load_network(const std::string& text) {
+  Network net;
+  net.name = "unnamed";
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "network") {
+      if (!(ls >> net.name)) return parse_error(line_no, "missing name");
+    } else if (keyword == "node") {
+      std::string name;
+      if (!(ls >> name)) return parse_error(line_no, "missing node name");
+      if (net.optical.find_node(name)) {
+        return parse_error(line_no, "duplicate node " + name);
+      }
+      net.optical.add_node(name);
+    } else if (keyword == "fiber") {
+      std::string a;
+      std::string b;
+      double km = 0.0;
+      if (!(ls >> a >> b >> km)) {
+        return parse_error(line_no, "expected: fiber <a> <b> <km>");
+      }
+      const auto na = net.optical.find_node(a);
+      const auto nb = net.optical.find_node(b);
+      if (!na || !nb) return parse_error(line_no, "unknown node");
+      if (km <= 0.0) return parse_error(line_no, "non-positive length");
+      net.optical.add_fiber(*na, *nb, km);
+    } else if (keyword == "link") {
+      std::string a;
+      std::string b;
+      double gbps = 0.0;
+      std::string name;
+      if (!(ls >> a >> b >> gbps)) {
+        return parse_error(line_no, "expected: link <a> <b> <gbps> [name]");
+      }
+      ls >> name;  // optional
+      const auto na = net.optical.find_node(a);
+      const auto nb = net.optical.find_node(b);
+      if (!na || !nb) return parse_error(line_no, "unknown node");
+      if (gbps < 0.0) return parse_error(line_no, "negative demand");
+      net.ip.add_link(*na, *nb, gbps, name);
+    } else {
+      return parse_error(line_no, "unknown keyword " + keyword);
+    }
+  }
+  return net;
+}
+
+std::string save_network(const Network& net) {
+  std::ostringstream os;
+  os << "network " << net.name << "\n";
+  for (int n = 0; n < net.optical.node_count(); ++n) {
+    os << "node " << net.optical.node(n).name << "\n";
+  }
+  for (const auto& f : net.optical.fibers()) {
+    os << "fiber " << net.optical.node(f.a).name << " "
+       << net.optical.node(f.b).name << " " << f.length_km << "\n";
+  }
+  for (const auto& l : net.ip.links()) {
+    os << "link " << net.optical.node(l.src).name << " "
+       << net.optical.node(l.dst).name << " " << l.demand_gbps << " "
+       << l.name << "\n";
+  }
+  return os.str();
+}
+
+std::string to_dot(const Network& net) {
+  std::ostringstream os;
+  os << "graph \"" << net.name << "\" {\n  layout=neato;\n";
+  for (int n = 0; n < net.optical.node_count(); ++n) {
+    os << "  \"" << net.optical.node(n).name << "\" [shape=box];\n";
+  }
+  for (const auto& f : net.optical.fibers()) {
+    os << "  \"" << net.optical.node(f.a).name << "\" -- \""
+       << net.optical.node(f.b).name << "\" [label=\"" << f.length_km
+       << "km\"];\n";
+  }
+  for (const auto& l : net.ip.links()) {
+    os << "  \"" << net.optical.node(l.src).name << "\" -- \""
+       << net.optical.node(l.dst).name << "\" [style=dashed,color=blue,"
+       << "label=\"" << l.demand_gbps << "G\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace flexwan::topology

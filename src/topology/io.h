@@ -1,0 +1,33 @@
+// Text serialization for networks, so users can bring their own topology
+// and demands instead of the built-in builders.  The format is line based:
+//
+//   # comment / blank lines ignored
+//   network <name>
+//   node <name>
+//   fiber <nodeA> <nodeB> <length-km>
+//   link <nodeA> <nodeB> <demand-gbps> [link-name]
+//
+// save_network() emits exactly this format; load_network() round-trips it.
+// to_dot() renders the optical layer (fibers labelled with km) and the IP
+// overlay (dashed edges labelled with Gbps) for graphviz.
+#pragma once
+
+#include <string>
+
+#include "topology/builders.h"
+#include "util/expected.h"
+
+namespace flexwan::topology {
+
+// Parses a network description.  Fails with "parse_error" (message carries
+// the line number) on malformed input, unknown node references, or
+// duplicate node names.
+Expected<Network> load_network(const std::string& text);
+
+// Serializes in the load_network() format.
+std::string save_network(const Network& net);
+
+// Graphviz rendering of both layers.
+std::string to_dot(const Network& net);
+
+}  // namespace flexwan::topology

@@ -1,0 +1,163 @@
+#include "topology/ksp.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace flexwan::topology {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+}  // namespace
+
+Expected<Path> shortest_path(const OpticalTopology& topo, NodeId src,
+                             NodeId dst, std::span<const FiberId> excluded) {
+  const auto n = static_cast<std::size_t>(topo.node_count());
+  if (src < 0 || dst < 0 || src >= topo.node_count() ||
+      dst >= topo.node_count()) {
+    return Error::make("bad_node", "endpoint outside topology");
+  }
+  std::vector<std::uint8_t> cut(static_cast<std::size_t>(topo.fiber_count()), 0);
+  for (FiberId f : excluded) {
+    if (f >= 0 && f < topo.fiber_count()) cut[static_cast<std::size_t>(f)] = 1;
+  }
+
+  std::vector<double> dist(n, kInf);
+  std::vector<FiberId> via(n, -1);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (FiberId f : topo.incident(u)) {
+      if (cut[static_cast<std::size_t>(f)]) continue;
+      const auto& fib = topo.fiber(f);
+      const NodeId v = fib.other(u);
+      const double nd = d + fib.length_km;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        via[static_cast<std::size_t>(v)] = f;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (dist[static_cast<std::size_t>(dst)] == kInf) {
+    return Error::make("unreachable", "no optical path from " +
+                                          topo.node(src).name + " to " +
+                                          topo.node(dst).name);
+  }
+
+  Path path;
+  path.length_km = dist[static_cast<std::size_t>(dst)];
+  NodeId cur = dst;
+  while (cur != src) {
+    const FiberId f = via[static_cast<std::size_t>(cur)];
+    path.fibers.push_back(f);
+    path.nodes.push_back(cur);
+    cur = topo.fiber(f).other(cur);
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.fibers.begin(), path.fibers.end());
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+std::vector<Path> k_shortest_paths(const OpticalTopology& topo, NodeId src,
+                                   NodeId dst, int k,
+                                   std::span<const FiberId> excluded) {
+  std::vector<Path> result;
+  if (k <= 0) return result;
+
+  auto first = shortest_path(topo, src, dst, excluded);
+  if (!first) return result;
+  result.push_back(std::move(first.value()));
+
+  // Candidate paths ordered by length; de-duplicated by fiber sequence.
+  auto cmp = [](const Path& a, const Path& b) {
+    return a.length_km < b.length_km ||
+           (a.length_km == b.length_km && a.fibers < b.fibers);
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  std::vector<FiberId> removed(excluded.begin(), excluded.end());
+  for (int ki = 1; ki < k; ++ki) {
+    const Path& prev = result.back();
+    // Each node of the previous path (except the last) is a spur node.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      // Root: prefix of prev up to the spur node.
+      Path root;
+      root.nodes.assign(prev.nodes.begin(),
+                        prev.nodes.begin() + static_cast<long>(i) + 1);
+      root.fibers.assign(prev.fibers.begin(),
+                         prev.fibers.begin() + static_cast<long>(i));
+      root.length_km = 0.0;
+      for (FiberId f : root.fibers) root.length_km += topo.fiber(f).length_km;
+
+      // Remove fibers that would recreate an already-found path sharing this
+      // root, plus the base exclusions.
+      std::vector<FiberId> cut = removed;
+      for (const Path& found : result) {
+        if (found.fibers.size() > i &&
+            std::equal(root.fibers.begin(), root.fibers.end(),
+                       found.fibers.begin())) {
+          cut.push_back(found.fibers[i]);
+        }
+      }
+      for (const Path& found : candidates) {
+        if (found.fibers.size() > i &&
+            std::equal(root.fibers.begin(), root.fibers.end(),
+                       found.fibers.begin())) {
+          cut.push_back(found.fibers[i]);
+        }
+      }
+      // Remove fibers touching root nodes (except the spur) to keep the
+      // resulting path loopless.
+      for (std::size_t j = 0; j < i; ++j) {
+        for (FiberId f : topo.incident(prev.nodes[j])) cut.push_back(f);
+      }
+
+      auto spur_path = shortest_path(topo, spur, dst, cut);
+      if (!spur_path) continue;
+
+      Path total = root;
+      total.fibers.insert(total.fibers.end(), spur_path->fibers.begin(),
+                          spur_path->fibers.end());
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      total.length_km += spur_path->length_km;
+      candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    // Pop the best candidate not already in result.
+    bool advanced = false;
+    while (!candidates.empty()) {
+      Path best = *candidates.begin();
+      candidates.erase(candidates.begin());
+      const bool dup = std::any_of(
+          result.begin(), result.end(),
+          [&](const Path& p) { return p.fibers == best.fibers; });
+      if (!dup) {
+        result.push_back(std::move(best));
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  return result;
+}
+
+}  // namespace flexwan::topology

@@ -1,0 +1,27 @@
+// Shortest-path and K-shortest-paths (Yen's algorithm) over the optical
+// topology.  Algorithm 1 pre-computes the K optimal optical paths P_{e,k}
+// for every IP link with KSP (paper §5); restoration re-runs KSP on the
+// residual topology after a cut (§8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/graph.h"
+#include "util/expected.h"
+
+namespace flexwan::topology {
+
+// Dijkstra shortest path by fiber length.  Fibers in `excluded` are treated
+// as cut (used for restoration and inside Yen's spur computation).
+// Fails with code "unreachable" when no path exists.
+Expected<Path> shortest_path(const OpticalTopology& topo, NodeId src,
+                             NodeId dst, std::span<const FiberId> excluded = {});
+
+// Yen's K-shortest loopless paths, ordered by increasing length.  Returns
+// fewer than k paths when the graph does not contain k distinct ones.
+std::vector<Path> k_shortest_paths(const OpticalTopology& topo, NodeId src,
+                                   NodeId dst, int k,
+                                   std::span<const FiberId> excluded = {});
+
+}  // namespace flexwan::topology

@@ -1,0 +1,128 @@
+#include "transponder/catalog.h"
+
+#include <algorithm>
+
+namespace flexwan::transponder {
+
+Mode derive_mode(double rate_gbps, double spacing_ghz, double reach_km) {
+  Mode m;
+  m.data_rate_gbps = rate_gbps;
+  m.spacing_ghz = spacing_ghz;
+  m.reach_km = reach_km;
+  // Dual-polarisation symbol rate: ~80 % of the spacing is usable baud.
+  m.baud_gbd = spacing_ghz * 0.8;
+  const double se = rate_gbps / spacing_ghz;  // bits/s/Hz across 2 pols
+  if (se <= 1.5) {
+    m.modulation = Modulation::kBpsk;
+  } else if (se <= 2.7) {
+    m.modulation = Modulation::kQpsk;
+  } else if (se <= 4.0) {
+    m.modulation = Modulation::k8Qam;
+  } else if (se <= 5.0) {
+    m.modulation = Modulation::kPcs16Qam;
+  } else {
+    m.modulation = Modulation::kPcs64Qam;
+  }
+  m.fec_overhead = reach_km >= 1500.0 ? 0.27 : 0.15;
+  return m;
+}
+
+Catalog::Catalog(std::string name, std::vector<Mode> modes)
+    : name_(std::move(name)), modes_(std::move(modes)) {}
+
+std::vector<Mode> Catalog::feasible(double distance_km) const {
+  std::vector<Mode> out;
+  for (const Mode& m : modes_) {
+    if (m.reaches(distance_km)) out.push_back(m);
+  }
+  return out;
+}
+
+std::optional<Mode> Catalog::max_rate_mode(double distance_km) const {
+  std::optional<Mode> best;
+  for (const Mode& m : modes_) {
+    if (!m.reaches(distance_km)) continue;
+    if (!best || m.data_rate_gbps > best->data_rate_gbps ||
+        (m.data_rate_gbps == best->data_rate_gbps &&
+         m.spacing_ghz < best->spacing_ghz)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::optional<Mode> Catalog::narrowest_mode(double distance_km,
+                                            double min_rate_gbps) const {
+  std::optional<Mode> best;
+  for (const Mode& m : modes_) {
+    if (!m.reaches(distance_km) || m.data_rate_gbps < min_rate_gbps) continue;
+    if (!best || m.spacing_ghz < best->spacing_ghz ||
+        (m.spacing_ghz == best->spacing_ghz &&
+         m.data_rate_gbps > best->data_rate_gbps)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+double Catalog::max_reach_km() const {
+  double best = 0.0;
+  for (const Mode& m : modes_) best = std::max(best, m.reach_km);
+  return best;
+}
+
+const Catalog& fixed_grid_100g() {
+  static const Catalog catalog("100G-WAN", {
+      derive_mode(100, 50, 3000),
+  });
+  return catalog;
+}
+
+const Catalog& bvt_radwan() {
+  static const Catalog catalog("RADWAN", {
+      derive_mode(100, 75, 5000),
+      derive_mode(200, 75, 2000),
+      derive_mode(300, 75, 1100),
+  });
+  return catalog;
+}
+
+const Catalog& svt_flexwan() {
+  // Paper Table 2: data rates and optical reaches (km) of the SVT per
+  // channel spacing.  "/" cells are omitted.
+  static const Catalog catalog("FlexWAN", {
+      // 50 GHz
+      derive_mode(100, 50.0, 3000), derive_mode(200, 50.0, 1000),
+      // 62.5 GHz
+      derive_mode(200, 62.5, 1500),
+      // 75 GHz
+      derive_mode(100, 75.0, 5000), derive_mode(200, 75.0, 2000),
+      derive_mode(300, 75.0, 1100), derive_mode(400, 75.0, 600),
+      // 87.5 GHz
+      derive_mode(300, 87.5, 1500), derive_mode(400, 87.5, 1000),
+      derive_mode(500, 87.5, 600), derive_mode(600, 87.5, 300),
+      // 100 GHz
+      derive_mode(300, 100.0, 2000), derive_mode(400, 100.0, 1500),
+      derive_mode(500, 100.0, 900), derive_mode(600, 100.0, 400),
+      derive_mode(700, 100.0, 200),
+      // 112.5 GHz
+      derive_mode(400, 112.5, 1600), derive_mode(500, 112.5, 1100),
+      derive_mode(600, 112.5, 500), derive_mode(700, 112.5, 300),
+      derive_mode(800, 112.5, 150),
+      // 125 GHz
+      derive_mode(400, 125.0, 1700), derive_mode(500, 125.0, 1200),
+      derive_mode(600, 125.0, 600), derive_mode(700, 125.0, 350),
+      derive_mode(800, 125.0, 200),
+      // 137.5 GHz
+      derive_mode(400, 137.5, 1800), derive_mode(500, 137.5, 1300),
+      derive_mode(600, 137.5, 700), derive_mode(700, 137.5, 450),
+      derive_mode(800, 137.5, 250),
+      // 150 GHz
+      derive_mode(400, 150.0, 1900), derive_mode(500, 150.0, 1400),
+      derive_mode(600, 150.0, 800), derive_mode(700, 150.0, 500),
+      derive_mode(800, 150.0, 300),
+  });
+  return catalog;
+}
+
+}  // namespace flexwan::transponder

@@ -1,0 +1,66 @@
+// Transponder capability catalogs for the three backbone generations the
+// paper compares (§7.1 benchmark schemes, Appendix A.1/A.2):
+//  * fixed_grid_100g() — 100G-WAN: a single 100 Gbps / 50 GHz / 3000 km mode,
+//  * bvt_radwan()      — RADWAN's bandwidth-variable transponder: 100/200/300
+//                        Gbps at a rigid 75 GHz spacing,
+//  * svt_flexwan()     — FlexWAN's spacing-variable transponder: the full
+//                        Table 2 grid measured on the production testbed.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "transponder/mode.h"
+
+namespace flexwan::transponder {
+
+// An immutable, queryable set of operating modes of one transponder family.
+class Catalog {
+ public:
+  Catalog(std::string name, std::vector<Mode> modes);
+
+  const std::string& name() const { return name_; }
+  std::span<const Mode> modes() const { return modes_; }
+  std::size_t size() const { return modes_.size(); }
+
+  // Modes whose optical reach covers `distance_km` (Algorithm 1's reach
+  // constraint (2)), in catalog order.
+  std::vector<Mode> feasible(double distance_km) const;
+
+  // Highest data rate achievable at `distance_km`; among equal-rate modes the
+  // one with the narrowest spacing.  Empty when the distance exceeds every
+  // mode's reach.
+  std::optional<Mode> max_rate_mode(double distance_km) const;
+
+  // The narrowest-spacing mode that reaches `distance_km` with data rate of
+  // at least `min_rate_gbps` (restoration uses this to revive full capacity
+  // on longer paths by widening the channel, §3.3).
+  std::optional<Mode> narrowest_mode(double distance_km,
+                                     double min_rate_gbps) const;
+
+  // Overall maximum reach of any mode (feasibility cutoff for a family).
+  double max_reach_km() const;
+
+ private:
+  std::string name_;
+  std::vector<Mode> modes_;
+};
+
+// Derives the physical knobs (modulation, FEC, baud) for a capability row:
+// the DSP's baud tracks the passband, the spectral efficiency picks the
+// modulation format, long-reach rows get the stronger FEC.  Used by the
+// built-in catalogs and by catalog_io.h loaders.
+Mode derive_mode(double rate_gbps, double spacing_ghz, double reach_km);
+
+// 100G-WAN fixed-grid catalog [27, 28].
+const Catalog& fixed_grid_100g();
+
+// RADWAN BVT catalog adapted to 75 GHz spacing (paper §2).
+const Catalog& bvt_radwan();
+
+// FlexWAN SVT catalog: the full Table 2 measurement grid.
+const Catalog& svt_flexwan();
+
+}  // namespace flexwan::transponder

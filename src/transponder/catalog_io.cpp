@@ -1,0 +1,69 @@
+#include "transponder/catalog_io.h"
+
+#include <sstream>
+
+namespace flexwan::transponder {
+
+namespace {
+
+Error parse_error(int line, const std::string& what) {
+  return Error::make("parse_error",
+                     "line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+Expected<Catalog> load_catalog(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  std::string name;
+  std::vector<Mode> modes;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "catalog") {
+      if (!(ls >> name)) return parse_error(line_no, "missing catalog name");
+    } else if (keyword == "mode") {
+      double rate = 0;
+      double spacing = 0;
+      double reach = 0;
+      if (!(ls >> rate >> spacing >> reach)) {
+        return parse_error(line_no,
+                           "expected: mode <gbps> <ghz> <reach-km>");
+      }
+      if (rate <= 0 || spacing <= 0 || reach <= 0) {
+        return parse_error(line_no, "values must be positive");
+      }
+      for (const auto& m : modes) {
+        if (m.data_rate_gbps == rate && m.spacing_ghz == spacing) {
+          return parse_error(line_no, "duplicate (rate, spacing) row");
+        }
+      }
+      modes.push_back(derive_mode(rate, spacing, reach));
+    } else {
+      return parse_error(line_no, "unknown keyword " + keyword);
+    }
+  }
+  if (name.empty()) {
+    return parse_error(line_no, "missing 'catalog <name>' header");
+  }
+  if (modes.empty()) {
+    return parse_error(line_no, "catalog has no modes");
+  }
+  return Catalog(std::move(name), std::move(modes));
+}
+
+std::string save_catalog(const Catalog& catalog) {
+  std::ostringstream os;
+  os << "catalog " << catalog.name() << "\n";
+  for (const auto& m : catalog.modes()) {
+    os << "mode " << m.data_rate_gbps << " " << m.spacing_ghz << " "
+       << m.reach_km << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace flexwan::transponder

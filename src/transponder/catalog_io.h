@@ -1,0 +1,27 @@
+// Text format for transponder capability catalogs, so downstream users can
+// plan with their own vendor's specification sheet instead of the built-in
+// Table 2.  One mode per line:
+//
+//   catalog <name>
+//   mode <rate-gbps> <spacing-ghz> <reach-km>
+//
+// Modulation/FEC/baud knobs are derived the same way the built-in catalogs
+// derive them (spectral efficiency picks the format, reach picks the FEC).
+#pragma once
+
+#include <string>
+
+#include "transponder/catalog.h"
+#include "util/expected.h"
+
+namespace flexwan::transponder {
+
+// Parses a catalog document; fails with "parse_error" (line number in the
+// message) on malformed input, non-positive numbers, or duplicate
+// (rate, spacing) rows.
+Expected<Catalog> load_catalog(const std::string& text);
+
+// Serializes a catalog in the load_catalog() format.
+std::string save_catalog(const Catalog& catalog);
+
+}  // namespace flexwan::transponder

@@ -1,0 +1,38 @@
+#include "transponder/mode.h"
+
+#include <sstream>
+
+namespace flexwan::transponder {
+
+std::string to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::k8Qam: return "8QAM";
+    case Modulation::k16Qam: return "16QAM";
+    case Modulation::kPcs16Qam: return "PCS-16QAM";
+    case Modulation::kPcs64Qam: return "PCS-64QAM";
+  }
+  return "?";
+}
+
+double bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1.0;
+    case Modulation::kQpsk: return 2.0;
+    case Modulation::k8Qam: return 3.0;
+    case Modulation::k16Qam: return 4.0;
+    case Modulation::kPcs16Qam: return 3.5;   // shaped 16QAM
+    case Modulation::kPcs64Qam: return 5.0;   // shaped 64QAM
+  }
+  return 0.0;
+}
+
+std::string Mode::describe() const {
+  std::ostringstream os;
+  os << data_rate_gbps << "G@" << spacing_ghz << "GHz("
+     << to_string(modulation) << ",reach " << reach_km << "km)";
+  return os.str();
+}
+
+}  // namespace flexwan::transponder

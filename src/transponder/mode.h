@@ -1,0 +1,57 @@
+// Transponder operating modes.
+//
+// A mode is one row of the capability table of a transponder family: the
+// (data rate, channel spacing, optical reach) triple of Algorithm 1's
+// (d_j, Y_j, l_j), plus the physical knobs inside the SVT that realise it —
+// modulation format, FEC overhead, and baud rate (paper §4.2, Fig. 7b).
+#pragma once
+
+#include <string>
+
+#include "spectrum/grid.h"
+
+namespace flexwan::transponder {
+
+// Modulation formats supported by the DSP workflows.  Pcs* denotes
+// probabilistic constellation shaping [20], which provides the
+// finer-granularity data rates of the SVT.
+enum class Modulation {
+  kBpsk,
+  kQpsk,
+  k8Qam,
+  k16Qam,
+  kPcs16Qam,
+  kPcs64Qam,
+};
+
+std::string to_string(Modulation m);
+
+// Nominal information bits per symbol per polarisation for a format.  PCS
+// formats report the shaped (fractional) value.
+double bits_per_symbol(Modulation m);
+
+// One operating mode of a transponder family: the j-th format of Algorithm 1.
+struct Mode {
+  double data_rate_gbps = 0.0;  // d_j
+  double spacing_ghz = 0.0;     // Y_j (channel spacing)
+  double reach_km = 0.0;        // l_j (optical reach)
+  Modulation modulation = Modulation::kQpsk;
+  double fec_overhead = 0.15;   // redundant-data ratio in the FEC module
+  double baud_gbd = 50.0;       // symbol rate chosen by the DSP
+
+  // Channel spacing in WSS pixels (continuous pixels required in the OLS).
+  int pixels() const { return spectrum::pixels_for_spacing(spacing_ghz); }
+
+  // Link spectral efficiency: data rate / spectrum width (paper §7.1).
+  double spectral_efficiency() const {
+    return spacing_ghz > 0.0 ? data_rate_gbps / spacing_ghz : 0.0;
+  }
+
+  // Whether this mode can serve a path of the given length error-free.
+  bool reaches(double distance_km) const { return reach_km >= distance_km; }
+
+  // "100G@75GHz(QPSK,reach 5000km)" for logs and bench tables.
+  std::string describe() const;
+};
+
+}  // namespace flexwan::transponder

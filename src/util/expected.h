@@ -1,0 +1,70 @@
+// Minimal expected<T, E> used for recoverable failures across FlexWAN.
+//
+// The C++ Core Guidelines (E.2, I.10) recommend signalling recoverable
+// failures through the return value rather than exceptions when the caller is
+// expected to handle them locally.  Planning and restoration routinely fail
+// for benign reasons (no spectrum left, no feasible format), so most public
+// APIs in this repo return Expected<T>.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace flexwan {
+
+// Error payload carried by Expected<T>.  A short machine-readable code plus a
+// human-readable message.
+struct Error {
+  std::string code;     // e.g. "no_spectrum", "unreachable", "infeasible"
+  std::string message;  // free-form detail for logs / exceptions
+
+  static Error make(std::string code, std::string message) {
+    return Error{std::move(code), std::move(message)};
+  }
+};
+
+// A tiny std::expected stand-in (the toolchain's <expected> is C++23).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(has_value());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!has_value());
+    return std::get<Error>(storage_);
+  }
+
+  // Returns the contained value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace flexwan

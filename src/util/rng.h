@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in FlexWAN (topology generators, demand models,
+// probabilistic failure scenarios, vendor-controller race simulation) takes an
+// explicit Rng so that benches and tests are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace flexwan {
+
+// Thin wrapper over a fixed-algorithm engine.  We deliberately avoid
+// std::default_random_engine (implementation defined) so results are stable
+// across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Log-normal parameterised by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace flexwan

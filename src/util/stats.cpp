@@ -1,0 +1,89 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace flexwan {
+
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> values) {
+  std::vector<double> v(values.begin(), values.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  const auto sorted = sorted_copy(values);
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.median = percentile_sorted(sorted, 50.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+double percentile(std::span<const double> values, double q) {
+  return percentile_sorted(sorted_copy(values), q);
+}
+
+double cdf_at(std::span<const double> values, double x) {
+  if (values.empty()) return 0.0;
+  const auto n = std::count_if(values.begin(), values.end(),
+                               [x](double v) { return v <= x; });
+  return static_cast<double>(n) / static_cast<double>(values.size());
+}
+
+std::vector<double> cdf_curve(std::span<const double> values,
+                              std::span<const double> points) {
+  std::vector<double> out;
+  out.reserve(points.size());
+  for (double p : points) out.push_back(cdf_at(values, p));
+  return out;
+}
+
+double weighted_cdf_at(std::span<const double> values,
+                       std::span<const double> weights, double x) {
+  double total = 0.0;
+  double below = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double w = i < weights.size() ? weights[i] : 1.0;
+    total += w;
+    if (values[i] <= x) below += w;
+  }
+  return total > 0.0 ? below / total : 0.0;
+}
+
+std::string ascii_cdf(std::string_view title, std::span<const double> values,
+                      std::span<const double> points) {
+  std::ostringstream os;
+  os << title << "\n";
+  for (double p : points) {
+    const double f = cdf_at(values, p);
+    const int bars = static_cast<int>(std::lround(f * 40.0));
+    os << "  <= " << p << "\t" << std::string(static_cast<std::size_t>(bars), '#')
+       << " " << static_cast<int>(std::lround(f * 100.0)) << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace flexwan

@@ -1,0 +1,44 @@
+// Small statistics helpers used by benches to print the CDFs and
+// distribution summaries that the paper's figures report.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flexwan {
+
+// Summary statistics over a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes summary statistics; returns a zeroed Summary for empty input.
+Summary summarize(std::span<const double> values);
+
+// Percentile via linear interpolation on the sorted sample, q in [0, 100].
+double percentile(std::span<const double> values, double q);
+
+// Fraction of samples <= x (empirical CDF evaluated at x).
+double cdf_at(std::span<const double> values, double x);
+
+// Evaluates the empirical CDF at each of `points`, returning fractions.
+std::vector<double> cdf_curve(std::span<const double> values,
+                              std::span<const double> points);
+
+// Weighted empirical CDF: fraction of total weight with value <= x.
+double weighted_cdf_at(std::span<const double> values,
+                       std::span<const double> weights, double x);
+
+// Renders an ASCII CDF plot (one row per probe point) for bench output.
+std::string ascii_cdf(std::string_view title, std::span<const double> values,
+                      std::span<const double> points);
+
+}  // namespace flexwan

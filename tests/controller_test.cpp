@@ -1,0 +1,258 @@
+// Tests for the fleet, centralized vs distributed control (§4.3), and the
+#include <map>
+#include <set>
+// telemetry data stream with fiber-cut detection (§4.4).
+#include <gtest/gtest.h>
+
+#include "controller/centralized.h"
+#include "controller/datastream.h"
+#include "controller/distributed.h"
+#include "controller/fleet.h"
+#include "hardware/link_sim.h"
+#include "phy/calibration.h"
+#include "planning/heuristic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::controller {
+namespace {
+
+planning::Plan make_plan(const topology::Network& net) {
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  EXPECT_TRUE(plan);
+  return std::move(plan.value());
+}
+
+TEST(Fleet, MaterializesDevicesForPlan) {
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kPerRegionMixed, true);
+  EXPECT_EQ(fleet.transponder_count(), plan.transponder_count() * 2);
+  EXPECT_EQ(static_cast<int>(fleet.deployed().size()),
+            plan.transponder_count());
+  // ROADM anatomy: an add/drop WSS per site plus a line-degree WSS per
+  // fiber end (two ends per fiber).
+  EXPECT_EQ(fleet.wss_count(),
+            net.optical.node_count() + 2 * net.optical.fiber_count());
+  // Every device is reachable over NETCONF: WSSs + transponder pairs.
+  EXPECT_EQ(fleet.netconf().device_count(),
+            fleet.wss_count() + plan.transponder_count() * 2);
+}
+
+TEST(Fleet, WavelengthTargetsFollowTheLightPath) {
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kSingleVendor, true);
+  for (const auto& dw : fleet.deployed()) {
+    // add + one egress degree per fiber + drop.
+    ASSERT_EQ(dw.wss_targets.size(), dw.path.fibers.size() + 2);
+    EXPECT_EQ(&fleet.add_drop_wss(dw.path.nodes.front()),
+              dw.wss_targets.front().device);
+    EXPECT_EQ(&fleet.add_drop_wss(dw.path.nodes.back()),
+              dw.wss_targets.back().device);
+    for (std::size_t h = 0; h < dw.path.fibers.size(); ++h) {
+      EXPECT_EQ(&fleet.degree_wss(dw.path.nodes[h], dw.path.fibers[h]),
+                dw.wss_targets[h + 1].device);
+    }
+  }
+}
+
+TEST(Fleet, PortAllocationsAreDistinctPerDevice) {
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kSingleVendor, true);
+  // No two wavelengths share a filter port on any WSS device.
+  std::map<const hardware::WssDevice*, std::set<int>> used;
+  for (const auto& dw : fleet.deployed()) {
+    for (const auto& target : dw.wss_targets) {
+      EXPECT_TRUE(used[target.device].insert(target.port).second)
+          << "port " << target.port << " reused on "
+          << target.device->info().ip;
+    }
+  }
+}
+
+TEST(Fleet, VendorAssignmentModes) {
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet single(net, plan, VendorAssignment::kSingleVendor, true);
+  for (topology::LinkId l = 0; l < net.ip.link_count(); ++l) {
+    EXPECT_EQ(single.link_vendor(l), "vendorA");
+  }
+  Fleet mixed(net, plan, VendorAssignment::kPerRegionMixed, true);
+  std::set<std::string> vendors;
+  for (topology::LinkId l = 0; l < net.ip.link_count(); ++l) {
+    vendors.insert(mixed.link_vendor(l));
+  }
+  EXPECT_EQ(vendors.size(), 3u);
+}
+
+TEST(Centralized, DeployConfiguresEverythingAndAuditsClean) {
+  // §4.3's production result: zero inconsistency, zero conflict.
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kPerRegionMixed, true);
+  CentralizedController controller(net);
+  const auto stats = controller.deploy(fleet);
+  ASSERT_TRUE(stats) << stats.error().message;
+  EXPECT_EQ(stats->wavelengths_configured, plan.transponder_count());
+  EXPECT_EQ(stats->failed_rpcs, 0);
+  EXPECT_GT(stats->config_rpcs, 0);
+  const auto audit = audit_fleet(fleet, net);
+  EXPECT_EQ(audit.inconsistencies, 0);
+  EXPECT_EQ(audit.conflicts, 0);
+  EXPECT_EQ(audit.unconfigured, 0);
+  EXPECT_TRUE(audit.clean());
+}
+
+TEST(Centralized, WorksOnTbackboneForAllSchemes) {
+  const auto net = topology::make_tbackbone();
+  for (const auto* catalog :
+       {&transponder::svt_flexwan(), &transponder::bvt_radwan(),
+        &transponder::fixed_grid_100g()}) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    const auto plan = planner.plan(net);
+    ASSERT_TRUE(plan) << catalog->name();
+    Fleet fleet(net, *plan, VendorAssignment::kPerRegionMixed, true);
+    CentralizedController controller(net);
+    const auto stats = controller.deploy(fleet);
+    ASSERT_TRUE(stats) << catalog->name() << ": " << stats.error().message;
+    EXPECT_TRUE(audit_fleet(fleet, net).clean()) << catalog->name();
+  }
+}
+
+TEST(Distributed, UncoordinatedControlCausesSpectrumIssues) {
+  // The pre-FlexWAN world: per-vendor controllers, legacy fixed-grid OLS.
+  const auto net = topology::make_tbackbone();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kPerRegionMixed,
+              /*pixel_wise_ols=*/false);
+  DistributedControllers controllers(net);
+  const auto stats = controllers.deploy(fleet);
+  ASSERT_TRUE(stats) << stats.error().message;
+  EXPECT_EQ(stats->vendor_controllers, 3);
+  const auto audit = audit_fleet(fleet, net);
+  // Conflicts: vendors assigned overlapping spectrum on shared fibers.
+  // Inconsistencies: legacy grids clipped off-grid passbands.
+  EXPECT_GT(audit.conflicts + audit.inconsistencies, 0)
+      << "distributed control should exhibit the Fig. 5 failure modes";
+}
+
+TEST(Distributed, SingleVendorPixelWiseIsCleanEvenDistributed) {
+  // With one vendor there is exactly one controller and one spectrum view:
+  // distributed degenerates to centralized and the audit stays clean.
+  const auto net = topology::make_cernet();
+  const auto plan = make_plan(net);
+  Fleet fleet(net, plan, VendorAssignment::kSingleVendor, true);
+  DistributedControllers controllers(net);
+  const auto stats = controllers.deploy(fleet);
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->vendor_controllers, 1);
+  const auto audit = audit_fleet(fleet, net);
+  EXPECT_EQ(audit.conflicts, 0);
+  EXPECT_EQ(audit.inconsistencies, 0);
+}
+
+TEST(Centralized, BeatsDistributedOnSameDeployment) {
+  // The §4.3 comparison on identical hardware provisioning.
+  const auto net = topology::make_tbackbone();
+  const auto plan = make_plan(net);
+  Fleet central(net, plan, VendorAssignment::kPerRegionMixed, true);
+  CentralizedController cc(net);
+  ASSERT_TRUE(cc.deploy(central));
+  Fleet distributed(net, plan, VendorAssignment::kPerRegionMixed, false);
+  DistributedControllers dc(net);
+  ASSERT_TRUE(dc.deploy(distributed));
+  const auto ca = audit_fleet(central, net);
+  const auto da = audit_fleet(distributed, net);
+  EXPECT_TRUE(ca.clean());
+  EXPECT_GT(da.conflicts + da.inconsistencies,
+            ca.conflicts + ca.inconsistencies);
+}
+
+TEST(DataStream, LatestAndHistoryBounds) {
+  DataStream ds(4);
+  for (int t = 0; t < 10; ++t) {
+    ds.ingest({"10.3.0.2", "rx-power-dbm", -2.0 - t, t});
+  }
+  ASSERT_TRUE(ds.latest("10.3.0.2", "rx-power-dbm").has_value());
+  EXPECT_DOUBLE_EQ(*ds.latest("10.3.0.2", "rx-power-dbm"), -11.0);
+  EXPECT_FALSE(ds.latest("10.3.0.2", "other").has_value());
+  EXPECT_EQ(ds.series_count(), 1u);
+}
+
+TEST(DataStream, DetectsPowerDropAsCut) {
+  DataStream ds;
+  ds.watch_fiber(3, "10.3.3.2");
+  ds.ingest({"10.3.3.2", "rx-power-dbm", -2.0, 0});
+  ds.ingest({"10.3.3.2", "rx-power-dbm", -2.1, 1});
+  EXPECT_TRUE(ds.detect_cuts().empty());
+  ds.ingest({"10.3.3.2", "rx-power-dbm", -40.0, 2});
+  const auto alarms = ds.detect_cuts();
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].fiber, 3);
+  EXPECT_EQ(alarms[0].detected_at_s, 2);
+  EXPECT_NEAR(alarms[0].power_drop_db, 38.0, 1e-9);
+}
+
+TEST(DataStream, SmallFluctuationsDoNotAlarm) {
+  DataStream ds;
+  ds.watch_fiber(0, "10.3.0.2");
+  for (int t = 0; t < 20; ++t) {
+    ds.ingest({"10.3.0.2", "rx-power-dbm", -2.0 - (t % 3) * 0.5, t});
+  }
+  EXPECT_TRUE(ds.detect_cuts().empty());
+}
+
+TEST(DataStream, DetectsSignalDegradation) {
+  DataStream ds;
+  ds.watch_transponder("10.2.0.2");
+  ds.ingest({"10.2.0.2", "rx-ber", 0.0, 0});
+  EXPECT_TRUE(ds.detect_degradations().empty());
+  ds.ingest({"10.2.0.2", "rx-ber", 1e-6, 1});
+  const auto alarms = ds.detect_degradations();
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_EQ(alarms[0].device_ip, "10.2.0.2");
+  EXPECT_DOUBLE_EQ(alarms[0].rx_ber, 1e-6);
+  // Recovery (re-modulation restored error-free decoding) clears the alarm.
+  ds.ingest({"10.2.0.2", "rx-ber", 0.0, 2});
+  EXPECT_TRUE(ds.detect_degradations().empty());
+}
+
+TEST(DataStream, DegradationFromLinkSimTelemetry) {
+  // End-to-end: a wavelength pushed beyond reach sets the receiver's BER,
+  // which the data stream collects and flags.
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  hardware::TransponderDevice tx({"10.2.1.1", "vendorA", "SVT"},
+                                 {&transponder::svt_flexwan(), true, 0.0});
+  hardware::TransponderDevice rx({"10.2.1.2", "vendorA", "SVT"},
+                                 {&transponder::svt_flexwan(), true, 0.0});
+  hardware::WssDevice mux({"10.1.9.1", "vendorA", "WSS"}, 2, 1);
+  const auto mode = *transponder::svt_flexwan().narrowest_mode(150, 800);
+  ASSERT_TRUE(tx.configure(mode, spectrum::Range{0, mode.pixels()}));
+  ASSERT_TRUE(rx.configure(mode, spectrum::Range{0, mode.pixels()}));
+  ASSERT_TRUE(mux.set_passband(0, spectrum::Range{0, mode.pixels()}));
+  hardware::LinkSim sim(model);
+  const int fiber = sim.add_fiber(2000);  // way beyond the 150 km reach
+  hardware::LightPath path{&tx, &rx, {hardware::LinkHop{&mux, fiber, 2000}}};
+  const auto results = sim.propagate({path});
+  ASSERT_FALSE(results[0].delivered);
+
+  DataStream ds;
+  ds.watch_transponder(rx.info().ip);
+  ds.ingest({rx.info().ip, "rx-ber", rx.rx_ber(), 7});
+  const auto alarms = ds.detect_degradations();
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_GT(alarms[0].rx_ber, 0.0);
+}
+
+TEST(DataStream, UnwatchedFibersNeverAlarm) {
+  DataStream ds;
+  ds.ingest({"10.3.9.2", "rx-power-dbm", -2.0, 0});
+  ds.ingest({"10.3.9.2", "rx-power-dbm", -60.0, 1});
+  EXPECT_TRUE(ds.detect_cuts().empty());
+}
+
+}  // namespace
+}  // namespace flexwan::controller

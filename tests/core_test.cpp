@@ -1,0 +1,210 @@
+// End-to-end tests of the FlexWAN session façade: plan -> deploy -> cut ->
+// detect -> restore, plus cross-scheme comparisons at the API level.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/flexwan.h"
+#include "topology/builders.h"
+
+namespace flexwan::core {
+namespace {
+
+TEST(Session, CatalogMapping) {
+  EXPECT_EQ(catalog_for(Scheme::kFixed100G).name(), "100G-WAN");
+  EXPECT_EQ(catalog_for(Scheme::kRadwan).name(), "RADWAN");
+  EXPECT_EQ(catalog_for(Scheme::kFlexWan).name(), "FlexWAN");
+}
+
+TEST(Session, LifecycleOrderingEnforced) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  const auto m = s.metrics();
+  ASSERT_FALSE(m);
+  EXPECT_EQ(m.error().code, "no_plan");
+  const auto d = s.deploy();
+  ASSERT_FALSE(d);
+  EXPECT_EQ(d.error().code, "no_plan");
+  const auto c = s.simulate_fiber_cut(0);
+  ASSERT_FALSE(c);
+  EXPECT_EQ(c.error().code, "not_deployed");
+  const auto r = s.restore(0);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "no_plan");
+}
+
+TEST(Session, FullLifecycle) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  const auto plan = s.plan();
+  ASSERT_TRUE(plan) << plan.error().message;
+  EXPECT_GT((*plan)->transponder_count(), 0);
+
+  const auto metrics = s.metrics();
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->transponder_count, (*plan)->transponder_count());
+
+  const auto audit = s.deploy();
+  ASSERT_TRUE(audit) << audit.error().message;
+  EXPECT_TRUE(audit->clean());
+  ASSERT_NE(s.fleet(), nullptr);
+
+  const auto alarm = s.simulate_fiber_cut(2);
+  ASSERT_TRUE(alarm) << alarm.error().message;
+  EXPECT_EQ(alarm->fiber, 2);
+  EXPECT_GT(alarm->power_drop_db, 20.0);
+
+  const auto outcome = s.restore(alarm->fiber);
+  ASSERT_TRUE(outcome) << outcome.error().message;
+  EXPECT_GE(outcome->capability(), 0.0);
+  EXPECT_LE(outcome->capability(), 1.0 + 1e-9);
+}
+
+TEST(Session, CutOnUntouchedFiberRestoresTrivially) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  ASSERT_TRUE(s.plan());
+  // Find a fiber no planned wavelength uses, if any; restore is trivial.
+  const auto* plan = s.current_plan();
+  std::set<topology::FiberId> used;
+  for (const auto& lp : plan->links()) {
+    for (const auto& wl : lp.wavelengths) {
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      used.insert(path.fibers.begin(), path.fibers.end());
+    }
+  }
+  for (topology::FiberId f = 0; f < s.network().optical.fiber_count(); ++f) {
+    if (used.contains(f)) continue;
+    const auto outcome = s.restore(f);
+    ASSERT_TRUE(outcome);
+    EXPECT_DOUBLE_EQ(outcome->capability(), 1.0);
+    return;
+  }
+  GTEST_SKIP() << "every fiber carries traffic in this plan";
+}
+
+TEST(Session, BadFiberIdRejected) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  ASSERT_TRUE(s.plan());
+  ASSERT_TRUE(s.deploy());
+  const auto r = s.simulate_fiber_cut(9999);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "bad_fiber");
+}
+
+TEST(Session, ReplanInvalidatesDeployment) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  ASSERT_TRUE(s.plan());
+  ASSERT_TRUE(s.deploy());
+  ASSERT_NE(s.fleet(), nullptr);
+  ASSERT_TRUE(s.plan());  // re-plan
+  EXPECT_EQ(s.fleet(), nullptr) << "stale fleet must not survive a re-plan";
+  const auto c = s.simulate_fiber_cut(0);
+  ASSERT_FALSE(c);
+  EXPECT_EQ(c.error().code, "not_deployed");
+}
+
+TEST(Session, SchemesCompareAsInPaper) {
+  // The §7 headline through the public API: FlexWAN uses the fewest
+  // transponders and the least spectrum on the T-backbone.
+  const auto net = topology::make_tbackbone();
+  int txp[3];
+  double ghz[3];
+  const Scheme schemes[] = {Scheme::kFixed100G, Scheme::kRadwan,
+                            Scheme::kFlexWan};
+  for (int i = 0; i < 3; ++i) {
+    Session s(net, schemes[i]);
+    ASSERT_TRUE(s.plan());
+    const auto m = s.metrics();
+    ASSERT_TRUE(m);
+    txp[i] = m->transponder_count;
+    ghz[i] = m->spectrum_usage_ghz;
+  }
+  EXPECT_LT(txp[2], txp[1]);
+  EXPECT_LT(txp[1], txp[0]);
+  EXPECT_LT(ghz[2], ghz[1]);
+  EXPECT_LT(ghz[1], ghz[0]);
+}
+
+TEST(Session, RestorationComparableAcrossSchemes) {
+  const auto net = topology::make_tbackbone();
+  Session flex(net, Scheme::kFlexWan);
+  ASSERT_TRUE(flex.plan());
+  Session rad(net, Scheme::kRadwan);
+  ASSERT_TRUE(rad.plan());
+  // Every cut is restorable to some degree by both schemes at scale 1.
+  for (topology::FiberId f = 0; f < net.optical.fiber_count(); f += 5) {
+    const auto of = flex.restore(f);
+    const auto orad = rad.restore(f);
+    ASSERT_TRUE(of);
+    ASSERT_TRUE(orad);
+    EXPECT_GE(of->capability(), 0.0);
+    EXPECT_GE(orad->capability(), 0.0);
+  }
+}
+
+TEST(Session, ExtendAndDefragmentLifecycle) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  ASSERT_TRUE(s.plan());
+  ASSERT_TRUE(s.deploy());
+  const int before = s.current_plan()->transponder_count();
+
+  const auto grown = s.extend(0, 400);
+  ASSERT_TRUE(grown) << grown.error().message;
+  EXPECT_GE(grown->capacity_added_gbps, 400.0);
+  EXPECT_GT(s.current_plan()->transponder_count(), before);
+  // Extension invalidates the deployment until redeployed.
+  EXPECT_EQ(s.fleet(), nullptr);
+  ASSERT_TRUE(s.deploy());
+
+  const auto defrag = s.defragment_spectrum();
+  ASSERT_TRUE(defrag) << defrag.error().message;
+  // Defragmentation is best-effort on meshes (shared-path interactions can
+  // shuffle headroom between fibers); the contract is validity, which the
+  // redeploy below confirms.
+  EXPECT_GE(defrag->free_run_after, 0);
+  const auto audit = s.deploy();
+  ASSERT_TRUE(audit);
+  EXPECT_TRUE(audit->clean());
+}
+
+TEST(Session, EvolveChannelThroughFacade) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  ASSERT_TRUE(s.plan());
+  EXPECT_EQ(s.evolve_channel(0, transponder::svt_flexwan().modes()[0])
+                .error()
+                .code,
+            "not_deployed");
+  ASSERT_TRUE(s.deploy());
+  // Re-tune wavelength 0 to a same-or-larger-rate mode that reaches its
+  // path; picking via the catalog keeps the test topology-agnostic.
+  const auto& dw = s.fleet()->deployed()[0];
+  const auto mode = core::catalog_for(Scheme::kFlexWan)
+                        .narrowest_mode(dw.path.length_km,
+                                        dw.wavelength.mode.data_rate_gbps);
+  ASSERT_TRUE(mode.has_value());
+  const auto r = s.evolve_channel(0, *mode);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_GT(r->reconfigured_devices, 0);
+}
+
+TEST(Session, ExtendRequiresPlan) {
+  Session s(topology::make_cernet(), Scheme::kFlexWan);
+  EXPECT_EQ(s.extend(0, 100).error().code, "no_plan");
+  EXPECT_EQ(s.defragment_spectrum().error().code, "no_plan");
+}
+
+TEST(Session, PlannerOptionsPropagate) {
+  SessionOptions options;
+  options.planner.k_paths = 1;
+  options.planner.epsilon = 0.01;
+  Session s(topology::make_cernet(), Scheme::kFlexWan, options);
+  const auto plan = s.plan();
+  ASSERT_TRUE(plan);
+  // With K=1 every wavelength rides path index 0.
+  for (const auto& lp : (*plan)->links()) {
+    for (const auto& wl : lp.wavelengths) {
+      EXPECT_EQ(wl.path_index, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexwan::core

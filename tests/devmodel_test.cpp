@@ -1,0 +1,222 @@
+// Tests for the standard device model: config documents, vendor adapters,
+#include <set>
+// and the NETCONF transport simulation.
+#include <gtest/gtest.h>
+
+#include "devmodel/config.h"
+#include "devmodel/netconf.h"
+#include "devmodel/vendors.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::devmodel {
+namespace {
+
+const transponder::Mode& svt_mode(double rate, double spacing) {
+  for (const auto& m : transponder::svt_flexwan().modes()) {
+    if (m.data_rate_gbps == rate && m.spacing_ghz == spacing) return m;
+  }
+  throw std::logic_error("mode not in catalog");
+}
+
+TEST(ConfigDocument, SetGetAndNumbers) {
+  ConfigDocument doc("10.0.0.1", DeviceKind::kTransponder);
+  doc.set("dsp/modulation", "QPSK");
+  doc.set_number("data-rate-gbps", 200);
+  EXPECT_EQ(doc.get("dsp/modulation"), "QPSK");
+  ASSERT_TRUE(doc.get_number("data-rate-gbps"));
+  EXPECT_DOUBLE_EQ(*doc.get_number("data-rate-gbps"), 200.0);
+  EXPECT_FALSE(doc.get("missing").has_value());
+  const auto miss = doc.get_number("missing");
+  ASSERT_FALSE(miss);
+  EXPECT_EQ(miss.error().code, "missing_leaf");
+}
+
+TEST(ConfigDocument, NonNumericLeafError) {
+  ConfigDocument doc("10.0.0.1", DeviceKind::kTransponder);
+  doc.set("data-rate-gbps", "fast");
+  const auto r = doc.get_number("data-rate-gbps");
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "bad_leaf");
+}
+
+TEST(ConfigDocument, SerializeIsStableXmlIsh) {
+  ConfigDocument doc("10.0.0.7", DeviceKind::kWss);
+  doc.set_number("port", 2);
+  const auto text = doc.serialize();
+  EXPECT_NE(text.find("<config device=\"10.0.0.7\" model=\"wss\">"),
+            std::string::npos);
+  EXPECT_NE(text.find("<leaf path=\"port\">2</leaf>"), std::string::npos);
+}
+
+TEST(ConfigDocument, TransponderRoundTrip) {
+  const auto& mode = svt_mode(400, 112.5);
+  const auto doc =
+      make_transponder_config("10.0.0.1", mode, spectrum::Range{8, 9});
+  const auto parsed = parse_transponder_mode(doc);
+  ASSERT_TRUE(parsed);
+  EXPECT_DOUBLE_EQ(parsed->data_rate_gbps, mode.data_rate_gbps);
+  EXPECT_DOUBLE_EQ(parsed->spacing_ghz, mode.spacing_ghz);
+  EXPECT_DOUBLE_EQ(parsed->reach_km, mode.reach_km);
+  EXPECT_EQ(parsed->modulation, mode.modulation);
+  EXPECT_DOUBLE_EQ(parsed->fec_overhead, mode.fec_overhead);
+  const auto range = parse_spectrum_range(doc, "spectrum/");
+  ASSERT_TRUE(range);
+  EXPECT_EQ(*range, (spectrum::Range{8, 9}));
+}
+
+TEST(ConfigDocument, WssRoundTrip) {
+  const auto doc = make_wss_config("10.1.0.1", 3, spectrum::Range{12, 6});
+  ASSERT_TRUE(doc.get_number("port"));
+  EXPECT_EQ(static_cast<int>(*doc.get_number("port")), 3);
+  const auto range = parse_spectrum_range(doc, "filter-port/3/");
+  ASSERT_TRUE(range);
+  EXPECT_EQ(*range, (spectrum::Range{12, 6}));
+}
+
+TEST(Vendors, AllKnownVendorsHaveAdapters) {
+  for (const auto& v : known_vendors()) {
+    EXPECT_EQ(adapter_for(v).vendor(), v);
+  }
+  EXPECT_THROW(adapter_for("vendorZ"), std::invalid_argument);
+}
+
+TEST(Vendors, DialectsDifferButDeviceStateAgrees) {
+  // The same standard document produces different native syntax per vendor
+  // but identical device configuration — the §4.3 vendor-agnostic claim.
+  const auto& mode = svt_mode(400, 112.5);
+  const auto doc =
+      make_transponder_config("10.0.0.1", mode, spectrum::Range{0, 9});
+  std::set<std::string> dialects;
+  for (const auto& vendor : known_vendors()) {
+    dialects.insert(adapter_for(vendor).native_syntax(doc));
+    hardware::TransponderDevice dev(
+        {"10.0.0.1", vendor, "SVT"},
+        {&transponder::svt_flexwan(), true, 0.0});
+    ASSERT_TRUE(adapter_for(vendor).configure_transponder(dev, doc));
+    EXPECT_TRUE(dev.configured());
+    EXPECT_DOUBLE_EQ(dev.mode().data_rate_gbps, 400);
+    EXPECT_EQ(dev.range(), (spectrum::Range{0, 9}));
+  }
+  EXPECT_EQ(dialects.size(), known_vendors().size());
+}
+
+// Property sweep: every Table 2 format configures identically through every
+// vendor adapter — the full vendor-agnostic matrix.
+class VendorModeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VendorModeSweep, AllVendorsProduceIdenticalDeviceState) {
+  const auto& mode = transponder::svt_flexwan().modes()
+      [static_cast<std::size_t>(GetParam())];
+  const spectrum::Range range{3, mode.pixels()};
+  const auto doc = make_transponder_config("10.0.0.1", mode, range);
+  for (const auto& vendor : known_vendors()) {
+    hardware::TransponderDevice dev({"10.0.0.1", vendor, "SVT"},
+                                    {&transponder::svt_flexwan(), true, 0.0});
+    const auto r = adapter_for(vendor).configure_transponder(dev, doc);
+    ASSERT_TRUE(r) << vendor << " " << mode.describe() << ": "
+                   << r.error().message;
+    EXPECT_DOUBLE_EQ(dev.mode().data_rate_gbps, mode.data_rate_gbps);
+    EXPECT_DOUBLE_EQ(dev.mode().spacing_ghz, mode.spacing_ghz);
+    EXPECT_DOUBLE_EQ(dev.mode().fec_overhead, mode.fec_overhead);
+    EXPECT_EQ(dev.mode().modulation, mode.modulation);
+    EXPECT_EQ(dev.range(), range);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTable2Formats, VendorModeSweep,
+                         ::testing::Range(0, 36));
+
+TEST(Vendors, NativeSyntaxSpotChecks) {
+  const auto& mode = svt_mode(400, 112.5);
+  const auto doc =
+      make_transponder_config("10.0.0.1", mode, spectrum::Range{8, 9});
+  EXPECT_NE(adapter_for("vendorA").native_syntax(doc).find("spacing=112.5ghz"),
+            std::string::npos);
+  EXPECT_NE(adapter_for("vendorB").native_syntax(doc).find("spacing-mhz 112500"),
+            std::string::npos);
+  // vendorC's inclusive-end slice: pixels 8..16.
+  EXPECT_NE(adapter_for("vendorC").native_syntax(doc).find("slice 8:16"),
+            std::string::npos);
+}
+
+TEST(Vendors, WssConfigThroughAdapter) {
+  const auto doc = make_wss_config("10.1.0.1", 1, spectrum::Range{6, 6});
+  hardware::WssDevice wss({"10.1.0.1", "vendorB", "WSS"}, 4, 1);
+  ASSERT_TRUE(adapter_for("vendorB").configure_wss(wss, doc));
+  ASSERT_TRUE(wss.passband(1).has_value());
+  EXPECT_EQ(*wss.passband(1), (spectrum::Range{6, 6}));
+}
+
+TEST(Netconf, RoutesToRegisteredDevice) {
+  NetconfService svc;
+  hardware::TransponderDevice dev({"10.0.0.1", "vendorA", "SVT"},
+                                  {&transponder::svt_flexwan(), true, 0.0});
+  ASSERT_TRUE(svc.register_device(&dev));
+  const auto& mode = svt_mode(100, 75);
+  const auto r = svc.edit_config(
+      make_transponder_config("10.0.0.1", mode, spectrum::Range{0, 6}));
+  EXPECT_TRUE(r);
+  EXPECT_TRUE(dev.configured());
+  EXPECT_EQ(svc.rpc_count(), 1);
+}
+
+TEST(Netconf, UnknownDeviceFails) {
+  NetconfService svc;
+  const auto& mode = svt_mode(100, 75);
+  const auto r = svc.edit_config(
+      make_transponder_config("10.9.9.9", mode, spectrum::Range{0, 6}));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "unknown_device");
+}
+
+TEST(Netconf, DuplicateIpRejected) {
+  NetconfService svc;
+  hardware::TransponderDevice a({"10.0.0.1", "vendorA", "SVT"},
+                                {&transponder::svt_flexwan(), true, 0.0});
+  hardware::TransponderDevice b({"10.0.0.1", "vendorB", "SVT"},
+                                {&transponder::svt_flexwan(), true, 0.0});
+  ASSERT_TRUE(svc.register_device(&a));
+  const auto r = svc.register_device(&b);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "duplicate_ip");
+}
+
+TEST(Netconf, KindMismatchRejected) {
+  NetconfService svc;
+  hardware::WssDevice wss({"10.1.0.1", "vendorA", "WSS"}, 4, 1);
+  ASSERT_TRUE(svc.register_device(&wss));
+  const auto& mode = svt_mode(100, 75);
+  const auto r = svc.edit_config(
+      make_transponder_config("10.1.0.1", mode, spectrum::Range{0, 6}));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "kind_mismatch");
+}
+
+TEST(Netconf, TelemetryReadsRxBer) {
+  NetconfService svc;
+  hardware::TransponderDevice dev({"10.0.0.1", "vendorA", "SVT"},
+                                  {&transponder::svt_flexwan(), true, 0.0});
+  ASSERT_TRUE(svc.register_device(&dev));
+  dev.set_rx_ber(1e-3);
+  const auto v = svc.get_telemetry("10.0.0.1", "rx-ber");
+  ASSERT_TRUE(v);
+  EXPECT_DOUBLE_EQ(*v, 1e-3);
+  EXPECT_FALSE(svc.get_telemetry("10.0.0.1", "unknown"));
+  EXPECT_FALSE(svc.get_telemetry("10.9.9.9", "rx-ber"));
+}
+
+TEST(Netconf, DevicePrerequisiteErrorsPropagate) {
+  NetconfService svc;
+  // A rigid BVT rejects a spacing-variable configuration via the adapter.
+  hardware::TransponderDevice bvt({"10.0.0.2", "vendorB", "BVT"},
+                                  {&transponder::bvt_radwan(), false, 75.0});
+  ASSERT_TRUE(svc.register_device(&bvt));
+  const auto& wide = svt_mode(400, 112.5);
+  const auto r = svc.edit_config(
+      make_transponder_config("10.0.0.2", wide, spectrum::Range{0, 9}));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "unsupported_mode");
+}
+
+}  // namespace
+}  // namespace flexwan::devmodel

@@ -1,0 +1,298 @@
+// Tests for the simulated optical hardware: transponders, WSS, the link
+// simulation (consistency/conflict/cut detection), and the §6 testbed.
+#include <gtest/gtest.h>
+
+#include "hardware/devices.h"
+#include "hardware/link_sim.h"
+#include "hardware/testbed.h"
+#include "phy/calibration.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::hardware {
+namespace {
+
+const transponder::Mode& svt_mode(double rate, double spacing) {
+  for (const auto& m : transponder::svt_flexwan().modes()) {
+    if (m.data_rate_gbps == rate && m.spacing_ghz == spacing) return m;
+  }
+  throw std::logic_error("mode not in catalog");
+}
+
+TransponderDevice make_svt(const std::string& ip) {
+  return TransponderDevice({ip, "vendorA", "SVT-800"},
+                           {&transponder::svt_flexwan(), true, 0.0});
+}
+
+TransponderDevice make_bvt(const std::string& ip) {
+  return TransponderDevice({ip, "vendorB", "BVT-300"},
+                           {&transponder::bvt_radwan(), false, 75.0});
+}
+
+TEST(Transponder, SvtAcceptsAnyCatalogMode) {
+  auto svt = make_svt("10.0.0.1");
+  for (const auto& mode : transponder::svt_flexwan().modes()) {
+    EXPECT_TRUE(svt.configure(mode, spectrum::Range{0, mode.pixels()}))
+        << mode.describe();
+  }
+}
+
+TEST(Transponder, BvtRejectsOffSpacingModes) {
+  auto bvt = make_bvt("10.0.0.2");
+  // 75 GHz modes pass...
+  const auto& ok = svt_mode(300, 75);
+  EXPECT_TRUE(bvt.configure(ok, spectrum::Range{0, ok.pixels()}));
+  // ...but a spacing-variable request hits the rigid EOM.
+  const auto& wide = svt_mode(400, 112.5);
+  const auto r = bvt.configure(wide, spectrum::Range{0, wide.pixels()});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "unsupported_mode");
+}
+
+TEST(Transponder, BvtRejectsFixedSpacingViolationEvenIfCatalogMatches) {
+  // A device whose catalog is the SVT table but whose EOM is fixed at 75:
+  // the DSP could do it, the EOM cannot.
+  TransponderDevice dev({"10.0.0.9", "vendorA", "half-flex"},
+                        {&transponder::svt_flexwan(), false, 75.0});
+  const auto& wide = svt_mode(400, 112.5);
+  const auto r = dev.configure(wide, spectrum::Range{0, wide.pixels()});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "fixed_spacing");
+}
+
+TEST(Transponder, RangeMustMatchChannelSpacing) {
+  auto svt = make_svt("10.0.0.3");
+  const auto& mode = svt_mode(400, 112.5);  // 9 pixels
+  const auto r = svt.configure(mode, spectrum::Range{0, 6});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "bad_range");
+}
+
+TEST(Transponder, TransmitRequiresConfiguration) {
+  auto svt = make_svt("10.0.0.4");
+  const auto r = svt.transmit();
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "not_configured");
+  const auto& mode = svt_mode(100, 50);
+  ASSERT_TRUE(svt.configure(mode, spectrum::Range{4, 4}));
+  const auto signal = svt.transmit();
+  ASSERT_TRUE(signal);
+  EXPECT_EQ(signal->range, (spectrum::Range{4, 4}));
+  EXPECT_EQ(signal->source_ip, "10.0.0.4");
+}
+
+TEST(Wss, PixelWiseAcceptsAnyContinuousRange) {
+  WssDevice wss({"10.1.0.1", "vendorA", "WSS-LCoS"}, 4, 1);
+  EXPECT_TRUE(wss.set_passband(0, spectrum::Range{3, 7}));
+  EXPECT_TRUE(wss.set_passband(1, spectrum::Range{17, 9}));
+  EXPECT_TRUE(wss.passes(spectrum::Range{3, 7}));
+  EXPECT_TRUE(wss.passes(spectrum::Range{4, 5}));   // covered subset
+  EXPECT_FALSE(wss.passes(spectrum::Range{2, 7}));  // sticks out left
+  EXPECT_FALSE(wss.passes(spectrum::Range{40, 4}));
+}
+
+TEST(Wss, FixedGridRejectsUnalignedPassbands) {
+  WssDevice wss({"10.1.0.2", "vendorB", "WSS-FixGrid"}, 4, 6);
+  EXPECT_TRUE(wss.set_passband(0, spectrum::Range{0, 6}));
+  EXPECT_TRUE(wss.set_passband(1, spectrum::Range{6, 12}));
+  const auto r = wss.set_passband(2, spectrum::Range{3, 6});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "grid_misaligned");
+  const auto r2 = wss.set_passband(2, spectrum::Range{6, 9});
+  ASSERT_FALSE(r2);
+  EXPECT_EQ(r2.error().code, "grid_misaligned");
+}
+
+TEST(Wss, PortManagement) {
+  WssDevice wss({"10.1.0.3", "vendorA", "WSS-LCoS"}, 2, 1);
+  EXPECT_FALSE(wss.set_passband(5, spectrum::Range{0, 4}));
+  EXPECT_FALSE(wss.passband(0).has_value());
+  ASSERT_TRUE(wss.set_passband(0, spectrum::Range{0, 4}));
+  EXPECT_TRUE(wss.passband(0).has_value());
+  ASSERT_TRUE(wss.clear_passband(0));
+  EXPECT_FALSE(wss.passband(0).has_value());
+  EXPECT_FALSE(wss.passes(spectrum::Range{0, 4}));
+}
+
+class LinkSimTest : public ::testing::Test {
+ protected:
+  LinkSimTest()
+      : model_(phy::calibrate(transponder::svt_flexwan())),
+        tx_(make_svt("10.0.1.1")),
+        rx_(make_svt("10.0.1.2")),
+        mux_({"10.1.1.1", "vendorA", "WSS"}, 4, 1) {}
+
+  LightPath configured_path(LinkSim& sim, const transponder::Mode& mode,
+                            double km, spectrum::Range range) {
+    EXPECT_TRUE(tx_.configure(mode, range));
+    EXPECT_TRUE(rx_.configure(mode, range));
+    EXPECT_TRUE(mux_.set_passband(0, range));
+    LightPath p;
+    p.tx = &tx_;
+    p.rx = &rx_;
+    p.hops.push_back(LinkHop{&mux_, sim.add_fiber(km), km});
+    return p;
+  }
+
+  phy::CalibratedModel model_;
+  TransponderDevice tx_;
+  TransponderDevice rx_;
+  WssDevice mux_;
+};
+
+TEST_F(LinkSimTest, DeliversWithinReach) {
+  LinkSim sim(model_);
+  const auto& mode = svt_mode(100, 75);  // 5000 km reach
+  const auto path = configured_path(sim, mode, 1000, {0, 6});
+  const auto results = sim.propagate({path});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].delivered);
+  EXPECT_DOUBLE_EQ(results[0].post_fec_ber, 0.0);
+  EXPECT_DOUBLE_EQ(rx_.rx_ber(), 0.0);
+}
+
+TEST_F(LinkSimTest, SnrTooLowBeyondReach) {
+  LinkSim sim(model_);
+  const auto& mode = svt_mode(800, 112.5);  // 150 km reach
+  const auto path = configured_path(sim, mode, 2000, {0, 9});
+  const auto results = sim.propagate({path});
+  EXPECT_FALSE(results[0].delivered);
+  EXPECT_EQ(results[0].failure, "snr_too_low");
+  EXPECT_GT(results[0].post_fec_ber, 0.0);
+  EXPECT_GT(rx_.rx_ber(), 0.0);
+}
+
+TEST_F(LinkSimTest, ChannelInconsistencyDropsSignal) {
+  // Fig. 5(a): passband narrower than the channel — signal lost.
+  LinkSim sim(model_);
+  const auto& mode = svt_mode(400, 112.5);  // 9 pixels
+  ASSERT_TRUE(tx_.configure(mode, spectrum::Range{0, 9}));
+  ASSERT_TRUE(rx_.configure(mode, spectrum::Range{0, 9}));
+  ASSERT_TRUE(mux_.set_passband(0, spectrum::Range{0, 6}));  // clipped
+  LightPath p;
+  p.tx = &tx_;
+  p.rx = &rx_;
+  p.hops.push_back(LinkHop{&mux_, sim.add_fiber(100), 100});
+  const auto results = sim.propagate({p});
+  EXPECT_FALSE(results[0].delivered);
+  EXPECT_EQ(results[0].failure, "inconsistency@10.1.1.1");
+  EXPECT_DOUBLE_EQ(results[0].post_fec_ber, 0.5);
+}
+
+TEST_F(LinkSimTest, ChannelConflictCorruptsBothSignals) {
+  // Fig. 5(b): overlapping spectra in a shared fiber.
+  LinkSim sim(model_);
+  const int fiber = sim.add_fiber(100);
+  auto tx2 = make_svt("10.0.2.1");
+  auto rx2 = make_svt("10.0.2.2");
+  WssDevice mux2({"10.1.2.1", "vendorA", "WSS"}, 4, 1);
+  const auto& mode = svt_mode(100, 75);
+  ASSERT_TRUE(tx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(rx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(mux_.set_passband(0, spectrum::Range{0, 6}));
+  ASSERT_TRUE(tx2.configure(mode, spectrum::Range{3, 6}));  // overlaps!
+  ASSERT_TRUE(rx2.configure(mode, spectrum::Range{3, 6}));
+  ASSERT_TRUE(mux2.set_passband(0, spectrum::Range{3, 6}));
+  LightPath p1{&tx_, &rx_, {LinkHop{&mux_, fiber, 100}}};
+  LightPath p2{&tx2, &rx2, {LinkHop{&mux2, fiber, 100}}};
+  const auto results = sim.propagate({p1, p2});
+  EXPECT_FALSE(results[0].delivered);
+  EXPECT_FALSE(results[1].delivered);
+  EXPECT_EQ(results[0].failure, "conflict@fiber0");
+  EXPECT_EQ(results[1].failure, "conflict@fiber0");
+}
+
+TEST_F(LinkSimTest, DisjointSpectraShareFiberCleanly) {
+  LinkSim sim(model_);
+  const int fiber = sim.add_fiber(100);
+  auto tx2 = make_svt("10.0.2.1");
+  auto rx2 = make_svt("10.0.2.2");
+  const auto& mode = svt_mode(100, 75);
+  ASSERT_TRUE(tx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(rx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(mux_.set_passband(0, spectrum::Range{0, 6}));
+  ASSERT_TRUE(mux_.set_passband(1, spectrum::Range{6, 6}));
+  ASSERT_TRUE(tx2.configure(mode, spectrum::Range{6, 6}));  // adjacent, no overlap
+  ASSERT_TRUE(rx2.configure(mode, spectrum::Range{6, 6}));
+  LightPath p1{&tx_, &rx_, {LinkHop{&mux_, fiber, 100}}};
+  LightPath p2{&tx2, &rx2, {LinkHop{&mux_, fiber, 100}}};
+  const auto results = sim.propagate({p1, p2});
+  EXPECT_TRUE(results[0].delivered);
+  EXPECT_TRUE(results[1].delivered);
+}
+
+TEST_F(LinkSimTest, AmplifiersInstalledPerSpanAndCounted) {
+  LinkSim sim(model_);
+  const int fiber = sim.add_fiber(400);  // 80 km spans -> 5 EDFAs
+  EXPECT_EQ(sim.amplifiers(fiber).size(), 5u);
+  EXPECT_EQ(sim.amplifiers(fiber)[0].info.model, "EDFA");
+  const auto& mode = svt_mode(100, 75);
+  ASSERT_TRUE(tx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(rx_.configure(mode, spectrum::Range{0, 6}));
+  ASSERT_TRUE(mux_.set_passband(0, spectrum::Range{0, 6}));
+  LightPath p{&tx_, &rx_, {LinkHop{&mux_, fiber, 400}}};
+  const auto results = sim.propagate({p});
+  ASSERT_TRUE(results[0].delivered);
+  EXPECT_EQ(results[0].amplifiers_traversed, 5);
+}
+
+TEST_F(LinkSimTest, CutFiberKillsSignal) {
+  LinkSim sim(model_);
+  const auto& mode = svt_mode(100, 75);
+  const auto path = configured_path(sim, mode, 500, {0, 6});
+  sim.cut_fiber(0);
+  EXPECT_TRUE(sim.fiber_cut(0));
+  const auto results = sim.propagate({path});
+  EXPECT_FALSE(results[0].delivered);
+  EXPECT_EQ(results[0].failure, "cut@fiber0");
+}
+
+TEST_F(LinkSimTest, IdleTransmitterReported) {
+  LinkSim sim(model_);
+  LightPath p;
+  p.tx = &tx_;  // never configured
+  p.rx = &rx_;
+  p.hops.push_back(LinkHop{&mux_, sim.add_fiber(100), 100});
+  const auto results = sim.propagate({p});
+  EXPECT_FALSE(results[0].delivered);
+  EXPECT_EQ(results[0].failure, "not_configured@10.0.1.1");
+}
+
+// --- testbed (§6): regenerate Table 2 ---------------------------------------
+
+TEST(Testbed, SweepStopsAtFirstPositiveBer) {
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  Testbed testbed(model, 50.0);
+  const auto m = testbed.measure(svt_mode(800, 112.5));
+  EXPECT_GT(m.sweep_steps, 0);
+  EXPECT_GT(m.measured_reach_km, 0.0);
+  // The sweep's answer equals the model's reach by construction.
+  EXPECT_DOUBLE_EQ(m.measured_reach_km,
+                   model.predicted_reach_km(svt_mode(800, 112.5), 50.0));
+}
+
+TEST(Testbed, CatalogSweepReproducesTable2Shape) {
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  Testbed testbed(model);
+  const auto rows = testbed.measure_catalog(transponder::svt_flexwan());
+  ASSERT_EQ(rows.size(), transponder::svt_flexwan().size());
+  double total_err = 0.0;
+  for (const auto& r : rows) {
+    ASSERT_GT(r.measured_reach_km, 0.0) << r.mode.describe();
+    total_err += std::abs(r.measured_reach_km - r.table_reach_km) /
+                 r.table_reach_km;
+  }
+  EXPECT_LT(total_err / static_cast<double>(rows.size()), 0.12);
+}
+
+TEST(Testbed, LongerReachForWiderSpacingAtSameRate) {
+  // The sweep must reproduce the Fig. 11 trend: at a fixed rate, widening
+  // the channel extends the measured reach.
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  Testbed testbed(model);
+  const auto narrow = testbed.measure(svt_mode(400, 87.5));
+  const auto wide = testbed.measure(svt_mode(400, 137.5));
+  EXPECT_GT(wide.measured_reach_km, narrow.measured_reach_km);
+}
+
+}  // namespace
+}  // namespace flexwan::hardware

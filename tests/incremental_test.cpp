@@ -1,0 +1,171 @@
+// Tests for incremental plan extension and spectrum defragmentation.
+#include <gtest/gtest.h>
+
+#include "planning/heuristic.h"
+#include "planning/incremental.h"
+#include "planning/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/rng.h"
+
+namespace flexwan::planning {
+namespace {
+
+topology::Network pair_net(double km, double demand) {
+  topology::Network net;
+  const auto a = net.optical.add_node("a");
+  const auto b = net.optical.add_node("b");
+  net.optical.add_fiber(a, b, km);
+  net.ip.add_link(a, b, demand);
+  return net;
+}
+
+TEST(Extend, AddsCapacityWithoutMovingExistingWavelengths) {
+  const auto net = pair_net(400, 600);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const auto before = plan->links()[0].wavelengths;
+
+  const auto r = extend_plan(*plan, net, 0, 800);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_GE(r->capacity_added_gbps, 800.0);
+  EXPECT_GT(r->wavelengths_added, 0);
+  // Original wavelengths are untouched, in place, same ranges.
+  const auto& after = plan->links()[0].wavelengths;
+  ASSERT_GE(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after[i].range, before[i].range);
+    EXPECT_DOUBLE_EQ(after[i].mode.data_rate_gbps,
+                     before[i].mode.data_rate_gbps);
+  }
+  // The extended plan still validates against the *extended* demand.
+  topology::Network grown = net;
+  grown.ip = topology::IpTopology();
+  grown.ip.add_link(0, 1, 1400);
+  const auto valid = validate_plan(*plan, grown);
+  EXPECT_TRUE(valid) << valid.error().message;
+}
+
+TEST(Extend, ZeroOrNegativeIsNoop) {
+  const auto net = pair_net(400, 600);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const int txp = plan->transponder_count();
+  ASSERT_TRUE(extend_plan(*plan, net, 0, 0.0));
+  ASSERT_TRUE(extend_plan(*plan, net, 0, -100.0));
+  EXPECT_EQ(plan->transponder_count(), txp);
+}
+
+TEST(Extend, UnknownLinkRejected) {
+  const auto net = pair_net(400, 600);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const auto r = extend_plan(*plan, net, 42, 100);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "unknown_link");
+}
+
+TEST(Extend, RollsBackAtomicallyWhenSpectrumRunsOut) {
+  const auto net = pair_net(300, 800);
+  PlannerConfig config;
+  config.band_pixels = 20;  // one 800G@150 channel (12 px) + 8 spare pixels
+  HeuristicPlanner planner(transponder::svt_flexwan(), config);
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const int txp = plan->transponder_count();
+  const double ghz = plan->spectrum_usage_ghz();
+  // 800 more Gbps cannot fit in 8 pixels (100 GHz carries <= 500G at 300km).
+  const auto r = extend_plan(*plan, net, 0, 800, config);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "no_spectrum");
+  // Atomic: nothing was left behind.
+  EXPECT_EQ(plan->transponder_count(), txp);
+  EXPECT_DOUBLE_EQ(plan->spectrum_usage_ghz(), ghz);
+}
+
+TEST(Extend, WorksAcrossWholeBackbone) {
+  const auto net = topology::make_cernet();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  for (const auto& link : net.ip.links()) {
+    const auto r = extend_plan(*plan, net, link.id, 200);
+    ASSERT_TRUE(r) << link.name << ": " << r.error().message;
+  }
+  // Demand coverage now holds at +200 Gbps per link.
+  topology::Network grown{net.name, net.optical, {}};
+  for (const auto& link : net.ip.links()) {
+    grown.ip.add_link(link.src, link.dst, link.demand_gbps + 200, link.name);
+  }
+  const auto valid = validate_plan(*plan, grown);
+  EXPECT_TRUE(valid) << valid.error().message;
+}
+
+TEST(Defrag, CompactsAfterChurn) {
+  // Plan, extend, then remove some of the *original* wavelengths to punch
+  // holes, and defragment.
+  const auto net = pair_net(300, 2400);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  // Remove every second wavelength to fragment the band.
+  auto& lp = plan->links()[0];
+  std::vector<Wavelength> to_remove;
+  for (std::size_t i = 0; i < lp.wavelengths.size(); i += 2) {
+    to_remove.push_back(lp.wavelengths[i]);
+  }
+  for (const auto& wl : to_remove) {
+    ASSERT_TRUE(plan->remove_wavelength(
+        lp.paths[static_cast<std::size_t>(wl.path_index)], wl));
+  }
+  const int before_run = plan->fiber_occupancy(0).largest_free_run();
+
+  const auto r = defragment(*plan);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_GE(r->free_run_after, r->free_run_before);
+  EXPECT_GE(plan->fiber_occupancy(0).largest_free_run(), before_run);
+  // Wavelength multiset preserved: count and total capacity.
+  EXPECT_EQ(plan->transponder_count(),
+            static_cast<int>(lp.wavelengths.size()));
+}
+
+TEST(Defrag, IsIdempotentOnCompactPlans) {
+  const auto net = topology::make_cernet();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const auto first = defragment(*plan);
+  ASSERT_TRUE(first);
+  const auto second = defragment(*plan);
+  ASSERT_TRUE(second);
+  EXPECT_EQ(second->wavelengths_moved, 0)
+      << "a defragmented plan must be a fixed point";
+  const auto valid = validate_plan(*plan, net);
+  EXPECT_TRUE(valid) << valid.error().message;
+}
+
+TEST(Defrag, PreservesValidityOnRandomNetworks) {
+  Rng rng(123);
+  for (int trial = 0; trial < 6; ++trial) {
+    topology::RandomBackboneParams params;
+    params.nodes = 8;
+    params.ip_links = 10;
+    params.max_fiber_km = 800;
+    const auto net = topology::random_backbone(params, rng);
+    HeuristicPlanner planner(transponder::svt_flexwan(), {});
+    auto plan = planner.plan(net);
+    if (!plan) continue;
+    const int txp = plan->transponder_count();
+    const auto r = defragment(*plan);
+    ASSERT_TRUE(r) << r.error().message;
+    EXPECT_EQ(plan->transponder_count(), txp);
+    const auto valid = validate_plan(*plan, net);
+    EXPECT_TRUE(valid) << "trial " << trial << ": " << valid.error().message;
+  }
+}
+
+}  // namespace
+}  // namespace flexwan::planning

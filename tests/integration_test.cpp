@@ -1,0 +1,174 @@
+// Full-stack integration tests: plan -> deploy -> physically propagate.
+//
+// Everything upstream claims the wavelengths will work: the planner
+// enforced reach constraint (2), the controller configured consistent
+// passbands, the audit found no conflicts.  These tests put the claims to
+// the physical test — every deployed wavelength is launched through the
+// simulated WSS chain and amplified fiber plant, and must arrive with
+// post-FEC BER 0 wherever the calibrated model's reach agrees with the
+// catalog's.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "controller/centralized.h"
+#include "controller/fleet.h"
+#include "hardware/link_sim.h"
+#include "phy/calibration.h"
+#include "planning/heuristic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan {
+namespace {
+
+// Builds LinkSim light paths from a deployed fleet: one fiber registration
+// per topology fiber.  Each wavelength's hops follow its WSS targets — the
+// add WSS launches into the first fiber, each line-degree WSS feeds its
+// fiber, and the drop WSS filters before the receiver.
+struct PhysicalDeployment {
+  hardware::LinkSim sim;
+  std::vector<hardware::LightPath> paths;
+
+  PhysicalDeployment(const topology::Network& net, controller::Fleet& fleet,
+                     const phy::CalibratedModel& model)
+      : sim(model) {
+    std::map<topology::FiberId, int> fiber_index;
+    for (topology::FiberId f = 0; f < net.optical.fiber_count(); ++f) {
+      fiber_index[f] = sim.add_fiber(net.optical.fiber(f).length_km);
+    }
+    for (auto& dw : fleet.wavelengths()) {
+      hardware::LightPath lp;
+      lp.tx = dw.tx;
+      lp.rx = dw.rx;
+      // wss_targets = [add, degree(f0), ..., degree(f_{k-1}), drop]: the
+      // add WSS filters first (zero-length hop), each egress degree WSS
+      // feeds its fiber, the drop WSS filters before the receiver.
+      const int add_hop = sim.add_fiber(1e-6);
+      lp.hops.push_back(hardware::LinkHop{dw.wss_targets.front().device,
+                                          add_hop, 0.0,
+                                          dw.wss_targets.front().port});
+      for (std::size_t i = 0; i < dw.path.fibers.size(); ++i) {
+        const topology::FiberId f = dw.path.fibers[i];
+        lp.hops.push_back(hardware::LinkHop{
+            dw.wss_targets[i + 1].device, fiber_index[f],
+            net.optical.fiber(f).length_km, dw.wss_targets[i + 1].port});
+      }
+      const int tail = sim.add_fiber(1e-6);
+      lp.hops.push_back(hardware::LinkHop{dw.wss_targets.back().device, tail,
+                                          0.0, dw.wss_targets.back().port});
+      paths.push_back(std::move(lp));
+    }
+  }
+};
+
+class EndToEndTest
+    : public ::testing::TestWithParam<const transponder::Catalog*> {};
+
+TEST_P(EndToEndTest, DeployedWavelengthsPhysicallyDecode) {
+  const auto& catalog = *GetParam();
+  const auto net = topology::make_cernet();
+  planning::HeuristicPlanner planner(catalog, {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan) << catalog.name();
+
+  controller::Fleet fleet(net, *plan,
+                          controller::VendorAssignment::kPerRegionMixed,
+                          /*pixel_wise_ols=*/true);
+  controller::CentralizedController controller(net);
+  ASSERT_TRUE(controller.deploy(fleet));
+  ASSERT_TRUE(controller::audit_fleet(fleet, net).clean());
+
+  const auto model = phy::calibrate(catalog);
+  PhysicalDeployment phys(net, fleet, model);
+  const auto results = phys.sim.propagate(phys.paths);
+  ASSERT_EQ(results.size(), fleet.deployed().size());
+
+  int delivered = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.delivered) {
+      ++delivered;
+      continue;
+    }
+    // The only acceptable physical failure is an SNR shortfall on a
+    // wavelength whose catalog reach exceeds the calibrated model's reach
+    // (the documented ~7 % model residual).  Control-plane failures —
+    // inconsistency, conflict, misconfiguration — must never occur.
+    EXPECT_EQ(r.failure, "snr_too_low")
+        << catalog.name() << " wavelength " << i;
+    const auto& mode = fleet.deployed()[i].wavelength.mode;
+    EXPECT_LT(model.predicted_reach_km(mode), r.distance_km)
+        << "SNR failure not explained by the model residual";
+  }
+  // The calibration residual only bites near the reach boundary; the large
+  // majority of wavelengths must decode.
+  EXPECT_GE(delivered, static_cast<int>(results.size() * 8 / 10))
+      << catalog.name() << ": " << delivered << "/" << results.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EndToEndTest,
+                         ::testing::Values(&transponder::svt_flexwan(),
+                                           &transponder::bvt_radwan(),
+                                           &transponder::fixed_grid_100g()));
+
+TEST(EndToEnd, FiberCutKillsExactlyTheAffectedWavelengths) {
+  const auto net = topology::make_cernet();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  controller::Fleet fleet(net, *plan,
+                          controller::VendorAssignment::kSingleVendor, true);
+  controller::CentralizedController controller(net);
+  ASSERT_TRUE(controller.deploy(fleet));
+
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  PhysicalDeployment phys(net, fleet, model);
+
+  const topology::FiberId cut = 0;
+  phys.sim.cut_fiber(0);  // fiber_index[0] == 0 by construction
+  const auto results = phys.sim.propagate(phys.paths);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const bool crosses = fleet.deployed()[i].path.uses_fiber(cut);
+    if (crosses) {
+      EXPECT_FALSE(results[i].delivered);
+      EXPECT_EQ(results[i].failure.substr(0, 4), "cut@");
+    } else {
+      EXPECT_NE(results[i].failure.substr(0, 4), "cut@");
+    }
+  }
+}
+
+TEST(EndToEnd, MisconfiguredPassbandShowsUpInPropagation) {
+  // Sabotage one WSS passband after a clean deployment: the audit and the
+  // physical layer must agree on the failure.
+  const auto net = topology::make_cernet();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  controller::Fleet fleet(net, *plan,
+                          controller::VendorAssignment::kSingleVendor, true);
+  controller::CentralizedController controller(net);
+  ASSERT_TRUE(controller.deploy(fleet));
+
+  // Narrow one filter port's passband.  The audit is per-port, so a
+  // same-spectrum wavelength elsewhere cannot mask the misconfiguration.
+  const std::size_t victim = 0;
+  const auto& target = fleet.deployed()[victim].wss_targets.front();
+  const auto original = target.device->passband(target.port);
+  ASSERT_TRUE(original.has_value());
+  spectrum::Range clipped = *original;
+  clipped.count -= 1;
+  ASSERT_TRUE(target.device->set_passband(target.port, clipped));
+
+  EXPECT_EQ(controller::audit_fleet(fleet, net).inconsistencies, 1);
+
+  const auto model = phy::calibrate(transponder::svt_flexwan());
+  PhysicalDeployment phys(net, fleet, model);
+  const auto results = phys.sim.propagate(phys.paths);
+  EXPECT_FALSE(results[victim].delivered);
+  EXPECT_EQ(results[victim].failure.substr(0, 14), "inconsistency@");
+}
+
+}  // namespace
+}  // namespace flexwan

@@ -1,0 +1,105 @@
+// Tests for the network text format and graphviz export.
+#include <gtest/gtest.h>
+
+#include "topology/io.h"
+#include "topology/ksp.h"
+
+namespace flexwan::topology {
+namespace {
+
+constexpr const char* kSample = R"(# a comment
+network demo
+
+node a
+node b
+node c
+fiber a b 120.5
+fiber b c 300
+link a c 400 a-to-c
+link a b 200
+)";
+
+TEST(Io, LoadsWellFormedInput) {
+  const auto net = load_network(kSample);
+  ASSERT_TRUE(net) << net.error().message;
+  EXPECT_EQ(net->name, "demo");
+  EXPECT_EQ(net->optical.node_count(), 3);
+  EXPECT_EQ(net->optical.fiber_count(), 2);
+  EXPECT_EQ(net->ip.link_count(), 2);
+  EXPECT_DOUBLE_EQ(net->optical.fiber(0).length_km, 120.5);
+  EXPECT_EQ(net->ip.link(0).name, "a-to-c");
+  EXPECT_EQ(net->ip.link(1).name, "link1");  // auto-named
+  const auto p = shortest_path(net->optical, 0, 2);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->length_km, 420.5);
+}
+
+TEST(Io, RoundTripsThroughSave) {
+  const auto original = load_network(kSample);
+  ASSERT_TRUE(original);
+  const auto reloaded = load_network(save_network(*original));
+  ASSERT_TRUE(reloaded) << reloaded.error().message;
+  EXPECT_EQ(reloaded->name, original->name);
+  ASSERT_EQ(reloaded->optical.node_count(), original->optical.node_count());
+  ASSERT_EQ(reloaded->optical.fiber_count(), original->optical.fiber_count());
+  for (int f = 0; f < original->optical.fiber_count(); ++f) {
+    EXPECT_DOUBLE_EQ(reloaded->optical.fiber(f).length_km,
+                     original->optical.fiber(f).length_km);
+  }
+  ASSERT_EQ(reloaded->ip.link_count(), original->ip.link_count());
+  for (int l = 0; l < original->ip.link_count(); ++l) {
+    EXPECT_DOUBLE_EQ(reloaded->ip.link(l).demand_gbps,
+                     original->ip.link(l).demand_gbps);
+  }
+}
+
+TEST(Io, BuilderNetworksRoundTrip) {
+  const auto original = make_cernet();
+  const auto reloaded = load_network(save_network(original));
+  ASSERT_TRUE(reloaded) << reloaded.error().message;
+  EXPECT_EQ(reloaded->optical.node_count(), original.optical.node_count());
+  EXPECT_EQ(reloaded->optical.fiber_count(), original.optical.fiber_count());
+  EXPECT_EQ(reloaded->ip.link_count(), original.ip.link_count());
+  EXPECT_DOUBLE_EQ(reloaded->ip.total_demand_gbps(),
+                   original.ip.total_demand_gbps());
+}
+
+struct BadInput {
+  const char* text;
+  const char* reason;
+};
+
+class IoErrorTest : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(IoErrorTest, MalformedInputRejected) {
+  const auto net = load_network(GetParam().text);
+  ASSERT_FALSE(net) << GetParam().reason;
+  EXPECT_EQ(net.error().code, "parse_error") << GetParam().reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IoErrorTest,
+    ::testing::Values(
+        BadInput{"node a\nnode a\n", "duplicate node"},
+        BadInput{"node a\nfiber a b 100\n", "unknown node in fiber"},
+        BadInput{"node a\nnode b\nfiber a b\n", "missing fiber length"},
+        BadInput{"node a\nnode b\nfiber a b -5\n", "negative length"},
+        BadInput{"node a\nnode b\nlink a b\n", "missing demand"},
+        BadInput{"node a\nnode b\nlink a b -100\n", "negative demand"},
+        BadInput{"node a\nlink a z 100\n", "unknown node in link"},
+        BadInput{"frobnicate x\n", "unknown keyword"},
+        BadInput{"network\n", "missing network name"}));
+
+TEST(Io, DotExportMentionsEverything) {
+  const auto net = load_network(kSample);
+  ASSERT_TRUE(net);
+  const auto dot = to_dot(*net);
+  EXPECT_NE(dot.find("graph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -- \"b\" [label=\"120.5km\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_NE(dot.find("400G"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexwan::topology

@@ -1,0 +1,252 @@
+// Tests for the MILP substrate: model, simplex LP, and branch-and-bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "milp/branch_and_bound.h"
+#include "milp/model.h"
+#include "milp/simplex.h"
+#include "util/rng.h"
+
+namespace flexwan::milp {
+namespace {
+
+TEST(Model, AddVarValidatesBounds) {
+  Model m;
+  EXPECT_THROW(m.add_var("x", VarType::kContinuous, 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Model, AddConstraintValidatesVarIds) {
+  Model m;
+  m.add_binary("x");
+  EXPECT_THROW(m.add_constraint({Term{5, 1.0}}, Sense::kLe, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Model, ObjectiveAndFeasibility) {
+  Model m;
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 10, 2.0);
+  const VarId y = m.add_var("y", VarType::kInteger, 0, 5, 3.0);
+  m.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Sense::kLe, 6.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({2.0, 1.0}), 7.0);
+  EXPECT_TRUE(m.feasible({2.0, 1.0}));
+  EXPECT_FALSE(m.feasible({5.0, 2.0}));   // violates the row
+  EXPECT_FALSE(m.feasible({2.0, 1.5}));   // fractional integer var
+  EXPECT_FALSE(m.feasible({-1.0, 0.0}));  // bound violation
+}
+
+TEST(Simplex, SolvesTextbookMaximization) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> x=2, y=6, obj=36.
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 1e30, 3.0);
+  const VarId y = m.add_var("y", VarType::kContinuous, 0, 1e30, 5.0);
+  m.add_constraint({Term{x, 1.0}}, Sense::kLe, 4.0);
+  m.add_constraint({Term{y, 2.0}}, Sense::kLe, 12.0);
+  m.add_constraint({Term{x, 3.0}, Term{y, 2.0}}, Sense::kLe, 18.0);
+  const auto sol = solve_lp_relaxation(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 36.0, 1e-6);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(x)], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 6.0, 1e-6);
+}
+
+TEST(Simplex, SolvesMinimizationWithGeRows) {
+  // min 2x + 3y st x + y >= 4, x >= 1 -> x=4 ... wait: cost favours x.
+  // Optimal: y=0, x=4, obj=8.
+  Model m;
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 1e30, 2.0);
+  const VarId y = m.add_var("y", VarType::kContinuous, 0, 1e30, 3.0);
+  m.add_constraint({Term{x, 1.0}, Term{y, 1.0}}, Sense::kGe, 4.0);
+  const auto sol = solve_lp_relaxation(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 8.0, 1e-6);
+}
+
+TEST(Simplex, HandlesEqualityRows) {
+  // min x + y st x + 2y = 6, x - y = 0 -> x=y=2, obj=4.
+  Model m;
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 1e30, 1.0);
+  const VarId y = m.add_var("y", VarType::kContinuous, 0, 1e30, 1.0);
+  m.add_constraint({Term{x, 1.0}, Term{y, 2.0}}, Sense::kEq, 6.0);
+  m.add_constraint({Term{x, 1.0}, Term{y, -1.0}}, Sense::kEq, 0.0);
+  const auto sol = solve_lp_relaxation(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-6);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 1e30, 1.0);
+  m.add_constraint({Term{x, 1.0}}, Sense::kLe, 2.0);
+  m.add_constraint({Term{x, 1.0}}, Sense::kGe, 5.0);
+  EXPECT_EQ(solve_lp_relaxation(m).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  m.add_var("x", VarType::kContinuous, 0, 1e30, 1.0);
+  EXPECT_EQ(solve_lp_relaxation(m).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, RespectsVariableBounds) {
+  // max x with x <= 7 via upper bound only (no explicit row).
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  m.add_var("x", VarType::kContinuous, 2.0, 7.0, 1.0);
+  const auto sol = solve_lp_relaxation(m);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-6);
+  // Lower bounds shift correctly too.
+  Model m2;
+  m2.add_var("x", VarType::kContinuous, 2.0, 7.0, 1.0);
+  const auto sol2 = solve_lp_relaxation(m2);
+  ASSERT_EQ(sol2.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol2.objective, 2.0, 1e-6);
+}
+
+TEST(Simplex, ExtraConstraintsApplyWithoutModelCopy) {
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 10, 1.0);
+  const auto base = solve_lp_relaxation(m);
+  ASSERT_EQ(base.status, LpStatus::kOptimal);
+  EXPECT_NEAR(base.objective, 10.0, 1e-6);
+  const std::vector<Constraint> extra = {
+      Constraint{{Term{x, 1.0}}, Sense::kLe, 3.0, "branch"}};
+  const auto bounded = solve_lp_relaxation(m, extra);
+  ASSERT_EQ(bounded.status, LpStatus::kOptimal);
+  EXPECT_NEAR(bounded.objective, 3.0, 1e-6);
+}
+
+TEST(Mip, SolvesKnapsack) {
+  // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> a=0? enumerate:
+  // {a,c}=17 w5; {b,c}=20 w6; {a,b} w7 invalid -> optimum 20.
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  const VarId a = m.add_binary("a", 10);
+  const VarId b = m.add_binary("b", 13);
+  const VarId c = m.add_binary("c", 7);
+  m.add_constraint({Term{a, 3.0}, Term{b, 4.0}, Term{c, 2.0}}, Sense::kLe,
+                   6.0);
+  const auto sol = solve_mip(m);
+  ASSERT_EQ(sol.status, MipStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 20.0, 1e-6);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(b)], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(c)], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(a)], 0.0, 1e-9);
+}
+
+TEST(Mip, IntegerVariablesRound) {
+  // min x st 2x >= 7, x integer -> x = 4 (LP gives 3.5).
+  Model m;
+  const VarId x = m.add_integer("x", 0, 100, 1.0);
+  m.add_constraint({Term{x, 2.0}}, Sense::kGe, 7.0);
+  const auto sol = solve_mip(m);
+  ASSERT_EQ(sol.status, MipStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+}
+
+TEST(Mip, InfeasibleIntegrality) {
+  // 2x = 5 has no integer solution in [0, 10].
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10, 1.0);
+  m.add_constraint({Term{x, 2.0}}, Sense::kEq, 5.0);
+  EXPECT_EQ(solve_mip(m).status, MipStatus::kInfeasible);
+}
+
+TEST(Mip, MixedIntegerContinuous) {
+  // min 5y + x st x + 10y >= 12, 0 <= x <= 3, y integer.
+  // y=1 -> x=2 -> 7;  y=2 -> x=0 -> 10.  Optimal 7.
+  Model m;
+  const VarId x = m.add_var("x", VarType::kContinuous, 0, 3, 1.0);
+  const VarId y = m.add_integer("y", 0, 10, 5.0);
+  m.add_constraint({Term{x, 1.0}, Term{y, 10.0}}, Sense::kGe, 12.0);
+  const auto sol = solve_mip(m);
+  ASSERT_EQ(sol.status, MipStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-6);
+  EXPECT_NEAR(sol.x[static_cast<std::size_t>(y)], 1.0, 1e-9);
+}
+
+TEST(Mip, GapIsZeroWhenProvenOptimal) {
+  Model m;
+  const VarId x = m.add_integer("x", 0, 10, 1.0);
+  m.add_constraint({Term{x, 1.0}}, Sense::kGe, 3.0);
+  const auto sol = solve_mip(m);
+  ASSERT_EQ(sol.status, MipStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(sol.gap(), 0.0);
+}
+
+// Property: branch-and-bound matches brute force on random binary programs.
+class RandomMipTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMipTest, MatchesBruteForceEnumeration) {
+  Rng rng(GetParam());
+  const int n = rng.uniform_int(4, 8);
+  const int rows = rng.uniform_int(2, 5);
+  Model m;
+  m.set_direction(rng.chance(0.5) ? Direction::kMaximize
+                                  : Direction::kMinimize);
+  for (int i = 0; i < n; ++i) {
+    m.add_binary("x" + std::to_string(i), rng.uniform(-5.0, 10.0));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.7)) terms.push_back(Term{i, rng.uniform(0.2, 4.0)});
+    }
+    if (terms.empty()) terms.push_back(Term{0, 1.0});
+    // RHS chosen so the zero vector is always feasible for <= rows.
+    m.add_constraint(std::move(terms), Sense::kLe, rng.uniform(1.0, 8.0));
+  }
+
+  // Brute force over all 2^n assignments.
+  double best = m.direction() == Direction::kMaximize ? -1e18 : 1e18;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) x[static_cast<std::size_t>(i)] = (mask >> i) & 1;
+    if (!m.feasible(x)) continue;
+    const double obj = m.objective_value(x);
+    best = m.direction() == Direction::kMaximize ? std::max(best, obj)
+                                                 : std::min(best, obj);
+  }
+
+  const auto sol = solve_mip(m);
+  ASSERT_EQ(sol.status, MipStatus::kOptimal) << "seed " << GetParam();
+  EXPECT_NEAR(sol.objective, best, 1e-5) << "seed " << GetParam();
+  EXPECT_TRUE(m.feasible(sol.x, 1e-5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMipTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// Property: LP relaxation always bounds the MIP optimum.
+class RelaxationBoundTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RelaxationBoundTest, LpBoundsMip) {
+  Rng rng(GetParam());
+  const int n = rng.uniform_int(3, 6);
+  Model m;
+  m.set_direction(Direction::kMaximize);
+  for (int i = 0; i < n; ++i) {
+    m.add_binary("x" + std::to_string(i), rng.uniform(1.0, 10.0));
+  }
+  std::vector<Term> terms;
+  for (int i = 0; i < n; ++i) terms.push_back(Term{i, rng.uniform(1.0, 3.0)});
+  m.add_constraint(std::move(terms), Sense::kLe, rng.uniform(2.0, 6.0));
+
+  const auto lp = solve_lp_relaxation(m);
+  const auto mip = solve_mip(m);
+  ASSERT_EQ(lp.status, LpStatus::kOptimal);
+  ASSERT_EQ(mip.status, MipStatus::kOptimal);
+  EXPECT_GE(lp.objective + 1e-6, mip.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelaxationBoundTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace flexwan::milp

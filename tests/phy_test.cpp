@@ -1,0 +1,241 @@
+// Tests for the physical-layer model: link budget, Shannon limits, post-FEC
+// BER cliff, and the calibration against Table 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/ber.h"
+#include "phy/calibration.h"
+#include "phy/nonlinear.h"
+#include "phy/link_budget.h"
+#include "phy/shannon.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::phy {
+namespace {
+
+TEST(LinkBudget, DbConversionsRoundTrip) {
+  for (double db : {-10.0, 0.0, 3.0, 20.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+  EXPECT_NEAR(db_to_linear(3.0), 2.0, 0.01);
+}
+
+TEST(LinkBudget, SpanCount) {
+  PlantParams p;  // 80 km spans
+  EXPECT_EQ(span_count(0, p), 1);
+  EXPECT_EQ(span_count(79, p), 1);
+  EXPECT_EQ(span_count(80, p), 1);
+  EXPECT_EQ(span_count(81, p), 2);
+  EXPECT_EQ(span_count(800, p), 10);
+}
+
+TEST(LinkBudget, OsnrDecreasesWithDistance) {
+  PlantParams p;
+  double prev = osnr_db(100, p);
+  for (double d = 500; d <= 5000; d += 500) {
+    const double cur = osnr_db(d, p);
+    EXPECT_LT(cur, prev) << "OSNR must fall as spans accumulate";
+    prev = cur;
+  }
+}
+
+TEST(LinkBudget, OsnrDropsThreeDbPerDoubling) {
+  // 10 log10(2N) - 10 log10(N) = 3 dB: doubling the span count halves OSNR.
+  PlantParams p;
+  EXPECT_NEAR(osnr_db(800, p) - osnr_db(1600, p), 3.0103, 1e-3);
+}
+
+TEST(LinkBudget, SnrScalesInverselyWithBaud) {
+  PlantParams p;
+  const double narrow = snr_linear(1000, 30.0, p);
+  const double wide = snr_linear(1000, 60.0, p);
+  EXPECT_NEAR(narrow / wide, 2.0, 1e-9);
+}
+
+TEST(Shannon, CapacityGrowsWithSpacingAndSnr) {
+  EXPECT_GT(shannon_capacity_gbps(100, 10.0), shannon_capacity_gbps(75, 10.0));
+  EXPECT_GT(shannon_capacity_gbps(75, 20.0), shannon_capacity_gbps(75, 10.0));
+  EXPECT_DOUBLE_EQ(shannon_capacity_gbps(0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_capacity_gbps(75, 0.0), 0.0);
+}
+
+TEST(Shannon, RequiredSnrInvertsCapacity) {
+  transponder::Mode m;
+  m.data_rate_gbps = 400;
+  m.spacing_ghz = 100;
+  const double snr = shannon_required_snr(m);
+  EXPECT_NEAR(shannon_capacity_gbps(m.spacing_ghz, snr), 400.0, 1e-6);
+}
+
+TEST(Shannon, WiderChannelNeedsLessSnrForSameRate) {
+  // The core SVT insight (§3.3): widening the channel lowers the SNR needed
+  // for the same data rate, buying reach on longer restoration paths.
+  transponder::Mode narrow;
+  narrow.data_rate_gbps = 400;
+  narrow.spacing_ghz = 75;
+  transponder::Mode wide = narrow;
+  wide.spacing_ghz = 150;
+  EXPECT_GT(shannon_required_snr(narrow), shannon_required_snr(wide));
+}
+
+TEST(Shannon, StrongerFecShrinksImplementationGap) {
+  transponder::Mode weak;
+  weak.fec_overhead = 0.15;
+  transponder::Mode strong = weak;
+  strong.fec_overhead = 0.27;
+  EXPECT_GT(implementation_gap_db(weak), implementation_gap_db(strong));
+}
+
+TEST(Shannon, HighOrderFormatsPayExtraPenalty) {
+  transponder::Mode qpsk;
+  qpsk.modulation = transponder::Modulation::kQpsk;
+  transponder::Mode pcs64 = qpsk;
+  pcs64.modulation = transponder::Modulation::kPcs64Qam;
+  EXPECT_GT(implementation_gap_db(pcs64), implementation_gap_db(qpsk));
+}
+
+TEST(Ber, CliffAtRequiredSnr) {
+  transponder::Mode m;
+  m.data_rate_gbps = 200;
+  m.spacing_ghz = 75;
+  const double needed = required_snr(m);
+  EXPECT_DOUBLE_EQ(post_fec_ber(needed, m), 0.0);
+  EXPECT_DOUBLE_EQ(post_fec_ber(needed * 2, m), 0.0);
+  EXPECT_GT(post_fec_ber(needed * 0.99, m), 0.0);
+  EXPECT_TRUE(decodes_error_free(needed, m));
+  EXPECT_FALSE(decodes_error_free(needed * 0.5, m));
+}
+
+TEST(Ber, MonotoneInShortfallAndCapped) {
+  transponder::Mode m;
+  m.data_rate_gbps = 200;
+  m.spacing_ghz = 75;
+  const double needed = required_snr(m);
+  double prev = 0.0;
+  for (double f = 0.95; f >= 0.05; f -= 0.1) {
+    const double ber = post_fec_ber(needed * f, m);
+    EXPECT_GE(ber, prev);
+    EXPECT_LE(ber, 0.5);
+    prev = ber;
+  }
+  EXPECT_DOUBLE_EQ(post_fec_ber(1e-15, m), 0.5);
+}
+
+TEST(Nonlinear, SnrPeaksAtOptimalLaunchPower) {
+  PlantParams plant;
+  NonlinearParams nl;
+  const double dist = 800.0;
+  const double baud = 60.0;
+  const double p_opt_dbm = optimal_launch_power_dbm(dist, baud, plant, nl);
+  const double p_opt_mw = std::pow(10.0, p_opt_dbm / 10.0);
+  const double best = snr_with_nli(p_opt_mw, dist, baud, plant, nl);
+  // Concave around the optimum: both sides are strictly worse.
+  EXPECT_GT(best, snr_with_nli(p_opt_mw * 0.5, dist, baud, plant, nl));
+  EXPECT_GT(best, snr_with_nli(p_opt_mw * 2.0, dist, baud, plant, nl));
+  EXPECT_DOUBLE_EQ(optimal_snr(dist, baud, plant, nl), best);
+}
+
+TEST(Nonlinear, NliAtOptimumIsHalfTheAse) {
+  // The classic rule: at the optimum the NLI power equals half the ASE.
+  PlantParams plant;
+  NonlinearParams nl;
+  const double dist = 1200.0;
+  const double baud = 60.0;
+  const double ase = ase_power_mw(dist, baud, plant);
+  const double p_opt = std::pow(
+      10.0, optimal_launch_power_dbm(dist, baud, plant, nl) / 10.0);
+  const double spans = span_count(dist, plant);
+  const double nli = nl.eta_per_span * spans * p_opt * p_opt * p_opt;
+  EXPECT_NEAR(nli / ase, 0.5, 1e-9);
+}
+
+TEST(Nonlinear, OptimalSnrDegradesWithDistance) {
+  PlantParams plant;
+  NonlinearParams nl;
+  double prev = optimal_snr(200, 60, plant, nl);
+  for (double d = 600; d <= 3000; d += 600) {
+    const double cur = optimal_snr(d, 60, plant, nl);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Nonlinear, ZeroPowerGivesZeroSnr) {
+  PlantParams plant;
+  NonlinearParams nl;
+  EXPECT_DOUBLE_EQ(snr_with_nli(0.0, 500, 60, plant, nl), 0.0);
+  EXPECT_DOUBLE_EQ(snr_with_nli(-1.0, 500, 60, plant, nl), 0.0);
+}
+
+TEST(Nonlinear, LinearModelMatchesNliModelAtLowPower) {
+  // With NLI negligible (tiny launch power), SNR(P)/P approaches 1/N_ase —
+  // the linear model's slope.
+  PlantParams plant;
+  NonlinearParams nl;
+  const double ase = ase_power_mw(1000, 60, plant);
+  const double tiny = 1e-4;
+  EXPECT_NEAR(snr_with_nli(tiny, 1000, 60, plant, nl) / tiny, 1.0 / ase,
+              1.0 / ase * 1e-3);
+}
+
+TEST(Calibration, ModelReproducesTable2Closely) {
+  const auto& catalog = transponder::svt_flexwan();
+  const auto model = calibrate(catalog);
+  const auto report = evaluate(model, catalog);
+  ASSERT_EQ(report.rows.size(), catalog.size());
+  EXPECT_LT(report.mean_relative_error, 0.12)
+      << "testbed model drifted from Table 2";
+  EXPECT_LT(report.max_relative_error, 0.40);
+}
+
+TEST(Calibration, EveryRowGetsANonZeroModelReach) {
+  const auto& catalog = transponder::svt_flexwan();
+  const auto model = calibrate(catalog);
+  for (const auto& row : evaluate(model, catalog).rows) {
+    EXPECT_GT(row.model_reach_km, 0.0) << row.mode.describe();
+  }
+}
+
+TEST(Calibration, ReachMonotoneInDistanceSweep) {
+  // predicted_reach uses the same sweep the testbed does: once the BER goes
+  // positive it stays positive for longer distances.
+  const auto& catalog = transponder::svt_flexwan();
+  const auto model = calibrate(catalog);
+  for (const auto& mode : catalog.modes()) {
+    const double reach = model.predicted_reach_km(mode);
+    if (reach <= 0) continue;
+    EXPECT_DOUBLE_EQ(model.post_fec_ber(mode, reach), 0.0);
+    EXPECT_GT(model.post_fec_ber(mode, reach + 200.0), 0.0)
+        << mode.describe();
+  }
+}
+
+TEST(Calibration, BaselineCatalogsAlsoCalibrate) {
+  for (const auto* catalog :
+       {&transponder::bvt_radwan(), &transponder::fixed_grid_100g()}) {
+    const auto model = calibrate(*catalog);
+    const auto report = evaluate(model, *catalog);
+    EXPECT_LT(report.mean_relative_error, 0.25) << catalog->name();
+  }
+}
+
+// Property sweep: at any distance within a mode's model reach, the received
+// SNR clears the requirement; beyond 1.5x the reach it does not.
+class CalibratedModeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibratedModeTest, SnrBoundaryConsistent) {
+  const auto& catalog = transponder::svt_flexwan();
+  const auto model = calibrate(catalog);
+  const auto& mode = catalog.modes()[static_cast<std::size_t>(GetParam())];
+  const double reach = model.predicted_reach_km(mode);
+  ASSERT_GT(reach, 0.0);
+  EXPECT_DOUBLE_EQ(model.post_fec_ber(mode, reach * 0.5), 0.0);
+  EXPECT_GT(model.post_fec_ber(mode, reach * 1.6 + 100), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSvtModes, CalibratedModeTest,
+                         ::testing::Range(0, 36));
+
+}  // namespace
+}  // namespace flexwan::phy

@@ -1,0 +1,105 @@
+// Tests for plan serialization.
+#include <gtest/gtest.h>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "planning/plan_io.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::planning {
+namespace {
+
+Plan make_plan(const topology::Network& net,
+               const transponder::Catalog& catalog) {
+  HeuristicPlanner planner(catalog, {});
+  auto plan = planner.plan(net);
+  EXPECT_TRUE(plan);
+  return std::move(plan.value());
+}
+
+TEST(PlanIo, RoundTripsWholeBackbonePlan) {
+  const auto net = topology::make_cernet();
+  const auto original = make_plan(net, transponder::svt_flexwan());
+  const auto reloaded = load_plan(save_plan(original));
+  ASSERT_TRUE(reloaded) << reloaded.error().message;
+
+  EXPECT_EQ(reloaded->scheme(), original.scheme());
+  EXPECT_EQ(reloaded->fiber_count(), original.fiber_count());
+  EXPECT_EQ(reloaded->band_pixels(), original.band_pixels());
+  EXPECT_EQ(reloaded->transponder_count(), original.transponder_count());
+  EXPECT_DOUBLE_EQ(reloaded->spectrum_usage_ghz(),
+                   original.spectrum_usage_ghz());
+  // The reloaded plan validates against the same network.
+  const auto valid = validate_plan(*reloaded, net);
+  EXPECT_TRUE(valid) << valid.error().message;
+  // Spectrum occupancy matches fiber by fiber.
+  for (topology::FiberId f = 0; f < original.fiber_count(); ++f) {
+    EXPECT_EQ(reloaded->fiber_occupancy(f).used_pixels(),
+              original.fiber_occupancy(f).used_pixels());
+  }
+}
+
+TEST(PlanIo, RoundTripsEverySchemesModes) {
+  const auto net = topology::make_tbackbone();
+  for (const auto* catalog :
+       {&transponder::svt_flexwan(), &transponder::bvt_radwan(),
+        &transponder::fixed_grid_100g()}) {
+    const auto original = make_plan(net, *catalog);
+    const auto reloaded = load_plan(save_plan(original));
+    ASSERT_TRUE(reloaded) << catalog->name();
+    // Modes resolved back through the catalog carry the real reach.
+    for (const auto& lp : reloaded->links()) {
+      for (const auto& wl : lp.wavelengths) {
+        EXPECT_GT(wl.mode.reach_km, 0.0);
+      }
+    }
+  }
+}
+
+TEST(PlanIo, RejectsEmptyAndMalformed) {
+  EXPECT_EQ(load_plan("").error().code, "parse_error");
+  EXPECT_EQ(load_plan("nonsense 1 2 3\n").error().code, "parse_error");
+  EXPECT_EQ(load_plan("plan FlexWAN 2 0\n").error().code, "parse_error");
+  EXPECT_EQ(load_plan("plan FlexWAN 2 48\npath 100 0 ; 0 1\n").error().code,
+            "parse_error");  // path before link
+  EXPECT_EQ(
+      load_plan("plan FlexWAN 2 48\nlink 0\nwavelength 0 100 50 3000 0\n")
+          .error()
+          .code,
+      "parse_error");  // wavelength references missing path
+  EXPECT_EQ(load_plan("plan FlexWAN 2 48\nlink 0\npath 100 0 ; 0\n")
+                .error()
+                .code,
+            "parse_error");  // node/fiber count mismatch
+}
+
+TEST(PlanIo, RejectsDoubleBookedSpectrum) {
+  // A hand-corrupted document placing two wavelengths on the same pixels of
+  // the same fiber must not load.
+  const std::string doc =
+      "plan FlexWAN 1 48\n"
+      "link 0\n"
+      "path 100 0 ; 0 1\n"
+      "wavelength 0 100 50 3000 0\n"
+      "wavelength 0 100 50 3000 2\n";  // overlaps pixels [2,4) with [0,4)
+  const auto r = load_plan(doc);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "conflict");
+}
+
+TEST(PlanIo, CommentsAndBlankLinesIgnored) {
+  const std::string doc =
+      "plan FlexWAN 1 48\n"
+      "# a comment\n"
+      "\n"
+      "link 0\n"
+      "path 100 0 ; 0 1\n"
+      "wavelength 0 100 50 3000 4\n";
+  const auto r = load_plan(doc);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_EQ(r->transponder_count(), 1);
+}
+
+}  // namespace
+}  // namespace flexwan::planning

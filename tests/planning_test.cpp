@@ -1,0 +1,606 @@
+// Tests for the plan model, the DP mode selection, the heuristic planner,
+// and the exact MILP formulation of Algorithm 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "planning/exact.h"
+#include "restoration/metrics.h"
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "planning/plan.h"
+#include "topology/builders.h"
+#include "topology/ksp.h"
+#include "transponder/catalog.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace flexwan::planning {
+namespace {
+
+using topology::Network;
+
+Network two_node_net(double length_km, double demand_gbps) {
+  Network net;
+  net.name = "pair";
+  const auto a = net.optical.add_node("a");
+  const auto b = net.optical.add_node("b");
+  net.optical.add_fiber(a, b, length_km);
+  net.ip.add_link(a, b, demand_gbps);
+  return net;
+}
+
+// --- best_mode_set (the per-path DP) ---------------------------------------
+
+TEST(BestModeSet, ZeroDemandIsEmpty) {
+  const auto set = best_mode_set(transponder::svt_flexwan(), 500, 0, 0.001);
+  ASSERT_TRUE(set);
+  EXPECT_TRUE(set->modes.empty());
+  EXPECT_DOUBLE_EQ(set->cost, 0.0);
+}
+
+TEST(BestModeSet, UnreachableDistanceFails) {
+  const auto set = best_mode_set(transponder::svt_flexwan(), 6000, 400, 0.001);
+  ASSERT_FALSE(set);
+  EXPECT_EQ(set.error().code, "unreachable_demand");
+}
+
+TEST(BestModeSet, SingleWavelengthWhenOneModeSuffices) {
+  // 800 Gbps at 150 km: one SVT pair at 800G@112.5 (Fig. 3a's headline).
+  const auto set = best_mode_set(transponder::svt_flexwan(), 150, 800, 0.001);
+  ASSERT_TRUE(set);
+  ASSERT_EQ(set->modes.size(), 1u);
+  EXPECT_DOUBLE_EQ(set->modes[0].data_rate_gbps, 800);
+}
+
+TEST(BestModeSet, Fig3aTransponderCounts) {
+  // Fig. 3(a): pairs of transponders to provision 800 Gbps.
+  // BVT: 3 pairs below 1100 km (3 x 300G > 800), more beyond.
+  // SVT: 1 pair below 300 km, 2 pairs at mid range.
+  const auto& svt = transponder::svt_flexwan();
+  const auto& bvt = transponder::bvt_radwan();
+  EXPECT_EQ(best_mode_set(svt, 200, 800, 0.001)->modes.size(), 1u);
+  EXPECT_EQ(best_mode_set(svt, 300, 800, 0.001)->modes.size(), 1u);
+  EXPECT_EQ(best_mode_set(svt, 600, 800, 0.001)->modes.size(), 2u);
+  EXPECT_EQ(best_mode_set(bvt, 200, 800, 0.001)->modes.size(), 3u);
+  EXPECT_EQ(best_mode_set(bvt, 1000, 800, 0.001)->modes.size(), 3u);
+  // At 1800 km BVT only has 200G/100G; needs 4 x 200G; SVT can use
+  // 400G@137.5 (reach 1800) -> 2 pairs, half of BVT (the paper's example).
+  EXPECT_EQ(best_mode_set(bvt, 1800, 800, 0.001)->modes.size(), 4u);
+  EXPECT_EQ(best_mode_set(svt, 1800, 800, 0.001)->modes.size(), 2u);
+}
+
+TEST(BestModeSet, Fig3bSpectrumUsage) {
+  // Fig. 3(b): spectrum for 800 Gbps under 300 km: BVT 3 x 75 = 225 GHz,
+  // SVT <= 150 GHz (single pair).
+  const auto bvt = best_mode_set(transponder::bvt_radwan(), 250, 800, 0.001);
+  double bvt_ghz = 0;
+  for (const auto& m : bvt->modes) bvt_ghz += m.spacing_ghz;
+  EXPECT_DOUBLE_EQ(bvt_ghz, 225.0);
+  const auto svt = best_mode_set(transponder::svt_flexwan(), 250, 800, 0.001);
+  double svt_ghz = 0;
+  for (const auto& m : svt->modes) svt_ghz += m.spacing_ghz;
+  EXPECT_LE(svt_ghz, 150.0);
+}
+
+TEST(BestModeSet, MeetsDemandExactlyOrAbove) {
+  Rng rng(5);
+  const auto& catalog = transponder::svt_flexwan();
+  for (int trial = 0; trial < 100; ++trial) {
+    const double distance = rng.uniform(100, 4500);
+    const double demand = 100.0 * rng.uniform_int(1, 30);
+    const auto set = best_mode_set(catalog, distance, demand, 0.001);
+    ASSERT_TRUE(set);
+    EXPECT_GE(set->total_rate_gbps(), demand);
+    for (const auto& m : set->modes) EXPECT_GE(m.reach_km, distance);
+  }
+}
+
+TEST(BestModeSet, RespectsReachOnEveryChosenMode) {
+  const auto set = best_mode_set(transponder::svt_flexwan(), 2000, 900, 0.001);
+  ASSERT_TRUE(set);
+  for (const auto& m : set->modes) EXPECT_GE(m.reach_km, 2000);
+}
+
+TEST(BestModeSet, EpsilonSteerstowardNarrowSpectrum) {
+  // With a large epsilon, spectrum dominates the objective; the DP must not
+  // pick wider channels than needed.  300 Gbps at 500 km: options include
+  // 1 x 300@87.5 or wider rows; heavy epsilon keeps it thin.
+  const auto thin = best_mode_set(transponder::svt_flexwan(), 500, 300, 1.0);
+  ASSERT_TRUE(thin);
+  double ghz = 0;
+  for (const auto& m : thin->modes) ghz += m.spacing_ghz;
+  EXPECT_LE(ghz, 87.5);
+}
+
+TEST(BestModeSet, DpMatchesGreedyOnSingleModeCatalog) {
+  // 100G-WAN: covering D Gbps always takes ceil(D/100) wavelengths.
+  const auto& c = transponder::fixed_grid_100g();
+  for (double demand : {100.0, 250.0, 700.0, 1000.0}) {
+    const auto set = best_mode_set(c, 1000, demand, 0.001);
+    ASSERT_TRUE(set);
+    EXPECT_EQ(set->modes.size(),
+              static_cast<std::size_t>(std::ceil(demand / 100.0)));
+  }
+}
+
+// --- Plan ------------------------------------------------------------------
+
+TEST(Plan, PlaceWavelengthReservesWholePath) {
+  auto net = topology::make_linear_chain(3, 100);
+  Plan plan("FlexWAN", net.optical.fiber_count(), 48);
+  auto& lp = plan.add_link_plan(0);
+  const auto path = topology::shortest_path(net.optical, 0, 3).value();
+  lp.paths.push_back(path);
+  Wavelength wl{0, 0, transponder::svt_flexwan().modes()[3],
+                spectrum::Range{0, 6}};
+  ASSERT_TRUE(plan.place_wavelength(path, wl));
+  for (topology::FiberId f : path.fibers) {
+    EXPECT_FALSE(plan.fiber_occupancy(f).is_free(spectrum::Range{0, 6}));
+  }
+  EXPECT_EQ(plan.transponder_count(), 1);
+}
+
+TEST(Plan, PlaceWavelengthIsAtomicOnConflict) {
+  auto net = topology::make_linear_chain(3, 100);
+  Plan plan("FlexWAN", net.optical.fiber_count(), 48);
+  plan.add_link_plan(0);
+  const auto path = topology::shortest_path(net.optical, 0, 3).value();
+  // Block the middle fiber only.
+  ASSERT_TRUE(plan.fiber_occupancy(1).reserve(spectrum::Range{0, 6}));
+  Wavelength wl{0, 0, transponder::svt_flexwan().modes()[3],
+                spectrum::Range{0, 6}};
+  const auto r = plan.place_wavelength(path, wl);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "conflict");
+  // First and last fibers stay untouched.
+  EXPECT_TRUE(plan.fiber_occupancy(0).is_free(spectrum::Range{0, 6}));
+  EXPECT_TRUE(plan.fiber_occupancy(2).is_free(spectrum::Range{0, 6}));
+}
+
+TEST(Plan, RemoveWavelengthFreesSpectrum) {
+  auto net = topology::make_linear_chain(2, 100);
+  Plan plan("FlexWAN", net.optical.fiber_count(), 48);
+  plan.add_link_plan(0);
+  const auto path = topology::shortest_path(net.optical, 0, 2).value();
+  Wavelength wl{0, 0, transponder::svt_flexwan().modes()[0],
+                spectrum::Range{8, 4}};
+  ASSERT_TRUE(plan.place_wavelength(path, wl));
+  ASSERT_TRUE(plan.remove_wavelength(path, wl));
+  EXPECT_EQ(plan.transponder_count(), 0);
+  for (topology::FiberId f : path.fibers) {
+    EXPECT_TRUE(plan.fiber_occupancy(f).is_free(spectrum::Range{8, 4}));
+  }
+}
+
+TEST(Plan, SpectrumUsageSumsChannelSpacing) {
+  auto net = topology::make_linear_chain(1, 100);
+  Plan plan("FlexWAN", 1, 48);
+  plan.add_link_plan(0);
+  const auto path = topology::shortest_path(net.optical, 0, 1).value();
+  const auto& modes = transponder::svt_flexwan().modes();
+  ASSERT_TRUE(plan.place_wavelength(
+      path, Wavelength{0, 0, modes[0], spectrum::Range{0, modes[0].pixels()}}));
+  ASSERT_TRUE(plan.place_wavelength(
+      path, Wavelength{0, 0, modes[2],
+                       spectrum::Range{10, modes[2].pixels()}}));
+  EXPECT_DOUBLE_EQ(plan.spectrum_usage_ghz(),
+                   modes[0].spacing_ghz + modes[2].spacing_ghz);
+}
+
+// Property: after any sequence of placements and removals, the plan's
+// incremental occupancy equals a from-scratch rebuild.
+class PlanChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanChurnTest, OccupancyMatchesRebuildAfterChurn) {
+  Rng rng(GetParam());
+  auto net = topology::make_linear_chain(4, 150);
+  Plan plan("FlexWAN", net.optical.fiber_count(), 96);
+  plan.add_link_plan(0);
+  const auto full_path = topology::shortest_path(net.optical, 0, 4).value();
+  const auto half_path = topology::shortest_path(net.optical, 0, 2).value();
+  const auto& modes = transponder::svt_flexwan().modes();
+
+  struct Placed {
+    topology::Path path;
+    Wavelength wl;
+  };
+  std::vector<Placed> held;
+  for (int step = 0; step < 120; ++step) {
+    if (held.empty() || rng.chance(0.65)) {
+      const auto& path = rng.chance(0.5) ? full_path : half_path;
+      const auto& mode = modes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(modes.size()) - 1))];
+      const auto fit =
+          common_first_fit(plan.fiber_occupancies(), path, mode.pixels());
+      if (!fit) continue;
+      Wavelength wl{0, 0, mode, *fit};
+      ASSERT_TRUE(plan.place_wavelength(path, wl));
+      held.push_back(Placed{path, wl});
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      ASSERT_TRUE(plan.remove_wavelength(held[idx].path, held[idx].wl));
+      held.erase(held.begin() + static_cast<long>(idx));
+    }
+  }
+  // Rebuild from the held set and compare per fiber.
+  std::vector<spectrum::Occupancy> rebuilt(
+      static_cast<std::size_t>(plan.fiber_count()), spectrum::Occupancy(96));
+  for (const auto& p : held) {
+    for (topology::FiberId f : p.path.fibers) {
+      ASSERT_TRUE(rebuilt[static_cast<std::size_t>(f)].reserve(p.wl.range));
+    }
+  }
+  for (topology::FiberId f = 0; f < plan.fiber_count(); ++f) {
+    EXPECT_EQ(plan.fiber_occupancy(f).used_pixels(),
+              rebuilt[static_cast<std::size_t>(f)].used_pixels())
+        << "fiber " << f << " seed " << GetParam();
+  }
+  EXPECT_EQ(plan.transponder_count(), static_cast<int>(held.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanChurnTest,
+                         ::testing::Values(3, 14, 159, 2653));
+
+// --- HeuristicPlanner -------------------------------------------------------
+
+TEST(Planner, SingleLinkPlanMeetsDemand) {
+  const auto net = two_node_net(400, 900);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  ASSERT_TRUE(validate_plan(*plan, net));
+  EXPECT_GE(plan->links()[0].provisioned_gbps(), 900);
+}
+
+TEST(Planner, FailsWhenPathExceedsReach) {
+  const auto net = two_node_net(5500, 400);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_FALSE(plan);
+  EXPECT_EQ(plan.error().code, "unreachable_demand");
+}
+
+TEST(Planner, FailsWithNoSpectrumOnOverload) {
+  // A 48-pixel band cannot carry 20 Tbps over one 2500 km fiber.
+  auto net = two_node_net(2500, 20000);
+  PlannerConfig config;
+  config.band_pixels = 48;
+  HeuristicPlanner planner(transponder::svt_flexwan(), config);
+  const auto plan = planner.plan(net);
+  ASSERT_FALSE(plan);
+  EXPECT_EQ(plan.error().code, "no_spectrum");
+}
+
+TEST(Planner, SplitsAcrossPathsWhenOnePathIsFull) {
+  // Diamond with two disjoint 2-hop routes; band sized so that one route
+  // cannot hold the whole demand.
+  topology::Network net;
+  net.name = "diamond";
+  for (int i = 0; i < 4; ++i) net.optical.add_node("n" + std::to_string(i));
+  net.optical.add_fiber(0, 1, 100);
+  net.optical.add_fiber(1, 3, 100);
+  net.optical.add_fiber(0, 2, 150);
+  net.optical.add_fiber(2, 3, 150);
+  net.ip.add_link(0, 3, 2400);
+  PlannerConfig config;
+  config.k_paths = 2;
+  config.band_pixels = 24;  // 300 GHz per fiber: 3 x 800G@112.5 does not fit
+  HeuristicPlanner planner(transponder::svt_flexwan(), config);
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan) << plan.error().message;
+  ASSERT_TRUE(validate_plan(*plan, net));
+  // Both candidate paths must carry wavelengths.
+  std::set<int> used_paths;
+  for (const auto& wl : plan->links()[0].wavelengths) {
+    used_paths.insert(wl.path_index);
+  }
+  EXPECT_GE(used_paths.size(), 2u);
+}
+
+TEST(Planner, SchemesRankAsInFig12) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  HeuristicPlanner rad(transponder::bvt_radwan(), {});
+  HeuristicPlanner fixed(transponder::fixed_grid_100g(), {});
+  const auto pf = flex.plan(net);
+  const auto pr = rad.plan(net);
+  const auto px = fixed.plan(net);
+  ASSERT_TRUE(pf);
+  ASSERT_TRUE(pr);
+  ASSERT_TRUE(px);
+  // Fig. 12: FlexWAN < RADWAN < 100G-WAN on both transponders and spectrum.
+  EXPECT_LT(pf->transponder_count(), pr->transponder_count());
+  EXPECT_LT(pr->transponder_count(), px->transponder_count());
+  EXPECT_LT(pf->spectrum_usage_ghz(), pr->spectrum_usage_ghz());
+  EXPECT_LT(pr->spectrum_usage_ghz(), px->spectrum_usage_ghz());
+  // §7 headline: at least 57 % transponder savings vs 100G-WAN and
+  // meaningful savings vs RADWAN.
+  EXPECT_LE(pf->transponder_count(), px->transponder_count() * 0.45);
+  EXPECT_LE(pf->transponder_count(), pr->transponder_count() * 0.85);
+}
+
+TEST(Planner, ValidatesOnBothReferenceTopologies) {
+  for (const auto& net :
+       {topology::make_tbackbone(), topology::make_cernet()}) {
+    for (const auto* catalog :
+         {&transponder::svt_flexwan(), &transponder::bvt_radwan(),
+          &transponder::fixed_grid_100g()}) {
+      HeuristicPlanner planner(*catalog, {});
+      const auto plan = planner.plan(net);
+      ASSERT_TRUE(plan) << net.name << " " << catalog->name();
+      const auto valid = validate_plan(*plan, net);
+      EXPECT_TRUE(valid) << valid.error().message;
+    }
+  }
+}
+
+TEST(Planner, MaxSupportedScaleOrdering) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  HeuristicPlanner rad(transponder::bvt_radwan(), {});
+  HeuristicPlanner fixed(transponder::fixed_grid_100g(), {});
+  const double sf = max_supported_scale(net, flex, 10.0, 1.0);
+  const double sr = max_supported_scale(net, rad, 10.0, 1.0);
+  const double sx = max_supported_scale(net, fixed, 10.0, 1.0);
+  EXPECT_GT(sf, sr);
+  EXPECT_GT(sr, sx);
+  EXPECT_GE(sx, 1.0);
+}
+
+// Property: on random networks, every produced plan satisfies all of
+// Algorithm 1's constraints (via validate_plan's independent re-check).
+class PlannerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlannerPropertyTest, RandomNetworksValidate) {
+  Rng rng(GetParam());
+  topology::RandomBackboneParams params;
+  params.nodes = rng.uniform_int(6, 14);
+  params.ip_links = rng.uniform_int(4, 20);
+  params.max_fiber_km = 900.0;  // keep within SVT reach after a few hops
+  const auto net = topology::random_backbone(params, rng);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  if (!plan) {
+    // Only the documented failure modes are acceptable.
+    EXPECT_TRUE(plan.error().code == "no_spectrum" ||
+                plan.error().code == "unreachable_demand")
+        << plan.error().code;
+    return;
+  }
+  const auto valid = validate_plan(*plan, net);
+  EXPECT_TRUE(valid) << valid.error().message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(Planner, ReservedProtectionSpectrumStaysFree) {
+  const auto net = topology::make_tbackbone();
+  PlannerConfig config;
+  config.reserved_pixels = 48;  // top 600 GHz kept for restoration
+  HeuristicPlanner planner(transponder::svt_flexwan(), config);
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan) << plan.error().message;
+  const auto valid = validate_plan(*plan, net);
+  ASSERT_TRUE(valid) << valid.error().message;
+  const spectrum::Range protection{spectrum::kCBandPixels - 48, 48};
+  for (topology::FiberId f = 0; f < plan->fiber_count(); ++f) {
+    EXPECT_TRUE(plan->fiber_occupancy(f).is_free(protection))
+        << "planner leaked into protection spectrum on fiber " << f;
+  }
+}
+
+TEST(Planner, ReservationLowersMaxScale) {
+  // Protection spectrum is capacity the planner cannot sell: the supported
+  // demand scale must shrink monotonically with the reservation.
+  const auto net = topology::make_tbackbone();
+  double prev = 1e9;
+  for (int reserved : {0, 48, 96, 192}) {
+    PlannerConfig config;
+    config.reserved_pixels = reserved;
+    HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const double scale = max_supported_scale(net, planner, 12.0, 0.5);
+    EXPECT_LE(scale, prev + 1e-9) << "reserved " << reserved;
+    prev = scale;
+  }
+}
+
+TEST(Planner, ReservationImprovesRestorationHeadroom) {
+  // The §8 trade: pixels withheld from planning stay available to the
+  // restorer, lifting capability in the loaded network.
+  const auto base = topology::make_tbackbone();
+  const topology::Network net{base.name, base.optical, base.ip.scaled(3.0)};
+  double cap_without = 0.0;
+  double cap_with = 0.0;
+  for (int reserved : {0, 72}) {
+    PlannerConfig config;
+    config.reserved_pixels = reserved;
+    HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const auto plan = planner.plan(net);
+    ASSERT_TRUE(plan) << "reserved " << reserved;
+    restoration::Restorer restorer(transponder::svt_flexwan());
+    const auto scenarios = restoration::single_fiber_cuts(net.optical);
+    const auto m =
+        restoration::evaluate_scenarios(net, *plan, restorer, scenarios);
+    (reserved == 0 ? cap_without : cap_with) = m.mean_capability;
+  }
+  EXPECT_GE(cap_with, cap_without - 1e-9);
+}
+
+TEST(Planner, EveryOrderingYieldsValidPlansWithEqualFormatCost) {
+  // Link ordering changes spectrum packing only: formats (and thus the
+  // transponder count and spectrum sum) are chosen per link, before packing.
+  const auto net = topology::make_tbackbone();
+  std::optional<int> txp;
+  for (auto ordering :
+       {LinkOrdering::kMostConstrainedFirst, LinkOrdering::kLongestPathFirst,
+        LinkOrdering::kArbitrary}) {
+    PlannerConfig config;
+    config.ordering = ordering;
+    HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const auto plan = planner.plan(net);
+    ASSERT_TRUE(plan);
+    const auto valid = validate_plan(*plan, net);
+    EXPECT_TRUE(valid) << valid.error().message;
+    if (!txp) {
+      txp = plan->transponder_count();
+    } else {
+      EXPECT_EQ(*txp, plan->transponder_count());
+    }
+  }
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(Metrics, GapsAndEfficienciesPerWavelength) {
+  const auto net = two_node_net(500, 600);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const auto m = compute_metrics(*plan, net);
+  ASSERT_EQ(m.reach_gaps_km.size(), m.spectral_efficiencies.size());
+  ASSERT_EQ(static_cast<int>(m.reach_gaps_km.size()),
+            plan->transponder_count());
+  for (double gap : m.reach_gaps_km) EXPECT_GE(gap, 0.0);
+  for (double se : m.spectral_efficiencies) EXPECT_GT(se, 0.0);
+  EXPECT_GT(m.max_fiber_utilization, 0.0);
+}
+
+TEST(Metrics, FlexwanGapsSmallerThanFixed) {
+  // Fig. 14(a): FlexWAN's reach gaps concentrate near zero while
+  // 100G-WAN's are huge (3000 km reach on short paths).
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  HeuristicPlanner fixed(transponder::fixed_grid_100g(), {});
+  const auto mf = compute_metrics(*flex.plan(net), net);
+  const auto mx = compute_metrics(*fixed.plan(net), net);
+  const auto sf = summarize(mf.reach_gaps_km);
+  const auto sx = summarize(mx.reach_gaps_km);
+  EXPECT_LT(sf.median, sx.median);
+  EXPECT_LT(sf.mean, sx.mean);
+}
+
+TEST(Metrics, ValidateCatchesDemandViolation) {
+  const auto net = two_node_net(400, 900);
+  // An empty plan covers nothing.
+  Plan empty("FlexWAN", net.optical.fiber_count(), spectrum::kCBandPixels);
+  empty.add_link_plan(0);
+  const auto r = validate_plan(empty, net);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "demand_violation");
+}
+
+TEST(Metrics, ValidateCatchesReachViolation) {
+  const auto net = two_node_net(2000, 100);
+  Plan plan("FlexWAN", net.optical.fiber_count(), spectrum::kCBandPixels);
+  auto& lp = plan.add_link_plan(0);
+  const auto path = topology::shortest_path(net.optical, 0, 1).value();
+  lp.paths.push_back(path);
+  // 800G@112.5 only reaches 150 km; placing it on a 2000 km path violates (2).
+  transponder::Mode bad = *transponder::svt_flexwan().narrowest_mode(150, 800);
+  ASSERT_TRUE(plan.place_wavelength(
+      path, Wavelength{0, 0, bad, spectrum::Range{0, bad.pixels()}}));
+  const auto r = validate_plan(plan, net);
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "reach_violation");
+}
+
+// --- exact MILP vs heuristic -------------------------------------------------
+
+// Exact validation uses a reduced SVT catalog: the full 36-format table at
+// C-band width yields thousands of binaries per link, beyond what a dense
+// tableau branch-and-bound should be asked to chew in a unit test.  Five
+// representative formats keep the combinatorics honest and the runtime sane.
+const transponder::Catalog& validation_catalog() {
+  static const transponder::Catalog catalog(
+      "FlexWAN-mini",
+      [] {
+        std::vector<transponder::Mode> modes;
+        for (const auto& m : transponder::svt_flexwan().modes()) {
+          if ((m.data_rate_gbps == 100 && m.spacing_ghz == 50) ||
+              (m.data_rate_gbps == 200 && m.spacing_ghz == 75) ||
+              (m.data_rate_gbps == 400 && m.spacing_ghz == 87.5) ||
+              (m.data_rate_gbps == 400 && m.spacing_ghz == 112.5) ||
+              (m.data_rate_gbps == 600 && m.spacing_ghz == 87.5)) {
+            modes.push_back(m);
+          }
+        }
+        return modes;
+      }());
+  return catalog;
+}
+
+TEST(Exact, MatchesHeuristicOnSingleLink) {
+  const auto net = two_node_net(400, 600);
+  ExactPlannerConfig config;
+  config.band_pixels = 16;
+  const auto exact = solve_exact_plan(net, validation_catalog(), config);
+  ASSERT_TRUE(exact) << exact.error().message;
+  EXPECT_EQ(exact->status, milp::MipStatus::kOptimal);
+  const auto valid = validate_plan(exact->plan, net);
+  EXPECT_TRUE(valid) << valid.error().message;
+
+  PlannerConfig hconfig;
+  hconfig.band_pixels = 16;
+  HeuristicPlanner planner(validation_catalog(), hconfig);
+  const auto heuristic = planner.plan(net);
+  ASSERT_TRUE(heuristic);
+  // The heuristic's per-path DP is exact for a single link on one path.
+  EXPECT_EQ(heuristic->transponder_count(), exact->plan.transponder_count());
+}
+
+TEST(Exact, HeuristicNearOptimalOnSmallNets) {
+  Rng rng(77);
+  int solved = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    topology::RandomBackboneParams params;
+    params.nodes = 4;
+    params.ip_links = 2;
+    params.max_fiber_km = 500;
+    params.min_demand_gbps = 100;
+    params.max_demand_gbps = 600;
+    const auto net = topology::random_backbone(params, rng);
+    ExactPlannerConfig config;
+    config.band_pixels = 16;
+    config.k_paths = 2;
+    config.mip.max_nodes = 20000;
+    const auto exact = solve_exact_plan(net, validation_catalog(), config);
+    ASSERT_TRUE(exact) << exact.error().message;
+    if (exact->status != milp::MipStatus::kOptimal) continue;  // node limit
+    ++solved;
+    PlannerConfig hconfig;
+    hconfig.band_pixels = 16;
+    hconfig.k_paths = 2;
+    HeuristicPlanner planner(validation_catalog(), hconfig);
+    const auto heuristic = planner.plan(net);
+    ASSERT_TRUE(heuristic) << heuristic.error().message;
+    EXPECT_LE(heuristic->transponder_count(),
+              exact->plan.transponder_count() + 1)
+        << "trial " << trial;
+  }
+  EXPECT_GT(solved, 0) << "no instance solved to proven optimality";
+}
+
+TEST(Exact, InfeasibleBandDetected) {
+  const auto net = two_node_net(400, 2000);
+  ExactPlannerConfig config;
+  config.band_pixels = 8;  // one 100 GHz channel at most
+  const auto exact = solve_exact_plan(net, validation_catalog(), config);
+  ASSERT_FALSE(exact);
+  EXPECT_EQ(exact.error().code, "infeasible");
+}
+
+TEST(Exact, TooLargeGuardTrips) {
+  const auto net = topology::make_tbackbone();
+  ExactPlannerConfig config;
+  config.max_variables = 100;
+  const auto exact = solve_exact_plan(net, transponder::svt_flexwan(), config);
+  ASSERT_FALSE(exact);
+  EXPECT_EQ(exact.error().code, "too_large");
+}
+
+}  // namespace
+}  // namespace flexwan::planning

@@ -1,0 +1,343 @@
+// Tests for failure scenarios and the optical restoration algorithm (§8).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::restoration {
+namespace {
+
+using planning::HeuristicPlanner;
+
+// A square ring: two disjoint routes between any node pair, so every
+// single-fiber cut is restorable.
+topology::Network ring_net(double demand_gbps = 400,
+                           double side_km = 300) {
+  topology::Network net;
+  net.name = "ring";
+  for (int i = 0; i < 4; ++i) net.optical.add_node("n" + std::to_string(i));
+  net.optical.add_fiber(0, 1, side_km);
+  net.optical.add_fiber(1, 2, side_km);
+  net.optical.add_fiber(2, 3, side_km);
+  net.optical.add_fiber(3, 0, side_km);
+  net.ip.add_link(0, 1, demand_gbps);
+  return net;
+}
+
+TEST(Scenario, SingleFiberCutsCoverEveryFiber) {
+  const auto net = topology::make_cernet();
+  const auto scenarios = single_fiber_cuts(net.optical);
+  ASSERT_EQ(static_cast<int>(scenarios.size()), net.optical.fiber_count());
+  std::set<topology::FiberId> covered;
+  for (const auto& s : scenarios) {
+    ASSERT_EQ(s.cut_fibers.size(), 1u);
+    covered.insert(s.cut_fibers[0]);
+    EXPECT_TRUE(s.cuts(s.cut_fibers[0]));
+    EXPECT_FALSE(s.cuts(-1));
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), net.optical.fiber_count());
+}
+
+TEST(Scenario, ProbabilisticScenariosNonEmptyAndWeighted) {
+  const auto net = topology::make_cernet();
+  Rng rng(9);
+  const auto scenarios = probabilistic_scenarios(net.optical, 20, rng);
+  EXPECT_EQ(scenarios.size(), 20u);
+  for (const auto& s : scenarios) {
+    EXPECT_FALSE(s.cut_fibers.empty());
+    EXPECT_GT(s.probability, 0.0);
+    EXPECT_LT(s.probability, 1.0);
+  }
+}
+
+TEST(Scenario, StandardSetCombinesBoth) {
+  const auto net = topology::make_cernet();
+  const auto set = standard_scenario_set(net.optical, 10, 3);
+  EXPECT_EQ(static_cast<int>(set.size()), net.optical.fiber_count() + 10);
+}
+
+TEST(Restorer, UnaffectedScenarioIsFullCapability) {
+  auto net = ring_net();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  // The link 0-1 rides fiber 0; cutting fiber 2 (2-3) touches nothing.
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{2}, 1.0});
+  EXPECT_DOUBLE_EQ(outcome.affected_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.capability(), 1.0);
+  EXPECT_TRUE(outcome.wavelengths.empty());
+}
+
+TEST(Restorer, RestoresFullCapacityOnRing) {
+  auto net = ring_net(400, 300);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  // Cut the direct fiber 0-1: the 900 km detour (0-3-2-1) must carry 400G.
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  EXPECT_DOUBLE_EQ(outcome.affected_gbps, 400.0);
+  EXPECT_DOUBLE_EQ(outcome.restored_gbps, 400.0);
+  EXPECT_DOUBLE_EQ(outcome.capability(), 1.0);
+  for (const auto& rw : outcome.wavelengths) {
+    EXPECT_FALSE(rw.path.uses_fiber(0));
+    EXPECT_GE(rw.mode.reach_km, rw.path.length_km);
+  }
+}
+
+TEST(Restorer, SvtWidensChannelOnLongerRestorationPath) {
+  // §3.3's motivating case: primary 600 km at 400G@75 (reach 600); the
+  // restoration path is 900 km, beyond 75 GHz reach at 400G — the SVT must
+  // widen the channel to keep the full rate.
+  auto net = ring_net(400, 300);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  ASSERT_FALSE(outcome.wavelengths.empty());
+  double total = 0.0;
+  for (const auto& rw : outcome.wavelengths) {
+    total += rw.mode.data_rate_gbps;
+    EXPECT_GE(rw.path.length_km, 900.0);
+  }
+  EXPECT_DOUBLE_EQ(total, 400.0);
+}
+
+TEST(Restorer, BvtLosesCapacityOnLongerRestorationPath) {
+  // Same cut under RADWAN: primary 600 km runs 2 x 300G@8QAM... actually
+  // 400G needs 2 BVTs (300+100 or 2x200).  On the 900 km detour the BVT can
+  // still do 300G per lambda, so RADWAN may also restore fully here; the
+  // distinguishing case is a detour beyond 1100 km where 300G dies.
+  auto net = ring_net(600, 400);  // primary 400 km, detour 1200 km
+  HeuristicPlanner planner(transponder::bvt_radwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  // Plan uses 2 x 300G on the 400 km path.
+  Restorer restorer(transponder::bvt_radwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  EXPECT_DOUBLE_EQ(outcome.affected_gbps, 600.0);
+  // On 1200 km, BVT tops out at 200G per transponder; 2 spares -> 400G.
+  EXPECT_DOUBLE_EQ(outcome.restored_gbps, 400.0);
+  EXPECT_LT(outcome.capability(), 1.0);
+}
+
+TEST(Restorer, SvtRevivesMoreThanBvtOnLongDetour) {
+  // Same geometry under FlexWAN: the plan packs 600G into one 600G@100
+  // wavelength, so one spare pair exists.  On the 1200 km detour that SVT
+  // widens to 500G@125 (reach 1200) — 500 of 600 Gbps revived, strictly
+  // more than RADWAN's 400 of 600 with twice the spares.
+  auto net = ring_net(600, 400);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  ASSERT_EQ(plan->transponder_count(), 1);
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  EXPECT_NEAR(outcome.capability(), 5.0 / 6.0, 1e-9);
+  EXPECT_GT(outcome.capability(), 2.0 / 3.0);  // RADWAN's ratio above
+}
+
+TEST(Restorer, RespectsSpareTransponderBudget) {
+  auto net = ring_net(800, 200);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const int planned = plan->transponder_count();
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  for (const auto& lr : outcome.links) {
+    EXPECT_LE(lr.used_transponders, lr.spare_transponders);
+    EXPECT_LE(lr.restored_gbps, lr.affected_gbps + 1e-9);
+  }
+  EXPECT_LE(static_cast<int>(outcome.wavelengths.size()), planned);
+}
+
+TEST(Restorer, ExtraSparesLiftCapability) {
+  // Engineer scarcity: tiny band so restoration is spectrum/spare limited.
+  auto net = ring_net(1600, 300);
+  planning::PlannerConfig config;
+  HeuristicPlanner planner(transponder::svt_flexwan(), config);
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  const auto base = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  std::map<topology::LinkId, int> extras;
+  extras[0] = 4;
+  const auto boosted =
+      restorer.restore(net, *plan, FailureScenario{{0}, 1.0}, extras);
+  EXPECT_GE(boosted.restored_gbps, base.restored_gbps);
+}
+
+TEST(Restorer, NoRestorationPathMeansZeroRestored) {
+  // A single fiber between two nodes: cutting it leaves no alternative.
+  topology::Network net;
+  net.optical.add_node("a");
+  net.optical.add_node("b");
+  net.optical.add_fiber(0, 1, 200);
+  net.ip.add_link(0, 1, 300);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  // The planner may overprovision (e.g. a 400G channel for 300G of demand
+  // when the cost ties); affected capacity is whatever actually rode the cut
+  // fiber, and none of it is recoverable.
+  EXPECT_GE(outcome.affected_gbps, 300.0);
+  EXPECT_DOUBLE_EQ(outcome.restored_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.capability(), 0.0);
+}
+
+TEST(Restorer, RestoredSpectrumNeverCollidesWithSurvivors) {
+  // Property on the T-backbone: for several cuts, re-assemble the full
+  // spectrum map (survivors + restored) and verify zero overlap.
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  for (topology::FiberId cut = 0; cut < net.optical.fiber_count(); cut += 3) {
+    const FailureScenario scenario{{cut}, 1.0};
+    const auto outcome = restorer.restore(net, *plan, scenario);
+    std::vector<spectrum::Occupancy> map(
+        static_cast<std::size_t>(net.optical.fiber_count()),
+        spectrum::Occupancy(spectrum::kCBandPixels));
+    // Survivors keep their planned spectrum.
+    for (const auto& lp : plan->links()) {
+      for (const auto& wl : lp.wavelengths) {
+        const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+        if (path.uses_fiber(cut)) continue;
+        for (topology::FiberId f : path.fibers) {
+          ASSERT_TRUE(map[static_cast<std::size_t>(f)].reserve(wl.range));
+        }
+      }
+    }
+    // Restored wavelengths must fit into what is left.
+    for (const auto& rw : outcome.wavelengths) {
+      EXPECT_FALSE(rw.path.uses_fiber(cut));
+      for (topology::FiberId f : rw.path.fibers) {
+        ASSERT_TRUE(map[static_cast<std::size_t>(f)].reserve(rw.range))
+            << "restored wavelength collides on fiber " << f;
+      }
+    }
+  }
+}
+
+TEST(Restorer, MultiFiberCutsHandled) {
+  // Simultaneous cuts on both ring directions isolate the endpoints.
+  auto net = ring_net(400, 300);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  // Fiber 0 (0-1 direct) + fiber 3 (3-0): node 0 is fully disconnected.
+  const auto outcome =
+      restorer.restore(net, *plan, FailureScenario{{0, 3}, 1.0});
+  EXPECT_DOUBLE_EQ(outcome.affected_gbps, 400.0);
+  EXPECT_DOUBLE_EQ(outcome.restored_gbps, 0.0);
+  // Cutting 0 and 2 (the far side) still leaves the 3-hop detour for 0-1.
+  const auto partial =
+      restorer.restore(net, *plan, FailureScenario{{0, 2}, 1.0});
+  EXPECT_DOUBLE_EQ(partial.affected_gbps, 400.0);
+  EXPECT_DOUBLE_EQ(partial.restored_gbps, 0.0)
+      << "fiber 2 sits on the only detour";
+}
+
+TEST(Restorer, ProbabilisticScenarioSweepKeepsInvariants) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  Rng rng(31);
+  const auto scenarios = probabilistic_scenarios(net.optical, 15, rng);
+  for (const auto& scenario : scenarios) {
+    const auto outcome = restorer.restore(net, *plan, scenario);
+    EXPECT_LE(outcome.restored_gbps, outcome.affected_gbps + 1e-9);
+    for (const auto& rw : outcome.wavelengths) {
+      for (topology::FiberId f : scenario.cut_fibers) {
+        EXPECT_FALSE(rw.path.uses_fiber(f))
+            << "restored wavelength routed over a cut fiber";
+      }
+      EXPECT_GE(rw.mode.reach_km, rw.path.length_km);
+    }
+  }
+}
+
+TEST(FlexwanPlus, SparesAreHalfTheSavings) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  HeuristicPlanner rad(transponder::bvt_radwan(), {});
+  const auto pf = flex.plan(net);
+  const auto pr = rad.plan(net);
+  ASSERT_TRUE(pf);
+  ASSERT_TRUE(pr);
+  const auto extras = flexwan_plus_spares(*pf, *pr);
+  EXPECT_FALSE(extras.empty());
+  for (const auto& [link, extra] : extras) {
+    const auto* lf = pf->find_link(link);
+    const auto* lr = pr->find_link(link);
+    ASSERT_NE(lf, nullptr);
+    ASSERT_NE(lr, nullptr);
+    const int saved = static_cast<int>(lr->wavelengths.size()) -
+                      static_cast<int>(lf->wavelengths.size());
+    EXPECT_EQ(extra, saved / 2);
+    EXPECT_GT(extra, 0);  // links with nothing to redeploy are omitted
+  }
+}
+
+TEST(Metrics, ScenarioEvaluationAggregates) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  Restorer restorer(transponder::svt_flexwan());
+  const auto scenarios = single_fiber_cuts(net.optical);
+  const auto m = evaluate_scenarios(net, *plan, restorer, scenarios);
+  EXPECT_EQ(m.capabilities.size(), scenarios.size());
+  for (double c : m.capabilities) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0 + 1e-9);
+  }
+  EXPECT_GT(m.mean_capability, 0.5);
+  // Fig. 15(a): restored paths are (almost always) longer than originals.
+  int longer = 0;
+  for (double s : m.path_stretch) {
+    if (s >= 1.0) ++longer;
+  }
+  EXPECT_GE(longer, static_cast<int>(m.path_stretch.size() * 9 / 10));
+}
+
+TEST(Metrics, OverloadFavoursFlexwanAsInFig15b) {
+  // "Overloaded" = the largest scale RADWAN can still plan at: its spectrum
+  // is then nearly exhausted while FlexWAN retains headroom (§8).
+  const auto base = topology::make_tbackbone();
+  HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  HeuristicPlanner rad(transponder::bvt_radwan(), {});
+  const double overload = planning::max_supported_scale(base, rad, 10.0, 0.5);
+  ASSERT_GE(overload, 1.0);
+  const topology::Network loaded{base.name, base.optical,
+                                 base.ip.scaled(overload)};
+  const auto scenarios = single_fiber_cuts(base.optical);
+  const auto pf = flex.plan(loaded);
+  const auto pr = rad.plan(loaded);
+  ASSERT_TRUE(pf);
+  ASSERT_TRUE(pr);
+  const auto mf = evaluate_scenarios(
+      loaded, *pf, Restorer(transponder::svt_flexwan()), scenarios);
+  const auto mr = evaluate_scenarios(
+      loaded, *pr, Restorer(transponder::bvt_radwan()), scenarios);
+  EXPECT_GT(mf.mean_capability, mr.mean_capability);
+}
+
+}  // namespace
+}  // namespace flexwan::restoration

@@ -1,0 +1,242 @@
+// Unit and property tests for the spectrum grid and occupancy model.
+#include <gtest/gtest.h>
+
+#include "spectrum/grid.h"
+#include "spectrum/occupancy.h"
+#include "util/rng.h"
+
+namespace flexwan::spectrum {
+namespace {
+
+TEST(Grid, PixelsForSpacingExactMultiples) {
+  EXPECT_EQ(pixels_for_spacing(12.5), 1);
+  EXPECT_EQ(pixels_for_spacing(50.0), 4);
+  EXPECT_EQ(pixels_for_spacing(62.5), 5);
+  EXPECT_EQ(pixels_for_spacing(75.0), 6);
+  EXPECT_EQ(pixels_for_spacing(87.5), 7);
+  EXPECT_EQ(pixels_for_spacing(100.0), 8);
+  EXPECT_EQ(pixels_for_spacing(112.5), 9);
+  EXPECT_EQ(pixels_for_spacing(125.0), 10);
+  EXPECT_EQ(pixels_for_spacing(137.5), 11);
+  EXPECT_EQ(pixels_for_spacing(150.0), 12);
+}
+
+TEST(Grid, PixelsForSpacingRoundsUpNonMultiples) {
+  EXPECT_EQ(pixels_for_spacing(13.0), 2);
+  EXPECT_EQ(pixels_for_spacing(76.0), 7);
+}
+
+TEST(Grid, PixelsForSpacingZeroAndNegative) {
+  EXPECT_EQ(pixels_for_spacing(0.0), 0);
+  EXPECT_EQ(pixels_for_spacing(-50.0), 0);
+}
+
+TEST(Grid, SpacingForPixelsInvertsExactMultiples) {
+  for (int p = 1; p <= 12; ++p) {
+    EXPECT_EQ(pixels_for_spacing(spacing_for_pixels(p)), p);
+  }
+}
+
+TEST(Grid, CBandHas384Pixels) {
+  EXPECT_EQ(kCBandPixels, 384);
+  EXPECT_DOUBLE_EQ(kCBandPixels * kPixelWidthGhz, kCBandWidthGhz);
+}
+
+TEST(Range, BasicAlgebra) {
+  const Range r{4, 6};
+  EXPECT_EQ(r.end(), 10);
+  EXPECT_DOUBLE_EQ(r.width_ghz(), 75.0);
+  EXPECT_TRUE(r.valid());
+  EXPECT_TRUE(r.contains(4));
+  EXPECT_TRUE(r.contains(9));
+  EXPECT_FALSE(r.contains(10));
+  EXPECT_FALSE(r.contains(3));
+}
+
+TEST(Range, Validity) {
+  EXPECT_FALSE((Range{-1, 4}.valid()));
+  EXPECT_FALSE((Range{0, 0}.valid()));
+  EXPECT_FALSE((Range{380, 8}.valid()));
+  EXPECT_TRUE((Range{380, 4}.valid()));
+}
+
+TEST(Range, OverlapIsSymmetricAndExcludesTouching) {
+  const Range a{0, 4};
+  const Range b{4, 4};
+  const Range c{2, 4};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(Range, Covers) {
+  const Range outer{4, 8};
+  EXPECT_TRUE(outer.covers(Range{4, 8}));
+  EXPECT_TRUE(outer.covers(Range{6, 2}));
+  EXPECT_FALSE(outer.covers(Range{3, 4}));
+  EXPECT_FALSE(outer.covers(Range{10, 4}));
+}
+
+TEST(Occupancy, StartsAllFree) {
+  Occupancy occ;
+  EXPECT_EQ(occ.pixels(), kCBandPixels);
+  EXPECT_EQ(occ.used_pixels(), 0);
+  EXPECT_EQ(occ.free_pixels(), kCBandPixels);
+  EXPECT_EQ(occ.largest_free_run(), kCBandPixels);
+  EXPECT_DOUBLE_EQ(occ.fragmentation(), 0.0);
+}
+
+TEST(Occupancy, ReserveThenConflict) {
+  Occupancy occ(48);
+  ASSERT_TRUE(occ.reserve(Range{0, 6}));
+  EXPECT_EQ(occ.used_pixels(), 6);
+  const auto again = occ.reserve(Range{4, 6});
+  ASSERT_FALSE(again);
+  EXPECT_EQ(again.error().code, "conflict");
+  // A failed reserve must not partially apply.
+  EXPECT_EQ(occ.used_pixels(), 6);
+  EXPECT_TRUE(occ.is_free(Range{6, 4}));
+}
+
+TEST(Occupancy, ReserveOutOfBand) {
+  Occupancy occ(48);
+  const auto r = occ.reserve(Range{44, 6});
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "out_of_band");
+}
+
+TEST(Occupancy, ReleaseMirrorsReserve) {
+  Occupancy occ(48);
+  ASSERT_TRUE(occ.reserve(Range{10, 8}));
+  ASSERT_TRUE(occ.release(Range{10, 8}));
+  EXPECT_EQ(occ.used_pixels(), 0);
+}
+
+TEST(Occupancy, ReleaseFreePixelsFails) {
+  Occupancy occ(48);
+  ASSERT_TRUE(occ.reserve(Range{10, 4}));
+  const auto r = occ.release(Range{10, 8});  // tail 4 pixels are free
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().code, "not_reserved");
+  // Atomic: the reserved pixels stay reserved.
+  EXPECT_EQ(occ.used_pixels(), 4);
+}
+
+TEST(Occupancy, FirstFitFindsLowestStart) {
+  Occupancy occ(48);
+  ASSERT_TRUE(occ.reserve(Range{0, 6}));
+  ASSERT_TRUE(occ.reserve(Range{10, 6}));
+  const auto fit = occ.first_fit(4);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 6);
+  EXPECT_EQ(fit->count, 4);
+}
+
+TEST(Occupancy, FirstFitRespectsFrom) {
+  Occupancy occ(48);
+  const auto fit = occ.first_fit(4, 20);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 20);
+}
+
+TEST(Occupancy, FirstFitFailsWhenFull) {
+  Occupancy occ(12);
+  ASSERT_TRUE(occ.reserve(Range{0, 12}));
+  EXPECT_FALSE(occ.first_fit(1).has_value());
+}
+
+TEST(Occupancy, FirstFitSkipsTooSmallGaps) {
+  Occupancy occ(24);
+  ASSERT_TRUE(occ.reserve(Range{4, 4}));   // gap [0,4) too small for 6
+  ASSERT_TRUE(occ.reserve(Range{12, 4}));  // gap [8,12) too small for 6
+  const auto fit = occ.first_fit(6);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 16);
+}
+
+TEST(Occupancy, AllFitsEnumeratesEveryStart) {
+  Occupancy occ(12);
+  ASSERT_TRUE(occ.reserve(Range{4, 4}));
+  const auto starts = occ.all_fits(4);
+  EXPECT_EQ(starts, (std::vector<int>{0, 8}));
+}
+
+TEST(Occupancy, FragmentationReflectsSplitSpectrum) {
+  Occupancy occ(48);
+  ASSERT_TRUE(occ.reserve(Range{20, 8}));  // splits free space 20 + 20
+  EXPECT_EQ(occ.largest_free_run(), 20);
+  EXPECT_NEAR(occ.fragmentation(), 0.5, 1e-9);
+}
+
+TEST(Occupancy, FragmentationZeroWhenFull) {
+  Occupancy occ(12);
+  ASSERT_TRUE(occ.reserve(Range{0, 12}));
+  EXPECT_DOUBLE_EQ(occ.fragmentation(), 0.0);
+}
+
+// Property: a random sequence of reserve/release operations never corrupts
+// the pixel accounting, and first_fit always returns genuinely free ranges.
+class OccupancyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OccupancyPropertyTest, RandomReserveReleaseKeepsInvariants) {
+  Rng rng(GetParam());
+  Occupancy occ(96);
+  std::vector<Range> held;
+  int expected_used = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (held.empty() || rng.chance(0.6)) {
+      const int count = rng.uniform_int(1, 12);
+      const auto fit = occ.first_fit(count);
+      if (!fit) continue;
+      ASSERT_TRUE(occ.is_free(*fit));
+      ASSERT_TRUE(occ.reserve(*fit));
+      held.push_back(*fit);
+      expected_used += count;
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(held.size()) - 1));
+      ASSERT_TRUE(occ.release(held[idx]));
+      expected_used -= held[idx].count;
+      held.erase(held.begin() + static_cast<long>(idx));
+    }
+    ASSERT_EQ(occ.used_pixels(), expected_used);
+    ASSERT_EQ(occ.free_pixels(), 96 - expected_used);
+    ASSERT_LE(occ.largest_free_run(), occ.free_pixels());
+  }
+  // Releasing everything restores a pristine band.
+  for (const auto& r : held) ASSERT_TRUE(occ.release(r));
+  EXPECT_EQ(occ.used_pixels(), 0);
+  EXPECT_EQ(occ.largest_free_run(), 96);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OccupancyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: reserved ranges held simultaneously never overlap.
+class OccupancyDisjointTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OccupancyDisjointTest, HeldRangesAreDisjoint) {
+  Rng rng(GetParam());
+  Occupancy occ(64);
+  std::vector<Range> held;
+  for (int step = 0; step < 64; ++step) {
+    const int count = rng.uniform_int(2, 10);
+    const auto fit = occ.first_fit(count, rng.uniform_int(0, 50));
+    if (!fit) break;
+    ASSERT_TRUE(occ.reserve(*fit));
+    for (const auto& other : held) {
+      ASSERT_FALSE(fit->overlaps(other))
+          << to_string(*fit) << " vs " << to_string(other);
+    }
+    held.push_back(*fit);
+  }
+  EXPECT_FALSE(held.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OccupancyDisjointTest,
+                         ::testing::Values(7, 11, 19, 23));
+
+}  // namespace
+}  // namespace flexwan::spectrum

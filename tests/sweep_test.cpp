@@ -1,0 +1,106 @@
+// Cross-product sweeps: every scheme x topology x scale combination that is
+// feasible must produce a valid plan, a clean deployment, and restoration
+// outcomes that respect the §8 constraints.  These are the workhorse
+// regression tests for the whole pipeline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "controller/centralized.h"
+#include "controller/fleet.h"
+#include "planning/heuristic.h"
+#include "planning/metrics.h"
+#include "restoration/metrics.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan {
+namespace {
+
+const transponder::Catalog& catalog_by_name(const std::string& name) {
+  if (name == "RADWAN") return transponder::bvt_radwan();
+  if (name == "100G-WAN") return transponder::fixed_grid_100g();
+  return transponder::svt_flexwan();
+}
+
+topology::Network network_by_name(const std::string& name, double scale) {
+  auto net = name == "Cernet" ? topology::make_cernet()
+                              : topology::make_tbackbone();
+  return topology::Network{net.name, net.optical, net.ip.scaled(scale)};
+}
+
+using SweepParam = std::tuple<const char*, const char*, double>;
+
+class PipelineSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PipelineSweep, PlanDeployRestore) {
+  const auto& [scheme, topo, scale] = GetParam();
+  const auto net = network_by_name(topo, scale);
+  const auto& catalog = catalog_by_name(scheme);
+
+  planning::HeuristicPlanner planner(catalog, {});
+  const auto plan = planner.plan(net);
+  if (!plan) {
+    // Documented failure modes only — and only at elevated scale.
+    EXPECT_TRUE(plan.error().code == "no_spectrum" ||
+                plan.error().code == "unreachable_demand")
+        << plan.error().code;
+    EXPECT_GT(scale, 1.0) << scheme << " must be feasible at 1x";
+    return;
+  }
+
+  // 1. Every Algorithm 1 constraint, re-checked independently.
+  const auto valid = planning::validate_plan(*plan, net);
+  ASSERT_TRUE(valid) << valid.error().message;
+
+  // 2. Metrics are internally consistent.
+  const auto m = planning::compute_metrics(*plan, net);
+  EXPECT_EQ(m.transponder_count, plan->transponder_count());
+  EXPECT_GE(m.spectrum_usage_ghz,
+            m.transponder_count * 50.0);  // narrowest channel is 50 GHz
+  EXPECT_LE(m.max_fiber_utilization, 1.0);
+
+  // 3. Deployment through the centralized controller audits clean.
+  controller::Fleet fleet(net, *plan,
+                          controller::VendorAssignment::kPerRegionMixed,
+                          true);
+  controller::CentralizedController controller(net);
+  const auto stats = controller.deploy(fleet);
+  ASSERT_TRUE(stats) << stats.error().message;
+  EXPECT_TRUE(controller::audit_fleet(fleet, net).clean());
+
+  // 4. Restoration over a sample of cuts respects capacity and spares.
+  restoration::Restorer restorer(catalog);
+  for (topology::FiberId f = 0; f < net.optical.fiber_count(); f += 7) {
+    const auto outcome =
+        restorer.restore(net, *plan, restoration::FailureScenario{{f}, 1.0});
+    EXPECT_LE(outcome.restored_gbps, outcome.affected_gbps + 1e-9);
+    for (const auto& lr : outcome.links) {
+      EXPECT_LE(lr.used_transponders, lr.spare_transponders);
+    }
+    for (const auto& rw : outcome.wavelengths) {
+      EXPECT_FALSE(rw.path.uses_fiber(f));
+      EXPECT_GE(rw.mode.reach_km, rw.path.length_km);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, PipelineSweep,
+    ::testing::Combine(::testing::Values("100G-WAN", "RADWAN", "FlexWAN"),
+                       ::testing::Values("T-backbone", "Cernet"),
+                       ::testing::Values(1.0, 2.0, 4.0)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_";
+      name += std::get<1>(info.param);
+      name += "_x" + std::to_string(static_cast<int>(std::get<2>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace flexwan

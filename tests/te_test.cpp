@@ -1,0 +1,175 @@
+// Tests for the traffic-engineering layer: capacity derivation from plans,
+// degradation/restoration accounting, and the multi-commodity-flow LP.
+#include <gtest/gtest.h>
+
+#include "planning/heuristic.h"
+#include "restoration/restorer.h"
+#include "te/routing.h"
+#include "te/traffic.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::te {
+namespace {
+
+using planning::HeuristicPlanner;
+
+topology::Network ring_net(double demand_gbps = 400, double side_km = 300) {
+  topology::Network net;
+  net.name = "ring";
+  for (int i = 0; i < 4; ++i) net.optical.add_node("n" + std::to_string(i));
+  net.optical.add_fiber(0, 1, side_km);
+  net.optical.add_fiber(1, 2, side_km);
+  net.optical.add_fiber(2, 3, side_km);
+  net.optical.add_fiber(3, 0, side_km);
+  net.ip.add_link(0, 1, demand_gbps);
+  net.ip.add_link(1, 2, demand_gbps);
+  net.ip.add_link(2, 3, demand_gbps);
+  return net;
+}
+
+planning::Plan plan_of(const topology::Network& net) {
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  EXPECT_TRUE(plan);
+  return std::move(plan.value());
+}
+
+TEST(Capacities, MatchProvisionedPerLink) {
+  const auto net = ring_net();
+  const auto plan = plan_of(net);
+  const auto caps = capacities_from_plan(net, plan);
+  ASSERT_EQ(caps.size(), static_cast<std::size_t>(net.ip.link_count()));
+  for (const auto& cap : caps) {
+    EXPECT_GE(cap.capacity_gbps, net.ip.link(cap.link).demand_gbps);
+  }
+}
+
+TEST(Capacities, DegradationZeroesAffectedWavelengths) {
+  const auto net = ring_net();
+  const auto plan = plan_of(net);
+  const restoration::FailureScenario cut{{0}, 1.0};  // kills link 0-1's path
+  const auto degraded = degraded_capacities(net, plan, cut);
+  // Link 0 (0-1) rides fiber 0 and loses everything; other links survive.
+  EXPECT_DOUBLE_EQ(degraded[0].capacity_gbps, 0.0);
+  EXPECT_GT(degraded[1].capacity_gbps, 0.0);
+  EXPECT_GT(degraded[2].capacity_gbps, 0.0);
+}
+
+TEST(Capacities, RestorationCreditsRevivedCapacity) {
+  const auto net = ring_net();
+  const auto plan = plan_of(net);
+  const restoration::FailureScenario cut{{0}, 1.0};
+  restoration::Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, plan, cut);
+  const auto restored = restored_capacities(net, plan, cut, outcome);
+  EXPECT_NEAR(restored[0].capacity_gbps,
+              std::min(outcome.restored_gbps, outcome.affected_gbps), 1e-9);
+}
+
+TEST(Traffic, RandomMatrixHitsTargetLoad) {
+  const auto net = ring_net();
+  const auto plan = plan_of(net);
+  Rng rng(5);
+  const auto matrix = random_traffic(net, plan, 0.5, rng, 30);
+  EXPECT_EQ(matrix.size(), 30u);
+  double total_capacity = 0.0;
+  for (const auto& lp : plan.links()) total_capacity += lp.provisioned_gbps();
+  double volume = 0.0;
+  for (const auto& f : matrix) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_GE(f.gbps, 0.0);
+    volume += f.gbps;
+  }
+  EXPECT_NEAR(volume, 0.5 * total_capacity, 0.02 * total_capacity);
+}
+
+TEST(Routing, ServesEverythingWhenUncongested) {
+  const auto net = ring_net();
+  const auto plan = plan_of(net);
+  const auto caps = capacities_from_plan(net, plan);
+  const TrafficMatrix matrix = {{0, 1, 100}, {1, 2, 150}, {0, 2, 50}};
+  const auto r = route_traffic(net, caps, matrix);
+  ASSERT_TRUE(r) << r.error().message;
+  EXPECT_DOUBLE_EQ(r->offered_gbps, 300.0);
+  EXPECT_NEAR(r->served_gbps, 300.0, 1e-6);
+  EXPECT_NEAR(r->availability(), 1.0, 1e-9);
+  for (const auto& f : r->flows) {
+    EXPECT_NEAR(f.served_gbps, f.flow.gbps, 1e-6);
+  }
+}
+
+TEST(Routing, CapsAtLinkCapacity) {
+  const auto net = ring_net(400);
+  const auto plan = plan_of(net);
+  auto caps = capacities_from_plan(net, plan);
+  // One flow offering more than any cut of the IP graph between 0 and 1.
+  const TrafficMatrix matrix = {{0, 1, 5000}};
+  const auto r = route_traffic(net, caps, matrix);
+  ASSERT_TRUE(r) << r.error().message;
+  // Max flow 0->1 = cap(0-1) + cap(path 0..3-2-1 minimum) — with three IP
+  // links of equal capacity the side route is limited by its bottleneck.
+  EXPECT_LE(r->served_gbps, 5000.0);
+  EXPECT_GT(r->served_gbps, caps[0].capacity_gbps - 1e-6);
+  EXPECT_LT(r->availability(), 1.0);
+}
+
+TEST(Routing, DisconnectedFlowServesZero) {
+  topology::Network net;
+  net.optical.add_node("a");
+  net.optical.add_node("b");
+  net.optical.add_node("c");  // isolated at the IP layer
+  net.optical.add_fiber(0, 1, 100);
+  net.optical.add_fiber(1, 2, 100);
+  net.ip.add_link(0, 1, 200);
+  const auto plan = plan_of(net);
+  const auto caps = capacities_from_plan(net, plan);
+  const TrafficMatrix matrix = {{0, 2, 100}, {0, 1, 50}};
+  const auto r = route_traffic(net, caps, matrix);
+  ASSERT_TRUE(r);
+  EXPECT_NEAR(r->flows[0].served_gbps, 0.0, 1e-9);
+  EXPECT_NEAR(r->flows[1].served_gbps, 50.0, 1e-6);
+}
+
+TEST(Routing, RestorationImprovesServedTrafficUnderCut) {
+  // The end-to-end §8 claim: restoration raises IP-layer availability.
+  const auto net = ring_net(400);
+  const auto plan = plan_of(net);
+  Rng rng(9);
+  const auto matrix = random_traffic(net, plan, 0.8, rng, 24);
+  const restoration::FailureScenario cut{{0}, 1.0};
+
+  const auto before = route_traffic(net, capacities_from_plan(net, plan),
+                                    matrix);
+  const auto degraded =
+      route_traffic(net, degraded_capacities(net, plan, cut), matrix);
+  restoration::Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, plan, cut);
+  const auto restored = route_traffic(
+      net, restored_capacities(net, plan, cut, outcome), matrix);
+
+  ASSERT_TRUE(before);
+  ASSERT_TRUE(degraded);
+  ASSERT_TRUE(restored);
+  EXPECT_LE(degraded->served_gbps, before->served_gbps + 1e-6);
+  EXPECT_GE(restored->served_gbps, degraded->served_gbps - 1e-6);
+  // The ring fully restores, so served traffic returns to the healthy level.
+  EXPECT_NEAR(restored->served_gbps, before->served_gbps, 1e-4);
+}
+
+TEST(Routing, AvailabilityMonotoneInCapacity) {
+  const auto net = ring_net(400);
+  const auto plan = plan_of(net);
+  Rng rng(11);
+  const auto matrix = random_traffic(net, plan, 1.2, rng, 24);  // congested
+  auto caps = capacities_from_plan(net, plan);
+  const auto full = route_traffic(net, caps, matrix);
+  ASSERT_TRUE(full);
+  for (auto& cap : caps) cap.capacity_gbps *= 0.5;
+  const auto halved = route_traffic(net, caps, matrix);
+  ASSERT_TRUE(halved);
+  EXPECT_LE(halved->served_gbps, full->served_gbps + 1e-6);
+}
+
+}  // namespace
+}  // namespace flexwan::te

@@ -1,0 +1,332 @@
+// Tests for the graph model, Dijkstra/Yen KSP, and the topology builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/builders.h"
+#include "topology/demand.h"
+#include "topology/graph.h"
+#include "topology/ksp.h"
+
+namespace flexwan::topology {
+namespace {
+
+OpticalTopology diamond() {
+  // 0 --100-- 1 --100-- 3, and 0 --150-- 2 --150-- 3, plus 1 --50-- 2.
+  OpticalTopology g;
+  for (int i = 0; i < 4; ++i) g.add_node("N" + std::to_string(i));
+  g.add_fiber(0, 1, 100);  // f0
+  g.add_fiber(1, 3, 100);  // f1
+  g.add_fiber(0, 2, 150);  // f2
+  g.add_fiber(2, 3, 150);  // f3
+  g.add_fiber(1, 2, 50);   // f4
+  return g;
+}
+
+TEST(Graph, AddAndQueryNodesFibers) {
+  auto g = diamond();
+  EXPECT_EQ(g.node_count(), 4);
+  EXPECT_EQ(g.fiber_count(), 5);
+  EXPECT_EQ(g.node(0).name, "N0");
+  EXPECT_EQ(g.fiber(0).length_km, 100);
+  EXPECT_EQ(g.fiber(0).other(0), 1);
+  EXPECT_EQ(g.fiber(0).other(1), 0);
+  ASSERT_TRUE(g.find_node("N3").has_value());
+  EXPECT_EQ(*g.find_node("N3"), 3);
+  EXPECT_FALSE(g.find_node("nope").has_value());
+}
+
+TEST(Graph, FindFiberEitherOrientation) {
+  auto g = diamond();
+  ASSERT_TRUE(g.find_fiber(0, 1).has_value());
+  ASSERT_TRUE(g.find_fiber(1, 0).has_value());
+  EXPECT_EQ(*g.find_fiber(0, 1), *g.find_fiber(1, 0));
+  EXPECT_FALSE(g.find_fiber(0, 3).has_value());
+}
+
+TEST(Graph, AddFiberValidation) {
+  OpticalTopology g;
+  g.add_node("a");
+  g.add_node("b");
+  EXPECT_THROW(g.add_fiber(0, 0, 100), std::invalid_argument);
+  EXPECT_THROW(g.add_fiber(0, 5, 100), std::invalid_argument);
+  EXPECT_THROW(g.add_fiber(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.add_fiber(0, 1, -5.0), std::invalid_argument);
+}
+
+TEST(Graph, IncidentLists) {
+  auto g = diamond();
+  EXPECT_EQ(g.incident(0).size(), 2u);
+  EXPECT_EQ(g.incident(1).size(), 3u);
+}
+
+TEST(IpTopology, ScaledMultipliesDemands) {
+  IpTopology ip;
+  ip.add_link(0, 1, 300.0);
+  ip.add_link(1, 2, 700.0);
+  const auto doubled = ip.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.link(0).demand_gbps, 600.0);
+  EXPECT_DOUBLE_EQ(doubled.link(1).demand_gbps, 1400.0);
+  EXPECT_DOUBLE_EQ(doubled.total_demand_gbps(), 2000.0);
+  // Names and endpoints survive scaling.
+  EXPECT_EQ(doubled.link(0).src, 0);
+  EXPECT_EQ(doubled.link(1).dst, 2);
+}
+
+TEST(ShortestPath, FindsMinimumLength) {
+  auto g = diamond();
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->length_km, 200.0);
+  EXPECT_EQ(p->nodes, (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(p->hop_count(), 2);
+}
+
+TEST(ShortestPath, RespectsExclusions) {
+  auto g = diamond();
+  const std::vector<FiberId> cut = {0};  // kill 0-1
+  const auto p = shortest_path(g, 0, 3, cut);
+  ASSERT_TRUE(p);
+  // Must route 0-2 then either 2-3 (300) or 2-1-3 (300): both length 300.
+  EXPECT_DOUBLE_EQ(p->length_km, 300.0);
+  EXPECT_FALSE(p->uses_fiber(0));
+}
+
+TEST(ShortestPath, UnreachableReportsError) {
+  OpticalTopology g;
+  g.add_node("a");
+  g.add_node("b");
+  const auto p = shortest_path(g, 0, 1);
+  ASSERT_FALSE(p);
+  EXPECT_EQ(p.error().code, "unreachable");
+}
+
+TEST(ShortestPath, SourceEqualsDestinationIsEmptyPath) {
+  auto g = diamond();
+  const auto p = shortest_path(g, 2, 2);
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->empty());
+  EXPECT_DOUBLE_EQ(p->length_km, 0.0);
+}
+
+TEST(Ksp, ReturnsPathsInLengthOrder) {
+  auto g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 4);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length_km, paths[i].length_km);
+  }
+  EXPECT_DOUBLE_EQ(paths[0].length_km, 200.0);
+}
+
+TEST(Ksp, PathsAreDistinct) {
+  auto g = diamond();
+  const auto paths = k_shortest_paths(g, 0, 3, 6);
+  std::set<std::vector<FiberId>> unique;
+  for (const auto& p : paths) unique.insert(p.fibers);
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(Ksp, PathsAreLoopless) {
+  auto g = diamond();
+  for (const auto& p : k_shortest_paths(g, 0, 3, 6)) {
+    std::set<NodeId> seen(p.nodes.begin(), p.nodes.end());
+    EXPECT_EQ(seen.size(), p.nodes.size()) << "path revisits a node";
+  }
+}
+
+TEST(Ksp, HonoursK) {
+  auto g = diamond();
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 1).size(), 1u);
+  EXPECT_EQ(k_shortest_paths(g, 0, 3, 2).size(), 2u);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 0).empty());
+}
+
+TEST(Ksp, FewerPathsThanKWhenGraphIsThin) {
+  OpticalTopology g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_fiber(0, 1, 100);
+  EXPECT_EQ(k_shortest_paths(g, 0, 1, 5).size(), 1u);
+}
+
+TEST(Ksp, PathNodeAndFiberSequencesAgree) {
+  auto g = diamond();
+  for (const auto& p : k_shortest_paths(g, 0, 3, 5)) {
+    ASSERT_EQ(p.nodes.size(), p.fibers.size() + 1);
+    double length = 0.0;
+    for (std::size_t i = 0; i < p.fibers.size(); ++i) {
+      const auto& f = g.fiber(p.fibers[i]);
+      EXPECT_TRUE(f.touches(p.nodes[i]));
+      EXPECT_TRUE(f.touches(p.nodes[i + 1]));
+      length += f.length_km;
+    }
+    EXPECT_NEAR(length, p.length_km, 1e-9);
+  }
+}
+
+// Exhaustive loopless path enumeration for cross-checking Yen's algorithm.
+void enumerate_paths(const OpticalTopology& g, NodeId cur, NodeId dst,
+                     std::vector<FiberId>& fibers, std::set<NodeId>& visited,
+                     double length, std::vector<Path>& out) {
+  if (cur == dst) {
+    Path p;
+    p.fibers = fibers;
+    p.length_km = length;
+    out.push_back(std::move(p));
+    return;
+  }
+  for (FiberId f : g.incident(cur)) {
+    const NodeId next = g.fiber(f).other(cur);
+    if (visited.contains(next)) continue;
+    visited.insert(next);
+    fibers.push_back(f);
+    enumerate_paths(g, next, dst, fibers, visited, length + g.fiber(f).length_km,
+                    out);
+    fibers.pop_back();
+    visited.erase(next);
+  }
+}
+
+// Property: Yen's K shortest paths equal the K shortest of the exhaustive
+// loopless path set on random graphs.
+class KspBruteForceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KspBruteForceTest, MatchesExhaustiveEnumeration) {
+  Rng rng(GetParam());
+  RandomBackboneParams params;
+  params.nodes = rng.uniform_int(5, 8);
+  params.extra_edge_prob = 0.4;
+  params.ip_links = 1;
+  const auto net = random_backbone(params, rng);
+  const auto& g = net.optical;
+
+  const NodeId src = 0;
+  const NodeId dst = g.node_count() - 1;
+  std::vector<Path> all;
+  std::vector<FiberId> fibers;
+  std::set<NodeId> visited{src};
+  enumerate_paths(g, src, dst, fibers, visited, 0.0, all);
+  ASSERT_FALSE(all.empty());
+  std::sort(all.begin(), all.end(), [](const Path& a, const Path& b) {
+    return a.length_km < b.length_km;
+  });
+
+  const int k = std::min<int>(5, static_cast<int>(all.size()));
+  const auto yen = k_shortest_paths(g, src, dst, k);
+  ASSERT_EQ(static_cast<int>(yen.size()), k) << "seed " << GetParam();
+  for (int i = 0; i < k; ++i) {
+    // Lengths must agree (ties may permute the fiber sequences).
+    EXPECT_NEAR(yen[static_cast<std::size_t>(i)].length_km,
+                all[static_cast<std::size_t>(i)].length_km, 1e-9)
+        << "seed " << GetParam() << " rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KspBruteForceTest,
+                         ::testing::Range<std::uint64_t>(50, 70));
+
+// --- builders -------------------------------------------------------------
+
+TEST(Builders, CernetIsConnectedAndRealSized) {
+  const auto net = make_cernet();
+  EXPECT_EQ(net.name, "Cernet");
+  EXPECT_GE(net.optical.node_count(), 20);
+  EXPECT_GE(net.optical.fiber_count(), 24);
+  EXPECT_GE(net.ip.link_count(), 30);
+  // Every IP link's endpoints are optically reachable.
+  for (const auto& l : net.ip.links()) {
+    EXPECT_TRUE(shortest_path(net.optical, l.src, l.dst))
+        << l.name << " unreachable";
+  }
+}
+
+TEST(Builders, CernetPathsStayWithin100GReach) {
+  // The 100G-WAN baseline (3000 km reach) must be feasible at scale 1.
+  const auto net = make_cernet();
+  for (const auto& l : net.ip.links()) {
+    const auto p = shortest_path(net.optical, l.src, l.dst);
+    ASSERT_TRUE(p);
+    EXPECT_LE(p->length_km, 3000.0) << l.name;
+  }
+}
+
+TEST(Builders, CernetDeterministicForSameSeed) {
+  const auto a = make_cernet(7);
+  const auto b = make_cernet(7);
+  ASSERT_EQ(a.ip.link_count(), b.ip.link_count());
+  for (int i = 0; i < a.ip.link_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ip.link(i).demand_gbps, b.ip.link(i).demand_gbps);
+  }
+}
+
+TEST(Builders, TbackbonePathLengthDistributionMatchesFig2a) {
+  // Fig. 2(a): roughly half of all optical paths are shorter than 200 km,
+  // with a tail beyond 2000 km.
+  const auto net = make_tbackbone();
+  int under200 = 0;
+  double longest = 0.0;
+  int total = 0;
+  for (const auto& l : net.ip.links()) {
+    const auto p = shortest_path(net.optical, l.src, l.dst);
+    ASSERT_TRUE(p);
+    ++total;
+    if (p->length_km < 200.0) ++under200;
+    longest = std::max(longest, p->length_km);
+  }
+  const double frac = static_cast<double>(under200) / total;
+  EXPECT_GE(frac, 0.35);
+  EXPECT_LE(frac, 0.75);
+  EXPECT_GE(longest, 2000.0);
+}
+
+TEST(Builders, TbackboneDemandsArePositiveMultiplesOf100) {
+  const auto net = make_tbackbone();
+  for (const auto& l : net.ip.links()) {
+    EXPECT_GE(l.demand_gbps, 100.0);
+    EXPECT_NEAR(std::fmod(l.demand_gbps, 100.0), 0.0, 1e-9);
+  }
+}
+
+TEST(Builders, LinearChainShape) {
+  const auto net = make_linear_chain(5, 80.0);
+  EXPECT_EQ(net.optical.node_count(), 6);
+  EXPECT_EQ(net.optical.fiber_count(), 5);
+  const auto p = shortest_path(net.optical, 0, 5);
+  ASSERT_TRUE(p);
+  EXPECT_DOUBLE_EQ(p->length_km, 400.0);
+  EXPECT_EQ(net.ip.link_count(), 1);
+}
+
+class RandomBackboneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomBackboneTest, GeneratedNetworksAreConnected) {
+  Rng rng(GetParam());
+  RandomBackboneParams params;
+  const auto net = random_backbone(params, rng);
+  EXPECT_EQ(net.optical.node_count(), params.nodes);
+  EXPECT_EQ(net.ip.link_count(), params.ip_links);
+  for (int n = 1; n < net.optical.node_count(); ++n) {
+    EXPECT_TRUE(shortest_path(net.optical, 0, n)) << "node " << n;
+  }
+  for (const auto& l : net.ip.links()) {
+    EXPECT_NE(l.src, l.dst);
+    EXPECT_GE(l.demand_gbps, 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBackboneTest,
+                         ::testing::Values(1, 17, 42, 99, 123));
+
+TEST(Demand, DrawRespectsGranularityAndMinimum) {
+  Rng rng(3);
+  DemandParams params;
+  for (int i = 0; i < 200; ++i) {
+    const double d = draw_demand(params, rng);
+    EXPECT_GE(d, params.min_gbps);
+    EXPECT_NEAR(std::fmod(d, params.granularity_gbps), 0.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace flexwan::topology

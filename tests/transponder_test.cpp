@@ -1,0 +1,273 @@
+// Tests for transponder modes and the three capability catalogs.
+#include <gtest/gtest.h>
+
+#include "transponder/catalog.h"
+#include "transponder/catalog_io.h"
+
+namespace flexwan::transponder {
+namespace {
+
+TEST(Mode, PixelsAndSpectralEfficiency) {
+  Mode m;
+  m.data_rate_gbps = 400;
+  m.spacing_ghz = 112.5;
+  m.reach_km = 1600;
+  EXPECT_EQ(m.pixels(), 9);
+  EXPECT_NEAR(m.spectral_efficiency(), 400.0 / 112.5, 1e-12);
+  EXPECT_TRUE(m.reaches(1600));
+  EXPECT_TRUE(m.reaches(100));
+  EXPECT_FALSE(m.reaches(1601));
+}
+
+TEST(Mode, DescribeIsHumanReadable) {
+  Mode m;
+  m.data_rate_gbps = 300;
+  m.spacing_ghz = 75;
+  m.reach_km = 1100;
+  m.modulation = Modulation::k8Qam;
+  EXPECT_EQ(m.describe(), "300G@75GHz(8QAM,reach 1100km)");
+}
+
+TEST(Mode, BitsPerSymbolOrdering) {
+  EXPECT_LT(bits_per_symbol(Modulation::kBpsk),
+            bits_per_symbol(Modulation::kQpsk));
+  EXPECT_LT(bits_per_symbol(Modulation::kQpsk),
+            bits_per_symbol(Modulation::k8Qam));
+  EXPECT_LT(bits_per_symbol(Modulation::k8Qam),
+            bits_per_symbol(Modulation::kPcs64Qam));
+}
+
+TEST(Catalog, FixedGrid100GHasExactlyThePaperMode) {
+  const auto& c = fixed_grid_100g();
+  EXPECT_EQ(c.name(), "100G-WAN");
+  ASSERT_EQ(c.size(), 1u);
+  const auto& m = c.modes()[0];
+  EXPECT_DOUBLE_EQ(m.data_rate_gbps, 100);
+  EXPECT_DOUBLE_EQ(m.spacing_ghz, 50);
+  EXPECT_DOUBLE_EQ(m.reach_km, 3000);
+  EXPECT_DOUBLE_EQ(m.spectral_efficiency(), 2.0);  // Fig. 14(b): fixed at 2
+}
+
+TEST(Catalog, RadwanBvtMatchesSection2) {
+  // 300/200/100 Gbps at 8QAM/QPSK/BPSK for 1100/2000/5000 km, all 75 GHz.
+  const auto& c = bvt_radwan();
+  ASSERT_EQ(c.size(), 3u);
+  for (const auto& m : c.modes()) {
+    EXPECT_DOUBLE_EQ(m.spacing_ghz, 75.0);
+  }
+  const auto at600 = c.max_rate_mode(600);
+  ASSERT_TRUE(at600.has_value());
+  EXPECT_DOUBLE_EQ(at600->data_rate_gbps, 300);
+  const auto at1500 = c.max_rate_mode(1500);
+  ASSERT_TRUE(at1500.has_value());
+  EXPECT_DOUBLE_EQ(at1500->data_rate_gbps, 200);
+  const auto at3000 = c.max_rate_mode(3000);
+  ASSERT_TRUE(at3000.has_value());
+  EXPECT_DOUBLE_EQ(at3000->data_rate_gbps, 100);
+  EXPECT_FALSE(c.max_rate_mode(5001).has_value());
+}
+
+TEST(Catalog, SvtHasAllTable2Rows) {
+  // Table 2 has 36 populated cells.
+  const auto& c = svt_flexwan();
+  EXPECT_EQ(c.name(), "FlexWAN");
+  EXPECT_EQ(c.size(), 36u);
+}
+
+// Every populated Table 2 cell, as (rate, spacing, reach).
+struct Table2Row {
+  double rate;
+  double spacing;
+  double reach;
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Test, RowPresentInSvtCatalog) {
+  const auto row = GetParam();
+  bool found = false;
+  for (const auto& m : svt_flexwan().modes()) {
+    if (m.data_rate_gbps == row.rate && m.spacing_ghz == row.spacing) {
+      EXPECT_DOUBLE_EQ(m.reach_km, row.reach);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << row.rate << "G @ " << row.spacing;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRows, Table2Test,
+    ::testing::Values(
+        Table2Row{100, 50, 3000}, Table2Row{200, 50, 1000},
+        Table2Row{200, 62.5, 1500}, Table2Row{100, 75, 5000},
+        Table2Row{200, 75, 2000}, Table2Row{300, 75, 1100},
+        Table2Row{400, 75, 600}, Table2Row{300, 87.5, 1500},
+        Table2Row{400, 87.5, 1000}, Table2Row{500, 87.5, 600},
+        Table2Row{600, 87.5, 300}, Table2Row{300, 100, 2000},
+        Table2Row{400, 100, 1500}, Table2Row{500, 100, 900},
+        Table2Row{600, 100, 400}, Table2Row{700, 100, 200},
+        Table2Row{400, 112.5, 1600}, Table2Row{500, 112.5, 1100},
+        Table2Row{600, 112.5, 500}, Table2Row{700, 112.5, 300},
+        Table2Row{800, 112.5, 150}, Table2Row{400, 125, 1700},
+        Table2Row{500, 125, 1200}, Table2Row{600, 125, 600},
+        Table2Row{700, 125, 350}, Table2Row{800, 125, 200},
+        Table2Row{400, 137.5, 1800}, Table2Row{500, 137.5, 1300},
+        Table2Row{600, 137.5, 700}, Table2Row{700, 137.5, 450},
+        Table2Row{800, 137.5, 250}, Table2Row{400, 150, 1900},
+        Table2Row{500, 150, 1400}, Table2Row{600, 150, 800},
+        Table2Row{700, 150, 500}, Table2Row{800, 150, 300}));
+
+TEST(Catalog, SvtMaxRateTracksFig2b) {
+  // Fig. 2(b): the SVT's max data rate vs distance.  Key points: 800 Gbps
+  // up to 300 km, 500 Gbps at 1400 km, 400 at 1900, and it still serves
+  // 5000 km at 100 Gbps.
+  const auto& c = svt_flexwan();
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(150)->data_rate_gbps, 800);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(300)->data_rate_gbps, 800);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(301)->data_rate_gbps, 700);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(500)->data_rate_gbps, 700);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(800)->data_rate_gbps, 600);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(1400)->data_rate_gbps, 500);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(1900)->data_rate_gbps, 400);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(2000)->data_rate_gbps, 300);
+  EXPECT_DOUBLE_EQ(c.max_rate_mode(5000)->data_rate_gbps, 100);
+  EXPECT_FALSE(c.max_rate_mode(5001).has_value());
+}
+
+TEST(Catalog, SvtBeatsOrMatchesBvtEverywhere) {
+  // Fig. 2(b): SVT's achievable rate dominates BVT's at every distance.
+  const auto& svt = svt_flexwan();
+  const auto& bvt = bvt_radwan();
+  for (double d = 100; d <= 5000; d += 100) {
+    const auto s = svt.max_rate_mode(d);
+    const auto b = bvt.max_rate_mode(d);
+    if (!b) continue;
+    ASSERT_TRUE(s.has_value()) << d;
+    EXPECT_GE(s->data_rate_gbps, b->data_rate_gbps) << "at " << d << " km";
+  }
+}
+
+TEST(Catalog, MaxRateTieBreaksOnNarrowestSpacing) {
+  // At 600 km both 500G@87.5 (reach 600) and 600G@150 (reach 800) work;
+  // 600G wins on rate.  At 900 km, 500G@100 (reach 900) should win over
+  // wider 500G rows.
+  const auto m = svt_flexwan().max_rate_mode(900);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->data_rate_gbps, 500);
+  EXPECT_DOUBLE_EQ(m->spacing_ghz, 100);
+}
+
+TEST(Catalog, NarrowestModePrefersThinnestChannel) {
+  // Restoration asks: keep >= 400 Gbps on a 1200 km path.  Candidates:
+  // 400@100 (reach 1500), 400@112.5 (1600), 500@125 (1200), ...  The
+  // thinnest spacing that still reaches is 100 GHz.
+  const auto m = svt_flexwan().narrowest_mode(1200, 400);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->spacing_ghz, 100);
+  EXPECT_DOUBLE_EQ(m->data_rate_gbps, 400);
+  // Past 1500 km the 100 GHz row no longer reaches; 112.5 GHz takes over.
+  const auto far = svt_flexwan().narrowest_mode(1550, 400);
+  ASSERT_TRUE(far.has_value());
+  EXPECT_DOUBLE_EQ(far->spacing_ghz, 112.5);
+}
+
+TEST(Catalog, NarrowestModeFailsWhenNothingReaches) {
+  EXPECT_FALSE(svt_flexwan().narrowest_mode(2500, 800).has_value());
+  EXPECT_FALSE(svt_flexwan().narrowest_mode(6000, 100).has_value());
+}
+
+TEST(Catalog, FeasibleFiltersStrictlyByReach) {
+  const auto& c = svt_flexwan();
+  for (double d : {100.0, 450.0, 1000.0, 2200.0, 4000.0}) {
+    for (const auto& m : c.feasible(d)) {
+      EXPECT_GE(m.reach_km, d);
+    }
+  }
+  EXPECT_EQ(c.feasible(5000.0).size(), 1u);
+  EXPECT_TRUE(c.feasible(9999.0).empty());
+}
+
+TEST(Catalog, MaxReach) {
+  EXPECT_DOUBLE_EQ(fixed_grid_100g().max_reach_km(), 3000);
+  EXPECT_DOUBLE_EQ(bvt_radwan().max_reach_km(), 5000);
+  EXPECT_DOUBLE_EQ(svt_flexwan().max_reach_km(), 5000);
+}
+
+TEST(Catalog, SvtSpectralEfficiencyRange) {
+  // Best SE: 800G@112.5 = 7.1 b/s/Hz; worst: 100G@75 = 1.33.
+  double best = 0.0;
+  double worst = 1e9;
+  for (const auto& m : svt_flexwan().modes()) {
+    best = std::max(best, m.spectral_efficiency());
+    worst = std::min(worst, m.spectral_efficiency());
+  }
+  EXPECT_NEAR(best, 800.0 / 112.5, 1e-9);
+  EXPECT_NEAR(worst, 100.0 / 75.0, 1e-9);
+}
+
+// --- catalog text format -----------------------------------------------------
+
+TEST(CatalogIo, LoadsWellFormedCatalog) {
+  const auto c = load_catalog(
+      "# vendor X spec sheet\n"
+      "catalog vendorX\n"
+      "mode 100 50 3000\n"
+      "mode 400 112.5 1600\n");
+  ASSERT_TRUE(c) << c.error().message;
+  EXPECT_EQ(c->name(), "vendorX");
+  ASSERT_EQ(c->size(), 2u);
+  EXPECT_DOUBLE_EQ(c->max_reach_km(), 3000);
+  // Derived knobs match the built-in derivation.
+  const auto derived = derive_mode(400, 112.5, 1600);
+  EXPECT_EQ(c->modes()[1].modulation, derived.modulation);
+  EXPECT_DOUBLE_EQ(c->modes()[1].fec_overhead, derived.fec_overhead);
+}
+
+TEST(CatalogIo, BuiltInCatalogsRoundTrip) {
+  for (const auto* catalog :
+       {&svt_flexwan(), &bvt_radwan(), &fixed_grid_100g()}) {
+    const auto reloaded = load_catalog(save_catalog(*catalog));
+    ASSERT_TRUE(reloaded) << catalog->name();
+    EXPECT_EQ(reloaded->name(), catalog->name());
+    ASSERT_EQ(reloaded->size(), catalog->size());
+    for (std::size_t i = 0; i < catalog->size(); ++i) {
+      EXPECT_DOUBLE_EQ(reloaded->modes()[i].data_rate_gbps,
+                       catalog->modes()[i].data_rate_gbps);
+      EXPECT_DOUBLE_EQ(reloaded->modes()[i].spacing_ghz,
+                       catalog->modes()[i].spacing_ghz);
+      EXPECT_DOUBLE_EQ(reloaded->modes()[i].reach_km,
+                       catalog->modes()[i].reach_km);
+      EXPECT_EQ(reloaded->modes()[i].modulation,
+                catalog->modes()[i].modulation);
+    }
+  }
+}
+
+struct BadCatalog {
+  const char* text;
+  const char* reason;
+};
+
+class CatalogIoErrorTest : public ::testing::TestWithParam<BadCatalog> {};
+
+TEST_P(CatalogIoErrorTest, MalformedInputRejected) {
+  const auto c = load_catalog(GetParam().text);
+  ASSERT_FALSE(c) << GetParam().reason;
+  EXPECT_EQ(c.error().code, "parse_error") << GetParam().reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CatalogIoErrorTest,
+    ::testing::Values(
+        BadCatalog{"", "empty document"},
+        BadCatalog{"catalog x\n", "no modes"},
+        BadCatalog{"mode 100 50 3000\n", "missing header"},
+        BadCatalog{"catalog x\nmode 100 50\n", "missing reach"},
+        BadCatalog{"catalog x\nmode -100 50 3000\n", "negative rate"},
+        BadCatalog{"catalog x\nmode 100 0 3000\n", "zero spacing"},
+        BadCatalog{"catalog x\nmode 100 50 3000\nmode 100 50 2000\n",
+                   "duplicate row"},
+        BadCatalog{"catalog x\nfrobnicate\n", "unknown keyword"}));
+
+}  // namespace
+}  // namespace flexwan::transponder

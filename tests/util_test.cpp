@@ -1,0 +1,168 @@
+// Tests for the util substrate: statistics, tables, RNG, Expected.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "util/expected.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace flexwan {
+namespace {
+
+TEST(Expected, ValueAndErrorPaths) {
+  Expected<int> ok(42);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(7), 42);
+
+  Expected<int> bad(Error::make("nope", "broken"));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, "nope");
+  EXPECT_EQ(bad.error().message, "broken");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Expected, WorksWithMoveOnlyFlavouredTypes) {
+  Expected<std::string> s(std::string("hello"));
+  ASSERT_TRUE(s);
+  EXPECT_EQ(s->size(), 5u);
+  std::string taken = std::move(s).value();
+  EXPECT_EQ(taken, "hello");
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  const std::array<double, 5> v{1, 2, 3, 4, 100};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 22);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+}
+
+TEST(Stats, SummaryOfEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::array<double, 1> one{5.0};
+  const auto s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99, 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::array<double, 4> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Stats, CdfAt) {
+  const std::array<double, 4> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at({}, 1.0), 0.0);
+}
+
+TEST(Stats, CdfCurveMonotone) {
+  const std::array<double, 6> v{5, 1, 3, 2, 4, 6};
+  const std::array<double, 4> points{1.5, 3.0, 4.5, 6.0};
+  const auto curve = cdf_curve(v, points);
+  ASSERT_EQ(curve.size(), 4u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+}
+
+TEST(Stats, WeightedCdf) {
+  const std::array<double, 3> v{1, 2, 3};
+  const std::array<double, 3> w{1, 1, 8};
+  EXPECT_DOUBLE_EQ(weighted_cdf_at(v, w, 2.0), 0.2);
+  EXPECT_DOUBLE_EQ(weighted_cdf_at(v, w, 3.0), 1.0);
+  // Missing weights default to 1.
+  const std::array<double, 1> w1{1};
+  EXPECT_DOUBLE_EQ(weighted_cdf_at(v, w1, 1.0), 1.0 / 3.0);
+}
+
+TEST(Stats, AsciiCdfRendersRows) {
+  const std::array<double, 2> v{1, 2};
+  const std::array<double, 2> points{1.0, 2.0};
+  const auto text = ascii_cdf("demo", v, points);
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("50%"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+}
+
+TEST(Table, RendersAlignedMarkdownish) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("| x |   |   |"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(42.0, 0), "42");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 2;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(1.5, 2.5);
+    EXPECT_GE(v, 1.5);
+    EXPECT_LT(v, 2.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GT(rng.lognormal(6.0, 0.7), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace flexwan
