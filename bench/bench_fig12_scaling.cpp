@@ -4,8 +4,14 @@
 // fiber plant ("N/M" in the paper are confidential absolutes; the shape and
 // the ratios are the reproducible signal).  Also sweeps K (candidate paths)
 // as the DESIGN.md ablation.
+//
+// Pass --threads N to size the execution engine (default: one thread per
+// hardware thread; 1 = serial).  The scale x scheme grid and the
+// max-supported-scale searches run as independent engine tasks; results are
+// collected in index order, so output is byte-identical at every N.
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "topology/builders.h"
@@ -24,7 +30,9 @@ const transponder::Catalog* kCatalogs[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
+  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
   const auto net = topology::make_tbackbone();
   std::printf("=== Figure 12: hardware cost vs bandwidth capacity scale ===\n");
   std::printf("topology %s: %d sites, %d fibers, %d IP links, %.0f Gbps\n\n",
@@ -32,35 +40,39 @@ int main() {
               net.optical.fiber_count(), net.ip.link_count(),
               net.ip.total_demand_gbps());
 
+  // Every (scale, scheme) cell plans independently; fan the grid out.
+  constexpr int kScales = 8;
+  constexpr int kSchemes = 3;
+  const auto rows = engine.parallel_map(
+      static_cast<std::size_t>(kScales * kSchemes),
+      [&](std::size_t cell) -> std::vector<std::string> {
+        const double scale = 1.0 + static_cast<double>(cell / kSchemes);
+        const auto* catalog = kCatalogs[cell % kSchemes];
+        const topology::Network scaled{net.name, net.optical,
+                                       net.ip.scaled(scale)};
+        planning::HeuristicPlanner planner(*catalog, {});
+        const auto plan = planner.plan(scaled);
+        if (!plan) {
+          return {TextTable::num(scale, 0), catalog->name(), "infeasible",
+                  "-", "-"};
+        }
+        const auto m = planning::compute_metrics(*plan, scaled);
+        return {TextTable::num(scale, 0), catalog->name(),
+                std::to_string(m.transponder_count),
+                TextTable::num(m.spectrum_usage_ghz, 0),
+                TextTable::num(m.max_fiber_utilization, 2)};
+      });
   TextTable table({"scale", "scheme", "transponders", "spectrum (GHz)",
                    "max fiber util"});
-  for (double scale = 1.0; scale <= 8.0; scale += 1.0) {
-    const topology::Network scaled{net.name, net.optical,
-                                   net.ip.scaled(scale)};
-    for (const auto* catalog : kCatalogs) {
-      planning::HeuristicPlanner planner(*catalog, {});
-      const auto plan = planner.plan(scaled);
-      if (!plan) {
-        table.add_row({TextTable::num(scale, 0), catalog->name(),
-                       "infeasible", "-", "-"});
-        continue;
-      }
-      const auto m = planning::compute_metrics(*plan, scaled);
-      table.add_row({TextTable::num(scale, 0), catalog->name(),
-                     std::to_string(m.transponder_count),
-                     TextTable::num(m.spectrum_usage_ghz, 0),
-                     TextTable::num(m.max_fiber_utilization, 2)});
-    }
-  }
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
 
   // Headline savings at scale 1 (paper: FlexWAN saves 85 % / 57 %
   // transponders and 67 % / 36 % spectrum vs 100G-WAN / RADWAN).
-  planning::PlanMetrics m[3];
-  for (int i = 0; i < 3; ++i) {
+  const auto m = engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
     planning::HeuristicPlanner planner(*kCatalogs[i], {});
-    m[i] = planning::compute_metrics(*planner.plan(net), net);
-  }
+    return planning::compute_metrics(*planner.plan(net), net);
+  });
   std::printf("FlexWAN saves %.0f%% transponders vs 100G-WAN (paper 85%%), "
               "%.0f%% vs RADWAN (paper 57%%)\n",
               100.0 * (1.0 - static_cast<double>(m[2].transponder_count) /
@@ -75,20 +87,25 @@ int main() {
   // Max supported scale (paper: 3x / 5x / 8x).
   std::printf("\nmax supported capacity scale (paper: 100G-WAN 3x, RADWAN 5x, "
               "FlexWAN 8x):\n");
-  for (const auto* catalog : kCatalogs) {
-    planning::HeuristicPlanner planner(*catalog, {});
-    std::printf("  %-9s %.1fx\n", catalog->name().c_str(),
-                planning::max_supported_scale(net, planner, 12.0, 0.5));
+  const auto max_scales = engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
+    planning::HeuristicPlanner planner(*kCatalogs[i], {});
+    return planning::max_supported_scale(net, planner, 12.0, 0.5);
+  });
+  for (int i = 0; i < 3; ++i) {
+    std::printf("  %-9s %.1fx\n", kCatalogs[i]->name().c_str(), max_scales[i]);
   }
 
   // Ablation: K candidate paths vs FlexWAN's max scale.
   std::printf("\nablation: K (KSP candidates) vs FlexWAN max scale\n");
-  for (int k : {1, 2, 3, 4, 6}) {
+  const int ks[] = {1, 2, 3, 4, 6};
+  const auto k_scales = engine.parallel_map(std::size_t{5}, [&](std::size_t i) {
     planning::PlannerConfig config;
-    config.k_paths = k;
+    config.k_paths = ks[i];
     planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    std::printf("  K=%d -> %.1fx\n", k,
-                planning::max_supported_scale(net, planner, 12.0, 0.5));
+    return planning::max_supported_scale(net, planner, 12.0, 0.5);
+  });
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  K=%d -> %.1fx\n", ks[i], k_scales[i]);
   }
   return 0;
 }

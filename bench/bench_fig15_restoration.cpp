@@ -2,8 +2,12 @@
 // optical paths and (b) the mean restoration capability versus capacity
 // scale for the three schemes.  §8's headline: in the overloaded (5x)
 // backbone FlexWAN revives ~15 % more capacity than RADWAN.
+//
+// Pass --threads N to size the execution engine (default: one thread per
+// hardware thread; 1 = serial).  Output is byte-identical at every N.
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -14,10 +18,13 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
   const auto net = topology::make_tbackbone();
   const auto scenarios =
       restoration::standard_scenario_set(net.optical, 12, 5);
+  // Thread count goes to stderr so stdout stays byte-identical at every N.
+  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
   std::printf("scenario set: %d single-fiber cuts + %d probabilistic = %zu\n\n",
               net.optical.fiber_count(),
               static_cast<int>(scenarios.size()) - net.optical.fiber_count(),
@@ -26,10 +33,10 @@ int main() {
   // (a) restored vs original path gaps, FlexWAN at scale 1.
   {
     planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
-    const auto plan = planner.plan(net);
+    const auto plan = planner.plan(net, engine);
     restoration::Restorer restorer(transponder::svt_flexwan());
     const auto m = restoration::evaluate_scenarios(net, *plan, restorer,
-                                                   scenarios);
+                                                   scenarios, engine);
     std::printf("=== Figure 15(a): restored path - original path (km) ===\n");
     TextTable gap({"gap (km)", "CDF"});
     for (double x : {0.0, 100.0, 250.0, 500.0, 1000.0, 1500.0, 2500.0}) {
@@ -74,14 +81,14 @@ int main() {
     std::vector<std::string> row{TextTable::num(scale, 1)};
     for (const auto* catalog : catalogs) {
       planning::HeuristicPlanner planner(*catalog, {});
-      const auto plan = planner.plan(scaled);
+      const auto plan = planner.plan(scaled, engine);
       if (!plan) {
         row.push_back("infeasible");
         continue;
       }
       restoration::Restorer restorer(*catalog);
       const auto m = restoration::evaluate_scenarios(scaled, *plan, restorer,
-                                                     scenarios);
+                                                     scenarios, engine);
       row.push_back(TextTable::num(m.mean_capability, 3));
       if (scale == overload && catalog == &transponder::svt_flexwan()) {
         flex_over = m.mean_capability;

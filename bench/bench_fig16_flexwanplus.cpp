@@ -2,8 +2,12 @@
 // (1x) and overloaded (5x) backbone, including FlexWAN+ — FlexWAN with half
 // of the transponders it saved (vs RADWAN) redeployed per link as extra
 // restoration spares.
+//
+// Pass --threads N to size the execution engine (default: one thread per
+// hardware thread; 1 = serial).  Output is byte-identical at every N.
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -14,7 +18,9 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
+  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
   const auto base = topology::make_tbackbone();
   const auto scenarios =
       restoration::standard_scenario_set(base.optical, 12, 5);
@@ -36,8 +42,8 @@ int main() {
 
     planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
     planning::HeuristicPlanner rad(transponder::bvt_radwan(), {});
-    const auto pf = flex.plan(net);
-    const auto pr = rad.plan(net);
+    const auto pf = flex.plan(net, engine);
+    const auto pr = rad.plan(net, engine);
     if (!pf || !pr) {
       std::printf("planning infeasible at this scale\n");
       continue;
@@ -49,13 +55,14 @@ int main() {
     restoration::Restorer flex_restorer(transponder::svt_flexwan());
     restoration::Restorer rad_restorer(transponder::bvt_radwan());
     const auto m_rad = restoration::evaluate_scenarios(net, *pr, rad_restorer,
-                                                       scenarios);
+                                                       scenarios, engine);
     const auto m_flex = restoration::evaluate_scenarios(net, *pf,
                                                         flex_restorer,
-                                                        scenarios);
+                                                        scenarios, engine);
     const auto m_plus = restoration::evaluate_scenarios(net, *pf,
                                                         flex_restorer,
-                                                        scenarios, extras);
+                                                        scenarios, engine,
+                                                        extras);
 
     TextTable table({"capability <=", "RADWAN", "FlexWAN", "FlexWAN+"});
     for (double x : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0}) {

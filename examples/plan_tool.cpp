@@ -6,6 +6,10 @@
 //   plan_tool --sample                     print a sample network file
 //   plan_tool --sample-catalog             print a sample catalog file
 //
+// --threads N sizes the parallel execution engine (default: one thread per
+// hardware thread; 1 recovers serial execution).  The plan and the
+// restoration drill are byte-identical at every N.
+//
 // Reads a network description (see topology/io.h for the format), plans it
 // with the chosen transponder generation, and reports the wavelengths, the
 // cost metrics, the restoration drill over all single-fiber cuts, and a
@@ -16,6 +20,7 @@
 #include <optional>
 #include <sstream>
 
+#include "engine/engine.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -84,9 +89,12 @@ const transponder::Catalog& pick_catalog(const char* scheme) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <network-file> [flexwan|radwan|100g]\n"
-                         "       %s --sample\n",
+    std::fprintf(stderr,
+                 "usage: %s <network-file> [flexwan|radwan|100g] "
+                 "[--threads N]\n"
+                 "       %s --sample\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -119,7 +127,7 @@ int main(int argc, char** argv) {
               net->ip.total_demand_gbps());
 
   planning::HeuristicPlanner planner(catalog, {});
-  const auto plan = planner.plan(*net);
+  const auto plan = planner.plan(*net, engine);
   if (!plan) {
     std::fprintf(stderr, "planning failed (%s): %s\n",
                  plan.error().code.c_str(), plan.error().message.c_str());
@@ -149,8 +157,8 @@ int main(int argc, char** argv) {
 
   restoration::Restorer restorer(catalog);
   const auto scenarios = restoration::single_fiber_cuts(net->optical);
-  const auto rm =
-      restoration::evaluate_scenarios(*net, *plan, restorer, scenarios);
+  const auto rm = restoration::evaluate_scenarios(*net, *plan, restorer,
+                                                  scenarios, engine);
   std::printf("restoration drill (%zu cuts): mean capability %.1f%%, "
               "%d cut(s) lose capacity\n\n",
               scenarios.size(), 100.0 * rm.mean_capability,

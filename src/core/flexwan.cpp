@@ -15,11 +15,12 @@ Session::Session(topology::Network net, Scheme scheme, SessionOptions options)
     : net_(std::move(net)),
       scheme_(scheme),
       options_(options),
+      engine_(options.threads),
       planner_(catalog_for(scheme), options.planner),
       restorer_(catalog_for(scheme), options.restorer) {}
 
 Expected<const planning::Plan*> Session::plan() {
-  auto result = planner_.plan(net_);
+  auto result = planner_.plan(net_, engine_);
   if (!result) return result.error();
   plan_.emplace(std::move(result.value()));
   // Deployment and telemetry state belong to the previous plan.
@@ -97,6 +98,13 @@ Expected<restoration::Outcome> Session::restore(topology::FiberId f) const {
   if (!plan_) return Error::make("no_plan", "call plan() first");
   const restoration::FailureScenario scenario{{f}, 1.0};
   return restorer_.restore(net_, *plan_, scenario);
+}
+
+Expected<restoration::ScenarioSetMetrics> Session::restoration_drill(
+    const std::vector<restoration::FailureScenario>& scenarios) const {
+  if (!plan_) return Error::make("no_plan", "call plan() first");
+  return restoration::evaluate_scenarios(net_, *plan_, restorer_, scenarios,
+                                         engine_);
 }
 
 }  // namespace flexwan::core

@@ -20,9 +20,11 @@
 #include "controller/datastream.h"
 #include "controller/fleet.h"
 #include "controller/operations.h"
+#include "engine/engine.h"
 #include "planning/heuristic.h"
 #include "planning/incremental.h"
 #include "planning/metrics.h"
+#include "restoration/metrics.h"
 #include "restoration/restorer.h"
 
 namespace flexwan::core {
@@ -37,6 +39,10 @@ struct SessionOptions {
   restoration::RestorerConfig restorer;
   controller::VendorAssignment vendors =
       controller::VendorAssignment::kPerRegionMixed;
+  // Worker threads for planning and restoration sweeps (0 = one per
+  // hardware thread, 1 = serial).  Any value yields byte-identical results
+  // — the engine reduces in index order (see engine/engine.h).
+  int threads = 0;
 };
 
 class Session {
@@ -63,6 +69,11 @@ class Session {
   // Runs optical restoration for a (detected or given) cut.  Requires plan().
   Expected<restoration::Outcome> restore(topology::FiberId f) const;
 
+  // Restoration drill: sweeps a whole failure-scenario set concurrently on
+  // the session engine and aggregates (Figs. 15/16).  Requires plan().
+  Expected<restoration::ScenarioSetMetrics> restoration_drill(
+      const std::vector<restoration::FailureScenario>& scenarios) const;
+
   // Incrementally provisions extra capacity on one IP link without
   // re-planning (planning runs infrequently, §4.4).  Invalidates any
   // existing deployment — the new wavelengths still need configuration.
@@ -83,11 +94,13 @@ class Session {
   }
   const controller::Fleet* fleet() const { return fleet_.get(); }
   controller::DataStream& datastream() { return datastream_; }
+  const engine::Engine& engine() const { return engine_; }
 
  private:
   topology::Network net_;
   Scheme scheme_;
   SessionOptions options_;
+  engine::Engine engine_;
   planning::HeuristicPlanner planner_;
   restoration::Restorer restorer_;
   std::optional<planning::Plan> plan_;

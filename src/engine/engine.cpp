@@ -1,0 +1,185 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace flexwan::engine {
+
+namespace {
+
+// Set while a pool worker (or any thread inside a parallel_for body) is
+// running, so nested parallel_for calls degrade to inline serial loops
+// instead of deadlocking on a saturated pool.
+thread_local bool tls_in_parallel_body = false;
+
+}  // namespace
+
+// One parallel_for invocation.  Participants (the caller plus any workers
+// that pick the job up) share an atomic index cursor; the job owns a copy of
+// the body so a worker arriving after the caller returned touches only
+// state kept alive by the shared_ptr.
+struct Engine::Job {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done;
+  int active = 0;  // participants currently draining
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+
+  void enter() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++active;
+  }
+
+  void leave() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --active;
+    }
+    done.notify_all();
+  }
+
+  void drain() {
+    const bool was_nested = tls_in_parallel_body;
+    tls_in_parallel_body = true;
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+    tls_in_parallel_body = was_nested;
+  }
+
+  bool exhausted() const {
+    return cancelled.load(std::memory_order_relaxed) ||
+           next.load(std::memory_order_relaxed) >= n;
+  }
+};
+
+Engine::Engine(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  thread_count_ = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
+  for (int i = 0; i < thread_count_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+const Engine& Engine::serial() {
+  static const Engine instance(1);
+  return instance;
+}
+
+void Engine::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+    if (stopping_) return;
+    auto job = jobs_.front();
+    lock.unlock();
+    job->enter();
+    job->drain();
+    job->leave();
+    lock.lock();
+    // Retire the job once its cursor is spent so later waits don't spin.
+    if (job->exhausted()) {
+      const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+      if (it != jobs_.end()) jobs_.erase(it);
+    }
+  }
+}
+
+void Engine::parallel_for(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) const {
+  if (n == 0) return;
+  if (thread_count_ <= 1 || n == 1 || tls_in_parallel_body) {
+    // Serial path: identical to the historical loop, including eager
+    // propagation of the first exception.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  job->enter();
+  job->drain();
+  job->leave();
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done.wait(lock, [&] { return job->active == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+    if (it != jobs_.end()) jobs_.erase(it);
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+int threads_flag(int& argc, char** argv, int fallback) {
+  int threads = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      value = arg + 10;
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed < 0) {
+      std::fprintf(stderr, "invalid --threads value '%s'\n", value);
+      std::exit(2);
+    }
+    threads = static_cast<int>(parsed);
+  }
+  argc = out;
+  return threads;
+}
+
+}  // namespace flexwan::engine

@@ -1,0 +1,93 @@
+// Deterministic parallel execution engine.
+//
+// FlexWAN's hot fan-outs — per-link mode-set DP in the planner, the
+// all-failure-scenario restoration sweeps, the capacity-scale benches — are
+// embarrassingly parallel over read-only inputs, but the repo's guarantee is
+// that every run is byte-identical (seeded RNG, stable orderings).  The
+// Engine preserves that guarantee under parallelism through one contract:
+//
+//   * work is distributed by *index*: parallel_for(n, fn) applies fn(i) for
+//     i in [0, n) on a fixed-size thread pool (plus the calling thread);
+//   * results are collected by *index*: parallel_map writes fn(i) into
+//     slot i and returns the vector in index order, so any reduction over
+//     the result sees exactly the order the serial loop would produce;
+//   * an Engine with thread_count() == 1 runs the loop inline — serial
+//     execution is the identity configuration, not a separate code path.
+//
+// Execution order across threads is nondeterministic; anything order-
+// dependent must therefore live in the (index-ordered) reduction, never in
+// the loop body's side effects.  Bodies must treat shared inputs as
+// read-only.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace flexwan::engine {
+
+class Engine {
+ public:
+  // `threads` <= 0 picks std::thread::hardware_concurrency().  The count
+  // includes the calling thread: Engine(4) runs loop bodies on the caller
+  // plus 3 pool workers; Engine(1) starts no workers at all.
+  explicit Engine(int threads = 0);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int thread_count() const { return thread_count_; }
+
+  // A process-wide single-threaded engine: callers that take an Engine
+  // reference can default to this to get today's serial behavior.
+  static const Engine& serial();
+
+  // Applies fn(i) for every i in [0, n).  Blocks until all indices ran.
+  // A body that throws cancels the remaining unclaimed indices and the
+  // lowest-index captured exception is rethrown to the caller.  Nested
+  // calls (a body invoking parallel_for on any Engine) run inline serially.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) const;
+
+  // parallel_for that collects fn(i) into slot i and returns the results
+  // in index order — the deterministic-reduction primitive.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn) const
+      -> std::vector<decltype(fn(std::size_t{}))> {
+    using T = decltype(fn(std::size_t{}));
+    std::vector<std::optional<T>> slots(n);
+    parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  struct Job;
+
+  void worker_loop();
+
+  int thread_count_ = 1;
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_cv_;
+  mutable std::deque<std::shared_ptr<Job>> jobs_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Extracts a "--threads N" / "--threads=N" flag from argv (compacting the
+// remaining arguments and decrementing argc), so every bench and example
+// exposes the same knob.  Returns `fallback` when the flag is absent and
+// exits with an error message on a malformed value.  N = 0 means
+// hardware_concurrency, matching Engine's constructor.
+int threads_flag(int& argc, char** argv, int fallback = 0);
+
+}  // namespace flexwan::engine

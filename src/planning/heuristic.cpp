@@ -72,7 +72,7 @@ Expected<ModeSet> best_mode_set(const transponder::Catalog& catalog,
   ModeSet result;
   if (demand_gbps <= 0.0) return result;
 
-  const auto feasible = catalog.feasible(distance_km);
+  const auto& feasible = catalog.feasible(distance_km);
   if (feasible.empty()) {
     return Error::make("unreachable_demand",
                        "no " + catalog.name() + " mode reaches " +
@@ -135,6 +135,11 @@ HeuristicPlanner::HeuristicPlanner(const transponder::Catalog& catalog,
     : catalog_(&catalog), config_(config) {}
 
 Expected<Plan> HeuristicPlanner::plan(const topology::Network& net) const {
+  return plan(net, engine::Engine::serial());
+}
+
+Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
+                                      const engine::Engine& engine) const {
   Plan result(catalog_->name(), net.optical.fiber_count(),
               config_.band_pixels);
   for (const auto& link : net.ip.links()) {
@@ -142,53 +147,67 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net) const {
   }
 
   // Stage 1: candidate paths and per-path optimal mode sets for every link.
+  // Each link's KSP + mode-set DP reads only the (const) topology and
+  // catalog, so links are computed in parallel; parallel_map returns them
+  // in input order, which keeps stage 2's stable difficulty sort — and
+  // therefore the whole plan — byte-identical at every thread count.
+  const auto links = net.ip.links();
+  auto built = engine.parallel_map(
+      links.size(), [&](std::size_t i) -> Expected<LinkWork> {
+        const auto& link = links[i];
+        LinkWork lw;
+        lw.link = link.id;
+        lw.paths = topology::k_shortest_paths(net.optical, link.src, link.dst,
+                                              config_.k_paths);
+        if (lw.paths.empty()) {
+          return Error::make("unreachable",
+                             "IP link " + link.name + " has no optical path");
+        }
+        for (const auto& p : lw.paths) {
+          lw.mode_sets.push_back(best_mode_set(
+              *catalog_, p.length_km, link.demand_gbps, config_.epsilon));
+        }
+        if (!lw.mode_sets.front()) {
+          // Even the shortest path exceeds the family's maximum reach.
+          return Error::make("unreachable_demand",
+                             "IP link " + link.name + ": " +
+                                 lw.mode_sets.front().error().message);
+        }
+        lw.path_order.resize(lw.paths.size());
+        std::iota(lw.path_order.begin(), lw.path_order.end(), 0);
+        std::stable_sort(
+            lw.path_order.begin(), lw.path_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ca = lw.mode_sets[a]
+                                    ? lw.mode_sets[a].value().cost
+                                    : std::numeric_limits<double>::infinity();
+              const double cb = lw.mode_sets[b]
+                                    ? lw.mode_sets[b].value().cost
+                                    : std::numeric_limits<double>::infinity();
+              return ca < cb;
+            });
+        const auto& best = lw.mode_sets[lw.path_order.front()].value();
+        switch (config_.ordering) {
+          case LinkOrdering::kMostConstrainedFirst:
+            lw.difficulty = static_cast<double>(best.total_pixels) *
+                            static_cast<double>(
+                                lw.paths[lw.path_order.front()].hop_count());
+            break;
+          case LinkOrdering::kLongestPathFirst:
+            lw.difficulty = lw.paths.front().length_km;
+            break;
+          case LinkOrdering::kArbitrary:
+            lw.difficulty = 0.0;  // stable sort keeps input order
+            break;
+        }
+        return lw;
+      });
+  // First error in input order, exactly as the serial loop reported it.
   std::vector<LinkWork> work;
-  for (const auto& link : net.ip.links()) {
-    LinkWork lw;
-    lw.link = link.id;
-    lw.paths = topology::k_shortest_paths(net.optical, link.src, link.dst,
-                                          config_.k_paths);
-    if (lw.paths.empty()) {
-      return Error::make("unreachable",
-                         "IP link " + link.name + " has no optical path");
-    }
-    for (const auto& p : lw.paths) {
-      lw.mode_sets.push_back(best_mode_set(*catalog_, p.length_km,
-                                           link.demand_gbps, config_.epsilon));
-    }
-    if (!lw.mode_sets.front()) {
-      // Even the shortest path exceeds the family's maximum reach.
-      return Error::make("unreachable_demand",
-                         "IP link " + link.name + ": " +
-                             lw.mode_sets.front().error().message);
-    }
-    lw.path_order.resize(lw.paths.size());
-    std::iota(lw.path_order.begin(), lw.path_order.end(), 0);
-    std::stable_sort(lw.path_order.begin(), lw.path_order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       const double ca = lw.mode_sets[a]
-                                             ? lw.mode_sets[a].value().cost
-                                             : std::numeric_limits<double>::infinity();
-                       const double cb = lw.mode_sets[b]
-                                             ? lw.mode_sets[b].value().cost
-                                             : std::numeric_limits<double>::infinity();
-                       return ca < cb;
-                     });
-    const auto& best = lw.mode_sets[lw.path_order.front()].value();
-    switch (config_.ordering) {
-      case LinkOrdering::kMostConstrainedFirst:
-        lw.difficulty = static_cast<double>(best.total_pixels) *
-                        static_cast<double>(
-                            lw.paths[lw.path_order.front()].hop_count());
-        break;
-      case LinkOrdering::kLongestPathFirst:
-        lw.difficulty = lw.paths.front().length_km;
-        break;
-      case LinkOrdering::kArbitrary:
-        lw.difficulty = 0.0;  // stable sort keeps input order
-        break;
-    }
-    work.push_back(std::move(lw));
+  work.reserve(built.size());
+  for (auto& b : built) {
+    if (!b) return b.error();
+    work.push_back(std::move(b.value()));
   }
 
   // Stage 2: spectrum assignment in configured difficulty order.
@@ -199,9 +218,7 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net) const {
 
   for (const auto& lw : work) {
     // Record candidate paths on the link plan (path_index refers here).
-    for (auto& lp : result.links()) {
-      if (lp.link == lw.link) lp.paths = lw.paths;
-    }
+    result.find_link(lw.link)->paths = lw.paths;
     const double demand = net.ip.link(lw.link).demand_gbps;
 
     bool done = false;

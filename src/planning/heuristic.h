@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "engine/engine.h"
 #include "planning/plan.h"
 #include "topology/builders.h"
 #include "topology/ksp.h"
@@ -70,6 +71,13 @@ class HeuristicPlanner {
   // Fig. 12 capacity-scale sweep detects) and "unreachable_demand" when a
   // link's shortest path exceeds the family's maximum reach.
   Expected<Plan> plan(const topology::Network& net) const;
+
+  // Same plan, with stage 1 (per-link KSP + mode-set DP over read-only
+  // inputs) fanned out on `engine`.  Stage-1 results are reduced in link
+  // input order and stage 2 is unchanged, so the output is byte-identical
+  // for every thread count (see engine/engine.h's determinism contract).
+  Expected<Plan> plan(const topology::Network& net,
+                      const engine::Engine& engine) const;
 
   const transponder::Catalog& catalog() const { return *catalog_; }
   const PlannerConfig& config() const { return config_; }

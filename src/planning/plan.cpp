@@ -19,15 +19,19 @@ Plan::Plan(std::string scheme, int fiber_count, int band_pixels)
 }
 
 LinkPlan& Plan::add_link_plan(topology::LinkId link) {
+  link_index_.emplace(link, links_.size());
   links_.push_back(LinkPlan{link, {}, {}});
   return links_.back();
 }
 
 const LinkPlan* Plan::find_link(topology::LinkId link) const {
-  for (const auto& lp : links_) {
-    if (lp.link == link) return &lp;
-  }
-  return nullptr;
+  const auto it = link_index_.find(link);
+  return it == link_index_.end() ? nullptr : &links_[it->second];
+}
+
+LinkPlan* Plan::find_link(topology::LinkId link) {
+  const auto it = link_index_.find(link);
+  return it == link_index_.end() ? nullptr : &links_[it->second];
 }
 
 Expected<bool> Plan::place_wavelength(const topology::Path& path,
@@ -44,11 +48,9 @@ Expected<bool> Plan::place_wavelength(const topology::Path& path,
     auto r = fibers_[static_cast<std::size_t>(f)].reserve(wl.range);
     (void)r;  // cannot fail: probed above
   }
-  for (auto& lp : links_) {
-    if (lp.link == wl.link) {
-      lp.wavelengths.push_back(std::move(wl));
-      return true;
-    }
+  if (LinkPlan* lp = find_link(wl.link)) {
+    lp->wavelengths.push_back(std::move(wl));
+    return true;
   }
   add_link_plan(wl.link).wavelengths.push_back(std::move(wl));
   return true;
@@ -56,20 +58,21 @@ Expected<bool> Plan::place_wavelength(const topology::Path& path,
 
 Expected<bool> Plan::remove_wavelength(const topology::Path& path,
                                        const Wavelength& wl) {
-  for (auto& lp : links_) {
-    if (lp.link != wl.link) continue;
+  if (LinkPlan* lp = find_link(wl.link)) {
     const auto it = std::find_if(
-        lp.wavelengths.begin(), lp.wavelengths.end(), [&](const Wavelength& w) {
+        lp->wavelengths.begin(), lp->wavelengths.end(),
+        [&](const Wavelength& w) {
           return w.path_index == wl.path_index && w.range == wl.range &&
                  w.mode.data_rate_gbps == wl.mode.data_rate_gbps;
         });
-    if (it == lp.wavelengths.end()) break;
-    for (topology::FiberId f : path.fibers) {
-      auto r = fibers_[static_cast<std::size_t>(f)].release(wl.range);
-      if (!r) return r;
+    if (it != lp->wavelengths.end()) {
+      for (topology::FiberId f : path.fibers) {
+        auto r = fibers_[static_cast<std::size_t>(f)].release(wl.range);
+        if (!r) return r;
+      }
+      lp->wavelengths.erase(it);
+      return true;
     }
-    lp.wavelengths.erase(it);
-    return true;
   }
   return Error::make("not_found", "wavelength not present in plan");
 }

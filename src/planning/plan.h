@@ -10,6 +10,7 @@
 #include <map>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "spectrum/occupancy.h"
@@ -47,7 +48,9 @@ class Plan {
   LinkPlan& add_link_plan(topology::LinkId link);
   std::span<const LinkPlan> links() const { return links_; }
   std::span<LinkPlan> links() { return links_; }
+  // O(1) per-link lookup via a LinkId index (links_ is append-only).
   const LinkPlan* find_link(topology::LinkId link) const;
+  LinkPlan* find_link(topology::LinkId link);
 
   // Reserves `range` on every fiber of `path` and appends the wavelength to
   // its link plan.  Fails atomically on any conflict.
@@ -87,6 +90,9 @@ class Plan {
   std::string scheme_;
   int band_pixels_ = 0;
   std::vector<LinkPlan> links_;
+  // LinkId -> index into links_; lookup only (never iterated), so the
+  // unordered iteration order cannot leak into any output.
+  std::unordered_map<topology::LinkId, std::size_t> link_index_;
   std::vector<spectrum::Occupancy> fibers_;
 };
 

@@ -6,10 +6,26 @@ ScenarioSetMetrics evaluate_scenarios(
     const topology::Network& net, const planning::Plan& plan,
     const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
     const std::map<topology::LinkId, int>& extra_spares) {
+  return evaluate_scenarios(net, plan, restorer, scenarios,
+                            engine::Engine::serial(), extra_spares);
+}
+
+ScenarioSetMetrics evaluate_scenarios(
+    const topology::Network& net, const planning::Plan& plan,
+    const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
+    const engine::Engine& engine,
+    const std::map<topology::LinkId, int>& extra_spares) {
+  // Fan the independent restore() calls out; every scenario reads the same
+  // const plan/network and builds its own occupancy copy.
+  const auto outcomes =
+      engine.parallel_map(scenarios.size(), [&](std::size_t i) {
+        return restorer.restore(net, plan, scenarios[i], extra_spares);
+      });
+
+  // Index-ordered reduction: identical to the historical serial loop.
   ScenarioSetMetrics m;
   double sum = 0.0;
-  for (const auto& scenario : scenarios) {
-    const Outcome outcome = restorer.restore(net, plan, scenario, extra_spares);
+  for (const Outcome& outcome : outcomes) {
     const double cap = outcome.capability();
     m.capabilities.push_back(cap);
     sum += cap;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "engine/engine.h"
 #include "restoration/restorer.h"
 
 namespace flexwan::restoration {
@@ -23,6 +24,16 @@ struct ScenarioSetMetrics {
 ScenarioSetMetrics evaluate_scenarios(
     const topology::Network& net, const planning::Plan& plan,
     const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
+    const std::map<topology::LinkId, int>& extra_spares = {});
+
+// Same sweep with the scenarios restored concurrently on `engine`.  Each
+// restore() works on a private copy of the plan's occupancy state against
+// const inputs; outcomes are aggregated in scenario order, so the metrics
+// (capabilities, gaps, means) are byte-identical at every thread count.
+ScenarioSetMetrics evaluate_scenarios(
+    const topology::Network& net, const planning::Plan& plan,
+    const Restorer& restorer, const std::vector<FailureScenario>& scenarios,
+    const engine::Engine& engine,
     const std::map<topology::LinkId, int>& extra_spares = {});
 
 }  // namespace flexwan::restoration

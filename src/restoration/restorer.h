@@ -66,6 +66,12 @@ class Restorer {
 
   // Computes the restoration plan for `scenario` against a configured plan.
   // `extra_spares` adds FlexWAN+ transponders per link (empty = none).
+  //
+  // Thread-safety: restore() mutates only a private copy of the plan's
+  // occupancy state and reads `net`, `plan`, the catalog, and
+  // `extra_spares` as const, so concurrent calls with distinct scenarios
+  // are safe — metrics.h's evaluate_scenarios(engine) relies on this to
+  // sweep a scenario set in parallel.
   Outcome restore(const topology::Network& net, const planning::Plan& plan,
                   const FailureScenario& scenario,
                   const std::map<topology::LinkId, int>& extra_spares = {}) const;

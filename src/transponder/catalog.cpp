@@ -28,14 +28,30 @@ Mode derive_mode(double rate_gbps, double spacing_ghz, double reach_km) {
 }
 
 Catalog::Catalog(std::string name, std::vector<Mode> modes)
-    : name_(std::move(name)), modes_(std::move(modes)) {}
-
-std::vector<Mode> Catalog::feasible(double distance_km) const {
-  std::vector<Mode> out;
-  for (const Mode& m : modes_) {
-    if (m.reaches(distance_km)) out.push_back(m);
+    : name_(std::move(name)), modes_(std::move(modes)) {
+  for (const Mode& m : modes_) reach_steps_.push_back(m.reach_km);
+  std::sort(reach_steps_.begin(), reach_steps_.end());
+  reach_steps_.erase(std::unique(reach_steps_.begin(), reach_steps_.end()),
+                     reach_steps_.end());
+  feasible_by_bucket_.reserve(reach_steps_.size());
+  for (double step : reach_steps_) {
+    std::vector<Mode> bucket;
+    for (const Mode& m : modes_) {
+      if (m.reaches(step)) bucket.push_back(m);
+    }
+    feasible_by_bucket_.push_back(std::move(bucket));
   }
-  return out;
+}
+
+const std::vector<Mode>& Catalog::feasible(double distance_km) const {
+  // Any distance in (reach_steps_[b-1], reach_steps_[b]] admits exactly the
+  // modes that reach reach_steps_[b]: feasibility can only flip at a reach
+  // value present in the catalog.
+  const auto it = std::lower_bound(reach_steps_.begin(), reach_steps_.end(),
+                                   distance_km);
+  if (it == reach_steps_.end()) return no_modes_;
+  return feasible_by_bucket_[static_cast<std::size_t>(
+      it - reach_steps_.begin())];
 }
 
 std::optional<Mode> Catalog::max_rate_mode(double distance_km) const {

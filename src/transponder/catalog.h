@@ -26,8 +26,13 @@ class Catalog {
   std::size_t size() const { return modes_.size(); }
 
   // Modes whose optical reach covers `distance_km` (Algorithm 1's reach
-  // constraint (2)), in catalog order.
-  std::vector<Mode> feasible(double distance_km) const;
+  // constraint (2)), in catalog order.  Served from a distance-bucketed
+  // memo precomputed at construction (feasibility only changes at the
+  // catalog's distinct reach values), so the planner's split-path
+  // re-derivation and the restorer's inner loop stop re-filtering the mode
+  // table per call.  The memo is immutable after construction, making
+  // lookups safe from concurrent threads.
+  const std::vector<Mode>& feasible(double distance_km) const;
 
   // Highest data rate achievable at `distance_km`; among equal-rate modes the
   // one with the narrowest spacing.  Empty when the distance exceeds every
@@ -46,6 +51,12 @@ class Catalog {
  private:
   std::string name_;
   std::vector<Mode> modes_;
+  // Distance-bucketed feasibility memo: reach_steps_ holds the sorted
+  // distinct reaches; feasible_by_bucket_[b] caches the modes (catalog
+  // order) feasible for any distance in (reach_steps_[b-1], reach_steps_[b]].
+  std::vector<double> reach_steps_;
+  std::vector<std::vector<Mode>> feasible_by_bucket_;
+  std::vector<Mode> no_modes_;  // beyond max reach / empty catalog
 };
 
 // Derives the physical knobs (modulation, FEC, baud) for a capability row:

@@ -1,0 +1,107 @@
+// Determinism under parallelism: the engine's index-ordered reduction must
+// make planner and restoration outputs byte-identical at every thread
+// count (the repo-wide reproducibility guarantee, see engine/engine.h).
+#include <gtest/gtest.h>
+
+#include "core/flexwan.h"
+#include "engine/engine.h"
+#include "planning/heuristic.h"
+#include "planning/plan_io.h"
+#include "restoration/metrics.h"
+#include "restoration/scenario.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan {
+namespace {
+
+TEST(Determinism, PlannerByteIdenticalAcrossThreadCounts) {
+  const auto net = topology::make_tbackbone();
+  for (const auto* catalog :
+       {&transponder::svt_flexwan(), &transponder::bvt_radwan()}) {
+    planning::HeuristicPlanner planner(*catalog, {});
+    const auto serial = planner.plan(net);
+    ASSERT_TRUE(serial) << catalog->name();
+    const std::string reference = planning::save_plan(*serial);
+    for (int threads : {2, 8}) {
+      const engine::Engine engine(threads);
+      const auto parallel = planner.plan(net, engine);
+      ASSERT_TRUE(parallel) << catalog->name() << " threads=" << threads;
+      EXPECT_EQ(planning::save_plan(*parallel), reference)
+          << catalog->name() << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, RestorationSweepIdenticalAcrossThreadCounts) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const auto scenarios = restoration::standard_scenario_set(net.optical, 6, 5);
+  restoration::Restorer restorer(transponder::svt_flexwan());
+
+  const auto reference =
+      restoration::evaluate_scenarios(net, *plan, restorer, scenarios);
+  for (int threads : {2, 8}) {
+    const engine::Engine engine(threads);
+    const auto m = restoration::evaluate_scenarios(net, *plan, restorer,
+                                                   scenarios, engine);
+    // Exact equality: same restore() computations, same reduction order.
+    EXPECT_EQ(m.capabilities, reference.capabilities) << "threads=" << threads;
+    EXPECT_EQ(m.mean_capability, reference.mean_capability);
+    EXPECT_EQ(m.path_gaps_km, reference.path_gaps_km);
+    EXPECT_EQ(m.path_stretch, reference.path_stretch);
+    EXPECT_EQ(m.scenarios_with_loss, reference.scenarios_with_loss);
+  }
+}
+
+TEST(Determinism, SessionThreadsKnobDoesNotChangeOutputs) {
+  const auto net = topology::make_cernet();
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+
+  core::SessionOptions serial_options;
+  serial_options.threads = 1;
+  core::Session serial(net, core::Scheme::kFlexWan, serial_options);
+  ASSERT_TRUE(serial.plan());
+  const auto serial_drill = serial.restoration_drill(scenarios);
+  ASSERT_TRUE(serial_drill);
+
+  core::SessionOptions parallel_options;
+  parallel_options.threads = 8;
+  core::Session parallel(net, core::Scheme::kFlexWan, parallel_options);
+  EXPECT_EQ(parallel.engine().thread_count(), 8);
+  ASSERT_TRUE(parallel.plan());
+  const auto parallel_drill = parallel.restoration_drill(scenarios);
+  ASSERT_TRUE(parallel_drill);
+
+  EXPECT_EQ(planning::save_plan(*serial.current_plan()),
+            planning::save_plan(*parallel.current_plan()));
+  EXPECT_EQ(parallel_drill->capabilities, serial_drill->capabilities);
+  EXPECT_EQ(parallel_drill->mean_capability, serial_drill->mean_capability);
+}
+
+TEST(Determinism, RestorationWithExtraSparesIdenticalAcrossThreadCounts) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
+  planning::HeuristicPlanner rad(transponder::bvt_radwan(), {});
+  const auto pf = flex.plan(net);
+  const auto pr = rad.plan(net);
+  ASSERT_TRUE(pf);
+  ASSERT_TRUE(pr);
+  const auto extras = restoration::flexwan_plus_spares(*pf, *pr);
+  const auto scenarios = restoration::single_fiber_cuts(net.optical);
+  restoration::Restorer restorer(transponder::svt_flexwan());
+
+  const auto reference = restoration::evaluate_scenarios(net, *pf, restorer,
+                                                         scenarios, extras);
+  const engine::Engine engine(8);
+  const auto m = restoration::evaluate_scenarios(net, *pf, restorer,
+                                                 scenarios, engine, extras);
+  EXPECT_EQ(m.capabilities, reference.capabilities);
+  EXPECT_EQ(m.mean_capability, reference.mean_capability);
+  EXPECT_EQ(m.path_gaps_km, reference.path_gaps_km);
+}
+
+}  // namespace
+}  // namespace flexwan

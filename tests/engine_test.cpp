@@ -1,0 +1,164 @@
+// Engine contract tests: index coverage, index-ordered collection, empty
+// ranges, exception propagation, nested-call fallback, and the --threads
+// flag parser.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace flexwan::engine {
+namespace {
+
+TEST(Engine, ThreadCountDefaultsAndClamps) {
+  const Engine hw(0);
+  EXPECT_GE(hw.thread_count(), 1);
+  const Engine one(1);
+  EXPECT_EQ(one.thread_count(), 1);
+  const Engine negative(-3);
+  EXPECT_GE(negative.thread_count(), 1);
+  EXPECT_EQ(Engine::serial().thread_count(), 1);
+}
+
+TEST(Engine, ParallelForEmptyRangeIsNoop) {
+  const Engine engine(4);
+  std::atomic<int> calls{0};
+  engine.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(engine.parallel_map(0, [](std::size_t i) { return i; }).empty());
+}
+
+TEST(Engine, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    const Engine engine(threads);
+    constexpr std::size_t kN = 997;
+    std::vector<std::atomic<int>> visits(kN);
+    engine.parallel_for(kN, [&](std::size_t i) { ++visits[i]; });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(Engine, ParallelMapCollectsInIndexOrder) {
+  for (int threads : {1, 3, 8}) {
+    const Engine engine(threads);
+    const auto out =
+        engine.parallel_map(500, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 500u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(Engine, ParallelMapWorksWithNonDefaultConstructibleTypes) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  const Engine engine(4);
+  const auto out = engine.parallel_map(
+      64, [](std::size_t i) { return NoDefault(static_cast<int>(i) + 1); });
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out.front().value, 1);
+  EXPECT_EQ(out.back().value, 64);
+}
+
+TEST(Engine, ExceptionPropagatesToCaller) {
+  for (int threads : {1, 8}) {
+    const Engine engine(threads);
+    EXPECT_THROW(engine.parallel_for(100,
+                                     [](std::size_t i) {
+                                       if (i == 42) {
+                                         throw std::runtime_error("boom");
+                                       }
+                                     }),
+                 std::runtime_error);
+  }
+}
+
+TEST(Engine, LowestIndexExceptionWinsWhenEveryBodyThrows) {
+  // Index 0 is always claimed (the cursor starts there), so when every body
+  // throws, the rethrown exception must be index 0's.
+  for (int threads : {1, 8}) {
+    const Engine engine(threads);
+    try {
+      engine.parallel_for(64, [](std::size_t i) {
+        throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0");
+    }
+  }
+}
+
+TEST(Engine, ExceptionCancelsUnclaimedWork) {
+  const Engine engine(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(engine.parallel_for(100000,
+                                   [&](std::size_t) {
+                                     ++ran;
+                                     throw std::runtime_error("stop");
+                                   }),
+               std::runtime_error);
+  // The first throw cancels the cursor; only the bodies already in flight
+  // (at most one per participant) can have run.
+  EXPECT_LE(ran.load(), engine.thread_count() + 1);
+}
+
+TEST(Engine, NestedParallelForRunsInline) {
+  const Engine engine(4);
+  std::atomic<int> total{0};
+  engine.parallel_for(8, [&](std::size_t) {
+    engine.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Engine, ReusableAcrossManyInvocations) {
+  const Engine engine(4);
+  std::size_t sum = 0;
+  for (int round = 0; round < 50; ++round) {
+    const auto out =
+        engine.parallel_map(32, [](std::size_t i) { return i + 1; });
+    sum += std::accumulate(out.begin(), out.end(), std::size_t{0});
+  }
+  EXPECT_EQ(sum, 50u * (32u * 33u / 2u));
+}
+
+TEST(ThreadsFlag, ParsesAndRemovesFlag) {
+  char prog[] = "bench";
+  char file[] = "net.txt";
+  char flag[] = "--threads";
+  char value[] = "6";
+  char* argv[] = {prog, file, flag, value, nullptr};
+  int argc = 4;
+  EXPECT_EQ(threads_flag(argc, argv), 6);
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "net.txt");
+}
+
+TEST(ThreadsFlag, ParsesEqualsFormAndFallback) {
+  char prog[] = "bench";
+  char flag[] = "--threads=3";
+  char* argv[] = {prog, flag, nullptr};
+  int argc = 2;
+  EXPECT_EQ(threads_flag(argc, argv), 3);
+  EXPECT_EQ(argc, 1);
+
+  char* argv2[] = {prog, nullptr};
+  int argc2 = 1;
+  EXPECT_EQ(threads_flag(argc2, argv2, 7), 7);
+  EXPECT_EQ(argc2, 1);
+}
+
+}  // namespace
+}  // namespace flexwan::engine
