@@ -9,9 +9,12 @@
 // hardware thread; 1 = serial).  The scale x scheme grid and the
 // max-supported-scale searches run as independent engine tasks; results are
 // collected in index order, so output is byte-identical at every N.
+// --metrics / --trace <file.json> write observability reports (obs/report.h)
+// without touching stdout.
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "topology/builders.h"
@@ -32,7 +35,8 @@ const transponder::Catalog* kCatalogs[] = {
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
-  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  obs::announce_threads(engine.thread_count());
   const auto net = topology::make_tbackbone();
   std::printf("=== Figure 12: hardware cost vs bandwidth capacity scale ===\n");
   std::printf("topology %s: %d sites, %d fibers, %d IP links, %.0f Gbps\n\n",

@@ -5,9 +5,12 @@
 //
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
+// --metrics / --trace <file.json> write observability reports (obs/report.h)
+// without touching stdout.
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -20,11 +23,12 @@ using namespace flexwan;
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
   const auto net = topology::make_tbackbone();
   const auto scenarios =
       restoration::standard_scenario_set(net.optical, 12, 5);
   // Thread count goes to stderr so stdout stays byte-identical at every N.
-  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
+  obs::announce_threads(engine.thread_count());
   std::printf("scenario set: %d single-fiber cuts + %d probabilistic = %zu\n\n",
               net.optical.fiber_count(),
               static_cast<int>(scenarios.size()) - net.optical.fiber_count(),

@@ -5,9 +5,12 @@
 //
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
+// --metrics / --trace <file.json> write observability reports (obs/report.h)
+// without touching stdout.
 #include <cstdio>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -20,7 +23,8 @@ using namespace flexwan;
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
-  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  obs::announce_threads(engine.thread_count());
   const auto base = topology::make_tbackbone();
   const auto scenarios =
       restoration::standard_scenario_set(base.optical, 12, 5);

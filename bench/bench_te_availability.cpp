@@ -7,10 +7,13 @@
 // §8 restoration plan; the table reports mean served traffic.
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
+// --metrics / --trace <file.json> write observability reports (obs/report.h)
+// without touching stdout.
 #include <cstdio>
 #include <utility>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "restoration/restorer.h"
 #include "te/routing.h"
@@ -23,7 +26,8 @@ using namespace flexwan;
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
-  std::fprintf(stderr, "engine: %d thread(s)\n", engine.thread_count());
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  obs::announce_threads(engine.thread_count());
   const auto base = topology::make_tbackbone();
   const topology::Network net{base.name, base.optical, base.ip.scaled(2.0)};
   const auto scenarios = restoration::single_fiber_cuts(net.optical);

@@ -10,6 +10,11 @@
 // hardware thread; 1 recovers serial execution).  The plan and the
 // restoration drill are byte-identical at every N.
 //
+// --metrics <file.json> writes a structured metrics report (counters,
+// gauges, latency histograms) on exit; --trace <file.json> writes a Chrome
+// trace (load it at https://ui.perfetto.dev or chrome://tracing).  Both go
+// to files, so stdout stays byte-identical with or without them.
+//
 // Reads a network description (see topology/io.h for the format), plans it
 // with the chosen transponder generation, and reports the wavelengths, the
 // cost metrics, the restoration drill over all single-fiber cuts, and a
@@ -21,6 +26,7 @@
 #include <sstream>
 
 #include "engine/engine.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/metrics.h"
@@ -90,10 +96,11 @@ const transponder::Catalog& pick_catalog(const char* scheme) {
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <network-file> [flexwan|radwan|100g] "
-                 "[--threads N]\n"
+                 "[--threads N] [--metrics file.json] [--trace file.json]\n"
                  "       %s --sample\n",
                  argv[0], argv[0]);
     return 2;

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planning/plan.h"
 #include "spectrum/occupancy.h"
 
@@ -35,6 +37,8 @@ Expected<EvolutionResult> evolve_channel(Fleet& fleet,
                                          const topology::Network& net,
                                          std::size_t index,
                                          const transponder::Mode& new_mode) {
+  OBS_SPAN("controller.evolve_channel");
+  OBS_COUNTER_ADD("controller.evolve.calls", 1);
   if (index >= fleet.deployed().size()) {
     return Error::make("bad_index", "no deployed wavelength " +
                                         std::to_string(index));
@@ -75,6 +79,8 @@ Expected<EvolutionResult> evolve_channel(Fleet& fleet,
   }
   dw.wavelength.mode = new_mode;
   dw.wavelength.range = *fit;
+  OBS_COUNTER_ADD("controller.evolve.reconfigured_devices",
+                  result.reconfigured_devices);
   return result;
 }
 
@@ -145,10 +151,12 @@ ControllerCluster::ControllerCluster(const topology::Network& net,
 
 Expected<ReplicatedDeployment> ControllerCluster::deploy(
     Fleet& fleet, const std::vector<int>& fail_after_rpcs) const {
+  OBS_SPAN("controller.deploy");
   ReplicatedDeployment result;
   CentralizedController controller(*net_);
   for (int replica = 0; replica < replicas_; ++replica) {
     ++result.attempts;
+    OBS_COUNTER_ADD("controller.deploy.attempts", 1);
     const int budget =
         static_cast<std::size_t>(replica) < fail_after_rpcs.size()
             ? fail_after_rpcs[static_cast<std::size_t>(replica)]
@@ -157,6 +165,7 @@ Expected<ReplicatedDeployment> ControllerCluster::deploy(
       const auto stats = controller.deploy(fleet);
       if (!stats) return stats.error();
       result.total_rpcs += stats->config_rpcs;
+      OBS_COUNTER_ADD("controller.deploy.rpcs", stats->config_rpcs);
       result.completed = true;
       return result;
     }
@@ -184,7 +193,11 @@ Expected<ReplicatedDeployment> ControllerCluster::deploy(
       }
     }
     result.total_rpcs += issued;
+    OBS_COUNTER_ADD("controller.deploy.rpcs", issued);
     ++result.failovers;
+    // Failovers are the control plane's retries: a standby replaying the
+    // deployment a dead leader left half-finished.
+    OBS_COUNTER_ADD("controller.deploy.failovers", 1);
   }
   return Error::make("cluster_exhausted",
                      "every controller replica failed mid-deployment");

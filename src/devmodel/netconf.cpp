@@ -1,5 +1,8 @@
 #include "devmodel/netconf.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::devmodel {
 
 namespace {
@@ -28,11 +31,19 @@ Expected<bool> NetconfService::register_device(hardware::WssDevice* device) {
 
 Expected<bool> NetconfService::edit_config(const ConfigDocument& doc) {
   ++rpc_count_;
+  OBS_SPAN("controller.netconf.edit_config");
+  OBS_COUNTER_ADD("controller.netconf.edit_config", 1);
   const auto it = devices_.find(doc.target_ip());
   if (it == devices_.end()) {
+    OBS_COUNTER_ADD("controller.netconf.errors", 1);
     return Error::make("unknown_device", doc.target_ip() + " not registered");
   }
-  return std::visit(
+  // Per-vendor latency: the adapter translation is the vendor-specific part
+  // of the RPC, so the histogram is keyed by the device's vendor string
+  // (dynamic name — resolved through the registry, not a cached macro).
+  const bool metrics = obs::metrics_enabled();
+  const double start_us = metrics ? obs::now_us() : 0.0;
+  auto result = std::visit(
       [&](auto* device) -> Expected<bool> {
         const VendorAdapter& adapter = adapter_for(device->info().vendor);
         using D = std::remove_pointer_t<decltype(device)>;
@@ -50,6 +61,16 @@ Expected<bool> NetconfService::edit_config(const ConfigDocument& doc) {
         }
       },
       it->second);
+  if (metrics) {
+    const std::string vendor = std::visit(
+        [](auto* device) { return device->info().vendor; }, it->second);
+    obs::Registry::instance()
+        .histogram("controller.netconf.edit_config.us." + vendor,
+                   obs::default_latency_bounds_us())
+        ->observe(obs::now_us() - start_us);
+  }
+  if (!result) OBS_COUNTER_ADD("controller.netconf.errors", 1);
+  return result;
 }
 
 Expected<double> NetconfService::get_telemetry(const std::string& ip,

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flexwan::engine {
 
@@ -33,6 +37,7 @@ struct Engine::Job {
   int active = 0;  // participants currently draining
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
+  double enqueue_us = -1.0;  // set when metrics are on; -1 = not recorded
 
   void enter() {
     std::lock_guard<std::mutex> lock(mu);
@@ -50,11 +55,25 @@ struct Engine::Job {
   void drain() {
     const bool was_nested = tls_in_parallel_body;
     tls_in_parallel_body = true;
+    // One clock read per participant, not per index: the queue-wait sample
+    // and the busy-time window bracket the whole drain.
+    const bool metrics = obs::metrics_enabled();
+    double start_us = 0.0;
+    if (metrics) {
+      start_us = obs::now_us();
+      if (enqueue_us >= 0.0) {
+        OBS_HISTOGRAM_OBSERVE("engine.job.queue_wait.us",
+                              start_us - enqueue_us);
+      }
+    }
+    OBS_SPAN("engine.drain");
+    std::size_t executed = 0;
     while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
       try {
         fn(i);
+        ++executed;
       } catch (...) {
         cancelled.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu);
@@ -63,6 +82,12 @@ struct Engine::Job {
           error = std::current_exception();
         }
       }
+    }
+    if (metrics) {
+      OBS_COUNTER_ADD("engine.tasks_executed", executed);
+      OBS_COUNTER_ADD(
+          "engine.worker.busy_us",
+          static_cast<std::uint64_t>(obs::now_us() - start_us));
     }
     tls_in_parallel_body = was_nested;
   }
@@ -78,6 +103,7 @@ Engine::Engine(int threads) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
   }
   thread_count_ = std::max(1, threads);
+  OBS_GAUGE_SET("engine.threads", thread_count_);
   workers_.reserve(static_cast<std::size_t>(thread_count_ - 1));
   for (int i = 0; i < thread_count_ - 1; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -120,16 +146,20 @@ void Engine::worker_loop() {
 void Engine::parallel_for(std::size_t n,
                           const std::function<void(std::size_t)>& fn) const {
   if (n == 0) return;
+  OBS_SPAN("engine.parallel_for");
+  OBS_COUNTER_ADD("engine.parallel_for.calls", 1);
   if (thread_count_ <= 1 || n == 1 || tls_in_parallel_body) {
     // Serial path: identical to the historical loop, including eager
     // propagation of the first exception.
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    OBS_COUNTER_ADD("engine.tasks_executed", n);
     return;
   }
 
   auto job = std::make_shared<Job>();
   job->fn = fn;
   job->n = n;
+  if (obs::metrics_enabled()) job->enqueue_us = obs::now_us();
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
@@ -152,6 +182,27 @@ void Engine::parallel_for(std::size_t n,
   if (job->error) std::rethrow_exception(job->error);
 }
 
+Expected<int> parse_thread_count(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return Error::make("bad_threads", "--threads requires a value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    return Error::make("bad_threads", "invalid --threads value '" +
+                                          std::string(value) +
+                                          "' (not an integer)");
+  }
+  if (errno == ERANGE || parsed < 0 || parsed > kMaxThreadsFlag) {
+    return Error::make("bad_threads",
+                       "--threads value '" + std::string(value) +
+                           "' out of range [0, " +
+                           std::to_string(kMaxThreadsFlag) + "]");
+  }
+  return static_cast<int>(parsed);
+}
+
 int threads_flag(int& argc, char** argv, int fallback) {
   int threads = fallback;
   int out = 1;
@@ -170,13 +221,12 @@ int threads_flag(int& argc, char** argv, int fallback) {
       argv[out++] = argv[i];
       continue;
     }
-    char* end = nullptr;
-    const long parsed = std::strtol(value, &end, 10);
-    if (end == value || *end != '\0' || parsed < 0) {
-      std::fprintf(stderr, "invalid --threads value '%s'\n", value);
+    const auto parsed = parse_thread_count(value);
+    if (!parsed) {
+      std::fprintf(stderr, "%s\n", parsed.error().message.c_str());
       std::exit(2);
     }
-    threads = static_cast<int>(parsed);
+    threads = parsed.value();
   }
   argc = out;
   return threads;

@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/expected.h"
+
 namespace flexwan::engine {
 
 class Engine {
@@ -83,11 +85,22 @@ class Engine {
   std::vector<std::thread> workers_;
 };
 
+// Upper bound accepted by the --threads flag; far above any real machine,
+// it exists so an overflowing strtol result can never truncate into a
+// silently-wrong small thread count.
+inline constexpr int kMaxThreadsFlag = 4096;
+
+// Parses one --threads value: a base-10 integer in [0, kMaxThreadsFlag].
+// Rejects empty, non-numeric, trailing-garbage, negative, and out-of-range
+// input (including strtol overflow, which previously truncated silently).
+Expected<int> parse_thread_count(const char* value);
+
 // Extracts a "--threads N" / "--threads=N" flag from argv (compacting the
 // remaining arguments and decrementing argc), so every bench and example
 // exposes the same knob.  Returns `fallback` when the flag is absent and
-// exits with an error message on a malformed value.  N = 0 means
-// hardware_concurrency, matching Engine's constructor.
+// exits with an error message on a malformed value (see
+// parse_thread_count).  N = 0 means hardware_concurrency, matching
+// Engine's constructor.
 int threads_flag(int& argc, char** argv, int fallback = 0);
 
 }  // namespace flexwan::engine

@@ -5,6 +5,9 @@
 #include <limits>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::milp {
 
 namespace {
@@ -43,6 +46,8 @@ double MipSolution::gap() const {
 }
 
 MipSolution solve_mip(const Model& model, const MipOptions& options) {
+  OBS_SPAN("milp.bnb.solve");
+  OBS_COUNTER_ADD("milp.bnb.calls", 1);
   MipSolution out;
   const bool maximize = model.direction() == Direction::kMaximize;
   // Normalize to minimization internally for bound comparisons.
@@ -79,6 +84,8 @@ MipSolution solve_mip(const Model& model, const MipOptions& options) {
     const LpSolution relax =
         solve_lp_relaxation(model, node.bounds, options.lp);
     ++out.nodes_explored;
+    // Registry twin of MipSolution::nodes_explored (kept for API compat).
+    OBS_COUNTER_ADD("milp.bnb.nodes", 1);
     if (relax.status == LpStatus::kUnbounded && node.bounds.empty()) {
       out.status = MipStatus::kUnbounded;
       return out;
@@ -96,6 +103,7 @@ MipSolution solve_mip(const Model& model, const MipOptions& options) {
     if (branch < 0) {
       // Integral: new incumbent.
       if (incumbent.empty() || better(relax.objective, incumbent_obj)) {
+        OBS_COUNTER_ADD("milp.bnb.incumbent_updates", 1);
         incumbent_obj = relax.objective;
         incumbent = relax.x;
         // Round integer variables exactly.

@@ -5,6 +5,9 @@
 #include <limits>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::milp {
 
 namespace {
@@ -294,9 +297,15 @@ class Tableau {
 LpSolution solve_lp_relaxation(const Model& model,
                                const std::vector<Constraint>& extra,
                                const LpOptions& options) {
+  OBS_SPAN("milp.simplex.solve");
   const StandardForm sf = build_standard_form(model, extra);
   Tableau tableau(sf, options);
-  return tableau.solve();
+  LpSolution solution = tableau.solve();
+  // Registry-backed twins of LpSolution::iterations: the struct field stays
+  // (API compatibility) but now the totals also surface in run reports.
+  OBS_COUNTER_ADD("milp.simplex.calls", 1);
+  OBS_COUNTER_ADD("milp.simplex.pivots", solution.iterations);
+  return solution;
 }
 
 }  // namespace flexwan::milp

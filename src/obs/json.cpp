@@ -1,0 +1,210 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace flexwan::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Expected<Value> parse_document() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Error fail(const std::string& what) const {
+    return Error::make("json_parse",
+                       what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Value> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return s.error();
+        return Value(Value::Storage(std::move(s.value())));
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value(Value::Storage(true));
+        }
+        return fail("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value(Value::Storage(false));
+        }
+        return fail("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value(Value::Storage(nullptr));
+        }
+        return fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Expected<Value> parse_object() {
+    ++pos_;  // '{'
+    Object out;
+    skip_ws();
+    if (consume('}')) return Value(Value::Storage(std::move(out)));
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key string");
+      }
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return value;
+      out.emplace(std::move(key.value()), std::move(value.value()));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(Value::Storage(std::move(out)));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<Value> parse_array() {
+    ++pos_;  // '['
+    Array out;
+    skip_ws();
+    if (consume(']')) return Value(Value::Storage(std::move(out)));
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return value;
+      out.push_back(std::move(value.value()));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(Value::Storage(std::move(out)));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("invalid \\u escape digit");
+            }
+            pos_ += 4;
+            // Report files only ever contain ASCII; encode BMP code points
+            // as UTF-8 so the parser is still complete.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  Expected<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    return Value(Value::Storage(v));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Value> parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace flexwan::obs::json

@@ -1,0 +1,61 @@
+// Minimal JSON reader used to validate the observability outputs.
+//
+// The obs layer *emits* JSON (metrics reports, Chrome traces); tests and
+// tools want to parse those files back to assert well-formedness and probe
+// values.  This is a strict little recursive-descent parser over the JSON
+// grammar — objects, arrays, strings (with escapes), numbers, true/false/
+// null — returning an owning Value tree.  It is not a general-purpose JSON
+// library: no comments, no trailing commas, no streaming.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace flexwan::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : storage_(nullptr) {}
+  Value(Storage storage) : storage_(std::move(storage)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_number() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_array() const { return std::holds_alternative<Array>(storage_); }
+  bool is_object() const { return std::holds_alternative<Object>(storage_); }
+
+  bool as_bool() const { return std::get<bool>(storage_); }
+  double as_number() const { return std::get<double>(storage_); }
+  const std::string& as_string() const { return std::get<std::string>(storage_); }
+  const Array& as_array() const { return std::get<Array>(storage_); }
+  const Object& as_object() const { return std::get<Object>(storage_); }
+
+  // Object member access: null pointer when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    const auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+ private:
+  Storage storage_;
+};
+
+// Parses a complete JSON document (errors on trailing garbage).
+Expected<Value> parse(std::string_view text);
+
+}  // namespace flexwan::obs::json

@@ -1,0 +1,175 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace flexwan::obs {
+
+namespace detail {
+std::atomic<unsigned> g_enabled{0};
+}  // namespace detail
+
+namespace {
+
+void set_bit(unsigned bit, bool on) {
+  if (on) {
+    detail::g_enabled.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    detail::g_enabled.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+// Compact JSON number: %.9g round-trips every value we report (counts are
+// exact, durations are microseconds) and stays a valid JSON literal.
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool on) { set_bit(kMetricsBit, on); }
+void set_trace_enabled(bool on) { set_bit(kTraceBit, on); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+void Histogram::observe(double v) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const std::vector<double>& default_latency_bounds_us() {
+  static const std::vector<double> bounds = {
+      1.0,    2.0,    5.0,    10.0,   20.0,   50.0,   100.0,  200.0,
+      500.0,  1e3,    2e3,    5e3,    1e4,    2e4,    5e4,    1e5,
+      2e5,    5e5,    1e6,    2e6,    5e6,    1e7};
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* const registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+Counter* Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name)
+        << "\": " << json_num(g->value());
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const auto counts = h->bucket_counts();
+    const auto& bounds = h->upper_bounds();
+    const bool empty = h->count() == 0;
+    out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
+        << "\"count\": " << h->count() << ", \"sum\": "
+        << json_num(empty ? 0.0 : h->sum()) << ", \"min\": "
+        << json_num(empty ? 0.0 : h->min()) << ", \"max\": "
+        << json_num(empty ? 0.0 : h->max()) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << "{\"le\": "
+          << (b < bounds.size() ? json_num(bounds[b])
+                                : std::string("\"+Inf\""))
+          << ", \"count\": " << counts[b] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace flexwan::obs

@@ -1,0 +1,200 @@
+// Structured runtime metrics (counters, gauges, histograms).
+//
+// The ROADMAP's "runs as fast as the hardware allows" goal needs a way to
+// see where time and work go, but the repo's reproducibility contract says
+// observability must never perturb results: metrics go to files or stderr,
+// never stdout, and the hot path pays a single relaxed-load branch when the
+// subsystem is off (no locks, no allocation — see enabled_bits()).
+//
+// Usage pattern (the macros below cache the registry lookup per call site):
+//
+//   OBS_COUNTER_ADD("planner.ksp.calls", 1);
+//   OBS_GAUGE_ADD("restoration.restored_gbps", outcome.restored_gbps);
+//
+// Naming convention (see DESIGN.md "Observability"): dot-separated
+// lowercase path `<subsystem>.<component>.<event>`, with a unit suffix for
+// dimensioned values (`.us`, `.gbps`).  Registered entries are never
+// removed — Registry::reset() zeroes values but keeps every handle valid,
+// so call-site caches survive test resets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace flexwan::obs {
+
+// Which subsystems are recording.  One atomic word so a disabled call site
+// is a single relaxed load + branch.
+inline constexpr unsigned kMetricsBit = 1u;
+inline constexpr unsigned kTraceBit = 2u;
+
+namespace detail {
+extern std::atomic<unsigned> g_enabled;
+
+// Lock-free add for atomic doubles (fetch_add on floating types needs
+// hardware support; the CAS loop is portable and uncontended in practice).
+inline void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+inline unsigned enabled_bits() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+inline bool metrics_enabled() { return (enabled_bits() & kMetricsBit) != 0; }
+inline bool trace_enabled() { return (enabled_bits() & kTraceBit) != 0; }
+
+void set_metrics_enabled(bool on);
+void set_trace_enabled(bool on);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// A double that can be set or accumulated (e.g. Gbps restored).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) { detail::atomic_add(value_, delta); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+// with running count/sum/min/max.  Bucket bounds are fixed at registration
+// (the first caller's bounds win), so observe() is wait-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  // bounds_.size() + 1 entries; the last is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+// Exponential 1 µs .. 10 s bounds shared by every latency histogram, so
+// cross-subsystem latency reports line up bucket for bucket.
+const std::vector<double>& default_latency_bounds_us();
+
+// Process-wide name -> metric map.  Registration takes a mutex; returned
+// pointers are stable for the life of the process (entries are never
+// erased), so call sites cache them in function-local statics.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  // `upper_bounds` applies only when `name` is first registered.
+  Histogram* histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  // Zeroes every value; handles stay valid (used by tests and benches that
+  // want per-phase reports).
+  void reset();
+
+  // Deterministic (name-sorted) JSON snapshot:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  std::string to_json() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace flexwan::obs
+
+// Call-site macros: one relaxed-load branch when metrics are off; a cached
+// registry pointer (resolved once per call site) when on.
+#define OBS_DETAIL_CONCAT2(a, b) a##b
+#define OBS_DETAIL_CONCAT(a, b) OBS_DETAIL_CONCAT2(a, b)
+
+#define OBS_COUNTER_ADD(name, n)                                          \
+  do {                                                                    \
+    if (::flexwan::obs::metrics_enabled()) {                              \
+      static ::flexwan::obs::Counter* const obs_counter_ =                \
+          ::flexwan::obs::Registry::instance().counter(name);             \
+      obs_counter_->add(static_cast<std::uint64_t>(n));                   \
+    }                                                                     \
+  } while (0)
+
+#define OBS_GAUGE_SET(name, v)                                            \
+  do {                                                                    \
+    if (::flexwan::obs::metrics_enabled()) {                              \
+      static ::flexwan::obs::Gauge* const obs_gauge_ =                    \
+          ::flexwan::obs::Registry::instance().gauge(name);               \
+      obs_gauge_->set(v);                                                 \
+    }                                                                     \
+  } while (0)
+
+#define OBS_GAUGE_ADD(name, v)                                            \
+  do {                                                                    \
+    if (::flexwan::obs::metrics_enabled()) {                              \
+      static ::flexwan::obs::Gauge* const obs_gauge_ =                    \
+          ::flexwan::obs::Registry::instance().gauge(name);               \
+      obs_gauge_->add(v);                                                 \
+    }                                                                     \
+  } while (0)
+
+#define OBS_HISTOGRAM_OBSERVE(name, v)                                    \
+  do {                                                                    \
+    if (::flexwan::obs::metrics_enabled()) {                              \
+      static ::flexwan::obs::Histogram* const obs_hist_ =                 \
+          ::flexwan::obs::Registry::instance().histogram(                 \
+              name, ::flexwan::obs::default_latency_bounds_us());         \
+      obs_hist_->observe(v);                                              \
+    }                                                                     \
+  } while (0)

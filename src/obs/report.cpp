@@ -1,0 +1,116 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace flexwan::obs {
+
+namespace {
+
+Expected<bool> write_text_file(const std::string& path,
+                               const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error::make("io_error", "cannot open " + path + " for writing");
+  }
+  out << contents;
+  out.flush();
+  if (!out) {
+    return Error::make("io_error", "short write to " + path);
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<bool> write_metrics_file(const std::string& path) {
+  return write_text_file(path, Registry::instance().to_json());
+}
+
+Expected<bool> write_trace_file(const std::string& path) {
+  return write_text_file(path, trace_json());
+}
+
+RunReport::~RunReport() {
+  const auto result = write();
+  if (!result) {
+    std::fprintf(stderr, "obs: %s\n", result.error().message.c_str());
+  }
+}
+
+RunReport::RunReport(RunReport&& other) noexcept
+    : metrics_path_(std::move(other.metrics_path_)),
+      trace_path_(std::move(other.trace_path_)) {
+  other.release();
+}
+
+RunReport& RunReport::operator=(RunReport&& other) noexcept {
+  if (this != &other) {
+    metrics_path_ = std::move(other.metrics_path_);
+    trace_path_ = std::move(other.trace_path_);
+    other.release();
+  }
+  return *this;
+}
+
+Expected<bool> RunReport::write() const {
+  Expected<bool> result = true;
+  if (!metrics_path_.empty()) {
+    auto r = write_metrics_file(metrics_path_);
+    if (!r && result) result = r;
+  }
+  if (!trace_path_.empty()) {
+    auto r = write_trace_file(trace_path_);
+    if (!r && result) result = r;
+  }
+  return result;
+}
+
+RunReport report_from_flags(int& argc, char** argv) {
+  RunReport report;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    bool is_metrics = false;
+    if (std::strcmp(arg, "--metrics") == 0 ||
+        std::strcmp(arg, "--trace") == 0) {
+      is_metrics = arg[2] == 'm';
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a file path\n", arg);
+        std::exit(2);
+      }
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
+      is_metrics = true;
+      value = arg + 10;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      value = arg + 8;
+    } else {
+      argv[out++] = argv[i];
+      continue;
+    }
+    if (*value == '\0') {
+      std::fprintf(stderr, "%s requires a non-empty file path\n",
+                   is_metrics ? "--metrics" : "--trace");
+      std::exit(2);
+    }
+    if (is_metrics) {
+      report.set_metrics_path(value);
+      set_metrics_enabled(true);
+    } else {
+      report.set_trace_path(value);
+      set_trace_enabled(true);
+    }
+  }
+  argc = out;
+  return report;
+}
+
+void announce_threads(int thread_count) {
+  std::fprintf(stderr, "engine: %d thread(s)\n", thread_count);
+}
+
+}  // namespace flexwan::obs

@@ -1,0 +1,69 @@
+// Run reports: serializing metrics and traces to files, plus the shared
+// CLI surface (--metrics / --trace flags) every bench and example exposes.
+//
+// The contract with the determinism tests: all observability output goes
+// to files or stderr.  stdout — the byte-compared bench/plan output — is
+// never touched, whether the flags are on or off.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/expected.h"
+
+namespace flexwan::obs {
+
+// Writes the current metrics registry snapshot / trace buffer to `path`.
+Expected<bool> write_metrics_file(const std::string& path);
+Expected<bool> write_trace_file(const std::string& path);
+
+// Owns the "dump observability at process exit" obligation.  Holds the
+// output paths requested on the command line and writes both files either
+// on demand (write()) or from the destructor — declare one in main() and
+// the report lands on every return path.  Write failures at destruction
+// are reported on stderr (never thrown).
+class RunReport {
+ public:
+  RunReport() = default;
+  ~RunReport();
+
+  RunReport(RunReport&& other) noexcept;
+  RunReport& operator=(RunReport&& other) noexcept;
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  void set_metrics_path(std::string path) { metrics_path_ = std::move(path); }
+  void set_trace_path(std::string path) { trace_path_ = std::move(path); }
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+  // Writes every configured file now.  First error wins; both files are
+  // still attempted.  The destructor will write again (files are small and
+  // regenerating them is idempotent) unless release() is called.
+  Expected<bool> write() const;
+
+  // Detaches the destructor obligation (after a successful manual write).
+  void release() {
+    metrics_path_.clear();
+    trace_path_.clear();
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
+// Extracts "--metrics <file>" / "--metrics=<file>" and "--trace <file>" /
+// "--trace=<file>" from argv (compacting the remaining arguments and
+// decrementing argc, exactly like engine::threads_flag), enables the
+// corresponding obs subsystems, and returns a RunReport that writes the
+// files at scope exit.  Exits with an error message on a missing value.
+RunReport report_from_flags(int& argc, char** argv);
+
+// The canonical "engine: N thread(s)" stderr line shared by every parallel
+// bench, so the format cannot drift between tools.  stderr keeps stdout
+// byte-identical across thread counts.
+void announce_threads(int thread_count);
+
+}  // namespace flexwan::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace flexwan::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;  // string literal owned by the call site
+  double ts_us;
+  double dur_us;
+};
+
+// Events land in per-thread buffers so span end is an uncontended lock on
+// the owning thread; the export path locks each buffer briefly to copy.
+// Buffers are shared_ptrs held by both the thread (thread_local) and the
+// global list, so a thread exiting does not drop its events.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  int tid = 0;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  int next_tid = 1;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& state() {
+  static TraceState* const s = new TraceState();  // never destroyed
+  return *s;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    b->tid = s.next_tid++;
+    s.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+std::string fmt_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+double now_us() {
+  const auto elapsed = std::chrono::steady_clock::now() - state().origin;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+int thread_track_id() { return local_buffer().tid; }
+
+void record_trace_event(const char* name, double start_us, double dur_us) {
+  auto& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(TraceEvent{name, start_us, dur_us});
+}
+
+std::string trace_json() {
+  // Snapshot the buffer list, then each buffer, so concurrent spans can
+  // keep recording while we serialize.
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+      << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"flexwan\"}}";
+  for (const auto& buffer : buffers) {
+    std::vector<TraceEvent> events;
+    int tid = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      events = buffer->events;
+      tid = buffer->tid;
+    }
+    for (const auto& e : events) {
+      out << ",\n  {\"name\": \"" << e.name << "\", \"cat\": \"flexwan\", "
+          << "\"ph\": \"X\", \"ts\": " << fmt_us(e.ts_us)
+          << ", \"dur\": " << fmt_us(e.dur_us) << ", \"pid\": 1, \"tid\": "
+          << tid << "}";
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void reset_trace() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    auto& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    buffers = s.buffers;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+void Span::finish() {
+  const double end_us = now_us();
+  if (trace_enabled()) {
+    record_trace_event(name_, start_us_, end_us - start_us_);
+  }
+  if (metrics_enabled() && hist_ != nullptr) {
+    hist_->observe(end_us - start_us_);
+  }
+}
+
+Histogram* span_histogram(const char* name) {
+  return Registry::instance().histogram(std::string(name) + ".us",
+                                        default_latency_bounds_us());
+}
+
+}  // namespace flexwan::obs

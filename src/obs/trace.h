@@ -1,0 +1,86 @@
+// Scoped spans and Chrome-trace-format export.
+//
+// OBS_SPAN("planner.stage1.link_dp") opens an RAII span: when tracing is on
+// it records a complete ("ph":"X") event — name, per-thread track, start,
+// duration in microseconds — into a thread-local buffer; when metrics are
+// on it additionally feeds a latency histogram named "<span>.us" in the
+// metrics registry.  trace_json() renders every buffered event as a Chrome
+// trace (chrome://tracing / https://ui.perfetto.dev both load it).
+//
+// When both subsystems are off a span costs one relaxed load + branch at
+// open and a dead branch at close — no clock reads, locks, or allocation.
+// Span *end* order across threads is the buffer order; viewers sort by
+// timestamp, so no global ordering is maintained here.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace flexwan::obs {
+
+// Microseconds since the process-wide trace origin (first obs use).
+// Monotonic (steady_clock); shared by spans and latency metrics so trace
+// timestamps and histogram samples are directly comparable.
+double now_us();
+
+// Small dense id for the calling thread (1 = first thread observed).
+// Stable for the thread's lifetime; used as the Chrome trace "tid".
+int thread_track_id();
+
+// Appends one complete event to the calling thread's buffer.  Only call
+// while trace_enabled(); Span does this for you.
+void record_trace_event(const char* name, double start_us, double dur_us);
+
+// The buffered events as a Chrome trace JSON document:
+//   {"traceEvents": [{"name": ..., "ph": "X", "ts": ..., "dur": ...,
+//                     "pid": 1, "tid": ...}, ...]}
+std::string trace_json();
+
+// Drops every buffered event (thread tracks keep their ids).
+void reset_trace();
+
+// RAII span.  Construct inactive, then begin() when any obs subsystem is
+// on — the OBS_SPAN macro wraps that dance and caches the histogram
+// lookup per call site.  `name` must outlive the span (string literals).
+class Span {
+ public:
+  Span() = default;
+  ~Span() { if (active_) finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void begin(const char* name, Histogram* latency_hist) {
+    name_ = name;
+    hist_ = latency_hist;
+    start_us_ = now_us();
+    active_ = true;
+  }
+
+ private:
+  void finish();
+
+  const char* name_ = nullptr;
+  Histogram* hist_ = nullptr;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+// Registers (once per call site) the "<name>.us" latency histogram a span
+// feeds when metrics are enabled.
+Histogram* span_histogram(const char* name);
+
+}  // namespace flexwan::obs
+
+// Opens a span covering the rest of the enclosing scope.  `name` must be a
+// string literal (it is kept by pointer and used to derive the "<name>.us"
+// histogram).
+#define OBS_SPAN(name)                                                     \
+  ::flexwan::obs::Span OBS_DETAIL_CONCAT(obs_span_, __LINE__);             \
+  if (::flexwan::obs::enabled_bits() != 0u) {                              \
+    static ::flexwan::obs::Histogram* const OBS_DETAIL_CONCAT(             \
+        obs_span_hist_, __LINE__) = ::flexwan::obs::span_histogram(name);  \
+    OBS_DETAIL_CONCAT(obs_span_, __LINE__)                                 \
+        .begin(name, OBS_DETAIL_CONCAT(obs_span_hist_, __LINE__));         \
+  }

@@ -5,6 +5,9 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::planning {
 
 namespace {
@@ -72,6 +75,7 @@ Expected<ModeSet> best_mode_set(const transponder::Catalog& catalog,
   ModeSet result;
   if (demand_gbps <= 0.0) return result;
 
+  OBS_COUNTER_ADD("planner.mode_dp.calls", 1);
   const auto& feasible = catalog.feasible(distance_km);
   if (feasible.empty()) {
     return Error::make("unreachable_demand",
@@ -80,6 +84,9 @@ Expected<ModeSet> best_mode_set(const transponder::Catalog& catalog,
   }
 
   const int units = static_cast<int>(std::ceil(demand_gbps / kUnitGbps - 1e-9));
+  OBS_COUNTER_ADD("planner.mode_dp.cells",
+                  static_cast<std::uint64_t>(units) * feasible.size());
+  OBS_COUNTER_ADD("planner.mode_dp.candidate_modes", feasible.size());
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // dp[d] = min cost to cover at least d demand units; choice[d] = mode used.
   // Cost ties break toward the shortest-reach (then highest-rate) mode: at
@@ -140,6 +147,8 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net) const {
 
 Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
                                       const engine::Engine& engine) const {
+  OBS_SPAN("planner.plan");
+  OBS_COUNTER_ADD("planner.plan.calls", 1);
   Plan result(catalog_->name(), net.optical.fiber_count(),
               config_.band_pixels);
   for (const auto& link : net.ip.links()) {
@@ -154,11 +163,14 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
   const auto links = net.ip.links();
   auto built = engine.parallel_map(
       links.size(), [&](std::size_t i) -> Expected<LinkWork> {
+        OBS_SPAN("planner.stage1.link_dp");
         const auto& link = links[i];
         LinkWork lw;
         lw.link = link.id;
+        OBS_COUNTER_ADD("planner.ksp.calls", 1);
         lw.paths = topology::k_shortest_paths(net.optical, link.src, link.dst,
                                               config_.k_paths);
+        OBS_COUNTER_ADD("planner.ksp.paths", lw.paths.size());
         if (lw.paths.empty()) {
           return Error::make("unreachable",
                              "IP link " + link.name + " has no optical path");
@@ -211,6 +223,7 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
   }
 
   // Stage 2: spectrum assignment in configured difficulty order.
+  OBS_SPAN("planner.stage2.spectrum");
   std::stable_sort(work.begin(), work.end(),
                    [](const LinkWork& a, const LinkWork& b) {
                      return a.difficulty > b.difficulty;
@@ -228,11 +241,14 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
       if (place_mode_set(result, lw.paths[oi], lw.link, static_cast<int>(oi),
                          lw.mode_sets[oi].value().modes,
                          config_.reserved_pixels)) {
+        OBS_COUNTER_ADD("planner.wavelengths_placed",
+                        lw.mode_sets[oi].value().modes.size());
         done = true;
         break;
       }
     }
     if (done) continue;
+    OBS_COUNTER_ADD("planner.links_split", 1);
     if (!config_.allow_split) {
       return Error::make("no_spectrum",
                          "link " + net.ip.link(lw.link).name +
@@ -256,6 +272,7 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
         Wavelength wl{lw.link, static_cast<int>(oi), mode, *fit};
         auto r = result.place_wavelength(lw.paths[oi], wl);
         if (!r) break;
+        OBS_COUNTER_ADD("planner.wavelengths_placed", 1);
         remaining -= mode.data_rate_gbps;
       }
     }

@@ -1,5 +1,8 @@
 #include "restoration/metrics.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::restoration {
 
 ScenarioSetMetrics evaluate_scenarios(
@@ -17,9 +20,15 @@ ScenarioSetMetrics evaluate_scenarios(
     const std::map<topology::LinkId, int>& extra_spares) {
   // Fan the independent restore() calls out; every scenario reads the same
   // const plan/network and builds its own occupancy copy.
+  OBS_SPAN("restoration.evaluate_scenarios");
   const auto outcomes =
       engine.parallel_map(scenarios.size(), [&](std::size_t i) {
-        return restorer.restore(net, plan, scenarios[i], extra_spares);
+        OBS_SPAN("restoration.scenario.restore");
+        auto outcome = restorer.restore(net, plan, scenarios[i], extra_spares);
+        OBS_COUNTER_ADD("restoration.scenarios", 1);
+        OBS_GAUGE_ADD("restoration.affected_gbps", outcome.affected_gbps);
+        OBS_GAUGE_ADD("restoration.restored_gbps", outcome.restored_gbps);
+        return outcome;
       });
 
   // Index-ordered reduction: identical to the historical serial loop.

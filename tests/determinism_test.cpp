@@ -1,10 +1,20 @@
 // Determinism under parallelism: the engine's index-ordered reduction must
 // make planner and restoration outputs byte-identical at every thread
 // count (the repo-wide reproducibility guarantee, see engine/engine.h).
+// The observability layer must preserve the same guarantee: enabling
+// --metrics/--trace may write report files but can never change a plan or
+// restoration byte.
 #include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
 
 #include "core/flexwan.h"
 #include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "planning/heuristic.h"
 #include "planning/plan_io.h"
 #include "restoration/metrics.h"
@@ -79,6 +89,67 @@ TEST(Determinism, SessionThreadsKnobDoesNotChangeOutputs) {
             planning::save_plan(*parallel.current_plan()));
   EXPECT_EQ(parallel_drill->capabilities, serial_drill->capabilities);
   EXPECT_EQ(parallel_drill->mean_capability, serial_drill->mean_capability);
+}
+
+// Observability on vs off: identical plan and restoration bytes, at 1 and
+// 8 threads, while the instrumented run still produces loadable reports.
+TEST(Determinism, ObsEnabledDoesNotChangePlanOrRestorationBytes) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  restoration::Restorer restorer(transponder::svt_flexwan());
+  const auto scenarios = restoration::standard_scenario_set(net.optical, 6, 5);
+
+  // Reference run with every obs subsystem off.
+  ASSERT_FALSE(obs::metrics_enabled());
+  ASSERT_FALSE(obs::trace_enabled());
+  const auto reference_plan = planner.plan(net);
+  ASSERT_TRUE(reference_plan);
+  const std::string reference_bytes = planning::save_plan(*reference_plan);
+  const auto reference_metrics =
+      restoration::evaluate_scenarios(net, *reference_plan, restorer,
+                                      scenarios);
+
+  obs::Registry::instance().reset();
+  obs::reset_trace();
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  for (int threads : {1, 8}) {
+    const engine::Engine engine(threads);
+    const auto plan = planner.plan(net, engine);
+    ASSERT_TRUE(plan) << "threads=" << threads;
+    EXPECT_EQ(planning::save_plan(*plan), reference_bytes)
+        << "threads=" << threads;
+    const auto m = restoration::evaluate_scenarios(net, *plan, restorer,
+                                                   scenarios, engine);
+    EXPECT_EQ(m.capabilities, reference_metrics.capabilities);
+    EXPECT_EQ(m.mean_capability, reference_metrics.mean_capability);
+    EXPECT_EQ(m.path_gaps_km, reference_metrics.path_gaps_km);
+  }
+  obs::set_metrics_enabled(false);
+  obs::set_trace_enabled(false);
+
+  // The instrumented run recorded real work and both reports parse back.
+  EXPECT_GT(
+      obs::Registry::instance().counter("planner.ksp.calls")->value(), 0u);
+  EXPECT_GT(
+      obs::Registry::instance().counter("engine.tasks_executed")->value(), 0u);
+  const std::string metrics_path =
+      testing::TempDir() + "determinism_metrics.json";
+  const std::string trace_path = testing::TempDir() + "determinism_trace.json";
+  obs::RunReport report;
+  report.set_metrics_path(metrics_path);
+  report.set_trace_path(trace_path);
+  const auto written = report.write();
+  ASSERT_TRUE(written) << written.error().message;
+  report.release();
+  for (const auto& path : {metrics_path, trace_path}) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const auto parsed = obs::json::parse(buffer.str());
+    EXPECT_TRUE(parsed) << path << ": "
+                        << (parsed ? "" : parsed.error().message);
+  }
 }
 
 TEST(Determinism, RestorationWithExtraSparesIdenticalAcrossThreadCounts) {

@@ -10,6 +10,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace flexwan::engine {
@@ -144,6 +145,29 @@ TEST(ThreadsFlag, ParsesAndRemovesFlag) {
   EXPECT_EQ(argc, 2);
   EXPECT_STREQ(argv[0], "bench");
   EXPECT_STREQ(argv[1], "net.txt");
+}
+
+TEST(ThreadsFlag, ParseThreadCountAcceptsValidValues) {
+  for (const auto& [text, expected] :
+       {std::pair<const char*, int>{"0", 0}, {"1", 1}, {"8", 8},
+        {"4096", kMaxThreadsFlag}}) {
+    const auto parsed = parse_thread_count(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(parsed.value(), expected) << text;
+  }
+}
+
+TEST(ThreadsFlag, ParseThreadCountRejectsMalformedValues) {
+  // Non-numeric, trailing garbage, negative, and silently-truncating
+  // overflow values must all produce a clear error, never a misparse.
+  for (const char* bad :
+       {"", "abc", "4x", "1.5", "1e3", "--threads", "-1", "-42", "4097",
+        "99999999999999999999", "9223372036854775807"}) {
+    const auto parsed = parse_thread_count(bad);
+    EXPECT_FALSE(parsed) << "'" << bad << "' should be rejected";
+    if (!parsed) EXPECT_EQ(parsed.error().code, "bad_threads");
+  }
+  EXPECT_FALSE(parse_thread_count(nullptr));
 }
 
 TEST(ThreadsFlag, ParsesEqualsFormAndFallback) {

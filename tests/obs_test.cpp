@@ -1,0 +1,278 @@
+// Observability layer tests: registry semantics, concurrent counter and
+// histogram correctness under the engine at 8 threads, span nesting, trace
+// JSON well-formedness (emitted files are parsed back with obs/json.h),
+// metrics report structure, and the --metrics/--trace flag parser.
+//
+// Obs enablement is process-global state; every test that flips it
+// restores the off state before returning (ObsGuard) so the rest of the
+// suite still measures the disabled hot path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace flexwan::obs {
+namespace {
+
+class ObsGuard {
+ public:
+  ObsGuard(bool metrics, bool trace) {
+    Registry::instance().reset();
+    reset_trace();
+    set_metrics_enabled(metrics);
+    set_trace_enabled(trace);
+  }
+  ~ObsGuard() {
+    set_metrics_enabled(false);
+    set_trace_enabled(false);
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ObsRegistry, HandlesAreStableAndResetKeepsThem) {
+  auto& registry = Registry::instance();
+  Counter* a = registry.counter("test.registry.counter");
+  Counter* b = registry.counter("test.registry.counter");
+  EXPECT_EQ(a, b);
+  a->add(3);
+  EXPECT_EQ(b->value(), 3u);
+  registry.reset();
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(registry.counter("test.registry.counter"), a);
+
+  Gauge* g = registry.gauge("test.registry.gauge");
+  g->set(2.5);
+  g->add(1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+}
+
+TEST(ObsRegistry, DisabledMacrosRecordNothing) {
+  ObsGuard guard(false, false);
+  OBS_COUNTER_ADD("test.disabled.counter", 5);
+  OBS_GAUGE_ADD("test.disabled.gauge", 1.0);
+  OBS_HISTOGRAM_OBSERVE("test.disabled.hist", 1.0);
+  EXPECT_EQ(Registry::instance().counter("test.disabled.counter")->value(), 0u);
+  EXPECT_EQ(Registry::instance().gauge("test.disabled.gauge")->value(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsCountAndBounds) {
+  Histogram hist({1.0, 10.0, 100.0});
+  for (double v : {0.5, 1.0, 5.0, 50.0, 500.0, 5000.0}) hist.observe(v);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 5556.5);
+  EXPECT_DOUBLE_EQ(hist.min(), 0.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 5000.0);
+  // <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; overflow: {500, 5000}.
+  EXPECT_EQ(hist.bucket_counts(),
+            (std::vector<std::uint64_t>{2, 1, 1, 2}));
+}
+
+TEST(ObsMetrics, ConcurrentCountersAndHistogramsUnderEngineAt8Threads) {
+  ObsGuard guard(/*metrics=*/true, /*trace=*/false);
+  const engine::Engine engine(8);
+  constexpr std::size_t kN = 20000;
+  engine.parallel_for(kN, [](std::size_t i) {
+    OBS_COUNTER_ADD("test.concurrent.counter", 1);
+    OBS_GAUGE_ADD("test.concurrent.gauge", 1.0);
+    OBS_HISTOGRAM_OBSERVE("test.concurrent.hist",
+                          static_cast<double>(i % 7));
+  });
+  auto& registry = Registry::instance();
+  EXPECT_EQ(registry.counter("test.concurrent.counter")->value(), kN);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.concurrent.gauge")->value(),
+                   static_cast<double>(kN));
+  Histogram* hist =
+      registry.histogram("test.concurrent.hist", default_latency_bounds_us());
+  EXPECT_EQ(hist->count(), kN);
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) expected_sum += static_cast<double>(i % 7);
+  EXPECT_DOUBLE_EQ(hist->sum(), expected_sum);
+  EXPECT_EQ(hist->min(), 0.0);
+  EXPECT_EQ(hist->max(), 6.0);
+  // The engine's own instrumentation saw every task exactly once.
+  EXPECT_EQ(registry.counter("engine.tasks_executed")->value(), kN);
+}
+
+TEST(ObsTrace, SpanNestingProducesContainedEvents) {
+  ObsGuard guard(/*metrics=*/true, /*trace=*/true);
+  {
+    OBS_SPAN("test.outer");
+    {
+      OBS_SPAN("test.inner");
+    }
+  }
+  const auto parsed = json::parse(trace_json());
+  ASSERT_TRUE(parsed) << parsed.error().message;
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  double outer_ts = 0.0, outer_end = 0.0, inner_ts = 0.0, inner_end = 0.0;
+  bool saw_outer = false, saw_inner = false;
+  for (const auto& e : events->as_array()) {
+    const auto* name = e.find("name");
+    const auto* ph = e.find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    if (ph->as_string() != "X") continue;  // metadata events
+    const double ts = e.find("ts")->as_number();
+    const double dur = e.find("dur")->as_number();
+    EXPECT_GE(dur, 0.0);
+    if (name->as_string() == "test.outer") {
+      saw_outer = true;
+      outer_ts = ts;
+      outer_end = ts + dur;
+    } else if (name->as_string() == "test.inner") {
+      saw_inner = true;
+      inner_ts = ts;
+      inner_end = ts + dur;
+    }
+  }
+  ASSERT_TRUE(saw_outer);
+  ASSERT_TRUE(saw_inner);
+  // The inner span is contained in the outer one on the same thread.
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+
+  // Spans also fed the "<name>.us" latency histograms.
+  Histogram* hist = Registry::instance().histogram(
+      "test.outer.us", default_latency_bounds_us());
+  EXPECT_EQ(hist->count(), 1u);
+}
+
+TEST(ObsTrace, ConcurrentSpansFromEngineThreadsAllRecorded) {
+  ObsGuard guard(/*metrics=*/false, /*trace=*/true);
+  const engine::Engine engine(8);
+  constexpr std::size_t kN = 256;
+  engine.parallel_for(kN, [](std::size_t) {
+    OBS_SPAN("test.parallel.body");
+  });
+  const auto parsed = json::parse(trace_json());
+  ASSERT_TRUE(parsed) << parsed.error().message;
+  std::size_t body_events = 0;
+  for (const auto& e : parsed->find("traceEvents")->as_array()) {
+    const auto* name = e.find("name");
+    if (name != nullptr && name->as_string() == "test.parallel.body") {
+      ++body_events;
+      // Every complete event carries a positive per-thread track id.
+      EXPECT_GE(e.find("tid")->as_number(), 1.0);
+    }
+  }
+  EXPECT_EQ(body_events, kN);
+}
+
+TEST(ObsReport, EmittedFilesParseBackAndContainRegisteredMetrics) {
+  ObsGuard guard(/*metrics=*/true, /*trace=*/true);
+  OBS_COUNTER_ADD("test.report.counter", 7);
+  OBS_GAUGE_ADD("test.report.gauge", 2.25);
+  OBS_HISTOGRAM_OBSERVE("test.report.hist", 42.0);
+  {
+    OBS_SPAN("test.report.span");
+  }
+
+  const std::string metrics_path = testing::TempDir() + "obs_metrics.json";
+  const std::string trace_path = testing::TempDir() + "obs_trace.json";
+  {
+    RunReport report;
+    report.set_metrics_path(metrics_path);
+    report.set_trace_path(trace_path);
+    const auto written = report.write();
+    ASSERT_TRUE(written) << written.error().message;
+    report.release();
+  }
+
+  const auto metrics = json::parse(read_file(metrics_path));
+  ASSERT_TRUE(metrics) << metrics.error().message;
+  const auto* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* counter = counters->find("test.report.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->as_number(), 7.0);
+  const auto* gauge = metrics->find("gauges")->find("test.report.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_DOUBLE_EQ(gauge->as_number(), 2.25);
+  const auto* hist = metrics->find("histograms")->find("test.report.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_number(), 1.0);
+  EXPECT_EQ(hist->find("sum")->as_number(), 42.0);
+  ASSERT_TRUE(hist->find("buckets")->is_array());
+  // Last bucket is the overflow bucket, marked "+Inf".
+  const auto& buckets = hist->find("buckets")->as_array();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_TRUE(buckets.back().find("le")->is_string());
+  EXPECT_EQ(buckets.back().find("le")->as_string(), "+Inf");
+
+  const auto trace = json::parse(read_file(trace_path));
+  ASSERT_TRUE(trace) << trace.error().message;
+  const auto* events = trace->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_span = false;
+  for (const auto& e : events->as_array()) {
+    const auto* name = e.find("name");
+    if (name != nullptr && name->as_string() == "test.report.span") {
+      saw_span = true;
+      EXPECT_EQ(e.find("ph")->as_string(), "X");
+    }
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+TEST(ObsReport, FlagParserExtractsAndEnables) {
+  ObsGuard guard(false, false);
+  const std::string metrics_path = testing::TempDir() + "obs_flags_m.json";
+  const std::string trace_path = testing::TempDir() + "obs_flags_t.json";
+  std::string metrics_eq = "--metrics=" + metrics_path;
+  char prog[] = "bench";
+  char keep[] = "net.txt";
+  char trace_flag[] = "--trace";
+  std::vector<char> trace_val(trace_path.begin(), trace_path.end());
+  trace_val.push_back('\0');
+  std::vector<char> metrics_arg(metrics_eq.begin(), metrics_eq.end());
+  metrics_arg.push_back('\0');
+  char* argv[] = {prog, metrics_arg.data(), keep, trace_flag,
+                  trace_val.data(), nullptr};
+  int argc = 5;
+  {
+    RunReport report = report_from_flags(argc, argv);
+    EXPECT_EQ(report.metrics_path(), metrics_path);
+    EXPECT_EQ(report.trace_path(), trace_path);
+    EXPECT_TRUE(metrics_enabled());
+    EXPECT_TRUE(trace_enabled());
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "bench");
+    EXPECT_STREQ(argv[1], "net.txt");
+    // ~RunReport writes both files on scope exit.
+  }
+  EXPECT_FALSE(read_file(metrics_path).empty());
+  EXPECT_FALSE(read_file(trace_path).empty());
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json::parse("{"));
+  EXPECT_FALSE(json::parse("{\"a\": 1,}"));
+  EXPECT_FALSE(json::parse("[1, 2"));
+  EXPECT_FALSE(json::parse("\"unterminated"));
+  EXPECT_FALSE(json::parse("nul"));
+  EXPECT_FALSE(json::parse("{} trailing"));
+  EXPECT_TRUE(json::parse(
+      R"({"a": [1, -2.5e3, true, false, null, "s\nA"]})"));
+}
+
+}  // namespace
+}  // namespace flexwan::obs
