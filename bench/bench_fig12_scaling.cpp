@@ -10,9 +10,11 @@
 // max-supported-scale searches run as independent engine tasks; results are
 // collected in index order, so output is byte-identical at every N.
 // --metrics / --trace <file.json> write observability reports (obs/report.h)
-// without touching stdout.
+// and --bench-json <file.json> (with --warmup/--reps) records per-case
+// wall-clock + metrics-delta telemetry — none of them touch stdout.
 #include <cstdio>
 
+#include "benchlib/benchlib.h"
 #include "engine/engine.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
@@ -36,6 +38,8 @@ const transponder::Catalog* kCatalogs[] = {
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig12_scaling", report.bench_options(),
+                          engine.thread_count());
   obs::announce_threads(engine.thread_count());
   const auto net = topology::make_tbackbone();
   std::printf("=== Figure 12: hardware cost vs bandwidth capacity scale ===\n");
@@ -47,25 +51,27 @@ int main(int argc, char** argv) {
   // Every (scale, scheme) cell plans independently; fan the grid out.
   constexpr int kScales = 8;
   constexpr int kSchemes = 3;
-  const auto rows = engine.parallel_map(
-      static_cast<std::size_t>(kScales * kSchemes),
-      [&](std::size_t cell) -> std::vector<std::string> {
-        const double scale = 1.0 + static_cast<double>(cell / kSchemes);
-        const auto* catalog = kCatalogs[cell % kSchemes];
-        const topology::Network scaled{net.name, net.optical,
-                                       net.ip.scaled(scale)};
-        planning::HeuristicPlanner planner(*catalog, {});
-        const auto plan = planner.plan(scaled);
-        if (!plan) {
-          return {TextTable::num(scale, 0), catalog->name(), "infeasible",
-                  "-", "-"};
-        }
-        const auto m = planning::compute_metrics(*plan, scaled);
-        return {TextTable::num(scale, 0), catalog->name(),
-                std::to_string(m.transponder_count),
-                TextTable::num(m.spectrum_usage_ghz, 0),
-                TextTable::num(m.max_fiber_utilization, 2)};
-      });
+  const auto rows = bench.run("scale_grid", [&] {
+    return engine.parallel_map(
+        static_cast<std::size_t>(kScales * kSchemes),
+        [&](std::size_t cell) -> std::vector<std::string> {
+          const double scale = 1.0 + static_cast<double>(cell / kSchemes);
+          const auto* catalog = kCatalogs[cell % kSchemes];
+          const topology::Network scaled{net.name, net.optical,
+                                         net.ip.scaled(scale)};
+          planning::HeuristicPlanner planner(*catalog, {});
+          const auto plan = planner.plan(scaled);
+          if (!plan) {
+            return {TextTable::num(scale, 0), catalog->name(), "infeasible",
+                    "-", "-"};
+          }
+          const auto m = planning::compute_metrics(*plan, scaled);
+          return {TextTable::num(scale, 0), catalog->name(),
+                  std::to_string(m.transponder_count),
+                  TextTable::num(m.spectrum_usage_ghz, 0),
+                  TextTable::num(m.max_fiber_utilization, 2)};
+        });
+  });
   TextTable table({"scale", "scheme", "transponders", "spectrum (GHz)",
                    "max fiber util"});
   for (const auto& row : rows) table.add_row(row);
@@ -73,9 +79,11 @@ int main(int argc, char** argv) {
 
   // Headline savings at scale 1 (paper: FlexWAN saves 85 % / 57 %
   // transponders and 67 % / 36 % spectrum vs 100G-WAN / RADWAN).
-  const auto m = engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
-    planning::HeuristicPlanner planner(*kCatalogs[i], {});
-    return planning::compute_metrics(*planner.plan(net), net);
+  const auto m = bench.run("headline_savings", [&] {
+    return engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
+      planning::HeuristicPlanner planner(*kCatalogs[i], {});
+      return planning::compute_metrics(*planner.plan(net), net);
+    });
   });
   std::printf("FlexWAN saves %.0f%% transponders vs 100G-WAN (paper 85%%), "
               "%.0f%% vs RADWAN (paper 57%%)\n",
@@ -91,9 +99,11 @@ int main(int argc, char** argv) {
   // Max supported scale (paper: 3x / 5x / 8x).
   std::printf("\nmax supported capacity scale (paper: 100G-WAN 3x, RADWAN 5x, "
               "FlexWAN 8x):\n");
-  const auto max_scales = engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
-    planning::HeuristicPlanner planner(*kCatalogs[i], {});
-    return planning::max_supported_scale(net, planner, 12.0, 0.5);
+  const auto max_scales = bench.run("max_scale_search", [&] {
+    return engine.parallel_map(std::size_t{3}, [&](std::size_t i) {
+      planning::HeuristicPlanner planner(*kCatalogs[i], {});
+      return planning::max_supported_scale(net, planner, 12.0, 0.5);
+    });
   });
   for (int i = 0; i < 3; ++i) {
     std::printf("  %-9s %.1fx\n", kCatalogs[i]->name().c_str(), max_scales[i]);
@@ -102,11 +112,13 @@ int main(int argc, char** argv) {
   // Ablation: K candidate paths vs FlexWAN's max scale.
   std::printf("\nablation: K (KSP candidates) vs FlexWAN max scale\n");
   const int ks[] = {1, 2, 3, 4, 6};
-  const auto k_scales = engine.parallel_map(std::size_t{5}, [&](std::size_t i) {
-    planning::PlannerConfig config;
-    config.k_paths = ks[i];
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    return planning::max_supported_scale(net, planner, 12.0, 0.5);
+  const auto k_scales = bench.run("k_ablation", [&] {
+    return engine.parallel_map(std::size_t{5}, [&](std::size_t i) {
+      planning::PlannerConfig config;
+      config.k_paths = ks[i];
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+      return planning::max_supported_scale(net, planner, 12.0, 0.5);
+    });
   });
   for (int i = 0; i < 5; ++i) {
     std::printf("  K=%d -> %.1fx\n", ks[i], k_scales[i]);

@@ -3,8 +3,14 @@
 // reduced cost and improved link spectral efficiency over 100G-WAN and
 // RADWAN on both topologies.  The paper's observation: gains grow on
 // topologies with shorter optical paths.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "topology/builders.h"
@@ -14,25 +20,37 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig13_topology", report.bench_options());
   const topology::Network nets[] = {topology::make_tbackbone(),
                                     topology::make_cernet()};
 
   std::printf("=== Figure 13(a): capacity-weighted path length CDF ===\n");
   TextTable cdf({"length (km)", "T-backbone", "Cernet"});
+  const auto flex_metrics = bench.run("flexwan_plans", [&] {
+    std::vector<Expected<planning::PlanMetrics>> metrics;
+    for (const auto& net : nets) {
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+      const auto plan = planner.plan(net);
+      if (!plan) {
+        metrics.push_back(plan.error());
+        continue;
+      }
+      metrics.push_back(planning::compute_metrics(*plan, net));
+    }
+    return metrics;
+  });
   std::vector<double> lengths[2];
   std::vector<double> weights[2];
   for (int i = 0; i < 2; ++i) {
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
-    const auto plan = planner.plan(nets[i]);
-    if (!plan) {
+    if (!flex_metrics[i]) {
       std::printf("planning failed on %s: %s\n", nets[i].name.c_str(),
-                  plan.error().message.c_str());
+                  flex_metrics[i].error().message.c_str());
       return 1;
     }
-    const auto m = planning::compute_metrics(*plan, nets[i]);
-    lengths[i] = m.path_lengths_km;
-    weights[i] = m.path_length_weights_gbps;
+    lengths[i] = flex_metrics[i]->path_lengths_km;
+    weights[i] = flex_metrics[i]->path_length_weights_gbps;
   }
   for (double x : {100.0, 200.0, 400.0, 700.0, 1000.0, 1500.0, 2000.0,
                    3000.0}) {
@@ -46,40 +64,45 @@ int main() {
   std::printf("%s\n", cdf.render().c_str());
 
   std::printf("=== Figure 13(b): FlexWAN gains per topology ===\n");
+  const auto gain_rows = bench.run("baseline_gains", [&] {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& net : nets) {
+      planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
+      const auto pf = flex.plan(net);
+      if (!pf) continue;
+      const auto mf = planning::compute_metrics(*pf, net);
+      for (const auto* baseline :
+           {&transponder::fixed_grid_100g(), &transponder::bvt_radwan()}) {
+        planning::HeuristicPlanner planner(*baseline, {});
+        const auto pb = planner.plan(net);
+        if (!pb) {
+          rows.push_back({net.name, baseline->name(), "infeasible", "-", "-"});
+          continue;
+        }
+        const auto mb = planning::compute_metrics(*pb, net);
+        rows.push_back(
+            {net.name, baseline->name(),
+             TextTable::num(100.0 * (1.0 - static_cast<double>(
+                                               mf.transponder_count) /
+                                               mb.transponder_count),
+                            0) +
+                 "%",
+             TextTable::num(
+                 100.0 * (1.0 - mf.spectrum_usage_ghz / mb.spectrum_usage_ghz),
+                 0) +
+                 "%",
+             TextTable::num(100.0 * (mf.mean_spectral_efficiency /
+                                         mb.mean_spectral_efficiency -
+                                     1.0),
+                            0) +
+                 "%"});
+      }
+    }
+    return rows;
+  });
   TextTable gains({"topology", "baseline", "transponders saved",
                    "spectrum saved", "SE improved"});
-  for (const auto& net : nets) {
-    planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
-    const auto pf = flex.plan(net);
-    if (!pf) continue;
-    const auto mf = planning::compute_metrics(*pf, net);
-    for (const auto* baseline :
-         {&transponder::fixed_grid_100g(), &transponder::bvt_radwan()}) {
-      planning::HeuristicPlanner planner(*baseline, {});
-      const auto pb = planner.plan(net);
-      if (!pb) {
-        gains.add_row({net.name, baseline->name(), "infeasible", "-", "-"});
-        continue;
-      }
-      const auto mb = planning::compute_metrics(*pb, net);
-      gains.add_row(
-          {net.name, baseline->name(),
-           TextTable::num(100.0 * (1.0 - static_cast<double>(
-                                             mf.transponder_count) /
-                                             mb.transponder_count),
-                          0) +
-               "%",
-           TextTable::num(
-               100.0 * (1.0 - mf.spectrum_usage_ghz / mb.spectrum_usage_ghz),
-               0) +
-               "%",
-           TextTable::num(100.0 * (mf.mean_spectral_efficiency /
-                                       mb.mean_spectral_efficiency -
-                                   1.0),
-                          0) +
-               "%"});
-    }
-  }
+  for (const auto& row : gain_rows) gains.add_row(row);
   std::printf("%s", gains.render().c_str());
   std::printf(
       "paper: up to 85%% transponders / 67%% spectrum saved and up to 215%%\n"

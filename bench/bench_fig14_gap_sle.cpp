@@ -2,8 +2,14 @@
 // (b) the CDF of link spectral efficiency, per scheme on the T-backbone.
 // FlexWAN's wavelengths are modulated close to their path's limit (small
 // gaps) and pack the most bits per Hz.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "topology/builders.h"
@@ -13,20 +19,33 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig14_gap_sle", report.bench_options());
   const auto net = topology::make_tbackbone();
   const transponder::Catalog* catalogs[] = {&transponder::fixed_grid_100g(),
                                             &transponder::bvt_radwan(),
                                             &transponder::svt_flexwan()};
+  const auto planned = bench.run("plan_all_schemes", [&] {
+    std::vector<Expected<planning::PlanMetrics>> out;
+    for (const auto* catalog : catalogs) {
+      planning::HeuristicPlanner planner(*catalog, {});
+      const auto plan = planner.plan(net);
+      if (!plan) {
+        out.push_back(plan.error());
+        continue;
+      }
+      out.push_back(planning::compute_metrics(*plan, net));
+    }
+    return out;
+  });
   planning::PlanMetrics metrics[3];
   for (int i = 0; i < 3; ++i) {
-    planning::HeuristicPlanner planner(*catalogs[i], {});
-    const auto plan = planner.plan(net);
-    if (!plan) {
+    if (!planned[i]) {
       std::printf("planning failed for %s\n", catalogs[i]->name().c_str());
       return 1;
     }
-    metrics[i] = planning::compute_metrics(*plan, net);
+    metrics[i] = *planned[i];
   }
 
   std::printf("=== Figure 14(a): CDF of gap = reach - path length ===\n");

@@ -6,9 +6,12 @@
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
 // --metrics / --trace <file.json> write observability reports (obs/report.h)
-// without touching stdout.
+// and --bench-json <file.json> (with --warmup/--reps) records per-case
+// wall-clock + metrics-delta telemetry — none of them touch stdout.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
 #include "engine/engine.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
@@ -24,6 +27,8 @@ using namespace flexwan;
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig15_restoration", report.bench_options(),
+                          engine.thread_count());
   const auto net = topology::make_tbackbone();
   const auto scenarios =
       restoration::standard_scenario_set(net.optical, 12, 5);
@@ -36,11 +41,13 @@ int main(int argc, char** argv) {
 
   // (a) restored vs original path gaps, FlexWAN at scale 1.
   {
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
-    const auto plan = planner.plan(net, engine);
-    restoration::Restorer restorer(transponder::svt_flexwan());
-    const auto m = restoration::evaluate_scenarios(net, *plan, restorer,
-                                                   scenarios, engine);
+    const auto m = bench.run("flexwan_path_gaps", [&] {
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+      const auto plan = planner.plan(net, engine);
+      restoration::Restorer restorer(transponder::svt_flexwan());
+      return restoration::evaluate_scenarios(net, *plan, restorer, scenarios,
+                                             engine);
+    });
     std::printf("=== Figure 15(a): restored path - original path (km) ===\n");
     TextTable gap({"gap (km)", "CDF"});
     for (double x : {0.0, 100.0, 250.0, 500.0, 1000.0, 1500.0, 2500.0}) {
@@ -69,45 +76,54 @@ int main(int argc, char** argv) {
   // The paper's overloaded point is 5x on its production backbone; on the
   // synthetic stand-in we use RADWAN's own feasibility limit, where its
   // spectrum is just as exhausted.
-  planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
-  const double overload = planning::max_supported_scale(
-      net, rad_probe, 10.0, 0.5);
+  const double overload = bench.run("overload_probe", [&] {
+    planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
+    return planning::max_supported_scale(net, rad_probe, 10.0, 0.5);
+  });
   std::vector<double> scales;
   for (double s = 1.0; s + 1e-9 < overload; s += 1.0) scales.push_back(s);
   scales.push_back(overload);
 
-  TextTable cap({"scale", "100G-WAN", "RADWAN", "FlexWAN"});
-  double flex_over = 0.0;
-  double rad_over = 0.0;
-  for (double scale : scales) {
-    const topology::Network scaled{net.name, net.optical,
-                                   net.ip.scaled(scale)};
-    std::vector<std::string> row{TextTable::num(scale, 1)};
-    for (const auto* catalog : catalogs) {
-      planning::HeuristicPlanner planner(*catalog, {});
-      const auto plan = planner.plan(scaled, engine);
-      if (!plan) {
-        row.push_back("infeasible");
-        continue;
+  struct SweepResult {
+    std::vector<std::vector<std::string>> rows;
+    double flex_over = 0.0;
+    double rad_over = 0.0;
+  };
+  const auto sweep = bench.run("capability_vs_scale", [&]() -> SweepResult {
+    SweepResult result;
+    for (double scale : scales) {
+      const topology::Network scaled{net.name, net.optical,
+                                     net.ip.scaled(scale)};
+      std::vector<std::string> row{TextTable::num(scale, 1)};
+      for (const auto* catalog : catalogs) {
+        planning::HeuristicPlanner planner(*catalog, {});
+        const auto plan = planner.plan(scaled, engine);
+        if (!plan) {
+          row.push_back("infeasible");
+          continue;
+        }
+        restoration::Restorer restorer(*catalog);
+        const auto m = restoration::evaluate_scenarios(scaled, *plan, restorer,
+                                                       scenarios, engine);
+        row.push_back(TextTable::num(m.mean_capability, 3));
+        if (scale == overload && catalog == &transponder::svt_flexwan()) {
+          result.flex_over = m.mean_capability;
+        }
+        if (scale == overload && catalog == &transponder::bvt_radwan()) {
+          result.rad_over = m.mean_capability;
+        }
       }
-      restoration::Restorer restorer(*catalog);
-      const auto m = restoration::evaluate_scenarios(scaled, *plan, restorer,
-                                                     scenarios, engine);
-      row.push_back(TextTable::num(m.mean_capability, 3));
-      if (scale == overload && catalog == &transponder::svt_flexwan()) {
-        flex_over = m.mean_capability;
-      }
-      if (scale == overload && catalog == &transponder::bvt_radwan()) {
-        rad_over = m.mean_capability;
-      }
+      result.rows.push_back(std::move(row));
     }
-    cap.add_row(std::move(row));
-  }
+    return result;
+  });
+  TextTable cap({"scale", "100G-WAN", "RADWAN", "FlexWAN"});
+  for (const auto& row : sweep.rows) cap.add_row(row);
   std::printf("%s", cap.render().c_str());
-  if (rad_over > 0.0) {
+  if (sweep.rad_over > 0.0) {
     std::printf("overloaded %.1fx: FlexWAN revives %.1f%% more capacity than "
                 "RADWAN (paper: +15%% at its 5x overload point)\n",
-                overload, 100.0 * (flex_over / rad_over - 1.0));
+                overload, 100.0 * (sweep.flex_over / sweep.rad_over - 1.0));
   }
   std::printf("paper: baselines restore nearly everything when underloaded\n"
               "(spare reach redundancy) but fall behind FlexWAN when the\n"

@@ -6,9 +6,12 @@
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
 // --metrics / --trace <file.json> write observability reports (obs/report.h)
-// without touching stdout.
+// and --bench-json <file.json> (with --warmup/--reps) records per-case
+// wall-clock + metrics-delta telemetry — none of them touch stdout.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
 #include "engine/engine.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
@@ -24,6 +27,8 @@ using namespace flexwan;
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig16_flexwanplus", report.bench_options(),
+                          engine.thread_count());
   obs::announce_threads(engine.thread_count());
   const auto base = topology::make_tbackbone();
   const auto scenarios =
@@ -33,54 +38,66 @@ int main(int argc, char** argv) {
   // paper uses 5x on its production backbone; the synthetic stand-in's
   // limit differs, but the regime — RADWAN out of spare spectrum — is the
   // same).
-  planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
-  const double overload =
-      planning::max_supported_scale(base, rad_probe, 10.0, 0.5);
+  const double overload = bench.run("overload_probe", [&] {
+    planning::HeuristicPlanner rad_probe(transponder::bvt_radwan(), {});
+    return planning::max_supported_scale(base, rad_probe, 10.0, 0.5);
+  });
 
-  for (double scale : {1.0, overload}) {
+  struct ScaleResult {
+    bool feasible = false;
+    restoration::ScenarioSetMetrics rad, flex, plus;
+    int extra_total = 0;
+  };
+  const char* case_names[] = {"scale_underloaded", "scale_overloaded"};
+  const double scale_points[] = {1.0, overload};
+  for (int s = 0; s < 2; ++s) {
+    const double scale = scale_points[s];
     const topology::Network net{base.name, base.optical,
                                 base.ip.scaled(scale)};
     std::printf("=== Figure 16(%s): capability CDF at scale %.1fx (%s) ===\n",
                 scale == 1.0 ? "a" : "b", scale,
                 scale == 1.0 ? "underloaded" : "overloaded");
 
-    planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
-    planning::HeuristicPlanner rad(transponder::bvt_radwan(), {});
-    const auto pf = flex.plan(net, engine);
-    const auto pr = rad.plan(net, engine);
-    if (!pf || !pr) {
+    const auto result = bench.run(case_names[s], [&]() -> ScaleResult {
+      ScaleResult out;
+      planning::HeuristicPlanner flex(transponder::svt_flexwan(), {});
+      planning::HeuristicPlanner rad(transponder::bvt_radwan(), {});
+      const auto pf = flex.plan(net, engine);
+      const auto pr = rad.plan(net, engine);
+      if (!pf || !pr) return out;
+      out.feasible = true;
+      const auto extras = restoration::flexwan_plus_spares(*pf, *pr);
+      for (const auto& [link, n] : extras) out.extra_total += n;
+
+      restoration::Restorer flex_restorer(transponder::svt_flexwan());
+      restoration::Restorer rad_restorer(transponder::bvt_radwan());
+      out.rad = restoration::evaluate_scenarios(net, *pr, rad_restorer,
+                                                scenarios, engine);
+      out.flex = restoration::evaluate_scenarios(net, *pf, flex_restorer,
+                                                 scenarios, engine);
+      out.plus = restoration::evaluate_scenarios(net, *pf, flex_restorer,
+                                                 scenarios, engine, extras);
+      return out;
+    });
+    if (!result.feasible) {
       std::printf("planning infeasible at this scale\n");
       continue;
     }
-    const auto extras = restoration::flexwan_plus_spares(*pf, *pr);
-    int extra_total = 0;
-    for (const auto& [link, n] : extras) extra_total += n;
-
-    restoration::Restorer flex_restorer(transponder::svt_flexwan());
-    restoration::Restorer rad_restorer(transponder::bvt_radwan());
-    const auto m_rad = restoration::evaluate_scenarios(net, *pr, rad_restorer,
-                                                       scenarios, engine);
-    const auto m_flex = restoration::evaluate_scenarios(net, *pf,
-                                                        flex_restorer,
-                                                        scenarios, engine);
-    const auto m_plus = restoration::evaluate_scenarios(net, *pf,
-                                                        flex_restorer,
-                                                        scenarios, engine,
-                                                        extras);
 
     TextTable table({"capability <=", "RADWAN", "FlexWAN", "FlexWAN+"});
     for (double x : {0.5, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0}) {
       table.add_row(
           {TextTable::num(x, 2),
-           TextTable::num(100.0 * cdf_at(m_rad.capabilities, x), 0) + "%",
-           TextTable::num(100.0 * cdf_at(m_flex.capabilities, x), 0) + "%",
-           TextTable::num(100.0 * cdf_at(m_plus.capabilities, x), 0) + "%"});
+           TextTable::num(100.0 * cdf_at(result.rad.capabilities, x), 0) + "%",
+           TextTable::num(100.0 * cdf_at(result.flex.capabilities, x), 0) + "%",
+           TextTable::num(100.0 * cdf_at(result.plus.capabilities, x), 0) +
+               "%"});
     }
     std::printf("%s", table.render().c_str());
     std::printf("mean capability: RADWAN %.3f, FlexWAN %.3f, FlexWAN+ %.3f "
                 "(%d extra spares)\n\n",
-                m_rad.mean_capability, m_flex.mean_capability,
-                m_plus.mean_capability, extra_total);
+                result.rad.mean_capability, result.flex.mean_capability,
+                result.plus.mean_capability, result.extra_total);
   }
   std::printf(
       "paper: FlexWAN+ beats RADWAN even underloaded — the redeployed\n"

@@ -1,25 +1,43 @@
 // Figure 2(b): the maximum data rate supported by the RADWAN BVT and the
 // FlexWAN SVT as a function of the traveling distance.  The gap at short
 // distances is the paper's core motivation.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
+#include <array>
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "transponder/catalog.h"
 #include "util/table.h"
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig2_maxrate", report.bench_options());
   const auto& bvt = transponder::bvt_radwan();
   const auto& svt = transponder::svt_flexwan();
 
+  const double distances[] = {100.0, 200.0,  300.0,  500.0,  800.0, 1100.0,
+                              1400.0, 1900.0, 2000.0, 3000.0, 5000.0};
+  // Per distance: {distance, BVT rate, SVT rate}.
+  const auto rates = bench.run("max_rate_sweep", [&] {
+    std::vector<std::array<double, 3>> rows;
+    for (double d : distances) {
+      const auto b = bvt.max_rate_mode(d);
+      const auto s = svt.max_rate_mode(d);
+      rows.push_back({d, b ? b->data_rate_gbps : 0.0,
+                      s ? s->data_rate_gbps : 0.0});
+    }
+    return rows;
+  });
+
   std::printf("=== Figure 2(b): max data rate vs distance, BVT vs SVT ===\n");
   TextTable table({"distance (km)", "BVT (Gbps)", "SVT (Gbps)", "SVT gain"});
-  for (double d : {100.0, 200.0, 300.0, 500.0, 800.0, 1100.0, 1400.0, 1900.0,
-                   2000.0, 3000.0, 5000.0}) {
-    const auto b = bvt.max_rate_mode(d);
-    const auto s = svt.max_rate_mode(d);
-    const double br = b ? b->data_rate_gbps : 0.0;
-    const double sr = s ? s->data_rate_gbps : 0.0;
+  for (const auto& [d, br, sr] : rates) {
     table.add_row({TextTable::num(d, 0), TextTable::num(br, 0),
                    TextTable::num(sr, 0),
                    br > 0 ? TextTable::num(sr / br, 2) + "x" : "-"});

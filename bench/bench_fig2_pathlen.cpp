@@ -2,8 +2,15 @@
 // WAN.  Prints the empirical CDF of the shortest optical path of every IP
 // link on the synthetic T-backbone; the paper's headline is that ~50 % of
 // paths are shorter than 200 km while the tail passes 2000 km.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; --metrics/--trace write obs reports.  All
+// telemetry goes to files/stderr — stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "topology/builders.h"
 #include "topology/ksp.h"
 #include "util/stats.h"
@@ -11,13 +18,20 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig2_pathlen", report.bench_options());
   const auto net = topology::make_tbackbone();
-  std::vector<double> lengths;
-  for (const auto& link : net.ip.links()) {
-    const auto path = topology::shortest_path(net.optical, link.src, link.dst);
-    if (path) lengths.push_back(path->length_km);
-  }
+
+  const auto lengths = bench.run("shortest_paths", [&] {
+    std::vector<double> lengths;
+    for (const auto& link : net.ip.links()) {
+      const auto path =
+          topology::shortest_path(net.optical, link.src, link.dst);
+      if (path) lengths.push_back(path->length_km);
+    }
+    return lengths;
+  });
 
   std::printf("=== Figure 2(a): optical path length distribution (%s) ===\n",
               net.name.c_str());

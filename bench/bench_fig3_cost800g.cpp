@@ -2,8 +2,14 @@
 // different optical path lengths — (a) minimum transponder pairs and
 // (b) spectrum usage, BVT vs SVT.  Uses the same per-path optimizer the
 // planner runs (the DP over Table 2 formats).
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "transponder/catalog.h"
 #include "util/table.h"
@@ -28,23 +34,38 @@ Cost cost_for(const transponder::Catalog& catalog, double distance_km) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("fig3_cost800g", report.bench_options());
   const auto& bvt = transponder::bvt_radwan();
   const auto& svt = transponder::svt_flexwan();
+
+  const double distances[] = {100.0, 200.0,  300.0,  600.0,
+                              900.0, 1200.0, 1500.0, 1800.0};
+  struct Row {
+    double distance_km;
+    Cost bvt_cost;
+    Cost svt_cost;
+  };
+  const auto rows = bench.run("dp_cost_sweep", [&] {
+    std::vector<Row> rows;
+    for (double d : distances) {
+      rows.push_back({d, cost_for(bvt, d), cost_for(svt, d)});
+    }
+    return rows;
+  });
 
   std::printf(
       "=== Figure 3: hardware cost to provision 800 Gbps vs path length "
       "===\n");
   TextTable table({"length (km)", "BVT pairs", "SVT pairs", "BVT GHz",
                    "SVT GHz"});
-  for (double d : {100.0, 200.0, 300.0, 600.0, 900.0, 1200.0, 1500.0,
-                   1800.0}) {
-    const auto b = cost_for(bvt, d);
-    const auto s = cost_for(svt, d);
-    table.add_row({TextTable::num(d, 0), std::to_string(b.transponders),
-                   std::to_string(s.transponders),
-                   TextTable::num(b.spectrum_ghz, 1),
-                   TextTable::num(s.spectrum_ghz, 1)});
+  for (const auto& r : rows) {
+    table.add_row({TextTable::num(r.distance_km, 0),
+                   std::to_string(r.bvt_cost.transponders),
+                   std::to_string(r.svt_cost.transponders),
+                   TextTable::num(r.bvt_cost.spectrum_ghz, 1),
+                   TextTable::num(r.svt_cost.spectrum_ghz, 1)});
   }
   std::printf("%s", table.render().c_str());
   std::printf(

@@ -4,8 +4,15 @@
 // The paper solves the MIP with Gurobi at a <0.1 % gap; this bench shows
 // the decomposition heuristic stays within one transponder of our exact
 // solver where the exact solver is tractable.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness (case bodies re-seed their own Rng, so every
+// repetition sees identical instances); stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "planning/exact.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
@@ -40,59 +47,75 @@ const transponder::Catalog& mini_svt() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("milp_gap", report.bench_options());
+
   std::printf("=== Ablation: exact MIP vs heuristic planner ===\n");
   std::printf("(reduced 5-format SVT catalog, 16-pixel band: the largest\n"
               "instances our dense-tableau branch-and-bound proves optimal)\n");
-  Rng rng(2024);
+  const auto exact_rows = bench.run("exact_vs_heuristic", [&] {
+    // The Rng lives inside the case so every repetition replays the same
+    // six random instances.
+    Rng rng(2024);
+    std::vector<std::vector<std::string>> rows;
+    for (int trial = 0; trial < 6; ++trial) {
+      topology::RandomBackboneParams params;
+      params.nodes = 4 + trial % 3;
+      params.ip_links = 2;
+      params.max_fiber_km = 500;
+      params.min_demand_gbps = 100;
+      params.max_demand_gbps = 600;
+      const auto net = topology::random_backbone(params, rng);
+
+      planning::ExactPlannerConfig exact_config;
+      exact_config.band_pixels = 16;
+      exact_config.k_paths = 2;
+      exact_config.mip.max_nodes = 20000;
+      const auto exact =
+          planning::solve_exact_plan(net, mini_svt(), exact_config);
+      planning::PlannerConfig heur_config;
+      heur_config.band_pixels = 16;
+      heur_config.k_paths = 2;
+      planning::HeuristicPlanner planner(mini_svt(), heur_config);
+      const auto heuristic = planner.plan(net);
+
+      rows.push_back(
+          {"random" + std::to_string(trial),
+           std::to_string(net.ip.link_count()),
+           exact ? std::to_string(exact->plan.transponder_count()) : "-",
+           heuristic ? std::to_string(heuristic->transponder_count()) : "-",
+           exact ? TextTable::num(exact->objective, 3) : "-",
+           exact ? std::to_string(exact->nodes_explored) : "-",
+           exact ? (exact->status == milp::MipStatus::kOptimal ? "optimal"
+                                                               : "node-limit")
+                 : exact.error().code});
+    }
+    return rows;
+  });
   TextTable table({"net", "links", "exact txp", "heur txp", "exact obj",
                    "nodes", "status"});
-  for (int trial = 0; trial < 6; ++trial) {
-    topology::RandomBackboneParams params;
-    params.nodes = 4 + trial % 3;
-    params.ip_links = 2;
-    params.max_fiber_km = 500;
-    params.min_demand_gbps = 100;
-    params.max_demand_gbps = 600;
-    const auto net = topology::random_backbone(params, rng);
-
-    planning::ExactPlannerConfig exact_config;
-    exact_config.band_pixels = 16;
-    exact_config.k_paths = 2;
-    exact_config.mip.max_nodes = 20000;
-    const auto exact =
-        planning::solve_exact_plan(net, mini_svt(), exact_config);
-    planning::PlannerConfig heur_config;
-    heur_config.band_pixels = 16;
-    heur_config.k_paths = 2;
-    planning::HeuristicPlanner planner(mini_svt(), heur_config);
-    const auto heuristic = planner.plan(net);
-
-    table.add_row(
-        {"random" + std::to_string(trial), std::to_string(net.ip.link_count()),
-         exact ? std::to_string(exact->plan.transponder_count()) : "-",
-         heuristic ? std::to_string(heuristic->transponder_count()) : "-",
-         exact ? TextTable::num(exact->objective, 3) : "-",
-         exact ? std::to_string(exact->nodes_explored) : "-",
-         exact ? (exact->status == milp::MipStatus::kOptimal ? "optimal"
-                                                             : "node-limit")
-               : exact.error().code});
-  }
+  for (const auto& row : exact_rows) table.add_row(row);
   std::printf("%s\n", table.render().c_str());
 
   std::printf("=== Ablation: epsilon sweep (objective balance, §5) ===\n");
   const auto net = topology::make_tbackbone();
+  const auto eps_rows = bench.run("epsilon_sweep", [&] {
+    std::vector<std::vector<std::string>> rows;
+    for (double e : {0.0, 0.0001, 0.001, 0.01, 0.1}) {
+      planning::PlannerConfig config;
+      config.epsilon = e;
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+      const auto plan = planner.plan(net);
+      if (!plan) continue;
+      rows.push_back({TextTable::num(e, 4),
+                      std::to_string(plan->transponder_count()),
+                      TextTable::num(plan->spectrum_usage_ghz(), 0)});
+    }
+    return rows;
+  });
   TextTable eps({"epsilon", "transponders", "spectrum (GHz)"});
-  for (double e : {0.0, 0.0001, 0.001, 0.01, 0.1}) {
-    planning::PlannerConfig config;
-    config.epsilon = e;
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    const auto plan = planner.plan(net);
-    if (!plan) continue;
-    eps.add_row({TextTable::num(e, 4),
-                 std::to_string(plan->transponder_count()),
-                 TextTable::num(plan->spectrum_usage_ghz(), 0)});
-  }
+  for (const auto& row : eps_rows) eps.add_row(row);
   std::printf("%s", eps.render().c_str());
   std::printf("epsilon > 0 breaks transponder-count ties toward narrower\n"
               "channels; very large epsilon trades extra transponders for\n"

@@ -8,8 +8,14 @@
 //
 // Part 2 — the §8 restoration heuristic against the exact branch-and-bound
 // formulation on ring scenarios, reporting the optimality gap.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
+#include <vector>
 
+#include "benchlib/benchlib.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "restoration/exact.h"
@@ -37,69 +43,83 @@ topology::Network ring_net(double demand_gbps, double side_km) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("ordering_ablation", report.bench_options());
+
   std::printf("=== Ablation: spectrum-assignment link ordering ===\n");
   const auto net = topology::make_tbackbone();
-  const struct {
-    planning::LinkOrdering ordering;
-    const char* name;
-  } orderings[] = {
-      {planning::LinkOrdering::kMostConstrainedFirst, "most-constrained"},
-      {planning::LinkOrdering::kLongestPathFirst, "longest-path"},
-      {planning::LinkOrdering::kArbitrary, "arbitrary"},
-  };
-  TextTable table({"ordering", "txp @1x", "GHz @1x", "max scale"});
-  for (const auto& o : orderings) {
-    planning::PlannerConfig config;
-    config.ordering = o.ordering;
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    const auto plan = planner.plan(net);
-    if (!plan) {
-      table.add_row({o.name, "infeasible", "-", "-"});
-      continue;
+  const auto ordering_rows = bench.run("link_ordering", [&] {
+    const struct {
+      planning::LinkOrdering ordering;
+      const char* name;
+    } orderings[] = {
+        {planning::LinkOrdering::kMostConstrainedFirst, "most-constrained"},
+        {planning::LinkOrdering::kLongestPathFirst, "longest-path"},
+        {planning::LinkOrdering::kArbitrary, "arbitrary"},
+    };
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& o : orderings) {
+      planning::PlannerConfig config;
+      config.ordering = o.ordering;
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+      const auto plan = planner.plan(net);
+      if (!plan) {
+        rows.push_back({o.name, "infeasible", "-", "-"});
+        continue;
+      }
+      rows.push_back(
+          {o.name, std::to_string(plan->transponder_count()),
+           TextTable::num(plan->spectrum_usage_ghz(), 0),
+           TextTable::num(
+               planning::max_supported_scale(net, planner, 12.0, 0.5), 1) +
+               "x"});
     }
-    table.add_row({o.name, std::to_string(plan->transponder_count()),
-                   TextTable::num(plan->spectrum_usage_ghz(), 0),
-                   TextTable::num(
-                       planning::max_supported_scale(net, planner, 12.0, 0.5),
-                       1) +
-                       "x"});
-  }
+    return rows;
+  });
+  TextTable table({"ordering", "txp @1x", "GHz @1x", "max scale"});
+  for (const auto& row : ordering_rows) table.add_row(row);
   std::printf("%s", table.render().c_str());
   std::printf("the 1x costs match (ordering changes packing, not formats);\n"
               "the max scale is where ordering pays off.\n\n");
 
   std::printf("=== Ablation: exact vs heuristic restoration ===\n");
+  const auto rest_rows = bench.run("exact_restoration", [&] {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [demand, side] :
+         std::initializer_list<std::pair<double, double>>{
+             {400, 300}, {600, 400}, {800, 300}, {1000, 300}, {1600, 300}}) {
+      auto ring = ring_net(demand, side);
+      planning::PlannerConfig config;
+      config.band_pixels = 48;
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+      const auto plan = planner.plan(ring);
+      if (!plan) continue;
+      const restoration::FailureScenario scenario{{0}, 1.0};
+      restoration::Restorer heuristic(transponder::svt_flexwan(), {2});
+      const auto h = heuristic.restore(ring, *plan, scenario);
+      restoration::ExactRestorerConfig exact_config;
+      exact_config.k_paths = 2;
+      const auto e = restoration::solve_exact_restoration(
+          ring, *plan, scenario, transponder::svt_flexwan(), exact_config);
+      if (!e) continue;
+      const double gap =
+          e->outcome.restored_gbps > 0
+              ? (e->outcome.restored_gbps - h.restored_gbps) /
+                    e->outcome.restored_gbps
+              : 0.0;
+      rows.push_back({TextTable::num(demand, 0), TextTable::num(side, 0),
+                      TextTable::num(h.affected_gbps, 0),
+                      TextTable::num(h.restored_gbps, 0),
+                      TextTable::num(e->outcome.restored_gbps, 0),
+                      TextTable::num(100.0 * gap, 1) + "%",
+                      std::to_string(e->nodes_explored)});
+    }
+    return rows;
+  });
   TextTable rest({"demand", "side km", "affected", "heuristic", "exact",
                   "gap", "B&B nodes"});
-  for (const auto& [demand, side] : std::initializer_list<std::pair<double, double>>{
-           {400, 300}, {600, 400}, {800, 300}, {1000, 300}, {1600, 300}}) {
-    auto ring = ring_net(demand, side);
-    planning::PlannerConfig config;
-    config.band_pixels = 48;
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    const auto plan = planner.plan(ring);
-    if (!plan) continue;
-    const restoration::FailureScenario scenario{{0}, 1.0};
-    restoration::Restorer heuristic(transponder::svt_flexwan(), {2});
-    const auto h = heuristic.restore(ring, *plan, scenario);
-    restoration::ExactRestorerConfig exact_config;
-    exact_config.k_paths = 2;
-    const auto e = restoration::solve_exact_restoration(
-        ring, *plan, scenario, transponder::svt_flexwan(), exact_config);
-    if (!e) continue;
-    const double gap =
-        e->outcome.restored_gbps > 0
-            ? (e->outcome.restored_gbps - h.restored_gbps) /
-                  e->outcome.restored_gbps
-            : 0.0;
-    rest.add_row({TextTable::num(demand, 0), TextTable::num(side, 0),
-                  TextTable::num(h.affected_gbps, 0),
-                  TextTable::num(h.restored_gbps, 0),
-                  TextTable::num(e->outcome.restored_gbps, 0),
-                  TextTable::num(100.0 * gap, 1) + "%",
-                  std::to_string(e->nodes_explored)});
-  }
+  for (const auto& row : rest_rows) rest.add_row(row);
   std::printf("%s", rest.render().c_str());
   std::printf("(negative gap = the heuristic's partial-credit accounting\n"
               "revived payload the MIP's constraint (7) cannot count)\n\n");
@@ -110,23 +130,29 @@ int main() {
   std::printf("=== Ablation: protection-spectrum reservation ===\n");
   const topology::Network loaded{net.name, net.optical, net.ip.scaled(5.0)};
   const auto scenarios = restoration::single_fiber_cuts(net.optical);
-  TextTable prot({"reserved (GHz)", "max scale", "capability @5x"});
-  for (int reserved : {0, 24, 48, 96}) {
-    planning::PlannerConfig config;
-    config.reserved_pixels = reserved;
-    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
-    const double scale = planning::max_supported_scale(net, planner, 12.0, 0.5);
-    const auto plan = planner.plan(loaded);
-    std::string capability = "infeasible";
-    if (plan) {
-      restoration::Restorer restorer(transponder::svt_flexwan(), {});
-      const auto m = restoration::evaluate_scenarios(loaded, *plan, restorer,
-                                                     scenarios);
-      capability = TextTable::num(m.mean_capability, 3);
+  const auto prot_rows = bench.run("protection_reservation", [&] {
+    std::vector<std::vector<std::string>> rows;
+    for (int reserved : {0, 24, 48, 96}) {
+      planning::PlannerConfig config;
+      config.reserved_pixels = reserved;
+      planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+      const double scale =
+          planning::max_supported_scale(net, planner, 12.0, 0.5);
+      const auto plan = planner.plan(loaded);
+      std::string capability = "infeasible";
+      if (plan) {
+        restoration::Restorer restorer(transponder::svt_flexwan(), {});
+        const auto m = restoration::evaluate_scenarios(loaded, *plan, restorer,
+                                                       scenarios);
+        capability = TextTable::num(m.mean_capability, 3);
+      }
+      rows.push_back({TextTable::num(reserved * 12.5, 0),
+                      TextTable::num(scale, 1) + "x", capability});
     }
-    prot.add_row({TextTable::num(reserved * 12.5, 0),
-                  TextTable::num(scale, 1) + "x", capability});
-  }
+    return rows;
+  });
+  TextTable prot({"reserved (GHz)", "max scale", "capability @5x"});
+  for (const auto& row : prot_rows) prot.add_row(row);
   std::printf("%s", prot.render().c_str());
   std::printf(
       "negative result: reservation costs supported scale but barely moves\n"

@@ -4,11 +4,18 @@
 // along each path (channel consistency) from a holistic view (conflict
 // freedom); per-vendor controllers assign spectrum from vendor-local views
 // over legacy fixed-grid OLS gear, producing both Fig. 5 failure classes.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
+#include <optional>
+#include <vector>
 
+#include "benchlib/benchlib.h"
 #include "controller/centralized.h"
 #include "controller/distributed.h"
 #include "controller/fleet.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "topology/builders.h"
 #include "transponder/catalog.h"
@@ -16,41 +23,74 @@
 
 using namespace flexwan;
 
-int main() {
+namespace {
+
+struct DeployOutcome {
+  std::string topology;
+  int wavelengths = 0;
+  int inconsistencies = 0;
+  int conflicts = 0;
+  std::optional<int> config_rpcs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("sec43_coordination", report.bench_options());
+
   std::printf("=== §4.3: centralized vs distributed optical control ===\n");
   TextTable table({"topology", "control", "wavelengths", "inconsistencies",
                    "conflicts", "RPCs"});
-  for (const auto& net :
-       {topology::make_tbackbone(), topology::make_cernet()}) {
+  const topology::Network nets[] = {topology::make_tbackbone(),
+                                    topology::make_cernet()};
+  const char* case_names[][2] = {{"tbackbone_centralized",
+                                  "tbackbone_per_vendor"},
+                                 {"cernet_centralized",
+                                  "cernet_per_vendor"}};
+  for (int n = 0; n < 2; ++n) {
+    const auto& net = nets[n];
     planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
     const auto plan = planner.plan(net);
     if (!plan) continue;
 
     // FlexWAN: centralized controller + spectrum-sliced (pixel-wise) OLS.
-    controller::Fleet central(net, *plan,
+    const auto central = bench.run(case_names[n][0], [&]() -> DeployOutcome {
+      controller::Fleet fleet(net, *plan,
                               controller::VendorAssignment::kPerRegionMixed,
                               /*pixel_wise_ols=*/true);
-    controller::CentralizedController cc(net);
-    const auto cs = cc.deploy(central);
-    const auto ca = controller::audit_fleet(central, net);
-    table.add_row({net.name, "centralized",
-                   std::to_string(ca.wavelengths),
-                   std::to_string(ca.inconsistencies),
-                   std::to_string(ca.conflicts),
-                   cs ? std::to_string(cs->config_rpcs) : "-"});
+      controller::CentralizedController cc(net);
+      const auto cs = cc.deploy(fleet);
+      const auto audit = controller::audit_fleet(fleet, net);
+      return {net.name, audit.wavelengths, audit.inconsistencies,
+              audit.conflicts,
+              cs ? std::optional<int>(cs->config_rpcs) : std::nullopt};
+    });
+    table.add_row({central.topology, "centralized",
+                   std::to_string(central.wavelengths),
+                   std::to_string(central.inconsistencies),
+                   std::to_string(central.conflicts),
+                   central.config_rpcs ? std::to_string(*central.config_rpcs)
+                                       : "-"});
 
     // Pre-FlexWAN: three vendor controllers, legacy fixed-grid OLS.
-    controller::Fleet distributed(
-        net, *plan, controller::VendorAssignment::kPerRegionMixed,
-        /*pixel_wise_ols=*/false);
-    controller::DistributedControllers dc(net);
-    const auto ds = dc.deploy(distributed);
-    const auto da = controller::audit_fleet(distributed, net);
-    table.add_row({net.name, "per-vendor",
-                   std::to_string(da.wavelengths),
-                   std::to_string(da.inconsistencies),
-                   std::to_string(da.conflicts),
-                   ds ? std::to_string(ds->config_rpcs) : "-"});
+    const auto vendor = bench.run(case_names[n][1], [&]() -> DeployOutcome {
+      controller::Fleet fleet(net, *plan,
+                              controller::VendorAssignment::kPerRegionMixed,
+                              /*pixel_wise_ols=*/false);
+      controller::DistributedControllers dc(net);
+      const auto ds = dc.deploy(fleet);
+      const auto audit = controller::audit_fleet(fleet, net);
+      return {net.name, audit.wavelengths, audit.inconsistencies,
+              audit.conflicts,
+              ds ? std::optional<int>(ds->config_rpcs) : std::nullopt};
+    });
+    table.add_row({vendor.topology, "per-vendor",
+                   std::to_string(vendor.wavelengths),
+                   std::to_string(vendor.inconsistencies),
+                   std::to_string(vendor.conflicts),
+                   vendor.config_rpcs ? std::to_string(*vendor.config_rpcs)
+                                      : "-"});
   }
   std::printf("%s", table.render().c_str());
   std::printf(

@@ -4,16 +4,23 @@
 // the measured optical reach.  Here the testbed rig is the simulated device
 // chain driven by the calibrated physical-layer model; the table compares
 // the sweep's measured reach to the paper's Table 2 row by row.
+//
+// --bench-json <file> (with --warmup/--reps) records wall-clock telemetry
+// through the benchlib harness; stdout is byte-identical either way.
 #include <cstdio>
 
+#include "benchlib/benchlib.h"
 #include "hardware/testbed.h"
+#include "obs/report.h"
 #include "phy/calibration.h"
 #include "transponder/catalog.h"
 #include "util/table.h"
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("table2_testbed", report.bench_options());
   const auto& catalog = transponder::svt_flexwan();
   const auto model = phy::calibrate(catalog);
 
@@ -23,8 +30,10 @@ int main() {
               model.plant().amp_noise_figure_db,
               model.plant().launch_power_dbm);
 
-  hardware::Testbed testbed(model);
-  const auto rows = testbed.measure_catalog(catalog);
+  const auto rows = bench.run("reach_sweep", [&] {
+    hardware::Testbed testbed(model);
+    return testbed.measure_catalog(catalog);
+  });
 
   TextTable table({"rate (Gbps)", "spacing (GHz)", "paper reach (km)",
                    "measured (km)", "error", "sweep steps"});

@@ -8,10 +8,14 @@
 // Pass --threads N to size the execution engine (default: one thread per
 // hardware thread; 1 = serial).  Output is byte-identical at every N.
 // --metrics / --trace <file.json> write observability reports (obs/report.h)
-// without touching stdout.
+// and --bench-json <file.json> (with --warmup/--reps) records per-case
+// wall-clock + metrics-delta telemetry — none of them touch stdout.
 #include <cstdio>
+#include <string>
 #include <utility>
+#include <vector>
 
+#include "benchlib/benchlib.h"
 #include "engine/engine.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
@@ -20,6 +24,7 @@
 #include "te/traffic.h"
 #include "topology/builders.h"
 #include "transponder/catalog.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 using namespace flexwan;
@@ -27,6 +32,8 @@ using namespace flexwan;
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("te_availability", report.bench_options(),
+                          engine.thread_count());
   obs::announce_threads(engine.thread_count());
   const auto base = topology::make_tbackbone();
   const topology::Network net{base.name, base.optical, base.ip.scaled(2.0)};
@@ -38,47 +45,56 @@ int main(int argc, char** argv) {
   for (const auto* catalog :
        {&transponder::fixed_grid_100g(), &transponder::bvt_radwan(),
         &transponder::svt_flexwan()}) {
-    planning::HeuristicPlanner planner(*catalog, {});
-    const auto plan = planner.plan(net, engine);
-    if (!plan) {
-      table.add_row({catalog->name(), "plan infeasible", "-", "-", "-"});
-      continue;
-    }
-    Rng rng(17);
-    const auto matrix = te::random_traffic(net, *plan, 0.7, rng, 48);
-    const auto healthy =
-        te::route_traffic(net, te::capacities_from_plan(net, *plan), matrix);
-    if (!healthy) continue;
+    const auto row = bench.run(
+        "availability_" + catalog->name(),
+        [&]() -> std::vector<std::string> {
+          planning::HeuristicPlanner planner(*catalog, {});
+          const auto plan = planner.plan(net, engine);
+          if (!plan) {
+            return {catalog->name(), "plan infeasible", "-", "-", "-"};
+          }
+          // Re-seeded per repetition so every rep routes the same matrix.
+          Rng rng(17);
+          const auto matrix = te::random_traffic(net, *plan, 0.7, rng, 48);
+          const auto healthy = te::route_traffic(
+              net, te::capacities_from_plan(net, *plan), matrix);
+          if (!healthy) return {};
 
-    // Each scenario's restore + two MCF routings are independent; fan them
-    // out and reduce the availability sums in scenario order.
-    restoration::Restorer restorer(*catalog);
-    const auto per_scenario = engine.parallel_map(
-        scenarios.size(), [&](std::size_t i) -> std::pair<double, double> {
-          const auto& scenario = scenarios[i];
-          const auto degraded = te::route_traffic(
-              net, te::degraded_capacities(net, *plan, scenario), matrix);
-          const auto outcome = restorer.restore(net, *plan, scenario);
-          const auto restored = te::route_traffic(
-              net, te::restored_capacities(net, *plan, scenario, outcome),
-              matrix);
-          return {degraded ? degraded->availability() : 0.0,
-                  restored ? restored->availability() : 0.0};
+          // Each scenario's restore + two MCF routings are independent; fan
+          // them out and reduce the availability sums in scenario order.
+          restoration::Restorer restorer(*catalog);
+          const auto per_scenario = engine.parallel_map(
+              scenarios.size(),
+              [&](std::size_t i) -> std::pair<double, double> {
+                const auto& scenario = scenarios[i];
+                const auto degraded = te::route_traffic(
+                    net, te::degraded_capacities(net, *plan, scenario),
+                    matrix);
+                const auto outcome = restorer.restore(net, *plan, scenario);
+                const auto restored = te::route_traffic(
+                    net,
+                    te::restored_capacities(net, *plan, scenario, outcome),
+                    matrix);
+                return {degraded ? degraded->availability() : 0.0,
+                        restored ? restored->availability() : 0.0};
+              });
+          double degraded_sum = 0.0;
+          double restored_sum = 0.0;
+          for (const auto& [degraded, restored] : per_scenario) {
+            degraded_sum += degraded;
+            restored_sum += restored;
+          }
+          const double n = static_cast<double>(scenarios.size());
+          return {catalog->name(),
+                  TextTable::num(100.0 * healthy->availability(), 1) + "%",
+                  TextTable::num(100.0 * degraded_sum / n, 1) + "%",
+                  TextTable::num(100.0 * restored_sum / n, 1) + "%",
+                  "+" +
+                      TextTable::num(
+                          100.0 * (restored_sum - degraded_sum) / n, 1) +
+                      "pp"};
         });
-    double degraded_sum = 0.0;
-    double restored_sum = 0.0;
-    for (const auto& [degraded, restored] : per_scenario) {
-      degraded_sum += degraded;
-      restored_sum += restored;
-    }
-    const double n = static_cast<double>(scenarios.size());
-    table.add_row(
-        {catalog->name(),
-         TextTable::num(100.0 * healthy->availability(), 1) + "%",
-         TextTable::num(100.0 * degraded_sum / n, 1) + "%",
-         TextTable::num(100.0 * restored_sum / n, 1) + "%",
-         "+" + TextTable::num(100.0 * (restored_sum - degraded_sum) / n, 1) +
-             "pp"});
+    if (!row.empty()) table.add_row(row);
   }
   std::printf("%s", table.render().c_str());
   std::printf(

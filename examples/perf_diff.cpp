@@ -1,0 +1,91 @@
+// perf_diff — the perf-regression gate over two BENCH_*.json files.
+//
+//   perf_diff <baseline.json> <candidate.json> [--threshold F]
+//
+// Loads both files (benchlib/compare.h), compares case-by-case on median
+// wall time, prints a readable table, and exits:
+//   0  no regressions (self-compare always lands here),
+//   1  at least one regression or vanished case,
+//   2  usage / parse / schema errors.
+// The threshold is a fraction of the baseline median (default 0.10 =
+// ±10 %); see DESIGN.md "Benchmark telemetry" for the gate policy.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "benchlib/compare.h"
+
+using namespace flexwan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: perf_diff <baseline.json> <candidate.json> "
+               "[--threshold F]\n"
+               "  F: allowed median wall-time change as a fraction "
+               "(default 0.10 = +-10%%)\n");
+  return 2;
+}
+
+// Strict threshold parse: a finite decimal fraction in (0, 10].
+bool parse_threshold(const char* value, double* out) {
+  if (value == nullptr || *value == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE) return false;
+  if (!(parsed > 0.0) || parsed > 10.0) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--threshold") == 0) {
+      if (i + 1 >= argc) return usage();
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      value = arg + 12;
+    } else {
+      files.push_back(arg);
+      continue;
+    }
+    if (!parse_threshold(value, &threshold)) {
+      std::fprintf(stderr, "perf_diff: invalid --threshold value '%s'\n",
+                   value);
+      return 2;
+    }
+  }
+  if (files.size() != 2) return usage();
+
+  const auto baseline = benchlib::load_bench_report_file(files[0]);
+  if (!baseline) {
+    std::fprintf(stderr, "perf_diff: %s\n", baseline.error().message.c_str());
+    return 2;
+  }
+  const auto candidate = benchlib::load_bench_report_file(files[1]);
+  if (!candidate) {
+    std::fprintf(stderr, "perf_diff: %s\n", candidate.error().message.c_str());
+    return 2;
+  }
+
+  const auto comparison =
+      benchlib::compare_reports(*baseline, *candidate, threshold);
+  if (!comparison) {
+    std::fprintf(stderr, "perf_diff: %s\n",
+                 comparison.error().message.c_str());
+    return 2;
+  }
+  std::printf("%s", comparison->render().c_str());
+  return comparison->failures() > 0 ? 1 : 0;
+}

@@ -1,0 +1,181 @@
+#include "benchlib/benchlib.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+// Build provenance is injected by src/benchlib/CMakeLists.txt; the
+// fallbacks keep non-CMake builds (e.g. IDE single-file checks) compiling.
+#ifndef FLEXWAN_BUILD_TYPE
+#define FLEXWAN_BUILD_TYPE "unknown"
+#endif
+#ifndef FLEXWAN_COMPILER
+#define FLEXWAN_COMPILER "unknown"
+#endif
+#ifndef FLEXWAN_CXX_FLAGS
+#define FLEXWAN_CXX_FLAGS ""
+#endif
+
+namespace flexwan::benchlib {
+
+namespace json = obs::json;
+
+TimingStats compute_stats(const std::vector<double>& wall_us) {
+  TimingStats stats;
+  if (wall_us.empty()) return stats;
+  const auto n = static_cast<double>(wall_us.size());
+  std::vector<double> sorted = wall_us;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min_us = sorted.front();
+  const std::size_t mid = sorted.size() / 2;
+  stats.median_us = sorted.size() % 2 == 1
+                        ? sorted[mid]
+                        : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  stats.mean_us = sum / n;
+  double var = 0.0;
+  for (double v : sorted) var += (v - stats.mean_us) * (v - stats.mean_us);
+  stats.stddev_us = std::sqrt(var / n);
+  return stats;
+}
+
+Provenance make_provenance(int threads) {
+  Provenance p;
+  p.threads = threads;
+  p.build_type = FLEXWAN_BUILD_TYPE;
+  p.compiler = FLEXWAN_COMPILER;
+  p.cxx_flags = FLEXWAN_CXX_FLAGS;
+  // Opaque per-process token: wall time mixed with the pid (splitmix64),
+  // rendered as hex.  No hostname, user, or path material goes in.
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(
+          std::chrono::system_clock::now().time_since_epoch().count()) ^
+      (static_cast<std::uint64_t>(::getpid()) << 32);
+  seed += 0x9e3779b97f4a7c15ull;
+  seed = (seed ^ (seed >> 30)) * 0xbf58476d1ce4e5b9ull;
+  seed = (seed ^ (seed >> 27)) * 0x94d049bb133111ebull;
+  seed ^= seed >> 31;
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(seed));
+  p.run_id = buf;
+  return p;
+}
+
+Harness::Harness(std::string bench_name, obs::BenchOptions options,
+                 int threads)
+    : name_(std::move(bench_name)),
+      options_(std::move(options)),
+      provenance_(make_provenance(threads)) {}
+
+Harness::~Harness() {
+  if (!enabled()) return;
+  const auto result = write();
+  if (!result) {
+    std::fprintf(stderr, "benchlib: %s\n", result.error().message.c_str());
+  }
+}
+
+void Harness::finish_case(CaseResult record,
+                          const obs::MetricsSnapshot& before) {
+  record.stats = compute_stats(record.wall_us);
+  record.delta = obs::snapshot_delta(before, obs::Registry::instance().snapshot());
+  std::fprintf(stderr,
+               "bench[%s] %s: median %.1f us  mean %.1f us  stddev %.1f us  "
+               "(reps %d, warmup %d)\n",
+               name_.c_str(), record.name.c_str(), record.stats.median_us,
+               record.stats.mean_us, record.stats.stddev_us, record.reps,
+               record.warmup);
+  results_.push_back(std::move(record));
+}
+
+namespace {
+
+void append_metrics(std::ostringstream& out, const obs::MetricsSnapshot& m) {
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : m.counters) {
+    out << (first ? "" : ", ") << '"' << json::escape(name) << "\": " << v;
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : m.gauges) {
+    out << (first ? "" : ", ") << '"' << json::escape(name)
+        << "\": " << json::number_to_string(v);
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : m.histograms) {
+    out << (first ? "" : ", ") << '"' << json::escape(name)
+        << "\": {\"count\": " << h.count
+        << ", \"sum\": " << json::number_to_string(h.sum) << "}";
+    first = false;
+  }
+  out << "}}";
+}
+
+}  // namespace
+
+std::string Harness::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << kBenchSchemaVersion << ",\n"
+      << "  \"bench\": \"" << json::escape(name_) << "\",\n"
+      << "  \"warmup\": " << options_.warmup << ",\n"
+      << "  \"reps\": " << options_.reps << ",\n"
+      << "  \"provenance\": {"
+      << "\"threads\": " << provenance_.threads
+      << ", \"build_type\": \"" << json::escape(provenance_.build_type)
+      << "\", \"compiler\": \"" << json::escape(provenance_.compiler)
+      << "\", \"cxx_flags\": \"" << json::escape(provenance_.cxx_flags)
+      << "\", \"run_id\": \"" << json::escape(provenance_.run_id) << "\"},\n"
+      << "  \"cases\": [";
+  bool first_case = true;
+  for (const auto& c : results_) {
+    out << (first_case ? "" : ",") << "\n    {\"name\": \""
+        << json::escape(c.name) << "\", \"warmup\": " << c.warmup
+        << ", \"reps\": " << c.reps << ",\n     \"wall_us\": [";
+    for (std::size_t i = 0; i < c.wall_us.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << json::number_to_string(c.wall_us[i]);
+    }
+    out << "],\n     \"wall_stats_us\": {\"min\": "
+        << json::number_to_string(c.stats.min_us)
+        << ", \"median\": " << json::number_to_string(c.stats.median_us)
+        << ", \"mean\": " << json::number_to_string(c.stats.mean_us)
+        << ", \"stddev\": " << json::number_to_string(c.stats.stddev_us)
+        << "},\n     \"metrics\": ";
+    append_metrics(out, c.delta);
+    out << "}";
+    first_case = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+Expected<bool> Harness::write() const {
+  if (options_.json_path.empty()) {
+    return Error::make("no_path", "bench json path not configured");
+  }
+  std::ofstream out(options_.json_path, std::ios::trunc);
+  if (!out) {
+    return Error::make("io_error",
+                       "cannot open " + options_.json_path + " for writing");
+  }
+  out << to_json();
+  out.flush();
+  if (!out) {
+    return Error::make("io_error", "short write to " + options_.json_path);
+  }
+  return true;
+}
+
+}  // namespace flexwan::benchlib

@@ -1,0 +1,151 @@
+// Benchmark telemetry harness (layered on src/obs).
+//
+// The 14 bench_* binaries print paper-figure tables; this harness turns
+// them into *instruments* that also record machine-readable evidence: each
+// named case runs `--warmup` discarded repetitions plus `--reps` measured
+// ones, records per-rep wall time (min/median/mean/stddev) and the case's
+// own metrics deltas (obs::Registry::snapshot() diffs, so a case reports
+// its simplex pivots or KSP calls rather than process-lifetime totals),
+// and the whole run lands in a schema-versioned BENCH_<name>.json when
+// `--bench-json <path>` is given.
+//
+// The determinism contract is inherited from src/obs: the harness never
+// writes to stdout.  Telemetry goes to the JSON file and a per-case
+// summary line on stderr.  When the harness is disabled (no --bench-json)
+// run() degrades to calling the body exactly once and returning its value
+// — byte-for-byte the pre-harness behavior.  Case bodies must therefore
+// be pure computations over their inputs (no printing, no shared mutable
+// state): with reps > 1 the body runs several times and only the final
+// repetition's return value reaches the caller's printing code.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "util/expected.h"
+
+namespace flexwan::benchlib {
+
+// Bumped whenever the BENCH_*.json layout changes incompatibly;
+// perf_diff refuses to compare files with mismatched versions.
+inline constexpr int kBenchSchemaVersion = 1;
+
+// Wall-time summary over the measured repetitions, in microseconds.
+struct TimingStats {
+  double min_us = 0.0;
+  double median_us = 0.0;
+  double mean_us = 0.0;
+  double stddev_us = 0.0;  // population stddev; 0 for a single rep
+};
+
+TimingStats compute_stats(const std::vector<double>& wall_us);
+
+// One completed case: timing per rep plus the metrics the case itself
+// produced (deltas over the measured reps — totals across all `reps`
+// repetitions, not per-rep averages).
+struct CaseResult {
+  std::string name;
+  int warmup = 0;
+  int reps = 1;
+  std::vector<double> wall_us;
+  TimingStats stats;
+  obs::MetricsSnapshot delta;
+};
+
+// Where the numbers came from.  Deliberately hostname-free (BENCH files
+// are meant to be attached to PRs): the run id only disambiguates runs,
+// it does not identify machines.
+struct Provenance {
+  int threads = 1;
+  std::string build_type;   // CMAKE_BUILD_TYPE
+  std::string compiler;     // "<id> <version>"
+  std::string cxx_flags;    // base + build-type optimization flags
+  std::string run_id;       // opaque hex token, fresh per process
+};
+
+Provenance make_provenance(int threads);
+
+class Harness {
+ public:
+  // `options` normally comes from obs::report_from_flags(...).bench_options();
+  // `threads` is recorded as provenance only.
+  Harness(std::string bench_name, obs::BenchOptions options, int threads = 1);
+
+  // Writes the BENCH json on scope exit (enabled harnesses only); write
+  // failures go to stderr, never thrown.
+  ~Harness();
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  bool enabled() const { return options_.enabled(); }
+  const std::string& name() const { return name_; }
+  const obs::BenchOptions& options() const { return options_; }
+  const std::vector<CaseResult>& results() const { return results_; }
+
+  // Runs one named case.  Disabled: calls fn once, records nothing.
+  // Enabled: `warmup` discarded runs, then `reps` timed runs bracketed by
+  // registry snapshots; returns the final repetition's value.
+  template <typename Fn>
+  auto run(const std::string& case_name, Fn&& fn) -> decltype(fn()) {
+    using Result = decltype(fn());
+    if (!enabled()) return fn();
+    for (int i = 0; i < options_.warmup; ++i) static_cast<void>(fn());
+    CaseResult record;
+    record.name = case_name;
+    record.warmup = options_.warmup;
+    record.reps = options_.reps;
+    record.wall_us.reserve(static_cast<std::size_t>(options_.reps));
+    const obs::MetricsSnapshot before = obs::Registry::instance().snapshot();
+    if constexpr (std::is_void_v<Result>) {
+      for (int rep = 0; rep < options_.reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        record.wall_us.push_back(elapsed_us(t0));
+      }
+      finish_case(std::move(record), before);
+    } else {
+      std::optional<Result> result;
+      for (int rep = 0; rep < options_.reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        result.emplace(fn());
+        record.wall_us.push_back(elapsed_us(t0));
+      }
+      finish_case(std::move(record), before);
+      return std::move(*result);
+    }
+  }
+
+  // The full BENCH document (schema kBenchSchemaVersion; layout spec in
+  // DESIGN.md "Benchmark telemetry").
+  std::string to_json() const;
+
+  // Writes to_json() to the configured path now.  The destructor writes
+  // again unless release() is called (idempotent, like obs::RunReport).
+  Expected<bool> write() const;
+  void release() { options_.json_path.clear(); }
+
+ private:
+  static double elapsed_us(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  // Stats + metrics delta + stderr summary, then stores the record.
+  void finish_case(CaseResult record, const obs::MetricsSnapshot& before);
+
+  std::string name_;
+  obs::BenchOptions options_;
+  Provenance provenance_;
+  std::vector<CaseResult> results_;
+};
+
+}  // namespace flexwan::benchlib

@@ -1,0 +1,191 @@
+#include "benchlib/compare.h"
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "benchlib/benchlib.h"
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace flexwan::benchlib {
+
+namespace json = obs::json;
+
+namespace {
+
+Error malformed(const std::string& what) {
+  return Error::make("bad_bench_report", what);
+}
+
+}  // namespace
+
+Expected<BenchReport> load_bench_report(const std::string& json_text) {
+  auto parsed = json::parse(json_text);
+  if (!parsed) return parsed.error();
+  const json::Value& doc = parsed.value();
+  if (!doc.is_object()) return malformed("document is not an object");
+
+  BenchReport report;
+  const json::Value* version = doc.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return malformed("missing schema_version");
+  }
+  report.schema_version = static_cast<int>(version->as_number());
+  if (report.schema_version != kBenchSchemaVersion) {
+    return malformed("unsupported schema_version " +
+                     std::to_string(report.schema_version) + " (want " +
+                     std::to_string(kBenchSchemaVersion) + ")");
+  }
+  const json::Value* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    return malformed("missing bench name");
+  }
+  report.bench = bench->as_string();
+
+  const json::Value* cases = doc.find("cases");
+  if (cases == nullptr || !cases->is_array()) {
+    return malformed("missing cases array");
+  }
+  for (const json::Value& entry : cases->as_array()) {
+    const json::Value* name = entry.find("name");
+    const json::Value* stats = entry.find("wall_stats_us");
+    if (name == nullptr || !name->is_string() || stats == nullptr) {
+      return malformed("case missing name or wall_stats_us");
+    }
+    const json::Value* median = stats->find("median");
+    const json::Value* mean = stats->find("mean");
+    if (median == nullptr || !median->is_number() || mean == nullptr ||
+        !mean->is_number()) {
+      return malformed("case '" + name->as_string() +
+                       "' missing median/mean");
+    }
+    BenchReport::Case c;
+    c.name = name->as_string();
+    c.median_us = median->as_number();
+    c.mean_us = mean->as_number();
+    const json::Value* reps = entry.find("reps");
+    if (reps != nullptr && reps->is_number()) {
+      c.reps = static_cast<int>(reps->as_number());
+    }
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+Expected<BenchReport> load_bench_report_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error::make("io_error", "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto report = load_bench_report(buffer.str());
+  if (!report) {
+    return Error::make(report.error().code,
+                       path + ": " + report.error().message);
+  }
+  return report;
+}
+
+const char* case_status_name(CaseStatus status) {
+  switch (status) {
+    case CaseStatus::kOk: return "ok";
+    case CaseStatus::kRegression: return "REGRESSION";
+    case CaseStatus::kImprovement: return "improvement";
+    case CaseStatus::kOnlyBaseline: return "VANISHED";
+    case CaseStatus::kOnlyCandidate: return "new";
+  }
+  return "?";
+}
+
+Expected<ComparisonReport> compare_reports(const BenchReport& baseline,
+                                           const BenchReport& candidate,
+                                           double threshold) {
+  if (!std::isfinite(threshold) || threshold <= 0.0 || threshold > 10.0) {
+    return Error::make("bad_threshold",
+                       "threshold must be a finite fraction in (0, 10]");
+  }
+  if (baseline.bench != candidate.bench) {
+    return Error::make("bench_mismatch", "baseline is '" + baseline.bench +
+                                             "' but candidate is '" +
+                                             candidate.bench + "'");
+  }
+
+  ComparisonReport out;
+  out.bench = baseline.bench;
+  out.threshold = threshold;
+
+  std::map<std::string, const BenchReport::Case*> candidate_by_name;
+  for (const auto& c : candidate.cases) candidate_by_name[c.name] = &c;
+
+  std::map<std::string, bool> seen_in_baseline;
+  for (const auto& base : baseline.cases) {
+    seen_in_baseline[base.name] = true;
+    CaseComparison cmp;
+    cmp.name = base.name;
+    cmp.baseline_median_us = base.median_us;
+    const auto it = candidate_by_name.find(base.name);
+    if (it == candidate_by_name.end()) {
+      cmp.status = CaseStatus::kOnlyBaseline;
+      ++out.vanished;
+    } else {
+      cmp.candidate_median_us = it->second->median_us;
+      cmp.ratio = base.median_us > 0.0
+                      ? cmp.candidate_median_us / base.median_us
+                      : (cmp.candidate_median_us > 0.0 ? HUGE_VAL : 1.0);
+      if (cmp.candidate_median_us > base.median_us * (1.0 + threshold)) {
+        cmp.status = CaseStatus::kRegression;
+        ++out.regressions;
+      } else if (cmp.candidate_median_us < base.median_us * (1.0 - threshold)) {
+        cmp.status = CaseStatus::kImprovement;
+        ++out.improvements;
+      }
+    }
+    out.cases.push_back(std::move(cmp));
+  }
+  for (const auto& c : candidate.cases) {
+    if (seen_in_baseline.count(c.name) != 0) continue;
+    CaseComparison cmp;
+    cmp.name = c.name;
+    cmp.status = CaseStatus::kOnlyCandidate;
+    cmp.candidate_median_us = c.median_us;
+    out.cases.push_back(std::move(cmp));
+  }
+  return out;
+}
+
+std::string ComparisonReport::render() const {
+  TextTable table({"case", "baseline (us)", "candidate (us)", "delta",
+                   "status"});
+  for (const auto& c : cases) {
+    std::string delta = "-";
+    if (c.status != CaseStatus::kOnlyBaseline &&
+        c.status != CaseStatus::kOnlyCandidate && c.ratio > 0.0 &&
+        std::isfinite(c.ratio)) {
+      const double pct = 100.0 * (c.ratio - 1.0);
+      delta = (pct >= 0.0 ? "+" : "") + TextTable::num(pct, 1) + "%";
+    }
+    table.add_row(
+        {c.name,
+         c.status == CaseStatus::kOnlyCandidate
+             ? "-"
+             : TextTable::num(c.baseline_median_us, 1),
+         c.status == CaseStatus::kOnlyBaseline
+             ? "-"
+             : TextTable::num(c.candidate_median_us, 1),
+         delta, case_status_name(c.status)});
+  }
+  std::ostringstream out;
+  out << "bench '" << bench << "' vs baseline (threshold +-"
+      << TextTable::num(100.0 * threshold, 0) << "% on median wall time)\n"
+      << table.render();
+  if (failures() > 0) {
+    out << "FAIL: " << regressions << " regression(s), " << vanished
+        << " vanished case(s)\n";
+  } else {
+    out << "OK: no regressions (" << improvements << " improvement(s))\n";
+  }
+  return out.str();
+}
+
+}  // namespace flexwan::benchlib

@@ -1,0 +1,82 @@
+// The perf-regression gate: load two BENCH_*.json files (emitted by
+// benchlib::Harness) and compare them case by case on median wall time.
+//
+// Policy (DESIGN.md "Benchmark telemetry"):
+//   * candidate median >  baseline median * (1 + threshold)  -> regression
+//   * candidate median <  baseline median * (1 - threshold)  -> improvement
+//   * a case present in the baseline but missing from the candidate is a
+//     gate failure too (a deleted case can hide a regression);
+//   * a case only in the candidate is informational (new coverage).
+// The default threshold is 0.10 (±10 %).  `failures()` counts regressions
+// plus vanished cases; the perf_diff tool exits non-zero when it is > 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace flexwan::benchlib {
+
+// The slice of a BENCH json document the gate needs.
+struct BenchReport {
+  int schema_version = 0;
+  std::string bench;
+  struct Case {
+    std::string name;
+    int reps = 0;
+    double median_us = 0.0;
+    double mean_us = 0.0;
+  };
+  std::vector<Case> cases;
+};
+
+// Parses a BENCH_*.json document (via obs/json.h).  Rejects documents
+// whose schema_version is not kBenchSchemaVersion or that lack the
+// required fields.
+Expected<BenchReport> load_bench_report(const std::string& json_text);
+
+// Convenience: read + parse a file.
+Expected<BenchReport> load_bench_report_file(const std::string& path);
+
+enum class CaseStatus {
+  kOk,            // within ±threshold
+  kRegression,    // candidate slower than baseline beyond threshold
+  kImprovement,   // candidate faster than baseline beyond threshold
+  kOnlyBaseline,  // case vanished from the candidate (gate failure)
+  kOnlyCandidate  // new case, informational
+};
+
+const char* case_status_name(CaseStatus status);
+
+struct CaseComparison {
+  std::string name;
+  CaseStatus status = CaseStatus::kOk;
+  double baseline_median_us = 0.0;
+  double candidate_median_us = 0.0;
+  double ratio = 0.0;  // candidate / baseline; 0 when either side is absent
+};
+
+struct ComparisonReport {
+  std::string bench;
+  double threshold = 0.10;
+  std::vector<CaseComparison> cases;  // baseline order, then new cases
+
+  int regressions = 0;     // kRegression count
+  int vanished = 0;        // kOnlyBaseline count
+  int improvements = 0;    // kImprovement count
+
+  int failures() const { return regressions + vanished; }
+
+  // Human-readable comparison table plus a one-line verdict.
+  std::string render() const;
+};
+
+// Compares case-by-case on median wall time.  Errors when the two reports
+// describe different benches (comparing fig12 against fig15 is never
+// meaningful) or the threshold is not a finite value in (0, 10].
+Expected<ComparisonReport> compare_reports(const BenchReport& baseline,
+                                           const BenchReport& candidate,
+                                           double threshold = 0.10);
+
+}  // namespace flexwan::benchlib

@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace flexwan::obs::json {
@@ -23,6 +25,14 @@ class Parser {
   }
 
  private:
+  // parse_object/parse_array bump depth_ *before* constructing the guard so
+  // the over-limit check happens first; the guard only undoes the bump.
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {}
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   Error fail(const std::string& what) const {
     return Error::make("json_parse",
                        what + " at offset " + std::to_string(pos_));
@@ -77,6 +87,8 @@ class Parser {
   }
 
   Expected<Value> parse_object() {
+    if (++depth_ > kMaxNestingDepth) return fail("nesting too deep");
+    const DepthGuard guard(this);
     ++pos_;  // '{'
     Object out;
     skip_ws();
@@ -102,6 +114,8 @@ class Parser {
   }
 
   Expected<Value> parse_array() {
+    if (++depth_ > kMaxNestingDepth) return fail("nesting too deep");
+    const DepthGuard guard(this);
     ++pos_;  // '['
     Array out;
     skip_ws();
@@ -199,12 +213,46 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
 
 Expected<Value> parse(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+std::string number_to_string(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no Inf/NaN literals
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace flexwan::obs::json

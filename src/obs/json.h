@@ -1,11 +1,17 @@
-// Minimal JSON reader used to validate the observability outputs.
+// Minimal JSON reader and writer helpers for the observability outputs.
 //
-// The obs layer *emits* JSON (metrics reports, Chrome traces); tests and
-// tools want to parse those files back to assert well-formedness and probe
-// values.  This is a strict little recursive-descent parser over the JSON
-// grammar — objects, arrays, strings (with escapes), numbers, true/false/
-// null — returning an owning Value tree.  It is not a general-purpose JSON
-// library: no comments, no trailing commas, no streaming.
+// The obs layer *emits* JSON (metrics reports, Chrome traces, BENCH
+// telemetry); tests and tools want to parse those files back to assert
+// well-formedness and probe values.  This is a strict little recursive-
+// descent parser over the JSON grammar — objects, arrays, strings (with
+// escapes), numbers, true/false/null — returning an owning Value tree.
+// It is not a general-purpose JSON library: no comments, no trailing
+// commas, no streaming.  Nesting is bounded (kMaxNestingDepth) so a
+// degenerate "[[[[…" document errors out instead of exhausting the stack.
+//
+// The writer side (number_to_string / escape) is shared by every JSON
+// emitter in the repo so numeric round-trip behavior cannot drift between
+// the metrics report and the bench telemetry.
 #pragma once
 
 #include <map>
@@ -55,7 +61,24 @@ class Value {
   Storage storage_;
 };
 
+// Maximum object/array nesting the parser accepts.  Far above anything the
+// obs emitters produce (their documents are <= 4 deep); it exists so a
+// hostile or corrupted input fails with a parse error instead of a stack
+// overflow.
+inline constexpr int kMaxNestingDepth = 128;
+
 // Parses a complete JSON document (errors on trailing garbage).
 Expected<Value> parse(std::string_view text);
+
+// Shortest decimal representation of `v` that strtod parses back to
+// exactly `v` (tries %.15g, %.16g, %.17g — the old fixed %.9g dropped
+// precision for counters >= ~2^30 and fractional gauges).  Trailing zeros
+// are trimmed by %g; -0.0 keeps its sign.  Non-finite values (which no
+// obs emitter produces) render as 0 to keep the output valid JSON.
+std::string number_to_string(double v);
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes,
+// backslashes, and control characters; everything else passes through).
+std::string escape(const std::string& s);
 
 }  // namespace flexwan::obs::json

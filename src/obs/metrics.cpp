@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace flexwan::obs {
 
 namespace detail {
@@ -20,36 +22,11 @@ void set_bit(unsigned bit, bool on) {
   }
 }
 
-// Compact JSON number: %.9g round-trips every value we report (counts are
-// exact, durations are microseconds) and stays a valid JSON literal.
-std::string json_num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Exact round-trip serialization lives in obs/json.h, shared with every
+// other emitter (the previous local %.9g dropped precision for counters
+// >= ~2^30 and fractional gauges).
+const auto& json_num = json::number_to_string;
+const auto& json_escape = json::escape;
 
 }  // namespace
 
@@ -129,6 +106,42 @@ void Registry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = {h->count(), h->count() == 0 ? 0.0 : h->sum()};
+  }
+  return snap;
+}
+
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, v] : after.counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t base = it == before.counters.end() ? 0 : it->second;
+    if (v != base) delta.counters[name] = v - base;
+  }
+  for (const auto& [name, v] : after.gauges) {
+    const auto it = before.gauges.find(name);
+    const double base = it == before.gauges.end() ? 0.0 : it->second;
+    if (v != base) delta.gauges[name] = v - base;
+  }
+  for (const auto& [name, h] : after.histograms) {
+    const auto it = before.histograms.find(name);
+    const MetricsSnapshot::HistogramTotals base =
+        it == before.histograms.end() ? MetricsSnapshot::HistogramTotals{}
+                                      : it->second;
+    if (h.count != base.count || h.sum != base.sum) {
+      delta.histograms[name] = {h.count - base.count, h.sum - base.sum};
+    }
+  }
+  return delta;
 }
 
 std::string Registry::to_json() const {

@@ -125,6 +125,27 @@ class Histogram {
 // cross-subsystem latency reports line up bucket for bucket.
 const std::vector<double>& default_latency_bounds_us();
 
+// A point-in-time copy of every registered value, keyed by name.  Cheap to
+// diff, so a caller can attribute work to a phase: snapshot before, run,
+// snapshot after, snapshot_delta().  Histograms keep only the running
+// count/sum (per-bucket deltas are not needed for attribution).
+struct MetricsSnapshot {
+  struct HistogramTotals {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramTotals> histograms;
+};
+
+// after − before, per name, dropping entries whose delta is zero (a bench
+// case's delta only names the metrics that case actually moved).  Counters
+// are monotonic, so entries absent from `before` count from zero; gauges
+// may move in either direction (a set() shows up as its net change).
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
 // Process-wide name -> metric map.  Registration takes a mutex; returned
 // pointers are stable for the life of the process (entries are never
 // erased), so call sites cache them in function-local statics.
@@ -141,6 +162,12 @@ class Registry {
   // Zeroes every value; handles stay valid (used by tests and benches that
   // want per-phase reports).
   void reset();
+
+  // Copies every current value under the registration mutex.  Concurrent
+  // writers use relaxed atomics, so a snapshot taken while work is in
+  // flight is a per-metric-consistent (not cross-metric-atomic) view;
+  // bracketing quiescent points (as the bench harness does) is exact.
+  MetricsSnapshot snapshot() const;
 
   // Deterministic (name-sorted) JSON snapshot:
   //   {"counters": {...}, "gauges": {...}, "histograms": {...}}

@@ -1,5 +1,6 @@
 #include "obs/report.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,7 +43,8 @@ RunReport::~RunReport() {
 
 RunReport::RunReport(RunReport&& other) noexcept
     : metrics_path_(std::move(other.metrics_path_)),
-      trace_path_(std::move(other.trace_path_)) {
+      trace_path_(std::move(other.trace_path_)),
+      bench_options_(std::move(other.bench_options_)) {
   other.release();
 }
 
@@ -50,6 +52,7 @@ RunReport& RunReport::operator=(RunReport&& other) noexcept {
   if (this != &other) {
     metrics_path_ = std::move(other.metrics_path_);
     trace_path_ = std::move(other.trace_path_);
+    bench_options_ = std::move(other.bench_options_);
     other.release();
   }
   return *this;
@@ -68,44 +71,93 @@ Expected<bool> RunReport::write() const {
   return result;
 }
 
+Expected<int> parse_rep_count(const char* flag, const char* value,
+                              int min_value) {
+  if (value == nullptr || *value == '\0') {
+    return Error::make("bad_count", std::string(flag) + " requires a value");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    return Error::make("bad_count", "invalid " + std::string(flag) +
+                                        " value '" + value +
+                                        "' (not an integer)");
+  }
+  if (errno == ERANGE || parsed < min_value || parsed > kMaxBenchReps) {
+    return Error::make("bad_count",
+                       std::string(flag) + " value '" + value +
+                           "' out of range [" + std::to_string(min_value) +
+                           ", " + std::to_string(kMaxBenchReps) + "]");
+  }
+  return static_cast<int>(parsed);
+}
+
 RunReport report_from_flags(int& argc, char** argv) {
   RunReport report;
+  BenchOptions bench;
+  // Path flags vs validated-integer flags; both accept the "--flag value"
+  // and "--flag=value" spellings.
+  static constexpr const char* kPathFlags[] = {"--metrics", "--trace",
+                                               "--bench-json"};
+  static constexpr const char* kCountFlags[] = {"--warmup", "--reps"};
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    const char* flag = nullptr;
     const char* value = nullptr;
-    bool is_metrics = false;
-    if (std::strcmp(arg, "--metrics") == 0 ||
-        std::strcmp(arg, "--trace") == 0) {
-      is_metrics = arg[2] == 'm';
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s requires a file path\n", arg);
-        std::exit(2);
+    for (const char* candidate : {kPathFlags[0], kPathFlags[1], kPathFlags[2],
+                                  kCountFlags[0], kCountFlags[1]}) {
+      const std::size_t len = std::strlen(candidate);
+      if (std::strncmp(arg, candidate, len) != 0) continue;
+      if (arg[len] == '\0') {
+        flag = candidate;
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s requires a value\n", flag);
+          std::exit(2);
+        }
+        value = argv[++i];
+        break;
       }
-      value = argv[++i];
-    } else if (std::strncmp(arg, "--metrics=", 10) == 0) {
-      is_metrics = true;
-      value = arg + 10;
-    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
-      value = arg + 8;
-    } else {
+      if (arg[len] == '=') {
+        flag = candidate;
+        value = arg + len + 1;
+        break;
+      }
+    }
+    if (flag == nullptr) {
       argv[out++] = argv[i];
       continue;
     }
+    if (std::strcmp(flag, "--warmup") == 0 || std::strcmp(flag, "--reps") == 0) {
+      // --reps 0 would record no measurements at all; --warmup 0 is fine.
+      const int min_value = flag[2] == 'r' ? 1 : 0;
+      const auto parsed = parse_rep_count(flag, value, min_value);
+      if (!parsed) {
+        std::fprintf(stderr, "%s\n", parsed.error().message.c_str());
+        std::exit(2);
+      }
+      (flag[2] == 'r' ? bench.reps : bench.warmup) = parsed.value();
+      continue;
+    }
     if (*value == '\0') {
-      std::fprintf(stderr, "%s requires a non-empty file path\n",
-                   is_metrics ? "--metrics" : "--trace");
+      std::fprintf(stderr, "%s requires a non-empty file path\n", flag);
       std::exit(2);
     }
-    if (is_metrics) {
+    if (std::strcmp(flag, "--metrics") == 0) {
       report.set_metrics_path(value);
       set_metrics_enabled(true);
-    } else {
+    } else if (std::strcmp(flag, "--trace") == 0) {
       report.set_trace_path(value);
       set_trace_enabled(true);
+    } else {
+      bench.json_path = value;
+      // Per-case metrics deltas need the registry recording.
+      set_metrics_enabled(true);
     }
   }
   argc = out;
+  report.set_bench_options(std::move(bench));
   return report;
 }
 

@@ -18,6 +18,31 @@ namespace flexwan::obs {
 Expected<bool> write_metrics_file(const std::string& path);
 Expected<bool> write_trace_file(const std::string& path);
 
+// Bench-harness knobs carried from the command line to benchlib::Harness.
+// The harness is enabled only when --bench-json names an output file;
+// --warmup/--reps are validated regardless but take effect only then
+// (a disabled harness runs every case body exactly once).
+struct BenchOptions {
+  std::string json_path;  // empty = harness disabled
+  int warmup = 1;         // discarded repetitions per case
+  int reps = 3;           // measured repetitions per case (>= 1)
+
+  bool enabled() const { return !json_path.empty(); }
+};
+
+// Upper bound for --warmup/--reps, mirroring engine::kMaxThreadsFlag's
+// job: an overflowing strtol can never truncate into a silently-wrong
+// small repetition count.
+inline constexpr int kMaxBenchReps = 1000000;
+
+// Parses one --warmup/--reps value: a base-10 integer in
+// [min_value, kMaxBenchReps].  Rejection semantics match
+// engine::parse_thread_count (empty, non-numeric, trailing garbage,
+// negative, out of range — including strtol overflow).  `flag` names the
+// flag in error messages.
+Expected<int> parse_rep_count(const char* flag, const char* value,
+                              int min_value);
+
 // Owns the "dump observability at process exit" obligation.  Holds the
 // output paths requested on the command line and writes both files either
 // on demand (write()) or from the destructor — declare one in main() and
@@ -38,6 +63,14 @@ class RunReport {
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
 
+  // Bench-harness flags ride along in the same parse (report_from_flags);
+  // RunReport only carries them — benchlib::Harness owns writing the
+  // BENCH json.
+  void set_bench_options(BenchOptions options) {
+    bench_options_ = std::move(options);
+  }
+  const BenchOptions& bench_options() const { return bench_options_; }
+
   // Writes every configured file now.  First error wins; both files are
   // still attempted.  The destructor will write again (files are small and
   // regenerating them is idempotent) unless release() is called.
@@ -52,13 +85,17 @@ class RunReport {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  BenchOptions bench_options_;
 };
 
-// Extracts "--metrics <file>" / "--metrics=<file>" and "--trace <file>" /
-// "--trace=<file>" from argv (compacting the remaining arguments and
-// decrementing argc, exactly like engine::threads_flag), enables the
-// corresponding obs subsystems, and returns a RunReport that writes the
-// files at scope exit.  Exits with an error message on a missing value.
+// Extracts "--metrics <file>" / "--metrics=<file>", "--trace <file>" /
+// "--trace=<file>", and the bench-harness flags "--bench-json <file>",
+// "--warmup N", "--reps N" (each also in "=value" form) from argv
+// (compacting the remaining arguments and decrementing argc, exactly like
+// engine::threads_flag), enables the corresponding obs subsystems
+// (--bench-json turns metrics recording on so per-case deltas are real),
+// and returns a RunReport that writes the metrics/trace files at scope
+// exit.  Exits with an error message on a missing or malformed value.
 RunReport report_from_flags(int& argc, char** argv);
 
 // The canonical "engine: N thread(s)" stderr line shared by every parallel

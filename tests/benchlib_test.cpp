@@ -1,0 +1,359 @@
+// Benchmark harness tests: timing statistics, the disabled fast path (the
+// body runs exactly once), the enabled path (warmup + reps, BENCH json
+// structure and provenance), per-case metrics deltas — including two
+// engine-parallel cases back-to-back at 8 threads whose deltas must sum to
+// the process totals — and the perf_diff regression gate (self-compare is
+// clean; an injected slowdown and a vanished case both fail the gate).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchlib/benchlib.h"
+#include "benchlib/compare.h"
+#include "engine/engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace flexwan::benchlib {
+namespace {
+
+class MetricsGuard {
+ public:
+  MetricsGuard() {
+    obs::Registry::instance().reset();
+    obs::set_metrics_enabled(true);
+  }
+  ~MetricsGuard() { obs::set_metrics_enabled(false); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+obs::BenchOptions enabled_options(const std::string& path, int warmup = 1,
+                                  int reps = 3) {
+  obs::BenchOptions options;
+  options.json_path = path;
+  options.warmup = warmup;
+  options.reps = reps;
+  return options;
+}
+
+TEST(BenchStats, SingleRep) {
+  const auto s = compute_stats({42.0});
+  EXPECT_DOUBLE_EQ(s.min_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.median_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev_us, 0.0);
+}
+
+TEST(BenchStats, OddAndEvenCounts) {
+  // Odd count: median is the middle element after sorting.
+  const auto odd = compute_stats({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(odd.min_us, 1.0);
+  EXPECT_DOUBLE_EQ(odd.median_us, 5.0);
+  EXPECT_DOUBLE_EQ(odd.mean_us, 5.0);
+  // Population stddev of {1,5,9}: sqrt(((4^2)+(0)+(4^2))/3).
+  EXPECT_NEAR(odd.stddev_us, 3.265986, 1e-5);
+
+  // Even count: median is the midpoint of the two middle elements.
+  const auto even = compute_stats({4.0, 2.0, 8.0, 6.0});
+  EXPECT_DOUBLE_EQ(even.min_us, 2.0);
+  EXPECT_DOUBLE_EQ(even.median_us, 5.0);
+  EXPECT_DOUBLE_EQ(even.mean_us, 5.0);
+}
+
+TEST(BenchHarness, DisabledRunsBodyExactlyOnceAndRecordsNothing) {
+  Harness bench("disabled", obs::BenchOptions{});
+  EXPECT_FALSE(bench.enabled());
+  int calls = 0;
+  const int out = bench.run("case", [&] {
+    ++calls;
+    return 7;
+  });
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(bench.results().empty());
+}
+
+TEST(BenchHarness, EnabledRunsWarmupPlusRepsAndReturnsFinalValue) {
+  const std::string path = testing::TempDir() + "bench_warmup.json";
+  {
+    Harness bench("warmup", enabled_options(path, /*warmup=*/2, /*reps=*/3));
+    int calls = 0;
+    const int out = bench.run("case", [&] { return ++calls; });
+    EXPECT_EQ(calls, 5);  // 2 warmup + 3 measured
+    EXPECT_EQ(out, 5);    // the final repetition's value
+    ASSERT_EQ(bench.results().size(), 1u);
+    const auto& result = bench.results()[0];
+    EXPECT_EQ(result.name, "case");
+    EXPECT_EQ(result.warmup, 2);
+    EXPECT_EQ(result.reps, 3);
+    EXPECT_EQ(result.wall_us.size(), 3u);
+    EXPECT_GE(result.stats.median_us, 0.0);
+  }
+  EXPECT_FALSE(read_file(path).empty());
+}
+
+TEST(BenchHarness, VoidBodiesAreSupported) {
+  const std::string path = testing::TempDir() + "bench_void.json";
+  Harness bench("void", enabled_options(path, 0, 2));
+  int calls = 0;
+  bench.run("case", [&] { ++calls; });
+  EXPECT_EQ(calls, 2);
+  ASSERT_EQ(bench.results().size(), 1u);
+  bench.release();  // no file needed
+}
+
+TEST(BenchHarness, EmittedJsonHasSchemaCasesStatsAndProvenance) {
+  MetricsGuard metrics;
+  const std::string path = testing::TempDir() + "bench_schema.json";
+  {
+    Harness bench("schema_probe", enabled_options(path, 1, 4), /*threads=*/3);
+    bench.run("alpha", [] {
+      OBS_COUNTER_ADD("test.bench.alpha", 5);
+      return 1;
+    });
+    bench.run("beta", [] { return 2; });
+  }
+  const auto doc = obs::json::parse(read_file(path));
+  ASSERT_TRUE(doc) << doc.error().message;
+  EXPECT_EQ(doc->find("schema_version")->as_number(), kBenchSchemaVersion);
+  EXPECT_EQ(doc->find("bench")->as_string(), "schema_probe");
+  EXPECT_EQ(doc->find("warmup")->as_number(), 1.0);
+  EXPECT_EQ(doc->find("reps")->as_number(), 4.0);
+
+  const auto* provenance = doc->find("provenance");
+  ASSERT_NE(provenance, nullptr);
+  EXPECT_EQ(provenance->find("threads")->as_number(), 3.0);
+  EXPECT_FALSE(provenance->find("build_type")->as_string().empty());
+  EXPECT_FALSE(provenance->find("compiler")->as_string().empty());
+  EXPECT_FALSE(provenance->find("run_id")->as_string().empty());
+
+  const auto* cases = doc->find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_TRUE(cases->is_array());
+  ASSERT_EQ(cases->as_array().size(), 2u);
+  const auto& alpha = cases->as_array()[0];
+  EXPECT_EQ(alpha.find("name")->as_string(), "alpha");
+  EXPECT_EQ(alpha.find("wall_us")->as_array().size(), 4u);
+  const auto* stats = alpha.find("wall_stats_us");
+  ASSERT_NE(stats, nullptr);
+  for (const char* field : {"min", "median", "mean", "stddev"}) {
+    ASSERT_NE(stats->find(field), nullptr) << field;
+    EXPECT_GE(stats->find(field)->as_number(), 0.0) << field;
+  }
+  // alpha's counter delta: 5 per rep x 4 measured reps (warmup excluded
+  // from the delta bracket, so not 5 x 5).
+  const auto* alpha_counters = alpha.find("metrics")->find("counters");
+  ASSERT_NE(alpha_counters, nullptr);
+  EXPECT_EQ(alpha_counters->find("test.bench.alpha")->as_number(), 20.0);
+  // beta touched no metrics: its delta object is empty.
+  const auto& beta = cases->as_array()[1];
+  EXPECT_EQ(beta.find("metrics")->find("counters")->as_object().size(), 0u);
+}
+
+TEST(BenchHarness, SnapshotDeltaAttributesWorkToTheRightCase) {
+  MetricsGuard metrics;
+  const std::string path = testing::TempDir() + "bench_delta.json";
+  Harness bench("delta", enabled_options(path, /*warmup=*/3, /*reps=*/2));
+  bench.run("first", [] {
+    OBS_COUNTER_ADD("test.delta.first", 10);
+    OBS_GAUGE_ADD("test.delta.gauge", 0.5);
+    return 0;
+  });
+  bench.run("second", [] {
+    OBS_COUNTER_ADD("test.delta.second", 1);
+    OBS_HISTOGRAM_OBSERVE("test.delta.hist", 4.0);
+    return 0;
+  });
+  bench.release();
+
+  ASSERT_EQ(bench.results().size(), 2u);
+  const auto& first = bench.results()[0].delta;
+  const auto& second = bench.results()[1].delta;
+  // Each case sees only its own increments, measured reps only.
+  EXPECT_EQ(first.counters.at("test.delta.first"), 20u);
+  EXPECT_EQ(first.counters.count("test.delta.second"), 0u);
+  EXPECT_DOUBLE_EQ(first.gauges.at("test.delta.gauge"), 1.0);
+  EXPECT_EQ(second.counters.at("test.delta.second"), 2u);
+  EXPECT_EQ(second.counters.count("test.delta.first"), 0u);
+  EXPECT_EQ(second.histograms.at("test.delta.hist").count, 2u);
+  EXPECT_DOUBLE_EQ(second.histograms.at("test.delta.hist").sum, 8.0);
+}
+
+TEST(BenchHarness, ParallelCaseDeltasSumToProcessTotalsAt8Threads) {
+  MetricsGuard metrics;
+  const engine::Engine engine(8);
+  const std::string path = testing::TempDir() + "bench_parallel.json";
+  constexpr std::size_t kTasksA = 1024;
+  constexpr std::size_t kTasksB = 512;
+  Harness bench("parallel", enabled_options(path, /*warmup=*/1, /*reps=*/2),
+                engine.thread_count());
+  // Two engine-parallel cases back-to-back: the snapshot bracketing must
+  // attribute each case's counter traffic (from 8 worker threads) to that
+  // case only.
+  bench.run("fan_a", [&] {
+    engine.parallel_for(kTasksA, [](std::size_t) {
+      OBS_COUNTER_ADD("test.parallel.work", 1);
+    });
+  });
+  bench.run("fan_b", [&] {
+    engine.parallel_for(kTasksB, [](std::size_t) {
+      OBS_COUNTER_ADD("test.parallel.work", 3);
+    });
+  });
+  bench.release();
+
+  ASSERT_EQ(bench.results().size(), 2u);
+  const auto& a = bench.results()[0].delta;
+  const auto& b = bench.results()[1].delta;
+  // Measured reps only (2 of them); warmup traffic is excluded.
+  EXPECT_EQ(a.counters.at("test.parallel.work"), 2u * kTasksA);
+  EXPECT_EQ(b.counters.at("test.parallel.work"), 2u * 3u * kTasksB);
+  // engine.tasks_executed: each case saw exactly its own fan-out.
+  EXPECT_EQ(a.counters.at("engine.tasks_executed"), 2u * kTasksA);
+  EXPECT_EQ(b.counters.at("engine.tasks_executed"), 2u * kTasksB);
+  // The per-case deltas sum to the process totals (warmup included there).
+  const auto totals = obs::Registry::instance().snapshot();
+  EXPECT_EQ(a.counters.at("test.parallel.work") +
+                b.counters.at("test.parallel.work") +
+                /*warmup reps:*/ kTasksA + 3 * kTasksB,
+            totals.counters.at("test.parallel.work"));
+}
+
+TEST(BenchSnapshot, DeltaDropsZeroEntriesAndCountsNewNamesFromZero) {
+  obs::MetricsSnapshot before;
+  before.counters["unchanged"] = 4;
+  before.counters["grown"] = 10;
+  obs::MetricsSnapshot after;
+  after.counters["unchanged"] = 4;
+  after.counters["grown"] = 15;
+  after.counters["fresh"] = 2;
+  const auto delta = obs::snapshot_delta(before, after);
+  EXPECT_EQ(delta.counters.count("unchanged"), 0u);
+  EXPECT_EQ(delta.counters.at("grown"), 5u);
+  EXPECT_EQ(delta.counters.at("fresh"), 2u);
+}
+
+// --- the regression gate -------------------------------------------------
+
+BenchReport make_report(std::vector<BenchReport::Case> cases) {
+  BenchReport report;
+  report.schema_version = kBenchSchemaVersion;
+  report.bench = "gate";
+  report.cases = std::move(cases);
+  return report;
+}
+
+TEST(BenchCompare, SelfCompareHasZeroFailures) {
+  const auto report =
+      make_report({{"a", 3, 100.0, 101.0}, {"b", 3, 2000.0, 2100.0}});
+  const auto cmp = compare_reports(report, report);
+  ASSERT_TRUE(cmp) << cmp.error().message;
+  EXPECT_EQ(cmp->failures(), 0);
+  EXPECT_EQ(cmp->regressions, 0);
+  EXPECT_EQ(cmp->vanished, 0);
+  ASSERT_EQ(cmp->cases.size(), 2u);
+  EXPECT_EQ(cmp->cases[0].status, CaseStatus::kOk);
+  EXPECT_DOUBLE_EQ(cmp->cases[0].ratio, 1.0);
+  EXPECT_NE(cmp->render().find("OK"), std::string::npos);
+}
+
+TEST(BenchCompare, InjectedRegressionFailsTheGate) {
+  const auto baseline = make_report({{"fast", 3, 100.0, 100.0}});
+  // 25 % slower: over the 10 % default threshold.
+  const auto candidate = make_report({{"fast", 3, 125.0, 125.0}});
+  const auto cmp = compare_reports(baseline, candidate);
+  ASSERT_TRUE(cmp) << cmp.error().message;
+  EXPECT_EQ(cmp->regressions, 1);
+  EXPECT_GT(cmp->failures(), 0);
+  EXPECT_EQ(cmp->cases[0].status, CaseStatus::kRegression);
+  EXPECT_DOUBLE_EQ(cmp->cases[0].ratio, 1.25);
+  EXPECT_NE(cmp->render().find("FAIL"), std::string::npos);
+
+  // The same delta passes a looser gate.
+  const auto loose = compare_reports(baseline, candidate, 0.5);
+  ASSERT_TRUE(loose);
+  EXPECT_EQ(loose->failures(), 0);
+}
+
+TEST(BenchCompare, ImprovementAndNewCaseAreNotFailures) {
+  const auto baseline = make_report({{"a", 3, 100.0, 100.0}});
+  const auto candidate =
+      make_report({{"a", 3, 50.0, 50.0}, {"new_case", 3, 10.0, 10.0}});
+  const auto cmp = compare_reports(baseline, candidate);
+  ASSERT_TRUE(cmp);
+  EXPECT_EQ(cmp->failures(), 0);
+  EXPECT_EQ(cmp->improvements, 1);
+  ASSERT_EQ(cmp->cases.size(), 2u);
+  EXPECT_EQ(cmp->cases[0].status, CaseStatus::kImprovement);
+  EXPECT_EQ(cmp->cases[1].status, CaseStatus::kOnlyCandidate);
+}
+
+TEST(BenchCompare, VanishedBaselineCaseIsAGateFailure) {
+  const auto baseline =
+      make_report({{"kept", 3, 100.0, 100.0}, {"dropped", 3, 100.0, 100.0}});
+  const auto candidate = make_report({{"kept", 3, 100.0, 100.0}});
+  const auto cmp = compare_reports(baseline, candidate);
+  ASSERT_TRUE(cmp);
+  EXPECT_EQ(cmp->vanished, 1);
+  EXPECT_GT(cmp->failures(), 0);
+  EXPECT_EQ(cmp->cases[1].status, CaseStatus::kOnlyBaseline);
+}
+
+TEST(BenchCompare, RejectsMismatchedBenchesAndBadThresholds) {
+  auto baseline = make_report({{"a", 3, 1.0, 1.0}});
+  auto candidate = baseline;
+  candidate.bench = "other";
+  EXPECT_FALSE(compare_reports(baseline, candidate));
+  candidate.bench = baseline.bench;
+  EXPECT_FALSE(compare_reports(baseline, candidate, 0.0));
+  EXPECT_FALSE(compare_reports(baseline, candidate, -0.1));
+  EXPECT_FALSE(compare_reports(baseline, candidate, 11.0));
+}
+
+TEST(BenchCompare, LoadRoundTripsHarnessOutputAndRejectsBadDocs) {
+  MetricsGuard metrics;
+  const std::string path = testing::TempDir() + "bench_roundtrip.json";
+  {
+    Harness bench("roundtrip", enabled_options(path, 0, 2));
+    bench.run("only", [] { return 1; });
+  }
+  const auto loaded = load_bench_report_file(path);
+  ASSERT_TRUE(loaded) << loaded.error().message;
+  EXPECT_EQ(loaded->schema_version, kBenchSchemaVersion);
+  EXPECT_EQ(loaded->bench, "roundtrip");
+  ASSERT_EQ(loaded->cases.size(), 1u);
+  EXPECT_EQ(loaded->cases[0].name, "only");
+  EXPECT_EQ(loaded->cases[0].reps, 2);
+  // Self-compare of a real emitted file: zero failures by construction.
+  const auto cmp = compare_reports(*loaded, *loaded);
+  ASSERT_TRUE(cmp);
+  EXPECT_EQ(cmp->failures(), 0);
+
+  EXPECT_FALSE(load_bench_report("{}"));
+  EXPECT_FALSE(load_bench_report("not json"));
+  EXPECT_FALSE(load_bench_report(
+      R"({"schema_version": 999, "bench": "x", "cases": []})"));
+  EXPECT_FALSE(load_bench_report_file("/nonexistent/bench.json"));
+}
+
+TEST(BenchProvenance, CarriesThreadsAndBuildInfo) {
+  const auto p = make_provenance(5);
+  EXPECT_EQ(p.threads, 5);
+  EXPECT_FALSE(p.build_type.empty());
+  EXPECT_FALSE(p.compiler.empty());
+  EXPECT_EQ(p.run_id.size(), 16u);  // %016llx hex token
+}
+
+}  // namespace
+}  // namespace flexwan::benchlib

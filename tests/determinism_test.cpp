@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "benchlib/benchlib.h"
 #include "core/flexwan.h"
 #include "engine/engine.h"
 #include "obs/json.h"
@@ -149,6 +150,57 @@ TEST(Determinism, ObsEnabledDoesNotChangePlanOrRestorationBytes) {
     const auto parsed = obs::json::parse(buffer.str());
     EXPECT_TRUE(parsed) << path << ": "
                         << (parsed ? "" : parsed.error().message);
+  }
+}
+
+// The bench harness inherits the obs contract: wrapping a computation in
+// Harness::run (warmup + repetitions + snapshot bracketing) must return
+// byte-identical results to the bare call, at 1 and 8 threads.  This is
+// the unit-level half of the bench stdout guarantee — the bench binaries'
+// printing consumes only run()'s return value, so identical returns mean
+// identical stdout (CI byte-compares the full binaries as well).
+TEST(Determinism, BenchHarnessOnVsOffIdenticalResults) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  restoration::Restorer restorer(transponder::svt_flexwan());
+  const auto scenarios = restoration::standard_scenario_set(net.optical, 6, 5);
+
+  // Harness off: run() is a pass-through.
+  benchlib::Harness off("determinism", obs::BenchOptions{});
+  const auto reference_plan =
+      off.run("plan", [&] { return planner.plan(net); });
+  ASSERT_TRUE(reference_plan);
+  const std::string reference_bytes = planning::save_plan(*reference_plan);
+  const auto reference_metrics = off.run("restore", [&] {
+    return restoration::evaluate_scenarios(net, *reference_plan, restorer,
+                                           scenarios);
+  });
+  EXPECT_TRUE(off.results().empty());
+
+  for (int threads : {1, 8}) {
+    const engine::Engine engine(threads);
+    obs::Registry::instance().reset();
+    obs::set_metrics_enabled(true);
+    obs::BenchOptions options;
+    options.json_path = testing::TempDir() + "determinism_bench.json";
+    options.warmup = 1;
+    options.reps = 2;
+    benchlib::Harness on("determinism", options, engine.thread_count());
+    const auto plan =
+        on.run("plan", [&] { return planner.plan(net, engine); });
+    ASSERT_TRUE(plan) << "threads=" << threads;
+    EXPECT_EQ(planning::save_plan(*plan), reference_bytes)
+        << "threads=" << threads;
+    const auto m = on.run("restore", [&] {
+      return restoration::evaluate_scenarios(net, *plan, restorer, scenarios,
+                                             engine);
+    });
+    EXPECT_EQ(m.capabilities, reference_metrics.capabilities);
+    EXPECT_EQ(m.mean_capability, reference_metrics.mean_capability);
+    EXPECT_EQ(m.path_gaps_km, reference_metrics.path_gaps_km);
+    EXPECT_EQ(on.results().size(), 2u);
+    on.release();
+    obs::set_metrics_enabled(false);
   }
 }
 

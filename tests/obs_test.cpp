@@ -8,7 +8,9 @@
 // suite still measures the disabled hot path.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -272,6 +274,148 @@ TEST(ObsJson, RejectsMalformedDocuments) {
   EXPECT_FALSE(json::parse("{} trailing"));
   EXPECT_TRUE(json::parse(
       R"({"a": [1, -2.5e3, true, false, null, "s\nA"]})"));
+}
+
+TEST(ObsJson, ParsesExponentFormsExactly) {
+  const auto doc = json::parse(R"([1e+308, 5E-3, -2.5e3, 1E2, 3.25e-1])");
+  ASSERT_TRUE(doc) << doc.error().message;
+  const auto& a = doc->as_array();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1e+308);
+  EXPECT_DOUBLE_EQ(a[1].as_number(), 5e-3);
+  EXPECT_DOUBLE_EQ(a[2].as_number(), -2500.0);
+  EXPECT_DOUBLE_EQ(a[3].as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(a[4].as_number(), 0.325);
+}
+
+TEST(ObsJson, ParsesNestedStringEscapes) {
+  const auto doc = json::parse(
+      R"({"k\"ey": "a\\b\"c\n\t\/ A"})");
+  ASSERT_TRUE(doc) << doc.error().message;
+  const auto* v = doc->find("k\"ey");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->as_string(), "a\\b\"c\n\t/ A");
+}
+
+TEST(ObsJson, RejectsTruncatedDocuments) {
+  // Every prefix of a valid document must fail, not crash or accept.
+  const std::string full = R"({"a": [1, {"b": "c\n"}], "d": 2.5e-1})";
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EXPECT_FALSE(json::parse(full.substr(0, n))) << "prefix length " << n;
+  }
+  EXPECT_TRUE(json::parse(full));
+}
+
+TEST(ObsJson, EnforcesNestingDepthLimit) {
+  // Exactly at the limit parses; one deeper errors out cleanly.
+  std::string at_limit(static_cast<std::size_t>(json::kMaxNestingDepth), '[');
+  at_limit.append(static_cast<std::size_t>(json::kMaxNestingDepth), ']');
+  EXPECT_TRUE(json::parse(at_limit));
+
+  std::string too_deep(static_cast<std::size_t>(json::kMaxNestingDepth) + 1,
+                       '[');
+  too_deep.append(static_cast<std::size_t>(json::kMaxNestingDepth) + 1, ']');
+  EXPECT_FALSE(json::parse(too_deep));
+
+  // Mixed nesting counts both object and array frames.
+  std::string mixed;
+  for (int i = 0; i < json::kMaxNestingDepth; ++i) mixed += "{\"a\":[";
+  EXPECT_FALSE(json::parse(mixed + "1" + std::string(
+      static_cast<std::size_t>(json::kMaxNestingDepth), ']') + "}"));
+}
+
+TEST(ObsJson, NumberToStringRoundTripsBoundaryValues) {
+  // The old %.9g dropped precision for anything needing >9 significant
+  // digits; these all demand exact round-trips.
+  const double values[] = {
+      9007199254740992.0,   // 2^53
+      9007199254740991.0,   // 2^53 - 1 (largest odd-representable integer)
+      1e-9,
+      -0.0,
+      1e+308,
+      -1.7976931348623157e308,  // -DBL_MAX
+      2.2250738585072014e-308,  // DBL_MIN
+      0.1,
+      1.0 / 3.0,
+      123456789.123456789,
+      4294967296.0,  // 2^32: first casualty of %.9g
+      0.0,
+  };
+  for (double v : values) {
+    const std::string s = json::number_to_string(v);
+    const double back = std::strtod(s.c_str(), nullptr);
+    EXPECT_EQ(back, v) << s;
+    // Round-trip through the parser too, in a document context.
+    const auto doc = json::parse("[" + s + "]");
+    ASSERT_TRUE(doc) << s;
+    EXPECT_EQ(doc->as_array()[0].as_number(), v) << s;
+  }
+  // -0.0 keeps its sign bit through serialization.
+  EXPECT_TRUE(std::signbit(
+      std::strtod(json::number_to_string(-0.0).c_str(), nullptr)));
+  // Values that fit in few digits stay short (trailing zeros trimmed).
+  EXPECT_EQ(json::number_to_string(2.0), "2");
+  EXPECT_EQ(json::number_to_string(2.5), "2.5");
+}
+
+TEST(ObsReport, ParseRepCountAcceptsIntegersAndRejectsGarbage) {
+  const auto ok = parse_rep_count("--reps", "12", 1);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(*ok, 12);
+  const auto zero = parse_rep_count("--warmup", "0", 0);
+  ASSERT_TRUE(zero);
+  EXPECT_EQ(*zero, 0);
+
+  EXPECT_FALSE(parse_rep_count("--reps", "0", 1));       // below minimum
+  EXPECT_FALSE(parse_rep_count("--reps", "-3", 1));      // negative
+  EXPECT_FALSE(parse_rep_count("--reps", "abc", 1));     // not a number
+  EXPECT_FALSE(parse_rep_count("--reps", "3x", 1));      // trailing junk
+  EXPECT_FALSE(parse_rep_count("--reps", "", 1));        // empty
+  EXPECT_FALSE(parse_rep_count("--reps", "3.5", 1));     // not an integer
+  EXPECT_FALSE(parse_rep_count("--reps", "99999999999999999999", 1));
+  EXPECT_FALSE(parse_rep_count("--reps", "1000001", 1));  // over kMaxBenchReps
+}
+
+TEST(ObsReport, BenchFlagsParseAndDefaultsHold) {
+  ObsGuard guard(false, false);
+  // Defaults: harness disabled, warmup 1, reps 3.
+  {
+    char prog[] = "bench";
+    char* argv[] = {prog, nullptr};
+    int argc = 1;
+    RunReport report = report_from_flags(argc, argv);
+    EXPECT_FALSE(report.bench_options().enabled());
+    EXPECT_EQ(report.bench_options().warmup, 1);
+    EXPECT_EQ(report.bench_options().reps, 3);
+    report.release();
+  }
+  // --bench-json (both forms) + --warmup/--reps are extracted and enable
+  // metrics recording; unrelated args survive in order.
+  const std::string bench_path = testing::TempDir() + "obs_flags_b.json";
+  {
+    std::string bench_eq = "--bench-json=" + bench_path;
+    std::vector<char> bench_arg(bench_eq.begin(), bench_eq.end());
+    bench_arg.push_back('\0');
+    char prog[] = "bench";
+    char keep[] = "net.txt";
+    char warmup_flag[] = "--warmup";
+    char warmup_val[] = "2";
+    char reps_eq[] = "--reps=5";
+    char* argv[] = {prog,       bench_arg.data(), warmup_flag,
+                    warmup_val, keep,             reps_eq,
+                    nullptr};
+    int argc = 6;
+    RunReport report = report_from_flags(argc, argv);
+    EXPECT_EQ(report.bench_options().json_path, bench_path);
+    EXPECT_EQ(report.bench_options().warmup, 2);
+    EXPECT_EQ(report.bench_options().reps, 5);
+    EXPECT_TRUE(report.bench_options().enabled());
+    EXPECT_TRUE(metrics_enabled());
+    EXPECT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "bench");
+    EXPECT_STREQ(argv[1], "net.txt");
+    report.release();
+  }
 }
 
 }  // namespace
