@@ -1,6 +1,7 @@
 #include "planning/plan.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace flexwan::planning {
 
@@ -36,6 +37,12 @@ LinkPlan* Plan::find_link(topology::LinkId link) {
 
 Expected<bool> Plan::place_wavelength(const topology::Path& path,
                                       Wavelength wl) {
+  return insert_wavelength(path, std::move(wl),
+                           std::numeric_limits<std::size_t>::max());
+}
+
+Expected<bool> Plan::insert_wavelength(const topology::Path& path,
+                                       Wavelength wl, std::size_t position) {
   // Probe every fiber first so a failure leaves no partial reservation.
   for (topology::FiberId f : path.fibers) {
     if (!fibers_[static_cast<std::size_t>(f)].is_free(wl.range)) {
@@ -48,12 +55,31 @@ Expected<bool> Plan::place_wavelength(const topology::Path& path,
     auto r = fibers_[static_cast<std::size_t>(f)].reserve(wl.range);
     (void)r;  // cannot fail: probed above
   }
-  if (LinkPlan* lp = find_link(wl.link)) {
-    lp->wavelengths.push_back(std::move(wl));
-    return true;
-  }
-  add_link_plan(wl.link).wavelengths.push_back(std::move(wl));
+  LinkPlan* lp = find_link(wl.link);
+  if (lp == nullptr) lp = &add_link_plan(wl.link);
+  position = std::min(position, lp->wavelengths.size());
+  lp->wavelengths.insert(
+      lp->wavelengths.begin() + static_cast<std::ptrdiff_t>(position),
+      std::move(wl));
   return true;
+}
+
+Expected<Wavelength> Plan::remove_wavelength_at(topology::LinkId link,
+                                                std::size_t index) {
+  LinkPlan* lp = find_link(link);
+  if (lp == nullptr || index >= lp->wavelengths.size()) {
+    return Error::make("not_found", "no wavelength " + std::to_string(index) +
+                                        " on link " + std::to_string(link));
+  }
+  const Wavelength wl = lp->wavelengths[index];
+  const auto& path = lp->paths[static_cast<std::size_t>(wl.path_index)];
+  for (topology::FiberId f : path.fibers) {
+    auto r = fibers_[static_cast<std::size_t>(f)].release(wl.range);
+    if (!r) return r.error();  // corrupt plan; never partial in practice
+  }
+  lp->wavelengths.erase(lp->wavelengths.begin() +
+                        static_cast<std::ptrdiff_t>(index));
+  return wl;
 }
 
 Expected<bool> Plan::remove_wavelength(const topology::Path& path,

@@ -56,6 +56,19 @@ class Plan {
   // its link plan.  Fails atomically on any conflict.
   Expected<bool> place_wavelength(const topology::Path& path, Wavelength wl);
 
+  // place_wavelength that inserts at `position` in the link plan's
+  // wavelength list (clamped to the end).  The lifecycle simulator's repair
+  // path uses this to re-insert wavelengths at their pre-failure index so
+  // apply → revert round-trips to byte-identical plan_io output.
+  Expected<bool> insert_wavelength(const topology::Path& path, Wavelength wl,
+                                   std::size_t position);
+
+  // Removes the wavelength at `index` of `link`'s plan (releasing its
+  // spectrum on every fiber of its path) and returns it.  Fails with
+  // "not_found" on an unknown link or out-of-range index.
+  Expected<Wavelength> remove_wavelength_at(topology::LinkId link,
+                                            std::size_t index);
+
   // Releases the wavelength's spectrum on every fiber of its path and
   // removes it from the link plan.  Used by restoration (spare transponders)
   // and by the planner's backtracking.

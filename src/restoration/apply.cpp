@@ -1,0 +1,117 @@
+#include "restoration/apply.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace flexwan::restoration {
+
+Expected<AppliedOutcome> apply_outcome(planning::Plan& plan,
+                                       const FailureScenario& scenario,
+                                       const Outcome& outcome) {
+  AppliedOutcome applied;
+
+  // Identify the affected wavelengths the same way the restorer did: any
+  // wavelength whose path crosses a cut fiber.  Link-plan iteration order
+  // with ascending indices keeps the record deterministic and lets revert
+  // re-insert front to back.
+  double affected_gbps = 0.0;
+  for (const auto& lp : plan.links()) {
+    for (std::size_t i = 0; i < lp.wavelengths.size(); ++i) {
+      const auto& wl = lp.wavelengths[i];
+      const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+      const bool hit = std::any_of(
+          path.fibers.begin(), path.fibers.end(),
+          [&](topology::FiberId f) { return scenario.cuts(f); });
+      if (!hit) continue;
+      applied.removed.push_back(AppliedOutcome::Removed{wl, i, path});
+      affected_gbps += wl.mode.data_rate_gbps;
+    }
+  }
+  if (std::abs(affected_gbps - outcome.affected_gbps) > 1e-6) {
+    return Error::make("outcome_mismatch",
+                       "outcome affected " +
+                           std::to_string(outcome.affected_gbps) +
+                           " Gbps but plan+scenario affect " +
+                           std::to_string(affected_gbps) + " Gbps");
+  }
+
+  // Remove the affected wavelengths.  Reverse order keeps every recorded
+  // index valid while earlier entries of the same link are still in place.
+  for (auto it = applied.removed.rbegin(); it != applied.removed.rend();
+       ++it) {
+    auto removed = plan.remove_wavelength_at(it->wl.link, it->index);
+    if (!removed) return removed.error();  // cannot happen: indices recorded
+  }
+
+  // Place the restored wavelengths.  Restoration paths are not in the link
+  // plan's KSP candidates, so they are appended (and recorded for
+  // truncation on revert); a restoration path that coincides with an
+  // existing candidate is reused instead.
+  for (const auto& rw : outcome.wavelengths) {
+    planning::LinkPlan* lp = plan.find_link(rw.link);
+    if (lp == nullptr) {
+      return Error::make("outcome_mismatch",
+                         "restored wavelength on unknown link " +
+                             std::to_string(rw.link));
+    }
+    applied.original_path_counts.emplace(rw.link, lp->paths.size());
+    int path_index = -1;
+    for (std::size_t k = 0; k < lp->paths.size(); ++k) {
+      if (lp->paths[k].fibers == rw.path.fibers) {
+        path_index = static_cast<int>(k);
+        break;
+      }
+    }
+    if (path_index < 0) {
+      path_index = static_cast<int>(lp->paths.size());
+      lp->paths.push_back(rw.path);
+    }
+    planning::Wavelength wl{rw.link, path_index, rw.mode, rw.range};
+    auto placed = plan.place_wavelength(
+        lp->paths[static_cast<std::size_t>(path_index)], wl);
+    if (!placed) return placed.error();  // restorer verified the fit
+    applied.restored.push_back(wl);
+  }
+  return applied;
+}
+
+Expected<bool> revert_outcome(planning::Plan& plan,
+                              const AppliedOutcome& applied) {
+  // Restored wavelengths out first (they occupy the spectrum the originals
+  // need back), in reverse placement order.
+  for (auto it = applied.restored.rbegin(); it != applied.restored.rend();
+       ++it) {
+    planning::LinkPlan* lp = plan.find_link(it->link);
+    if (lp == nullptr) {
+      return Error::make("not_found",
+                         "restored link " + std::to_string(it->link) +
+                             " missing from plan");
+    }
+    const auto& path = lp->paths[static_cast<std::size_t>(it->path_index)];
+    auto removed = plan.remove_wavelength(path, *it);
+    if (!removed) return removed;
+  }
+
+  // Drop the appended restoration paths so path lists (and plan_io bytes)
+  // match the pre-apply plan.
+  for (const auto& [link, count] : applied.original_path_counts) {
+    planning::LinkPlan* lp = plan.find_link(link);
+    if (lp == nullptr || lp->paths.size() < count) {
+      return Error::make("not_found",
+                         "link " + std::to_string(link) +
+                             " lost paths between apply and revert");
+    }
+    lp->paths.resize(count);
+  }
+
+  // Re-home the originals at their recorded positions.  `removed` is in
+  // (link order, ascending index) order, so inserting front to back
+  // reconstructs each link plan's exact wavelength sequence.
+  for (const auto& rem : applied.removed) {
+    auto placed = plan.insert_wavelength(rem.path, rem.wl, rem.index);
+    if (!placed) return placed;
+  }
+  return true;
+}
+
+}  // namespace flexwan::restoration

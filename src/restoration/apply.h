@@ -1,0 +1,73 @@
+// Applying a restoration Outcome to a live plan — and reverting it.
+//
+// The Restorer (restorer.h) is a pure function: it computes what *would* be
+// retuned after a cut but never mutates the plan.  A digital-twin lifecycle
+// (src/sim) needs the other half: when a cut strikes, the affected
+// wavelengths actually leave the plan and the restored ones take their
+// place; when the fiber is repaired, the restoration is torn down and the
+// original wavelengths re-homed.
+//
+// apply_outcome() records everything needed for the exact inverse: each
+// removed wavelength with its position in its link plan, and which
+// restoration paths were appended.  revert_outcome() plays the record
+// backwards — restored wavelengths out, appended paths truncated, originals
+// re-inserted at their old indices — so a plan serialized with
+// planning::save_plan() before apply and after revert is byte-identical.
+// The simulator's repair path (and its availability accounting) depends on
+// that invariant; restoration_test pins it.
+//
+// Contract: `outcome` must have been computed by Restorer::restore against
+// this exact plan state and scenario, and the plan must not change between
+// apply and revert.  Violations surface as "outcome_mismatch"/"conflict"
+// errors rather than silent corruption.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+
+namespace flexwan::restoration {
+
+// The reversible record of one applied Outcome.
+struct AppliedOutcome {
+  // An original wavelength removed because its path crossed a cut fiber.
+  struct Removed {
+    planning::Wavelength wl;
+    std::size_t index = 0;  // position in its link plan before removal
+    topology::Path path;    // the path it rode (for spectrum re-reserve)
+  };
+  // Link-plan iteration order, ascending index within each link — the order
+  // revert_outcome() re-inserts them in.
+  std::vector<Removed> removed;
+
+  // Restored wavelengths as placed (path_index may reference a path
+  // appended to the link plan by apply_outcome).
+  std::vector<planning::Wavelength> restored;
+
+  // Per touched link: how many paths the link plan had before restoration
+  // paths were appended; revert truncates back to this count.
+  std::map<topology::LinkId, std::size_t> original_path_counts;
+};
+
+// Mutates `plan` to the post-restoration state: removes every wavelength
+// whose path crosses a fiber in `scenario` and places `outcome`'s restored
+// wavelengths (appending their restoration paths to the link plans as
+// needed).  Returns the record revert_outcome() needs.  Fails with
+// "outcome_mismatch" when `outcome` does not correspond to this plan and
+// scenario (plan unchanged in that case) and "conflict" when a restored
+// wavelength cannot be placed.
+Expected<AppliedOutcome> apply_outcome(planning::Plan& plan,
+                                       const FailureScenario& scenario,
+                                       const Outcome& outcome);
+
+// Exact inverse of apply_outcome(): removes the restored wavelengths,
+// truncates appended paths, and re-inserts the removed originals at their
+// recorded positions.  After a successful revert the plan serializes
+// byte-identically to its pre-apply state.
+Expected<bool> revert_outcome(planning::Plan& plan,
+                              const AppliedOutcome& applied);
+
+}  // namespace flexwan::restoration

@@ -5,8 +5,13 @@
 namespace flexwan::restoration {
 
 bool FailureScenario::cuts(topology::FiberId f) const {
-  return std::find(cut_fibers.begin(), cut_fibers.end(), f) !=
-         cut_fibers.end();
+  // cut_fibers is sorted ascending (struct invariant).
+  return std::binary_search(cut_fibers.begin(), cut_fibers.end(), f);
+}
+
+double fiber_cut_probability(const topology::Fiber& fiber,
+                             double cut_rate_per_1000km) {
+  return std::min(0.9, cut_rate_per_1000km * fiber.length_km / 1000.0);
 }
 
 std::vector<FailureScenario> single_fiber_cuts(
@@ -23,14 +28,22 @@ std::vector<FailureScenario> probabilistic_scenarios(
     const topology::OpticalTopology& topo, int count, Rng& rng,
     double cut_rate_per_1000km) {
   std::vector<FailureScenario> out;
+  if (count <= 0) return out;
   out.reserve(static_cast<std::size_t>(count));
-  int guard = count * 100;
-  while (static_cast<int>(out.size()) < count && guard-- > 0) {
+  // Empty draws are re-drawn, but never indefinitely: with a near-zero cut
+  // rate almost every draw is empty, so total attempts (successful or not)
+  // are capped and whatever was drawn so far is returned.  long long keeps
+  // the cap overflow-free for any int count.
+  const long long max_attempts = static_cast<long long>(count) * 100;
+  for (long long attempt = 0;
+       attempt < max_attempts && static_cast<int>(out.size()) < count;
+       ++attempt) {
     FailureScenario s;
     s.probability = 1.0;
+    // Ascending fiber ids keep cut_fibers sorted (struct invariant).
     for (topology::FiberId f = 0; f < topo.fiber_count(); ++f) {
-      const double p =
-          std::min(0.9, cut_rate_per_1000km * topo.fiber(f).length_km / 1000.0);
+      const double p = fiber_cut_probability(topo.fiber(f),
+                                             cut_rate_per_1000km);
       if (rng.chance(p)) {
         s.cut_fibers.push_back(f);
         s.probability *= p;

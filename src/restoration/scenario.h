@@ -15,20 +15,37 @@
 namespace flexwan::restoration {
 
 // One failure scenario: the set of simultaneously cut fibers.
+//
+// Invariant: `cut_fibers` is sorted ascending (and duplicate-free) — every
+// factory in this module produces sorted sets, and cuts() relies on the
+// ordering for its binary search.  Callers building scenarios by hand must
+// keep the invariant.
 struct FailureScenario {
   std::vector<topology::FiberId> cut_fibers;
   double probability = 1.0;  // scenario weight for probabilistic sets
 
+  // O(log n) membership test; called per wavelength per scenario in the
+  // restorer's hot loop.
   bool cuts(topology::FiberId f) const;
 };
+
+// The per-fiber cut weight shared by the probabilistic scenario sampler and
+// the lifecycle simulator (src/sim): `cut_rate_per_1000km` scaled by fiber
+// length, clamped to 0.9.  The sampler reads it as a per-draw probability;
+// the simulator reads the same value as a Poisson rate per year.
+double fiber_cut_probability(const topology::Fiber& fiber,
+                             double cut_rate_per_1000km);
 
 // All deterministic 1-failure scenarios (one per fiber).
 std::vector<FailureScenario> single_fiber_cuts(
     const topology::OpticalTopology& topo);
 
-// Samples `count` probabilistic scenarios: each fiber is cut independently
-// with probability proportional to its length (base rate per 1000 km).
-// Scenarios with no cut fiber are re-drawn.
+// Samples up to `count` probabilistic scenarios: each fiber is cut
+// independently with probability proportional to its length (base rate per
+// 1000 km).  Scenarios with no cut fiber are re-drawn, but total draws are
+// capped at 100x `count` so a near-zero cut rate (where almost every draw
+// is empty) terminates instead of spinning; the scenarios drawn so far are
+// returned, possibly fewer than `count`.
 std::vector<FailureScenario> probabilistic_scenarios(
     const topology::OpticalTopology& topo, int count, Rng& rng,
     double cut_rate_per_1000km = 0.08);

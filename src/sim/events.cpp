@@ -1,0 +1,72 @@
+#include "sim/events.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/trace.h"
+#include "restoration/scenario.h"
+#include "util/rng.h"
+
+namespace flexwan::sim {
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool event_order(const Event& a, const Event& b) {
+  if (a.time_days != b.time_days) return a.time_days < b.time_days;
+  if (a.type != b.type) {
+    return static_cast<int>(a.type) < static_cast<int>(b.type);
+  }
+  return a.fiber < b.fiber;
+}
+
+std::vector<Event> build_timeline(const topology::OpticalTopology& topo,
+                                  const TimelineConfig& config,
+                                  std::uint64_t trial_seed) {
+  OBS_SPAN("sim.timeline");
+  std::vector<Event> events;
+  if (config.horizon_days <= 0.0) return events;
+
+  // Lognormal mu chosen so the repair-time *mean* is mttr_mean_hours:
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+  const double sigma = std::max(0.0, config.mttr_sigma);
+  const double mu = config.mttr_mean_hours > 0.0
+                        ? std::log(config.mttr_mean_hours) - 0.5 * sigma * sigma
+                        : 0.0;
+
+  for (topology::FiberId f = 0; f < topo.fiber_count(); ++f) {
+    const double cuts_per_year = restoration::fiber_cut_probability(
+        topo.fiber(f), config.cut_rate_per_1000km_per_year);
+    if (cuts_per_year <= 0.0) continue;
+    const double mean_gap_days = 365.0 / cuts_per_year;
+    Rng rng(mix_seed(trial_seed, static_cast<std::uint64_t>(f) + 1));
+    double t = rng.exponential(mean_gap_days);
+    while (t < config.horizon_days) {
+      events.push_back(Event{t, EventType::kCut, f});
+      const double repair_days =
+          config.mttr_mean_hours > 0.0 ? rng.lognormal(mu, sigma) / 24.0 : 0.0;
+      const double repaired = t + repair_days;
+      // A repair past the horizon never fires: the cut stays active through
+      // the end of the trial and the loss integral runs to the horizon.
+      if (repaired >= config.horizon_days) break;
+      events.push_back(Event{repaired, EventType::kRepair, f});
+      t = repaired + rng.exponential(mean_gap_days);
+    }
+  }
+
+  if (config.growth_interval_days > 0.0) {
+    for (double g = config.growth_interval_days; g < config.horizon_days;
+         g += config.growth_interval_days) {
+      events.push_back(Event{g, EventType::kGrowth, -1});
+    }
+  }
+
+  std::sort(events.begin(), events.end(), event_order);
+  return events;
+}
+
+}  // namespace flexwan::sim

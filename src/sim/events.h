@@ -1,0 +1,70 @@
+// Seeded event timelines for the lifecycle simulator.
+//
+// The digital twin replays *time*: fiber cuts arrive as per-fiber Poisson
+// processes whose rate scales with fiber length (the same per-fiber weight
+// the probabilistic scenario sampler uses —
+// restoration::fiber_cut_probability, read as cuts/year), repairs follow a
+// lognormal MTTR, and demand growth ticks on a fixed calendar.
+//
+// Timelines are generated *up front*, independently of anything the
+// simulation later does, from a pure seed schedule:
+//
+//   trial seed   = mix_seed(config seed, trial index)
+//   fiber stream = Rng(mix_seed(trial seed, fiber id + 1))
+//
+// so trial t's timeline is a function of (seed, t) alone — trials can fan
+// out on any number of engine threads and stay byte-identical.  Each fiber
+// alternates cut → repair → next cut (a cut fiber cannot be cut again until
+// repaired), which makes the whole per-fiber stream pre-generatable.
+//
+// Event ordering (see DESIGN.md "Lifecycle simulation"): ascending time,
+// ties broken repair < cut < growth (a fiber repaired at time t can carry a
+// cut arriving at the same instant), then by fiber id.  Draws are
+// continuous, so ties essentially only occur by construction in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace flexwan::sim {
+
+enum class EventType {
+  kRepair = 0,  // tie-break rank: repairs first at equal time
+  kCut = 1,
+  kGrowth = 2,
+};
+
+struct Event {
+  double time_days = 0.0;
+  EventType type = EventType::kCut;
+  topology::FiberId fiber = -1;  // -1 for growth events
+};
+
+// Knobs of the stochastic timeline.
+struct TimelineConfig {
+  double horizon_days = 365.0;
+  // Cuts per 1000 km of fiber per year (restoration/scenario.h rate model).
+  double cut_rate_per_1000km_per_year = 1.0;
+  // Repair time is lognormal with this mean (hours) and underlying-normal
+  // sigma — long repairs (remote trench work) form the heavy tail.
+  double mttr_mean_hours = 12.0;
+  double mttr_sigma = 0.5;
+  // Calendar spacing of demand-growth events; <= 0 disables growth.
+  double growth_interval_days = 90.0;
+};
+
+// SplitMix64-style stream splitter: deterministic, avalanching, and stable
+// across platforms.  Used for the trial and per-fiber seed schedule.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+// Strict weak order realizing the documented event ordering.
+bool event_order(const Event& a, const Event& b);
+
+// The full, sorted event timeline for one trial.
+std::vector<Event> build_timeline(const topology::OpticalTopology& topo,
+                                  const TimelineConfig& config,
+                                  std::uint64_t trial_seed);
+
+}  // namespace flexwan::sim

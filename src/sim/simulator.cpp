@@ -1,0 +1,238 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "planning/incremental.h"
+#include "restoration/apply.h"
+
+namespace flexwan::sim {
+
+namespace {
+
+constexpr double kMinutesPerDay = 24.0 * 60.0;
+
+double provisioned_gbps(const planning::Plan& plan) {
+  double total = 0.0;
+  for (const auto& lp : plan.links()) total += lp.provisioned_gbps();
+  return total;
+}
+
+}  // namespace
+
+Expected<TrialResult> run_trial(const topology::Network& net,
+                                const planning::Plan& baseline,
+                                const transponder::Catalog& catalog,
+                                const LifecycleConfig& config, int trial) {
+  OBS_SPAN("sim.trial");
+  TrialResult result;
+  result.trial = trial;
+  const auto timeline =
+      build_timeline(net.optical, config.timeline,
+                     mix_seed(config.seed, static_cast<std::uint64_t>(trial)));
+
+  planning::Plan plan = baseline;  // the live (deployed) plan of this trial
+  const restoration::Restorer restorer(catalog, config.restorer);
+
+  // --- live state between events -----------------------------------------
+  std::vector<topology::FiberId> active;  // currently-cut fibers, sorted
+  std::optional<restoration::AppliedOutcome> applied;
+  std::vector<topology::LinkId> degraded;  // links with unrestored capacity
+  double offered = provisioned_gbps(plan);  // no-failure deployed capacity
+  double loss_rate = 0.0;                   // Gbps currently lost
+  double last_days = 0.0;
+  double lost_integral = 0.0;     // Gbps * days
+  double offered_integral = 0.0;  // Gbps * days
+  std::map<topology::LinkId, double> downtime_days;
+
+  // Accumulates the time-weighted integrals up to `t`.
+  const auto integrate_to = [&](double t) {
+    const double dt = t - last_days;
+    lost_integral += loss_rate * dt;
+    offered_integral += offered * dt;
+    for (topology::LinkId l : degraded) downtime_days[l] += dt;
+    last_days = t;
+  };
+
+  // Reverts the active restoration (if any), returning the plan to its
+  // deployed (baseline + growth) state.  Every event handler starts here:
+  // restoration is always recomputed against the current deployed plan.
+  const auto tear_down = [&]() -> Expected<bool> {
+    if (applied) {
+      auto reverted = restoration::revert_outcome(plan, *applied);
+      if (!reverted) return reverted;
+      applied.reset();
+    }
+    loss_rate = 0.0;
+    degraded.clear();
+    return true;
+  };
+
+  // Restores the combined active-cut scenario against the deployed plan and
+  // applies the outcome to it.
+  const auto restore_now = [&](double now) -> Expected<bool> {
+    if (active.empty()) return true;
+    OBS_SPAN("sim.restore");
+    const restoration::FailureScenario scenario{active, 1.0};
+    const auto outcome = restorer.restore(net, plan, scenario);
+    ++result.restorations;
+    OBS_COUNTER_ADD("sim.restorations", 1);
+    auto a = restoration::apply_outcome(plan, scenario, outcome);
+    if (!a) return a.error();
+    applied.emplace(std::move(a.value()));
+    loss_rate = outcome.affected_gbps - outcome.restored_gbps;
+    for (const auto& lr : outcome.links) {
+      if (lr.restored_gbps + 1e-9 < lr.affected_gbps) {
+        degraded.push_back(lr.link);
+      }
+    }
+    result.capability_trajectory.push_back(
+        CapabilitySample{now, outcome.capability()});
+    return true;
+  };
+
+  for (const Event& ev : timeline) {
+    integrate_to(ev.time_days);
+    switch (ev.type) {
+      case EventType::kCut: {
+        OBS_SPAN("sim.event.cut");
+        OBS_COUNTER_ADD("sim.cuts", 1);
+        ++result.cuts;
+        auto down = tear_down();
+        if (!down) return down.error();
+        active.insert(std::lower_bound(active.begin(), active.end(), ev.fiber),
+                      ev.fiber);
+        auto restored = restore_now(ev.time_days);
+        if (!restored) return restored.error();
+        break;
+      }
+      case EventType::kRepair: {
+        OBS_SPAN("sim.event.repair");
+        OBS_COUNTER_ADD("sim.repairs", 1);
+        ++result.repairs;
+        auto down = tear_down();
+        if (!down) return down.error();
+        active.erase(std::remove(active.begin(), active.end(), ev.fiber),
+                     active.end());
+        auto restored = restore_now(ev.time_days);
+        if (!restored) return restored.error();
+        break;
+      }
+      case EventType::kGrowth: {
+        OBS_SPAN("sim.event.growth");
+        OBS_COUNTER_ADD("sim.growth.events", 1);
+        ++result.growth_events;
+        auto down = tear_down();
+        if (!down) return down.error();
+        // Linear growth: every link gains the same fraction of its original
+        // demand.  Spectrum exhaustion is an expected outcome of a filling
+        // backbone, not an error — it is what the availability study
+        // measures.
+        for (const auto& link : net.ip.links()) {
+          const double extra = link.demand_gbps * config.growth_fraction;
+          if (extra <= 0.0) continue;
+          auto grown = planning::extend_plan(plan, net, link.id, extra);
+          if (grown) {
+            result.capacity_added_gbps += grown->capacity_added_gbps;
+          } else {
+            ++result.growth_blocked;
+            OBS_COUNTER_ADD("sim.growth.blocked", 1);
+          }
+        }
+        if (config.defrag_on_growth) {
+          auto defrag = planning::defragment(plan);
+          if (!defrag) return defrag.error();
+        }
+        offered = provisioned_gbps(plan);
+        auto restored = restore_now(ev.time_days);
+        if (!restored) return restored.error();
+        break;
+      }
+    }
+  }
+  integrate_to(config.timeline.horizon_days);
+
+  result.lost_gbps_minutes = lost_integral * kMinutesPerDay;
+  result.offered_gbps_minutes = offered_integral * kMinutesPerDay;
+  result.availability =
+      offered_integral > 0.0 ? 1.0 - lost_integral / offered_integral : 1.0;
+  for (const auto& [link, days] : downtime_days) {
+    result.link_downtime_minutes[link] = days * kMinutesPerDay;
+  }
+  if (!result.capability_trajectory.empty()) {
+    double sum = 0.0;
+    double min_cap = 1.0;
+    for (const auto& s : result.capability_trajectory) {
+      sum += s.capability;
+      min_cap = std::min(min_cap, s.capability);
+    }
+    result.mean_capability =
+        sum / static_cast<double>(result.capability_trajectory.size());
+    result.min_capability = min_cap;
+  }
+  result.final_provisioned_gbps = offered;
+  return result;
+}
+
+Expected<LifecycleReport> run_lifecycle(const topology::Network& net,
+                                        const planning::Plan& baseline,
+                                        const transponder::Catalog& catalog,
+                                        const LifecycleConfig& config,
+                                        const engine::Engine& engine) {
+  OBS_SPAN("sim.lifecycle");
+  const std::size_t trials =
+      static_cast<std::size_t>(std::max(0, config.trials));
+  // Each trial is self-contained (own plan copy, own timeline), so the fan-
+  // out is safe; collection is trial-index-ordered, so the aggregate is
+  // byte-identical at every thread count.
+  auto outcomes = engine.parallel_map(trials, [&](std::size_t i) {
+    return run_trial(net, baseline, catalog, config, static_cast<int>(i));
+  });
+
+  LifecycleReport report;
+  report.trials.reserve(trials);
+  for (auto& outcome : outcomes) {
+    if (!outcome) return outcome.error();
+    report.trials.push_back(std::move(outcome.value()));
+  }
+  if (report.trials.empty()) return report;
+
+  double availability_sum = 0.0;
+  double lost_sum = 0.0;
+  double capability_sum = 0.0;
+  std::size_t capability_samples = 0;
+  report.min_availability = 1.0;
+  for (const auto& t : report.trials) {
+    availability_sum += t.availability;
+    lost_sum += t.lost_gbps_minutes;
+    report.min_availability = std::min(report.min_availability,
+                                       t.availability);
+    report.total_cuts += t.cuts;
+    report.total_repairs += t.repairs;
+    report.total_growth_events += t.growth_events;
+    for (const auto& s : t.capability_trajectory) {
+      capability_sum += s.capability;
+      ++capability_samples;
+    }
+    for (const auto& [link, minutes] : t.link_downtime_minutes) {
+      report.mean_link_downtime_minutes[link] += minutes;
+    }
+  }
+  const double n = static_cast<double>(report.trials.size());
+  report.mean_availability = availability_sum / n;
+  report.mean_lost_gbps_minutes = lost_sum / n;
+  report.mean_capability =
+      capability_samples > 0
+          ? capability_sum / static_cast<double>(capability_samples)
+          : 1.0;
+  for (auto& [link, minutes] : report.mean_link_downtime_minutes) {
+    minutes /= n;
+  }
+  OBS_GAUGE_SET("sim.availability", report.mean_availability);
+  return report;
+}
+
+}  // namespace flexwan::sim

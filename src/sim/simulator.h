@@ -1,0 +1,120 @@
+// Discrete-event lifecycle simulator — the digital twin (paper §8, taken
+// long-horizon).
+//
+// The paper evaluates restoration one scenario at a time; production
+// operators care about what a plan delivers over *years*: overlapping cuts,
+// MTTR-distributed repairs, demand growth, and the availability the traffic
+// actually experiences.  This module replays a seeded event timeline
+// (events.h) against a deployed planning::Plan:
+//
+//   * cut     — the fiber joins the active-cut set, the current restoration
+//               (if any) is torn down, and restoration::Restorer runs
+//               against the *current* (possibly already-degraded, possibly
+//               grown) plan for the combined active-cut scenario; the
+//               outcome is applied to the live plan (restoration/apply.h).
+//   * repair  — the restoration is reverted (apply→revert is byte-exact, so
+//               the plan returns to its deployed state) and, if other cuts
+//               remain active, restoration re-runs for the survivors.
+//   * growth  — every IP link's demand grows by a fixed fraction;
+//               planning::extend_plan provisions it in residual spectrum
+//               and planning::defragment opportunistically re-packs.
+//
+// Between events the trial integrates time-weighted loss: availability is
+// 1 - (lost Gbps·time / offered Gbps·time), plus lost-traffic Gbps-minutes,
+// per-link degraded minutes, and the restoration-capability trajectory.
+//
+// Determinism: a trial is a pure function of (network, baseline plan,
+// catalog, config, trial index) — timelines come from the events.h seed
+// schedule and every plan mutation is deterministic.  run_lifecycle() fans
+// trials out on engine::Engine and aggregates in trial-index order, so
+// reports are byte-identical at every thread count (the PR 1 contract; CI's
+// sim-determinism job byte-compares sim_tool at --threads 1 vs 8).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "sim/events.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/expected.h"
+
+namespace flexwan::sim {
+
+struct LifecycleConfig {
+  TimelineConfig timeline;
+  int trials = 4;
+  std::uint64_t seed = 1;
+  // Each growth event extends every IP link by this fraction of its
+  // original demand (linear growth; spectrum-exhausted links are counted in
+  // TrialResult::growth_blocked, not fatal).
+  double growth_fraction = 0.05;
+  // Re-pack spectrum after each growth event so future extensions and
+  // restorations find contiguous blocks.
+  bool defrag_on_growth = true;
+  restoration::RestorerConfig restorer;
+};
+
+// One point of the restoration-capability trajectory: recorded every time
+// the restorer runs (after each cut, after each repair that leaves cuts
+// active, and after growth under active cuts).
+struct CapabilitySample {
+  double time_days = 0.0;
+  double capability = 1.0;  // restored / affected for the active-cut set
+};
+
+struct TrialResult {
+  int trial = 0;
+  // 1 - lost / offered, both integrated over the horizon.
+  double availability = 1.0;
+  double lost_gbps_minutes = 0.0;
+  double offered_gbps_minutes = 0.0;
+  int cuts = 0;
+  int repairs = 0;
+  int growth_events = 0;
+  int restorations = 0;      // Restorer::restore invocations
+  int growth_blocked = 0;    // link extensions that found no spectrum
+  double capacity_added_gbps = 0.0;
+  double mean_capability = 1.0;  // over capability_trajectory (1.0 if empty)
+  double min_capability = 1.0;
+  std::vector<CapabilitySample> capability_trajectory;
+  // Minutes each IP link spent with unrestored capacity.
+  std::map<topology::LinkId, double> link_downtime_minutes;
+  double final_provisioned_gbps = 0.0;  // deployed capacity at the horizon
+};
+
+// Monte Carlo aggregate over trials (index order, deterministic).
+struct LifecycleReport {
+  std::vector<TrialResult> trials;
+  double mean_availability = 1.0;
+  double min_availability = 1.0;
+  double mean_lost_gbps_minutes = 0.0;
+  double mean_capability = 1.0;
+  int total_cuts = 0;
+  int total_repairs = 0;
+  int total_growth_events = 0;
+  // Per IP link: mean degraded minutes per trial.
+  std::map<topology::LinkId, double> mean_link_downtime_minutes;
+};
+
+// Replays trial `trial`'s timeline against a copy of `baseline`.  `catalog`
+// must be the family the plan was built with (the restorer retunes spares
+// within it).  Errors ("outcome_mismatch", "conflict", ...) indicate a
+// broken apply/revert invariant, never a merely-unlucky timeline.
+Expected<TrialResult> run_trial(const topology::Network& net,
+                                const planning::Plan& baseline,
+                                const transponder::Catalog& catalog,
+                                const LifecycleConfig& config, int trial);
+
+// Runs config.trials trials concurrently on `engine` (each trial is
+// self-contained: own plan copy, own timeline) and aggregates in trial
+// order.
+Expected<LifecycleReport> run_lifecycle(
+    const topology::Network& net, const planning::Plan& baseline,
+    const transponder::Catalog& catalog, const LifecycleConfig& config,
+    const engine::Engine& engine = engine::Engine::serial());
+
+}  // namespace flexwan::sim

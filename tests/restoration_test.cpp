@@ -5,6 +5,8 @@
 
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
+#include "planning/plan_io.h"
+#include "restoration/apply.h"
 #include "restoration/metrics.h"
 #include "restoration/restorer.h"
 #include "restoration/scenario.h"
@@ -61,6 +63,118 @@ TEST(Scenario, StandardSetCombinesBoth) {
   const auto net = topology::make_cernet();
   const auto set = standard_scenario_set(net.optical, 10, 3);
   EXPECT_EQ(static_cast<int>(set.size()), net.optical.fiber_count() + 10);
+}
+
+TEST(Scenario, CutsMembershipOnSortedSets) {
+  // cut_fibers is sorted (struct invariant); cuts() binary-searches it.
+  const FailureScenario s{{1, 4, 7}, 1.0};
+  EXPECT_TRUE(s.cuts(1));
+  EXPECT_TRUE(s.cuts(4));
+  EXPECT_TRUE(s.cuts(7));
+  EXPECT_FALSE(s.cuts(0));
+  EXPECT_FALSE(s.cuts(2));
+  EXPECT_FALSE(s.cuts(9));
+  EXPECT_FALSE(s.cuts(-1));
+  EXPECT_FALSE(FailureScenario{}.cuts(0));
+}
+
+TEST(Scenario, ProbabilisticScenariosAreSorted) {
+  const auto net = topology::make_cernet();
+  Rng rng(5);
+  for (const auto& s : probabilistic_scenarios(net.optical, 25, rng)) {
+    EXPECT_TRUE(std::is_sorted(s.cut_fibers.begin(), s.cut_fibers.end()));
+  }
+}
+
+TEST(Scenario, RedrawLoopIsBoundedAtNearZeroCutRate) {
+  // With a near-zero rate almost every draw is empty; the sampler must cap
+  // its attempts and return what it has (usually nothing) instead of
+  // spinning indefinitely.
+  const auto net = topology::make_cernet();
+  Rng rng(13);
+  const auto scenarios =
+      probabilistic_scenarios(net.optical, 8, rng, /*cut_rate=*/1e-12);
+  EXPECT_LE(scenarios.size(), 8u);
+  for (const auto& s : scenarios) EXPECT_FALSE(s.cut_fibers.empty());
+  // A zero rate terminates too, and a zero count asks for nothing.
+  Rng rng2(13);
+  EXPECT_TRUE(probabilistic_scenarios(net.optical, 4, rng2, 0.0).empty());
+  EXPECT_TRUE(probabilistic_scenarios(net.optical, 0, rng2).empty());
+}
+
+TEST(Apply, ApplyThenRevertRoundTripsPlanBytes) {
+  // The lifecycle simulator's repair path depends on apply → revert being
+  // byte-exact under plan_io serialization.
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const std::string before = planning::save_plan(*plan);
+  Restorer restorer(transponder::svt_flexwan());
+
+  for (const FailureScenario& scenario :
+       {FailureScenario{{0}, 1.0}, FailureScenario{{0, 3}, 1.0},
+        FailureScenario{{2, 5, 9}, 1.0}}) {
+    const auto outcome = restorer.restore(net, *plan, scenario);
+    auto applied = apply_outcome(*plan, scenario, outcome);
+    ASSERT_TRUE(applied) << applied.error().message;
+    // The live plan now carries survivors + restored wavelengths.
+    const int expected = plan->transponder_count();
+    EXPECT_EQ(expected,
+              static_cast<int>(planning::load_plan(before)->transponder_count() -
+                               applied->removed.size() +
+                               applied->restored.size()));
+    if (outcome.affected_gbps > 0.0) {
+      EXPECT_NE(planning::save_plan(*plan), before);
+    }
+    const auto reverted = revert_outcome(*plan, *applied);
+    ASSERT_TRUE(reverted) << reverted.error().message;
+    EXPECT_EQ(planning::save_plan(*plan), before);
+  }
+}
+
+TEST(Apply, AppliedPlanStillLoadsAndAccountsCapacity) {
+  // Mid-failure state is a valid plan document: conflict-checked load
+  // succeeds and the delivered capacity is affected-restored below the
+  // deployed plan.
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  double deployed = 0.0;
+  for (const auto& lp : plan->links()) deployed += lp.provisioned_gbps();
+
+  const FailureScenario scenario{{0}, 1.0};
+  Restorer restorer(transponder::svt_flexwan());
+  const auto outcome = restorer.restore(net, *plan, scenario);
+  ASSERT_GT(outcome.affected_gbps, 0.0);
+  auto applied = apply_outcome(*plan, scenario, outcome);
+  ASSERT_TRUE(applied) << applied.error().message;
+
+  const auto reloaded = planning::load_plan(planning::save_plan(*plan));
+  ASSERT_TRUE(reloaded) << reloaded.error().message;
+  double delivered = 0.0;
+  for (const auto& lp : plan->links()) delivered += lp.provisioned_gbps();
+  EXPECT_NEAR(delivered,
+              deployed - outcome.affected_gbps + outcome.restored_gbps, 1e-6);
+  ASSERT_TRUE(revert_outcome(*plan, *applied));
+}
+
+TEST(Apply, MismatchedOutcomeIsRejectedAtomically) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const std::string before = planning::save_plan(*plan);
+  Restorer restorer(transponder::svt_flexwan());
+  // Outcome computed for fiber 0 but applied against a fiber-1 scenario.
+  const auto outcome = restorer.restore(net, *plan, FailureScenario{{0}, 1.0});
+  ASSERT_GT(outcome.affected_gbps, 0.0);
+  const auto applied =
+      apply_outcome(*plan, FailureScenario{{1}, 1.0}, outcome);
+  ASSERT_FALSE(applied);
+  EXPECT_EQ(applied.error().code, "outcome_mismatch");
+  EXPECT_EQ(planning::save_plan(*plan), before);
 }
 
 TEST(Restorer, UnaffectedScenarioIsFullCapability) {

@@ -1,0 +1,265 @@
+// Tests for the lifecycle simulator (src/sim): seed schedule, timeline
+// structure, trial physics, and the thread-count determinism contract.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "planning/heuristic.h"
+#include "sim/events.h"
+#include "sim/simulator.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::sim {
+namespace {
+
+// Serializes every field of a report with hexfloat doubles: two reports with
+// equal fingerprints are byte-identical in the sense the determinism
+// contract promises.
+std::string fingerprint(const LifecycleReport& report) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << report.mean_availability << '|' << report.min_availability << '|'
+     << report.mean_lost_gbps_minutes << '|' << report.mean_capability << '|'
+     << report.total_cuts << '|' << report.total_repairs << '|'
+     << report.total_growth_events << '\n';
+  for (const auto& [link, minutes] : report.mean_link_downtime_minutes) {
+    os << link << '=' << minutes << ';';
+  }
+  os << '\n';
+  for (const auto& t : report.trials) {
+    os << t.trial << '|' << t.availability << '|' << t.lost_gbps_minutes
+       << '|' << t.offered_gbps_minutes << '|' << t.cuts << '|' << t.repairs
+       << '|' << t.growth_events << '|' << t.restorations << '|'
+       << t.growth_blocked << '|' << t.capacity_added_gbps << '|'
+       << t.mean_capability << '|' << t.min_capability << '|'
+       << t.final_provisioned_gbps << '\n';
+    for (const auto& s : t.capability_trajectory) {
+      os << s.time_days << '@' << s.capability << ';';
+    }
+    os << '\n';
+    for (const auto& [link, minutes] : t.link_downtime_minutes) {
+      os << link << '=' << minutes << ';';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(Events, MixSeedIsDeterministicAndSeparatesStreams) {
+  EXPECT_EQ(mix_seed(42, 0), mix_seed(42, 0));
+  EXPECT_NE(mix_seed(42, 0), mix_seed(42, 1));
+  EXPECT_NE(mix_seed(42, 0), mix_seed(43, 0));
+  // Stream 0 must be usable (the +1 inside keeps it distinct from the seed).
+  EXPECT_NE(mix_seed(0, 0), 0u);
+}
+
+TEST(Events, OrderBreaksTiesRepairCutGrowthThenFiber) {
+  const Event repair{5.0, EventType::kRepair, 2};
+  const Event cut{5.0, EventType::kCut, 1};
+  const Event growth{5.0, EventType::kGrowth, -1};
+  const Event earlier{4.0, EventType::kGrowth, -1};
+  EXPECT_TRUE(event_order(earlier, repair));
+  EXPECT_TRUE(event_order(repair, cut));
+  EXPECT_TRUE(event_order(cut, growth));
+  EXPECT_FALSE(event_order(growth, repair));
+  const Event cut_low{5.0, EventType::kCut, 0};
+  EXPECT_TRUE(event_order(cut_low, cut));
+  EXPECT_FALSE(event_order(cut, cut));  // irreflexive
+}
+
+TEST(Events, TimelineIsDeterministicSortedAndAlternatesPerFiber) {
+  const auto net = topology::make_tbackbone();
+  TimelineConfig config;
+  config.horizon_days = 3 * 365.0;
+  config.cut_rate_per_1000km_per_year = 4.0;
+  const auto a = build_timeline(net.optical, config, mix_seed(7, 0));
+  const auto b = build_timeline(net.optical, config, mix_seed(7, 0));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_days, b[i].time_days);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].fiber, b[i].fiber);
+  }
+  const auto other = build_timeline(net.optical, config, mix_seed(7, 1));
+  const bool differs =
+      a.size() != other.size() ||
+      !std::equal(a.begin(), a.end(), other.begin(),
+                  [](const Event& x, const Event& y) {
+                    return x.time_days == y.time_days && x.type == y.type &&
+                           x.fiber == y.fiber;
+                  });
+  EXPECT_TRUE(differs) << "different trial seeds produced the same timeline";
+
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), event_order));
+  EXPECT_FALSE(a.empty());
+
+  // Per fiber: strict cut -> repair alternation starting with a cut, and a
+  // fiber with a trailing unrepaired cut simply ends its stream.
+  std::map<topology::FiberId, EventType> last;
+  int growth_events = 0;
+  for (const auto& ev : a) {
+    EXPECT_GE(ev.time_days, 0.0);
+    EXPECT_LT(ev.time_days, config.horizon_days);
+    if (ev.type == EventType::kGrowth) {
+      ++growth_events;
+      EXPECT_EQ(ev.fiber, -1);
+      continue;
+    }
+    ASSERT_GE(ev.fiber, 0);
+    const auto it = last.find(ev.fiber);
+    if (ev.type == EventType::kCut) {
+      EXPECT_TRUE(it == last.end() || it->second == EventType::kRepair)
+          << "fiber " << ev.fiber << " cut while already down";
+    } else {
+      ASSERT_TRUE(it != last.end() && it->second == EventType::kCut)
+          << "fiber " << ev.fiber << " repaired while up";
+    }
+    last[ev.fiber] = ev.type;
+  }
+  // growth_interval_days = 90 over 3 years: 90, 180, ..., < 1095.
+  EXPECT_EQ(growth_events, 12);
+}
+
+TEST(Events, ZeroRateAndZeroHorizonProduceNoFailures) {
+  const auto net = topology::make_tbackbone();
+  TimelineConfig config;
+  config.cut_rate_per_1000km_per_year = 0.0;
+  const auto quiet = build_timeline(net.optical, config, 1);
+  for (const auto& ev : quiet) EXPECT_EQ(ev.type, EventType::kGrowth);
+  config.horizon_days = 0.0;
+  EXPECT_TRUE(build_timeline(net.optical, config, 1).empty());
+}
+
+TEST(Simulator, ZeroCutRateTrialHasPerfectAvailability) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 0.0;
+  config.timeline.growth_interval_days = 0.0;  // quiet year
+  const auto trial =
+      run_trial(net, *plan, transponder::svt_flexwan(), config, 0);
+  ASSERT_TRUE(trial) << trial.error().message;
+  EXPECT_EQ(trial->cuts, 0);
+  EXPECT_EQ(trial->repairs, 0);
+  EXPECT_EQ(trial->growth_events, 0);
+  EXPECT_EQ(trial->restorations, 0);
+  EXPECT_DOUBLE_EQ(trial->availability, 1.0);
+  EXPECT_DOUBLE_EQ(trial->lost_gbps_minutes, 0.0);
+  EXPECT_GT(trial->offered_gbps_minutes, 0.0);
+  EXPECT_TRUE(trial->capability_trajectory.empty());
+  EXPECT_TRUE(trial->link_downtime_minutes.empty());
+}
+
+TEST(Simulator, GrowthAddsCapacityOrCountsBlockedExtensions) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  double deployed = 0.0;
+  for (const auto& lp : plan->links()) deployed += lp.provisioned_gbps();
+
+  LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 0.0;
+  config.timeline.growth_interval_days = 120.0;  // 120, 240, 360
+  config.growth_fraction = 0.05;
+  const auto trial =
+      run_trial(net, *plan, transponder::svt_flexwan(), config, 0);
+  ASSERT_TRUE(trial) << trial.error().message;
+  EXPECT_EQ(trial->growth_events, 3);
+  // Every attempted extension either provisioned capacity or was counted as
+  // blocked; the deployed plan never shrinks.
+  EXPECT_TRUE(trial->capacity_added_gbps > 0.0 || trial->growth_blocked > 0);
+  EXPECT_GE(trial->final_provisioned_gbps, deployed);
+  EXPECT_NEAR(trial->final_provisioned_gbps,
+              deployed + trial->capacity_added_gbps, 1e-6);
+  EXPECT_DOUBLE_EQ(trial->availability, 1.0);
+}
+
+TEST(Simulator, EventfulTrialStaysConsistent) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  LifecycleConfig config;
+  config.timeline.horizon_days = 2 * 365.0;
+  config.timeline.cut_rate_per_1000km_per_year = 25.0;  // overlapping cuts
+  config.timeline.mttr_mean_hours = 72.0;
+  config.seed = 3;
+  const auto trial =
+      run_trial(net, *plan, transponder::svt_flexwan(), config, 0);
+  ASSERT_TRUE(trial) << trial.error().message;
+  EXPECT_GT(trial->cuts, 0);
+  EXPECT_GE(trial->cuts, trial->repairs);
+  EXPECT_GE(trial->restorations, trial->cuts);
+  EXPECT_GE(trial->availability, 0.0);
+  EXPECT_LE(trial->availability, 1.0);
+  EXPECT_FALSE(trial->capability_trajectory.empty());
+  EXPECT_LE(trial->min_capability, trial->mean_capability);
+  EXPECT_LE(trial->mean_capability, 1.0);
+  EXPECT_NEAR(trial->availability,
+              1.0 - trial->lost_gbps_minutes / trial->offered_gbps_minutes,
+              1e-12);
+}
+
+TEST(Simulator, LifecycleIsByteIdenticalAcrossThreadCounts) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+  config.timeline.mttr_mean_hours = 36.0;
+  config.trials = 6;
+  config.seed = 17;
+  const auto serial = run_lifecycle(net, *plan, transponder::svt_flexwan(),
+                                    config, engine::Engine(1));
+  const auto threaded = run_lifecycle(net, *plan, transponder::svt_flexwan(),
+                                      config, engine::Engine(8));
+  ASSERT_TRUE(serial) << serial.error().message;
+  ASSERT_TRUE(threaded) << threaded.error().message;
+  ASSERT_EQ(serial->trials.size(), 6u);
+  EXPECT_GT(serial->total_cuts, 0);
+  EXPECT_EQ(fingerprint(*serial), fingerprint(*threaded));
+}
+
+TEST(Simulator, ReportAggregatesTrialsInIndexOrder) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 4.0;
+  config.trials = 3;
+  config.seed = 9;
+  const auto report = run_lifecycle(net, *plan, transponder::svt_flexwan(),
+                                    config, engine::Engine(4));
+  ASSERT_TRUE(report) << report.error().message;
+  ASSERT_EQ(report->trials.size(), 3u);
+  double availability_sum = 0.0;
+  int cuts = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(report->trials[i].trial, i);
+    availability_sum += report->trials[i].availability;
+    cuts += report->trials[i].cuts;
+    // Each aggregated trial matches an independent serial re-run.
+    const auto solo =
+        run_trial(net, *plan, transponder::svt_flexwan(), config, i);
+    ASSERT_TRUE(solo);
+    EXPECT_EQ(solo->availability, report->trials[i].availability);
+    EXPECT_EQ(solo->cuts, report->trials[i].cuts);
+  }
+  EXPECT_DOUBLE_EQ(report->mean_availability, availability_sum / 3.0);
+  EXPECT_EQ(report->total_cuts, cuts);
+  EXPECT_LE(report->min_availability, report->mean_availability);
+}
+
+}  // namespace
+}  // namespace flexwan::sim
