@@ -43,7 +43,8 @@ int main(int argc, char** argv) {
   });
   std::vector<double> lengths[2];
   std::vector<double> weights[2];
-  for (int i = 0; i < 2; ++i) {
+  // Under --list the harness returns an empty placeholder; never index it.
+  for (std::size_t i = 0; i < flex_metrics.size(); ++i) {
     if (!flex_metrics[i]) {
       std::printf("planning failed on %s: %s\n", nets[i].name.c_str(),
                   flex_metrics[i].error().message.c_str());

@@ -7,6 +7,8 @@
 //            [--growth-days D]   demand-growth calendar spacing (0 = off)
 //            [--growth-pct P]    % of original demand added per growth event
 //            [--no-defrag]       skip opportunistic defragmentation
+//            [--verify-incremental]  re-solve every event from scratch and
+//                                    fail on any divergence (oracle parity)
 //            [--threads N] [--metrics f.json] [--trace f.json]
 //
 // Plans the chosen network, then replays M seeded event timelines (Poisson
@@ -17,9 +19,11 @@
 // --threads value (trials fan out on the engine, aggregation is
 // trial-index-ordered) — CI's sim-determinism job byte-compares 1 vs 8.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -41,18 +45,55 @@ namespace {
       "usage: %s [--network tbackbone|cernet] [--scheme flexwan|radwan|100g]\n"
       "          [--years Y] [--trials M] [--seed S] [--cut-rate R]\n"
       "          [--mttr-hours H] [--growth-days D] [--growth-pct P]\n"
-      "          [--no-defrag] [--threads N] [--metrics f] [--trace f]\n",
+      "          [--no-defrag] [--verify-incremental]\n"
+      "          [--threads N] [--metrics f] [--trace f]\n",
       argv0);
   std::exit(2);
 }
 
-double parse_double(const char* flag, const char* value, const char* argv0) {
-  if (value == nullptr) usage(argv0);
+// One-line, actionable rejection: name the flag and the problem, point at
+// usage, exit non-zero.  Typos and out-of-range values must never be
+// silently ignored in a tool whose output feeds byte-comparison CI jobs.
+[[noreturn]] void reject(const char* argv0, const std::string& message) {
+  std::fprintf(stderr, "sim_tool: %s (see usage below)\n", message.c_str());
+  usage(argv0);
+}
+
+// Parses a finite double in [min, max]; rejects garbage, trailing
+// characters, and out-of-range values with the offending flag named.
+double parse_double(const char* flag, const char* value, const char* argv0,
+                    double min, double max) {
+  if (value == nullptr) {
+    reject(argv0, std::string(flag) + " requires a value");
+  }
   char* end = nullptr;
   const double v = std::strtod(value, &end);
-  if (end == value || *end != '\0' || v < 0.0) {
-    std::fprintf(stderr, "%s: bad value '%s'\n", flag, value);
-    std::exit(2);
+  if (end == value || *end != '\0') {
+    reject(argv0, std::string(flag) + ": '" + value + "' is not a number");
+  }
+  if (!(v >= min && v <= max)) {
+    reject(argv0, std::string(flag) + ": " + value + " out of range [" +
+                      std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+// Parses a base-10 integer in [min, max] (no fractional part, no overflow
+// truncation — "1e9" and "2.5" are rejected, not rounded).
+long long parse_int(const char* flag, const char* value, const char* argv0,
+                    long long min, long long max) {
+  if (value == nullptr) {
+    reject(argv0, std::string(flag) + " requires a value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    reject(argv0, std::string(flag) + ": '" + value + "' is not an integer");
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    reject(argv0, std::string(flag) + ": " + value + " out of range [" +
+                      std::to_string(min) + ", " + std::to_string(max) + "]");
   }
   return v;
 }
@@ -84,28 +125,31 @@ int main(int argc, char** argv) {
       if (v == nullptr) usage(argv[0]);
       scheme = v;
     } else if (std::strcmp(argv[i], "--years") == 0) {
-      years = parse_double("--years", value(), argv[0]);
+      years = parse_double("--years", value(), argv[0], 0.0, 1000.0);
     } else if (std::strcmp(argv[i], "--trials") == 0) {
-      config.trials =
-          static_cast<int>(parse_double("--trials", value(), argv[0]));
+      config.trials = static_cast<int>(
+          parse_int("--trials", value(), argv[0], 0, 1000000));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      config.seed =
-          static_cast<std::uint64_t>(parse_double("--seed", value(), argv[0]));
+      config.seed = static_cast<std::uint64_t>(parse_int(
+          "--seed", value(), argv[0], 0,
+          std::numeric_limits<long long>::max()));
     } else if (std::strcmp(argv[i], "--cut-rate") == 0) {
       config.timeline.cut_rate_per_1000km_per_year =
-          parse_double("--cut-rate", value(), argv[0]);
+          parse_double("--cut-rate", value(), argv[0], 0.0, 10000.0);
     } else if (std::strcmp(argv[i], "--mttr-hours") == 0) {
       config.timeline.mttr_mean_hours =
-          parse_double("--mttr-hours", value(), argv[0]);
+          parse_double("--mttr-hours", value(), argv[0], 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--growth-days") == 0) {
       config.timeline.growth_interval_days =
-          parse_double("--growth-days", value(), argv[0]);
+          parse_double("--growth-days", value(), argv[0], 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--growth-pct") == 0) {
-      growth_pct = parse_double("--growth-pct", value(), argv[0]);
+      growth_pct = parse_double("--growth-pct", value(), argv[0], 0.0, 1000.0);
     } else if (std::strcmp(argv[i], "--no-defrag") == 0) {
       config.defrag_on_growth = false;
+    } else if (std::strcmp(argv[i], "--verify-incremental") == 0) {
+      config.restorer.verify_incremental = true;
     } else {
-      usage(argv[0]);
+      reject(argv[0], std::string("unknown flag '") + argv[i] + "'");
     }
   }
   config.timeline.horizon_days = years * 365.0;

@@ -74,14 +74,41 @@ Harness::Harness(std::string bench_name, obs::BenchOptions options,
                  int threads)
     : name_(std::move(bench_name)),
       options_(std::move(options)),
-      provenance_(make_provenance(threads)) {}
+      provenance_(make_provenance(threads)) {
+  if (options_.list) {
+    // Keep the real stdout for the case names, then route the bench's own
+    // table printing (which still runs between run() calls) to /dev/null
+    // so the listing is exactly one case name per line.
+    list_fd_ = ::dup(STDOUT_FILENO);
+    if (list_fd_ >= 0) {
+      std::fflush(stdout);
+      if (std::freopen("/dev/null", "w", stdout) == nullptr) {
+        // Couldn't null stdout: fall back to interleaved output rather
+        // than losing the listing entirely.
+      }
+    } else {
+      list_fd_ = STDOUT_FILENO;
+    }
+  }
+}
 
 Harness::~Harness() {
+  if (options_.list) {
+    // A listing run never writes telemetry; exit 0 regardless of what the
+    // bench's post-run printing code would have returned.
+    std::fflush(nullptr);
+    std::exit(0);
+  }
   if (!enabled()) return;
   const auto result = write();
   if (!result) {
     std::fprintf(stderr, "benchlib: %s\n", result.error().message.c_str());
   }
+}
+
+void Harness::list_case(const std::string& case_name) {
+  ::dprintf(list_fd_ >= 0 ? list_fd_ : STDOUT_FILENO, "%s\n",
+            case_name.c_str());
 }
 
 void Harness::finish_case(CaseResult record,

@@ -93,9 +93,25 @@ class Harness {
   // Runs one named case.  Disabled: calls fn once, records nothing.
   // Enabled: `warmup` discarded runs, then `reps` timed runs bracketed by
   // registry snapshots; returns the final repetition's value.
+  // List mode (--list): prints the case name to the saved stdout and skips
+  // the body, returning a value-initialized placeholder when the return
+  // type allows it (the bench's own table printing is routed to /dev/null,
+  // so stdout carries exactly one case name per line; the destructor exits
+  // 0).  A non-default-constructible return type forces the body to run —
+  // the name is still listed.
   template <typename Fn>
   auto run(const std::string& case_name, Fn&& fn) -> decltype(fn()) {
     using Result = decltype(fn());
+    if (options_.list) {
+      list_case(case_name);
+      if constexpr (std::is_void_v<Result>) {
+        return;
+      } else if constexpr (std::is_default_constructible_v<Result>) {
+        return Result{};
+      } else {
+        return fn();
+      }
+    }
     if (!enabled()) return fn();
     for (int i = 0; i < options_.warmup; ++i) static_cast<void>(fn());
     CaseResult record;
@@ -142,10 +158,14 @@ class Harness {
   // Stats + metrics delta + stderr summary, then stores the record.
   void finish_case(CaseResult record, const obs::MetricsSnapshot& before);
 
+  // Writes one case name to the saved real-stdout fd (list mode).
+  void list_case(const std::string& case_name);
+
   std::string name_;
   obs::BenchOptions options_;
   Provenance provenance_;
   std::vector<CaseResult> results_;
+  int list_fd_ = -1;  // dup of the real stdout while stdout is nulled
 };
 
 }  // namespace flexwan::benchlib

@@ -104,6 +104,11 @@ RunReport report_from_flags(int& argc, char** argv) {
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    // --list is the one boolean in the family: no value to consume.
+    if (std::strcmp(arg, "--list") == 0) {
+      bench.list = true;
+      continue;
+    }
     const char* flag = nullptr;
     const char* value = nullptr;
     for (const char* candidate : {kPathFlags[0], kPathFlags[1], kPathFlags[2],

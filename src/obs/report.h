@@ -26,6 +26,10 @@ struct BenchOptions {
   std::string json_path;  // empty = harness disabled
   int warmup = 1;         // discarded repetitions per case
   int reps = 3;           // measured repetitions per case (>= 1)
+  // --list: print each registered case name to stdout (one per line, in
+  // registration order) without running the bodies, then exit 0 when the
+  // harness goes out of scope.  Takes precedence over --bench-json.
+  bool list = false;
 
   bool enabled() const { return !json_path.empty(); }
 };
@@ -90,7 +94,8 @@ class RunReport {
 
 // Extracts "--metrics <file>" / "--metrics=<file>", "--trace <file>" /
 // "--trace=<file>", and the bench-harness flags "--bench-json <file>",
-// "--warmup N", "--reps N" (each also in "=value" form) from argv
+// "--warmup N", "--reps N" (each also in "=value" form), and the boolean
+// "--list" from argv
 // (compacting the remaining arguments and decrementing argc, exactly like
 // engine::threads_flag), enables the corresponding obs subsystems
 // (--bench-json turns metrics recording on so per-case deltas are real),

@@ -114,4 +114,28 @@ Expected<bool> revert_outcome(planning::Plan& plan,
   return true;
 }
 
+Expected<Outcome> transition_outcome(planning::Plan& plan,
+                                     std::optional<AppliedOutcome>& applied,
+                                     const FailureScenario& scenario,
+                                     const SolveFn& solve) {
+  if (applied) {
+    auto reverted = revert_outcome(plan, *applied);
+    if (!reverted) return reverted.error();
+    applied.reset();
+  }
+
+  const Outcome& outcome = solve(plan);
+
+  // Nothing affected and nothing restored: the deployed plan already *is*
+  // the failure-state plan, so skip the apply scan entirely.
+  if (outcome.wavelengths.empty() && outcome.affected_gbps == 0.0) {
+    return outcome;
+  }
+
+  auto next = apply_outcome(plan, scenario, outcome);
+  if (!next) return next.error();
+  applied = std::move(next.value());
+  return outcome;
+}
+
 }  // namespace flexwan::restoration

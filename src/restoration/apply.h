@@ -22,7 +22,9 @@
 // errors rather than silent corruption.
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "planning/plan.h"
@@ -69,5 +71,28 @@ Expected<AppliedOutcome> apply_outcome(planning::Plan& plan,
 // byte-identically to its pre-apply state.
 Expected<bool> revert_outcome(planning::Plan& plan,
                               const AppliedOutcome& applied);
+
+// Computes a new restoration outcome against the *deployed* plan state.
+// transition_outcome() hands it the plan with any previous restoration
+// already reverted; the returned reference must stay valid until the
+// transition completes (the IncrementalRestorer's restore() qualifies).
+using SolveFn =
+    std::function<const Outcome&(const planning::Plan& deployed)>;
+
+// One delta step of the live plan between restoration outcomes: reverts
+// `applied` (when engaged), invokes `solve` against the now-deployed plan,
+// and applies the outcome it returns, leaving `applied` holding the new
+// record.  This is the sim event loop's single mutation entry point — the
+// byte-exact revert semantics are preserved because the step is composed of
+// exactly the revert_outcome()/apply_outcome() pair whose round-trip
+// restoration_test pins; an outcome that touches nothing (no affected, no
+// restored wavelengths) short-circuits to "reverted, nothing applied" so an
+// all-clear network never pays an O(plan) apply scan.  Returns the outcome
+// `solve` produced (for loss accounting).  On error the plan may hold the
+// deployed (reverted) state but never a partial application.
+Expected<Outcome> transition_outcome(planning::Plan& plan,
+                                     std::optional<AppliedOutcome>& applied,
+                                     const FailureScenario& scenario,
+                                     const SolveFn& solve);
 
 }  // namespace flexwan::restoration

@@ -1,0 +1,136 @@
+#include "restoration/incremental.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "topology/ksp.h"
+
+namespace flexwan::restoration {
+
+IncrementalRestorer::IncrementalRestorer(const transponder::Catalog& catalog,
+                                         RestorerConfig config)
+    : catalog_(&catalog), config_(config) {}
+
+void IncrementalRestorer::rebuild_carried(const planning::Plan& plan) {
+  OBS_SPAN("restoration.incremental.rebuild");
+  const auto fiber_count = static_cast<std::size_t>(plan.fiber_count());
+  if (delta_.carried.size() != fiber_count) delta_.carried.resize(fiber_count);
+  for (auto& refs : delta_.carried) refs.clear();
+  const auto links = plan.links();
+  for (std::size_t link_pos = 0; link_pos < links.size(); ++link_pos) {
+    const auto& lp = links[link_pos];
+    for (std::size_t wl_index = 0; wl_index < lp.wavelengths.size();
+         ++wl_index) {
+      const auto& wl = lp.wavelengths[wl_index];
+      const auto& path =
+          lp.paths[static_cast<std::size_t>(wl.path_index)];
+      for (topology::FiberId f : path.fibers) {
+        delta_.carried[static_cast<std::size_t>(f)].push_back(
+            RestorationDelta::WavelengthRef{link_pos, wl_index});
+      }
+    }
+  }
+}
+
+void IncrementalRestorer::note_restoration_paths(const Outcome& outcome) {
+  if (delta_.restoration_paths.size() != delta_.carried.size()) {
+    delta_.restoration_paths.resize(delta_.carried.size());
+  }
+  for (auto& indices : delta_.restoration_paths) indices.clear();
+  for (std::size_t i = 0; i < outcome.wavelengths.size(); ++i) {
+    for (topology::FiberId f : outcome.wavelengths[i].path.fibers) {
+      delta_.restoration_paths[static_cast<std::size_t>(f)].push_back(i);
+    }
+  }
+}
+
+const Outcome& IncrementalRestorer::restore(const topology::Network& net,
+                                            const planning::Plan& plan,
+                                            const FailureScenario& scenario) {
+  OBS_SPAN("restoration.incremental.restore");
+  if (!carried_valid_) {
+    rebuild_carried(plan);
+    outcome_cache_.clear();
+    carried_valid_ = true;
+  }
+
+  // Repair fast path (and repeated failure states in general): the solved
+  // outcome for this active-cut-set is still valid because the deployed
+  // plan has not changed — re-promote it without solving.
+  const auto [entry, inserted] = outcome_cache_.try_emplace(scenario.cut_fibers);
+  if (!inserted) {
+    OBS_COUNTER_ADD("restoration.incremental.cache_hits", 1);
+    note_restoration_paths(entry->second);
+    return entry->second;
+  }
+  OBS_COUNTER_ADD("restoration.incremental.solves", 1);
+
+  // New-cut fast path: the affected set is the merge of the cut fibers'
+  // carried lists — deduped (a wavelength crossing two cut fibers appears
+  // in both) into deployed-plan scan order, never an O(plan) scan.
+  affected_refs_.clear();
+  for (topology::FiberId f : scenario.cut_fibers) {
+    if (f < 0 || static_cast<std::size_t>(f) >= delta_.carried.size()) continue;
+    const auto& refs = delta_.carried[static_cast<std::size_t>(f)];
+    affected_refs_.insert(affected_refs_.end(), refs.begin(), refs.end());
+  }
+  std::sort(affected_refs_.begin(), affected_refs_.end());
+  affected_refs_.erase(
+      std::unique(affected_refs_.begin(), affected_refs_.end()),
+      affected_refs_.end());
+
+  // Residual spectrum: word-packed copy of the deployed occupancy into the
+  // reused scratch arena, then release what the cut carried.
+  fibers_scratch_.assign(plan.fiber_occupancies().begin(),
+                         plan.fiber_occupancies().end());
+  affected_.clear();
+  double affected_gbps = 0.0;
+  const auto links = plan.links();
+  for (const auto& ref : affected_refs_) {
+    const auto& lp = links[ref.link_pos];
+    const auto& wl = lp.wavelengths[ref.wl_index];
+    const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
+    if (affected_.empty() || affected_.back().link != lp.link) {
+      affected_.push_back(detail::AffectedLink{lp.link, {}});
+    }
+    affected_.back().lost.push_back(
+        detail::AffectedWavelength{wl.mode.data_rate_gbps, path.length_km});
+    for (topology::FiberId f : path.fibers) {
+      auto r = fibers_scratch_[static_cast<std::size_t>(f)].release(wl.range);
+      (void)r;  // reserved by the plan, so release cannot fail
+    }
+    affected_gbps += wl.mode.data_rate_gbps;
+  }
+  std::sort(affected_.begin(), affected_.end(),
+            [](const detail::AffectedLink& a, const detail::AffectedLink& b) {
+              return a.link < b.link;
+            });
+
+  // Backup-path tables: KSP per (link, active-cut-set), memoized across
+  // events and across plan generations.
+  const auto paths_for =
+      [&](topology::LinkId link) -> const std::vector<topology::Path>& {
+    auto key = std::make_pair(link, scenario.cut_fibers);
+    auto it = delta_.backup_paths.find(key);
+    if (it == delta_.backup_paths.end()) {
+      OBS_COUNTER_ADD("restoration.incremental.ksp_runs", 1);
+      const auto& ip_link = net.ip.link(link);
+      it = delta_.backup_paths
+               .emplace(std::move(key),
+                        topology::k_shortest_paths(
+                            net.optical, ip_link.src, ip_link.dst,
+                            config_.k_paths, scenario.cut_fibers))
+               .first;
+    }
+    return it->second;
+  };
+
+  entry->second = detail::solve(net, *catalog_, config_, affected_gbps,
+                                affected_, fibers_scratch_, no_extra_spares_,
+                                paths_for);
+  note_restoration_paths(entry->second);
+  return entry->second;
+}
+
+}  // namespace flexwan::restoration

@@ -1,0 +1,128 @@
+// Incremental re-restoration (ROADMAP "sub-millisecond restoration hot
+// path").
+//
+// The lifecycle simulator (src/sim) re-solves restoration after *every*
+// cut/repair/growth event.  The from-scratch Restorer pays three per-event
+// costs that do not depend on the event's size: a full scan of the plan's
+// wavelengths to find the affected ones, fresh KSP runs on the residual
+// topology, and fresh heap allocations for every scratch structure.  The
+// IncrementalRestorer eliminates all three with a delta structure over the
+// deployed plan:
+//
+//   * carried index     — per fiber, which deployed wavelengths ride it, so
+//                         a new cut's affected set is a merge of the cut
+//                         fibers' lists instead of an O(plan) scan;
+//   * backup-path table — memoized KSP per (link, active-cut-set), so a
+//                         repair that returns to a previously-seen failure
+//                         state never re-runs Yen's algorithm (pure
+//                         function of the topology, survives plan growth);
+//   * outcome cache     — per active-cut-set, the full solved Outcome, so a
+//                         repair only "re-promotes" traffic: the cached
+//                         outcome of the remaining cuts is reinstated
+//                         without solving at all (invalidated when the
+//                         deployed plan changes);
+//   * arena scratch     — the occupancy working set, affected refs, and
+//                         per-link buckets are member buffers reused across
+//                         events, so steady-state events allocate nothing.
+//
+// Byte-identity with the oracle: restore() returns exactly what
+// Restorer::restore would return for the same (net, plan, scenario) — the
+// greedy itself is the shared restoration/solve.h core, and every shortcut
+// above is a pure lookup (index, memo, cache) over inputs the from-scratch
+// path recomputes.  RestorerConfig::verify_incremental re-checks that claim
+// after every sim event; incremental_restoration_test and CI's
+// oracle-parity job pin it.
+//
+// Thread-safety: unlike Restorer, an IncrementalRestorer is *stateful* and
+// must not be shared across threads; each sim trial owns one (trials fan
+// out on the engine with one restorer per trial).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+#include "restoration/solve.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::restoration {
+
+// The delta structure: per-fiber views of the deployed plan and the active
+// restoration, plus the memoized backup-path tables.
+struct RestorationDelta {
+  // A deployed wavelength, addressed by position in the plan: links()
+  // index, then index in that link plan's wavelength list.  The pair order
+  // IS deployed-plan scan order, which the solve contract depends on.
+  struct WavelengthRef {
+    std::size_t link_pos = 0;
+    std::size_t wl_index = 0;
+
+    friend auto operator<=>(const WavelengthRef&,
+                            const WavelengthRef&) = default;
+  };
+
+  // fiber -> deployed wavelengths whose optical path traverses it,
+  // ascending (link_pos, wl_index).
+  std::vector<std::vector<WavelengthRef>> carried;
+
+  // fiber -> indices into the latest restore()'s Outcome::wavelengths whose
+  // restoration path traverses the fiber (the active restoration's
+  // footprint; empty lists when nothing is restored).
+  std::vector<std::vector<std::size_t>> restoration_paths;
+
+  // (link, active-cut-set) -> KSP candidates on the residual topology.
+  // A pure function of the topology, so never invalidated.
+  std::map<std::pair<topology::LinkId, std::vector<topology::FiberId>>,
+           std::vector<topology::Path>>
+      backup_paths;
+};
+
+class IncrementalRestorer {
+ public:
+  IncrementalRestorer(const transponder::Catalog& catalog,
+                      RestorerConfig config = {});
+
+  // Solves `scenario` against the deployed `plan`.  Returns the exact
+  // Outcome Restorer::restore(net, plan, scenario) would return (see the
+  // byte-identity argument above).  The reference stays valid until the
+  // deployed plan changes (notify_plan_changed) — cached outcomes are
+  // returned directly on a repeated active-cut-set.
+  //
+  // `plan` must be in its *deployed* state (any applied restoration
+  // reverted first); restoration/apply.h's transition_outcome arranges
+  // that for the sim event loop.
+  const Outcome& restore(const topology::Network& net,
+                         const planning::Plan& plan,
+                         const FailureScenario& scenario);
+
+  // Must be called whenever the deployed plan changes (growth, defrag,
+  // re-planning): drops the carried index and the outcome cache.  The
+  // backup-path tables survive — they depend only on the topology.
+  void notify_plan_changed() { carried_valid_ = false; }
+
+  const RestorationDelta& delta() const { return delta_; }
+
+ private:
+  void rebuild_carried(const planning::Plan& plan);
+  void note_restoration_paths(const Outcome& outcome);
+
+  const transponder::Catalog* catalog_;
+  RestorerConfig config_;
+
+  RestorationDelta delta_;
+  bool carried_valid_ = false;
+
+  // Solved outcomes per active-cut-set against the current deployed plan.
+  std::map<std::vector<topology::FiberId>, Outcome> outcome_cache_;
+
+  // Arena scratch, reused across events (no steady-state heap churn).
+  std::vector<spectrum::Occupancy> fibers_scratch_;
+  std::vector<RestorationDelta::WavelengthRef> affected_refs_;
+  std::vector<detail::AffectedLink> affected_;
+  const std::map<topology::LinkId, int> no_extra_spares_;
+};
+
+}  // namespace flexwan::restoration

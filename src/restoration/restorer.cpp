@@ -2,20 +2,10 @@
 
 #include <algorithm>
 
+#include "restoration/solve.h"
 #include "topology/ksp.h"
 
 namespace flexwan::restoration {
-
-namespace {
-
-// An affected wavelength awaiting restoration.
-struct AffectedWavelength {
-  topology::LinkId link;
-  double rate_gbps;
-  double original_path_km;
-};
-
-}  // namespace
 
 Restorer::Restorer(const transponder::Catalog& catalog, RestorerConfig config)
     : catalog_(&catalog), config_(config) {}
@@ -24,15 +14,17 @@ Outcome Restorer::restore(
     const topology::Network& net, const planning::Plan& plan,
     const FailureScenario& scenario,
     const std::map<topology::LinkId, int>& extra_spares) const {
-  Outcome outcome;
-
   // Working copy of the post-planning spectrum state (constraint 9's phi_w).
   std::vector<spectrum::Occupancy> fibers(plan.fiber_occupancies().begin(),
                                           plan.fiber_occupancies().end());
 
   // Identify affected wavelengths and free their spectrum: their surviving
-  // fibers' slots become available to the restoration plan.
-  std::map<topology::LinkId, std::vector<AffectedWavelength>> affected;
+  // fibers' slots become available to the restoration plan.  Deployed-plan
+  // scan order fixes both the per-link wavelength order and the floating-
+  // point accumulation order of affected_gbps — the incremental engine's
+  // delta index reproduces exactly this sequence.
+  std::vector<detail::AffectedLink> affected;
+  double affected_gbps = 0.0;
   for (const auto& lp : plan.links()) {
     for (const auto& wl : lp.wavelengths) {
       const auto& path = lp.paths[static_cast<std::size_t>(wl.path_index)];
@@ -40,103 +32,42 @@ Outcome Restorer::restore(
           path.fibers.begin(), path.fibers.end(),
           [&](topology::FiberId f) { return scenario.cuts(f); });
       if (!hit) continue;
-      affected[lp.link].push_back(
-          AffectedWavelength{lp.link, wl.mode.data_rate_gbps, path.length_km});
+      if (affected.empty() || affected.back().link != lp.link) {
+        affected.push_back(detail::AffectedLink{lp.link, {}});
+      }
+      affected.back().lost.push_back(
+          detail::AffectedWavelength{wl.mode.data_rate_gbps, path.length_km});
       for (topology::FiberId f : path.fibers) {
         auto r = fibers[static_cast<std::size_t>(f)].release(wl.range);
         (void)r;  // reserved by the plan, so release cannot fail
       }
-      outcome.affected_gbps += wl.mode.data_rate_gbps;
+      affected_gbps += wl.mode.data_rate_gbps;
     }
   }
-  if (affected.empty()) return outcome;
+  // The solve contract wants ascending LinkId (the order the per-link map
+  // used to impose); link ids are unique across link plans.
+  std::sort(affected.begin(), affected.end(),
+            [](const detail::AffectedLink& a, const detail::AffectedLink& b) {
+              return a.link < b.link;
+            });
 
-  // Most-affected links first: they have the most capacity to lose and the
-  // most spare transponders competing for the same residual spectrum.
-  std::vector<topology::LinkId> order;
-  for (const auto& [link, wls] : affected) order.push_back(link);
-  auto affected_sum = [&](topology::LinkId l) {
-    double s = 0.0;
-    for (const auto& a : affected.at(l)) s += a.rate_gbps;
-    return s;
+  // Fresh KSP on the residual topology, computed at most once per link.
+  std::map<topology::LinkId, std::vector<topology::Path>> ksp;
+  const auto paths_for =
+      [&](topology::LinkId link) -> const std::vector<topology::Path>& {
+    auto it = ksp.find(link);
+    if (it == ksp.end()) {
+      const auto& ip_link = net.ip.link(link);
+      it = ksp.emplace(link, topology::k_shortest_paths(
+                                 net.optical, ip_link.src, ip_link.dst,
+                                 config_.k_paths, scenario.cut_fibers))
+               .first;
+    }
+    return it->second;
   };
-  std::sort(order.begin(), order.end(), [&](topology::LinkId a,
-                                            topology::LinkId b) {
-    return affected_sum(a) > affected_sum(b);
-  });
 
-  for (topology::LinkId link_id : order) {
-    const auto& ip_link = net.ip.link(link_id);
-    auto& lost = affected.at(link_id);
-    // Longest original paths first: they are the hardest to re-home.
-    std::sort(lost.begin(), lost.end(),
-              [](const AffectedWavelength& a, const AffectedWavelength& b) {
-                return a.original_path_km > b.original_path_km;
-              });
-
-    LinkRestoration lr;
-    lr.link = link_id;
-    lr.affected_gbps = affected_sum(link_id);
-    const auto extra_it = extra_spares.find(link_id);
-    const int extra = extra_it == extra_spares.end() ? 0 : extra_it->second;
-    lr.spare_transponders = static_cast<int>(lost.size()) + extra;
-
-    // Restoration paths on the residual topology (cut fibers excluded).
-    const auto paths =
-        topology::k_shortest_paths(net.optical, ip_link.src, ip_link.dst,
-                                   config_.k_paths, scenario.cut_fibers);
-
-    double remaining = lr.affected_gbps;  // constraint (7)
-    int spares = lr.spare_transponders;   // constraint (8)
-    std::size_t next_original = 0;
-    while (spares > 0 && remaining > 1e-9 && !paths.empty()) {
-      // Choose the (path, mode, fit) that revives the most capacity; among
-      // ties prefer the narrowest spacing, then the shortest path.
-      struct Best {
-        double revived = 0.0;
-        transponder::Mode mode;
-        spectrum::Range range;
-        const topology::Path* path = nullptr;
-      } best;
-      for (const auto& path : paths) {
-        for (const auto& mode : catalog_->feasible(path.length_km)) {
-          const double revived = std::min(mode.data_rate_gbps, remaining);
-          const bool better =
-              revived > best.revived + 1e-9 ||
-              (std::abs(revived - best.revived) <= 1e-9 && best.path &&
-               mode.spacing_ghz < best.mode.spacing_ghz);
-          if (!better) continue;
-          const auto fit = planning::common_first_fit(fibers, path,
-                                                      mode.pixels());
-          if (!fit) continue;
-          best = Best{revived, mode, *fit, &path};
-        }
-      }
-      if (!best.path) break;  // no spectrum anywhere on any candidate path
-
-      for (topology::FiberId f : best.path->fibers) {
-        auto r = fibers[static_cast<std::size_t>(f)].reserve(best.range);
-        (void)r;  // fit was just verified
-      }
-      RestoredWavelength rw;
-      rw.link = link_id;
-      rw.mode = best.mode;
-      rw.range = best.range;
-      rw.path = *best.path;
-      rw.original_path_km =
-          next_original < lost.size() ? lost[next_original].original_path_km
-                                      : lost.back().original_path_km;
-      ++next_original;
-      outcome.wavelengths.push_back(std::move(rw));
-      outcome.restored_gbps += best.revived;
-      lr.restored_gbps += best.revived;
-      remaining -= best.revived;
-      --spares;
-      ++lr.used_transponders;
-    }
-    outcome.links.push_back(lr);
-  }
-  return outcome;
+  return detail::solve(net, *catalog_, config_, affected_gbps, affected,
+                       fibers, extra_spares, paths_for);
 }
 
 std::map<topology::LinkId, int> flexwan_plus_spares(

@@ -28,6 +28,13 @@ namespace flexwan::restoration {
 
 struct RestorerConfig {
   int k_paths = 4;  // restoration path candidates on the residual topology
+  // Oracle-checked mode for the incremental engine: after every lifecycle
+  // event the from-scratch Restorer re-solves the same scenario and src/sim
+  // asserts the IncrementalRestorer's outcome — and the resulting plan
+  // bytes — are identical, failing the trial with "incremental_divergence"
+  // otherwise.  Slow (two solves per event); meant for tests and CI's
+  // oracle-parity job, not production sweeps.
+  bool verify_incremental = false;
 };
 
 // One wavelength revived on a restoration path.
@@ -37,6 +44,12 @@ struct RestoredWavelength {
   spectrum::Range range;
   topology::Path path;
   double original_path_km = 0.0;  // path of the wavelength it replaces
+
+  // Exact equality (doubles compared bitwise-equal) — the oracle-parity
+  // predicate: the incremental engine must reproduce the from-scratch
+  // solver's outcome to the last bit, not merely to a tolerance.
+  friend bool operator==(const RestoredWavelength&,
+                         const RestoredWavelength&) = default;
 };
 
 // Per-link accounting of an outcome.
@@ -46,6 +59,9 @@ struct LinkRestoration {
   double restored_gbps = 0.0;
   int spare_transponders = 0;
   int used_transponders = 0;
+
+  friend bool operator==(const LinkRestoration&,
+                         const LinkRestoration&) = default;
 };
 
 struct Outcome {
@@ -58,6 +74,8 @@ struct Outcome {
   double capability() const {
     return affected_gbps > 0.0 ? restored_gbps / affected_gbps : 1.0;
   }
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
 };
 
 class Restorer {

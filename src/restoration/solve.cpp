@@ -1,0 +1,110 @@
+#include "restoration/solve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace flexwan::restoration::detail {
+
+Outcome solve(const topology::Network& net,
+              const transponder::Catalog& catalog,
+              const RestorerConfig& config, double affected_gbps,
+              std::vector<AffectedLink>& affected,
+              std::vector<spectrum::Occupancy>& fibers,
+              const std::map<topology::LinkId, int>& extra_spares,
+              const PathsForLink& paths_for) {
+  Outcome outcome;
+  outcome.affected_gbps = affected_gbps;
+  if (affected.empty()) return outcome;
+
+  // Most-affected links first: they have the most capacity to lose and the
+  // most spare transponders competing for the same residual spectrum.  The
+  // comparator sees the deployed-order sums (the lost lists are re-sorted
+  // per link below, after this ordering is fixed).
+  std::vector<double> deployed_order_sum(affected.size(), 0.0);
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    for (const auto& a : affected[i].lost) {
+      deployed_order_sum[i] += a.rate_gbps;
+    }
+  }
+  std::vector<std::size_t> order(affected.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return deployed_order_sum[a] > deployed_order_sum[b];
+  });
+
+  for (std::size_t idx : order) {
+    const topology::LinkId link_id = affected[idx].link;
+    const auto& ip_link = net.ip.link(link_id);
+    auto& lost = affected[idx].lost;
+    // Longest original paths first: they are the hardest to re-home.
+    std::sort(lost.begin(), lost.end(),
+              [](const AffectedWavelength& a, const AffectedWavelength& b) {
+                return a.original_path_km > b.original_path_km;
+              });
+
+    LinkRestoration lr;
+    lr.link = link_id;
+    lr.affected_gbps = 0.0;
+    for (const auto& a : lost) lr.affected_gbps += a.rate_gbps;
+    const auto extra_it = extra_spares.find(link_id);
+    const int extra = extra_it == extra_spares.end() ? 0 : extra_it->second;
+    lr.spare_transponders = static_cast<int>(lost.size()) + extra;
+
+    // Restoration paths on the residual topology (cut fibers excluded).
+    const auto& paths = paths_for(link_id);
+
+    double remaining = lr.affected_gbps;  // constraint (7)
+    int spares = lr.spare_transponders;   // constraint (8)
+    std::size_t next_original = 0;
+    while (spares > 0 && remaining > 1e-9 && !paths.empty()) {
+      // Choose the (path, mode, fit) that revives the most capacity; among
+      // ties prefer the narrowest spacing, then the shortest path.
+      struct Best {
+        double revived = 0.0;
+        transponder::Mode mode;
+        spectrum::Range range;
+        const topology::Path* path = nullptr;
+      } best;
+      for (const auto& path : paths) {
+        for (const auto& mode : catalog.feasible(path.length_km)) {
+          const double revived = std::min(mode.data_rate_gbps, remaining);
+          const bool better =
+              revived > best.revived + 1e-9 ||
+              (std::abs(revived - best.revived) <= 1e-9 && best.path &&
+               mode.spacing_ghz < best.mode.spacing_ghz);
+          if (!better) continue;
+          const auto fit = planning::common_first_fit(fibers, path,
+                                                      mode.pixels());
+          if (!fit) continue;
+          best = Best{revived, mode, *fit, &path};
+        }
+      }
+      if (!best.path) break;  // no spectrum anywhere on any candidate path
+
+      for (topology::FiberId f : best.path->fibers) {
+        auto r = fibers[static_cast<std::size_t>(f)].reserve(best.range);
+        (void)r;  // fit was just verified
+      }
+      RestoredWavelength rw;
+      rw.link = link_id;
+      rw.mode = best.mode;
+      rw.range = best.range;
+      rw.path = *best.path;
+      rw.original_path_km =
+          next_original < lost.size() ? lost[next_original].original_path_km
+                                      : lost.back().original_path_km;
+      ++next_original;
+      outcome.wavelengths.push_back(std::move(rw));
+      outcome.restored_gbps += best.revived;
+      lr.restored_gbps += best.revived;
+      remaining -= best.revived;
+      --spares;
+      ++lr.used_transponders;
+    }
+    outcome.links.push_back(lr);
+  }
+  return outcome;
+}
+
+}  // namespace flexwan::restoration::detail

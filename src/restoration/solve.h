@@ -1,0 +1,58 @@
+// Shared greedy core of optical restoration.
+//
+// Restorer (from-scratch) and IncrementalRestorer (delta-driven) solve the
+// same per-event problem: given the affected wavelengths, the residual
+// spectrum, and restoration-path candidates per link, greedily revive
+// capacity most-affected-link-first (paper §8 / Algorithm 1 constraints
+// 7-13).  Keeping the greedy in ONE function is what makes the incremental
+// fast path provably byte-identical to the from-scratch oracle: the two
+// engines differ only in how they assemble the inputs (full plan scan vs
+// the RestorationDelta index, fresh KSP vs memoized backup-path tables),
+// and every input-assembly step is a pure lookup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "restoration/restorer.h"
+
+namespace flexwan::restoration::detail {
+
+// An affected wavelength awaiting restoration.
+struct AffectedWavelength {
+  double rate_gbps = 0.0;
+  double original_path_km = 0.0;
+};
+
+// All affected wavelengths of one IP link, in deployed-plan order.
+struct AffectedLink {
+  topology::LinkId link = -1;
+  std::vector<AffectedWavelength> lost;
+};
+
+// Restoration-path candidates for one affected link on the residual
+// topology (cut fibers excluded).  Queried at most once per affected link;
+// the returned reference must stay valid for the duration of solve().
+using PathsForLink =
+    std::function<const std::vector<topology::Path>&(topology::LinkId)>;
+
+// The greedy solve.  Contract (both engines satisfy it by construction):
+//   * `affected` is sorted by ascending LinkId, each link's wavelengths in
+//     deployed-plan order — the exact sequence the from-scratch scan feeds
+//     its per-link map;
+//   * `fibers` is the deployed occupancy with the affected wavelengths'
+//     spectrum already released (constraint 9's phi_w);
+//   * `affected_gbps` was accumulated in deployed-plan scan order (floating-
+//     point addition order is part of byte-identity).
+// `affected` and `fibers` are scratch: solve() reorders the per-link lost
+// lists and reserves restored spectrum in `fibers`.
+Outcome solve(const topology::Network& net,
+              const transponder::Catalog& catalog,
+              const RestorerConfig& config, double affected_gbps,
+              std::vector<AffectedLink>& affected,
+              std::vector<spectrum::Occupancy>& fibers,
+              const std::map<topology::LinkId, int>& extra_spares,
+              const PathsForLink& paths_for);
+
+}  // namespace flexwan::restoration::detail

@@ -7,7 +7,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planning/incremental.h"
+#include "planning/plan_io.h"
 #include "restoration/apply.h"
+#include "restoration/incremental.h"
 
 namespace flexwan::sim {
 
@@ -35,7 +37,9 @@ Expected<TrialResult> run_trial(const topology::Network& net,
                      mix_seed(config.seed, static_cast<std::uint64_t>(trial)));
 
   planning::Plan plan = baseline;  // the live (deployed) plan of this trial
-  const restoration::Restorer restorer(catalog, config.restorer);
+  restoration::IncrementalRestorer restorer(catalog, config.restorer);
+  // From-scratch oracle, consulted only under verify_incremental.
+  const restoration::Restorer oracle(catalog, config.restorer);
 
   // --- live state between events -----------------------------------------
   std::vector<topology::FiberId> active;  // currently-cut fibers, sorted
@@ -58,8 +62,9 @@ Expected<TrialResult> run_trial(const topology::Network& net,
   };
 
   // Reverts the active restoration (if any), returning the plan to its
-  // deployed (baseline + growth) state.  Every event handler starts here:
-  // restoration is always recomputed against the current deployed plan.
+  // deployed (baseline + growth) state.  The growth handler needs this
+  // before mutating the plan; cut/repair leave the revert to
+  // transition_outcome inside apply_active.
   const auto tear_down = [&]() -> Expected<bool> {
     if (applied) {
       auto reverted = restoration::revert_outcome(plan, *applied);
@@ -71,26 +76,60 @@ Expected<TrialResult> run_trial(const topology::Network& net,
     return true;
   };
 
-  // Restores the combined active-cut scenario against the deployed plan and
-  // applies the outcome to it.
-  const auto restore_now = [&](double now) -> Expected<bool> {
-    if (active.empty()) return true;
+  // One delta step of the live plan: transition_outcome reverts the
+  // previous restoration, the incremental restorer re-solves only what the
+  // active-cut set touches against the deployed plan, and the new outcome
+  // is applied.  Under verify_incremental the from-scratch oracle re-solves
+  // the same (deployed plan, scenario) and both the Outcome and the
+  // resulting plan bytes must match exactly.
+  const auto apply_active = [&](double now) -> Expected<bool> {
+    loss_rate = 0.0;
+    degraded.clear();
+    if (active.empty()) return tear_down();
     OBS_SPAN("sim.restore");
     const restoration::FailureScenario scenario{active, 1.0};
-    const auto outcome = restorer.restore(net, plan, scenario);
+    std::optional<planning::Plan> oracle_plan;
+    restoration::Outcome oracle_outcome;
+    auto outcome = restoration::transition_outcome(
+        plan, applied, scenario,
+        [&](const planning::Plan& deployed) -> const restoration::Outcome& {
+          const auto& fast = restorer.restore(net, deployed, scenario);
+          if (config.restorer.verify_incremental) {
+            oracle_outcome = oracle.restore(net, deployed, scenario);
+            oracle_plan.emplace(deployed);
+          }
+          return fast;
+        });
+    if (!outcome) return outcome.error();
     ++result.restorations;
     OBS_COUNTER_ADD("sim.restorations", 1);
-    auto a = restoration::apply_outcome(plan, scenario, outcome);
-    if (!a) return a.error();
-    applied.emplace(std::move(a.value()));
-    loss_rate = outcome.affected_gbps - outcome.restored_gbps;
-    for (const auto& lr : outcome.links) {
+    if (config.restorer.verify_incremental) {
+      if (!(outcome.value() == oracle_outcome)) {
+        return Error::make("incremental_divergence",
+                           "incremental outcome differs from the "
+                           "from-scratch oracle (trial " +
+                               std::to_string(trial) + ", t=" +
+                               std::to_string(now) + " days)");
+      }
+      auto oracle_applied =
+          restoration::apply_outcome(*oracle_plan, scenario, oracle_outcome);
+      if (!oracle_applied) return oracle_applied.error();
+      if (planning::save_plan(*oracle_plan) != planning::save_plan(plan)) {
+        return Error::make("incremental_divergence",
+                           "plan bytes diverge from the oracle after apply "
+                           "(trial " +
+                               std::to_string(trial) + ", t=" +
+                               std::to_string(now) + " days)");
+      }
+    }
+    loss_rate = outcome->affected_gbps - outcome->restored_gbps;
+    for (const auto& lr : outcome->links) {
       if (lr.restored_gbps + 1e-9 < lr.affected_gbps) {
         degraded.push_back(lr.link);
       }
     }
     result.capability_trajectory.push_back(
-        CapabilitySample{now, outcome.capability()});
+        CapabilitySample{now, outcome->capability()});
     return true;
   };
 
@@ -101,24 +140,20 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         OBS_SPAN("sim.event.cut");
         OBS_COUNTER_ADD("sim.cuts", 1);
         ++result.cuts;
-        auto down = tear_down();
-        if (!down) return down.error();
         active.insert(std::lower_bound(active.begin(), active.end(), ev.fiber),
                       ev.fiber);
-        auto restored = restore_now(ev.time_days);
-        if (!restored) return restored.error();
+        auto stepped = apply_active(ev.time_days);
+        if (!stepped) return stepped.error();
         break;
       }
       case EventType::kRepair: {
         OBS_SPAN("sim.event.repair");
         OBS_COUNTER_ADD("sim.repairs", 1);
         ++result.repairs;
-        auto down = tear_down();
-        if (!down) return down.error();
         active.erase(std::remove(active.begin(), active.end(), ev.fiber),
                      active.end());
-        auto restored = restore_now(ev.time_days);
-        if (!restored) return restored.error();
+        auto stepped = apply_active(ev.time_days);
+        if (!stepped) return stepped.error();
         break;
       }
       case EventType::kGrowth: {
@@ -146,9 +181,13 @@ Expected<TrialResult> run_trial(const topology::Network& net,
           auto defrag = planning::defragment(plan);
           if (!defrag) return defrag.error();
         }
+        // The deployed plan changed: the incremental restorer's carried
+        // index and cached outcomes are stale (its backup-path tables
+        // survive — they depend only on the topology).
+        restorer.notify_plan_changed();
         offered = provisioned_gbps(plan);
-        auto restored = restore_now(ev.time_days);
-        if (!restored) return restored.error();
+        auto stepped = apply_active(ev.time_days);
+        if (!stepped) return stepped.error();
         break;
       }
     }

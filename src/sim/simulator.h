@@ -7,14 +7,17 @@
 // actually experiences.  This module replays a seeded event timeline
 // (events.h) against a deployed planning::Plan:
 //
-//   * cut     — the fiber joins the active-cut set, the current restoration
-//               (if any) is torn down, and restoration::Restorer runs
-//               against the *current* (possibly already-degraded, possibly
-//               grown) plan for the combined active-cut scenario; the
-//               outcome is applied to the live plan (restoration/apply.h).
-//   * repair  — the restoration is reverted (apply→revert is byte-exact, so
-//               the plan returns to its deployed state) and, if other cuts
-//               remain active, restoration re-runs for the survivors.
+//   * cut     — the fiber joins the active-cut set and the event loop takes
+//               one delta step (restoration::transition_outcome): the
+//               current restoration (if any) is reverted and the
+//               restoration::IncrementalRestorer re-solves only the
+//               wavelengths the cut fibers carry against the *current*
+//               (possibly already-degraded, possibly grown) deployed plan;
+//               the outcome is applied to the live plan.
+//   * repair  — the same delta step with the fiber removed from the
+//               active-cut set (apply→revert is byte-exact, so the plan
+//               returns to its deployed state); a previously-seen failure
+//               state re-promotes its cached outcome without solving.
 //   * growth  — every IP link's demand grows by a fixed fraction;
 //               planning::extend_plan provisions it in residual spectrum
 //               and planning::defragment opportunistically re-packs.
@@ -29,6 +32,12 @@
 // trials out on engine::Engine and aggregates in trial-index order, so
 // reports are byte-identical at every thread count (the PR 1 contract; CI's
 // sim-determinism job byte-compares sim_tool at --threads 1 vs 8).
+//
+// Oracle check: with RestorerConfig::verify_incremental set, every event
+// additionally re-solves from scratch with restoration::Restorer and fails
+// the trial with "incremental_divergence" unless the incremental Outcome is
+// field-exact equal and the post-apply plan serializes byte-identically
+// (sim_tool --verify-incremental; CI's oracle-parity job).
 #pragma once
 
 #include <map>

@@ -1,29 +1,106 @@
 #include "spectrum/occupancy.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "spectrum/grid.h"
 
 namespace flexwan::spectrum {
 
-Occupancy::Occupancy(int pixels) : used_(static_cast<std::size_t>(pixels), 0) {}
+namespace {
 
-bool Occupancy::is_free(int pixel) const {
-  return pixel >= 0 && pixel < pixels() &&
-         used_[static_cast<std::size_t>(pixel)] == 0;
+constexpr int kWordBits = 64;
+
+// Mask of bits [lo, hi) within one word; 0 <= lo <= hi <= 64.
+std::uint64_t bit_mask(int lo, int hi) {
+  if (hi <= lo) return 0;
+  std::uint64_t m = ~std::uint64_t{0} >> (kWordBits - (hi - lo));
+  return m << lo;
 }
 
-bool Occupancy::is_free(const Range& range) const {
-  if (range.first < 0 || range.end() > pixels() || range.count <= 0)
-    return false;
-  for (int p = range.first; p < range.end(); ++p) {
-    if (used_[static_cast<std::size_t>(p)] != 0) return false;
+// Visits every word overlapped by `range` as (word index, mask of the
+// range's bits in that word); stops early when `visit` returns false.
+template <typename Visit>
+bool for_each_word(const Range& range, Visit&& visit) {
+  for (int p = range.first; p < range.end();) {
+    const int wi = p / kWordBits;
+    const int lo = p - wi * kWordBits;
+    const int hi = std::min(range.end() - wi * kWordBits, kWordBits);
+    if (!visit(static_cast<std::size_t>(wi), bit_mask(lo, hi))) return false;
+    p = (wi + 1) * kWordBits;
   }
   return true;
 }
 
+// Visits every maximal run of free pixels at index >= from as (start, len),
+// ascending; stops early when `visit` returns false.  Tail bits past
+// pixels() are set, so no end-of-band clamping is needed; a word that is
+// all-used or all-free is handled in one step.
+template <typename Visit>
+void scan_free_runs(const std::vector<std::uint64_t>& words, int from,
+                    Visit&& visit) {
+  const int n = static_cast<int>(words.size());
+  const int start_word = std::max(from, 0) / kWordBits;
+  int run_start = -1;
+  for (int i = start_word; i < n; ++i) {
+    std::uint64_t used = words[static_cast<std::size_t>(i)];
+    if (i == start_word) used |= bit_mask(0, std::max(from, 0) - i * kWordBits);
+    const int base = i * kWordBits;
+    if (used == 0) {
+      if (run_start < 0) run_start = base;
+      continue;
+    }
+    if (used == ~std::uint64_t{0}) {
+      if (run_start >= 0 && !visit(run_start, base - run_start)) return;
+      run_start = -1;
+      continue;
+    }
+    for (int bit = 0; bit < kWordBits;) {
+      if ((used >> bit) & 1u) {
+        if (run_start >= 0 && !visit(run_start, base + bit - run_start)) return;
+        run_start = -1;
+        const std::uint64_t inverted = ~(used >> bit);
+        bit += inverted == 0 ? kWordBits - bit : std::countr_zero(inverted);
+      } else {
+        if (run_start < 0) run_start = base + bit;
+        const std::uint64_t shifted = used >> bit;
+        bit += shifted == 0 ? kWordBits - bit : std::countr_zero(shifted);
+      }
+    }
+  }
+  if (run_start >= 0) visit(run_start, n * kWordBits - run_start);
+}
+
+}  // namespace
+
+Occupancy::Occupancy(int pixels)
+    : pixels_(std::max(pixels, 0)),
+      words_(static_cast<std::size_t>((std::max(pixels, 0) + kWordBits - 1) /
+                                      kWordBits),
+             0) {
+  // Pixels past the band are permanently "used" so run scans never walk off
+  // the end of the usable spectrum.
+  if (pixels_ % kWordBits != 0) {
+    words_.back() |= bit_mask(pixels_ % kWordBits, kWordBits);
+  }
+}
+
+bool Occupancy::is_free(int pixel) const {
+  return pixel >= 0 && pixel < pixels_ &&
+         (words_[static_cast<std::size_t>(pixel / kWordBits)] &
+          (std::uint64_t{1} << (pixel % kWordBits))) == 0;
+}
+
+bool Occupancy::is_free(const Range& range) const {
+  if (range.first < 0 || range.end() > pixels_ || range.count <= 0)
+    return false;
+  return for_each_word(range, [&](std::size_t wi, std::uint64_t mask) {
+    return (words_[wi] & mask) == 0;
+  });
+}
+
 Expected<bool> Occupancy::reserve(const Range& range) {
-  if (range.count <= 0 || range.first < 0 || range.end() > pixels()) {
+  if (range.count <= 0 || range.first < 0 || range.end() > pixels_) {
     return Error::make("out_of_band", "range " + to_string(range) +
                                           " outside the usable band");
   }
@@ -31,59 +108,69 @@ Expected<bool> Occupancy::reserve(const Range& range) {
     return Error::make("conflict",
                        "range " + to_string(range) + " already partly in use");
   }
-  for (int p = range.first; p < range.end(); ++p) {
-    used_[static_cast<std::size_t>(p)] = 1;
-  }
+  for_each_word(range, [&](std::size_t wi, std::uint64_t mask) {
+    words_[wi] |= mask;
+    return true;
+  });
   return true;
 }
 
 Expected<bool> Occupancy::release(const Range& range) {
-  if (range.count <= 0 || range.first < 0 || range.end() > pixels()) {
+  if (range.count <= 0 || range.first < 0 || range.end() > pixels_) {
     return Error::make("out_of_band", "range " + to_string(range) +
                                           " outside the usable band");
   }
-  for (int p = range.first; p < range.end(); ++p) {
-    if (used_[static_cast<std::size_t>(p)] == 0) {
-      return Error::make("not_reserved", "range " + to_string(range) +
-                                             " contains free pixels");
-    }
+  const bool fully_used =
+      for_each_word(range, [&](std::size_t wi, std::uint64_t mask) {
+        return (words_[wi] & mask) == mask;
+      });
+  if (!fully_used) {
+    return Error::make("not_reserved", "range " + to_string(range) +
+                                           " contains free pixels");
   }
-  for (int p = range.first; p < range.end(); ++p) {
-    used_[static_cast<std::size_t>(p)] = 0;
-  }
+  for_each_word(range, [&](std::size_t wi, std::uint64_t mask) {
+    words_[wi] &= ~mask;
+    return true;
+  });
   return true;
 }
 
 std::optional<Range> Occupancy::first_fit(int count, int from) const {
-  if (count <= 0) return std::nullopt;
-  int run = 0;
-  for (int p = std::max(from, 0); p < pixels(); ++p) {
-    run = used_[static_cast<std::size_t>(p)] == 0 ? run + 1 : 0;
-    if (run >= count) return Range{p - count + 1, count};
-  }
-  return std::nullopt;
+  if (count <= 0 || std::max(from, 0) >= pixels_) return std::nullopt;
+  std::optional<Range> fit;
+  scan_free_runs(words_, from, [&](int start, int len) {
+    if (len < count) return true;
+    fit = Range{start, count};
+    return false;
+  });
+  return fit;
 }
 
 std::vector<int> Occupancy::all_fits(int count) const {
   std::vector<int> starts;
-  if (count <= 0) return starts;
-  for (int p = 0; p + count <= pixels(); ++p) {
-    if (is_free(Range{p, count})) starts.push_back(p);
-  }
+  if (count <= 0 || pixels_ == 0) return starts;
+  scan_free_runs(words_, 0, [&](int start, int len) {
+    for (int s = start; s + count <= start + len; ++s) starts.push_back(s);
+    return true;
+  });
   return starts;
 }
 
 int Occupancy::used_pixels() const {
-  return static_cast<int>(std::count(used_.begin(), used_.end(), 1));
+  int set_bits = 0;
+  for (std::uint64_t w : words_) set_bits += std::popcount(w);
+  // Discount the permanently-set tail bits past the band.
+  return set_bits -
+         (static_cast<int>(words_.size()) * kWordBits - pixels_);
 }
 
 int Occupancy::largest_free_run() const {
   int best = 0;
-  int run = 0;
-  for (std::uint8_t u : used_) {
-    run = u == 0 ? run + 1 : 0;
-    best = std::max(best, run);
-  }
+  if (pixels_ == 0) return best;
+  scan_free_runs(words_, 0, [&](int /*start*/, int len) {
+    best = std::max(best, len);
+    return true;
+  });
   return best;
 }
 

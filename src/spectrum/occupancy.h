@@ -4,6 +4,14 @@
 // fiber may be used by at most one wavelength.  Occupancy is the runtime
 // embodiment of that constraint: planners reserve ranges here, and
 // reservation fails rather than double-books.
+//
+// Storage is word-packed: one bit per pixel in uint64_t words (bit set =
+// used), so the restoration hot path scans spectrum 64 pixels at a time —
+// first_fit/is_free/reserve/release work on whole words with ctz/popcount
+// and masks instead of per-pixel byte loops, and copying a fiber's C-band
+// state (which the restorer does per failure event) is a 6-word memcpy.
+// Bits at or beyond pixels() are permanently set ("used"), so run scans
+// never need end-of-band clamping.
 #pragma once
 
 #include <cstdint>
@@ -21,7 +29,7 @@ class Occupancy {
   // Constructs a fully-free band with `pixels` pixels (default: full C-band).
   explicit Occupancy(int pixels = kCBandPixels);
 
-  int pixels() const { return static_cast<int>(used_.size()); }
+  int pixels() const { return pixels_; }
 
   bool is_free(const Range& range) const;
   bool is_free(int pixel) const;
@@ -53,7 +61,8 @@ class Occupancy {
   double fragmentation() const;
 
  private:
-  std::vector<std::uint8_t> used_;  // 0 = free, 1 = used (vector<bool> avoided)
+  int pixels_ = 0;
+  std::vector<std::uint64_t> words_;  // bit set = used; tail bits always set
 };
 
 }  // namespace flexwan::spectrum

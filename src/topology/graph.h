@@ -74,6 +74,9 @@ struct Path {
   bool empty() const { return fibers.empty(); }
   int hop_count() const { return static_cast<int>(fibers.size()); }
   bool uses_fiber(FiberId f) const;
+
+  // Exact field-wise equality (restoration's oracle-parity checks).
+  friend bool operator==(const Path&, const Path&) = default;
 };
 
 // An IP link: a router adjacency demanding `demand_gbps` of bandwidth

@@ -52,6 +52,9 @@ struct Mode {
 
   // "100G@75GHz(QPSK,reach 5000km)" for logs and bench tables.
   std::string describe() const;
+
+  // Exact field-wise equality (restoration's oracle-parity checks).
+  friend bool operator==(const Mode&, const Mode&) = default;
 };
 
 }  // namespace flexwan::transponder

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cassert>
+#include <concepts>
 #include <string>
 #include <utility>
 #include <variant>
@@ -31,6 +32,14 @@ class Expected {
  public:
   Expected(T value) : storage_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Expected(Error error) : storage_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  // Value-initialized success state, mirroring std::expected's default
+  // constructor.  Placeholder contexts (benchlib's --list mode skips case
+  // bodies but must still produce a value of the body's return type) rely
+  // on this; only available when T itself is default-constructible.
+  Expected()
+    requires std::default_initializable<T>
+      : storage_(T()) {}
 
   bool has_value() const { return std::holds_alternative<T>(storage_); }
   explicit operator bool() const { return has_value(); }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -353,6 +354,47 @@ TEST(BenchProvenance, CarriesThreadsAndBuildInfo) {
   EXPECT_FALSE(p.build_type.empty());
   EXPECT_FALSE(p.compiler.empty());
   EXPECT_EQ(p.run_id.size(), 16u);  // %016llx hex token
+}
+
+TEST(BenchListDeathTest, ListModeSkipsBodiesAndExitsZero) {
+  // --list must enumerate case names without running a single body and
+  // exit 0 from the harness destructor.  The child aborts if any body
+  // executes, so a successful clean exit proves the skip.
+  EXPECT_EXIT(
+      {
+        obs::BenchOptions options;
+        options.list = true;
+        Harness bench("list_probe", options);
+        const int placeholder = bench.run("first_case", [&]() -> int {
+          std::abort();  // a running body breaks the exit-0 expectation
+        });
+        if (placeholder != 0) std::_Exit(3);  // value-init placeholder
+        bench.run("second_case", [&] { std::abort(); });
+        const std::vector<int> v =
+            bench.run("third_case", [&]() -> std::vector<int> {
+              std::abort();
+            });
+        if (!v.empty()) std::_Exit(4);
+        if (!bench.results().empty()) std::_Exit(5);  // nothing recorded
+        // Falling off the end: ~Harness exits 0.
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchListFlags, ReportFromFlagsParsesListBoolean) {
+  char prog[] = "bench";
+  char list_flag[] = "--list";
+  char other[] = "net.txt";
+  char* argv[] = {prog, list_flag, other, nullptr};
+  int argc = 3;
+  obs::RunReport report = obs::report_from_flags(argc, argv);
+  EXPECT_TRUE(report.bench_options().list);
+  EXPECT_FALSE(report.bench_options().enabled());  // no --bench-json
+  // --list is consumed; unrelated args survive in order.
+  EXPECT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "net.txt");
+  report.release();
 }
 
 }  // namespace

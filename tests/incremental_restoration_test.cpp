@@ -1,0 +1,344 @@
+// Oracle-parity tests for the incremental re-restoration hot path
+// (restoration/incremental.h, restoration/apply.h's transition_outcome, and
+// the simulator's verify_incremental mode): the IncrementalRestorer must
+// return *exactly* what the from-scratch Restorer returns — field-exact
+// Outcomes and byte-identical plans — across cuts, repairs, cache replays,
+// and plan growth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "planning/heuristic.h"
+#include "planning/incremental.h"
+#include "planning/plan_io.h"
+#include "restoration/apply.h"
+#include "restoration/incremental.h"
+#include "restoration/restorer.h"
+#include "restoration/scenario.h"
+#include "sim/simulator.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::restoration {
+namespace {
+
+using planning::HeuristicPlanner;
+
+// Hexfloat rendering of every numeric field: equal fingerprints mean the
+// outcomes are bit-identical, not merely within tolerance.
+std::string fingerprint(const Outcome& o) {
+  std::ostringstream os;
+  os << std::hexfloat << o.affected_gbps << '|' << o.restored_gbps << '\n';
+  for (const auto& lr : o.links) {
+    os << lr.link << '|' << lr.affected_gbps << '|' << lr.restored_gbps << '|'
+       << lr.spare_transponders << '|' << lr.used_transponders << '\n';
+  }
+  for (const auto& rw : o.wavelengths) {
+    os << rw.link << '|' << rw.mode.data_rate_gbps << '|'
+       << rw.mode.spacing_ghz << '|' << rw.mode.reach_km << '|'
+       << rw.range.first << '+' << rw.range.count << '|'
+       << rw.path.length_km << ':';
+    for (auto f : rw.path.fibers) os << f << ',';
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST(IncrementalRestorer, MatchesOracleOnEverySingleFiberCut) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const Restorer oracle(transponder::svt_flexwan());
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  for (const auto& scenario : single_fiber_cuts(net.optical)) {
+    const auto expected = oracle.restore(net, *plan, scenario);
+    const auto& actual = incremental.restore(net, *plan, scenario);
+    EXPECT_TRUE(actual == expected)
+        << "cut fiber " << scenario.cut_fibers[0] << ":\n"
+        << fingerprint(actual) << "vs oracle\n" << fingerprint(expected);
+  }
+}
+
+TEST(IncrementalRestorer, MatchesOracleAcrossMultiCutSequence) {
+  // A lifecycle-shaped sequence: overlapping cuts accumulate, then repairs
+  // walk back through previously-seen failure states (cache replays).
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const Restorer oracle(transponder::svt_flexwan());
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  const std::vector<std::vector<topology::FiberId>> states = {
+      {0}, {0, 3}, {0, 3, 9}, {0, 9}, {0}, {0, 3}, {}, {5}};
+  for (const auto& cuts : states) {
+    const FailureScenario scenario{cuts, 1.0};
+    const auto expected = oracle.restore(net, *plan, scenario);
+    const auto& actual = incremental.restore(net, *plan, scenario);
+    EXPECT_TRUE(actual == expected) << fingerprint(actual) << "vs oracle\n"
+                                    << fingerprint(expected);
+  }
+}
+
+TEST(IncrementalRestorer, SharedWavelengthAcrossTwoCutFibersCountedOnce) {
+  // A wavelength whose path crosses *both* cut fibers appears in both
+  // carried lists; the merge must dedup it or affected_gbps double-counts.
+  topology::Network net;
+  net.name = "line";
+  for (int i = 0; i < 4; ++i) net.optical.add_node("n" + std::to_string(i));
+  net.optical.add_fiber(0, 1, 200);  // fiber 0
+  net.optical.add_fiber(1, 2, 200);  // fiber 1
+  net.optical.add_fiber(2, 3, 200);  // fiber 2
+  net.ip.add_link(0, 3, 400);        // rides fibers 0,1,2
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const Restorer oracle(transponder::svt_flexwan());
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  const FailureScenario scenario{{0, 2}, 1.0};
+  const auto expected = oracle.restore(net, *plan, scenario);
+  const auto& actual = incremental.restore(net, *plan, scenario);
+  EXPECT_TRUE(actual == expected);
+  EXPECT_DOUBLE_EQ(actual.affected_gbps, expected.affected_gbps);
+}
+
+TEST(IncrementalRestorer, CarriedIndexMatchesBruteForceScan) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  // Any restore builds the carried index.
+  incremental.restore(net, *plan, FailureScenario{{0}, 1.0});
+  const auto& delta = incremental.delta();
+  ASSERT_EQ(static_cast<int>(delta.carried.size()), plan->fiber_count());
+
+  // Brute force: rebuild fiber -> (link_pos, wl_index) from the plan.
+  std::vector<std::vector<RestorationDelta::WavelengthRef>> expected(
+      static_cast<std::size_t>(plan->fiber_count()));
+  const auto links = plan->links();
+  for (std::size_t lp = 0; lp < links.size(); ++lp) {
+    for (std::size_t wi = 0; wi < links[lp].wavelengths.size(); ++wi) {
+      const auto& wl = links[lp].wavelengths[wi];
+      const auto& path =
+          links[lp].paths[static_cast<std::size_t>(wl.path_index)];
+      for (auto f : path.fibers) {
+        expected[static_cast<std::size_t>(f)].push_back({lp, wi});
+      }
+    }
+  }
+  for (std::size_t f = 0; f < expected.size(); ++f) {
+    ASSERT_EQ(delta.carried[f].size(), expected[f].size()) << "fiber " << f;
+    EXPECT_TRUE(std::is_sorted(delta.carried[f].begin(),
+                               delta.carried[f].end()));
+    for (std::size_t i = 0; i < expected[f].size(); ++i) {
+      EXPECT_TRUE(delta.carried[f][i] == expected[f][i]) << "fiber " << f;
+    }
+  }
+}
+
+TEST(IncrementalRestorer, RestorationPathFootprintTracksLatestOutcome) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  const auto& outcome =
+      incremental.restore(net, *plan, FailureScenario{{0}, 1.0});
+  ASSERT_FALSE(outcome.wavelengths.empty());
+  const auto& delta = incremental.delta();
+  // Every fiber of every restoration path is listed, and nothing else.
+  std::set<std::pair<topology::FiberId, std::size_t>> expected;
+  for (std::size_t i = 0; i < outcome.wavelengths.size(); ++i) {
+    for (auto f : outcome.wavelengths[i].path.fibers) {
+      expected.insert({f, i});
+    }
+  }
+  std::set<std::pair<topology::FiberId, std::size_t>> actual;
+  for (std::size_t f = 0; f < delta.restoration_paths.size(); ++f) {
+    for (std::size_t idx : delta.restoration_paths[f]) {
+      actual.insert({static_cast<topology::FiberId>(f), idx});
+    }
+  }
+  EXPECT_EQ(actual, expected);
+  // An unaffected scenario clears the footprint.
+  incremental.restore(net, *plan, FailureScenario{{}, 1.0});
+  for (const auto& indices : incremental.delta().restoration_paths) {
+    EXPECT_TRUE(indices.empty());
+  }
+}
+
+TEST(IncrementalRestorer, PlanGrowthInvalidatesButBackupPathsSurvive) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const Restorer oracle(transponder::svt_flexwan());
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  const FailureScenario scenario{{0}, 1.0};
+  ASSERT_TRUE(incremental.restore(net, *plan, scenario) ==
+              oracle.restore(net, *plan, scenario));
+  const auto ksp_entries = incremental.delta().backup_paths.size();
+  ASSERT_GT(ksp_entries, 0u);
+
+  // Grow one link, tell the restorer, and demand parity on the new plan.
+  const auto grown =
+      planning::extend_plan(*plan, net, 0, net.ip.link(0).demand_gbps * 0.1);
+  ASSERT_TRUE(grown) << grown.error().message;
+  incremental.notify_plan_changed();
+  const auto expected = oracle.restore(net, *plan, scenario);
+  const auto& actual = incremental.restore(net, *plan, scenario);
+  EXPECT_TRUE(actual == expected) << fingerprint(actual) << "vs oracle\n"
+                                  << fingerprint(expected);
+  // KSP memo is a pure function of the topology: growth must not drop it.
+  EXPECT_GE(incremental.delta().backup_paths.size(), ksp_entries);
+}
+
+TEST(IncrementalRestorer, StaleIndexWithoutNotifyIsDetectedByVerifyMode) {
+  // Sanity for the oracle harness itself: verify mode exists because a
+  // missing notify_plan_changed() silently desynchronizes the carried
+  // index.  Growth without notify must make parity fail (if it didn't, the
+  // whole verify machinery would be vacuous).
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const Restorer oracle(transponder::svt_flexwan());
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  // Cut a fiber the first link's deployed wavelength actually rides, so
+  // growth on that link changes what the cut affects.
+  const auto& lp0 = plan->links().front();
+  ASSERT_FALSE(lp0.wavelengths.empty());
+  const auto cut_fiber =
+      lp0.paths[static_cast<std::size_t>(lp0.wavelengths.front().path_index)]
+          .fibers.front();
+  const FailureScenario scenario{{cut_fiber}, 1.0};
+  incremental.restore(net, *plan, scenario);
+  const auto grown = planning::extend_plan(*plan, net, lp0.link,
+                                           net.ip.link(lp0.link).demand_gbps);
+  ASSERT_TRUE(grown) << grown.error().message;
+  ASSERT_GT(grown->wavelengths_added, 0);
+  // The extension reuses the link's candidate paths; at least one added
+  // wavelength must ride the cut fiber for the staleness to be observable.
+  bool growth_rides_cut = false;
+  for (const auto& wl : plan->links().front().wavelengths) {
+    const auto& path = plan->links().front().paths[static_cast<std::size_t>(
+        wl.path_index)];
+    growth_rides_cut |= path.uses_fiber(cut_fiber);
+  }
+  ASSERT_TRUE(growth_rides_cut);
+  // No notify_plan_changed(): the cached outcome for the scenario is stale.
+  const auto expected = oracle.restore(net, *plan, scenario);
+  const auto& stale = incremental.restore(net, *plan, scenario);
+  EXPECT_FALSE(stale == expected);
+}
+
+TEST(TransitionOutcome, StepsApplyAndRevertByteExactly) {
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const std::string deployed = planning::save_plan(*plan);
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  std::optional<AppliedOutcome> applied;
+
+  const auto step = [&](const std::vector<topology::FiberId>& cuts) {
+    const FailureScenario scenario{cuts, 1.0};
+    return transition_outcome(
+        *plan, applied, scenario,
+        [&](const planning::Plan& p) -> const Outcome& {
+          return incremental.restore(net, p, scenario);
+        });
+  };
+
+  // Cut -> wider cut -> repair back -> all clear.  Each step reverts the
+  // previous application, so the mid-sequence plans stay loadable and the
+  // final plan is byte-identical to the deployed one.
+  const auto first = step({0});
+  ASSERT_TRUE(first) << first.error().message;
+  EXPECT_GT(first->affected_gbps, 0.0);
+  EXPECT_TRUE(applied.has_value());
+  EXPECT_NE(planning::save_plan(*plan), deployed);
+
+  const auto second = step({0, 3});
+  ASSERT_TRUE(second) << second.error().message;
+
+  const auto third = step({3});
+  ASSERT_TRUE(third) << third.error().message;
+
+  const auto clear = step({});
+  ASSERT_TRUE(clear) << clear.error().message;
+  EXPECT_DOUBLE_EQ(clear->affected_gbps, 0.0);
+  EXPECT_FALSE(applied.has_value());
+  EXPECT_EQ(planning::save_plan(*plan), deployed);
+}
+
+TEST(TransitionOutcome, UntouchedScenarioSkipsApplyEntirely) {
+  // All-clear fast path: an outcome that affects nothing leaves `applied`
+  // disengaged and the plan bytes untouched.
+  auto net = topology::Network{};
+  net.name = "pair";
+  net.optical.add_node("a");
+  net.optical.add_node("b");
+  net.optical.add_node("c");
+  net.optical.add_fiber(0, 1, 200);
+  net.optical.add_fiber(1, 2, 200);
+  net.ip.add_link(0, 1, 200);
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  const std::string deployed = planning::save_plan(*plan);
+  IncrementalRestorer incremental(transponder::svt_flexwan());
+  std::optional<AppliedOutcome> applied;
+  const FailureScenario scenario{{1}, 1.0};  // fiber 1 carries nothing
+  const auto outcome = transition_outcome(
+      *plan, applied, scenario,
+      [&](const planning::Plan& p) -> const Outcome& {
+        return incremental.restore(net, p, scenario);
+      });
+  ASSERT_TRUE(outcome) << outcome.error().message;
+  EXPECT_DOUBLE_EQ(outcome->affected_gbps, 0.0);
+  EXPECT_FALSE(applied.has_value());
+  EXPECT_EQ(planning::save_plan(*plan), deployed);
+}
+
+TEST(VerifyIncremental, LifecycleTrialPassesAndMatchesUncheckedRun) {
+  // The sim's oracle mode re-solves from scratch after every event and
+  // fails on divergence; a passing run must also be observably identical
+  // to the unchecked run (verification is read-only).
+  const auto net = topology::make_tbackbone();
+  HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  sim::LifecycleConfig config;
+  config.trials = 2;
+  config.seed = 7;
+  config.timeline.horizon_days = 365.0;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+
+  const auto plain = sim::run_lifecycle(net, *plan, transponder::svt_flexwan(),
+                                        config);
+  ASSERT_TRUE(plain) << plain.error().message;
+
+  config.restorer.verify_incremental = true;
+  const auto checked = sim::run_lifecycle(net, *plan,
+                                          transponder::svt_flexwan(), config);
+  ASSERT_TRUE(checked) << checked.error().message;
+
+  ASSERT_EQ(plain->trials.size(), checked->trials.size());
+  EXPECT_EQ(plain->mean_availability, checked->mean_availability);
+  EXPECT_EQ(plain->mean_lost_gbps_minutes, checked->mean_lost_gbps_minutes);
+  EXPECT_EQ(plain->total_cuts, checked->total_cuts);
+  EXPECT_EQ(plain->total_repairs, checked->total_repairs);
+  for (std::size_t i = 0; i < plain->trials.size(); ++i) {
+    EXPECT_EQ(plain->trials[i].availability, checked->trials[i].availability);
+    EXPECT_EQ(plain->trials[i].restorations, checked->trials[i].restorations);
+  }
+}
+
+}  // namespace
+}  // namespace flexwan::restoration

@@ -163,6 +163,122 @@ TEST(Occupancy, AllFitsEnumeratesEveryStart) {
   EXPECT_EQ(starts, (std::vector<int>{0, 8}));
 }
 
+// --- 64-bit word-boundary coverage for the packed-word storage -----------
+// Occupancy packs the grid into uint64_t words; every scan must behave
+// identically whether a run sits inside one word, straddles the 64-pixel
+// edge, or spans whole words.
+
+TEST(Occupancy, FirstFitFindsRunSpanningWordBoundary) {
+  Occupancy occ(128);
+  // Free gap [60, 68): 4 pixels in word 0, 4 in word 1.
+  ASSERT_TRUE(occ.reserve(Range{0, 60}));
+  ASSERT_TRUE(occ.reserve(Range{68, 60}));
+  const auto fit = occ.first_fit(8);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 60);
+  EXPECT_EQ(fit->count, 8);
+  EXPECT_FALSE(occ.first_fit(9).has_value());
+  EXPECT_EQ(occ.largest_free_run(), 8);
+}
+
+TEST(Occupancy, FirstFitRunEndingExactlyAtWordBoundary) {
+  Occupancy occ(128);
+  ASSERT_TRUE(occ.reserve(Range{0, 56}));
+  ASSERT_TRUE(occ.reserve(Range{64, 64}));  // word 1 fully used
+  const auto fit = occ.first_fit(8);        // free run is exactly [56, 64)
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 56);
+  EXPECT_FALSE(occ.first_fit(9).has_value());
+}
+
+TEST(Occupancy, FirstFitFromOffsetInsideWord) {
+  Occupancy occ(192);
+  ASSERT_TRUE(occ.reserve(Range{70, 10}));
+  // from inside word 1, past the start of its free prefix.
+  const auto fit = occ.first_fit(4, 67);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 80);  // [67, 70) is only 3 free pixels
+  // from exactly on a word boundary.
+  const auto at_boundary = occ.first_fit(4, 64);
+  ASSERT_TRUE(at_boundary.has_value());
+  EXPECT_EQ(at_boundary->first, 64);
+  // from in the middle of a free whole word.
+  const auto mid_word = occ.first_fit(4, 100);
+  ASSERT_TRUE(mid_word.has_value());
+  EXPECT_EQ(mid_word->first, 100);
+}
+
+TEST(Occupancy, FirstFitFromPastBandAndNegative) {
+  Occupancy occ(128);
+  EXPECT_FALSE(occ.first_fit(1, 128).has_value());
+  EXPECT_FALSE(occ.first_fit(1, 4096).has_value());
+  // A negative from clamps to the band start.
+  const auto fit = occ.first_fit(4, -7);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 0);
+  EXPECT_FALSE(occ.first_fit(0).has_value());
+  EXPECT_FALSE(occ.first_fit(-3).has_value());
+}
+
+TEST(Occupancy, FullGridAndEmptyGridExtremes) {
+  Occupancy occ(kCBandPixels);
+  // Empty grid: the whole band is one run, in every view.
+  EXPECT_EQ(occ.largest_free_run(), kCBandPixels);
+  const auto whole = occ.first_fit(kCBandPixels);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(whole->first, 0);
+  EXPECT_FALSE(occ.first_fit(kCBandPixels + 1).has_value());
+  // Full grid (384 = 6 words exactly): nothing fits, nothing is free.
+  ASSERT_TRUE(occ.reserve(Range{0, kCBandPixels}));
+  EXPECT_EQ(occ.used_pixels(), kCBandPixels);
+  EXPECT_EQ(occ.largest_free_run(), 0);
+  EXPECT_FALSE(occ.first_fit(1).has_value());
+  EXPECT_TRUE(occ.all_fits(1).empty());
+  ASSERT_TRUE(occ.release(Range{0, kCBandPixels}));
+  EXPECT_EQ(occ.used_pixels(), 0);
+}
+
+TEST(Occupancy, AllFitsAcrossWordBoundaries) {
+  Occupancy occ(128);
+  ASSERT_TRUE(occ.reserve(Range{0, 58}));
+  ASSERT_TRUE(occ.reserve(Range{70, 50}));
+  // Free: [58, 70) crossing the 64-edge, and [120, 128) at the band tail.
+  EXPECT_EQ(occ.all_fits(8), (std::vector<int>{58, 59, 60, 61, 62, 120}));
+  EXPECT_EQ(occ.all_fits(12), (std::vector<int>{58}));
+  EXPECT_TRUE(occ.all_fits(13).empty());
+}
+
+TEST(Occupancy, NonMultipleOf64BandKeepsTailUnavailable) {
+  // 100 pixels: the last word is partial; the 28 tail bits must never be
+  // offered by any scan.
+  Occupancy occ(100);
+  EXPECT_EQ(occ.free_pixels(), 100);
+  const auto fit = occ.first_fit(100);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->first, 0);
+  EXPECT_FALSE(occ.first_fit(101).has_value());
+  ASSERT_TRUE(occ.reserve(Range{0, 96}));
+  const auto tail = occ.first_fit(4);
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->first, 96);
+  EXPECT_EQ(occ.all_fits(4), (std::vector<int>{96}));
+  EXPECT_FALSE(occ.first_fit(5).has_value());
+}
+
+TEST(Occupancy, ReserveReleaseStraddlingWordBoundary) {
+  Occupancy occ(192);
+  ASSERT_TRUE(occ.reserve(Range{62, 68}));  // covers words 0, 1, and 2
+  EXPECT_EQ(occ.used_pixels(), 68);
+  EXPECT_FALSE(occ.is_free(Range{63, 1}));
+  EXPECT_FALSE(occ.is_free(Range{64, 1}));
+  EXPECT_FALSE(occ.is_free(Range{129, 1}));
+  EXPECT_TRUE(occ.is_free(Range{61, 1}));
+  EXPECT_TRUE(occ.is_free(Range{130, 1}));
+  ASSERT_TRUE(occ.release(Range{62, 68}));
+  EXPECT_EQ(occ.used_pixels(), 0);
+  EXPECT_EQ(occ.largest_free_run(), 192);
+}
+
 TEST(Occupancy, FragmentationReflectsSplitSpectrum) {
   Occupancy occ(48);
   ASSERT_TRUE(occ.reserve(Range{20, 8}));  // splits free space 20 + 20
