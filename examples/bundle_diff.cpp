@@ -1,0 +1,138 @@
+// bundle_diff — the evidence-bundle gate: compare two bundle directories
+// (obs/bundle.h) field by field.
+//
+//   bundle_diff <baseline-dir> <candidate-dir>
+//               [--thresholds f.json] [--out dir]
+//
+// Loads both bundles (run.json + metrics.json + events.jsonl, schema
+// checked), flattens them to dotted numeric fields (run.json results,
+// metrics counters/gauges, histogram count/sum/p50/p90/p99, per-category
+// event counts), and checks each field's relative change against per-field
+// thresholds:
+//
+//   --thresholds f.json   {"default": 0.05,
+//                          "fields": {"results.availability.mean": 0.0001}}
+//                         (default tolerance without the flag: 0.10)
+//   --out dir             additionally write diff.json and diff.md there
+//
+// The human-readable diff always goes to stdout.  Exit codes are stable so
+// CI can gate on them, same convention as perf_diff:
+//   0  every field within tolerance (self-compare always lands here),
+//   1  at least one violation (beyond tolerance, or a vanished field),
+//   2  usage errors, missing/malformed bundles, bad thresholds.
+// A field present only in the candidate is informational ("new") — new
+// telemetry never fails the gate; a vanished field does (it can hide a
+// regression), mirroring perf_diff's vanished-case rule.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/bundle.h"
+
+using namespace flexwan;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bundle_diff <baseline-dir> <candidate-dir> "
+               "[--thresholds f.json] [--out dir]\n"
+               "  thresholds: {\"default\": F, \"fields\": {\"<field>\": F}} "
+               "— allowed relative change per field (default 0.10)\n");
+  return 2;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string thresholds_path;
+  std::string out_dir;
+  std::vector<const char*> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string* target = nullptr;
+    std::size_t eq_len = 0;
+    if (std::strcmp(arg, "--thresholds") == 0) {
+      target = &thresholds_path;
+    } else if (std::strncmp(arg, "--thresholds=", 13) == 0) {
+      target = &thresholds_path;
+      eq_len = 13;
+    } else if (std::strcmp(arg, "--out") == 0) {
+      target = &out_dir;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      target = &out_dir;
+      eq_len = 6;
+    } else {
+      dirs.push_back(arg);
+      continue;
+    }
+    if (eq_len > 0) {
+      *target = arg + eq_len;
+    } else {
+      if (i + 1 >= argc) return usage();
+      *target = argv[++i];
+    }
+    if (target->empty()) return usage();
+  }
+  if (dirs.size() != 2) return usage();
+
+  obs::BundleThresholds thresholds;
+  if (!thresholds_path.empty()) {
+    auto loaded = obs::load_thresholds_file(thresholds_path);
+    if (!loaded) {
+      std::fprintf(stderr, "bundle_diff: %s\n",
+                   loaded.error().message.c_str());
+      return 2;
+    }
+    thresholds = std::move(loaded.value());
+  }
+
+  const auto baseline = obs::load_bundle(dirs[0]);
+  if (!baseline) {
+    std::fprintf(stderr, "bundle_diff: %s\n",
+                 baseline.error().message.c_str());
+    return 2;
+  }
+  const auto candidate = obs::load_bundle(dirs[1]);
+  if (!candidate) {
+    std::fprintf(stderr, "bundle_diff: %s\n",
+                 candidate.error().message.c_str());
+    return 2;
+  }
+
+  const auto comparison =
+      obs::compare_bundles(*baseline, *candidate, thresholds);
+  if (!comparison) {
+    std::fprintf(stderr, "bundle_diff: %s\n",
+                 comparison.error().message.c_str());
+    return 2;
+  }
+
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const std::filesystem::path base(out_dir);
+    if (ec ||
+        !write_file((base / "diff.json").string(),
+                    comparison->to_diff_json()) ||
+        !write_file((base / "diff.md").string(), comparison->to_diff_md())) {
+      std::fprintf(stderr, "bundle_diff: cannot write diff outputs to %s\n",
+                   out_dir.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("%s", comparison->to_diff_md().c_str());
+  return comparison->violations > 0 ? 1 : 0;
+}

@@ -9,6 +9,14 @@
 //   2  usage / parse / schema errors.
 // The threshold is a fraction of the baseline median (default 0.10 =
 // ±10 %); see DESIGN.md "Benchmark telemetry" for the gate policy.
+//
+// New-case policy: a case present only in the candidate is NEW COVERAGE,
+// not a failure — it is listed as "new", counted in the verdict line
+// ("N new case(s) not gated"), and the tool still exits 0 when new cases
+// are the only difference.  Rationale: a gate that punishes adding a bench
+// case discourages exactly the coverage growth it exists to protect; the
+// vanished-case rule (exit 1) already catches the inverse, where a case
+// disappears and could hide a regression.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>

@@ -15,6 +15,10 @@
 // trace (load it at https://ui.perfetto.dev or chrome://tracing).  Both go
 // to files, so stdout stays byte-identical with or without them.
 //
+// --bundle <dir> writes an evidence bundle (obs/bundle.h): run.json with
+// the resolved inputs and headline plan/restoration numbers, events.jsonl,
+// metrics.json, summary.md.  Deterministic at every --threads value.
+//
 // Reads a network description (see topology/io.h for the format), plans it
 // with the chosen transponder generation, and reports the wavelengths, the
 // cost metrics, the restoration drill over all single-fiber cuts, and a
@@ -26,6 +30,7 @@
 #include <sstream>
 
 #include "engine/engine.h"
+#include "obs/bundle.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
@@ -100,7 +105,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <network-file> [flexwan|radwan|100g] "
-                 "[--threads N] [--metrics file.json] [--trace file.json]\n"
+                 "[--threads N] [--metrics file.json] [--trace file.json] "
+                 "[--bundle dir]\n"
                  "       %s --sample\n",
                  argv[0], argv[0]);
     return 2;
@@ -172,5 +178,38 @@ int main(int argc, char** argv) {
               rm.scenarios_with_loss);
 
   std::printf("graphviz:\n%s", topology::to_dot(*net).c_str());
+
+  if (!report.bundle_dir().empty()) {
+    obs::Bundle bundle;
+    bundle.dir = report.bundle_dir();
+    bundle.tool = "plan_tool";
+    bundle.provenance = obs::make_bundle_provenance(engine.thread_count());
+    using obs::json::Value;
+    bundle.config.emplace_back("network_file", Value(std::string(argv[1])));
+    bundle.config.emplace_back("network", Value(net->name));
+    bundle.config.emplace_back("scheme", Value(catalog.name()));
+    bundle.results.emplace_back(
+        "plan.transponder_pairs", static_cast<double>(m.transponder_count));
+    bundle.results.emplace_back("plan.spectrum_usage_ghz",
+                                m.spectrum_usage_ghz);
+    bundle.results.emplace_back("plan.mean_spectral_efficiency",
+                                m.mean_spectral_efficiency);
+    bundle.results.emplace_back("plan.max_fiber_utilization",
+                                m.max_fiber_utilization);
+    bundle.results.emplace_back("restoration.mean_capability",
+                                rm.mean_capability);
+    bundle.results.emplace_back(
+        "restoration.scenarios_with_loss",
+        static_cast<double>(rm.scenarios_with_loss));
+    bundle.results.emplace_back("restoration.scenarios",
+                                static_cast<double>(scenarios.size()));
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "plan_tool: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
+  }
   return 0;
 }

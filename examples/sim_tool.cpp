@@ -10,6 +10,10 @@
 //            [--verify-incremental]  re-solve every event from scratch and
 //                                    fail on any divergence (oracle parity)
 //            [--threads N] [--metrics f.json] [--trace f.json]
+//            [--bundle dir]      write an evidence bundle (run.json,
+//                                events.jsonl, metrics.json, summary.md);
+//                                byte-identical at every --threads value
+//                                (modulo run.json's "threads" field)
 //
 // Plans the chosen network, then replays M seeded event timelines (Poisson
 // fiber cuts, MTTR repairs, periodic demand growth) against the deployed
@@ -24,10 +28,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/bundle.h"
 #include "obs/report.h"
 #include "planning/heuristic.h"
 #include "sim/simulator.h"
@@ -46,7 +52,7 @@ namespace {
       "          [--years Y] [--trials M] [--seed S] [--cut-rate R]\n"
       "          [--mttr-hours H] [--growth-days D] [--growth-pct P]\n"
       "          [--no-defrag] [--verify-incremental]\n"
-      "          [--threads N] [--metrics f] [--trace f]\n",
+      "          [--threads N] [--metrics f] [--trace f] [--bundle dir]\n",
       argv0);
   std::exit(2);
 }
@@ -247,6 +253,75 @@ int main(int argc, char** argv) {
                     TextTable::num(worst[i].second, 1)});
     }
     std::printf("%s", down.render().c_str());
+  }
+
+  if (!report.bundle_dir().empty()) {
+    obs::Bundle bundle;
+    bundle.dir = report.bundle_dir();
+    bundle.tool = "sim_tool";
+    bundle.provenance = obs::make_bundle_provenance(engine.thread_count());
+    using obs::json::Value;
+    bundle.config.emplace_back("network", Value(network));
+    bundle.config.emplace_back("scheme", Value(scheme));
+    bundle.config.emplace_back("years", Value(years));
+    bundle.config.emplace_back(
+        "trials", Value(static_cast<double>(config.trials)));
+    bundle.config.emplace_back("seed",
+                               Value(static_cast<double>(config.seed)));
+    bundle.config.emplace_back(
+        "cut_rate_per_1000km_per_year",
+        Value(config.timeline.cut_rate_per_1000km_per_year));
+    bundle.config.emplace_back("mttr_hours",
+                               Value(config.timeline.mttr_mean_hours));
+    bundle.config.emplace_back(
+        "growth_interval_days",
+        Value(config.timeline.growth_interval_days));
+    bundle.config.emplace_back("growth_pct", Value(growth_pct));
+    bundle.config.emplace_back("defrag_on_growth",
+                               Value(config.defrag_on_growth));
+    bundle.config.emplace_back("verify_incremental",
+                               Value(config.restorer.verify_incremental));
+    bundle.results.emplace_back("availability.mean", sim->mean_availability);
+    bundle.results.emplace_back("availability.min", sim->min_availability);
+    bundle.results.emplace_back("lost_gbps_minutes.mean",
+                                sim->mean_lost_gbps_minutes);
+    bundle.results.emplace_back("capability.mean", sim->mean_capability);
+    bundle.results.emplace_back("cuts.total",
+                                static_cast<double>(sim->total_cuts));
+    bundle.results.emplace_back("repairs.total",
+                                static_cast<double>(sim->total_repairs));
+    bundle.results.emplace_back(
+        "growth_events.total",
+        static_cast<double>(sim->total_growth_events));
+    bundle.results.emplace_back("growth.capacity_added_gbps", added);
+    bundle.results.emplace_back("growth.blocked",
+                                static_cast<double>(blocked));
+    bundle.results.emplace_back("plan.provisioned_gbps", provisioned);
+    bundle.results.emplace_back(
+        "plan.transponder_pairs",
+        static_cast<double>(plan->transponder_count()));
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, worst.size()); ++i) {
+      bundle.results.emplace_back(
+          "link_downtime_minutes." + net.ip.link(worst[i].first).name,
+          worst[i].second);
+    }
+    std::ostringstream body;
+    body << "## Trials\n\n| trial | availability | lost Gbps-min | "
+            "restorations |\n|---|---|---|---|\n";
+    for (const auto& t : sim->trials) {
+      body << "| " << t.trial << " | "
+           << obs::json::number_to_string(t.availability) << " | "
+           << obs::json::number_to_string(t.lost_gbps_minutes) << " | "
+           << t.restorations << " |\n";
+    }
+    bundle.summary_body_md = body.str();
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "sim_tool: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
   }
   return 0;
 }

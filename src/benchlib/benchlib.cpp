@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/bundle.h"
 #include "obs/json.h"
 
 // Build provenance is injected by src/benchlib/CMakeLists.txt; the
@@ -100,9 +101,17 @@ Harness::~Harness() {
     std::exit(0);
   }
   if (!enabled()) return;
-  const auto result = write();
-  if (!result) {
-    std::fprintf(stderr, "benchlib: %s\n", result.error().message.c_str());
+  if (!options_.json_path.empty()) {
+    const auto result = write();
+    if (!result) {
+      std::fprintf(stderr, "benchlib: %s\n", result.error().message.c_str());
+    }
+  }
+  if (!options_.bundle_dir.empty()) {
+    const auto result = write_bundle();
+    if (!result) {
+      std::fprintf(stderr, "benchlib: %s\n", result.error().message.c_str());
+    }
   }
 }
 
@@ -186,6 +195,36 @@ std::string Harness::to_json() const {
   }
   out << "\n  ]\n}\n";
   return out.str();
+}
+
+Expected<bool> Harness::write_bundle() const {
+  if (options_.bundle_dir.empty()) {
+    return Error::make("no_path", "bundle directory not configured");
+  }
+  obs::Bundle bundle;
+  bundle.dir = options_.bundle_dir;
+  bundle.tool = name_;
+  bundle.provenance = obs::make_bundle_provenance(provenance_.threads);
+  bundle.config.emplace_back(
+      "warmup", json::Value(static_cast<double>(options_.warmup)));
+  bundle.config.emplace_back(
+      "reps", json::Value(static_cast<double>(options_.reps)));
+  std::ostringstream body;
+  body << "## Cases\n\n| case | median us | mean us | stddev us | reps "
+          "|\n|---|---|---|---|---|\n";
+  for (const auto& c : results_) {
+    const std::string prefix = "case." + c.name + ".";
+    bundle.results.emplace_back(prefix + "median_us", c.stats.median_us);
+    bundle.results.emplace_back(prefix + "mean_us", c.stats.mean_us);
+    bundle.results.emplace_back(prefix + "min_us", c.stats.min_us);
+    body << "| " << c.name << " | "
+         << json::number_to_string(c.stats.median_us) << " | "
+         << json::number_to_string(c.stats.mean_us) << " | "
+         << json::number_to_string(c.stats.stddev_us) << " | " << c.reps
+         << " |\n";
+  }
+  bundle.summary_body_md = body.str();
+  return bundle.write();
 }
 
 Expected<bool> Harness::write() const {

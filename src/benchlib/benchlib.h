@@ -146,7 +146,18 @@ class Harness {
   // Writes to_json() to the configured path now.  The destructor writes
   // again unless release() is called (idempotent, like obs::RunReport).
   Expected<bool> write() const;
-  void release() { options_.json_path.clear(); }
+
+  // Writes an evidence bundle (obs/bundle.h) to options_.bundle_dir: the
+  // per-case wall stats become dotted results ("case.<name>.median_us",
+  // ...) so bundle_diff can gate them, and the case table lands in
+  // summary.md.  Wall numbers are inherently run-dependent — bench bundles
+  // are compared with tolerances, unlike the byte-identical sim bundles.
+  Expected<bool> write_bundle() const;
+
+  void release() {
+    options_.json_path.clear();
+    options_.bundle_dir.clear();
+  }
 
  private:
   static double elapsed_us(std::chrono::steady_clock::time_point t0) {

@@ -149,6 +149,7 @@ Expected<ComparisonReport> compare_reports(const BenchReport& baseline,
     cmp.name = c.name;
     cmp.status = CaseStatus::kOnlyCandidate;
     cmp.candidate_median_us = c.median_us;
+    ++out.new_cases;
     out.cases.push_back(std::move(cmp));
   }
   return out;
@@ -179,11 +180,19 @@ std::string ComparisonReport::render() const {
   out << "bench '" << bench << "' vs baseline (threshold +-"
       << TextTable::num(100.0 * threshold, 0) << "% on median wall time)\n"
       << table.render();
+  // New cases are called out in both verdicts so "exit 0 with new cases"
+  // reads as a deliberate policy, not an oversight.
   if (failures() > 0) {
     out << "FAIL: " << regressions << " regression(s), " << vanished
-        << " vanished case(s)\n";
+        << " vanished case(s)";
+    if (new_cases > 0) out << ", " << new_cases << " new case(s)";
+    out << "\n";
   } else {
-    out << "OK: no regressions (" << improvements << " improvement(s))\n";
+    out << "OK: no regressions (" << improvements << " improvement(s)";
+    if (new_cases > 0) {
+      out << ", " << new_cases << " new case(s) not gated";
+    }
+    out << ")\n";
   }
   return out.str();
 }

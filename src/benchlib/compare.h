@@ -6,7 +6,10 @@
 //   * candidate median <  baseline median * (1 - threshold)  -> improvement
 //   * a case present in the baseline but missing from the candidate is a
 //     gate failure too (a deleted case can hide a regression);
-//   * a case only in the candidate is informational (new coverage).
+//   * a case only in the candidate is informational (new coverage): it is
+//     counted in `new_cases`, rendered as "new" with an explicit callout in
+//     the verdict line, and NEVER fails the gate — perf_diff exits 0 when
+//     the only differences are new cases.
 // The default threshold is 0.10 (±10 %).  `failures()` counts regressions
 // plus vanished cases; the perf_diff tool exits non-zero when it is > 0.
 #pragma once
@@ -65,6 +68,7 @@ struct ComparisonReport {
   int regressions = 0;     // kRegression count
   int vanished = 0;        // kOnlyBaseline count
   int improvements = 0;    // kImprovement count
+  int new_cases = 0;       // kOnlyCandidate count (informational, never fails)
 
   int failures() const { return regressions + vanished; }
 

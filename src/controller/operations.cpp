@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planning/plan.h"
@@ -167,6 +168,13 @@ Expected<ReplicatedDeployment> ControllerCluster::deploy(
       result.total_rpcs += stats->config_rpcs;
       OBS_COUNTER_ADD("controller.deploy.rpcs", stats->config_rpcs);
       result.completed = true;
+      if (obs::events_enabled()) {
+        obs::emit_event(obs::make_event("controller", obs::Severity::kInfo,
+                                        "controller.deploy.done")
+                            .with("attempts", result.attempts)
+                            .with("failovers", result.failovers)
+                            .with("rpcs", result.total_rpcs));
+      }
       return result;
     }
     // Leader crashes after `budget` RPCs: replay the deployment partially.
@@ -198,6 +206,17 @@ Expected<ReplicatedDeployment> ControllerCluster::deploy(
     // Failovers are the control plane's retries: a standby replaying the
     // deployment a dead leader left half-finished.
     OBS_COUNTER_ADD("controller.deploy.failovers", 1);
+    if (obs::events_enabled()) {
+      obs::emit_event(obs::make_event("controller", obs::Severity::kWarn,
+                                      "controller.deploy.failover")
+                          .with("replica", replica)
+                          .with("rpcs_before_crash", issued));
+    }
+  }
+  if (obs::events_enabled()) {
+    obs::emit_event(obs::make_event("controller", obs::Severity::kError,
+                                    "controller.deploy.exhausted")
+                        .with("replicas", replicas_));
   }
   return Error::make("cluster_exhausted",
                      "every controller replica failed mid-deployment");

@@ -41,8 +41,9 @@ Expected<bool> NetconfService::edit_config(const ConfigDocument& doc) {
   // Per-vendor latency: the adapter translation is the vendor-specific part
   // of the RPC, so the histogram is keyed by the device's vendor string
   // (dynamic name — resolved through the registry, not a cached macro).
-  const bool metrics = obs::metrics_enabled();
-  const double start_us = metrics ? obs::now_us() : 0.0;
+  // Timing-gated: wall-derived samples stay out of bundle-only runs.
+  const bool timing = obs::timing_enabled();
+  const double start_us = timing ? obs::now_us() : 0.0;
   auto result = std::visit(
       [&](auto* device) -> Expected<bool> {
         const VendorAdapter& adapter = adapter_for(device->info().vendor);
@@ -61,7 +62,7 @@ Expected<bool> NetconfService::edit_config(const ConfigDocument& doc) {
         }
       },
       it->second);
-  if (metrics) {
+  if (timing) {
     const std::string vendor = std::visit(
         [](auto* device) { return device->info().vendor; }, it->second);
     obs::Registry::instance()

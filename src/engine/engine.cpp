@@ -56,10 +56,12 @@ struct Engine::Job {
     const bool was_nested = tls_in_parallel_body;
     tls_in_parallel_body = true;
     // One clock read per participant, not per index: the queue-wait sample
-    // and the busy-time window bracket the whole drain.
-    const bool metrics = obs::metrics_enabled();
+    // and the busy-time window bracket the whole drain.  Gated on timing,
+    // not metrics: both are wall-derived, so they must stay out of the
+    // registry in the deterministic bundle-only mode (obs/metrics.h).
+    const bool timing = obs::timing_enabled();
     double start_us = 0.0;
-    if (metrics) {
+    if (timing) {
       start_us = obs::now_us();
       if (enqueue_us >= 0.0) {
         OBS_HISTOGRAM_OBSERVE("engine.job.queue_wait.us",
@@ -83,8 +85,10 @@ struct Engine::Job {
         }
       }
     }
-    if (metrics) {
-      OBS_COUNTER_ADD("engine.tasks_executed", executed);
+    // tasks_executed is deterministic work accounting (counted in bundles);
+    // busy_us is wall time (timing only).
+    OBS_COUNTER_ADD("engine.tasks_executed", executed);
+    if (timing) {
       OBS_COUNTER_ADD(
           "engine.worker.busy_us",
           static_cast<std::uint64_t>(obs::now_us() - start_us));
@@ -159,7 +163,7 @@ void Engine::parallel_for(std::size_t n,
   auto job = std::make_shared<Job>();
   job->fn = fn;
   job->n = n;
-  if (obs::metrics_enabled()) job->enqueue_us = obs::now_us();
+  if (obs::timing_enabled()) job->enqueue_us = obs::now_us();
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);

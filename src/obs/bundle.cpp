@@ -1,0 +1,425 @@
+#include "obs/bundle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/eventlog.h"
+#include "obs/metrics.h"
+
+// Injected by src/obs/CMakeLists.txt; fallbacks keep non-CMake builds
+// compiling (e.g. IDE single-file checks).
+#ifndef FLEXWAN_GIT_DESCRIBE
+#define FLEXWAN_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FLEXWAN_BUILD_TYPE
+#define FLEXWAN_BUILD_TYPE "unknown"
+#endif
+#ifndef FLEXWAN_COMPILER
+#define FLEXWAN_COMPILER "unknown"
+#endif
+#ifndef FLEXWAN_CXX_FLAGS
+#define FLEXWAN_CXX_FLAGS ""
+#endif
+
+namespace flexwan::obs {
+
+namespace {
+
+Error bad_bundle(const std::string& what) {
+  return Error::make("bad_bundle", what);
+}
+
+Expected<bool> write_text_file(const std::string& path,
+                               const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Error::make("io_error", "cannot open " + path + " for writing");
+  }
+  out << contents;
+  out.flush();
+  if (!out) return Error::make("io_error", "short write to " + path);
+  return true;
+}
+
+Expected<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error::make("io_error", "cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+BundleProvenance make_bundle_provenance(int threads) {
+  BundleProvenance p;
+  p.git_describe = FLEXWAN_GIT_DESCRIBE;
+  p.build_type = FLEXWAN_BUILD_TYPE;
+  p.compiler = FLEXWAN_COMPILER;
+  p.cxx_flags = FLEXWAN_CXX_FLAGS;
+  p.threads = threads;
+  return p;
+}
+
+std::string Bundle::run_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << kBundleSchemaVersion << ",\n"
+      << "  \"tool\": \"" << json::escape(tool) << "\",\n"
+      << "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : config) {
+    out << (first ? "" : ",") << "\n    \"" << json::escape(key)
+        << "\": " << json::to_string(value);
+    first = false;
+  }
+  out << "\n  },\n  \"results\": {";
+  first = true;
+  for (const auto& [key, value] : results) {
+    out << (first ? "" : ",") << "\n    \"" << json::escape(key)
+        << "\": " << json::number_to_string(value);
+    first = false;
+  }
+  out << "\n  },\n  \"provenance\": {\n"
+      << "    \"git_describe\": \"" << json::escape(provenance.git_describe)
+      << "\",\n"
+      << "    \"build_type\": \"" << json::escape(provenance.build_type)
+      << "\",\n"
+      << "    \"compiler\": \"" << json::escape(provenance.compiler)
+      << "\",\n"
+      << "    \"cxx_flags\": \"" << json::escape(provenance.cxx_flags)
+      << "\",\n"
+      << "    \"threads\": " << provenance.threads << "\n"
+      << "  }\n}\n";
+  return out.str();
+}
+
+std::string Bundle::summary_md() const {
+  std::ostringstream out;
+  out << "# Evidence bundle: " << tool << "\n\n";
+  if (!config.empty()) {
+    out << "## Configuration\n\n";
+    for (const auto& [key, value] : config) {
+      out << "- `" << key << "`: " << json::to_string(value) << "\n";
+    }
+    out << "\n";
+  }
+  if (!results.empty()) {
+    out << "## Results\n\n| field | value |\n|---|---|\n";
+    for (const auto& [key, value] : results) {
+      out << "| " << key << " | " << json::number_to_string(value) << " |\n";
+    }
+    out << "\n";
+  }
+  if (!summary_body_md.empty()) {
+    out << summary_body_md;
+    if (summary_body_md.back() != '\n') out << "\n";
+  }
+  return out.str();
+}
+
+Expected<bool> Bundle::write() const {
+  if (dir.empty()) return Error::make("io_error", "bundle directory not set");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Error::make("io_error",
+                       "cannot create " + dir + ": " + ec.message());
+  }
+  const std::filesystem::path base(dir);
+  Expected<bool> result = true;
+  const auto keep_first_error = [&](Expected<bool> r) {
+    if (!r && result) result = r;
+  };
+  keep_first_error(write_text_file((base / "run.json").string(), run_json()));
+  keep_first_error(write_text_file((base / "events.jsonl").string(),
+                                   EventLog::instance().to_jsonl()));
+  keep_first_error(
+      write_text_file((base / "metrics.json").string(),
+                      Registry::instance().to_json(
+                          /*include_empty_histograms=*/false)));
+  keep_first_error(
+      write_text_file((base / "summary.md").string(), summary_md()));
+  return result;
+}
+
+std::string normalize_run_json(const std::string& run_json_text) {
+  // run.json is emitted one field per line; drop the provenance threads
+  // line wherever it appears.
+  std::istringstream in(run_json_text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"threads\":") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+Expected<BundleData> load_bundle(const std::string& dir) {
+  BundleData data;
+  data.dir = dir;
+  const std::filesystem::path base(dir);
+
+  auto run_text = read_text_file((base / "run.json").string());
+  if (!run_text) return bad_bundle(run_text.error().message);
+  auto run = json::parse(run_text.value());
+  if (!run) {
+    return bad_bundle(dir + "/run.json: " + run.error().message);
+  }
+  data.run = std::move(run.value());
+  if (!data.run.is_object()) {
+    return bad_bundle(dir + "/run.json: document is not an object");
+  }
+  const json::Value* version = data.run.find("schema_version");
+  if (version == nullptr || !version->is_number()) {
+    return bad_bundle(dir + "/run.json: missing schema_version");
+  }
+  if (static_cast<int>(version->as_number()) != kBundleSchemaVersion) {
+    return bad_bundle(dir + "/run.json: unsupported schema_version " +
+                      std::to_string(static_cast<int>(version->as_number())) +
+                      " (want " + std::to_string(kBundleSchemaVersion) + ")");
+  }
+
+  auto metrics_text = read_text_file((base / "metrics.json").string());
+  if (!metrics_text) return bad_bundle(metrics_text.error().message);
+  auto metrics = json::parse(metrics_text.value());
+  if (!metrics) {
+    return bad_bundle(dir + "/metrics.json: " + metrics.error().message);
+  }
+  data.metrics = std::move(metrics.value());
+
+  auto events_text = read_text_file((base / "events.jsonl").string());
+  if (!events_text) return bad_bundle(events_text.error().message);
+  std::istringstream lines(events_text.value());
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto event = json::parse(line);
+    if (!event) {
+      return bad_bundle(dir + "/events.jsonl line " +
+                        std::to_string(line_no) + ": " +
+                        event.error().message);
+    }
+    data.events.push_back(std::move(event.value()));
+  }
+  return data;
+}
+
+Expected<BundleThresholds> load_thresholds(const std::string& json_text) {
+  auto parsed = json::parse(json_text);
+  if (!parsed) return parsed.error();
+  const json::Value& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Error::make("bad_thresholds", "document is not an object");
+  }
+  BundleThresholds thresholds;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "default") {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        return Error::make("bad_thresholds",
+                           "'default' must be a non-negative number");
+      }
+      thresholds.default_tolerance = value.as_number();
+    } else if (key == "fields") {
+      if (!value.is_object()) {
+        return Error::make("bad_thresholds", "'fields' must be an object");
+      }
+      for (const auto& [field, tol] : value.as_object()) {
+        if (!tol.is_number() || tol.as_number() < 0.0) {
+          return Error::make("bad_thresholds",
+                             "threshold for '" + field +
+                                 "' must be a non-negative number");
+        }
+        thresholds.per_field[field] = tol.as_number();
+      }
+    } else {
+      return Error::make("bad_thresholds", "unknown key '" + key + "'");
+    }
+  }
+  return thresholds;
+}
+
+Expected<BundleThresholds> load_thresholds_file(const std::string& path) {
+  auto text = read_text_file(path);
+  if (!text) return text.error();
+  auto thresholds = load_thresholds(text.value());
+  if (!thresholds) {
+    return Error::make(thresholds.error().code,
+                       path + ": " + thresholds.error().message);
+  }
+  return thresholds;
+}
+
+const char* field_status_name(FieldStatus status) {
+  switch (status) {
+    case FieldStatus::kOk: return "ok";
+    case FieldStatus::kViolation: return "VIOLATION";
+    case FieldStatus::kOnlyBaseline: return "VANISHED";
+    case FieldStatus::kOnlyCandidate: return "new";
+  }
+  return "?";
+}
+
+namespace {
+
+// Depth-first flatten of numeric leaves into dotted paths.
+void flatten_numeric(const json::Value& value, const std::string& prefix,
+                     std::map<std::string, double>& out) {
+  if (value.is_number()) {
+    out[prefix] = value.as_number();
+  } else if (value.is_object()) {
+    for (const auto& [key, child] : value.as_object()) {
+      flatten_numeric(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+  // Arrays (histogram buckets) and strings are not comparison targets.
+}
+
+// The comparable field set of one bundle.
+std::map<std::string, double> comparable_fields(const BundleData& data) {
+  std::map<std::string, double> fields;
+  if (const json::Value* results = data.run.find("results")) {
+    flatten_numeric(*results, "results", fields);
+  }
+  for (const char* section : {"counters", "gauges"}) {
+    if (const json::Value* v = data.metrics.find(section)) {
+      flatten_numeric(*v, std::string("metrics.") + section, fields);
+    }
+  }
+  if (const json::Value* hists = data.metrics.find("histograms")) {
+    if (hists->is_object()) {
+      for (const auto& [name, hist] : hists->as_object()) {
+        for (const char* stat : {"count", "sum", "p50", "p90", "p99"}) {
+          if (const json::Value* v = hist.find(stat)) {
+            if (v->is_number()) {
+              fields["metrics.histograms." + name + "." + stat] =
+                  v->as_number();
+            }
+          }
+        }
+      }
+    }
+  }
+  fields["events.total"] = static_cast<double>(data.events.size());
+  for (const json::Value& event : data.events) {
+    if (const json::Value* cat = event.find("cat")) {
+      if (cat->is_string()) {
+        fields["events." + cat->as_string()] += 1.0;
+      }
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+Expected<BundleComparison> compare_bundles(
+    const BundleData& baseline, const BundleData& candidate,
+    const BundleThresholds& thresholds) {
+  if (!std::isfinite(thresholds.default_tolerance) ||
+      thresholds.default_tolerance < 0.0) {
+    return Error::make("bad_thresholds",
+                       "default tolerance must be a finite value >= 0");
+  }
+  BundleComparison out;
+  out.baseline_dir = baseline.dir;
+  out.candidate_dir = candidate.dir;
+
+  const auto base_fields = comparable_fields(baseline);
+  const auto cand_fields = comparable_fields(candidate);
+
+  for (const auto& [field, base_value] : base_fields) {
+    FieldDiff diff;
+    diff.field = field;
+    diff.baseline = base_value;
+    diff.tolerance = thresholds.tolerance_for(field);
+    const auto it = cand_fields.find(field);
+    if (it == cand_fields.end()) {
+      diff.status = FieldStatus::kOnlyBaseline;
+      ++out.violations;
+    } else {
+      diff.candidate = it->second;
+      const double delta = std::fabs(diff.candidate - diff.baseline);
+      diff.rel_change =
+          base_value != 0.0 ? delta / std::fabs(base_value) : delta;
+      if (diff.rel_change > diff.tolerance) {
+        diff.status = FieldStatus::kViolation;
+        ++out.violations;
+      }
+    }
+    out.fields.push_back(std::move(diff));
+  }
+  for (const auto& [field, cand_value] : cand_fields) {
+    if (base_fields.count(field) != 0) continue;
+    FieldDiff diff;
+    diff.field = field;
+    diff.status = FieldStatus::kOnlyCandidate;
+    diff.candidate = cand_value;
+    diff.tolerance = thresholds.tolerance_for(field);
+    out.fields.push_back(std::move(diff));
+  }
+  // base_fields / cand_fields are sorted maps, but the only-candidate rows
+  // were appended after the shared rows; restore global field order.
+  std::sort(out.fields.begin(), out.fields.end(),
+            [](const FieldDiff& a, const FieldDiff& b) {
+              return a.field < b.field;
+            });
+  return out;
+}
+
+std::string BundleComparison::to_diff_json() const {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << kBundleSchemaVersion << ",\n"
+      << "  \"baseline\": \"" << json::escape(baseline_dir) << "\",\n"
+      << "  \"candidate\": \"" << json::escape(candidate_dir) << "\",\n"
+      << "  \"violations\": " << violations << ",\n"
+      << "  \"fields\": [";
+  bool first = true;
+  for (const FieldDiff& f : fields) {
+    out << (first ? "" : ",") << "\n    {\"field\": \""
+        << json::escape(f.field) << "\", \"status\": \""
+        << field_status_name(f.status) << "\", \"baseline\": "
+        << json::number_to_string(f.baseline) << ", \"candidate\": "
+        << json::number_to_string(f.candidate) << ", \"rel_change\": "
+        << json::number_to_string(f.rel_change) << ", \"tolerance\": "
+        << json::number_to_string(f.tolerance) << "}";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+std::string BundleComparison::to_diff_md() const {
+  std::ostringstream out;
+  out << "# Bundle diff\n\n- baseline: `" << baseline_dir
+      << "`\n- candidate: `" << candidate_dir << "`\n- violations: **"
+      << violations << "**\n\n"
+      << "| field | baseline | candidate | rel change | tolerance | status "
+         "|\n|---|---|---|---|---|---|\n";
+  for (const FieldDiff& f : fields) {
+    // Unchanged in-tolerance fields stay out of the table so the report
+    // reads as "what moved", not a registry dump.
+    if (f.status == FieldStatus::kOk && f.rel_change == 0.0) continue;
+    out << "| " << f.field << " | "
+        << (f.status == FieldStatus::kOnlyCandidate
+                ? std::string("-")
+                : json::number_to_string(f.baseline))
+        << " | "
+        << (f.status == FieldStatus::kOnlyBaseline
+                ? std::string("-")
+                : json::number_to_string(f.candidate))
+        << " | " << json::number_to_string(f.rel_change) << " | "
+        << json::number_to_string(f.tolerance) << " | "
+        << field_status_name(f.status) << " |\n";
+  }
+  out << "\n" << (violations > 0 ? "**FAIL**" : "OK") << ": " << violations
+      << " violation(s) across " << fields.size() << " field(s)\n";
+  return out.str();
+}
+
+}  // namespace flexwan::obs

@@ -1,0 +1,156 @@
+// Evidence bundles: one directory per run, auditable and diffable.
+//
+// FlexWAN's claims (cost, availability, restoration latency) are only
+// credible if every planning/sim/bench run leaves a record that a reviewer
+// can replay and diff.  A bundle directory holds four artifacts:
+//
+//   run.json     full resolved config + headline results + provenance
+//                (git describe, build flags, thread count, schema version)
+//   events.jsonl the structured event log (eventlog.h), one record per line
+//   metrics.json the metrics registry snapshot with histogram quantiles
+//   summary.md   a human-readable digest of the same numbers
+//
+// Determinism contract: with --bundle alone (timing off, see metrics.h)
+// every artifact is byte-identical at any --threads value except the single
+// "threads" provenance field in run.json — the one deliberately
+// environment-dependent field, which normalize_run_json() strips before a
+// byte compare (CI's evidence-bundle job does exactly that).  Wall-clock
+// timestamps never enter a bundle.
+//
+// compare_bundles() is the "baseline capture → change → compare" gate: it
+// flattens both bundles to dotted numeric fields (run.json results, metrics
+// counters/gauges, histogram wall stats, per-category event counts) and
+// checks each field's relative change against per-field thresholds.  The
+// bundle_diff tool wraps it with stable exit codes: 0 clean, 1 threshold
+// violation, 2 malformed/missing bundle — the same convention as perf_diff.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/expected.h"
+
+namespace flexwan::obs {
+
+// Bumped on any incompatible change to run.json / events.jsonl / diff.json
+// layout; consumers refuse to compare mismatched versions.  The bump policy
+// is documented in DESIGN.md "Evidence bundles".
+inline constexpr int kBundleSchemaVersion = 1;
+
+// Build provenance recorded in run.json.  git_describe is captured at
+// configure time (stale until the next CMake run — acceptable for an
+// audit trail; the value never feeds any computation).  `threads` is the
+// engine thread count: the only run.json field allowed to differ between
+// otherwise-identical runs.
+struct BundleProvenance {
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::string cxx_flags;
+  int threads = 1;
+};
+
+// Fills the build-time fields from the compile definitions injected by
+// src/obs/CMakeLists.txt.
+BundleProvenance make_bundle_provenance(int threads);
+
+// One run's evidence, assembled by the tool that owns the run and written
+// with write().  `config` and `results` keep insertion order (the caller
+// lists fields in presentation order).
+struct Bundle {
+  std::string dir;   // output directory, created if missing
+  std::string tool;  // "sim_tool", "plan_tool", "bench_fig12_scaling", ...
+  std::vector<std::pair<std::string, json::Value>> config;
+  std::vector<std::pair<std::string, double>> results;
+  // Markdown appended below the generated summary.md header.
+  std::string summary_body_md;
+  BundleProvenance provenance;
+
+  std::string run_json() const;
+  std::string summary_md() const;
+
+  // Writes run.json, events.jsonl (from the global EventLog), metrics.json
+  // (registry snapshot, empty histograms omitted), and summary.md into
+  // `dir`.  First error wins; all four files are still attempted.
+  Expected<bool> write() const;
+};
+
+// Strips the "threads" provenance line so two runs of the same
+// configuration at different thread counts byte-compare equal.
+std::string normalize_run_json(const std::string& run_json_text);
+
+// A bundle read back from disk, parsed but not interpreted.
+struct BundleData {
+  std::string dir;
+  json::Value run;                 // run.json document
+  json::Value metrics;             // metrics.json document
+  std::vector<json::Value> events; // one parsed object per events.jsonl line
+};
+
+// Loads and validates a bundle directory.  Fails ("bad_bundle") when a
+// required file is missing or unparsable, or when run.json's schema_version
+// is unsupported.
+Expected<BundleData> load_bundle(const std::string& dir);
+
+// Per-field tolerances for compare_bundles().  A field's tolerance is the
+// allowed relative change |candidate - baseline| / |baseline| (absolute
+// change when the baseline is 0); 0 means the field must match exactly.
+struct BundleThresholds {
+  double default_tolerance = 0.10;
+  std::map<std::string, double> per_field;  // dotted field -> tolerance
+
+  double tolerance_for(const std::string& field) const {
+    const auto it = per_field.find(field);
+    return it == per_field.end() ? default_tolerance : it->second;
+  }
+};
+
+// Parses a thresholds document:
+//   {"default": 0.05, "fields": {"results.availability.mean": 0.0001}}
+// Both keys optional; anything else is rejected.
+Expected<BundleThresholds> load_thresholds(const std::string& json_text);
+Expected<BundleThresholds> load_thresholds_file(const std::string& path);
+
+enum class FieldStatus {
+  kOk,             // within tolerance
+  kViolation,      // change beyond tolerance (gate failure)
+  kOnlyBaseline,   // field vanished from the candidate (gate failure)
+  kOnlyCandidate   // new field, informational
+};
+
+const char* field_status_name(FieldStatus status);
+
+struct FieldDiff {
+  std::string field;  // dotted path, e.g. "results.availability.mean"
+  FieldStatus status = FieldStatus::kOk;
+  double baseline = 0.0;
+  double candidate = 0.0;
+  double rel_change = 0.0;  // |c - b| / |b|, absolute when b == 0
+  double tolerance = 0.0;
+};
+
+struct BundleComparison {
+  std::string baseline_dir;
+  std::string candidate_dir;
+  std::vector<FieldDiff> fields;  // sorted by field name
+  int violations = 0;  // kViolation + kOnlyBaseline count
+
+  std::string to_diff_json() const;
+  std::string to_diff_md() const;
+};
+
+// Flattens both bundles to dotted numeric fields and diffs them:
+//   results.*                     from run.json
+//   metrics.counters.* / gauges.* from metrics.json
+//   metrics.histograms.*.{count,sum,p50,p90,p99}
+//   events.total / events.<category>  counted from events.jsonl
+// Policy mirrors perf_diff: a field that vanished from the candidate is a
+// violation (it can hide a regression); a new field is informational.
+Expected<BundleComparison> compare_bundles(const BundleData& baseline,
+                                           const BundleData& candidate,
+                                           const BundleThresholds& thresholds);
+
+}  // namespace flexwan::obs

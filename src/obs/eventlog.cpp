@@ -1,0 +1,155 @@
+#include "obs/eventlog.h"
+
+#include <sstream>
+
+namespace flexwan::obs {
+
+namespace {
+
+// The calling thread's active buffer (nullptr = emit to the global log).
+thread_local EventBuffer* tls_event_buffer = nullptr;
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+EventRecord&& EventRecord::with(std::string key, json::Value value) && {
+  fields.emplace_back(std::move(key), std::move(value));
+  return std::move(*this);
+}
+EventRecord&& EventRecord::with(std::string key, const std::string& value) && {
+  return std::move(*this).with(std::move(key), json::Value(value));
+}
+EventRecord&& EventRecord::with(std::string key, const char* value) && {
+  return std::move(*this).with(std::move(key), json::Value(std::string(value)));
+}
+EventRecord&& EventRecord::with(std::string key, double value) && {
+  return std::move(*this).with(std::move(key), json::Value(value));
+}
+EventRecord&& EventRecord::with(std::string key, int value) && {
+  return std::move(*this).with(std::move(key),
+                               json::Value(static_cast<double>(value)));
+}
+EventRecord&& EventRecord::with(std::string key, long long value) && {
+  return std::move(*this).with(std::move(key),
+                               json::Value(static_cast<double>(value)));
+}
+EventRecord&& EventRecord::with(std::string key, std::size_t value) && {
+  return std::move(*this).with(std::move(key),
+                               json::Value(static_cast<double>(value)));
+}
+EventRecord&& EventRecord::with(std::string key, bool value) && {
+  return std::move(*this).with(std::move(key), json::Value(value));
+}
+
+std::string EventRecord::to_jsonl() const {
+  std::ostringstream out;
+  out << "{\"seq\": " << seq;
+  if (time_days >= 0.0) {
+    out << ", \"t_days\": " << json::number_to_string(time_days);
+  }
+  out << ", \"cat\": \"" << json::escape(category) << "\""
+      << ", \"sev\": \"" << severity_name(severity) << "\""
+      << ", \"name\": \"" << json::escape(name) << "\""
+      << ", \"fields\": {";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    out << (first ? "" : ", ") << "\"" << json::escape(key)
+        << "\": " << json::to_string(value);
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+EventRecord make_event(std::string category, Severity severity,
+                       std::string name, double time_days) {
+  EventRecord record;
+  record.category = std::move(category);
+  record.severity = severity;
+  record.name = std::move(name);
+  record.time_days = time_days;
+  return record;
+}
+
+void EventBuffer::emit(EventRecord record) {
+  if (record.time_days < 0.0 && time_days_ >= 0.0) {
+    record.time_days = time_days_;
+  }
+  records_.push_back(std::move(record));
+}
+
+EventLog& EventLog::instance() {
+  static EventLog* const log = new EventLog();  // never destroyed
+  return *log;
+}
+
+void EventLog::emit(EventRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+}
+
+void EventLog::splice(EventBuffer&& buffer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.reserve(records_.size() + buffer.records_.size());
+  for (EventRecord& record : buffer.records_) {
+    record.seq = next_seq_++;
+    records_.push_back(std::move(record));
+  }
+  buffer.records_.clear();
+}
+
+std::vector<EventRecord> EventLog::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::string EventLog::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const EventRecord& record : records_) {
+    out += record.to_jsonl();
+    out += '\n';
+  }
+  return out;
+}
+
+void EventLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  next_seq_ = 1;
+  min_severity_.store(static_cast<int>(Severity::kInfo),
+                      std::memory_order_relaxed);
+}
+
+ScopedEventBuffer::ScopedEventBuffer(EventBuffer* buffer)
+    : previous_(tls_event_buffer) {
+  tls_event_buffer = buffer;
+}
+
+ScopedEventBuffer::~ScopedEventBuffer() { tls_event_buffer = previous_; }
+
+void emit_event(EventRecord record) {
+  if (!events_enabled()) return;
+  if (record.severity < EventLog::instance().min_severity()) return;
+  if (tls_event_buffer != nullptr) {
+    tls_event_buffer->emit(std::move(record));
+  } else {
+    EventLog::instance().emit(std::move(record));
+  }
+}
+
+}  // namespace flexwan::obs

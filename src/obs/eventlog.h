@@ -1,0 +1,166 @@
+// Structured, append-only event log — the narrative half of an evidence
+// bundle (bundle.h).
+//
+// Metrics answer "how much work happened"; the event log answers "what
+// happened, in what order": every fiber cut, repair, growth tick,
+// restoration apply/revert, planner stage, and controller deployment leaves
+// one typed record.  Records land in events.jsonl, one JSON object per
+// line, and the whole log is DETERMINISTIC: sequence numbers are dense and
+// monotonic from 1, payloads carry only simulation-derived values (never
+// wall-clock timestamps), and parallel sections write through per-task
+// EventBuffers that the owner splices back in index order — so the file is
+// byte-identical at every --threads value, like every other FlexWAN output.
+//
+// Emission follows the metrics rules (metrics.h): disabled call sites pay
+// one relaxed load + branch (guard with events_enabled() before building a
+// record), output never touches stdout, and severity filtering happens at
+// emit time so a filtered run never buffers dropped records.
+//
+// Routing: emit_event() appends to the calling thread's active
+// ScopedEventBuffer when one is installed (the sim installs one per trial),
+// otherwise directly to the global EventLog under its mutex.  Serial code
+// (planner stages, controller ops, the tools themselves) can emit straight
+// to the global log; concurrent code MUST go through a buffer or the
+// interleaving — and therefore the bundle bytes — becomes schedule-
+// dependent.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace flexwan::obs {
+
+enum class Severity { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* severity_name(Severity severity);
+
+// Sentinel for "no simulation time": the t_days key is omitted from the
+// jsonl record.  Sim-loop emissions stamp the trial's current time via
+// EventBuffer::set_time_days instead.
+inline constexpr double kEventNoTime = -1.0;
+
+// One structured event.  `fields` keeps insertion order (call sites list
+// the most important field first); values reuse the obs JSON Value so any
+// payload that serializes also round-trips through the parser.
+struct EventRecord {
+  std::uint64_t seq = 0;  // assigned by the global log; dense from 1
+  double time_days = kEventNoTime;
+  Severity severity = Severity::kInfo;
+  std::string category;  // "sim", "restoration", "planner", "controller"
+  std::string name;      // dotted event name, e.g. "sim.cut"
+  std::vector<std::pair<std::string, json::Value>> fields;
+
+  // Fluent payload builder: make_event(...).with("fiber", 3).with(...).
+  EventRecord&& with(std::string key, json::Value value) &&;
+  EventRecord&& with(std::string key, const std::string& value) &&;
+  EventRecord&& with(std::string key, const char* value) &&;
+  EventRecord&& with(std::string key, double value) &&;
+  EventRecord&& with(std::string key, int value) &&;
+  EventRecord&& with(std::string key, long long value) &&;
+  EventRecord&& with(std::string key, std::size_t value) &&;
+  EventRecord&& with(std::string key, bool value) &&;
+
+  // One JSON object, no trailing newline:
+  //   {"seq": 7, "t_days": 1.5, "cat": "sim", "sev": "info",
+  //    "name": "sim.cut", "fields": {...}}
+  std::string to_jsonl() const;
+};
+
+EventRecord make_event(std::string category, Severity severity,
+                       std::string name, double time_days = kEventNoTime);
+
+// Unsynchronized per-task record buffer.  A parallel task (e.g. one sim
+// trial) collects its events here; the owner splices buffers back into the
+// global log in task-index order, which re-assigns dense sequence numbers.
+class EventBuffer {
+ public:
+  // Records emitted with no explicit time inherit the buffer's current
+  // time (the sim sets it once per timeline event).
+  void set_time_days(double t) { time_days_ = t; }
+  double time_days() const { return time_days_; }
+
+  void emit(EventRecord record);
+
+  const std::vector<EventRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+ private:
+  friend class EventLog;
+  std::vector<EventRecord> records_;
+  double time_days_ = kEventNoTime;
+};
+
+// The process-wide log.  Appends take a mutex (emission sites are serial
+// or buffered, so the lock is uncontended); min_severity is an atomic so
+// the filter check stays lock-free.
+class EventLog {
+ public:
+  static EventLog& instance();
+
+  // Records strictly below this severity are dropped at emit time (both
+  // direct and buffered emission).
+  void set_min_severity(Severity s) {
+    min_severity_.store(static_cast<int>(s), std::memory_order_relaxed);
+  }
+  Severity min_severity() const {
+    return static_cast<Severity>(
+        min_severity_.load(std::memory_order_relaxed));
+  }
+
+  // Assigns the next sequence number and appends.
+  void emit(EventRecord record);
+
+  // Appends every record of `buffer` (already severity-filtered at emit),
+  // assigning dense sequence numbers in buffer order.  Call once per
+  // parallel task, in task-index order.
+  void splice(EventBuffer&& buffer);
+
+  std::vector<EventRecord> records() const;
+  std::size_t size() const;
+
+  // Every record as one line, in sequence order, trailing newline included
+  // (empty string when no events were recorded).
+  std::string to_jsonl() const;
+
+  // Drops all records and restarts sequence numbers at 1; the severity
+  // filter resets to kInfo.  Tests and multi-phase tools use this.
+  void reset();
+
+ private:
+  EventLog() = default;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 1;
+  std::atomic<int> min_severity_{static_cast<int>(Severity::kInfo)};
+  std::vector<EventRecord> records_;
+};
+
+// Installs `buffer` as the calling thread's emission target for the scope
+// (previous target restored on destruction, so scopes nest).
+class ScopedEventBuffer {
+ public:
+  explicit ScopedEventBuffer(EventBuffer* buffer);
+  ~ScopedEventBuffer();
+
+  ScopedEventBuffer(const ScopedEventBuffer&) = delete;
+  ScopedEventBuffer& operator=(const ScopedEventBuffer&) = delete;
+
+ private:
+  EventBuffer* previous_ = nullptr;
+};
+
+// Emission entry point: no-op when events are disabled, severity-filtered,
+// routed to the thread's active buffer or the global log.  Call sites guard
+// with events_enabled() before building the record so a disabled run never
+// allocates payload strings.
+void emit_event(EventRecord record);
+
+}  // namespace flexwan::obs

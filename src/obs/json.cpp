@@ -255,4 +255,36 @@ std::string escape(const std::string& s) {
   return out;
 }
 
+std::string to_string(const Value& value) {
+  std::string out;
+  if (value.is_null()) {
+    out = "null";
+  } else if (value.is_bool()) {
+    out = value.as_bool() ? "true" : "false";
+  } else if (value.is_number()) {
+    out = number_to_string(value.as_number());
+  } else if (value.is_string()) {
+    out = '"' + escape(value.as_string()) + '"';
+  } else if (value.is_array()) {
+    out = "[";
+    bool first = true;
+    for (const Value& v : value.as_array()) {
+      if (!first) out += ", ";
+      out += to_string(v);
+      first = false;
+    }
+    out += "]";
+  } else {
+    out = "{";
+    bool first = true;
+    for (const auto& [key, v] : value.as_object()) {
+      if (!first) out += ", ";
+      out += '"' + escape(key) + "\": " + to_string(v);
+      first = false;
+    }
+    out += "}";
+  }
+  return out;
+}
+
 }  // namespace flexwan::obs::json

@@ -81,4 +81,10 @@ std::string number_to_string(double v);
 // backslashes, and control characters; everything else passes through).
 std::string escape(const std::string& s);
 
+// Compact single-line serialization of a Value tree: object keys in map
+// (sorted) order, numbers through number_to_string, strings escaped — so a
+// parse → to_string cycle is deterministic.  Used by the event log for
+// payload fields and by bundle_diff for diff.json.
+std::string to_string(const Value& value);
+
 }  // namespace flexwan::obs::json

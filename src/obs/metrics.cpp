@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 #include <sstream>
@@ -30,8 +31,17 @@ const auto& json_escape = json::escape;
 
 }  // namespace
 
-void set_metrics_enabled(bool on) { set_bit(kMetricsBit, on); }
+void set_metrics_enabled(bool on) {
+  set_bit(kMetricsBit, on);
+  // Asking for metrics historically implied latency histograms too; the
+  // deterministic counters-only mode is opted into by turning timing off
+  // *after* this call (obs::report_from_flags does this for --bundle).
+  if (on) set_bit(kTimingBit, true);
+  if (!on) set_bit(kTimingBit, false);
+}
 void set_trace_enabled(bool on) { set_bit(kTraceBit, on); }
+void set_events_enabled(bool on) { set_bit(kEventsBit, on); }
+void set_timing_enabled(bool on) { set_bit(kTimingBit, on); }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),
@@ -54,6 +64,38 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   out.reserve(buckets_.size());
   for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
   return out;
+}
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank-th smallest sample (1-based); q = 0 maps to the first.
+  const double rank = std::max(1.0, q * static_cast<double>(total));
+  double cumulative = 0.0;
+  std::size_t b = 0;
+  for (; b < counts.size(); ++b) {
+    cumulative += static_cast<double>(counts[b]);
+    if (cumulative >= rank) break;
+  }
+  if (b >= counts.size()) b = counts.size() - 1;
+  const double in_bucket = static_cast<double>(counts[b]);
+  const double before = cumulative - in_bucket;
+  const double lower = b == 0 ? 0.0 : bounds_[b - 1];
+  // The overflow bucket has no upper bound; the observed max caps it.
+  const double upper = b < bounds_.size() ? bounds_[b] : max();
+  double estimate = lower;
+  if (in_bucket > 0.0 && upper > lower) {
+    estimate = lower + (upper - lower) * ((rank - before) / in_bucket);
+  }
+  // Clamp to the observed range: interpolation can otherwise report values
+  // no sample reached (e.g. p99 above the true max in a sparse bucket).
+  estimate = std::max(estimate, min());
+  estimate = std::min(estimate, max());
+  return estimate;
 }
 
 void Histogram::reset() {
@@ -144,7 +186,7 @@ MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
   return delta;
 }
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(bool include_empty_histograms) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
@@ -167,11 +209,16 @@ std::string Registry::to_json() const {
     const auto counts = h->bucket_counts();
     const auto& bounds = h->upper_bounds();
     const bool empty = h->count() == 0;
+    if (empty && !include_empty_histograms) continue;
     out << (first ? "" : ",") << "\n    \"" << json_escape(name) << "\": {"
         << "\"count\": " << h->count() << ", \"sum\": "
         << json_num(empty ? 0.0 : h->sum()) << ", \"min\": "
         << json_num(empty ? 0.0 : h->min()) << ", \"max\": "
-        << json_num(empty ? 0.0 : h->max()) << ", \"buckets\": [";
+        << json_num(empty ? 0.0 : h->max())
+        << ", \"p50\": " << json_num(h->quantile(0.50))
+        << ", \"p90\": " << json_num(h->quantile(0.90))
+        << ", \"p99\": " << json_num(h->quantile(0.99))
+        << ", \"buckets\": [";
     for (std::size_t b = 0; b < counts.size(); ++b) {
       out << (b == 0 ? "" : ", ") << "{\"le\": "
           << (b < bounds.size() ? json_num(bounds[b])

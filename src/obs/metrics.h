@@ -30,8 +30,17 @@ namespace flexwan::obs {
 
 // Which subsystems are recording.  One atomic word so a disabled call site
 // is a single relaxed load + branch.
+//
+// kTimingBit gates every *wall-clock-derived* sample (span latency
+// histograms, engine busy/queue-wait time, per-vendor RPC latency) while
+// kMetricsBit gates deterministic work counts (tasks, pivots, KSP calls).
+// set_metrics_enabled(true) turns both on — the historical behavior — but
+// evidence bundles (bundle.h) record counters with timing off so that a
+// bundle's metrics.json is byte-identical at every --threads value.
 inline constexpr unsigned kMetricsBit = 1u;
 inline constexpr unsigned kTraceBit = 2u;
+inline constexpr unsigned kEventsBit = 4u;
+inline constexpr unsigned kTimingBit = 8u;
 
 namespace detail {
 extern std::atomic<unsigned> g_enabled;
@@ -65,9 +74,16 @@ inline unsigned enabled_bits() {
 }
 inline bool metrics_enabled() { return (enabled_bits() & kMetricsBit) != 0; }
 inline bool trace_enabled() { return (enabled_bits() & kTraceBit) != 0; }
+inline bool events_enabled() { return (enabled_bits() & kEventsBit) != 0; }
+inline bool timing_enabled() { return (enabled_bits() & kTimingBit) != 0; }
 
+// set_metrics_enabled(true) also turns timing on (callers that ask for
+// metrics expect latency histograms); set_timing_enabled(false) afterwards
+// restores the deterministic counters-only mode bundles use.
 void set_metrics_enabled(bool on);
 void set_trace_enabled(bool on);
+void set_events_enabled(bool on);
+void set_timing_enabled(bool on);
 
 // Monotonically increasing event count.
 class Counter {
@@ -110,6 +126,15 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   // bounds_.size() + 1 entries; the last is the overflow bucket.
   std::vector<std::uint64_t> bucket_counts() const;
+
+  // Deterministic quantile estimate (q in [0, 1]) computed purely from the
+  // bucket counts: find the bucket holding the ceil(q * count)-th sample
+  // and interpolate linearly inside it, clamped to the observed [min, max]
+  // (Prometheus histogram_quantile semantics).  0 for an empty histogram.
+  // Two histograms with equal bucket counts report equal quantiles, so the
+  // estimates are byte-stable across runs and thread counts.
+  double quantile(double q) const;
+
   void reset();
 
  private:
@@ -171,7 +196,13 @@ class Registry {
 
   // Deterministic (name-sorted) JSON snapshot:
   //   {"counters": {...}, "gauges": {...}, "histograms": {...}}
-  std::string to_json() const;
+  // Histogram entries carry count/sum/min/max, p50/p90/p99 quantile
+  // estimates (see Histogram::quantile), and the per-bucket counts.  With
+  // `include_empty_histograms` false, histograms that never observed a
+  // value are omitted — evidence bundles use this so a timing-off run's
+  // metrics.json does not depend on which latency histograms happened to
+  // get registered (a thread-count-dependent set).
+  std::string to_json(bool include_empty_histograms = true) const;
 
  private:
   Registry() = default;

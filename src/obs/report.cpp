@@ -44,6 +44,7 @@ RunReport::~RunReport() {
 RunReport::RunReport(RunReport&& other) noexcept
     : metrics_path_(std::move(other.metrics_path_)),
       trace_path_(std::move(other.trace_path_)),
+      bundle_dir_(std::move(other.bundle_dir_)),
       bench_options_(std::move(other.bench_options_)) {
   other.release();
 }
@@ -52,6 +53,7 @@ RunReport& RunReport::operator=(RunReport&& other) noexcept {
   if (this != &other) {
     metrics_path_ = std::move(other.metrics_path_);
     trace_path_ = std::move(other.trace_path_);
+    bundle_dir_ = std::move(other.bundle_dir_);
     bench_options_ = std::move(other.bench_options_);
     other.release();
   }
@@ -99,7 +101,7 @@ RunReport report_from_flags(int& argc, char** argv) {
   // Path flags vs validated-integer flags; both accept the "--flag value"
   // and "--flag=value" spellings.
   static constexpr const char* kPathFlags[] = {"--metrics", "--trace",
-                                               "--bench-json"};
+                                               "--bench-json", "--bundle"};
   static constexpr const char* kCountFlags[] = {"--warmup", "--reps"};
   int out = 1;
   for (int i = 1; i < argc; ++i) {
@@ -112,7 +114,8 @@ RunReport report_from_flags(int& argc, char** argv) {
     const char* flag = nullptr;
     const char* value = nullptr;
     for (const char* candidate : {kPathFlags[0], kPathFlags[1], kPathFlags[2],
-                                  kCountFlags[0], kCountFlags[1]}) {
+                                  kPathFlags[3], kCountFlags[0],
+                                  kCountFlags[1]}) {
       const std::size_t len = std::strlen(candidate);
       if (std::strncmp(arg, candidate, len) != 0) continue;
       if (arg[len] == '\0') {
@@ -151,17 +154,28 @@ RunReport report_from_flags(int& argc, char** argv) {
     }
     if (std::strcmp(flag, "--metrics") == 0) {
       report.set_metrics_path(value);
-      set_metrics_enabled(true);
     } else if (std::strcmp(flag, "--trace") == 0) {
       report.set_trace_path(value);
-      set_trace_enabled(true);
+    } else if (std::strcmp(flag, "--bundle") == 0) {
+      report.set_bundle_dir(value);
+      bench.bundle_dir = value;
     } else {
       bench.json_path = value;
-      // Per-case metrics deltas need the registry recording.
-      set_metrics_enabled(true);
     }
   }
   argc = out;
+  // Enable states are order-independent: decided once the full flag set is
+  // known (see report.h).  --metrics/--bench-json want wall-derived samples;
+  // --bundle wants deterministic counters + events only.
+  const bool want_timing =
+      !report.metrics_path().empty() || !bench.json_path.empty();
+  const bool want_metrics = want_timing || !report.bundle_dir().empty();
+  if (want_metrics) {
+    set_metrics_enabled(true);  // also turns timing on...
+    if (!want_timing) set_timing_enabled(false);  // ...bundle-only turns it off
+  }
+  if (!report.trace_path().empty()) set_trace_enabled(true);
+  if (!report.bundle_dir().empty()) set_events_enabled(true);
   report.set_bench_options(std::move(bench));
   return report;
 }

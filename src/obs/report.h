@@ -23,7 +23,11 @@ Expected<bool> write_trace_file(const std::string& path);
 // --warmup/--reps are validated regardless but take effect only then
 // (a disabled harness runs every case body exactly once).
 struct BenchOptions {
-  std::string json_path;  // empty = harness disabled
+  std::string json_path;  // empty = no BENCH json
+  // --bundle: evidence-bundle output directory (bundle.h).  A harness with
+  // only bundle_dir set still measures cases; it writes a bundle instead of
+  // (or in addition to) the BENCH json.
+  std::string bundle_dir;
   int warmup = 1;         // discarded repetitions per case
   int reps = 3;           // measured repetitions per case (>= 1)
   // --list: print each registered case name to stdout (one per line, in
@@ -31,7 +35,7 @@ struct BenchOptions {
   // harness goes out of scope.  Takes precedence over --bench-json.
   bool list = false;
 
-  bool enabled() const { return !json_path.empty(); }
+  bool enabled() const { return !json_path.empty() || !bundle_dir.empty(); }
 };
 
 // Upper bound for --warmup/--reps, mirroring engine::kMaxThreadsFlag's
@@ -67,6 +71,12 @@ class RunReport {
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
 
+  // --bundle output directory.  RunReport only carries it — the tool that
+  // owns the run assembles and writes the obs::Bundle (it alone knows the
+  // resolved config and headline results).
+  void set_bundle_dir(std::string dir) { bundle_dir_ = std::move(dir); }
+  const std::string& bundle_dir() const { return bundle_dir_; }
+
   // Bench-harness flags ride along in the same parse (report_from_flags);
   // RunReport only carries them — benchlib::Harness owns writing the
   // BENCH json.
@@ -89,18 +99,25 @@ class RunReport {
  private:
   std::string metrics_path_;
   std::string trace_path_;
+  std::string bundle_dir_;
   BenchOptions bench_options_;
 };
 
 // Extracts "--metrics <file>" / "--metrics=<file>", "--trace <file>" /
-// "--trace=<file>", and the bench-harness flags "--bench-json <file>",
-// "--warmup N", "--reps N" (each also in "=value" form), and the boolean
-// "--list" from argv
+// "--trace=<file>", "--bundle <dir>" / "--bundle=<dir>", and the
+// bench-harness flags "--bench-json <file>", "--warmup N", "--reps N"
+// (each also in "=value" form), and the boolean "--list" from argv
 // (compacting the remaining arguments and decrementing argc, exactly like
-// engine::threads_flag), enables the corresponding obs subsystems
-// (--bench-json turns metrics recording on so per-case deltas are real),
-// and returns a RunReport that writes the metrics/trace files at scope
-// exit.  Exits with an error message on a missing or malformed value.
+// engine::threads_flag), enables the corresponding obs subsystems, and
+// returns a RunReport that writes the metrics/trace files at scope exit.
+// Exits with an error message on a missing or malformed value.
+//
+// Enable states are computed after the parse so flag order is irrelevant:
+// metrics recording turns on for --metrics, --bench-json, or --bundle;
+// wall-clock timing samples (timing_enabled, metrics.h) only for --metrics
+// or --bench-json; event emission only for --bundle.  A bundle-only run is
+// therefore counters + events with no wall-derived registry content — the
+// deterministic mode whose artifacts byte-compare across thread counts.
 RunReport report_from_flags(int& argc, char** argv);
 
 // The canonical "engine: N thread(s)" stderr line shared by every parallel

@@ -123,7 +123,9 @@ void Span::finish() {
   if (trace_enabled()) {
     record_trace_event(name_, start_us_, end_us - start_us_);
   }
-  if (metrics_enabled() && hist_ != nullptr) {
+  // Timing, not metrics: latency samples are wall-derived, so they stay out
+  // of the registry in the deterministic bundle-only mode (metrics.h).
+  if (timing_enabled() && hist_ != nullptr) {
     hist_->observe(end_us - start_us_);
   }
 }

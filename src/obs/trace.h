@@ -2,13 +2,17 @@
 //
 // OBS_SPAN("planner.stage1.link_dp") opens an RAII span: when tracing is on
 // it records a complete ("ph":"X") event — name, per-thread track, start,
-// duration in microseconds — into a thread-local buffer; when metrics are
-// on it additionally feeds a latency histogram named "<span>.us" in the
-// metrics registry.  trace_json() renders every buffered event as a Chrome
-// trace (chrome://tracing / https://ui.perfetto.dev both load it).
+// duration in microseconds — into a thread-local buffer; when timing is on
+// (metrics.h kTimingBit) it additionally feeds a latency histogram named
+// "<span>.us" in the metrics registry.  trace_json() renders every buffered
+// event as a Chrome trace (chrome://tracing / https://ui.perfetto.dev both
+// load it).
 //
-// When both subsystems are off a span costs one relaxed load + branch at
-// open and a dead branch at close — no clock reads, locks, or allocation.
+// When neither tracing nor timing is on a span costs one relaxed load +
+// branch at open and a dead branch at close — no clock reads, locks, or
+// allocation.  In particular a bundle-only run (--bundle: metrics + events
+// on, timing off) keeps every span inactive, so no wall-clock value can
+// leak into the deterministic bundle artifacts.
 // Span *end* order across threads is the buffer order; viewers sort by
 // timestamp, so no global ordering is maintained here.
 #pragma once
@@ -40,7 +44,7 @@ std::string trace_json();
 // Drops every buffered event (thread tracks keep their ids).
 void reset_trace();
 
-// RAII span.  Construct inactive, then begin() when any obs subsystem is
+// RAII span.  Construct inactive, then begin() when tracing or timing is
 // on — the OBS_SPAN macro wraps that dance and caches the histogram
 // lookup per call site.  `name` must outlive the span (string literals).
 class Span {
@@ -78,7 +82,8 @@ Histogram* span_histogram(const char* name);
 // histogram).
 #define OBS_SPAN(name)                                                     \
   ::flexwan::obs::Span OBS_DETAIL_CONCAT(obs_span_, __LINE__);             \
-  if (::flexwan::obs::enabled_bits() != 0u) {                              \
+  if ((::flexwan::obs::enabled_bits() &                                    \
+       (::flexwan::obs::kTraceBit | ::flexwan::obs::kTimingBit)) != 0u) {  \
     static ::flexwan::obs::Histogram* const OBS_DETAIL_CONCAT(             \
         obs_span_hist_, __LINE__) = ::flexwan::obs::span_histogram(name);  \
     OBS_DETAIL_CONCAT(obs_span_, __LINE__)                                 \

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/eventlog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -221,6 +222,13 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
     if (!b) return b.error();
     work.push_back(std::move(b.value()));
   }
+  // Stage events are emitted here and below — at the serial join points,
+  // never inside the parallel stage-1 bodies — so the event order is fixed.
+  if (obs::events_enabled()) {
+    obs::emit_event(obs::make_event("planner", obs::Severity::kInfo,
+                                    "planner.stage1.done")
+                        .with("links", work.size()));
+  }
 
   // Stage 2: spectrum assignment in configured difficulty order.
   OBS_SPAN("planner.stage2.spectrum");
@@ -281,6 +289,14 @@ Expected<Plan> HeuristicPlanner::plan(const topology::Network& net,
                          "link " + net.ip.link(lw.link).name + " short " +
                              std::to_string(remaining) + " Gbps of spectrum");
     }
+  }
+  if (obs::events_enabled()) {
+    std::size_t wavelengths = 0;
+    for (const auto& lp : result.links()) wavelengths += lp.wavelengths.size();
+    obs::emit_event(obs::make_event("planner", obs::Severity::kInfo,
+                                    "planner.stage2.done")
+                        .with("links", work.size())
+                        .with("wavelengths", wavelengths));
   }
   return result;
 }

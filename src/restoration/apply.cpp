@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/eventlog.h"
+
 namespace flexwan::restoration {
 
 Expected<AppliedOutcome> apply_outcome(planning::Plan& plan,
@@ -72,6 +74,14 @@ Expected<AppliedOutcome> apply_outcome(planning::Plan& plan,
     if (!placed) return placed.error();  // restorer verified the fit
     applied.restored.push_back(wl);
   }
+  if (obs::events_enabled()) {
+    obs::emit_event(
+        obs::make_event("restoration", obs::Severity::kInfo,
+                        "restoration.apply")
+            .with("removed_wavelengths", applied.removed.size())
+            .with("restored_wavelengths", applied.restored.size())
+            .with("affected_gbps", affected_gbps));
+  }
   return applied;
 }
 
@@ -110,6 +120,13 @@ Expected<bool> revert_outcome(planning::Plan& plan,
   for (const auto& rem : applied.removed) {
     auto placed = plan.insert_wavelength(rem.path, rem.wl, rem.index);
     if (!placed) return placed;
+  }
+  if (obs::events_enabled()) {
+    obs::emit_event(
+        obs::make_event("restoration", obs::Severity::kInfo,
+                        "restoration.revert")
+            .with("reinstated_wavelengths", applied.removed.size())
+            .with("dropped_wavelengths", applied.restored.size()));
   }
   return true;
 }

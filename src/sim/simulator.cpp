@@ -32,9 +32,20 @@ Expected<TrialResult> run_trial(const topology::Network& net,
   OBS_SPAN("sim.trial");
   TrialResult result;
   result.trial = trial;
+  // Trials may run concurrently: events collect in the trial's own buffer
+  // (run_lifecycle splices them into the global log in trial order), so the
+  // event stream never depends on the parallel schedule.
+  const obs::ScopedEventBuffer event_scope(&result.events);
   const auto timeline =
       build_timeline(net.optical, config.timeline,
                      mix_seed(config.seed, static_cast<std::uint64_t>(trial)));
+  if (obs::events_enabled()) {
+    result.events.set_time_days(0.0);
+    obs::emit_event(
+        obs::make_event("sim", obs::Severity::kInfo, "sim.trial.begin")
+            .with("trial", trial)
+            .with("timeline_events", timeline.size()));
+  }
 
   planning::Plan plan = baseline;  // the live (deployed) plan of this trial
   restoration::IncrementalRestorer restorer(catalog, config.restorer);
@@ -130,11 +141,26 @@ Expected<TrialResult> run_trial(const topology::Network& net,
     }
     result.capability_trajectory.push_back(
         CapabilitySample{now, outcome->capability()});
+    if (obs::events_enabled()) {
+      // Partial restoration is the signal the availability study exists to
+      // surface — promote it to warn.
+      obs::emit_event(
+          obs::make_event("sim",
+                          outcome->capability() < 1.0 ? obs::Severity::kWarn
+                                                      : obs::Severity::kInfo,
+                          "sim.restore")
+              .with("active_cuts", active.size())
+              .with("affected_gbps", outcome->affected_gbps)
+              .with("restored_gbps", outcome->restored_gbps)
+              .with("capability", outcome->capability()));
+    }
     return true;
   };
 
   for (const Event& ev : timeline) {
     integrate_to(ev.time_days);
+    // Events emitted from here on carry the timeline event's sim time.
+    result.events.set_time_days(ev.time_days);
     switch (ev.type) {
       case EventType::kCut: {
         OBS_SPAN("sim.event.cut");
@@ -142,6 +168,12 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         ++result.cuts;
         active.insert(std::lower_bound(active.begin(), active.end(), ev.fiber),
                       ev.fiber);
+        if (obs::events_enabled()) {
+          obs::emit_event(
+              obs::make_event("sim", obs::Severity::kInfo, "sim.cut")
+                  .with("fiber", static_cast<int>(ev.fiber))
+                  .with("active_cuts", active.size()));
+        }
         auto stepped = apply_active(ev.time_days);
         if (!stepped) return stepped.error();
         break;
@@ -152,6 +184,12 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         ++result.repairs;
         active.erase(std::remove(active.begin(), active.end(), ev.fiber),
                      active.end());
+        if (obs::events_enabled()) {
+          obs::emit_event(
+              obs::make_event("sim", obs::Severity::kInfo, "sim.repair")
+                  .with("fiber", static_cast<int>(ev.fiber))
+                  .with("active_cuts", active.size()));
+        }
         auto stepped = apply_active(ev.time_days);
         if (!stepped) return stepped.error();
         break;
@@ -160,6 +198,7 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         OBS_SPAN("sim.event.growth");
         OBS_COUNTER_ADD("sim.growth.events", 1);
         ++result.growth_events;
+        const int blocked_before = result.growth_blocked;
         auto down = tear_down();
         if (!down) return down.error();
         // Linear growth: every link gains the same fraction of its original
@@ -186,6 +225,17 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         // survive — they depend only on the topology).
         restorer.notify_plan_changed();
         offered = provisioned_gbps(plan);
+        if (obs::events_enabled()) {
+          const int blocked = result.growth_blocked - blocked_before;
+          obs::emit_event(
+              obs::make_event("sim",
+                              blocked > 0 ? obs::Severity::kWarn
+                                          : obs::Severity::kInfo,
+                              "sim.growth")
+                  .with("fraction", config.growth_fraction)
+                  .with("blocked_links", blocked)
+                  .with("offered_gbps", offered));
+        }
         auto stepped = apply_active(ev.time_days);
         if (!stepped) return stepped.error();
         break;
@@ -213,6 +263,15 @@ Expected<TrialResult> run_trial(const topology::Network& net,
     result.min_capability = min_cap;
   }
   result.final_provisioned_gbps = offered;
+  if (obs::events_enabled()) {
+    result.events.set_time_days(config.timeline.horizon_days);
+    obs::emit_event(
+        obs::make_event("sim", obs::Severity::kInfo, "sim.trial.end")
+            .with("trial", trial)
+            .with("availability", result.availability)
+            .with("lost_gbps_minutes", result.lost_gbps_minutes)
+            .with("restorations", result.restorations));
+  }
   return result;
 }
 
@@ -236,6 +295,14 @@ Expected<LifecycleReport> run_lifecycle(const topology::Network& net,
   for (auto& outcome : outcomes) {
     if (!outcome) return outcome.error();
     report.trials.push_back(std::move(outcome.value()));
+  }
+  // Splice per-trial event buffers into the global log in trial-index
+  // order: sequence numbers are assigned here, serially, so events.jsonl
+  // does not depend on which thread ran which trial.
+  if (obs::events_enabled()) {
+    for (auto& t : report.trials) {
+      obs::EventLog::instance().splice(std::move(t.events));
+    }
   }
   if (report.trials.empty()) return report;
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/eventlog.h"
 #include "planning/plan.h"
 #include "restoration/restorer.h"
 #include "sim/events.h"
@@ -93,6 +94,11 @@ struct TrialResult {
   // Minutes each IP link spent with unrestored capacity.
   std::map<topology::LinkId, double> link_downtime_minutes;
   double final_provisioned_gbps = 0.0;  // deployed capacity at the horizon
+  // Structured events the trial emitted (empty unless events_enabled).
+  // run_lifecycle splices trial buffers into the global obs::EventLog in
+  // trial-index order, so events.jsonl is byte-identical at every thread
+  // count.
+  obs::EventBuffer events;
 };
 
 // Monte Carlo aggregate over trials (index order, deterministic).

@@ -295,9 +295,24 @@ TEST(BenchCompare, ImprovementAndNewCaseAreNotFailures) {
   ASSERT_TRUE(cmp);
   EXPECT_EQ(cmp->failures(), 0);
   EXPECT_EQ(cmp->improvements, 1);
+  EXPECT_EQ(cmp->new_cases, 1);
   ASSERT_EQ(cmp->cases.size(), 2u);
   EXPECT_EQ(cmp->cases[0].status, CaseStatus::kImprovement);
   EXPECT_EQ(cmp->cases[1].status, CaseStatus::kOnlyCandidate);
+  // The verdict line explicitly calls out the ungated new coverage.
+  EXPECT_NE(cmp->render().find("new case(s) not gated"), std::string::npos);
+}
+
+TEST(BenchCompare, NewCasesAloneNeverFailTheGate) {
+  const auto baseline = make_report({{"a", 3, 100.0, 100.0}});
+  const auto candidate = make_report(
+      {{"a", 3, 100.0, 100.0}, {"b", 3, 10.0, 10.0}, {"c", 3, 20.0, 20.0}});
+  const auto cmp = compare_reports(baseline, candidate);
+  ASSERT_TRUE(cmp) << cmp.error().message;
+  EXPECT_EQ(cmp->failures(), 0);
+  EXPECT_EQ(cmp->new_cases, 2);
+  EXPECT_NE(cmp->render().find("OK"), std::string::npos);
+  EXPECT_NE(cmp->render().find("2 new case(s) not gated"), std::string::npos);
 }
 
 TEST(BenchCompare, VanishedBaselineCaseIsAGateFailure) {

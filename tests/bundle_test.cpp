@@ -1,0 +1,314 @@
+// Tests for evidence bundles (src/obs/bundle.h): artifact writing and
+// round-tripping through the obs JSON parser, run.json normalization, the
+// thread-count determinism contract end to end through the sim, threshold
+// parsing, and the compare policy (violation / vanished / new).
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "obs/bundle.h"
+#include "obs/eventlog.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "planning/heuristic.h"
+#include "sim/simulator.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::obs {
+namespace {
+
+// Enables the bundle-mode observability state (metrics + events on, timing
+// off — exactly what report_from_flags does for --bundle) and restores the
+// pristine disabled state on the way out.
+class BundleGuard {
+ public:
+  BundleGuard() {
+    Registry::instance().reset();
+    EventLog::instance().reset();
+    set_metrics_enabled(true);
+    set_timing_enabled(false);
+    set_events_enabled(true);
+  }
+  ~BundleGuard() {
+    set_metrics_enabled(false);
+    set_events_enabled(false);
+    EventLog::instance().reset();
+    Registry::instance().reset();
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// A fresh temp directory per test so bundles never collide.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "bundle_test_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Bundle make_test_bundle(const std::string& dir) {
+  Bundle bundle;
+  bundle.dir = dir;
+  bundle.tool = "bundle_test";
+  bundle.provenance = make_bundle_provenance(4);
+  bundle.config.emplace_back("network", json::Value(std::string("tbackbone")));
+  bundle.config.emplace_back("trials", json::Value(2.0));
+  bundle.results.emplace_back("availability.mean", 0.999875);
+  bundle.results.emplace_back("cuts.total", 14.0);
+  bundle.summary_body_md = "extra body\n";
+  return bundle;
+}
+
+TEST(Bundle, WriteProducesFourParsableArtifacts) {
+  const BundleGuard guard;
+  emit_event(make_event("sim", Severity::kInfo, "sim.cut", 2.0)
+                 .with("fiber", 3));
+  OBS_COUNTER_ADD("bundle.test.counter", 5);
+
+  const std::string dir = fresh_dir("write");
+  const Bundle bundle = make_test_bundle(dir);
+  const auto written = bundle.write();
+  ASSERT_TRUE(written) << written.error().message;
+
+  const auto run = json::parse(read_file(dir + "/run.json"));
+  ASSERT_TRUE(run) << run.error().message;
+  EXPECT_EQ(run->find("schema_version")->as_number(), kBundleSchemaVersion);
+  EXPECT_EQ(run->find("tool")->as_string(), "bundle_test");
+  EXPECT_EQ(run->find("config")->find("network")->as_string(), "tbackbone");
+  EXPECT_EQ(run->find("results")->find("availability.mean")->as_number(),
+            0.999875);
+  const json::Value* prov = run->find("provenance");
+  ASSERT_NE(prov, nullptr);
+  EXPECT_EQ(prov->find("threads")->as_number(), 4.0);
+  EXPECT_TRUE(prov->find("git_describe")->is_string());
+  EXPECT_TRUE(prov->find("build_type")->is_string());
+
+  const auto metrics = json::parse(read_file(dir + "/metrics.json"));
+  ASSERT_TRUE(metrics) << metrics.error().message;
+  EXPECT_EQ(
+      metrics->find("counters")->find("bundle.test.counter")->as_number(),
+      5.0);
+
+  const std::string events = read_file(dir + "/events.jsonl");
+  const auto event = json::parse(events.substr(0, events.find('\n')));
+  ASSERT_TRUE(event) << event.error().message;
+  EXPECT_EQ(event->find("name")->as_string(), "sim.cut");
+
+  const std::string summary = read_file(dir + "/summary.md");
+  EXPECT_NE(summary.find("bundle_test"), std::string::npos);
+  EXPECT_NE(summary.find("availability.mean"), std::string::npos);
+  EXPECT_NE(summary.find("extra body"), std::string::npos);
+}
+
+TEST(Bundle, NormalizeRunJsonStripsOnlyTheThreadsLine) {
+  Bundle a = make_test_bundle("");
+  Bundle b = make_test_bundle("");
+  a.provenance.threads = 1;
+  b.provenance.threads = 8;
+  EXPECT_NE(a.run_json(), b.run_json());
+  EXPECT_EQ(normalize_run_json(a.run_json()), normalize_run_json(b.run_json()));
+  // Everything except the threads line survives normalization.
+  const std::string normalized = normalize_run_json(a.run_json());
+  EXPECT_EQ(normalized.find("\"threads\""), std::string::npos);
+  EXPECT_NE(normalized.find("\"git_describe\""), std::string::npos);
+  EXPECT_NE(normalized.find("\"availability.mean\""), std::string::npos);
+}
+
+TEST(Bundle, LoadBundleRoundTripsAndSelfCompareIsClean) {
+  const BundleGuard guard;
+  emit_event(make_event("sim", Severity::kInfo, "sim.cut", 1.0));
+  emit_event(make_event("planner", Severity::kInfo, "planner.stage1.done"));
+  OBS_COUNTER_ADD("bundle.roundtrip.counter", 3);
+
+  const std::string dir = fresh_dir("roundtrip");
+  const auto written = make_test_bundle(dir).write();
+  ASSERT_TRUE(written) << written.error().message;
+
+  const auto data = load_bundle(dir);
+  ASSERT_TRUE(data) << data.error().message;
+  EXPECT_EQ(data->events.size(), 2u);
+  EXPECT_EQ(data->run.find("tool")->as_string(), "bundle_test");
+
+  const auto comparison = compare_bundles(*data, *data, BundleThresholds{});
+  ASSERT_TRUE(comparison) << comparison.error().message;
+  EXPECT_EQ(comparison->violations, 0);
+  EXPECT_FALSE(comparison->fields.empty());
+  // The flattened field set covers all four sources.
+  std::vector<std::string> names;
+  for (const auto& f : comparison->fields) names.push_back(f.field);
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "results.availability.mean"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "metrics.counters.bundle.roundtrip.counter"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "events.total"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "events.sim"), names.end());
+
+  // diff.json is itself valid obs JSON.
+  const auto diff = json::parse(comparison->to_diff_json());
+  ASSERT_TRUE(diff) << diff.error().message;
+  EXPECT_EQ(diff->find("violations")->as_number(), 0.0);
+}
+
+TEST(Bundle, LoadBundleRejectsMissingAndMalformed) {
+  EXPECT_FALSE(load_bundle(testing::TempDir() + "bundle_test_nonexistent"));
+
+  // Wrong schema version is refused even when everything parses.
+  const BundleGuard guard;
+  const std::string dir = fresh_dir("schema");
+  ASSERT_TRUE(make_test_bundle(dir).write());
+  std::string run = read_file(dir + "/run.json");
+  const std::string from = "\"schema_version\": 1";
+  run.replace(run.find(from), from.size(), "\"schema_version\": 999");
+  std::ofstream(dir + "/run.json", std::ios::trunc) << run;
+  const auto data = load_bundle(dir);
+  ASSERT_FALSE(data);
+  EXPECT_NE(data.error().message.find("schema_version"), std::string::npos);
+}
+
+TEST(Bundle, CompareFlagsViolationsVanishedAndNewFields) {
+  const BundleGuard guard;
+  const std::string base_dir = fresh_dir("cmp_base");
+  const std::string cand_dir = fresh_dir("cmp_cand");
+
+  Bundle base = make_test_bundle(base_dir);
+  base.results.emplace_back("only.in.baseline", 1.0);
+  ASSERT_TRUE(base.write());
+
+  Bundle cand = make_test_bundle(cand_dir);
+  cand.results[0].second = 0.90;  // availability.mean: -9.99% change
+  cand.results.emplace_back("only.in.candidate", 2.0);
+  ASSERT_TRUE(cand.write());
+
+  const auto baseline = load_bundle(base_dir);
+  const auto candidate = load_bundle(cand_dir);
+  ASSERT_TRUE(baseline);
+  ASSERT_TRUE(candidate);
+
+  // Default 10% tolerance: the -9.99% drift passes, but the vanished field
+  // still fails the gate and the new field is informational.
+  BundleThresholds loose;
+  const auto relaxed = compare_bundles(*baseline, *candidate, loose);
+  ASSERT_TRUE(relaxed);
+  EXPECT_EQ(relaxed->violations, 1);  // only.in.baseline vanished
+  for (const auto& f : relaxed->fields) {
+    if (f.field == "results.only.in.baseline") {
+      EXPECT_EQ(f.status, FieldStatus::kOnlyBaseline);
+    } else if (f.field == "results.only.in.candidate") {
+      EXPECT_EQ(f.status, FieldStatus::kOnlyCandidate);
+    } else if (f.field == "results.availability.mean") {
+      EXPECT_EQ(f.status, FieldStatus::kOk);
+      EXPECT_NEAR(f.rel_change, 0.0999, 1e-3);
+    }
+  }
+
+  // A per-field tightening turns the same drift into a violation.
+  BundleThresholds tight;
+  tight.per_field["results.availability.mean"] = 0.01;
+  const auto strict = compare_bundles(*baseline, *candidate, tight);
+  ASSERT_TRUE(strict);
+  EXPECT_EQ(strict->violations, 2);
+  EXPECT_NE(strict->to_diff_md().find("**FAIL**"), std::string::npos);
+}
+
+TEST(Bundle, ThresholdParsingAcceptsValidRejectsJunk) {
+  const auto parsed = load_thresholds(
+      R"({"default": 0.05, "fields": {"results.cuts.total": 0.0}})");
+  ASSERT_TRUE(parsed) << parsed.error().message;
+  EXPECT_DOUBLE_EQ(parsed->default_tolerance, 0.05);
+  EXPECT_DOUBLE_EQ(parsed->tolerance_for("results.cuts.total"), 0.0);
+  EXPECT_DOUBLE_EQ(parsed->tolerance_for("anything.else"), 0.05);
+
+  EXPECT_FALSE(load_thresholds("not json"));
+  EXPECT_FALSE(load_thresholds(R"({"default": -0.1})"));
+  EXPECT_FALSE(load_thresholds(R"({"defautl": 0.1})"));  // unknown key
+  EXPECT_FALSE(load_thresholds(R"({"fields": {"x": "tight"}})"));
+  EXPECT_FALSE(load_thresholds_file("/nonexistent/thresholds.json"));
+}
+
+// The acceptance-test contract end to end: the same sim at 1 and 8 threads
+// produces byte-identical events.jsonl and metrics.json.
+TEST(Bundle, SimLifecycleBundleArtifactsAreThreadCountInvariant) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+
+  sim::LifecycleConfig config;
+  config.trials = 6;
+  config.timeline.horizon_days = 120.0;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+  config.timeline.growth_interval_days = 45.0;
+
+  const auto capture = [&](int threads) {
+    // Tools construct the engine before report_from_flags enables obs, so
+    // the thread-count gauge never lands in a bundle; mirror that order.
+    const engine::Engine engine(threads);
+    const BundleGuard guard;
+    const auto report = sim::run_lifecycle(
+        net, *plan, transponder::svt_flexwan(), config, engine);
+    EXPECT_TRUE(report) << (report ? "" : report.error().message);
+    return std::make_pair(EventLog::instance().to_jsonl(),
+                          Registry::instance().to_json(false));
+  };
+
+  const auto serial = capture(1);
+  const auto threaded = capture(8);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_EQ(serial.first, threaded.first) << "events.jsonl differs";
+  EXPECT_EQ(serial.second, threaded.second) << "metrics.json differs";
+
+  // Sanity: the sim actually emitted the lifecycle narrative, in dense
+  // sequence order, and every line parses.
+  std::size_t seq = 0;
+  std::istringstream lines(serial.first);
+  std::string line;
+  bool saw_cut = false;
+  bool saw_trial_end = false;
+  while (std::getline(lines, line)) {
+    const auto doc = json::parse(line);
+    ASSERT_TRUE(doc) << doc.error().message << " in: " << line;
+    EXPECT_EQ(doc->find("seq")->as_number(), static_cast<double>(++seq));
+    const std::string& name = doc->find("name")->as_string();
+    if (name == "sim.cut") saw_cut = true;
+    if (name == "sim.trial.end") saw_trial_end = true;
+  }
+  EXPECT_GT(seq, 0u);
+  EXPECT_TRUE(saw_cut);
+  EXPECT_TRUE(saw_trial_end);
+}
+
+// Bundle-only mode must not register wall-clock latency histograms: that is
+// what keeps metrics.json deterministic (and what OBS_SPAN's timing gate
+// exists for).
+TEST(Bundle, TimingGateKeepsWallClockOutOfBundleMetrics) {
+  const BundleGuard guard;
+  const engine::Engine engine(4);
+  const auto result = engine.parallel_map(
+      8, [](std::size_t i) { return static_cast<int>(i) * 2; });
+  EXPECT_EQ(result.size(), 8u);
+  const std::string metrics = Registry::instance().to_json(false);
+  EXPECT_EQ(metrics.find("engine.worker.busy_us"), std::string::npos);
+  EXPECT_EQ(metrics.find("engine.job.queue_wait.us"), std::string::npos);
+  // Deterministic work accounting still lands.
+  EXPECT_NE(metrics.find("engine.tasks_executed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexwan::obs

@@ -1,0 +1,260 @@
+// Tests for the structured event log (src/obs/eventlog.h): dense sequence
+// numbers, severity filtering at emit time, payload escaping that
+// round-trips through the obs JSON parser, buffer splicing, thread-local
+// routing, and byte-identical output under parallel emission.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "obs/eventlog.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace flexwan::obs {
+namespace {
+
+// Enables event emission for one test and restores the pristine disabled
+// state (empty log, seq restarting at 1, kInfo filter) on the way out.
+class EventGuard {
+ public:
+  EventGuard() {
+    EventLog::instance().reset();
+    set_events_enabled(true);
+  }
+  ~EventGuard() {
+    set_events_enabled(false);
+    EventLog::instance().reset();
+  }
+};
+
+// Parses one events.jsonl line; fails the test on parse errors.
+json::Value parse_line(const std::string& line) {
+  auto parsed = json::parse(line);
+  EXPECT_TRUE(parsed.has_value())
+      << (parsed ? "" : parsed.error().message) << " in: " << line;
+  return parsed ? std::move(parsed.value()) : json::Value();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    lines.push_back(text.substr(start, nl - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  return lines;
+}
+
+TEST(EventLog, SequenceNumbersAreDenseFromOne) {
+  const EventGuard guard;
+  emit_event(make_event("sim", Severity::kInfo, "sim.cut", 1.5));
+  emit_event(make_event("sim", Severity::kInfo, "sim.repair", 2.5));
+  emit_event(make_event("planner", Severity::kInfo, "planner.stage1.done"));
+
+  const auto records = EventLog::instance().records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_EQ(records[2].seq, 3u);
+  EXPECT_EQ(records[0].name, "sim.cut");
+  EXPECT_EQ(records[2].name, "planner.stage1.done");
+
+  // reset() restarts the numbering, so a second run is indistinguishable
+  // from a first.
+  EventLog::instance().reset();
+  emit_event(make_event("sim", Severity::kInfo, "sim.cut"));
+  ASSERT_EQ(EventLog::instance().size(), 1u);
+  EXPECT_EQ(EventLog::instance().records()[0].seq, 1u);
+}
+
+TEST(EventLog, DisabledEmissionIsANoOp) {
+  EventLog::instance().reset();
+  set_events_enabled(false);
+  emit_event(make_event("sim", Severity::kError, "sim.cut"));
+  EXPECT_EQ(EventLog::instance().size(), 0u);
+  EXPECT_EQ(EventLog::instance().to_jsonl(), "");
+}
+
+TEST(EventLog, SeverityFilterDropsAtEmitTime) {
+  const EventGuard guard;
+  EventLog::instance().set_min_severity(Severity::kWarn);
+  emit_event(make_event("sim", Severity::kInfo, "sim.cut"));
+  emit_event(make_event("sim", Severity::kWarn, "sim.growth"));
+  emit_event(make_event("controller", Severity::kError,
+                        "controller.deploy.exhausted"));
+
+  const auto records = EventLog::instance().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].name, "sim.growth");
+  EXPECT_EQ(records[1].name, "controller.deploy.exhausted");
+  // Dropped records never consume sequence numbers: the kept ones stay
+  // dense.
+  EXPECT_EQ(records[0].seq, 1u);
+  EXPECT_EQ(records[1].seq, 2u);
+
+  // The filter also applies to buffered emission.
+  EventBuffer buffer;
+  {
+    const ScopedEventBuffer scope(&buffer);
+    emit_event(make_event("sim", Severity::kInfo, "sim.repair"));
+    emit_event(make_event("sim", Severity::kWarn, "sim.growth"));
+  }
+  EXPECT_EQ(buffer.size(), 1u);
+
+  // reset() restores the kInfo default.
+  EventLog::instance().reset();
+  EXPECT_EQ(EventLog::instance().min_severity(), Severity::kInfo);
+}
+
+TEST(EventLog, JsonlRecordsParseBackWithEscapedPayloads) {
+  const EventGuard guard;
+  const std::string nasty = "quote \" backslash \\ newline \n tab \t end";
+  emit_event(make_event("controller", Severity::kWarn,
+                        "controller.deploy.failover", 3.25)
+                 .with("vendor", nasty)
+                 .with("replica", 2)
+                 .with("rpcs", std::size_t{17})
+                 .with("fraction", 0.125)
+                 .with("degraded", true));
+
+  const auto lines = split_lines(EventLog::instance().to_jsonl());
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = parse_line(lines[0]);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("seq")->as_number(), 1.0);
+  EXPECT_EQ(doc.find("t_days")->as_number(), 3.25);
+  EXPECT_EQ(doc.find("cat")->as_string(), "controller");
+  EXPECT_EQ(doc.find("sev")->as_string(), "warn");
+  EXPECT_EQ(doc.find("name")->as_string(), "controller.deploy.failover");
+  const json::Value* fields = doc.find("fields");
+  ASSERT_NE(fields, nullptr);
+  ASSERT_TRUE(fields->is_object());
+  // The whole point of escaping: the parsed string equals the original.
+  EXPECT_EQ(fields->find("vendor")->as_string(), nasty);
+  EXPECT_EQ(fields->find("replica")->as_number(), 2.0);
+  EXPECT_EQ(fields->find("rpcs")->as_number(), 17.0);
+  EXPECT_EQ(fields->find("fraction")->as_number(), 0.125);
+  EXPECT_TRUE(fields->find("degraded")->as_bool());
+}
+
+TEST(EventLog, RecordsWithoutTimeOmitTheTimeKey) {
+  const EventGuard guard;
+  emit_event(make_event("planner", Severity::kInfo, "planner.stage1.done"));
+  const auto lines = split_lines(EventLog::instance().to_jsonl());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find("t_days"), std::string::npos);
+  const auto doc = parse_line(lines[0]);
+  EXPECT_EQ(doc.find("t_days"), nullptr);
+}
+
+TEST(EventBuffer, SetTimeDaysStampsUnsetRecords) {
+  const EventGuard guard;
+  EventBuffer buffer;
+  buffer.set_time_days(7.5);
+  {
+    const ScopedEventBuffer scope(&buffer);
+    emit_event(make_event("sim", Severity::kInfo, "sim.cut"));
+    emit_event(make_event("sim", Severity::kInfo, "sim.repair", 9.0));
+  }
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.records()[0].time_days, 7.5);   // inherited
+  EXPECT_EQ(buffer.records()[1].time_days, 9.0);   // explicit wins
+}
+
+TEST(EventBuffer, SpliceAssignsDenseSequenceInBufferOrder) {
+  const EventGuard guard;
+  EventBuffer a;
+  EventBuffer b;
+  a.emit(make_event("sim", Severity::kInfo, "sim.cut").with("fiber", 1));
+  a.emit(make_event("sim", Severity::kInfo, "sim.repair").with("fiber", 1));
+  b.emit(make_event("sim", Severity::kInfo, "sim.cut").with("fiber", 2));
+
+  emit_event(make_event("planner", Severity::kInfo, "planner.stage1.done"));
+  EventLog::instance().splice(std::move(a));
+  EventLog::instance().splice(std::move(b));
+
+  const auto records = EventLog::instance().records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i + 1) << "record " << i;
+  }
+  EXPECT_EQ(records[0].name, "planner.stage1.done");
+  EXPECT_EQ(records[1].fields[0].second.as_number(), 1.0);
+  EXPECT_EQ(records[3].fields[0].second.as_number(), 2.0);
+}
+
+TEST(ScopedEventBuffer, RoutesToBufferAndRestoresOnExit) {
+  const EventGuard guard;
+  EventBuffer outer;
+  EventBuffer inner;
+  {
+    const ScopedEventBuffer outer_scope(&outer);
+    emit_event(make_event("sim", Severity::kInfo, "outer.before"));
+    {
+      const ScopedEventBuffer inner_scope(&inner);
+      emit_event(make_event("sim", Severity::kInfo, "inner"));
+    }
+    emit_event(make_event("sim", Severity::kInfo, "outer.after"));
+  }
+  emit_event(make_event("sim", Severity::kInfo, "global"));
+
+  ASSERT_EQ(outer.size(), 2u);
+  EXPECT_EQ(outer.records()[0].name, "outer.before");
+  EXPECT_EQ(outer.records()[1].name, "outer.after");
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner.records()[0].name, "inner");
+  ASSERT_EQ(EventLog::instance().size(), 1u);
+  EXPECT_EQ(EventLog::instance().records()[0].name, "global");
+}
+
+// The contract that makes bundles byte-identical at any --threads value:
+// parallel tasks emit into per-task buffers, the owner splices them back in
+// task-index order, and the resulting jsonl matches a serial run exactly.
+TEST(EventLog, ParallelEmissionSplicedInIndexOrderMatchesSerial) {
+  constexpr std::size_t kTasks = 16;
+  const auto run_with = [](const engine::Engine& engine) {
+    EventLog::instance().reset();
+    auto buffers = engine.parallel_map(kTasks, [](std::size_t i) {
+      EventBuffer buffer;
+      const ScopedEventBuffer scope(&buffer);
+      buffer.set_time_days(static_cast<double>(i));
+      emit_event(make_event("sim", Severity::kInfo, "task.begin")
+                     .with("task", i));
+      emit_event(make_event("sim", Severity::kInfo, "task.end")
+                     .with("task", i)
+                     .with("work", static_cast<double>(i) * 0.5));
+      return buffer;
+    });
+    for (auto& buffer : buffers) {
+      EventLog::instance().splice(std::move(buffer));
+    }
+    return EventLog::instance().to_jsonl();
+  };
+
+  const EventGuard guard;
+  const engine::Engine serial(1);
+  const engine::Engine parallel(8);
+  const std::string serial_jsonl = run_with(serial);
+  const std::string parallel_jsonl = run_with(parallel);
+  EXPECT_FALSE(serial_jsonl.empty());
+  EXPECT_EQ(serial_jsonl, parallel_jsonl);
+
+  // And the serial log is what a naive single-threaded loop would produce.
+  const auto lines = split_lines(serial_jsonl);
+  ASSERT_EQ(lines.size(), 2 * kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    const auto begin = parse_line(lines[2 * i]);
+    EXPECT_EQ(begin.find("name")->as_string(), "task.begin");
+    EXPECT_EQ(begin.find("fields")->find("task")->as_number(),
+              static_cast<double>(i));
+    EXPECT_EQ(begin.find("t_days")->as_number(), static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace flexwan::obs

@@ -84,6 +84,55 @@ TEST(ObsMetrics, HistogramBucketsCountAndBounds) {
             (std::vector<std::uint64_t>{2, 1, 1, 2}));
 }
 
+TEST(ObsMetrics, QuantilesInterpolateFromBucketsAndClampToObservedRange) {
+  Histogram hist({10.0, 20.0, 30.0});
+  for (double v : {5.0, 15.0, 25.0, 35.0}) hist.observe(v);
+  // One sample per bucket: rank 2 lands at the top of the (10, 20] bucket.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.50), 20.0);
+  // p90/p99 interpolate inside the overflow bucket, whose upper edge is
+  // the observed max (35), never infinity.
+  EXPECT_DOUBLE_EQ(hist.quantile(0.90), 33.0);
+  EXPECT_NEAR(hist.quantile(0.99), 34.8, 1e-9);
+  // Out-of-range q clamps; estimates never leave [min, max].
+  EXPECT_LE(hist.quantile(1.5), 35.0);
+  EXPECT_GE(hist.quantile(-0.5), 5.0);
+}
+
+TEST(ObsMetrics, QuantilesAreZeroWhenEmptyAndEqualForEqualBuckets) {
+  Histogram empty({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
+
+  // The determinism contract: equal bucket counts (and min/max) => equal
+  // quantiles, regardless of observation order.
+  Histogram a({10.0, 20.0, 30.0});
+  Histogram b({10.0, 20.0, 30.0});
+  for (double v : {5.0, 15.0, 25.0, 35.0}) a.observe(v);
+  for (double v : {35.0, 5.0, 25.0, 15.0}) b.observe(v);
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(ObsMetrics, ToJsonCarriesQuantilesAndCanOmitEmptyHistograms) {
+  ObsGuard guard(/*metrics=*/true, /*trace=*/false);
+  Registry::instance().histogram("test.quantile.hist", {10.0, 20.0})
+      ->observe(15.0);
+  Registry::instance().histogram("test.empty.hist", {1.0});
+
+  const std::string full = Registry::instance().to_json(true);
+  EXPECT_NE(full.find("\"p50\""), std::string::npos);
+  EXPECT_NE(full.find("\"p90\""), std::string::npos);
+  EXPECT_NE(full.find("\"p99\""), std::string::npos);
+  EXPECT_NE(full.find("test.empty.hist"), std::string::npos);
+
+  // Bundles use include_empty_histograms = false so thread-count-dependent
+  // registration sets never leak into metrics.json.
+  const std::string trimmed = Registry::instance().to_json(false);
+  EXPECT_NE(trimmed.find("test.quantile.hist"), std::string::npos);
+  EXPECT_EQ(trimmed.find("test.empty.hist"), std::string::npos);
+}
+
 TEST(ObsMetrics, ConcurrentCountersAndHistogramsUnderEngineAt8Threads) {
   ObsGuard guard(/*metrics=*/true, /*trace=*/false);
   const engine::Engine engine(8);
