@@ -3,9 +3,14 @@
 // to double every planning cycle, and wants to know which transponder
 // generation carries the growth on the existing fiber plant — and what the
 // next bottleneck will be.
+// Flags: the shared obs surface (--metrics f, --trace f, --bundle dir).
+// --bundle captures each generation's plan size and growth headroom as
+// gateable results.
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/bundle.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "planning/metrics.h"
 #include "topology/builders.h"
@@ -14,7 +19,11 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::RunReport report = obs::report_from_flags(argc, argv);
+  obs::Bundle bundle;
+  bundle.dir = report.bundle_dir();
+  bundle.tool = "capacity_planning";
   const auto net = topology::make_cernet();
   std::printf("Cernet footprint: %d sites, %d fiber routes, %d IP links, "
               "%.1f Tbps of demand\n\n",
@@ -45,6 +54,16 @@ int main() {
                    TextTable::num(m.mean_spectral_efficiency, 2),
                    TextTable::num(max_scale, 1) + "x",
                    std::to_string(cycles)});
+    const std::string prefix = "plan." + catalog->name() + ".";
+    bundle.results.emplace_back(prefix + "transponders",
+                                static_cast<double>(m.transponder_count));
+    bundle.results.emplace_back(prefix + "spectrum_ghz",
+                                m.spectrum_usage_ghz);
+    bundle.results.emplace_back(prefix + "mean_spectral_efficiency",
+                                m.mean_spectral_efficiency);
+    bundle.results.emplace_back(prefix + "max_scale", max_scale);
+    bundle.results.emplace_back(prefix + "growth_cycles",
+                                static_cast<double>(cycles));
   }
   std::printf("%s\n", table.render().c_str());
 
@@ -73,6 +92,23 @@ int main() {
                   100.0 * load[static_cast<std::size_t>(i)].first);
     }
     std::printf("(the top route is where new fiber buys the next 2x)\n");
+    if (!load.empty()) {
+      bundle.results.emplace_back("busiest_route.utilization", load[0].first);
+    }
+  }
+
+  if (!bundle.dir.empty()) {
+    bundle.provenance = obs::make_bundle_provenance(1);
+    bundle.config.emplace_back("network", obs::json::Value(net.name));
+    bundle.config.emplace_back(
+        "demand_gbps", obs::json::Value(net.ip.total_demand_gbps()));
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "capacity_planning: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
   }
   return 0;
 }

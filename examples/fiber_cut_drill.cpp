@@ -1,9 +1,15 @@
 // A failure drill across the whole T-backbone: cut every fiber in turn,
 // compare how much capacity each transponder generation revives, and print
 // the worst cuts — the §8 evaluation as an operator tool.
+//
+// Flags: the shared obs surface (--metrics f, --trace f, --bundle dir).
+// --bundle records the per-generation capability numbers as gateable
+// results alongside the work profile of the drill itself.
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/bundle.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "restoration/metrics.h"
 #include "restoration/restorer.h"
@@ -13,7 +19,11 @@
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::RunReport report = obs::report_from_flags(argc, argv);
+  obs::Bundle bundle;
+  bundle.dir = report.bundle_dir();
+  bundle.tool = "fiber_cut_drill";
   // An overloaded backbone (3x demand) is where restoration gets hard.
   const auto base = topology::make_tbackbone();
   const topology::Network net{base.name, base.optical, base.ip.scaled(3.0)};
@@ -41,6 +51,12 @@ int main() {
                    TextTable::num(worst, 3),
                    std::to_string(m.scenarios_with_loss) + "/" +
                        std::to_string(m.capabilities.size())});
+    const std::string prefix = "capability." + catalog->name() + ".";
+    bundle.results.emplace_back(prefix + "mean", m.mean_capability);
+    bundle.results.emplace_back(prefix + "worst", worst);
+    bundle.results.emplace_back(
+        prefix + "cuts_with_loss",
+        static_cast<double>(m.scenarios_with_loss));
     if (catalog == &transponder::svt_flexwan()) flex_caps = m.capabilities;
   }
   std::printf("%s\n", table.render().c_str());
@@ -65,6 +81,24 @@ int main() {
                   net.optical.node(fiber.b).name.c_str(), fiber.length_km,
                   100.0 * ranked[static_cast<std::size_t>(i)].first);
     }
+    if (!ranked.empty()) {
+      bundle.results.emplace_back("worst_cut.capability", ranked[0].first);
+    }
+  }
+
+  if (!bundle.dir.empty()) {
+    bundle.provenance = obs::make_bundle_provenance(1);
+    bundle.config.emplace_back("network", obs::json::Value(net.name));
+    bundle.config.emplace_back("demand_scale", obs::json::Value(3.0));
+    bundle.config.emplace_back(
+        "scenarios", obs::json::Value(static_cast<double>(scenarios.size())));
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "fiber_cut_drill: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
   }
   return 0;
 }

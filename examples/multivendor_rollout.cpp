@@ -4,19 +4,25 @@
 // different native dialect — through one standard document; then the same
 // provisioning is attempted with uncoordinated per-vendor controllers over
 // legacy fixed-grid OLS gear, reproducing the Fig. 5 failure classes.
+// Flags: the shared obs surface (--metrics f, --trace f, --bundle dir).
+// --bundle records both control models' audit results so a controller
+// change that introduces inconsistencies fails the bundle gate.
 #include <cstdio>
 
 #include "controller/centralized.h"
 #include "controller/distributed.h"
 #include "controller/fleet.h"
 #include "devmodel/vendors.h"
+#include "obs/bundle.h"
+#include "obs/report.h"
 #include "planning/heuristic.h"
 #include "topology/builders.h"
 #include "transponder/catalog.h"
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::RunReport report = obs::report_from_flags(argc, argv);
   // One standard-model document, three vendor dialects.
   const auto& catalog = transponder::svt_flexwan();
   const auto mode = *catalog.narrowest_mode(600, 400);
@@ -67,5 +73,43 @@ int main() {
   }
   std::printf("\n\nthe centralized controller's holistic view is what keeps "
               "the audit clean.\n");
+
+  if (!report.bundle_dir().empty()) {
+    obs::Bundle bundle;
+    bundle.dir = report.bundle_dir();
+    bundle.tool = "multivendor_rollout";
+    bundle.provenance = obs::make_bundle_provenance(1);
+    bundle.config.emplace_back("network", obs::json::Value(net.name));
+    bundle.config.emplace_back("vendor_assignment",
+                               obs::json::Value("per_region_mixed"));
+    bundle.results.emplace_back(
+        "plan.wavelengths", static_cast<double>(plan->transponder_count()));
+    bundle.results.emplace_back(
+        "centralized.config_rpcs",
+        static_cast<double>(cstats ? cstats->config_rpcs : -1));
+    bundle.results.emplace_back(
+        "centralized.inconsistencies",
+        static_cast<double>(caudit.inconsistencies));
+    bundle.results.emplace_back("centralized.conflicts",
+                                static_cast<double>(caudit.conflicts));
+    bundle.results.emplace_back(
+        "distributed.config_rpcs",
+        static_cast<double>(dstats ? dstats->config_rpcs : -1));
+    bundle.results.emplace_back(
+        "distributed.inconsistencies",
+        static_cast<double>(daudit.inconsistencies));
+    bundle.results.emplace_back("distributed.conflicts",
+                                static_cast<double>(daudit.conflicts));
+    bundle.results.emplace_back(
+        "distributed.grid_clipped_passbands",
+        static_cast<double>(dstats ? dstats->grid_clipped_passbands : 0));
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "multivendor_rollout: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
+  }
   return 0;
 }

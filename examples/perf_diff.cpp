@@ -17,6 +17,11 @@
 // case discourages exactly the coverage growth it exists to protect; the
 // vanished-case rule (exit 1) already catches the inverse, where a case
 // disappears and could hide a regression.
+//
+// Work-profile policy: when both files carry per-case "work_profile"
+// sections, those deterministic counters are gated EXACTLY (no threshold)
+// — a changed or vanished field is exit 1 with the node named, while a
+// field only in the candidate is new instrumentation and stays exit 0.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>

@@ -1,14 +1,22 @@
 // Quickstart: the complete FlexWAN lifecycle on a small backbone in ~50
 // lines — build a topology, plan capacity, deploy through the centralized
 // controller, cut a fiber, watch the telemetry alarm, and restore.
+//
+// Flags: the shared obs surface (--metrics f, --trace f, --bundle dir).
+// With --bundle the run's headline numbers land in an evidence bundle
+// (run.json, metrics.json, events.jsonl, profile.json, summary.md) that
+// bundle_diff can gate against a stored baseline.
 #include <cstdio>
 
 #include "core/flexwan.h"
+#include "obs/bundle.h"
+#include "obs/report.h"
 #include "topology/builders.h"
 
 using namespace flexwan;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::RunReport report = obs::report_from_flags(argc, argv);
   // 1. A 4-site ring with one 400 Gbps IP link between sites A and B.
   topology::Network net;
   net.name = "quickstart-ring";
@@ -72,6 +80,36 @@ int main() {
     std::printf("  %s rerouted over %.0f km (was %.0f km)\n",
                 rw.mode.describe().c_str(), rw.path.length_km,
                 rw.original_path_km);
+  }
+
+  if (!report.bundle_dir().empty()) {
+    obs::Bundle bundle;
+    bundle.dir = report.bundle_dir();
+    bundle.tool = "quickstart";
+    bundle.provenance = obs::make_bundle_provenance(1);
+    bundle.config.emplace_back("network", obs::json::Value(net.name));
+    bundle.config.emplace_back("scheme", obs::json::Value("flexwan"));
+    bundle.results.emplace_back(
+        "plan.transponder_pairs",
+        static_cast<double>((*plan)->transponder_count()));
+    bundle.results.emplace_back("plan.spectrum_ghz",
+                                (*plan)->spectrum_usage_ghz());
+    bundle.results.emplace_back("audit.inconsistencies",
+                                static_cast<double>(audit->inconsistencies));
+    bundle.results.emplace_back("audit.conflicts",
+                                static_cast<double>(audit->conflicts));
+    bundle.results.emplace_back("restore.affected_gbps",
+                                outcome->affected_gbps);
+    bundle.results.emplace_back("restore.restored_gbps",
+                                outcome->restored_gbps);
+    bundle.results.emplace_back("restore.capability", outcome->capability());
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "quickstart: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n", bundle.dir.c_str());
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "obs/bundle.h"
 #include "obs/json.h"
+#include "obs/workprof.h"
 
 // Build provenance is injected by src/benchlib/CMakeLists.txt; the
 // fallbacks keep non-CMake builds (e.g. IDE single-file checks) compiling.
@@ -120,10 +121,24 @@ void Harness::list_case(const std::string& case_name) {
             case_name.c_str());
 }
 
+std::map<std::string, std::uint64_t> Harness::capture_work() {
+  if (!obs::workprof_enabled()) return {};
+  return obs::workprof::WorkProfile::instance().flatten();
+}
+
 void Harness::finish_case(CaseResult record,
-                          const obs::MetricsSnapshot& before) {
+                          const obs::MetricsSnapshot& before,
+                          const std::map<std::string, std::uint64_t>& work_before) {
   record.stats = compute_stats(record.wall_us);
   record.delta = obs::snapshot_delta(before, obs::Registry::instance().snapshot());
+  // Attributed work is monotonic, so the per-case delta is a subtraction
+  // keyed like the snapshots; keys absent before count from zero, and
+  // unmoved nodes drop out (mirroring snapshot_delta's semantics).
+  for (const auto& [key, after] : capture_work()) {
+    const auto it = work_before.find(key);
+    const std::uint64_t prior = it == work_before.end() ? 0 : it->second;
+    if (after != prior) record.work_profile[key] = after - prior;
+  }
   std::fprintf(stderr,
                "bench[%s] %s: median %.1f us  mean %.1f us  stddev %.1f us  "
                "(reps %d, warmup %d)\n",
@@ -190,7 +205,14 @@ std::string Harness::to_json() const {
         << ", \"stddev\": " << json::number_to_string(c.stats.stddev_us)
         << "},\n     \"metrics\": ";
     append_metrics(out, c.delta);
-    out << "}";
+    out << ",\n     \"work_profile\": {";
+    bool first_work = true;
+    for (const auto& [key, value] : c.work_profile) {
+      out << (first_work ? "" : ", ") << '"' << json::escape(key)
+          << "\": " << value;
+      first_work = false;
+    }
+    out << "}}";
     first_case = false;
   }
   out << "\n  ]\n}\n";

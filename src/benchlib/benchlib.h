@@ -57,6 +57,11 @@ struct CaseResult {
   std::vector<double> wall_us;
   TimingStats stats;
   obs::MetricsSnapshot delta;
+  // Work-profile delta over the measured reps (obs/workprof.h flatten
+  // keys), recorded when the profiler is on (--bench-json enables it).
+  // Deterministic, so perf_diff gates these exactly while wall stats keep
+  // their noise tolerance.
+  std::map<std::string, std::uint64_t> work_profile;
 };
 
 // Where the numbers came from.  Deliberately hostname-free (BENCH files
@@ -120,13 +125,14 @@ class Harness {
     record.reps = options_.reps;
     record.wall_us.reserve(static_cast<std::size_t>(options_.reps));
     const obs::MetricsSnapshot before = obs::Registry::instance().snapshot();
+    const auto work_before = capture_work();
     if constexpr (std::is_void_v<Result>) {
       for (int rep = 0; rep < options_.reps; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
         fn();
         record.wall_us.push_back(elapsed_us(t0));
       }
-      finish_case(std::move(record), before);
+      finish_case(std::move(record), before, work_before);
     } else {
       std::optional<Result> result;
       for (int rep = 0; rep < options_.reps; ++rep) {
@@ -134,7 +140,7 @@ class Harness {
         result.emplace(fn());
         record.wall_us.push_back(elapsed_us(t0));
       }
-      finish_case(std::move(record), before);
+      finish_case(std::move(record), before, work_before);
       return std::move(*result);
     }
   }
@@ -167,7 +173,11 @@ class Harness {
   }
 
   // Stats + metrics delta + stderr summary, then stores the record.
-  void finish_case(CaseResult record, const obs::MetricsSnapshot& before);
+  void finish_case(CaseResult record, const obs::MetricsSnapshot& before,
+                   const std::map<std::string, std::uint64_t>& work_before);
+
+  // Flattened work-profile snapshot (empty when the profiler is off).
+  static std::map<std::string, std::uint64_t> capture_work();
 
   // Writes one case name to the saved real-stdout fd (list mode).
   void list_case(const std::string& case_name);

@@ -69,6 +69,24 @@ Expected<BenchReport> load_bench_report(const std::string& json_text) {
     if (reps != nullptr && reps->is_number()) {
       c.reps = static_cast<int>(reps->as_number());
     }
+    // Optional deterministic work-profile section.  Older BENCH files
+    // (same schema version, pre-profiler harness) simply lack the key;
+    // has_work_profile stays false and the exact gate skips the case.
+    const json::Value* work = entry.find("work_profile");
+    if (work != nullptr) {
+      if (!work->is_object()) {
+        return malformed("case '" + c.name +
+                         "' work_profile is not an object");
+      }
+      c.has_work_profile = true;
+      for (const auto& [key, value] : work->as_object()) {
+        if (!value.is_number() || value.as_number() < 0.0) {
+          return malformed("case '" + c.name + "' work_profile field '" +
+                           key + "' is not a non-negative number");
+        }
+        c.work_profile[key] = static_cast<std::uint64_t>(value.as_number());
+      }
+    }
     report.cases.push_back(std::move(c));
   }
   return report;
@@ -140,6 +158,40 @@ Expected<ComparisonReport> compare_reports(const BenchReport& baseline,
         cmp.status = CaseStatus::kImprovement;
         ++out.improvements;
       }
+      // Exact work-profile gate, only when both sides recorded the section.
+      // Counters are deterministic, so no tolerance applies: every delta is
+      // an algorithmic change the author either intended (re-baseline) or
+      // introduced by accident (this is the catch).
+      if (base.has_work_profile && it->second->has_work_profile) {
+        const auto& cand_work = it->second->work_profile;
+        for (const auto& [field, base_value] : base.work_profile) {
+          const auto wit = cand_work.find(field);
+          WorkDiff diff;
+          diff.case_name = base.name;
+          diff.field = field;
+          diff.baseline = base_value;
+          if (wit == cand_work.end()) {
+            diff.kind = WorkDiff::Kind::kOnlyBaseline;
+          } else if (wit->second != base_value) {
+            diff.kind = WorkDiff::Kind::kChanged;
+            diff.candidate = wit->second;
+          } else {
+            continue;
+          }
+          ++out.work_mismatches;
+          out.work_diffs.push_back(std::move(diff));
+        }
+        for (const auto& [field, cand_value] : cand_work) {
+          if (base.work_profile.count(field) != 0) continue;
+          WorkDiff diff;
+          diff.case_name = base.name;
+          diff.field = field;
+          diff.kind = WorkDiff::Kind::kOnlyCandidate;
+          diff.candidate = cand_value;
+          ++out.work_new_fields;
+          out.work_diffs.push_back(std::move(diff));
+        }
+      }
     }
     out.cases.push_back(std::move(cmp));
   }
@@ -180,17 +232,44 @@ std::string ComparisonReport::render() const {
   out << "bench '" << bench << "' vs baseline (threshold +-"
       << TextTable::num(100.0 * threshold, 0) << "% on median wall time)\n"
       << table.render();
+  // Exact work-profile diffs: every failing field is named so the author
+  // can see *which* node's work moved, not just that something did.
+  if (!work_diffs.empty()) {
+    out << "work profile (exact gate):\n";
+    for (const auto& d : work_diffs) {
+      switch (d.kind) {
+        case WorkDiff::Kind::kChanged:
+          out << "  WORK CHANGED " << d.case_name << " " << d.field << ": "
+              << d.baseline << " -> " << d.candidate << "\n";
+          break;
+        case WorkDiff::Kind::kOnlyBaseline:
+          out << "  WORK VANISHED " << d.case_name << " " << d.field << ": "
+              << d.baseline << " -> (absent)\n";
+          break;
+        case WorkDiff::Kind::kOnlyCandidate:
+          out << "  work new " << d.case_name << " " << d.field << ": "
+              << d.candidate << " (not gated)\n";
+          break;
+      }
+    }
+  }
   // New cases are called out in both verdicts so "exit 0 with new cases"
   // reads as a deliberate policy, not an oversight.
   if (failures() > 0) {
     out << "FAIL: " << regressions << " regression(s), " << vanished
         << " vanished case(s)";
+    if (work_mismatches > 0) {
+      out << ", " << work_mismatches << " work-profile mismatch(es)";
+    }
     if (new_cases > 0) out << ", " << new_cases << " new case(s)";
     out << "\n";
   } else {
     out << "OK: no regressions (" << improvements << " improvement(s)";
     if (new_cases > 0) {
       out << ", " << new_cases << " new case(s) not gated";
+    }
+    if (work_new_fields > 0) {
+      out << ", " << work_new_fields << " new work field(s) not gated";
     }
     out << ")\n";
   }

@@ -12,8 +12,19 @@
 //     the only differences are new cases.
 // The default threshold is 0.10 (±10 %).  `failures()` counts regressions
 // plus vanished cases; the perf_diff tool exits non-zero when it is > 0.
+//
+// Work-profile section (DESIGN.md "Work-attribution profiling"): when a
+// case carries a "work_profile" object on BOTH sides, its attributed-work
+// counters are compared EXACTLY — they are deterministic, so any delta is
+// a real algorithmic change, not noise.  A changed value or a key present
+// only in the baseline is a gate failure (named in the rendered diff); a
+// key only in the candidate is new instrumentation and stays informational,
+// matching the new-case policy above.  Cases where either side lacks the
+// section are skipped (older BENCH files predate the profiler).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +41,11 @@ struct BenchReport {
     int reps = 0;
     double median_us = 0.0;
     double mean_us = 0.0;
+    // Deterministic attributed-work counters ("work_profile" in the JSON).
+    // has_work_profile distinguishes an empty section from a pre-profiler
+    // file that lacks the key entirely (the latter is never gated).
+    bool has_work_profile = false;
+    std::map<std::string, std::uint64_t> work_profile;
   };
   std::vector<Case> cases;
 };
@@ -60,6 +76,20 @@ struct CaseComparison {
   double ratio = 0.0;  // candidate / baseline; 0 when either side is absent
 };
 
+// One exact-gate difference in a case's work-profile section.
+struct WorkDiff {
+  enum class Kind {
+    kChanged,       // both sides have the key, values differ (failure)
+    kOnlyBaseline,  // key vanished from the candidate (failure)
+    kOnlyCandidate  // new instrumentation (informational)
+  };
+  std::string case_name;
+  std::string field;  // flattened key, e.g. "(root);planner.plan;topo.ksp.calls"
+  Kind kind = Kind::kChanged;
+  std::uint64_t baseline = 0;
+  std::uint64_t candidate = 0;
+};
+
 struct ComparisonReport {
   std::string bench;
   double threshold = 0.10;
@@ -70,7 +100,12 @@ struct ComparisonReport {
   int improvements = 0;    // kImprovement count
   int new_cases = 0;       // kOnlyCandidate count (informational, never fails)
 
-  int failures() const { return regressions + vanished; }
+  // Exact work-profile gate: deterministic counters, zero tolerance.
+  std::vector<WorkDiff> work_diffs;  // per case: failures, then new fields
+  int work_mismatches = 0;   // kChanged + kOnlyBaseline (gate failures)
+  int work_new_fields = 0;   // kOnlyCandidate (informational)
+
+  int failures() const { return regressions + vanished + work_mismatches; }
 
   // Human-readable comparison table plus a one-line verdict.
   std::string render() const;

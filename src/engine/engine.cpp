@@ -7,9 +7,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <optional>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/workprof.h"
 
 namespace flexwan::engine {
 
@@ -38,6 +40,12 @@ struct Engine::Job {
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr error;
   double enqueue_us = -1.0;  // set when metrics are on; -1 = not recorded
+
+  // Work-profile base path captured from the submitting thread (nullptr
+  // when profiling is off): every participant runs the job's tasks under a
+  // context rooted here, so the merged tree is identical whether a task
+  // ran inline on the caller or on any worker (obs/workprof.h).
+  std::shared_ptr<const std::vector<std::string>> workprof_base;
 
   void enter() {
     std::lock_guard<std::mutex> lock(mu);
@@ -68,7 +76,13 @@ struct Engine::Job {
                               start_us - enqueue_us);
       }
     }
-    OBS_SPAN("engine.drain");
+    // drain exists only on the parallel path, so its span must not push a
+    // work-profile frame; instead each participant accumulates under the
+    // submitter's captured base path and merges on exit (a participant
+    // that executed nothing merges an empty fragment — a no-op).
+    OBS_SPAN_UNTRACKED("engine.drain");
+    std::optional<obs::workprof::ScopedWorkContext> prof_scope;
+    if (workprof_base != nullptr) prof_scope.emplace(workprof_base);
     std::size_t executed = 0;
     while (!cancelled.load(std::memory_order_relaxed)) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -86,10 +100,11 @@ struct Engine::Job {
       }
     }
     // tasks_executed is deterministic work accounting (counted in bundles);
-    // busy_us is wall time (timing only).
+    // busy_us is wall time (timing only, and never attributed to the work
+    // profile — see OBS_COUNTER_ADD_UNTRACKED).
     OBS_COUNTER_ADD("engine.tasks_executed", executed);
     if (timing) {
-      OBS_COUNTER_ADD(
+      OBS_COUNTER_ADD_UNTRACKED(
           "engine.worker.busy_us",
           static_cast<std::uint64_t>(obs::now_us() - start_us));
     }
@@ -164,6 +179,10 @@ void Engine::parallel_for(std::size_t n,
   job->fn = fn;
   job->n = n;
   if (obs::timing_enabled()) job->enqueue_us = obs::now_us();
+  if (obs::workprof_enabled()) {
+    job->workprof_base = std::make_shared<const std::vector<std::string>>(
+        obs::workprof::current_path());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);

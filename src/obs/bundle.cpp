@@ -8,6 +8,7 @@
 
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/workprof.h"
 
 // Injected by src/obs/CMakeLists.txt; fallbacks keep non-CMake builds
 // compiling (e.g. IDE single-file checks).
@@ -99,6 +100,20 @@ std::string Bundle::run_json() const {
 std::string Bundle::summary_md() const {
   std::ostringstream out;
   out << "# Evidence bundle: " << tool << "\n\n";
+  // Headline the event-log health so a bad run is visible without opening
+  // events.jsonl.  Counts come from the global log at render time — the
+  // same records write() serializes.
+  {
+    std::size_t warns = 0;
+    std::size_t errors = 0;
+    const auto records = EventLog::instance().records();
+    for (const auto& record : records) {
+      if (record.severity == Severity::kWarn) ++warns;
+      if (record.severity == Severity::kError) ++errors;
+    }
+    out << "**Events**: " << records.size() << " total, " << warns
+        << " warn, " << errors << " error\n\n";
+  }
   if (!config.empty()) {
     out << "## Configuration\n\n";
     for (const auto& [key, value] : config) {
@@ -142,6 +157,15 @@ Expected<bool> Bundle::write() const {
                           /*include_empty_histograms=*/false)));
   keep_first_error(
       write_text_file((base / "summary.md").string(), summary_md()));
+  // The work profile is present exactly when the profiler is on (--bundle
+  // turns it on); its exports flush the calling thread's pending context.
+  if (workprof_enabled()) {
+    auto& profile = workprof::WorkProfile::instance();
+    keep_first_error(
+        write_text_file((base / "profile.json").string(), profile.to_json()));
+    keep_first_error(write_text_file((base / "profile.folded").string(),
+                                     profile.to_folded()));
+  }
   return result;
 }
 
@@ -207,6 +231,19 @@ Expected<BundleData> load_bundle(const std::string& dir) {
     }
     data.events.push_back(std::move(event.value()));
   }
+
+  // profile.json is optional: bundles predating work profiling (or captured
+  // with the profiler off) simply have no profile fields to compare.
+  const auto profile_path = (base / "profile.json").string();
+  if (std::filesystem::exists(profile_path)) {
+    auto profile_text = read_text_file(profile_path);
+    if (!profile_text) return bad_bundle(profile_text.error().message);
+    auto profile = json::parse(profile_text.value());
+    if (!profile) {
+      return bad_bundle(dir + "/profile.json: " + profile.error().message);
+    }
+    data.profile = std::move(profile.value());
+  }
   return data;
 }
 
@@ -225,6 +262,12 @@ Expected<BundleThresholds> load_thresholds(const std::string& json_text) {
                            "'default' must be a non-negative number");
       }
       thresholds.default_tolerance = value.as_number();
+    } else if (key == "profile_default") {
+      if (!value.is_number() || value.as_number() < 0.0) {
+        return Error::make("bad_thresholds",
+                           "'profile_default' must be a non-negative number");
+      }
+      thresholds.profile_default_tolerance = value.as_number();
     } else if (key == "fields") {
       if (!value.is_object()) {
         return Error::make("bad_thresholds", "'fields' must be an object");
@@ -312,6 +355,11 @@ std::map<std::string, double> comparable_fields(const BundleData& data) {
         fields["events." + cat->as_string()] += 1.0;
       }
     }
+  }
+  // Work-profile nodes: "profile.(root);<frame>;...;<counter>".  Gated
+  // exactly by default (BundleThresholds::profile_default_tolerance).
+  if (const json::Value* root = data.profile.find("root")) {
+    workprof::flatten_json_tree(*root, "profile.", fields);
   }
   return fields;
 }

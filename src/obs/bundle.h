@@ -4,11 +4,14 @@
 // credible if every planning/sim/bench run leaves a record that a reviewer
 // can replay and diff.  A bundle directory holds four artifacts:
 //
-//   run.json     full resolved config + headline results + provenance
-//                (git describe, build flags, thread count, schema version)
-//   events.jsonl the structured event log (eventlog.h), one record per line
-//   metrics.json the metrics registry snapshot with histogram quantiles
-//   summary.md   a human-readable digest of the same numbers
+//   run.json        full resolved config + headline results + provenance
+//                   (git describe, build flags, thread count, schema version)
+//   events.jsonl    the structured event log (eventlog.h), one record per line
+//   metrics.json    the metrics registry snapshot with histogram quantiles
+//   summary.md      a human-readable digest of the same numbers, headlined
+//                   with the warn/error event counts
+//   profile.json    the work-attribution tree (workprof.h) — written only
+//   profile.folded  when the profiler is on, which --bundle turns on
 //
 // Determinism contract: with --bundle alone (timing off, see metrics.h)
 // every artifact is byte-identical at any --threads value except the single
@@ -88,6 +91,9 @@ struct BundleData {
   json::Value run;                 // run.json document
   json::Value metrics;             // metrics.json document
   std::vector<json::Value> events; // one parsed object per events.jsonl line
+  // profile.json document; null when the bundle predates work profiling or
+  // was captured with the profiler off (both load fine).
+  json::Value profile;
 };
 
 // Loads and validates a bundle directory.  Fails ("bad_bundle") when a
@@ -98,19 +104,27 @@ Expected<BundleData> load_bundle(const std::string& dir);
 // Per-field tolerances for compare_bundles().  A field's tolerance is the
 // allowed relative change |candidate - baseline| / |baseline| (absolute
 // change when the baseline is 0); 0 means the field must match exactly.
+// Work-profile fields ("profile.*", from profile.json) get their own
+// default of 0 — exact match — because attributed work counters are
+// deterministic: any drift is a real algorithmic change, not noise.
+// Intentionally variable nodes can still be opened up via per_field.
 struct BundleThresholds {
   double default_tolerance = 0.10;
+  double profile_default_tolerance = 0.0;
   std::map<std::string, double> per_field;  // dotted field -> tolerance
 
   double tolerance_for(const std::string& field) const {
     const auto it = per_field.find(field);
-    return it == per_field.end() ? default_tolerance : it->second;
+    if (it != per_field.end()) return it->second;
+    if (field.rfind("profile.", 0) == 0) return profile_default_tolerance;
+    return default_tolerance;
   }
 };
 
 // Parses a thresholds document:
-//   {"default": 0.05, "fields": {"results.availability.mean": 0.0001}}
-// Both keys optional; anything else is rejected.
+//   {"default": 0.05, "profile_default": 0.0,
+//    "fields": {"results.availability.mean": 0.0001}}
+// All keys optional; anything else is rejected.
 Expected<BundleThresholds> load_thresholds(const std::string& json_text);
 Expected<BundleThresholds> load_thresholds_file(const std::string& path);
 
@@ -147,8 +161,12 @@ struct BundleComparison {
 //   metrics.counters.* / gauges.* from metrics.json
 //   metrics.histograms.*.{count,sum,p50,p90,p99}
 //   events.total / events.<category>  counted from events.jsonl
+//   profile.(root);<frame>;...;<counter>  from profile.json, gated exactly
+//                                         by default (see BundleThresholds)
 // Policy mirrors perf_diff: a field that vanished from the candidate is a
-// violation (it can hide a regression); a new field is informational.
+// violation (it can hide a regression); a new field is informational —
+// including new profile nodes, so adding instrumentation never fails a
+// stored baseline; moved work always does (the old node's value changes).
 Expected<BundleComparison> compare_bundles(const BundleData& baseline,
                                            const BundleData& candidate,
                                            const BundleThresholds& thresholds);

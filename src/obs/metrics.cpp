@@ -42,6 +42,9 @@ void set_metrics_enabled(bool on) {
 void set_trace_enabled(bool on) { set_bit(kTraceBit, on); }
 void set_events_enabled(bool on) { set_bit(kEventsBit, on); }
 void set_timing_enabled(bool on) { set_bit(kTimingBit, on); }
+// Counter attribution only fires on the metrics-enabled path, so callers
+// that want a profile enable metrics too (report_from_flags does both).
+void set_workprof_enabled(bool on) { set_bit(kWorkProfBit, on); }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),

@@ -41,6 +41,11 @@ inline constexpr unsigned kMetricsBit = 1u;
 inline constexpr unsigned kTraceBit = 2u;
 inline constexpr unsigned kEventsBit = 4u;
 inline constexpr unsigned kTimingBit = 8u;
+// kWorkProfBit turns on the work-attribution profiler (workprof.h): spans
+// push calling-context frames and every OBS_COUNTER_ADD also attributes to
+// the current frame stack.  Deterministic by construction, so bundles turn
+// it on alongside metrics while leaving timing off.
+inline constexpr unsigned kWorkProfBit = 16u;
 
 namespace detail {
 extern std::atomic<unsigned> g_enabled;
@@ -76,6 +81,9 @@ inline bool metrics_enabled() { return (enabled_bits() & kMetricsBit) != 0; }
 inline bool trace_enabled() { return (enabled_bits() & kTraceBit) != 0; }
 inline bool events_enabled() { return (enabled_bits() & kEventsBit) != 0; }
 inline bool timing_enabled() { return (enabled_bits() & kTimingBit) != 0; }
+inline bool workprof_enabled() {
+  return (enabled_bits() & kWorkProfBit) != 0;
+}
 
 // set_metrics_enabled(true) also turns timing on (callers that ask for
 // metrics expect latency histograms); set_timing_enabled(false) afterwards
@@ -84,6 +92,16 @@ void set_metrics_enabled(bool on);
 void set_trace_enabled(bool on);
 void set_events_enabled(bool on);
 void set_timing_enabled(bool on);
+void set_workprof_enabled(bool on);
+
+// Work-profiler hooks (implemented in workprof.cpp; see workprof.h).
+// Declared here so the macros below can attribute without pulling the
+// profiler header into every call site.
+namespace workprof {
+void push_frame(const char* name);
+void pop_frame();
+void attribute(const char* counter, std::uint64_t n);
+}  // namespace workprof
 
 // Monotonically increasing event count.
 class Counter {
@@ -221,6 +239,22 @@ class Registry {
 #define OBS_DETAIL_CONCAT(a, b) OBS_DETAIL_CONCAT2(a, b)
 
 #define OBS_COUNTER_ADD(name, n)                                          \
+  do {                                                                    \
+    if (::flexwan::obs::metrics_enabled()) {                              \
+      static ::flexwan::obs::Counter* const obs_counter_ =                \
+          ::flexwan::obs::Registry::instance().counter(name);             \
+      const std::uint64_t obs_n_ = static_cast<std::uint64_t>(n);         \
+      obs_counter_->add(obs_n_);                                          \
+      if (::flexwan::obs::workprof_enabled()) {                           \
+        ::flexwan::obs::workprof::attribute(name, obs_n_);                \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
+
+// Counter variant for *wall-clock-derived* totals (e.g. engine worker busy
+// time): recorded in the registry like any counter but never attributed to
+// the work profile, whose contents must stay deterministic (workprof.h).
+#define OBS_COUNTER_ADD_UNTRACKED(name, n)                                \
   do {                                                                    \
     if (::flexwan::obs::metrics_enabled()) {                              \
       static ::flexwan::obs::Counter* const obs_counter_ =                \

@@ -176,6 +176,12 @@ RunReport report_from_flags(int& argc, char** argv) {
   }
   if (!report.trace_path().empty()) set_trace_enabled(true);
   if (!report.bundle_dir().empty()) set_events_enabled(true);
+  // Work attribution rides along wherever its output lands: bundles write
+  // profile.json/profile.folded, BENCH json carries per-case work deltas.
+  // Deterministic, so it is safe in bundle-only (timing-off) mode.
+  if (!report.bundle_dir().empty() || !bench.json_path.empty()) {
+    set_workprof_enabled(true);
+  }
   report.set_bench_options(std::move(bench));
   return report;
 }

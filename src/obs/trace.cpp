@@ -86,6 +86,21 @@ std::string trace_json() {
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
       << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
          "\"args\": {\"name\": \"flexwan\"}}";
+  // Metadata events name each track so Perfetto shows "main" / "worker-N"
+  // instead of bare tids.  tid 1 is the first thread that touched obs —
+  // the main thread in every tool and bench.
+  for (const auto& buffer : buffers) {
+    int tid = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mu);
+      tid = buffer->tid;
+    }
+    out << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        << "\"tid\": " << tid << ", \"args\": {\"name\": \""
+        << (tid == 1 ? std::string("main")
+                     : "worker-" + std::to_string(tid - 1))
+        << "\"}}";
+  }
   for (const auto& buffer : buffers) {
     std::vector<TraceEvent> events;
     int tid = 0;
@@ -119,15 +134,18 @@ void reset_trace() {
 }
 
 void Span::finish() {
-  const double end_us = now_us();
-  if (trace_enabled()) {
-    record_trace_event(name_, start_us_, end_us - start_us_);
+  if (timed_) {
+    const double end_us = now_us();
+    if (trace_enabled()) {
+      record_trace_event(name_, start_us_, end_us - start_us_);
+    }
+    // Timing, not metrics: latency samples are wall-derived, so they stay
+    // out of the registry in the deterministic bundle-only mode (metrics.h).
+    if (timing_enabled() && hist_ != nullptr) {
+      hist_->observe(end_us - start_us_);
+    }
   }
-  // Timing, not metrics: latency samples are wall-derived, so they stay out
-  // of the registry in the deterministic bundle-only mode (metrics.h).
-  if (timing_enabled() && hist_ != nullptr) {
-    hist_->observe(end_us - start_us_);
-  }
+  if (prof_) workprof::pop_frame();
 }
 
 Histogram* span_histogram(const char* name) {

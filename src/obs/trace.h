@@ -55,10 +55,23 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
-  void begin(const char* name, Histogram* latency_hist) {
+  // `track_work` false keeps this span out of the work-profile tree; the
+  // engine uses that for its drain span, which exists only on the parallel
+  // path and would otherwise make the tree thread-count-dependent.
+  void begin(const char* name, Histogram* latency_hist,
+             bool track_work = true) {
     name_ = name;
     hist_ = latency_hist;
-    start_us_ = now_us();
+    // Read the clock only when a wall-derived consumer is on; a
+    // profile-only span must stay clock-free to keep bundles deterministic.
+    if ((enabled_bits() & (kTraceBit | kTimingBit)) != 0u) {
+      start_us_ = now_us();
+      timed_ = true;
+    }
+    if (track_work && workprof_enabled()) {
+      workprof::push_frame(name);
+      prof_ = true;
+    }
     active_ = true;
   }
 
@@ -69,6 +82,9 @@ class Span {
   Histogram* hist_ = nullptr;
   double start_us_ = 0.0;
   bool active_ = false;
+  bool timed_ = false;
+  bool prof_ = false;  // frame pushed at begin; popped at finish regardless
+                       // of enable-bit flips in between
 };
 
 // Registers (once per call site) the "<name>.us" latency histogram a span
@@ -80,12 +96,21 @@ Histogram* span_histogram(const char* name);
 // Opens a span covering the rest of the enclosing scope.  `name` must be a
 // string literal (it is kept by pointer and used to derive the "<name>.us"
 // histogram).
-#define OBS_SPAN(name)                                                     \
+#define OBS_DETAIL_SPAN(name, track_work)                                  \
   ::flexwan::obs::Span OBS_DETAIL_CONCAT(obs_span_, __LINE__);             \
   if ((::flexwan::obs::enabled_bits() &                                    \
-       (::flexwan::obs::kTraceBit | ::flexwan::obs::kTimingBit)) != 0u) {  \
+       (::flexwan::obs::kTraceBit | ::flexwan::obs::kTimingBit |           \
+        ::flexwan::obs::kWorkProfBit)) != 0u) {                            \
     static ::flexwan::obs::Histogram* const OBS_DETAIL_CONCAT(             \
         obs_span_hist_, __LINE__) = ::flexwan::obs::span_histogram(name);  \
     OBS_DETAIL_CONCAT(obs_span_, __LINE__)                                 \
-        .begin(name, OBS_DETAIL_CONCAT(obs_span_hist_, __LINE__));         \
+        .begin(name, OBS_DETAIL_CONCAT(obs_span_hist_, __LINE__),          \
+               track_work);                                                \
   }
+
+#define OBS_SPAN(name) OBS_DETAIL_SPAN(name, true)
+
+// Span that traces and times but never pushes a work-profile frame.  For
+// scopes whose existence depends on the thread count (engine drain): their
+// frames would break the profile's byte-identity across --threads values.
+#define OBS_SPAN_UNTRACKED(name) OBS_DETAIL_SPAN(name, false)

@@ -1,0 +1,294 @@
+#include "obs/workprof.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace flexwan::obs::workprof {
+
+namespace {
+
+// A thread's private accumulation context: a fragment tree plus the stack
+// of open frames.  `names` mirrors `stack` (minus the root) so
+// current_path() can report the frame names; span names are string
+// literals, so keeping the pointers is safe.
+struct ContextImpl {
+  std::vector<std::string> base;
+  WorkNode root;
+  std::vector<WorkNode*> stack;
+  std::vector<const char*> names;
+
+  ContextImpl() { stack.push_back(&root); }
+};
+
+thread_local ContextImpl* tls_ctx = nullptr;
+
+// Lazily created context for threads that attribute work outside any
+// ScopedWorkContext (the main thread, or a test's raw std::thread).  Owned
+// by the thread; flushed by exports (same thread) or flush_this_thread().
+ContextImpl& local_context() {
+  if (tls_ctx == nullptr) {
+    thread_local ContextImpl owned;
+    tls_ctx = &owned;
+  }
+  return *tls_ctx;
+}
+
+// Moves `from`'s counters and children into `into`, summing counters.
+// Zero counters are dropped so idle participants leave no nodes behind.
+void merge_node(const WorkNode& from, WorkNode& into) {
+  for (const auto& [name, value] : from.counters) {
+    if (value != 0) into.counters[name] += value;
+  }
+  for (const auto& [name, sub] : from.children) {
+    WorkNode probe;
+    merge_node(*sub, probe);
+    if (probe.counters.empty() && probe.children.empty()) continue;
+    WorkNode* target = into.child(name);
+    for (auto& [cname, cvalue] : probe.counters) target->counters[cname] += cvalue;
+    for (auto& [childname, childnode] : probe.children) {
+      // probe was freshly built, so its subtrees can be adopted wholesale
+      // when the target has no such child yet.
+      auto it = target->children.find(childname);
+      if (it == target->children.end()) {
+        target->children.emplace(childname, std::move(childnode));
+      } else {
+        merge_node(*childnode, *it->second);
+      }
+    }
+  }
+}
+
+void clear_counters(WorkNode& node) {
+  for (auto& [name, value] : node.counters) {
+    (void)name;
+    value = 0;
+  }
+  for (auto& [name, sub] : node.children) {
+    (void)name;
+    clear_counters(*sub);
+  }
+}
+
+void write_node_json(const WorkNode& node, int indent, std::ostringstream& out) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  out << "{\n" << pad1 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : node.counters) {
+    if (value == 0) continue;
+    out << (first ? "" : ",") << "\n" << pad1 << "  \"" << json::escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "},\n" << pad1 << "\"children\": {";
+  first = true;
+  for (const auto& [name, sub] : node.children) {
+    out << (first ? "" : ",") << "\n" << pad1 << "  \"" << json::escape(name)
+        << "\": ";
+    write_node_json(*sub, indent + 2, out);
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad1) << "}\n" << pad << "}";
+}
+
+void write_folded(const WorkNode& node, const std::string& stack,
+                  const std::string& weight, std::ostringstream& out) {
+  const auto it = node.counters.find(weight);
+  if (it != node.counters.end() && it->second != 0) {
+    out << stack << " " << it->second << "\n";
+  }
+  for (const auto& [name, sub] : node.children) {
+    write_folded(*sub, stack + ";" + name, weight, out);
+  }
+}
+
+void flatten_node(const WorkNode& node, const std::string& stack,
+                  std::map<std::string, std::uint64_t>& out) {
+  for (const auto& [name, value] : node.counters) {
+    if (value != 0) out[stack + ";" + name] = value;
+  }
+  for (const auto& [name, sub] : node.children) {
+    flatten_node(*sub, stack + ";" + name, out);
+  }
+}
+
+}  // namespace
+
+WorkNode* WorkNode::child(std::string_view name) {
+  auto it = children.find(name);
+  if (it == children.end()) {
+    it = children.emplace(std::string(name), std::make_unique<WorkNode>())
+             .first;
+  }
+  return it->second.get();
+}
+
+WorkProfile& WorkProfile::instance() {
+  static WorkProfile* const p = new WorkProfile();  // never destroyed
+  return *p;
+}
+
+void WorkProfile::merge_at(const std::vector<std::string>& base,
+                           const WorkNode& fragment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WorkNode probe;
+  merge_node(fragment, probe);
+  if (probe.counters.empty() && probe.children.empty()) return;
+  WorkNode* target = &root_;
+  for (const auto& frame : base) target = target->child(frame);
+  merge_node(probe, *target);
+}
+
+void WorkProfile::flush_this_thread() {
+  ContextImpl* ctx = tls_ctx;
+  if (ctx == nullptr) return;
+  merge_at(ctx->base, ctx->root);
+  // Keep the node structure (open frames hold pointers into it); just zero
+  // the accumulated values so the next flush does not double-count.
+  clear_counters(ctx->root);
+}
+
+void WorkProfile::reset() {
+  flush_this_thread();  // ensure the local context is empty, then discard
+  std::lock_guard<std::mutex> lock(mu_);
+  root_.counters.clear();
+  root_.children.clear();
+}
+
+std::string WorkProfile::to_json() {
+  flush_this_thread();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << kProfileSchemaVersion << ",\n"
+      << "  \"weight_default\": \"" << kDefaultFoldedWeight << "\",\n"
+      << "  \"root\": ";
+  write_node_json(root_, 1, out);
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string WorkProfile::to_folded(const std::string& weight) {
+  flush_this_thread();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  write_folded(root_, kRootFrame, weight, out);
+  return out.str();
+}
+
+std::map<std::string, std::uint64_t> WorkProfile::flatten() {
+  flush_this_thread();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  flatten_node(root_, kRootFrame, out);
+  return out;
+}
+
+void push_frame(const char* name) {
+  ContextImpl& ctx = local_context();
+  ctx.stack.push_back(ctx.stack.back()->child(name));
+  ctx.names.push_back(name);
+}
+
+void pop_frame() {
+  ContextImpl* ctx = tls_ctx;
+  if (ctx == nullptr || ctx->stack.size() <= 1) return;
+  ctx->stack.pop_back();
+  ctx->names.pop_back();
+}
+
+void attribute(const char* counter, std::uint64_t n) {
+  if (n == 0) return;
+  ContextImpl& ctx = local_context();
+  WorkNode* node = ctx.stack.back();
+  const auto it = node->counters.find(counter);
+  if (it != node->counters.end()) {
+    it->second += n;
+  } else {
+    node->counters.emplace(std::string(counter), n);
+  }
+}
+
+std::vector<std::string> current_path() {
+  ContextImpl* ctx = tls_ctx;
+  if (ctx == nullptr) return {};
+  std::vector<std::string> path = ctx->base;
+  for (const char* name : ctx->names) path.emplace_back(name);
+  return path;
+}
+
+struct ScopedWorkContext::Context : ContextImpl {};
+
+ScopedWorkContext::ScopedWorkContext(
+    std::shared_ptr<const std::vector<std::string>> base)
+    : ctx_(std::make_unique<Context>()),
+      previous_(static_cast<void*>(tls_ctx)) {
+  if (base != nullptr) ctx_->base = *base;
+  tls_ctx = ctx_.get();
+}
+
+ScopedWorkContext::~ScopedWorkContext() {
+  WorkProfile::instance().merge_at(ctx_->base, ctx_->root);
+  tls_ctx = static_cast<ContextImpl*>(previous_);
+}
+
+std::string folded_from_json_tree(const json::Value& root,
+                                  const std::string& weight) {
+  // Rebuild a WorkNode tree, then reuse the writer so the bytes match
+  // to_folded() exactly.
+  WorkNode tree;
+  struct Builder {
+    static void build(const json::Value& v, WorkNode& node) {
+      if (const json::Value* counters = v.find("counters")) {
+        if (counters->is_object()) {
+          for (const auto& [name, val] : counters->as_object()) {
+            if (val.is_number()) {
+              node.counters[name] =
+                  static_cast<std::uint64_t>(val.as_number());
+            }
+          }
+        }
+      }
+      if (const json::Value* children = v.find("children")) {
+        if (children->is_object()) {
+          for (const auto& [name, sub] : children->as_object()) {
+            build(sub, *node.child(name));
+          }
+        }
+      }
+    }
+  };
+  Builder::build(root, tree);
+  std::ostringstream out;
+  write_folded(tree, kRootFrame, weight, out);
+  return out.str();
+}
+
+void flatten_json_tree(const json::Value& root, const std::string& prefix,
+                       std::map<std::string, double>& out) {
+  const std::string stack = prefix + kRootFrame;
+  struct Walker {
+    static void walk(const json::Value& v, const std::string& stack,
+                     std::map<std::string, double>& out) {
+      if (const json::Value* counters = v.find("counters")) {
+        if (counters->is_object()) {
+          for (const auto& [name, val] : counters->as_object()) {
+            if (val.is_number() && val.as_number() != 0.0) {
+              out[stack + ";" + name] = val.as_number();
+            }
+          }
+        }
+      }
+      if (const json::Value* children = v.find("children")) {
+        if (children->is_object()) {
+          for (const auto& [name, sub] : children->as_object()) {
+            walk(sub, stack + ";" + name, out);
+          }
+        }
+      }
+    }
+  };
+  Walker::walk(root, stack, out);
+}
+
+}  // namespace flexwan::obs::workprof

@@ -1,0 +1,156 @@
+// Deterministic work-attribution profiler: a calling-context tree keyed by
+// the active OBS_SPAN stack.
+//
+// Every OBS_SPAN pushes a frame onto the calling thread's context; every
+// OBS_COUNTER_ADD of a deterministic work counter also attributes its
+// increment to the node addressed by the current frame stack.  The result
+// is exclusive work per tree path — e.g. the `planner.ksp.calls` accrued
+// under `planner.plan > planner.stage1.link_dp` is separated from the calls
+// the incremental restorer makes under `sim.trial > sim.restore`.
+//
+// Determinism contract (the whole point): work counters are deterministic,
+// so the merged tree must be byte-identical at every --threads value.  Two
+// properties make that hold:
+//   1. Engine tasks run under a fresh per-participant context whose base
+//      path is captured from the *submitting* thread at parallel_for time
+//      (engine.cpp), so a task's frames land at the same tree path whether
+//      it runs inline (serial path) or on any worker.
+//   2. A context merge is a commutative per-node, per-counter sum into
+//      sorted maps, so merge order — which does vary with thread count —
+//      cannot affect the serialized output.  (This differs from the
+//      eventlog, whose records are ordering-sensitive and therefore spliced
+//      in task-index order; sums need no such discipline.)
+// Wall-derived counters must never be attributed (they would break the
+// contract) — they use OBS_COUNTER_ADD_UNTRACKED (metrics.h).
+//
+// Enabled by the kWorkProfBit (metrics.h); off, a span costs the usual
+// single relaxed-load branch and a counter pays nothing extra.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flexwan::obs::json {
+class Value;
+}  // namespace flexwan::obs::json
+
+namespace flexwan::obs::workprof {
+
+inline constexpr int kProfileSchemaVersion = 1;
+
+// Default folded-stack weight: every engine task contributes one unit, so
+// the flamegraph shows where parallel work fans out by default.
+inline constexpr const char* kDefaultFoldedWeight = "engine.tasks_executed";
+
+// Synthetic first frame for work attributed with no span open, and the
+// common prefix of every folded stack / flattened key.
+inline constexpr const char* kRootFrame = "(root)";
+
+// One node of the calling-context tree.  `counters` holds *exclusive* work
+// (increments attributed while this exact frame stack was active); child
+// order and counter order are the sorted map order, which is what makes
+// serialization independent of merge order.
+struct WorkNode {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<WorkNode>, std::less<>> children;
+
+  // Child for `name`, created empty if missing.
+  WorkNode* child(std::string_view name);
+};
+
+// The process-wide merged tree.  Threads accumulate into private contexts
+// (see ScopedWorkContext / the thread-local implicit context) and merge
+// here under a mutex; exports flush the calling thread first so a
+// single-threaded caller sees its own work without extra ceremony.
+class WorkProfile {
+ public:
+  static WorkProfile& instance();
+
+  // Merges `fragment` into the tree under the path `base` (outermost frame
+  // first).  Zero counters are skipped and empty subtrees create no nodes,
+  // so merging an idle participant's context is a no-op.
+  void merge_at(const std::vector<std::string>& base, const WorkNode& fragment);
+
+  // Merges the calling thread's implicit context into the tree and zeroes
+  // it (node structure and open frames stay valid).  Exports call this for
+  // you; a test driving raw threads calls it before joining them.
+  void flush_this_thread();
+
+  // Drops the whole tree (and the calling thread's pending context).
+  // Open spans keep working: their frames re-create nodes on next use.
+  void reset();
+
+  // profile.json document: {"schema_version": 1, "weight_default": ...,
+  // "root": {"counters": {...}, "children": {"<span>": {...}, ...}}}.
+  // Sorted keys throughout; exact integer values (json::number_to_string).
+  std::string to_json();
+
+  // Folded-stack lines for flamegraph tooling: one line per node whose
+  // `weight` counter is nonzero, "(root);frame1;frame2 <value>\n", in
+  // depth-first sorted-child order.
+  std::string to_folded(const std::string& weight = kDefaultFoldedWeight);
+
+  // Flat view for gates and per-case BENCH deltas: key is the frame path
+  // joined with ';' (root prefix included) plus the counter name as the
+  // last segment — "(root);planner.plan;planner.ksp.calls" -> value.
+  // Counter names may themselves contain dots; only ';' separates frames.
+  std::map<std::string, std::uint64_t> flatten();
+
+ private:
+  WorkProfile() = default;
+
+  mutable std::mutex mu_;
+  WorkNode root_;
+};
+
+// Hot-path hooks used by the OBS_SPAN / OBS_COUNTER_ADD macros (forward
+// declared in metrics.h).  `name` / `counter` must outlive the profile
+// (string literals).  push/pop pair regardless of enable-bit flips in
+// between; attribute(_, 0) is a no-op so idle engine participants leave no
+// trace.
+void push_frame(const char* name);
+void pop_frame();
+void attribute(const char* counter, std::uint64_t n);
+
+// The calling thread's current frame path (context base + open frames),
+// outermost first.  The engine captures this at parallel_for time as the
+// base path for the job's task contexts.
+std::vector<std::string> current_path();
+
+// Installs a fresh context for the calling thread rooted at `base`,
+// restoring the previous context — and merging the fresh one into the
+// global tree — on destruction.  Engine drain() wraps task execution in
+// one of these so worker-side frames land under the submitter's path.
+class ScopedWorkContext {
+ public:
+  explicit ScopedWorkContext(
+      std::shared_ptr<const std::vector<std::string>> base);
+  ~ScopedWorkContext();
+
+  ScopedWorkContext(const ScopedWorkContext&) = delete;
+  ScopedWorkContext& operator=(const ScopedWorkContext&) = delete;
+
+ private:
+  struct Context;
+  std::unique_ptr<Context> ctx_;
+  void* previous_ = nullptr;  // the thread's prior context, restored on exit
+};
+
+// Rebuilds the folded view from a parsed profile.json tree (the value of
+// its "root" key) — shared by bundle tooling and the round-trip test.
+// Returns the same bytes to_folded() produces for the same tree.
+std::string folded_from_json_tree(const json::Value& root,
+                                  const std::string& weight);
+
+// Flattens a parsed profile.json tree into gate fields, prefixing each key
+// with `prefix` ("(root);..." keys as in WorkProfile::flatten).  Used by
+// bundle_diff to compare stored profiles without re-running anything.
+void flatten_json_tree(const json::Value& root, const std::string& prefix,
+                       std::map<std::string, double>& out);
+
+}  // namespace flexwan::obs::workprof

@@ -133,18 +133,31 @@ std::optional<spectrum::Range> common_first_fit(
   if (count <= 0 || fibers.empty()) return std::nullopt;
   const int band = fibers.front().pixels();
   const int pixels = end_limit >= 0 ? std::min(end_limit, band) : band;
-  for (int start = 0; start + count <= pixels; ++start) {
-    const spectrum::Range range{start, count};
+  if (path.fibers.empty()) {
+    return count <= pixels ? std::optional<spectrum::Range>(
+                                 spectrum::Range{0, count})
+                           : std::nullopt;
+  }
+  // Enumerate candidate starts on the first fiber with the word-packed
+  // scan (every valid start must be free there, and first_fit(count, from)
+  // yields the smallest s >= from, so this visits the same starts the
+  // naive per-pixel loop accepted — in the same order), then verify the
+  // remaining fibers.  On a conflict resume one pixel later.
+  const auto& lead = fibers[static_cast<std::size_t>(path.fibers.front())];
+  int from = 0;
+  while (true) {
+    const auto fit = lead.first_fit(count, from);
+    if (!fit || fit->end() > pixels) return std::nullopt;
     bool free = true;
-    for (topology::FiberId f : path.fibers) {
-      if (!fibers[static_cast<std::size_t>(f)].is_free(range)) {
+    for (std::size_t i = 1; i < path.fibers.size(); ++i) {
+      if (!fibers[static_cast<std::size_t>(path.fibers[i])].is_free(*fit)) {
         free = false;
         break;
       }
     }
-    if (free) return range;
+    if (free) return *fit;
+    from = fit->first + 1;
   }
-  return std::nullopt;
 }
 
 }  // namespace flexwan::planning

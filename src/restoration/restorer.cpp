@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "restoration/solve.h"
 #include "topology/ksp.h"
 
@@ -14,6 +16,10 @@ Outcome Restorer::restore(
     const topology::Network& net, const planning::Plan& plan,
     const FailureScenario& scenario,
     const std::map<topology::LinkId, int>& extra_spares) const {
+  // Mirrors restoration.incremental.restore so the work profile separates
+  // the from-scratch path from the incremental one.
+  OBS_SPAN("restoration.restore");
+  OBS_COUNTER_ADD("restoration.restore.calls", 1);
   // Working copy of the post-planning spectrum state (constraint 9's phi_w).
   std::vector<spectrum::Occupancy> fibers(plan.fiber_occupancies().begin(),
                                           plan.fiber_occupancies().end());

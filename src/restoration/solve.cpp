@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flexwan::restoration::detail {
 
 Outcome solve(const topology::Network& net,
@@ -13,6 +16,10 @@ Outcome solve(const topology::Network& net,
               std::vector<spectrum::Occupancy>& fibers,
               const std::map<topology::LinkId, int>& extra_spares,
               const PathsForLink& paths_for) {
+  // The shared greedy core: both the from-scratch and incremental restorers
+  // land here, so this span separates their solve work in the work profile
+  // (e.g. `sim.restore > restoration.incremental.restore > restoration.solve`).
+  OBS_SPAN("restoration.solve");
   Outcome outcome;
   outcome.affected_gbps = affected_gbps;
   if (affected.empty()) return outcome;
@@ -96,6 +103,7 @@ Outcome solve(const topology::Network& net,
                                       : lost.back().original_path_km;
       ++next_original;
       outcome.wavelengths.push_back(std::move(rw));
+      OBS_COUNTER_ADD("restoration.solve.placements", 1);
       outcome.restored_gbps += best.revived;
       lr.restored_gbps += best.revived;
       remaining -= best.revived;

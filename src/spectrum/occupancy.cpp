@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/metrics.h"
 #include "spectrum/grid.h"
 
 namespace flexwan::spectrum {
@@ -35,14 +36,19 @@ bool for_each_word(const Range& range, Visit&& visit) {
 // Visits every maximal run of free pixels at index >= from as (start, len),
 // ascending; stops early when `visit` returns false.  Tail bits past
 // pixels() are set, so no end-of-band clamping is needed; a word that is
-// all-used or all-free is handled in one step.
+// all-used or all-free is handled in one step.  Returns how many words the
+// scan examined — a deterministic work measure (it depends only on the
+// bitmap contents and the scan arguments) that first_fit feeds into the
+// `spectrum.first_fit.words_scanned` counter.
 template <typename Visit>
-void scan_free_runs(const std::vector<std::uint64_t>& words, int from,
-                    Visit&& visit) {
+int scan_free_runs(const std::vector<std::uint64_t>& words, int from,
+                   Visit&& visit) {
   const int n = static_cast<int>(words.size());
   const int start_word = std::max(from, 0) / kWordBits;
   int run_start = -1;
+  int scanned = 0;
   for (int i = start_word; i < n; ++i) {
+    ++scanned;
     std::uint64_t used = words[static_cast<std::size_t>(i)];
     if (i == start_word) used |= bit_mask(0, std::max(from, 0) - i * kWordBits);
     const int base = i * kWordBits;
@@ -51,13 +57,17 @@ void scan_free_runs(const std::vector<std::uint64_t>& words, int from,
       continue;
     }
     if (used == ~std::uint64_t{0}) {
-      if (run_start >= 0 && !visit(run_start, base - run_start)) return;
+      if (run_start >= 0 && !visit(run_start, base - run_start)) {
+        return scanned;
+      }
       run_start = -1;
       continue;
     }
     for (int bit = 0; bit < kWordBits;) {
       if ((used >> bit) & 1u) {
-        if (run_start >= 0 && !visit(run_start, base + bit - run_start)) return;
+        if (run_start >= 0 && !visit(run_start, base + bit - run_start)) {
+          return scanned;
+        }
         run_start = -1;
         const std::uint64_t inverted = ~(used >> bit);
         bit += inverted == 0 ? kWordBits - bit : std::countr_zero(inverted);
@@ -69,6 +79,7 @@ void scan_free_runs(const std::vector<std::uint64_t>& words, int from,
     }
   }
   if (run_start >= 0) visit(run_start, n * kWordBits - run_start);
+  return scanned;
 }
 
 }  // namespace
@@ -138,11 +149,14 @@ Expected<bool> Occupancy::release(const Range& range) {
 std::optional<Range> Occupancy::first_fit(int count, int from) const {
   if (count <= 0 || std::max(from, 0) >= pixels_) return std::nullopt;
   std::optional<Range> fit;
-  scan_free_runs(words_, from, [&](int start, int len) {
+  const int scanned = scan_free_runs(words_, from, [&](int start, int len) {
     if (len < count) return true;
     fit = Range{start, count};
     return false;
   });
+  // The word-packed hot path's work measure: how far each search walked
+  // the bitmap.  Deterministic, so it lands in bundles and work profiles.
+  OBS_COUNTER_ADD("spectrum.first_fit.words_scanned", scanned);
   return fit;
 }
 

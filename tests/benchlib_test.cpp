@@ -3,7 +3,8 @@
 // structure and provenance), per-case metrics deltas — including two
 // engine-parallel cases back-to-back at 8 threads whose deltas must sum to
 // the process totals — and the perf_diff regression gate (self-compare is
-// clean; an injected slowdown and a vanished case both fail the gate).
+// clean; an injected slowdown and a vanished case both fail the gate;
+// per-case work-profile sections are gated exactly, with named diffs).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchlib/benchlib.h"
@@ -255,9 +257,19 @@ BenchReport make_report(std::vector<BenchReport::Case> cases) {
   return report;
 }
 
+BenchReport::Case make_case(const char* name, int reps, double median,
+                            double mean) {
+  BenchReport::Case c;
+  c.name = name;
+  c.reps = reps;
+  c.median_us = median;
+  c.mean_us = mean;
+  return c;
+}
+
 TEST(BenchCompare, SelfCompareHasZeroFailures) {
   const auto report =
-      make_report({{"a", 3, 100.0, 101.0}, {"b", 3, 2000.0, 2100.0}});
+      make_report({make_case("a", 3, 100.0, 101.0), make_case("b", 3, 2000.0, 2100.0)});
   const auto cmp = compare_reports(report, report);
   ASSERT_TRUE(cmp) << cmp.error().message;
   EXPECT_EQ(cmp->failures(), 0);
@@ -270,9 +282,9 @@ TEST(BenchCompare, SelfCompareHasZeroFailures) {
 }
 
 TEST(BenchCompare, InjectedRegressionFailsTheGate) {
-  const auto baseline = make_report({{"fast", 3, 100.0, 100.0}});
+  const auto baseline = make_report({make_case("fast", 3, 100.0, 100.0)});
   // 25 % slower: over the 10 % default threshold.
-  const auto candidate = make_report({{"fast", 3, 125.0, 125.0}});
+  const auto candidate = make_report({make_case("fast", 3, 125.0, 125.0)});
   const auto cmp = compare_reports(baseline, candidate);
   ASSERT_TRUE(cmp) << cmp.error().message;
   EXPECT_EQ(cmp->regressions, 1);
@@ -288,9 +300,9 @@ TEST(BenchCompare, InjectedRegressionFailsTheGate) {
 }
 
 TEST(BenchCompare, ImprovementAndNewCaseAreNotFailures) {
-  const auto baseline = make_report({{"a", 3, 100.0, 100.0}});
+  const auto baseline = make_report({make_case("a", 3, 100.0, 100.0)});
   const auto candidate =
-      make_report({{"a", 3, 50.0, 50.0}, {"new_case", 3, 10.0, 10.0}});
+      make_report({make_case("a", 3, 50.0, 50.0), make_case("new_case", 3, 10.0, 10.0)});
   const auto cmp = compare_reports(baseline, candidate);
   ASSERT_TRUE(cmp);
   EXPECT_EQ(cmp->failures(), 0);
@@ -304,9 +316,9 @@ TEST(BenchCompare, ImprovementAndNewCaseAreNotFailures) {
 }
 
 TEST(BenchCompare, NewCasesAloneNeverFailTheGate) {
-  const auto baseline = make_report({{"a", 3, 100.0, 100.0}});
+  const auto baseline = make_report({make_case("a", 3, 100.0, 100.0)});
   const auto candidate = make_report(
-      {{"a", 3, 100.0, 100.0}, {"b", 3, 10.0, 10.0}, {"c", 3, 20.0, 20.0}});
+      {make_case("a", 3, 100.0, 100.0), make_case("b", 3, 10.0, 10.0), make_case("c", 3, 20.0, 20.0)});
   const auto cmp = compare_reports(baseline, candidate);
   ASSERT_TRUE(cmp) << cmp.error().message;
   EXPECT_EQ(cmp->failures(), 0);
@@ -317,8 +329,8 @@ TEST(BenchCompare, NewCasesAloneNeverFailTheGate) {
 
 TEST(BenchCompare, VanishedBaselineCaseIsAGateFailure) {
   const auto baseline =
-      make_report({{"kept", 3, 100.0, 100.0}, {"dropped", 3, 100.0, 100.0}});
-  const auto candidate = make_report({{"kept", 3, 100.0, 100.0}});
+      make_report({make_case("kept", 3, 100.0, 100.0), make_case("dropped", 3, 100.0, 100.0)});
+  const auto candidate = make_report({make_case("kept", 3, 100.0, 100.0)});
   const auto cmp = compare_reports(baseline, candidate);
   ASSERT_TRUE(cmp);
   EXPECT_EQ(cmp->vanished, 1);
@@ -327,7 +339,7 @@ TEST(BenchCompare, VanishedBaselineCaseIsAGateFailure) {
 }
 
 TEST(BenchCompare, RejectsMismatchedBenchesAndBadThresholds) {
-  auto baseline = make_report({{"a", 3, 1.0, 1.0}});
+  auto baseline = make_report({make_case("a", 3, 1.0, 1.0)});
   auto candidate = baseline;
   candidate.bench = "other";
   EXPECT_FALSE(compare_reports(baseline, candidate));
@@ -335,6 +347,113 @@ TEST(BenchCompare, RejectsMismatchedBenchesAndBadThresholds) {
   EXPECT_FALSE(compare_reports(baseline, candidate, 0.0));
   EXPECT_FALSE(compare_reports(baseline, candidate, -0.1));
   EXPECT_FALSE(compare_reports(baseline, candidate, 11.0));
+}
+
+TEST(BenchCompare, WorkProfileSelfCompareIsCleanAndDriftFailsExactly) {
+  auto base_case = make_case("a", 3, 100.0, 100.0);
+  base_case.has_work_profile = true;
+  base_case.work_profile["(root);planner.plan;topo.ksp.calls"] = 48;
+  base_case.work_profile["(root);planner.plan;engine.parallel_for"] = 2;
+  const auto baseline = make_report({base_case});
+
+  // Identical sections: clean.
+  const auto self = compare_reports(baseline, baseline);
+  ASSERT_TRUE(self) << self.error().message;
+  EXPECT_EQ(self->failures(), 0);
+  EXPECT_EQ(self->work_mismatches, 0);
+  EXPECT_TRUE(self->work_diffs.empty());
+
+  // A drift of exactly 1 — far below any wall-time threshold — fails the
+  // exact gate, and the rendered diff names the node that moved.
+  auto drift_case = base_case;
+  drift_case.work_profile["(root);planner.plan;topo.ksp.calls"] = 49;
+  const auto drift = compare_reports(baseline, make_report({drift_case}));
+  ASSERT_TRUE(drift);
+  EXPECT_EQ(drift->work_mismatches, 1);
+  EXPECT_GT(drift->failures(), 0);
+  ASSERT_EQ(drift->work_diffs.size(), 1u);
+  EXPECT_EQ(drift->work_diffs[0].kind, WorkDiff::Kind::kChanged);
+  EXPECT_EQ(drift->work_diffs[0].field, "(root);planner.plan;topo.ksp.calls");
+  EXPECT_EQ(drift->work_diffs[0].baseline, 48u);
+  EXPECT_EQ(drift->work_diffs[0].candidate, 49u);
+  EXPECT_NE(drift->render().find("WORK CHANGED"), std::string::npos);
+  EXPECT_NE(drift->render().find("(root);planner.plan;topo.ksp.calls"),
+            std::string::npos);
+  EXPECT_NE(drift->render().find("work-profile mismatch"), std::string::npos);
+}
+
+TEST(BenchCompare, WorkProfileVanishedFieldFailsNewFieldDoesNot) {
+  auto base_case = make_case("a", 3, 100.0, 100.0);
+  base_case.has_work_profile = true;
+  base_case.work_profile["(root);sim.restore"] = 7;
+  const auto baseline = make_report({base_case});
+
+  // Field vanished from the candidate: gate failure.
+  auto gone_case = base_case;
+  gone_case.work_profile.clear();
+  const auto gone = compare_reports(baseline, make_report({gone_case}));
+  ASSERT_TRUE(gone);
+  EXPECT_EQ(gone->work_mismatches, 1);
+  EXPECT_EQ(gone->work_diffs[0].kind, WorkDiff::Kind::kOnlyBaseline);
+  EXPECT_NE(gone->render().find("WORK VANISHED"), std::string::npos);
+
+  // Field only in the candidate: new instrumentation, informational.
+  auto grown_case = base_case;
+  grown_case.work_profile["(root);sim.restore;restoration.solve"] = 7;
+  const auto grown = compare_reports(baseline, make_report({grown_case}));
+  ASSERT_TRUE(grown);
+  EXPECT_EQ(grown->failures(), 0);
+  EXPECT_EQ(grown->work_new_fields, 1);
+  EXPECT_EQ(grown->work_diffs[0].kind, WorkDiff::Kind::kOnlyCandidate);
+  EXPECT_NE(grown->render().find("new work field(s) not gated"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, WorkProfileSkippedWhenEitherSideLacksTheSection) {
+  // Pre-profiler BENCH files have no "work_profile" key at all; comparing
+  // against them must not fail on the counters the newer side recorded.
+  auto with = make_case("a", 3, 100.0, 100.0);
+  with.has_work_profile = true;
+  with.work_profile["(root);planner.plan"] = 3;
+  const auto without = make_case("a", 3, 100.0, 100.0);
+  for (const auto& [old_side, new_side] :
+       {std::pair{without, with}, std::pair{with, without}}) {
+    const auto cmp = compare_reports(make_report({old_side}),
+                                     make_report({new_side}));
+    ASSERT_TRUE(cmp);
+    EXPECT_EQ(cmp->failures(), 0);
+    EXPECT_TRUE(cmp->work_diffs.empty());
+  }
+}
+
+TEST(BenchCompare, LoadParsesWorkProfileSections) {
+  const std::string text = R"({
+    "schema_version": 1, "bench": "gate",
+    "cases": [
+      {"name": "a", "reps": 3,
+       "wall_stats_us": {"median": 10.0, "mean": 10.0},
+       "work_profile": {"(root);planner.plan;topo.ksp.calls": 48}},
+      {"name": "b", "reps": 3,
+       "wall_stats_us": {"median": 10.0, "mean": 10.0}}
+    ]})";
+  const auto report = load_bench_report(text);
+  ASSERT_TRUE(report) << report.error().message;
+  ASSERT_EQ(report->cases.size(), 2u);
+  EXPECT_TRUE(report->cases[0].has_work_profile);
+  EXPECT_EQ(report->cases[0].work_profile.at(
+                "(root);planner.plan;topo.ksp.calls"),
+            48u);
+  EXPECT_FALSE(report->cases[1].has_work_profile);
+
+  // Malformed sections are rejected, not silently skipped.
+  EXPECT_FALSE(load_bench_report(R"({
+    "schema_version": 1, "bench": "gate",
+    "cases": [{"name": "a", "wall_stats_us": {"median": 1.0, "mean": 1.0},
+               "work_profile": [1, 2]}]})"));
+  EXPECT_FALSE(load_bench_report(R"({
+    "schema_version": 1, "bench": "gate",
+    "cases": [{"name": "a", "wall_stats_us": {"median": 1.0, "mean": 1.0},
+               "work_profile": {"k": -3}}]})"));
 }
 
 TEST(BenchCompare, LoadRoundTripsHarnessOutputAndRejectsBadDocs) {

@@ -1,0 +1,264 @@
+// Tests for the work-attribution profiler (src/obs/workprof.h): the
+// calling-context tree is byte-identical at 1 and 8 threads through the
+// full lifecycle sim, exclusive work sums to the flat registry totals,
+// folded output round-trips through the JSON artifact, and a seeded
+// algorithmic change (KSP k+1) moves a *named* planner node.
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "obs/eventlog.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/workprof.h"
+#include "planning/heuristic.h"
+#include "sim/simulator.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::obs {
+namespace {
+
+// Profiling-bundle observability state: metrics + events + workprof on,
+// timing off — what report_from_flags enables for --bundle — restored to
+// pristine on the way out.
+class ProfileGuard {
+ public:
+  ProfileGuard() {
+    Registry::instance().reset();
+    EventLog::instance().reset();
+    workprof::WorkProfile::instance().reset();
+    set_metrics_enabled(true);
+    set_timing_enabled(false);
+    set_events_enabled(true);
+    set_workprof_enabled(true);
+  }
+  ~ProfileGuard() {
+    set_workprof_enabled(false);
+    set_events_enabled(false);
+    set_metrics_enabled(false);
+    workprof::WorkProfile::instance().reset();
+    EventLog::instance().reset();
+    Registry::instance().reset();
+  }
+};
+
+// One lifecycle sim run under the profiler; returns the three profile
+// serializations plus the flat registry totals.
+struct Capture {
+  std::string profile_json;
+  std::string folded;
+  std::map<std::string, std::uint64_t> flat;
+  MetricsSnapshot registry;
+};
+
+Capture run_sim(int threads, int trials = 4) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  EXPECT_TRUE(plan);
+
+  sim::LifecycleConfig config;
+  config.trials = trials;
+  config.timeline.horizon_days = 90.0;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+  config.timeline.growth_interval_days = 45.0;
+
+  // Tools construct the engine before report_from_flags enables obs;
+  // mirror that order so engine startup never lands in the profile.
+  const engine::Engine engine(threads);
+  const ProfileGuard guard;
+  const auto report = sim::run_lifecycle(net, *plan,
+                                         transponder::svt_flexwan(), config,
+                                         engine);
+  EXPECT_TRUE(report) << (report ? "" : report.error().message);
+
+  Capture out;
+  auto& profile = workprof::WorkProfile::instance();
+  out.profile_json = profile.to_json();
+  out.folded = profile.to_folded();
+  out.flat = profile.flatten();
+  out.registry = Registry::instance().snapshot();
+  return out;
+}
+
+// The tentpole contract: the attributed-work tree — not just the flat
+// counters — is byte-identical at every thread count.
+TEST(WorkProfile, SimLifecycleTreeIsByteIdenticalAt1And8Threads) {
+  const Capture serial = run_sim(1);
+  const Capture threaded = run_sim(8);
+  EXPECT_FALSE(serial.profile_json.empty());
+  EXPECT_FALSE(serial.folded.empty());
+  EXPECT_EQ(serial.profile_json, threaded.profile_json)
+      << "profile.json differs";
+  EXPECT_EQ(serial.folded, threaded.folded) << "profile.folded differs";
+
+  // The tree actually has depth: the per-trial fan-out hangs under the
+  // lifecycle span, and restoration work lands inside those frames.
+  EXPECT_NE(serial.folded.find("sim.lifecycle;engine.parallel_for"),
+            std::string::npos);
+  EXPECT_NE(serial.profile_json.find("restoration.solve"),
+            std::string::npos);
+}
+
+// Exclusive work is exhaustive: summing a counter's value over every tree
+// node reproduces the flat registry total.  Nothing is attributed twice
+// and nothing tracked escapes attribution.
+TEST(WorkProfile, ExclusiveWorkSumsToFlatRegistryTotals) {
+  const Capture capture = run_sim(8);
+  ASSERT_FALSE(capture.flat.empty());
+
+  std::map<std::string, std::uint64_t> per_counter;
+  for (const auto& [key, value] : capture.flat) {
+    // Flatten keys are "(root);frame;...;counter" — the counter name is
+    // the last ';' segment.
+    const auto pos = key.rfind(';');
+    ASSERT_NE(pos, std::string::npos) << key;
+    per_counter[key.substr(pos + 1)] += value;
+  }
+  ASSERT_FALSE(per_counter.empty());
+  for (const auto& [name, total] : per_counter) {
+    const auto it = capture.registry.counters.find(name);
+    ASSERT_NE(it, capture.registry.counters.end()) << name;
+    EXPECT_EQ(it->second, total) << name;
+  }
+  // And the reverse direction for the engine's own work counter: every
+  // executed task was attributed somewhere.
+  EXPECT_EQ(per_counter.at("engine.tasks_executed"),
+            capture.registry.counters.at("engine.tasks_executed"));
+  EXPECT_GT(per_counter.count("spectrum.first_fit.words_scanned"), 0u);
+}
+
+// profile.folded is derivable from profile.json alone: parsing the JSON
+// artifact and re-deriving the folded stacks reproduces the file byte for
+// byte (flamegraph tooling needs no second source of truth).
+TEST(WorkProfile, FoldedOutputRoundTripsThroughTheJsonArtifact) {
+  const Capture capture = run_sim(1);
+  const auto doc = json::parse(capture.profile_json);
+  ASSERT_TRUE(doc) << doc.error().message;
+  EXPECT_EQ(doc->find("schema_version")->as_number(),
+            workprof::kProfileSchemaVersion);
+  EXPECT_EQ(doc->find("weight_default")->as_string(),
+            workprof::kDefaultFoldedWeight);
+  const json::Value* root = doc->find("root");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(workprof::folded_from_json_tree(
+                *root, workprof::kDefaultFoldedWeight),
+            capture.folded);
+
+  // flatten_json_tree mirrors the in-memory flatten (modulo the "profile."
+  // prefix bundle_diff uses).
+  std::map<std::string, double> fields;
+  workprof::flatten_json_tree(*root, "profile.", fields);
+  ASSERT_EQ(fields.size(), capture.flat.size());
+  for (const auto& [key, value] : capture.flat) {
+    const auto it = fields.find("profile." + key);
+    ASSERT_NE(it, fields.end()) << key;
+    EXPECT_EQ(it->second, static_cast<double>(value)) << key;
+  }
+}
+
+// The exact gate catches real algorithmic drift: widening the KSP search
+// by one path changes the planner's attributed work at a *named* node.
+TEST(WorkProfile, KspDriftMovesANamedPlannerNode) {
+  const auto net = topology::make_tbackbone();
+  const auto profile_plan = [&](int k_paths) {
+    planning::PlannerConfig config;
+    config.k_paths = k_paths;
+    planning::HeuristicPlanner planner(transponder::svt_flexwan(), config);
+    const engine::Engine engine(4);
+    const ProfileGuard guard;
+    const auto plan = planner.plan(net);
+    EXPECT_TRUE(plan);
+    return workprof::WorkProfile::instance().flatten();
+  };
+
+  const auto baseline = profile_plan(3);
+  const auto drifted = profile_plan(4);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_NE(baseline, drifted);
+
+  // At least one differing key names the planner subtree, so the gate's
+  // diff points at the phase whose work moved.
+  bool planner_node_moved = false;
+  for (const auto& [key, value] : baseline) {
+    const auto it = drifted.find(key);
+    if ((it == drifted.end() || it->second != value) &&
+        key.find("planner.plan") != std::string::npos) {
+      planner_node_moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(planner_node_moved);
+}
+
+// Attribution is span-scoped: the same counter lands in different tree
+// nodes depending on the open frames, and exclusive cost never leaks into
+// the parent.
+TEST(WorkProfile, AttributionFollowsTheSpanStack) {
+  const ProfileGuard guard;
+  {
+    OBS_SPAN("outer");
+    OBS_COUNTER_ADD("probe.work", 2);
+    {
+      OBS_SPAN("inner");
+      OBS_COUNTER_ADD("probe.work", 5);
+    }
+  }
+  OBS_COUNTER_ADD("probe.work", 1);
+
+  const auto flat = workprof::WorkProfile::instance().flatten();
+  EXPECT_EQ(flat.at("(root);outer;probe.work"), 2u);
+  EXPECT_EQ(flat.at("(root);outer;inner;probe.work"), 5u);
+  EXPECT_EQ(flat.at("(root);probe.work"), 1u);
+  EXPECT_EQ(Registry::instance().snapshot().counters.at("probe.work"), 8u);
+}
+
+// Parallel work inherits the submitter's open frames: tasks run on worker
+// threads attribute under <submitting spans>;engine.parallel_for, and the
+// merge is independent of which worker ran what.
+TEST(WorkProfile, ParallelWorkAttributesUnderTheSubmittingSpan) {
+  const engine::Engine engine(8);
+  const ProfileGuard guard;
+  {
+    OBS_SPAN("fan_out");
+    engine.parallel_for(64, [](std::size_t) {
+      OBS_COUNTER_ADD("probe.task", 1);
+    });
+  }
+  const auto flat = workprof::WorkProfile::instance().flatten();
+  EXPECT_EQ(flat.at("(root);fan_out;engine.parallel_for;probe.task"), 64u);
+  EXPECT_EQ(
+      flat.at("(root);fan_out;engine.parallel_for;engine.tasks_executed"),
+      64u);
+}
+
+// Disabled profiler: no frames, no attribution, empty tree — the macro
+// fast path costs one relaxed load.
+TEST(WorkProfile, DisabledProfilerRecordsNothing) {
+  Registry::instance().reset();
+  workprof::WorkProfile::instance().reset();
+  set_metrics_enabled(true);
+  set_workprof_enabled(false);
+  {
+    OBS_SPAN("invisible");
+    OBS_COUNTER_ADD("probe.off", 3);
+  }
+  EXPECT_TRUE(workprof::WorkProfile::instance().flatten().empty());
+  // The flat registry still counted it: profiling is attribution, not
+  // collection.
+  EXPECT_EQ(Registry::instance().snapshot().counters.at("probe.off"), 3u);
+  set_metrics_enabled(false);
+  set_timing_enabled(false);
+  Registry::instance().reset();
+}
+
+}  // namespace
+}  // namespace flexwan::obs
