@@ -5,10 +5,14 @@
 //               [--thresholds f.json] [--out dir]
 //
 // Loads both bundles (run.json + metrics.json + events.jsonl, schema
-// checked), flattens them to dotted numeric fields (run.json results,
-// metrics counters/gauges, histogram count/sum/p50/p90/p99, per-category
-// event counts), and checks each field's relative change against per-field
-// thresholds:
+// checked; profile.json and timeseries.jsonl when present), flattens them
+// to dotted numeric fields (run.json results, metrics counters/gauges,
+// histogram count/sum/p50/p90/p99, per-category event counts, profile.*
+// work nodes, timeseries.samples / timeseries.reason.<reason> row counts,
+// and timeseries.health.* resilience indicators — availability dip,
+// worst/P99 sim-time time-to-recover, episode counts, fragmentation drift —
+// recomputed from the stored trajectory), and checks each field's relative
+// change against per-field thresholds:
 //
 //   --thresholds f.json   {"default": 0.05,
 //                          "fields": {"results.availability.mean": 0.0001}}

@@ -9,9 +9,14 @@
 //            [--no-defrag]       skip opportunistic defragmentation
 //            [--verify-incremental]  re-solve every event from scratch and
 //                                    fail on any divergence (oracle parity)
+//            [--sample-interval D]   sim-days between "interval" rows of the
+//                                    time-series trajectory (0 = event-keyed
+//                                    rows only; sampling itself is on exactly
+//                                    when --bundle / --bench-json is)
 //            [--threads N] [--metrics f.json] [--trace f.json]
 //            [--bundle dir]      write an evidence bundle (run.json,
-//                                events.jsonl, metrics.json, summary.md);
+//                                events.jsonl, metrics.json, summary.md,
+//                                timeseries.jsonl);
 //                                byte-identical at every --threads value
 //                                (modulo run.json's "threads" field)
 //
@@ -35,6 +40,7 @@
 #include "engine/engine.h"
 #include "obs/bundle.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "planning/heuristic.h"
 #include "sim/simulator.h"
 #include "topology/builders.h"
@@ -51,7 +57,7 @@ namespace {
       "usage: %s [--network tbackbone|cernet] [--scheme flexwan|radwan|100g]\n"
       "          [--years Y] [--trials M] [--seed S] [--cut-rate R]\n"
       "          [--mttr-hours H] [--growth-days D] [--growth-pct P]\n"
-      "          [--no-defrag] [--verify-incremental]\n"
+      "          [--no-defrag] [--verify-incremental] [--sample-interval D]\n"
       "          [--threads N] [--metrics f] [--trace f] [--bundle dir]\n",
       argv0);
   std::exit(2);
@@ -150,6 +156,9 @@ int main(int argc, char** argv) {
           parse_double("--growth-days", value(), argv[0], 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--growth-pct") == 0) {
       growth_pct = parse_double("--growth-pct", value(), argv[0], 0.0, 1000.0);
+    } else if (std::strcmp(argv[i], "--sample-interval") == 0) {
+      config.sample_interval_days =
+          parse_double("--sample-interval", value(), argv[0], 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--no-defrag") == 0) {
       config.defrag_on_growth = false;
     } else if (std::strcmp(argv[i], "--verify-incremental") == 0) {
@@ -281,6 +290,8 @@ int main(int argc, char** argv) {
                                Value(config.defrag_on_growth));
     bundle.config.emplace_back("verify_incremental",
                                Value(config.restorer.verify_incremental));
+    bundle.config.emplace_back("sample_interval_days",
+                               Value(config.sample_interval_days));
     bundle.results.emplace_back("availability.mean", sim->mean_availability);
     bundle.results.emplace_back("availability.min", sim->min_availability);
     bundle.results.emplace_back("lost_gbps_minutes.mean",
@@ -305,6 +316,16 @@ int main(int argc, char** argv) {
           "link_downtime_minutes." + net.ip.link(worst[i].first).name,
           worst[i].second);
     }
+    // Headline health indicators derived from the sim-time trajectory the
+    // trials just spliced into the global TimeSeries.  Published as
+    // "health.*" results so they headline run.json/summary.md; bundle_diff
+    // additionally recomputes them from timeseries.jsonl under
+    // "timeseries.health.*" (the two must agree — both call derive_health).
+    const obs::HealthIndicators health =
+        obs::derive_health(obs::TimeSeries::instance().samples());
+    for (const auto& [name, v] : obs::flatten_health(health, "health.")) {
+      bundle.results.emplace_back(name, v);
+    }
     std::ostringstream body;
     body << "## Trials\n\n| trial | availability | lost Gbps-min | "
             "restorations |\n|---|---|---|---|\n";
@@ -313,6 +334,20 @@ int main(int argc, char** argv) {
            << obs::json::number_to_string(t.availability) << " | "
            << obs::json::number_to_string(t.lost_gbps_minutes) << " | "
            << t.restorations << " |\n";
+    }
+    body << "\n## Health\n\n| indicator | value |\n|---|---|\n";
+    for (const auto& [name, v] : obs::flatten_health(health, "")) {
+      body << "| " << name << " | " << obs::json::number_to_string(v)
+           << " |\n";
+    }
+    if (!worst.empty()) {
+      body << "\n## Worst links by downtime\n\n"
+              "| link | mean degraded min/trial |\n|---|---|\n";
+      const std::size_t top = std::min<std::size_t>(5, worst.size());
+      for (std::size_t i = 0; i < top; ++i) {
+        body << "| " << net.ip.link(worst[i].first).name << " | "
+             << obs::json::number_to_string(worst[i].second) << " |\n";
+      }
     }
     bundle.summary_body_md = body.str();
     const auto written = bundle.write();

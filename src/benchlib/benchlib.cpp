@@ -7,10 +7,12 @@
 #include <cmath>
 #include <cstdint>
 #include <fstream>
+#include <span>
 #include <sstream>
 
 #include "obs/bundle.h"
 #include "obs/json.h"
+#include "obs/timeseries.h"
 #include "obs/workprof.h"
 
 // Build provenance is injected by src/benchlib/CMakeLists.txt; the
@@ -126,9 +128,15 @@ std::map<std::string, std::uint64_t> Harness::capture_work() {
   return obs::workprof::WorkProfile::instance().flatten();
 }
 
+std::size_t Harness::capture_timeseries_size() {
+  if (!obs::timeseries_enabled()) return 0;
+  return obs::TimeSeries::instance().size();
+}
+
 void Harness::finish_case(CaseResult record,
                           const obs::MetricsSnapshot& before,
-                          const std::map<std::string, std::uint64_t>& work_before) {
+                          const std::map<std::string, std::uint64_t>& work_before,
+                          std::size_t timeseries_before) {
   record.stats = compute_stats(record.wall_us);
   record.delta = obs::snapshot_delta(before, obs::Registry::instance().snapshot());
   // Attributed work is monotonic, so the per-case delta is a subtraction
@@ -138,6 +146,20 @@ void Harness::finish_case(CaseResult record,
     const auto it = work_before.find(key);
     const std::uint64_t prior = it == work_before.end() ? 0 : it->second;
     if (after != prior) record.work_profile[key] = after - prior;
+  }
+  // Health indicators over exactly the rows this case's measured reps
+  // spliced into the global trace (the watermark is taken after warmup, so
+  // warmup rows are excluded).  derive_health's segment rule handles
+  // repeated reps: each rep restarts t_days, opening a fresh segment.
+  if (obs::timeseries_enabled()) {
+    const auto rows = obs::TimeSeries::instance().samples();
+    if (rows.size() > timeseries_before) {
+      const auto health = obs::derive_health(
+          std::span<const obs::TimeSample>(rows).subspan(timeseries_before));
+      for (const auto& [key, value] : obs::flatten_health(health, "")) {
+        record.health[key] = value;
+      }
+    }
   }
   std::fprintf(stderr,
                "bench[%s] %s: median %.1f us  mean %.1f us  stddev %.1f us  "
@@ -211,6 +233,13 @@ std::string Harness::to_json() const {
       out << (first_work ? "" : ", ") << '"' << json::escape(key)
           << "\": " << value;
       first_work = false;
+    }
+    out << "},\n     \"health\": {";
+    bool first_health = true;
+    for (const auto& [key, value] : c.health) {
+      out << (first_health ? "" : ", ") << '"' << json::escape(key)
+          << "\": " << json::number_to_string(value);
+      first_health = false;
     }
     out << "}}";
     first_case = false;

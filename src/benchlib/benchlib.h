@@ -21,6 +21,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <optional>
 #include <string>
 #include <type_traits>
@@ -62,6 +63,11 @@ struct CaseResult {
   // Deterministic, so perf_diff gates these exactly while wall stats keep
   // their noise tolerance.
   std::map<std::string, std::uint64_t> work_profile;
+  // Derived resilience indicators (obs/timeseries.h flatten_health keys,
+  // no prefix) over the time-series rows the case's measured reps recorded.
+  // Empty when the sampler is off or the case sampled nothing; like
+  // work_profile, simulation-derived and therefore deterministic.
+  std::map<std::string, double> health;
 };
 
 // Where the numbers came from.  Deliberately hostname-free (BENCH files
@@ -126,13 +132,14 @@ class Harness {
     record.wall_us.reserve(static_cast<std::size_t>(options_.reps));
     const obs::MetricsSnapshot before = obs::Registry::instance().snapshot();
     const auto work_before = capture_work();
+    const std::size_t timeseries_before = capture_timeseries_size();
     if constexpr (std::is_void_v<Result>) {
       for (int rep = 0; rep < options_.reps; ++rep) {
         const auto t0 = std::chrono::steady_clock::now();
         fn();
         record.wall_us.push_back(elapsed_us(t0));
       }
-      finish_case(std::move(record), before, work_before);
+      finish_case(std::move(record), before, work_before, timeseries_before);
     } else {
       std::optional<Result> result;
       for (int rep = 0; rep < options_.reps; ++rep) {
@@ -140,7 +147,7 @@ class Harness {
         result.emplace(fn());
         record.wall_us.push_back(elapsed_us(t0));
       }
-      finish_case(std::move(record), before, work_before);
+      finish_case(std::move(record), before, work_before, timeseries_before);
       return std::move(*result);
     }
   }
@@ -174,10 +181,15 @@ class Harness {
 
   // Stats + metrics delta + stderr summary, then stores the record.
   void finish_case(CaseResult record, const obs::MetricsSnapshot& before,
-                   const std::map<std::string, std::uint64_t>& work_before);
+                   const std::map<std::string, std::uint64_t>& work_before,
+                   std::size_t timeseries_before);
 
   // Flattened work-profile snapshot (empty when the profiler is off).
   static std::map<std::string, std::uint64_t> capture_work();
+
+  // Global TimeSeries row count (0 when the sampler is off): the watermark
+  // that scopes derive_health to the rows a case's measured reps added.
+  static std::size_t capture_timeseries_size();
 
   // Writes one case name to the saved real-stdout fd (list mode).
   void list_case(const std::string& case_name);

@@ -8,6 +8,7 @@
 
 #include "obs/eventlog.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/workprof.h"
 
 // Injected by src/obs/CMakeLists.txt; fallbacks keep non-CMake builds
@@ -166,6 +167,14 @@ Expected<bool> Bundle::write() const {
     keep_first_error(write_text_file((base / "profile.folded").string(),
                                      profile.to_folded()));
   }
+  // Same rule for the sim-time trajectory: present exactly when the sampler
+  // is on.  A run whose tool never samples (plan_tool, most benches) writes
+  // an empty file — "sampled nothing" and "sampler off" stay
+  // distinguishable on disk.
+  if (timeseries_enabled()) {
+    keep_first_error(write_text_file((base / "timeseries.jsonl").string(),
+                                     TimeSeries::instance().to_jsonl()));
+  }
   return result;
 }
 
@@ -243,6 +252,28 @@ Expected<BundleData> load_bundle(const std::string& dir) {
       return bad_bundle(dir + "/profile.json: " + profile.error().message);
     }
     data.profile = std::move(profile.value());
+  }
+
+  // timeseries.jsonl is optional like profile.json: bundles predating the
+  // sampler (or captured with it off) have no trajectory fields to compare.
+  const auto timeseries_path = (base / "timeseries.jsonl").string();
+  if (std::filesystem::exists(timeseries_path)) {
+    auto ts_text = read_text_file(timeseries_path);
+    if (!ts_text) return bad_bundle(ts_text.error().message);
+    std::istringstream ts_lines(ts_text.value());
+    std::string ts_line;
+    int ts_line_no = 0;
+    while (std::getline(ts_lines, ts_line)) {
+      ++ts_line_no;
+      if (ts_line.empty()) continue;
+      auto sample = parse_sample(ts_line);
+      if (!sample) {
+        return bad_bundle(dir + "/timeseries.jsonl line " +
+                          std::to_string(ts_line_no) + ": " +
+                          sample.error().message);
+      }
+      data.timeseries.push_back(std::move(sample.value()));
+    }
   }
   return data;
 }
@@ -360,6 +391,21 @@ std::map<std::string, double> comparable_fields(const BundleData& data) {
   // exactly by default (BundleThresholds::profile_default_tolerance).
   if (const json::Value* root = data.profile.find("root")) {
     workprof::flatten_json_tree(*root, "profile.", fields);
+  }
+  // Time-series trajectory: row counts plus resilience indicators
+  // *recomputed* from the stored trace — not read from run.json — so the
+  // gate holds even for bundles whose tool never published health results.
+  // Skipped entirely when the bundle carries no trace, keeping pre-sampler
+  // baselines comparable without phantom only-baseline violations.
+  if (!data.timeseries.empty()) {
+    fields["timeseries.samples"] = static_cast<double>(data.timeseries.size());
+    for (const TimeSample& sample : data.timeseries) {
+      fields["timeseries.reason." + sample.reason] += 1.0;
+    }
+    const HealthIndicators health = derive_health(data.timeseries);
+    for (const auto& [name, value] : flatten_health(health, "timeseries.health.")) {
+      fields[name] = value;
+    }
   }
   return fields;
 }

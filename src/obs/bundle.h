@@ -12,6 +12,9 @@
 //                   with the warn/error event counts
 //   profile.json    the work-attribution tree (workprof.h) — written only
 //   profile.folded  when the profiler is on, which --bundle turns on
+//   timeseries.jsonl  sim-time trajectory rows (timeseries.h), one typed
+//                   sample per line — written only when the time-series
+//                   sampler is on, which --bundle turns on
 //
 // Determinism contract: with --bundle alone (timing off, see metrics.h)
 // every artifact is byte-identical at any --threads value except the single
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/timeseries.h"
 #include "util/expected.h"
 
 namespace flexwan::obs {
@@ -94,6 +98,9 @@ struct BundleData {
   // profile.json document; null when the bundle predates work profiling or
   // was captured with the profiler off (both load fine).
   json::Value profile;
+  // One parsed row per timeseries.jsonl line; empty when the bundle
+  // predates time-series telemetry or was captured with the sampler off.
+  std::vector<TimeSample> timeseries;
 };
 
 // Loads and validates a bundle directory.  Fails ("bad_bundle") when a
@@ -163,6 +170,12 @@ struct BundleComparison {
 //   events.total / events.<category>  counted from events.jsonl
 //   profile.(root);<frame>;...;<counter>  from profile.json, gated exactly
 //                                         by default (see BundleThresholds)
+//   timeseries.samples / timeseries.reason.<reason>  row counts from
+//                                                    timeseries.jsonl
+//   timeseries.health.*  resilience indicators recomputed from the stored
+//                        trace (derive_health), so a bundle whose tool
+//                        predates the run.json health results still gates
+//                        dips / time-to-recover / fragmentation drift
 // Policy mirrors perf_diff: a field that vanished from the candidate is a
 // violation (it can hide a regression); a new field is informational —
 // including new profile nodes, so adding instrumentation never fails a

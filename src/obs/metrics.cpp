@@ -45,6 +45,7 @@ void set_timing_enabled(bool on) { set_bit(kTimingBit, on); }
 // Counter attribution only fires on the metrics-enabled path, so callers
 // that want a profile enable metrics too (report_from_flags does both).
 void set_workprof_enabled(bool on) { set_bit(kWorkProfBit, on); }
+void set_timeseries_enabled(bool on) { set_bit(kTimeSeriesBit, on); }
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)),

@@ -46,6 +46,11 @@ inline constexpr unsigned kTimingBit = 8u;
 // the current frame stack.  Deterministic by construction, so bundles turn
 // it on alongside metrics while leaving timing off.
 inline constexpr unsigned kWorkProfBit = 16u;
+// kTimeSeriesBit turns on sim-time trajectory sampling (timeseries.h): the
+// lifecycle simulator records typed rows keyed to simulated t_days.  Keyed
+// to sim time only, so it is deterministic and safe in bundle-only
+// (timing-off) mode; --bundle and --bench-json both enable it.
+inline constexpr unsigned kTimeSeriesBit = 32u;
 
 namespace detail {
 extern std::atomic<unsigned> g_enabled;
@@ -84,6 +89,9 @@ inline bool timing_enabled() { return (enabled_bits() & kTimingBit) != 0; }
 inline bool workprof_enabled() {
   return (enabled_bits() & kWorkProfBit) != 0;
 }
+inline bool timeseries_enabled() {
+  return (enabled_bits() & kTimeSeriesBit) != 0;
+}
 
 // set_metrics_enabled(true) also turns timing on (callers that ask for
 // metrics expect latency histograms); set_timing_enabled(false) afterwards
@@ -93,6 +101,7 @@ void set_trace_enabled(bool on);
 void set_events_enabled(bool on);
 void set_timing_enabled(bool on);
 void set_workprof_enabled(bool on);
+void set_timeseries_enabled(bool on);
 
 // Work-profiler hooks (implemented in workprof.cpp; see workprof.h).
 // Declared here so the macros below can attribute without pulling the

@@ -178,9 +178,13 @@ RunReport report_from_flags(int& argc, char** argv) {
   if (!report.bundle_dir().empty()) set_events_enabled(true);
   // Work attribution rides along wherever its output lands: bundles write
   // profile.json/profile.folded, BENCH json carries per-case work deltas.
-  // Deterministic, so it is safe in bundle-only (timing-off) mode.
+  // Deterministic, so it is safe in bundle-only (timing-off) mode.  The
+  // sim-time trajectory sampler (timeseries.h) follows the same rule:
+  // bundles write timeseries.jsonl, BENCH json carries per-case derived
+  // health deltas.
   if (!report.bundle_dir().empty() || !bench.json_path.empty()) {
     set_workprof_enabled(true);
+    set_timeseries_enabled(true);
   }
   report.set_bench_options(std::move(bench));
   return report;

@@ -1,0 +1,250 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace flexwan::obs {
+
+std::string TimeSample::to_jsonl() const {
+  std::ostringstream out;
+  out << "{\"t_days\": " << json::number_to_string(t_days)
+      << ", \"trial\": " << trial << ", \"reason\": \""
+      << json::escape(reason) << "\", \"availability\": "
+      << json::number_to_string(availability)
+      << ", \"lost_gbps\": " << json::number_to_string(lost_gbps)
+      << ", \"offered_gbps\": " << json::number_to_string(offered_gbps)
+      << ", \"active_cuts\": " << active_cuts
+      << ", \"restored_wavelengths\": " << restored_wavelengths
+      << ", \"unrestored_wavelengths\": " << unrestored_wavelengths
+      << ", \"spectrum_util\": " << json::number_to_string(spectrum_util)
+      << ", \"fragmentation\": " << json::number_to_string(fragmentation)
+      << ", \"free_blocks\": " << free_blocks
+      << ", \"largest_free_block\": " << largest_free_block << "}";
+  return out.str();
+}
+
+namespace {
+
+Error bad_sample(const std::string& what) {
+  return Error::make("bad_sample", what);
+}
+
+Expected<double> number_field(const json::Value& doc, const char* key) {
+  const json::Value* v = doc.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return bad_sample(std::string("missing or non-numeric field '") + key +
+                      "'");
+  }
+  return v->as_number();
+}
+
+}  // namespace
+
+Expected<TimeSample> parse_sample(const std::string& jsonl_line) {
+  auto parsed = json::parse(jsonl_line);
+  if (!parsed) return bad_sample(parsed.error().message);
+  const json::Value& doc = parsed.value();
+  if (!doc.is_object()) return bad_sample("sample row is not an object");
+  TimeSample s;
+  const json::Value* reason = doc.find("reason");
+  if (reason == nullptr || !reason->is_string()) {
+    return bad_sample("missing or non-string field 'reason'");
+  }
+  s.reason = reason->as_string();
+  struct FieldRef {
+    const char* key;
+    double* target;
+  };
+  double trial = 0.0;
+  double active_cuts = 0.0;
+  double restored = 0.0;
+  double unrestored = 0.0;
+  double free_blocks = 0.0;
+  double largest = 0.0;
+  const FieldRef fields[] = {
+      {"t_days", &s.t_days},
+      {"trial", &trial},
+      {"availability", &s.availability},
+      {"lost_gbps", &s.lost_gbps},
+      {"offered_gbps", &s.offered_gbps},
+      {"active_cuts", &active_cuts},
+      {"restored_wavelengths", &restored},
+      {"unrestored_wavelengths", &unrestored},
+      {"spectrum_util", &s.spectrum_util},
+      {"fragmentation", &s.fragmentation},
+      {"free_blocks", &free_blocks},
+      {"largest_free_block", &largest},
+  };
+  for (const FieldRef& f : fields) {
+    auto value = number_field(doc, f.key);
+    if (!value) return value.error();
+    *f.target = value.value();
+  }
+  s.trial = static_cast<int>(trial);
+  s.active_cuts = static_cast<int>(active_cuts);
+  s.restored_wavelengths = static_cast<int>(restored);
+  s.unrestored_wavelengths = static_cast<int>(unrestored);
+  s.free_blocks = static_cast<std::int64_t>(free_blocks);
+  s.largest_free_block = static_cast<int>(largest);
+  return s;
+}
+
+HealthIndicators derive_health(std::span<const TimeSample> samples) {
+  HealthIndicators health;
+  if (samples.empty()) return health;
+
+  std::vector<double> durations;
+  double frag_delta_sum = 0.0;
+  int segments = 0;
+
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    // One segment: same trial index, non-decreasing time.
+    const std::size_t begin = i;
+    std::size_t end = i + 1;
+    while (end < samples.size() &&
+           samples[end].trial == samples[begin].trial &&
+           samples[end].t_days >= samples[end - 1].t_days) {
+      ++end;
+    }
+    ++segments;
+    frag_delta_sum +=
+        samples[end - 1].fragmentation - samples[begin].fragmentation;
+
+    double episode_open = -1.0;  // open episode's start time, < 0 when none
+    for (std::size_t j = begin; j < end; ++j) {
+      const TimeSample& row = samples[j];
+      health.availability_dip_max =
+          std::max(health.availability_dip_max, 1.0 - row.availability);
+      const bool losing = row.lost_gbps > 0.0;
+      if (losing && episode_open < 0.0) {
+        episode_open = row.t_days;
+        ++health.recovery_episodes;
+      } else if (!losing && episode_open >= 0.0) {
+        durations.push_back(row.t_days - episode_open);
+        episode_open = -1.0;
+      }
+    }
+    if (episode_open >= 0.0) {
+      // Still dark at the segment's last row: a truncated (censored)
+      // episode — the horizon ending does not make the outage shorter.
+      durations.push_back(samples[end - 1].t_days - episode_open);
+      ++health.unrecovered;
+    }
+    i = end;
+  }
+
+  if (!durations.empty()) {
+    std::sort(durations.begin(), durations.end());
+    health.time_to_recover_days_worst = durations.back();
+    const auto n = static_cast<double>(durations.size());
+    const auto rank =
+        static_cast<std::size_t>(std::max(1.0, std::ceil(0.99 * n)));
+    health.time_to_recover_days_p99 = durations[rank - 1];
+  }
+  health.fragmentation_delta =
+      segments > 0 ? frag_delta_sum / static_cast<double>(segments) : 0.0;
+  return health;
+}
+
+std::vector<std::pair<std::string, double>> flatten_health(
+    const HealthIndicators& health, const std::string& prefix) {
+  return {
+      {prefix + "availability_dip.max", health.availability_dip_max},
+      {prefix + "time_to_recover_days.worst",
+       health.time_to_recover_days_worst},
+      {prefix + "time_to_recover_days.p99", health.time_to_recover_days_p99},
+      {prefix + "recovery_episodes",
+       static_cast<double>(health.recovery_episodes)},
+      {prefix + "unrecovered", static_cast<double>(health.unrecovered)},
+      {prefix + "fragmentation.delta", health.fragmentation_delta},
+  };
+}
+
+TimeSeriesSampler::TimeSeriesSampler(double interval_days,
+                                     double horizon_days,
+                                     std::vector<TimeSample>* out)
+    : interval_days_(interval_days),
+      horizon_days_(horizon_days),
+      out_(out),
+      next_tick_(interval_days) {}
+
+void TimeSeriesSampler::start(TimeSample state) {
+  state.t_days = 0.0;
+  state.reason = "start";
+  last_state_ = state;
+  started_ = true;
+  out_->push_back(std::move(state));
+}
+
+void TimeSeriesSampler::emit_ticks_up_to(double t) {
+  if (interval_days_ <= 0.0) return;
+  while (next_tick_ <= t) {
+    TimeSample tick = last_state_;
+    tick.t_days = next_tick_;
+    tick.reason = "interval";
+    out_->push_back(std::move(tick));
+    next_tick_ += interval_days_;
+  }
+}
+
+void TimeSeriesSampler::record_event(double t, TimeSample state) {
+  // Ticks carry the pre-event state and sort before the event at equal t.
+  emit_ticks_up_to(t);
+  state.t_days = t;
+  state.reason = "event";
+  last_state_ = state;
+  out_->push_back(std::move(state));
+}
+
+void TimeSeriesSampler::finish() {
+  if (!started_) return;
+  emit_ticks_up_to(horizon_days_);
+  TimeSample final_row = last_state_;
+  final_row.t_days = horizon_days_;
+  final_row.reason = "final";
+  out_->push_back(std::move(final_row));
+}
+
+TimeSeries& TimeSeries::instance() {
+  static TimeSeries series;
+  return series;
+}
+
+void TimeSeries::splice(std::vector<TimeSample>&& rows) {
+  if (rows.empty()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  samples_.insert(samples_.end(), std::make_move_iterator(rows.begin()),
+                  std::make_move_iterator(rows.end()));
+}
+
+std::vector<TimeSample> TimeSeries::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::size_t TimeSeries::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::string TimeSeries::to_jsonl() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const TimeSample& s : samples_) {
+    out += s.to_jsonl();
+    out += '\n';
+  }
+  return out;
+}
+
+void TimeSeries::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+}
+
+}  // namespace flexwan::obs

@@ -1,0 +1,170 @@
+// Deterministic sim-time time-series telemetry — the time axis of an
+// evidence bundle (bundle.h).
+//
+// FlexWAN's headline claims are time-resolved: availability dips and
+// recovery after fiber cuts (paper Fig. 15/16), capacity trajectories as
+// the network grows.  metrics.json and run.json collapse a multi-year
+// lifecycle trial to end-of-run aggregates; this module records the
+// trajectory itself as typed sample rows keyed to *simulated* time
+// (t_days) — never wall clock — so timeseries.jsonl obeys the same
+// determinism contract as every other bundle artifact: byte-identical at
+// any --threads value.
+//
+// Sampling model (see DESIGN.md "Time-series telemetry"):
+//
+//   * "start"     one row at t = 0 with the deployed-plan state;
+//   * "event"     one row after every timeline event, carrying the
+//                 post-event state (two events at the same instant produce
+//                 two rows in event order);
+//   * "interval"  cadence rows at t = k * interval (k = 1, 2, ...) carrying
+//                 the state as of just before the tick.  A tick that
+//                 coincides with an event is emitted FIRST (pre-event
+//                 state), then the event row — so the dip a cut causes is
+//                 never smeared backwards onto the tick;
+//   * "final"     one row at the horizon with the closing state.
+//
+// Concurrency discipline mirrors the event log: each sim trial samples into
+// its own buffer and run_lifecycle splices buffers into the global
+// TimeSeries in trial-index order, so the file never depends on the
+// parallel schedule.
+//
+// derive_health() turns a trace back into the headline resilience
+// indicators the bundle gate consumes: max availability dip, worst /
+// P99 time-to-recover (sim-days), and the end-vs-start fragmentation
+// drift.  bundle_diff flattens them (plus recomputed values from
+// timeseries.jsonl) into dotted fields with per-field thresholds, so
+// "resilience got worse" is a CI exit code, not a number to eyeball.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/expected.h"
+
+namespace flexwan::obs {
+
+// One typed sample row.  Every field is simulation-derived; rows serialize
+// one JSON object per timeseries.jsonl line.
+struct TimeSample {
+  double t_days = 0.0;
+  int trial = 0;
+  // "start", "event", "interval", or "final" (see sampling model above).
+  std::string reason;
+  double availability = 1.0;  // instantaneous 1 - lost / offered
+  double lost_gbps = 0.0;
+  double offered_gbps = 0.0;
+  int active_cuts = 0;
+  int restored_wavelengths = 0;    // spare wavelengths currently applied
+  int unrestored_wavelengths = 0;  // affected wavelengths left dark
+  // Spectrum state across all fibers of the live plan, from
+  // spectrum::Occupancy::free_block_stats():
+  double spectrum_util = 0.0;    // used pixels / total pixels
+  double fragmentation = 0.0;    // mean per-fiber 1 - largest/free (free>0)
+  std::int64_t free_blocks = 0;  // total maximal free runs
+  int largest_free_block = 0;    // largest free run on any fiber
+
+  // One JSON object, no trailing newline; key order is fixed so the file
+  // byte-compares across runs.
+  std::string to_jsonl() const;
+};
+
+// Parses one timeseries.jsonl line back into a row.  Fails with
+// "bad_sample" on a missing or mistyped field — the bundle loader uses this
+// to recompute health indicators from a stored trace.
+Expected<TimeSample> parse_sample(const std::string& jsonl_line);
+
+// Derived headline resilience indicators over a trace.  The trace may
+// concatenate several trials (and, in bench harnesses, several repetitions
+// of the same trials): a new segment starts whenever the trial index
+// changes or t_days moves backwards, and no episode spans a segment
+// boundary.
+struct HealthIndicators {
+  // Deepest instantaneous availability dip: max over rows of
+  // (1 - availability).  0 for a trace that never lost traffic.
+  double availability_dip_max = 0.0;
+  // A recovery episode opens at the first row with lost_gbps > 0 and
+  // closes at the next row with lost_gbps == 0 (duration = close - open,
+  // sim-days).  An episode still open at its segment's last row is counted
+  // in `unrecovered` and contributes its truncated duration — an outage
+  // the horizon cut short is still an outage.
+  double time_to_recover_days_worst = 0.0;
+  // Nearest-rank P99 over all episode durations (the metrics.json quantile
+  // convention: rank = max(1, ceil(q * n))).
+  double time_to_recover_days_p99 = 0.0;
+  int recovery_episodes = 0;  // episodes opened (closed + unrecovered)
+  int unrecovered = 0;        // episodes still open at a segment end
+  // Mean over segments of (last row's fragmentation - first row's): > 0
+  // means the spectrum got more fragmented over the horizon.
+  double fragmentation_delta = 0.0;
+};
+
+HealthIndicators derive_health(std::span<const TimeSample> samples);
+
+// Flattens `health` into dotted numeric fields under `prefix` (e.g.
+// "health." or "timeseries.health."), the exact names the bundle gate and
+// run.json results use — shared so the spelling cannot drift between
+// sim_tool, benchlib, and bundle_diff.
+std::vector<std::pair<std::string, double>> flatten_health(
+    const HealthIndicators& health, const std::string& prefix);
+
+// Per-trial cadence sampler.  The sim constructs one per trial pointing at
+// the trial's own row buffer, calls start() with the deployed state,
+// record_event() after every processed timeline event, and finish() once
+// the timeline is exhausted.  interval_days <= 0 disables cadence rows
+// (event sampling still happens).
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(double interval_days, double horizon_days,
+                    std::vector<TimeSample>* out);
+
+  // Records the t = 0 "start" row and seeds the state interval rows carry.
+  void start(TimeSample state);
+
+  // Emits any pending interval ticks at t_k <= t (pre-event state), then
+  // the "event" row holding `state` at time t.
+  void record_event(double t, TimeSample state);
+
+  // Emits interval ticks up to the horizon and the "final" row.
+  void finish();
+
+ private:
+  void emit_ticks_up_to(double t);
+
+  double interval_days_ = 0.0;
+  double horizon_days_ = 0.0;
+  std::vector<TimeSample>* out_ = nullptr;
+  TimeSample last_state_;  // state as of the most recent row
+  double next_tick_ = 0.0;
+  bool started_ = false;
+};
+
+// The process-wide trace, mirroring EventLog: per-trial buffers are spliced
+// in trial-index order under a mutex, so timeseries.jsonl is byte-identical
+// at every thread count.
+class TimeSeries {
+ public:
+  static TimeSeries& instance();
+
+  // Appends `rows` (a trial's buffer) in order.  Call in trial-index order.
+  void splice(std::vector<TimeSample>&& rows);
+
+  std::vector<TimeSample> samples() const;
+  std::size_t size() const;
+
+  // Every row as one line, trailing newline included (empty string when no
+  // samples were recorded).
+  std::string to_jsonl() const;
+
+  void reset();
+
+ private:
+  TimeSeries() = default;
+
+  mutable std::mutex mu_;
+  std::vector<TimeSample> samples_;
+};
+
+}  // namespace flexwan::obs

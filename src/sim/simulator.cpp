@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "planning/incremental.h"
 #include "planning/plan_io.h"
@@ -62,6 +63,56 @@ Expected<TrialResult> run_trial(const topology::Network& net,
   double lost_integral = 0.0;     // Gbps * days
   double offered_integral = 0.0;  // Gbps * days
   std::map<topology::LinkId, double> downtime_days;
+
+  // --- sim-time trajectory sampling (obs/timeseries.h) --------------------
+  // One row per timeline event plus optional interval-cadence rows; rows
+  // collect in the trial's own buffer (spliced in trial order by
+  // run_lifecycle), so timeseries.jsonl never depends on the schedule.
+  const bool sampling = obs::timeseries_enabled();
+  obs::TimeSeriesSampler sampler(config.sample_interval_days,
+                                 config.timeline.horizon_days,
+                                 &result.timeseries);
+  // Snapshot of the live state as one typed row.  Spectrum stats walk every
+  // fiber's word-packed bitmap once (Occupancy::free_block_stats), so a
+  // sample is O(fibers * words) with no allocation beyond the row.
+  const auto make_sample = [&]() {
+    obs::TimeSample s;
+    s.trial = trial;
+    s.offered_gbps = offered;
+    s.lost_gbps = loss_rate;
+    s.availability = offered > 0.0 ? 1.0 - loss_rate / offered : 1.0;
+    s.active_cuts = static_cast<int>(active.size());
+    if (applied) {
+      s.restored_wavelengths = static_cast<int>(applied->restored.size());
+      s.unrestored_wavelengths = static_cast<int>(
+          applied->removed.size() > applied->restored.size()
+              ? applied->removed.size() - applied->restored.size()
+              : 0);
+    }
+    long long used = 0;
+    long long total = 0;
+    double frag_sum = 0.0;
+    int frag_fibers = 0;
+    for (const auto& occ : plan.fiber_occupancies()) {
+      const auto stats = occ.free_block_stats();
+      s.free_blocks += stats.count;
+      s.largest_free_block = std::max(s.largest_free_block, stats.largest);
+      used += occ.pixels() - stats.free_pixels;
+      total += occ.pixels();
+      if (stats.free_pixels > 0) {
+        frag_sum += 1.0 - static_cast<double>(stats.largest) /
+                              static_cast<double>(stats.free_pixels);
+        ++frag_fibers;
+      }
+    }
+    s.spectrum_util =
+        total > 0 ? static_cast<double>(used) / static_cast<double>(total)
+                  : 0.0;
+    s.fragmentation =
+        frag_fibers > 0 ? frag_sum / static_cast<double>(frag_fibers) : 0.0;
+    return s;
+  };
+  if (sampling) sampler.start(make_sample());
 
   // Accumulates the time-weighted integrals up to `t`.
   const auto integrate_to = [&](double t) {
@@ -241,8 +292,12 @@ Expected<TrialResult> run_trial(const topology::Network& net,
         break;
       }
     }
+    // The row carries the post-event state; pending interval ticks (which
+    // carry the pre-event state) are flushed first inside record_event.
+    if (sampling) sampler.record_event(ev.time_days, make_sample());
   }
   integrate_to(config.timeline.horizon_days);
+  if (sampling) sampler.finish();
 
   result.lost_gbps_minutes = lost_integral * kMinutesPerDay;
   result.offered_gbps_minutes = offered_integral * kMinutesPerDay;
@@ -302,6 +357,13 @@ Expected<LifecycleReport> run_lifecycle(const topology::Network& net,
   if (obs::events_enabled()) {
     for (auto& t : report.trials) {
       obs::EventLog::instance().splice(std::move(t.events));
+    }
+  }
+  // Same trial-index-order splice for the sim-time trajectory, so
+  // timeseries.jsonl is byte-identical at every thread count.
+  if (obs::timeseries_enabled()) {
+    for (auto& t : report.trials) {
+      obs::TimeSeries::instance().splice(std::move(t.timeseries));
     }
   }
   if (report.trials.empty()) return report;

@@ -45,6 +45,7 @@
 
 #include "engine/engine.h"
 #include "obs/eventlog.h"
+#include "obs/timeseries.h"
 #include "planning/plan.h"
 #include "restoration/restorer.h"
 #include "sim/events.h"
@@ -65,6 +66,10 @@ struct LifecycleConfig {
   // Re-pack spectrum after each growth event so future extensions and
   // restorations find contiguous blocks.
   bool defrag_on_growth = true;
+  // Cadence (sim-days) of "interval" time-series rows between events
+  // (obs/timeseries.h); <= 0 records event-keyed rows only.  Sampling
+  // happens only when obs::timeseries_enabled() (--bundle / --bench-json).
+  double sample_interval_days = 0.0;
   restoration::RestorerConfig restorer;
 };
 
@@ -99,6 +104,10 @@ struct TrialResult {
   // trial-index order, so events.jsonl is byte-identical at every thread
   // count.
   obs::EventBuffer events;
+  // Sim-time trajectory rows (empty unless timeseries_enabled); spliced
+  // into the global obs::TimeSeries in trial-index order, same discipline
+  // as `events`.
+  std::vector<obs::TimeSample> timeseries;
 };
 
 // Monte Carlo aggregate over trials (index order, deterministic).

@@ -188,6 +188,18 @@ int Occupancy::largest_free_run() const {
   return best;
 }
 
+Occupancy::FreeBlockStats Occupancy::free_block_stats() const {
+  FreeBlockStats stats;
+  if (pixels_ == 0) return stats;
+  scan_free_runs(words_, 0, [&](int /*start*/, int len) {
+    ++stats.count;
+    stats.largest = std::max(stats.largest, len);
+    stats.free_pixels += len;
+    return true;
+  });
+  return stats;
+}
+
 double Occupancy::fragmentation() const {
   const int free = free_pixels();
   if (free == 0) return 0.0;

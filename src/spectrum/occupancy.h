@@ -56,6 +56,17 @@ class Occupancy {
   // fits, which drives restoration feasibility in overloaded networks.
   int largest_free_run() const;
 
+  // Count, largest length, and total pixels of the maximal free runs, in
+  // one ctz/popcount word scan.  The time-series sampler (obs/timeseries.h)
+  // calls this per fiber at every sample, so the combined pass matters:
+  // count + largest + free_pixels would otherwise be three scans.
+  struct FreeBlockStats {
+    int count = 0;        // number of maximal free runs
+    int largest = 0;      // length of the largest run (pixels)
+    int free_pixels = 0;  // total free pixels (sum of run lengths)
+  };
+  FreeBlockStats free_block_stats() const;
+
   // Fragmentation in [0, 1]: 1 - largest_free_run / free_pixels.
   // 0 when all free spectrum is one block (or the band is full).
   double fragmentation() const;

@@ -354,5 +354,95 @@ TEST_P(OccupancyDisjointTest, HeldRangesAreDisjoint) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OccupancyDisjointTest,
                          ::testing::Values(7, 11, 19, 23));
 
+TEST(FreeBlockStats, FullyFreeBandIsOneRun) {
+  Occupancy occ(200);
+  const auto stats = occ.free_block_stats();
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_EQ(stats.largest, 200);
+  EXPECT_EQ(stats.free_pixels, 200);
+}
+
+TEST(FreeBlockStats, FullBandHasNoRuns) {
+  Occupancy occ(128);
+  ASSERT_TRUE(occ.reserve({0, 128}));
+  const auto stats = occ.free_block_stats();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.largest, 0);
+  EXPECT_EQ(stats.free_pixels, 0);
+}
+
+TEST(FreeBlockStats, RunSpansWordBoundary) {
+  // Reservation inside word 0 splits the band into a run ending before the
+  // word-0/word-1 boundary and a run crossing it.
+  Occupancy occ(200);
+  ASSERT_TRUE(occ.reserve({60, 10}));  // used [60, 70): crosses bit 64
+  const auto stats = occ.free_block_stats();
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_EQ(stats.largest, 130);  // [70, 200)
+  EXPECT_EQ(stats.free_pixels, 190);
+}
+
+TEST(FreeBlockStats, SingleFreePixelAtWordEdges) {
+  // Pixel 63 (last bit of word 0) and pixel 64 (first bit of word 1) are
+  // the classic off-by-one spots for a word scan.
+  for (const int hole : {63, 64}) {
+    Occupancy occ(128);
+    ASSERT_TRUE(occ.reserve({0, hole}));
+    ASSERT_TRUE(occ.reserve({hole + 1, 128 - hole - 1}));
+    const auto stats = occ.free_block_stats();
+    EXPECT_EQ(stats.count, 1) << "hole at " << hole;
+    EXPECT_EQ(stats.largest, 1) << "hole at " << hole;
+    EXPECT_EQ(stats.free_pixels, 1) << "hole at " << hole;
+  }
+}
+
+TEST(FreeBlockStats, TailBitsPastPixelsDoNotCount) {
+  // 70 pixels = one full word + 6 bits; the permanently-set tail bits of
+  // word 1 must not clamp or extend the final run.
+  Occupancy occ(70);
+  ASSERT_TRUE(occ.reserve({0, 65}));
+  const auto stats = occ.free_block_stats();
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_EQ(stats.largest, 5);  // [65, 70)
+  EXPECT_EQ(stats.free_pixels, 5);
+}
+
+TEST(FreeBlockStats, ZeroPixelBandIsEmpty) {
+  Occupancy occ(0);
+  const auto stats = occ.free_block_stats();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.largest, 0);
+  EXPECT_EQ(stats.free_pixels, 0);
+}
+
+// Property: the combined scan agrees with the independent single-purpose
+// queries on arbitrary occupancy patterns.
+class FreeBlockStatsPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FreeBlockStatsPropertyTest, MatchesIndependentQueries) {
+  Rng rng(GetParam());
+  Occupancy occ(kCBandPixels);
+  for (int step = 0; step < 40; ++step) {
+    const int count = rng.uniform_int(1, 16);
+    const auto fit = occ.first_fit(count, rng.uniform_int(0, 300));
+    if (!fit) break;
+    ASSERT_TRUE(occ.reserve(*fit));
+    const auto stats = occ.free_block_stats();
+    EXPECT_EQ(stats.free_pixels, occ.free_pixels());
+    EXPECT_EQ(stats.largest, occ.largest_free_run());
+    // count is consistent with the other two: N runs summing to F pixels
+    // means the largest is at least ceil(F / N).
+    if (stats.count > 0) {
+      EXPECT_GE(stats.largest * stats.count, stats.free_pixels);
+    } else {
+      EXPECT_EQ(stats.free_pixels, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FreeBlockStatsPropertyTest,
+                         ::testing::Values(3, 9, 27, 81));
+
 }  // namespace
 }  // namespace flexwan::spectrum

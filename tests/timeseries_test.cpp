@@ -1,0 +1,306 @@
+// Tests for the deterministic sim-time time-series telemetry
+// (src/obs/timeseries): sampler merge ordering, derived health indicators,
+// jsonl round-trips, and the thread-count byte-identity contract through
+// run_lifecycle.
+#include <cmath>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "planning/heuristic.h"
+#include "sim/simulator.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::obs {
+namespace {
+
+TimeSample sample(double t, int trial, double availability, double lost,
+                  double fragmentation = 0.0) {
+  TimeSample s;
+  s.t_days = t;
+  s.trial = trial;
+  s.availability = availability;
+  s.lost_gbps = lost;
+  s.offered_gbps = 100.0;
+  s.fragmentation = fragmentation;
+  return s;
+}
+
+class TimeSeriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TimeSeries::instance().reset();
+    set_timeseries_enabled(true);
+  }
+  void TearDown() override {
+    set_timeseries_enabled(false);
+    TimeSeries::instance().reset();
+  }
+};
+
+TEST(TimeSeriesSampler, TickAtEventTimeCarriesPreEventStateAndSortsFirst) {
+  std::vector<TimeSample> rows;
+  TimeSeriesSampler sampler(/*interval_days=*/10.0, /*horizon_days=*/25.0,
+                            &rows);
+  sampler.start(sample(0.0, 0, 1.0, 0.0));
+  // Event exactly on the t = 10 tick: the tick must be emitted first with
+  // the pre-event state, then the event row with the dip.
+  sampler.record_event(10.0, sample(10.0, 0, 0.9, 10.0));
+  sampler.finish();
+
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].reason, "start");
+  EXPECT_EQ(rows[0].t_days, 0.0);
+  EXPECT_EQ(rows[1].reason, "interval");
+  EXPECT_EQ(rows[1].t_days, 10.0);
+  EXPECT_EQ(rows[1].availability, 1.0);  // pre-event state, no smeared dip
+  EXPECT_EQ(rows[2].reason, "event");
+  EXPECT_EQ(rows[2].t_days, 10.0);
+  EXPECT_EQ(rows[2].availability, 0.9);
+  EXPECT_EQ(rows[3].reason, "interval");
+  EXPECT_EQ(rows[3].t_days, 20.0);
+  EXPECT_EQ(rows[3].availability, 0.9);  // event state persists on ticks
+  EXPECT_EQ(rows[4].reason, "final");
+  EXPECT_EQ(rows[4].t_days, 25.0);
+
+  // Rows are non-decreasing in time — the merge never reorders.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].t_days, rows[i - 1].t_days);
+  }
+}
+
+TEST(TimeSeriesSampler, EventlessRunStillBracketsTheHorizon) {
+  std::vector<TimeSample> rows;
+  TimeSeriesSampler sampler(7.0, 21.0, &rows);
+  sampler.start(sample(0.0, 0, 1.0, 0.0));
+  sampler.finish();
+  ASSERT_EQ(rows.size(), 5u);  // start + ticks at 7/14/21 + final
+  EXPECT_EQ(rows.front().reason, "start");
+  EXPECT_EQ(rows[3].t_days, 21.0);  // tick exactly on the horizon
+  EXPECT_EQ(rows.back().reason, "final");
+  EXPECT_EQ(rows.back().t_days, 21.0);
+}
+
+TEST(TimeSeriesSampler, NonPositiveIntervalRecordsEventRowsOnly) {
+  std::vector<TimeSample> rows;
+  TimeSeriesSampler sampler(0.0, 100.0, &rows);
+  sampler.start(sample(0.0, 0, 1.0, 0.0));
+  sampler.record_event(40.0, sample(40.0, 0, 0.95, 5.0));
+  sampler.finish();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].reason, "start");
+  EXPECT_EQ(rows[1].reason, "event");
+  EXPECT_EQ(rows[2].reason, "final");
+}
+
+TEST(TimeSeriesSampler, FinishWithoutStartEmitsNothing) {
+  std::vector<TimeSample> rows;
+  TimeSeriesSampler sampler(10.0, 50.0, &rows);
+  sampler.finish();
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(TimeSample, JsonlRoundTripsEveryField) {
+  TimeSample s;
+  s.t_days = 123.456;
+  s.trial = 3;
+  s.reason = "event";
+  s.availability = 0.987654321;
+  s.lost_gbps = 345.5;
+  s.offered_gbps = 28900.0;
+  s.active_cuts = 2;
+  s.restored_wavelengths = 7;
+  s.unrestored_wavelengths = 4;
+  s.spectrum_util = 0.0625;
+  s.fragmentation = 0.015625;
+  s.free_blocks = 66;
+  s.largest_free_block = 384;
+
+  const auto parsed = parse_sample(s.to_jsonl());
+  ASSERT_TRUE(parsed) << parsed.error().message;
+  EXPECT_EQ(parsed->to_jsonl(), s.to_jsonl());
+  EXPECT_EQ(parsed->trial, 3);
+  EXPECT_EQ(parsed->reason, "event");
+  EXPECT_EQ(parsed->free_blocks, 66);
+  EXPECT_EQ(parsed->largest_free_block, 384);
+}
+
+TEST(TimeSample, ParseRejectsMalformedRows) {
+  EXPECT_FALSE(parse_sample("not json"));
+  EXPECT_FALSE(parse_sample("[1, 2]"));
+  // A well-formed object missing a required field.
+  EXPECT_FALSE(parse_sample("{\"t_days\": 1.0, \"trial\": 0}"));
+  // reason must be a string.
+  auto row = sample(1.0, 0, 1.0, 0.0);
+  row.reason = "start";
+  std::string line = row.to_jsonl();
+  const auto pos = line.find("\"start\"");
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, 7, "17");
+  EXPECT_FALSE(parse_sample(line));
+}
+
+TEST(DeriveHealth, EmptyTraceIsAllZero) {
+  const auto health = derive_health({});
+  EXPECT_EQ(health.availability_dip_max, 0.0);
+  EXPECT_EQ(health.time_to_recover_days_worst, 0.0);
+  EXPECT_EQ(health.time_to_recover_days_p99, 0.0);
+  EXPECT_EQ(health.recovery_episodes, 0);
+  EXPECT_EQ(health.unrecovered, 0);
+  EXPECT_EQ(health.fragmentation_delta, 0.0);
+}
+
+TEST(DeriveHealth, HandBuiltTraceMatchesHandComputedIndicators) {
+  // Trial 0: dip to 0.9 at t=10, recovered at t=12 (episode: 2 days);
+  //          deeper dip to 0.8 at t=20, recovered at t=25 (episode: 5 days);
+  //          fragmentation drifts 0.1 -> 0.3.
+  // Trial 1: dip at t=50 never recovers before the last row at t=60
+  //          (censored episode: 10 days); fragmentation flat.
+  const std::vector<TimeSample> trace = {
+      sample(0.0, 0, 1.0, 0.0, 0.1),  sample(10.0, 0, 0.9, 10.0, 0.2),
+      sample(12.0, 0, 1.0, 0.0, 0.2), sample(20.0, 0, 0.8, 20.0, 0.25),
+      sample(25.0, 0, 1.0, 0.0, 0.3), sample(30.0, 0, 1.0, 0.0, 0.3),
+      // t_days restarts: new segment even before the trial check matters.
+      sample(0.0, 1, 1.0, 0.0, 0.5),  sample(50.0, 1, 0.95, 5.0, 0.5),
+      sample(60.0, 1, 0.97, 3.0, 0.5),
+  };
+  const auto health = derive_health(trace);
+  EXPECT_NEAR(health.availability_dip_max, 0.2, 1e-12);
+  EXPECT_NEAR(health.time_to_recover_days_worst, 10.0, 1e-12);  // censored
+  // Durations {2, 5, 10}: nearest-rank P99 = ceil(0.99 * 3) = 3rd = 10.
+  EXPECT_NEAR(health.time_to_recover_days_p99, 10.0, 1e-12);
+  EXPECT_EQ(health.recovery_episodes, 3);
+  EXPECT_EQ(health.unrecovered, 1);
+  // Segment deltas: (0.3 - 0.1) and (0.5 - 0.5), mean 0.1.
+  EXPECT_NEAR(health.fragmentation_delta, 0.1, 1e-12);
+}
+
+TEST(DeriveHealth, SegmentsSplitOnTrialChangeNotOnlyTimeReset) {
+  // Two trials whose time ranges would chain monotonically if the trial
+  // index were ignored: the open episode at the end of trial 0 must not
+  // be closed by trial 1's clean first row.
+  const std::vector<TimeSample> trace = {
+      sample(0.0, 0, 1.0, 0.0),
+      sample(5.0, 0, 0.9, 10.0),
+      sample(6.0, 1, 1.0, 0.0),
+      sample(9.0, 1, 1.0, 0.0),
+  };
+  const auto health = derive_health(trace);
+  EXPECT_EQ(health.recovery_episodes, 1);
+  EXPECT_EQ(health.unrecovered, 1);
+  EXPECT_NEAR(health.time_to_recover_days_worst, 0.0, 1e-12);  // truncated at open row
+}
+
+TEST(DeriveHealth, FlattenUsesTheSharedFieldSpelling) {
+  HealthIndicators health;
+  health.availability_dip_max = 0.25;
+  health.recovery_episodes = 4;
+  const auto fields = flatten_health(health, "timeseries.health.");
+  ASSERT_EQ(fields.size(), 6u);
+  EXPECT_EQ(fields[0].first, "timeseries.health.availability_dip.max");
+  EXPECT_EQ(fields[0].second, 0.25);
+  EXPECT_EQ(fields[1].first, "timeseries.health.time_to_recover_days.worst");
+  EXPECT_EQ(fields[2].first, "timeseries.health.time_to_recover_days.p99");
+  EXPECT_EQ(fields[3].first, "timeseries.health.recovery_episodes");
+  EXPECT_EQ(fields[3].second, 4.0);
+  EXPECT_EQ(fields[4].first, "timeseries.health.unrecovered");
+  EXPECT_EQ(fields[5].first, "timeseries.health.fragmentation.delta");
+}
+
+TEST_F(TimeSeriesTest, LifecycleTraceIsByteIdenticalAcrossThreadCounts) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  sim::LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+  config.timeline.mttr_mean_hours = 36.0;
+  config.trials = 6;
+  config.seed = 17;
+  config.sample_interval_days = 30.0;
+
+  const auto serial = sim::run_lifecycle(net, *plan, transponder::svt_flexwan(),
+                                         config, engine::Engine(1));
+  ASSERT_TRUE(serial) << serial.error().message;
+  const std::string serial_jsonl = TimeSeries::instance().to_jsonl();
+  EXPECT_FALSE(serial_jsonl.empty());
+
+  TimeSeries::instance().reset();
+  const auto threaded = sim::run_lifecycle(
+      net, *plan, transponder::svt_flexwan(), config, engine::Engine(8));
+  ASSERT_TRUE(threaded) << threaded.error().message;
+  EXPECT_EQ(serial_jsonl, TimeSeries::instance().to_jsonl());
+
+  // Rows arrive in trial-index order with non-decreasing time per trial,
+  // and every trial contributes its start/final bracket.
+  const auto rows = TimeSeries::instance().samples();
+  int last_trial = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].trial, last_trial);
+    if (rows[i].trial != last_trial) {
+      EXPECT_EQ(rows[i].trial, last_trial + 1);
+      EXPECT_EQ(rows[i].reason, "start");
+      EXPECT_EQ(rows[i - 1].reason, "final");
+    } else if (i > 0 && rows[i - 1].trial == rows[i].trial) {
+      EXPECT_GE(rows[i].t_days, rows[i - 1].t_days);
+    }
+    last_trial = rows[i].trial;
+  }
+  EXPECT_EQ(last_trial, 5);
+  EXPECT_EQ(rows.front().reason, "start");
+  EXPECT_EQ(rows.back().reason, "final");
+}
+
+TEST_F(TimeSeriesTest, DisabledSamplerRecordsNothing) {
+  set_timeseries_enabled(false);
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  sim::LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 6.0;
+  config.trials = 2;
+  config.seed = 17;
+  config.sample_interval_days = 30.0;
+  const auto report = sim::run_lifecycle(net, *plan,
+                                         transponder::svt_flexwan(), config);
+  ASSERT_TRUE(report) << report.error().message;
+  EXPECT_EQ(TimeSeries::instance().size(), 0u);
+  EXPECT_EQ(TimeSeries::instance().to_jsonl(), "");
+}
+
+TEST_F(TimeSeriesTest, LifecycleHealthIndicatorsAreInternallyConsistent) {
+  const auto net = topology::make_tbackbone();
+  planning::HeuristicPlanner planner(transponder::svt_flexwan(), {});
+  const auto plan = planner.plan(net);
+  ASSERT_TRUE(plan);
+  sim::LifecycleConfig config;
+  config.timeline.cut_rate_per_1000km_per_year = 10.0;
+  config.timeline.mttr_mean_hours = 48.0;
+  config.trials = 4;
+  config.seed = 7;
+  const auto report = sim::run_lifecycle(net, *plan,
+                                         transponder::svt_flexwan(), config);
+  ASSERT_TRUE(report) << report.error().message;
+  const auto rows = TimeSeries::instance().samples();
+  ASSERT_FALSE(rows.empty());
+  const auto health = derive_health(rows);
+  EXPECT_GT(health.recovery_episodes, 0);
+  EXPECT_GE(health.time_to_recover_days_worst,
+            health.time_to_recover_days_p99 > 0.0
+                ? health.time_to_recover_days_p99
+                : 0.0);
+  EXPECT_GE(health.availability_dip_max, 0.0);
+  EXPECT_LE(health.availability_dip_max, 1.0);
+  EXPECT_GE(health.unrecovered, 0);
+  EXPECT_LE(health.unrecovered, health.recovery_episodes);
+}
+
+}  // namespace
+}  // namespace flexwan::obs
