@@ -1,0 +1,136 @@
+// Throughput of the flexwand control-plane service (src/server): scripted
+// replay over mixed read/write workloads, the parallel read fan-out, and
+// the group-commit batching path.  Requests/sec comes from the benchlib
+// wall-clock statistics (--bench-json; request counts are in the table, so
+// rate = requests / median); commit-batch sizes are deterministic and land
+// on stdout.
+//
+// Every case rebuilds its Service inside the timed body from the same
+// topology and replays the same script, so the measured work — and the
+// work profile perf_diff gates exactly — is identical run to run.
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+
+#include "benchlib/benchlib.h"
+#include "engine/engine.h"
+#include "obs/report.h"
+#include "server/replay.h"
+#include "server/service.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/table.h"
+
+using namespace flexwan;
+
+namespace {
+
+// plan, then interleaved reads and coalescible mutation runs — the daemon's
+// steady-state shape.
+std::string mixed_script(int rounds) {
+  std::string script = "{\"id\": 1, \"method\": \"plan\"}\n";
+  std::uint64_t id = 2;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 4; ++i) {
+      script += "{\"id\": " + std::to_string(id++) +
+                ", \"method\": \"query_plan\"}\n";
+    }
+    for (int i = 0; i < 4; ++i) {
+      script += "{\"id\": " + std::to_string(id++) +
+                ", \"method\": \"extend\", \"params\": {\"link_id\": " +
+                std::to_string((r * 4 + i) % 8) + ", \"gbps\": 100}}\n";
+    }
+    script += "{\"id\": " + std::to_string(id++) +
+              ", \"method\": \"drill\", \"params\": {\"fibers\": [" +
+              std::to_string(r % 4) + "]}}\n";
+  }
+  return script;
+}
+
+// A pure read fan-out after one plan: every request after the first runs
+// against the same immutable snapshot on the engine's thread pool.
+std::string read_script(int reads) {
+  std::string script = "{\"id\": 1, \"method\": \"plan\"}\n";
+  for (int i = 0; i < reads; ++i) {
+    script += "{\"id\": " + std::to_string(i + 2) +
+              ", \"method\": \"query_plan\"}\n";
+  }
+  return script;
+}
+
+// One long coalescible extend run: replay folds the whole run into a single
+// commit window, the widest batch the service produces.
+std::string extend_burst_script(int extends) {
+  std::string script = "{\"id\": 1, \"method\": \"plan\"}\n";
+  for (int i = 0; i < extends; ++i) {
+    script += "{\"id\": " + std::to_string(i + 2) +
+              ", \"method\": \"extend\", \"params\": {\"link_id\": " +
+              std::to_string(i % 8) + ", \"gbps\": 100}}\n";
+  }
+  return script;
+}
+
+struct ReplayStats {
+  std::size_t requests = 0;
+  std::size_t ok = 0;
+  std::size_t windows = 0;
+  std::uint64_t final_version = 0;
+  double mean_batch = 0.0;
+};
+
+ReplayStats replay(const engine::Engine& engine,
+                   std::span<const server::Request> requests) {
+  server::Service service(topology::make_cernet(),
+                          transponder::svt_flexwan(), engine);
+  const server::ScriptResult result =
+      server::run_script(service, requests);
+  ReplayStats stats;
+  stats.requests = result.responses.size();
+  for (const auto& response : result.responses) stats.ok += response.ok;
+  stats.windows = result.windows;
+  stats.final_version = service.state_version();
+  stats.mean_batch =
+      result.windows == 0
+          ? 0.0
+          : static_cast<double>(result.mutation_count) /
+                static_cast<double>(result.windows);
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  benchlib::Harness bench("server_throughput", report.bench_options());
+  TextTable table({"case", "requests", "ok", "windows", "mean batch"});
+
+  std::printf("=== flexwand service throughput (timings: --bench-json) ===\n");
+
+  const auto run_case = [&](const std::string& name,
+                            const std::string& script) {
+    const auto requests = server::parse_script(script);
+    if (!requests) {
+      std::fprintf(stderr, "bench_server_throughput: %s\n",
+                   requests.error().message.c_str());
+      return 1;
+    }
+    const ReplayStats stats = bench.run(name, [&] {
+      return replay(engine, requests.value());
+    });
+    table.add_row({name, std::to_string(stats.requests),
+                   std::to_string(stats.ok), std::to_string(stats.windows),
+                   TextTable::num(stats.mean_batch, 2)});
+    return 0;
+  };
+
+  if (run_case("replay_mixed_10r", mixed_script(10)) != 0) return 1;
+  if (run_case("replay_reads_64", read_script(64)) != 0) return 1;
+  if (run_case("replay_extend_burst_32", extend_burst_script(32)) != 0) {
+    return 1;
+  }
+
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

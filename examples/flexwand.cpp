@@ -1,0 +1,230 @@
+// flexwand: the FlexWAN control-plane daemon (src/server).
+//
+//   flexwand --script reqs.jsonl      deterministic scripted replay
+//   flexwand --serve                  length-prefixed request/response loop
+//                                     on stdin/stdout (flexwand_client)
+//            [--network tbackbone|cernet] [--scheme flexwan|radwan|100g]
+//            [--save-plan f]          write the final committed plan
+//            [--threads N] [--metrics f.json] [--trace f.json]
+//            [--bundle dir]           evidence bundle (run.json,
+//                                     events.jsonl, metrics.json,
+//                                     summary.md); byte-identical at every
+//                                     --threads value (modulo run.json's
+//                                     "threads" field)
+//
+// The daemon owns the authoritative Network/Plan state behind snapshot
+// isolation (server/service.h): reads run in parallel against immutable
+// snapshots, mutations serialize through a single-writer commit log with
+// monotonic state versions, and adjacent compatible extends/restores
+// coalesce into one commit window.
+//
+// Replay mode prints one response document per request line to stdout in
+// script order; those bytes — and the --save-plan file, and the bundle
+// artifacts — are byte-identical at every --threads value, which CI's
+// server-determinism job enforces at 1 vs 8.  Serve mode handles one framed
+// request at a time, so it is trivially deterministic per request stream.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "obs/bundle.h"
+#include "obs/report.h"
+#include "planning/plan_io.h"
+#include "server/replay.h"
+#include "server/service.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+#include "util/cli.h"
+
+using namespace flexwan;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: flexwand (--script reqs.jsonl | --serve)\n"
+    "                [--network tbackbone|cernet] "
+    "[--scheme flexwan|radwan|100g]\n"
+    "                [--save-plan f] [--threads N] [--metrics f] "
+    "[--trace f]\n"
+    "                [--bundle dir]\n";
+
+// Serve mode: one framed request in, one framed response out, until EOF.
+// Requests are handled strictly in arrival order on this thread; the
+// Service still goes through the same snapshot/commit machinery, so state
+// versions and the commit log match what a replay of the same sequence
+// produces.
+int serve(server::Service& service) {
+  for (;;) {
+    auto framed = server::read_frame(std::cin);
+    if (!framed) {
+      std::fprintf(stderr, "flexwand: %s\n",
+                   framed.error().message.c_str());
+      return 1;
+    }
+    if (!framed.value().has_value()) return 0;  // clean EOF
+    const auto request = server::parse_request(*framed.value());
+    if (!request) {
+      const server::Response response = server::Response::failure(
+          0, service.state_version(), request.error().code,
+          request.error().message);
+      server::write_frame(std::cout, response.to_json());
+      continue;
+    }
+    const server::Response response = service.execute(request.value());
+    server::write_frame(std::cout, response.to_json());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const engine::Engine engine(engine::threads_flag(argc, argv));
+  const obs::RunReport report = obs::report_from_flags(argc, argv);
+  const util::cli::Cli cli{argv[0], kUsage};
+
+  std::string network = "tbackbone";
+  std::string scheme = "flexwan";
+  std::string script_path;
+  std::string save_plan_path;
+  bool serve_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--network") == 0) {
+      network = cli.require_value("--network", value());
+    } else if (std::strcmp(argv[i], "--scheme") == 0) {
+      scheme = cli.require_value("--scheme", value());
+    } else if (std::strcmp(argv[i], "--script") == 0) {
+      script_path = cli.require_value("--script", value());
+    } else if (std::strcmp(argv[i], "--save-plan") == 0) {
+      save_plan_path = cli.require_value("--save-plan", value());
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve_mode = true;
+    } else {
+      cli.reject(std::string("unknown flag '") + argv[i] + "'");
+    }
+  }
+  if (script_path.empty() == !serve_mode) {
+    cli.reject("exactly one of --script or --serve is required");
+  }
+  if (network != "cernet" && network != "tbackbone") {
+    cli.reject("--network: unknown network '" + network + "'");
+  }
+  if (scheme != "radwan" && scheme != "100g" && scheme != "flexwan") {
+    cli.reject("--scheme: unknown scheme '" + scheme + "'");
+  }
+
+  topology::Network net = network == "cernet" ? topology::make_cernet()
+                                              : topology::make_tbackbone();
+  const transponder::Catalog& catalog =
+      scheme == "radwan" ? transponder::bvt_radwan()
+      : scheme == "100g" ? transponder::fixed_grid_100g()
+                         : transponder::svt_flexwan();
+
+  server::Service service(std::move(net), catalog, engine);
+
+  if (serve_mode) return serve(service);
+
+  std::ifstream file(script_path);
+  if (!file) {
+    std::fprintf(stderr, "flexwand: cannot open %s\n", script_path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto requests = server::parse_script(buffer.str());
+  if (!requests) {
+    std::fprintf(stderr, "flexwand: %s: %s\n", script_path.c_str(),
+                 requests.error().message.c_str());
+    return 1;
+  }
+
+  obs::announce_threads(engine.thread_count());
+  const server::ScriptResult result =
+      server::run_script(service, requests.value());
+
+  // stdout carries exactly the response documents — the byte-compared
+  // replay artifact.  Everything narrative goes to stderr.
+  const std::string responses = result.to_jsonl();
+  std::fwrite(responses.data(), 1, responses.size(), stdout);
+
+  const auto commits = service.commit_log();
+  std::fprintf(stderr,
+               "flexwand: %zu request(s): %zu read(s), %zu mutation(s) in "
+               "%zu window(s); final version %llu, max queue depth %zu\n",
+               requests.value().size(), result.read_count,
+               result.mutation_count, result.windows,
+               static_cast<unsigned long long>(service.state_version()),
+               service.max_queue_depth());
+
+  if (!save_plan_path.empty()) {
+    const auto plan = service.plan_snapshot();
+    if (plan == nullptr) {
+      std::fprintf(stderr,
+                   "flexwand: --save-plan: no plan was committed\n");
+      return 1;
+    }
+    std::ofstream out(save_plan_path, std::ios::binary);
+    out << planning::save_plan(*plan);
+    if (!out) {
+      std::fprintf(stderr, "flexwand: cannot write %s\n",
+                   save_plan_path.c_str());
+      return 1;
+    }
+  }
+
+  if (!report.bundle_dir().empty()) {
+    obs::Bundle bundle;
+    bundle.dir = report.bundle_dir();
+    bundle.tool = "flexwand";
+    bundle.provenance = obs::make_bundle_provenance(engine.thread_count());
+    using obs::json::Value;
+    bundle.config.emplace_back("network", Value(network));
+    bundle.config.emplace_back("scheme", Value(scheme));
+    bundle.config.emplace_back("script", Value(script_path));
+    bundle.results.emplace_back(
+        "requests.total", static_cast<double>(requests.value().size()));
+    bundle.results.emplace_back("requests.reads",
+                                static_cast<double>(result.read_count));
+    bundle.results.emplace_back(
+        "requests.mutations", static_cast<double>(result.mutation_count));
+    bundle.results.emplace_back("commit.windows",
+                                static_cast<double>(result.windows));
+    bundle.results.emplace_back("commit.log_size",
+                                static_cast<double>(commits.size()));
+    bundle.results.emplace_back(
+        "state.version", static_cast<double>(service.state_version()));
+    bundle.results.emplace_back(
+        "queue.depth.max", static_cast<double>(service.max_queue_depth()));
+    std::size_t ok = 0;
+    for (const auto& response : result.responses) ok += response.ok ? 1 : 0;
+    bundle.results.emplace_back("responses.ok", static_cast<double>(ok));
+    bundle.results.emplace_back(
+        "responses.error",
+        static_cast<double>(result.responses.size() - ok));
+    std::ostringstream body;
+    body << "## Commit log\n\n| version | method | window | applied "
+            "|\n|---|---|---|---|\n";
+    for (const auto& commit : commits) {
+      body << "| " << commit.version << " | " << commit.method << " | "
+           << commit.window_size << " | " << commit.request_ids.size()
+           << " |\n";
+    }
+    bundle.summary_body_md = body.str();
+    const auto written = bundle.write();
+    if (!written) {
+      std::fprintf(stderr, "flexwand: bundle: %s\n",
+                   written.error().message.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "evidence bundle: %s\n",
+                 report.bundle_dir().c_str());
+  }
+  return 0;
+}

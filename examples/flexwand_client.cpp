@@ -1,0 +1,217 @@
+// flexwand_client: drive a flexwand daemon over its framed stdin/stdout
+// protocol.
+//
+//   flexwand_client --daemon ./flexwand [--network N] [--scheme S]
+//       reads request documents (JSONL) from stdin, frames each to a
+//       spawned `flexwand --serve` process, and prints one response
+//       document per line to stdout.
+//   flexwand_client --emit-script
+//       prints the canned mixed read/write request script the quickstart
+//       and CI's server-determinism job replay.
+//
+// The client validates each request locally before sending (a malformed
+// line aborts with the parse error rather than feeding the daemon garbage)
+// and exchanges strictly one request/response pair at a time, so the
+// response order is the request order.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/cli.h"
+
+using namespace flexwan;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: flexwand_client --daemon <path-to-flexwand>\n"
+    "                       [--network tbackbone|cernet]\n"
+    "                       [--scheme flexwan|radwan|100g]\n"
+    "       flexwand_client --emit-script\n";
+
+// A mixed workload exercising every method: plan, concurrent-able reads,
+// a coalescible extend run, restores, defrag, and both controller flavors.
+constexpr const char* kScript = R"({"id": 1, "method": "ping"}
+{"id": 2, "method": "plan"}
+{"id": 3, "method": "query_plan"}
+{"id": 4, "method": "ping"}
+{"id": 5, "method": "extend", "params": {"link_id": 0, "gbps": 100}}
+{"id": 6, "method": "extend", "params": {"link_id": 1, "gbps": 200}}
+{"id": 7, "method": "extend", "params": {"link_id": 2, "gbps": 100}}
+{"id": 8, "method": "query_plan"}
+{"id": 9, "method": "drill", "params": {"fibers": [0, 1, 2, 3]}}
+{"id": 10, "method": "restore", "params": {"fiber": 1}}
+{"id": 11, "method": "restore", "params": {"fiber": 4}}
+{"id": 12, "method": "defrag"}
+{"id": 13, "method": "deploy", "params": {"controller": "centralized"}}
+{"id": 14, "method": "deploy", "params": {"controller": "distributed"}}
+{"id": 15, "method": "availability"}
+{"id": 16, "method": "query_plan"}
+{"id": 17, "method": "extend", "params": {"link": "no-such-link", "gbps": 50}}
+{"id": 18, "method": "frobnicate"}
+)";
+
+// Framing over raw fds (the protocol.h stream helpers need std::iostreams;
+// a pipe to a child process is more naturally driven fd-level).
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame_fd(int fd, const std::string& payload) {
+  const std::string framed = server::frame(payload);
+  return write_all(fd, framed.data(), framed.size());
+}
+
+// Reads one "<len>\n<payload>" frame; empty optional-style flag via the
+// return: false = EOF or error (message on stderr).
+bool read_frame_fd(int fd, std::string& payload) {
+  std::string prefix;
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n <= 0) {
+      if (!prefix.empty()) {
+        std::fprintf(stderr, "flexwand_client: EOF inside frame prefix\n");
+      }
+      return false;
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9' || prefix.size() >= 9) {
+      std::fprintf(stderr, "flexwand_client: malformed frame prefix\n");
+      return false;
+    }
+    prefix += c;
+  }
+  if (prefix.empty()) {
+    std::fprintf(stderr, "flexwand_client: empty frame prefix\n");
+    return false;
+  }
+  const std::size_t length = std::stoul(prefix);
+  if (length > server::kMaxFrameBytes) {
+    std::fprintf(stderr, "flexwand_client: oversized frame\n");
+    return false;
+  }
+  payload.resize(length);
+  std::size_t got = 0;
+  while (got < length) {
+    const ssize_t n = ::read(fd, payload.data() + got, length - got);
+    if (n <= 0) {
+      std::fprintf(stderr, "flexwand_client: truncated frame payload\n");
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::cli::Cli cli{argv[0], kUsage};
+
+  std::string daemon_path;
+  std::string network = "tbackbone";
+  std::string scheme = "flexwan";
+  bool emit_script = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--daemon") == 0) {
+      daemon_path = cli.require_value("--daemon", value());
+    } else if (std::strcmp(argv[i], "--network") == 0) {
+      network = cli.require_value("--network", value());
+    } else if (std::strcmp(argv[i], "--scheme") == 0) {
+      scheme = cli.require_value("--scheme", value());
+    } else if (std::strcmp(argv[i], "--emit-script") == 0) {
+      emit_script = true;
+    } else {
+      cli.reject(std::string("unknown flag '") + argv[i] + "'");
+    }
+  }
+  if (emit_script) {
+    std::printf("%s", kScript);
+    return 0;
+  }
+  if (daemon_path.empty()) {
+    cli.reject("--daemon is required (or use --emit-script)");
+  }
+
+  // to_daemon[1] -> child stdin; from_daemon[0] <- child stdout.
+  int to_daemon[2];
+  int from_daemon[2];
+  if (::pipe(to_daemon) != 0 || ::pipe(from_daemon) != 0) {
+    std::perror("flexwand_client: pipe");
+    return 1;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("flexwand_client: fork");
+    return 1;
+  }
+  if (pid == 0) {
+    ::dup2(to_daemon[0], STDIN_FILENO);
+    ::dup2(from_daemon[1], STDOUT_FILENO);
+    ::close(to_daemon[0]);
+    ::close(to_daemon[1]);
+    ::close(from_daemon[0]);
+    ::close(from_daemon[1]);
+    std::vector<char*> child_argv;
+    child_argv.push_back(const_cast<char*>(daemon_path.c_str()));
+    child_argv.push_back(const_cast<char*>("--serve"));
+    child_argv.push_back(const_cast<char*>("--network"));
+    child_argv.push_back(const_cast<char*>(network.c_str()));
+    child_argv.push_back(const_cast<char*>("--scheme"));
+    child_argv.push_back(const_cast<char*>(scheme.c_str()));
+    child_argv.push_back(nullptr);
+    ::execv(daemon_path.c_str(), child_argv.data());
+    std::perror("flexwand_client: execv");
+    _exit(127);
+  }
+  ::close(to_daemon[0]);
+  ::close(from_daemon[1]);
+
+  int failures = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto request = server::parse_request(line);
+    if (!request) {
+      std::fprintf(stderr, "flexwand_client: %s\n",
+                   request.error().message.c_str());
+      failures = 1;
+      break;
+    }
+    if (!write_frame_fd(to_daemon[1], line)) {
+      std::fprintf(stderr, "flexwand_client: daemon pipe closed\n");
+      failures = 1;
+      break;
+    }
+    std::string payload;
+    if (!read_frame_fd(from_daemon[0], payload)) {
+      failures = 1;
+      break;
+    }
+    std::printf("%s\n", payload.c_str());
+  }
+  ::close(to_daemon[1]);
+  ::close(from_daemon[0]);
+
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (failures != 0) return 1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+}

@@ -28,6 +28,7 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "engine/engine.h"
 #include "obs/bundle.h"
@@ -38,11 +39,20 @@
 #include "topology/io.h"
 #include "transponder/catalog.h"
 #include "transponder/catalog_io.h"
+#include "util/cli.h"
 #include "util/table.h"
 
 using namespace flexwan;
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: plan_tool <network-file> [flexwan|radwan|100g|@catalog-file]\n"
+    "                 [--threads N] [--metrics file.json] "
+    "[--trace file.json]\n"
+    "                 [--bundle dir]\n"
+    "       plan_tool --sample\n"
+    "       plan_tool --sample-catalog\n";
 
 constexpr const char* kSample = R"(network sample
 node west
@@ -102,27 +112,34 @@ const transponder::Catalog& pick_catalog(const char* scheme) {
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <network-file> [flexwan|radwan|100g] "
-                 "[--threads N] [--metrics file.json] [--trace file.json] "
-                 "[--bundle dir]\n"
-                 "       %s --sample\n",
-                 argv[0], argv[0]);
-    return 2;
+  const util::cli::Cli cli{argv[0], kUsage};
+
+  // --threads/--metrics/--trace/--bundle were consumed above; everything
+  // left must be a known mode flag or one of the two positionals.  A
+  // mistyped flag is rejected, never silently treated as a network file.
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sample") == 0) {
+      std::printf("%s", kSample);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--sample-catalog") == 0) {
+      std::printf("%s", kSampleCatalog);
+      return 0;
+    }
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      cli.reject(std::string("unknown flag '") + argv[i] + "'");
+    }
+    positional.push_back(argv[i]);
   }
-  if (std::strcmp(argv[1], "--sample") == 0) {
-    std::printf("%s", kSample);
-    return 0;
-  }
-  if (std::strcmp(argv[1], "--sample-catalog") == 0) {
-    std::printf("%s", kSampleCatalog);
-    return 0;
+  if (positional.empty()) cli.usage();
+  if (positional.size() > 2) {
+    cli.reject(std::string("unexpected argument '") + positional[2] + "'");
   }
 
-  std::ifstream file(argv[1]);
+  std::ifstream file(positional[0]);
   if (!file) {
-    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", positional[0]);
     return 2;
   }
   std::stringstream buffer;
@@ -132,7 +149,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parse error: %s\n", net.error().message.c_str());
     return 1;
   }
-  const auto& catalog = pick_catalog(argc > 2 ? argv[2] : nullptr);
+  const auto& catalog =
+      pick_catalog(positional.size() > 1 ? positional[1] : nullptr);
 
   std::printf("network %s: %d sites, %d fibers, %d IP links, %.0f Gbps\n\n",
               net->name.c_str(), net->optical.node_count(),
@@ -185,7 +203,8 @@ int main(int argc, char** argv) {
     bundle.tool = "plan_tool";
     bundle.provenance = obs::make_bundle_provenance(engine.thread_count());
     using obs::json::Value;
-    bundle.config.emplace_back("network_file", Value(std::string(argv[1])));
+    bundle.config.emplace_back("network_file",
+                               Value(std::string(positional[0])));
     bundle.config.emplace_back("network", Value(net->name));
     bundle.config.emplace_back("scheme", Value(catalog.name()));
     bundle.results.emplace_back(

@@ -28,9 +28,7 @@
 // --threads value (trials fan out on the engine, aggregation is
 // trial-index-ordered) — CI's sim-determinism job byte-compares 1 vs 8.
 #include <algorithm>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <sstream>
@@ -45,76 +43,30 @@
 #include "sim/simulator.h"
 #include "topology/builders.h"
 #include "transponder/catalog.h"
+#include "util/cli.h"
 #include "util/table.h"
 
 using namespace flexwan;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [--network tbackbone|cernet] [--scheme flexwan|radwan|100g]\n"
-      "          [--years Y] [--trials M] [--seed S] [--cut-rate R]\n"
-      "          [--mttr-hours H] [--growth-days D] [--growth-pct P]\n"
-      "          [--no-defrag] [--verify-incremental] [--sample-interval D]\n"
-      "          [--threads N] [--metrics f] [--trace f] [--bundle dir]\n",
-      argv0);
-  std::exit(2);
-}
-
-// One-line, actionable rejection: name the flag and the problem, point at
-// usage, exit non-zero.  Typos and out-of-range values must never be
-// silently ignored in a tool whose output feeds byte-comparison CI jobs.
-[[noreturn]] void reject(const char* argv0, const std::string& message) {
-  std::fprintf(stderr, "sim_tool: %s (see usage below)\n", message.c_str());
-  usage(argv0);
-}
-
-// Parses a finite double in [min, max]; rejects garbage, trailing
-// characters, and out-of-range values with the offending flag named.
-double parse_double(const char* flag, const char* value, const char* argv0,
-                    double min, double max) {
-  if (value == nullptr) {
-    reject(argv0, std::string(flag) + " requires a value");
-  }
-  char* end = nullptr;
-  const double v = std::strtod(value, &end);
-  if (end == value || *end != '\0') {
-    reject(argv0, std::string(flag) + ": '" + value + "' is not a number");
-  }
-  if (!(v >= min && v <= max)) {
-    reject(argv0, std::string(flag) + ": " + value + " out of range [" +
-                      std::to_string(min) + ", " + std::to_string(max) + "]");
-  }
-  return v;
-}
-
-// Parses a base-10 integer in [min, max] (no fractional part, no overflow
-// truncation — "1e9" and "2.5" are rejected, not rounded).
-long long parse_int(const char* flag, const char* value, const char* argv0,
-                    long long min, long long max) {
-  if (value == nullptr) {
-    reject(argv0, std::string(flag) + " requires a value");
-  }
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(value, &end, 10);
-  if (end == value || *end != '\0') {
-    reject(argv0, std::string(flag) + ": '" + value + "' is not an integer");
-  }
-  if (errno == ERANGE || v < min || v > max) {
-    reject(argv0, std::string(flag) + ": " + value + " out of range [" +
-                      std::to_string(min) + ", " + std::to_string(max) + "]");
-  }
-  return v;
-}
+// Strict flag handling (reject typos and out-of-range values, exit 2 with
+// usage) comes from util/cli.h, shared with plan_tool and flexwand.
+constexpr const char* kUsage =
+    "usage: sim_tool [--network tbackbone|cernet] "
+    "[--scheme flexwan|radwan|100g]\n"
+    "                [--years Y] [--trials M] [--seed S] [--cut-rate R]\n"
+    "                [--mttr-hours H] [--growth-days D] [--growth-pct P]\n"
+    "                [--no-defrag] [--verify-incremental] "
+    "[--sample-interval D]\n"
+    "                [--threads N] [--metrics f] [--trace f] [--bundle dir]\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const engine::Engine engine(engine::threads_flag(argc, argv));
   const obs::RunReport report = obs::report_from_flags(argc, argv);
+  const util::cli::Cli cli{argv[0], kUsage};
 
   std::string network = "tbackbone";
   std::string scheme = "flexwan";
@@ -129,55 +81,54 @@ int main(int argc, char** argv) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (std::strcmp(argv[i], "--network") == 0) {
-      const char* v = value();
-      if (v == nullptr) usage(argv[0]);
-      network = v;
+      network = cli.require_value("--network", value());
     } else if (std::strcmp(argv[i], "--scheme") == 0) {
-      const char* v = value();
-      if (v == nullptr) usage(argv[0]);
-      scheme = v;
+      scheme = cli.require_value("--scheme", value());
     } else if (std::strcmp(argv[i], "--years") == 0) {
-      years = parse_double("--years", value(), argv[0], 0.0, 1000.0);
+      years = cli.parse_double("--years", value(), 0.0, 1000.0);
     } else if (std::strcmp(argv[i], "--trials") == 0) {
-      config.trials = static_cast<int>(
-          parse_int("--trials", value(), argv[0], 0, 1000000));
+      config.trials =
+          static_cast<int>(cli.parse_int("--trials", value(), 0, 1000000));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      config.seed = static_cast<std::uint64_t>(parse_int(
-          "--seed", value(), argv[0], 0,
-          std::numeric_limits<long long>::max()));
+      config.seed = static_cast<std::uint64_t>(cli.parse_int(
+          "--seed", value(), 0, std::numeric_limits<long long>::max()));
     } else if (std::strcmp(argv[i], "--cut-rate") == 0) {
       config.timeline.cut_rate_per_1000km_per_year =
-          parse_double("--cut-rate", value(), argv[0], 0.0, 10000.0);
+          cli.parse_double("--cut-rate", value(), 0.0, 10000.0);
     } else if (std::strcmp(argv[i], "--mttr-hours") == 0) {
       config.timeline.mttr_mean_hours =
-          parse_double("--mttr-hours", value(), argv[0], 0.0, 1.0e6);
+          cli.parse_double("--mttr-hours", value(), 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--growth-days") == 0) {
       config.timeline.growth_interval_days =
-          parse_double("--growth-days", value(), argv[0], 0.0, 1.0e6);
+          cli.parse_double("--growth-days", value(), 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--growth-pct") == 0) {
-      growth_pct = parse_double("--growth-pct", value(), argv[0], 0.0, 1000.0);
+      growth_pct = cli.parse_double("--growth-pct", value(), 0.0, 1000.0);
     } else if (std::strcmp(argv[i], "--sample-interval") == 0) {
       config.sample_interval_days =
-          parse_double("--sample-interval", value(), argv[0], 0.0, 1.0e6);
+          cli.parse_double("--sample-interval", value(), 0.0, 1.0e6);
     } else if (std::strcmp(argv[i], "--no-defrag") == 0) {
       config.defrag_on_growth = false;
     } else if (std::strcmp(argv[i], "--verify-incremental") == 0) {
       config.restorer.verify_incremental = true;
     } else {
-      reject(argv[0], std::string("unknown flag '") + argv[i] + "'");
+      cli.reject(std::string("unknown flag '") + argv[i] + "'");
     }
   }
   config.timeline.horizon_days = years * 365.0;
   config.growth_fraction = growth_pct / 100.0;
 
-  const auto net = network == "cernet"     ? topology::make_cernet()
-                   : network == "tbackbone" ? topology::make_tbackbone()
-                                            : (usage(argv[0]), topology::Network{});
+  if (network != "cernet" && network != "tbackbone") {
+    cli.reject("--network: unknown network '" + network + "'");
+  }
+  if (scheme != "radwan" && scheme != "100g" && scheme != "flexwan") {
+    cli.reject("--scheme: unknown scheme '" + scheme + "'");
+  }
+  const auto net = network == "cernet" ? topology::make_cernet()
+                                       : topology::make_tbackbone();
   const transponder::Catalog& catalog =
       scheme == "radwan" ? transponder::bvt_radwan()
       : scheme == "100g" ? transponder::fixed_grid_100g()
-      : scheme == "flexwan" ? transponder::svt_flexwan()
-                            : (usage(argv[0]), transponder::svt_flexwan());
+                         : transponder::svt_flexwan();
 
   obs::announce_threads(engine.thread_count());
   std::printf("lifecycle: %s / %s, %d trial(s) x %.2f year(s), seed %llu\n",

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "obs/metrics.h"
+#include "util/cli.h"
 #include "obs/trace.h"
 #include "obs/workprof.h"
 
@@ -206,24 +207,15 @@ void Engine::parallel_for(std::size_t n,
 }
 
 Expected<int> parse_thread_count(const char* value) {
-  if (value == nullptr || *value == '\0') {
-    return Error::make("bad_threads", "--threads requires a value");
-  }
-  char* end = nullptr;
-  errno = 0;
-  const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0') {
-    return Error::make("bad_threads", "invalid --threads value '" +
-                                          std::string(value) +
-                                          "' (not an integer)");
-  }
-  if (errno == ERANGE || parsed < 0 || parsed > kMaxThreadsFlag) {
+  // The generic range parser owns the rejection semantics (util/cli.h);
+  // this wrapper only brands the error with the flag name.
+  const auto parsed =
+      util::cli::parse_int_in_range(value, 0, kMaxThreadsFlag);
+  if (!parsed) {
     return Error::make("bad_threads",
-                       "--threads value '" + std::string(value) +
-                           "' out of range [0, " +
-                           std::to_string(kMaxThreadsFlag) + "]");
+                       "--threads: " + parsed.error().message);
   }
-  return static_cast<int>(parsed);
+  return static_cast<int>(parsed.value());
 }
 
 int threads_flag(int& argc, char** argv, int fallback) {

@@ -107,13 +107,28 @@ std::string Bundle::summary_md() const {
   {
     std::size_t warns = 0;
     std::size_t errors = 0;
+    std::map<std::string, std::size_t> by_category;
     const auto records = EventLog::instance().records();
     for (const auto& record : records) {
       if (record.severity == Severity::kWarn) ++warns;
       if (record.severity == Severity::kError) ++errors;
+      ++by_category[record.category];
     }
     out << "**Events**: " << records.size() << " total, " << warns
         << " warn, " << errors << " error\n\n";
+    // Per-category counts (name-sorted via the map) mirror the
+    // events.<category> fields bundle_diff flattens, so summary.md and
+    // diff.json name categories identically.
+    if (!by_category.empty()) {
+      out << "**Events by category**: ";
+      bool first = true;
+      for (const auto& [category, count] : by_category) {
+        if (!first) out << ", ";
+        out << category << " " << count;
+        first = false;
+      }
+      out << "\n\n";
+    }
   }
   if (!config.empty()) {
     out << "## Configuration\n\n";

@@ -52,7 +52,8 @@ struct EventRecord {
   std::uint64_t seq = 0;  // assigned by the global log; dense from 1
   double time_days = kEventNoTime;
   Severity severity = Severity::kInfo;
-  std::string category;  // "sim", "restoration", "planner", "controller"
+  std::string category;  // "sim", "restoration", "planner", "controller",
+                         // "server"
   std::string name;      // dotted event name, e.g. "sim.cut"
   std::vector<std::pair<std::string, json::Value>> fields;
 

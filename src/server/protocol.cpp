@@ -1,0 +1,233 @@
+#include "server/protocol.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace flexwan::server {
+
+Method parse_method(std::string_view name) {
+  if (name == "ping") return Method::kPing;
+  if (name == "query_plan") return Method::kQueryPlan;
+  if (name == "availability") return Method::kAvailability;
+  if (name == "drill") return Method::kDrill;
+  if (name == "plan") return Method::kPlan;
+  if (name == "extend") return Method::kExtend;
+  if (name == "restore") return Method::kRestore;
+  if (name == "defrag") return Method::kDefrag;
+  if (name == "deploy") return Method::kDeploy;
+  return Method::kUnknown;
+}
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kPing: return "ping";
+    case Method::kQueryPlan: return "query_plan";
+    case Method::kAvailability: return "availability";
+    case Method::kDrill: return "drill";
+    case Method::kPlan: return "plan";
+    case Method::kExtend: return "extend";
+    case Method::kRestore: return "restore";
+    case Method::kDefrag: return "defrag";
+    case Method::kDeploy: return "deploy";
+    case Method::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+bool is_mutation(Method method) {
+  switch (method) {
+    case Method::kPlan:
+    case Method::kExtend:
+    case Method::kRestore:
+    case Method::kDefrag:
+    case Method::kDeploy:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool methods_coalesce(Method a, Method b) {
+  return (a == Method::kExtend && b == Method::kExtend) ||
+         (a == Method::kRestore && b == Method::kRestore);
+}
+
+std::string Request::to_json() const {
+  std::ostringstream out;
+  out << "{\"id\": " << id << ", \"method\": \""
+      << obs::json::escape(method_name.empty() ? server::method_name(method)
+                                               : method_name)
+      << "\"";
+  if (!params.is_null()) {
+    out << ", \"params\": " << obs::json::to_string(params);
+  }
+  out << "}";
+  return out.str();
+}
+
+Expected<Request> parse_request(std::string_view text) {
+  auto parsed = obs::json::parse(text);
+  if (!parsed) {
+    return Error::make("bad_request", parsed.error().message);
+  }
+  const obs::json::Value& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Error::make("bad_request", "request is not an object");
+  }
+  Request request;
+  const obs::json::Value* id = doc.find("id");
+  if (id == nullptr || !id->is_number() || id->as_number() < 0) {
+    return Error::make("bad_request", "missing or invalid 'id'");
+  }
+  request.id = static_cast<std::uint64_t>(id->as_number());
+  const obs::json::Value* method = doc.find("method");
+  if (method == nullptr || !method->is_string()) {
+    return Error::make("bad_request", "missing or invalid 'method'");
+  }
+  request.method_name = method->as_string();
+  request.method = parse_method(request.method_name);
+  if (const obs::json::Value* params = doc.find("params")) {
+    if (!params->is_object()) {
+      return Error::make("bad_request", "'params' must be an object");
+    }
+    request.params = *params;
+  }
+  for (const auto& [key, value] : doc.as_object()) {
+    static_cast<void>(value);
+    if (key != "id" && key != "method" && key != "params") {
+      return Error::make("bad_request", "unknown request key '" + key + "'");
+    }
+  }
+  return request;
+}
+
+std::string Response::to_json() const {
+  std::ostringstream out;
+  out << "{\"id\": " << id << ", \"ok\": " << (ok ? "true" : "false")
+      << ", \"version\": " << version;
+  if (ok) {
+    out << ", \"result\": " << obs::json::to_string(result);
+  } else {
+    out << ", \"error\": {\"code\": \"" << obs::json::escape(error_code)
+        << "\", \"message\": \"" << obs::json::escape(error_message)
+        << "\"}";
+  }
+  out << "}";
+  return out.str();
+}
+
+Response Response::success(std::uint64_t id, std::uint64_t version,
+                           obs::json::Object result) {
+  Response response;
+  response.id = id;
+  response.ok = true;
+  response.version = version;
+  response.result = obs::json::Value(std::move(result));
+  return response;
+}
+
+Response Response::failure(std::uint64_t id, std::uint64_t version,
+                           std::string code, std::string message) {
+  Response response;
+  response.id = id;
+  response.ok = false;
+  response.version = version;
+  response.error_code = std::move(code);
+  response.error_message = std::move(message);
+  return response;
+}
+
+Expected<Response> parse_response(std::string_view text) {
+  auto parsed = obs::json::parse(text);
+  if (!parsed) return Error::make("bad_response", parsed.error().message);
+  const obs::json::Value& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Error::make("bad_response", "response is not an object");
+  }
+  Response response;
+  const obs::json::Value* id = doc.find("id");
+  const obs::json::Value* ok = doc.find("ok");
+  const obs::json::Value* version = doc.find("version");
+  if (id == nullptr || !id->is_number() || ok == nullptr || !ok->is_bool() ||
+      version == nullptr || !version->is_number()) {
+    return Error::make("bad_response", "missing id/ok/version");
+  }
+  response.id = static_cast<std::uint64_t>(id->as_number());
+  response.ok = ok->as_bool();
+  response.version = static_cast<std::uint64_t>(version->as_number());
+  if (response.ok) {
+    const obs::json::Value* result = doc.find("result");
+    if (result == nullptr || !result->is_object()) {
+      return Error::make("bad_response", "ok response missing 'result'");
+    }
+    response.result = *result;
+  } else {
+    const obs::json::Value* error = doc.find("error");
+    if (error == nullptr || !error->is_object()) {
+      return Error::make("bad_response", "error response missing 'error'");
+    }
+    const obs::json::Value* code = error->find("code");
+    const obs::json::Value* message = error->find("message");
+    if (code == nullptr || !code->is_string() || message == nullptr ||
+        !message->is_string()) {
+      return Error::make("bad_response", "error missing code/message");
+    }
+    response.error_code = code->as_string();
+    response.error_message = message->as_string();
+  }
+  return response;
+}
+
+std::string frame(std::string_view payload) {
+  std::string framed = std::to_string(payload.size());
+  framed += '\n';
+  framed += payload;
+  return framed;
+}
+
+void write_frame(std::ostream& out, std::string_view payload) {
+  out << payload.size() << '\n';
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+}
+
+Expected<std::optional<std::string>> read_frame(std::istream& in) {
+  // Length prefix: decimal digits up to '\n'.  EOF before the first digit
+  // is a clean end of stream, not an error.
+  std::string prefix;
+  int c = in.get();
+  if (c == std::istream::traits_type::eof()) {
+    return std::optional<std::string>{};
+  }
+  while (c != '\n') {
+    if (c == std::istream::traits_type::eof()) {
+      return Error::make("bad_frame", "EOF inside length prefix");
+    }
+    if (c < '0' || c > '9' || prefix.size() >= 9) {
+      return Error::make("bad_frame",
+                         "malformed length prefix '" + prefix +
+                             std::string(1, static_cast<char>(c)) + "'");
+    }
+    prefix += static_cast<char>(c);
+    c = in.get();
+  }
+  if (prefix.empty()) {
+    return Error::make("bad_frame", "empty length prefix");
+  }
+  const std::size_t length = static_cast<std::size_t>(std::stoul(prefix));
+  if (length > kMaxFrameBytes) {
+    return Error::make("bad_frame",
+                       "frame of " + prefix + " bytes exceeds limit");
+  }
+  std::string payload(length, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(in.gcount()) != length) {
+    return Error::make("bad_frame", "truncated payload (want " + prefix +
+                                        " bytes, got " +
+                                        std::to_string(in.gcount()) + ")");
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+}  // namespace flexwan::server

@@ -1,0 +1,118 @@
+// flexwand wire protocol: JSON-RPC-style requests/responses with
+// length-prefixed framing.
+//
+// The control-plane service (service.h) speaks one request shape:
+//
+//   {"id": 7, "method": "extend", "params": {"link_id": 3, "gbps": 200}}
+//
+// and one response shape:
+//
+//   {"id": 7, "ok": true, "version": 12, "result": {...}}
+//   {"id": 7, "ok": false, "version": 12,
+//    "error": {"code": "no_spectrum", "message": "..."}}
+//
+// `version` is the authoritative state version the response was computed
+// against (reads) or produced (mutations) — clients use it to reason about
+// snapshot isolation.  Serialization is deterministic: result/error objects
+// render through obs::json::to_string (sorted keys, shortest-round-trip
+// numbers), so a request trace replays to byte-identical response bytes at
+// any thread count — the invariant CI's server-determinism job pins.
+//
+// Framing (the daemon's stdin/stdout transport) is length-prefixed:
+//
+//   <decimal payload byte count> '\n' <payload bytes>
+//
+// Tests and the scripted replay mode skip the framing entirely and exchange
+// whole Request/Response values in process; script files are plain JSONL
+// (one request per line), which read_frame never sees.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "util/expected.h"
+
+namespace flexwan::server {
+
+// The method set.  Reads run against an immutable state snapshot and may
+// execute concurrently; mutations serialize through the commit log.
+enum class Method {
+  kPing,          // read: liveness + current state version
+  kQueryPlan,     // read: plan summary (pairs, Gbps, spectrum)
+  kAvailability,  // read: restoration drill over all single-fiber cuts
+  kDrill,         // read: restoration drill over an explicit fiber list
+  kPlan,          // mutation: run Algorithm 1 from scratch
+  kExtend,        // mutation: provision extra Gbps on one IP link
+  kRestore,       // mutation: solve + apply restoration for a fiber cut
+  kDefrag,        // mutation: hitless spectrum defragmentation
+  kDeploy,        // mutation: configure the fleet (centralized/distributed)
+  kUnknown
+};
+
+Method parse_method(std::string_view name);
+const char* method_name(Method method);
+
+// Mutations are serialized by the service's single-writer commit path;
+// everything else (including unknown methods, which fail without touching
+// state) follows the concurrent read path.
+bool is_mutation(Method method);
+
+// The commit-window coalescing rule: two adjacent mutations share one
+// commit iff they are both extends or both restores — the two operations
+// that only add/retune spectrum against the same base occupancy.  plan /
+// defrag / deploy rewrite or re-read global state and always commit alone.
+bool methods_coalesce(Method a, Method b);
+
+struct Request {
+  std::uint64_t id = 0;
+  Method method = Method::kUnknown;
+  std::string method_name;  // as received (error messages name it verbatim)
+  obs::json::Value params;  // object or null
+
+  std::string to_json() const;
+};
+
+// Parses one request document.  Fails with "bad_request" on anything but
+// {"id": <number>, "method": <string>, "params": <object>?}; an unknown
+// method parses fine (method == kUnknown) so the service can answer it
+// with a proper error response instead of dropping the frame.
+Expected<Request> parse_request(std::string_view text);
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::uint64_t version = 0;  // state version (see header comment)
+  obs::json::Value result;    // object when ok
+  std::string error_code;     // when !ok
+  std::string error_message;  // when !ok
+
+  std::string to_json() const;
+
+  static Response success(std::uint64_t id, std::uint64_t version,
+                          obs::json::Object result);
+  static Response failure(std::uint64_t id, std::uint64_t version,
+                          std::string code, std::string message);
+};
+
+// Parses one response document (clients and tests).
+Expected<Response> parse_response(std::string_view text);
+
+// --- framing ----------------------------------------------------------------
+
+// Guards read_frame against a corrupted or hostile length prefix; far above
+// any real payload (a full plan dump is ~100 KiB).
+inline constexpr std::size_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+// "<payload size>\n<payload>".
+std::string frame(std::string_view payload);
+void write_frame(std::ostream& out, std::string_view payload);
+
+// Reads one frame.  nullopt on clean EOF before any prefix byte; fails with
+// "bad_frame" on a malformed prefix or a truncated payload.
+Expected<std::optional<std::string>> read_frame(std::istream& in);
+
+}  // namespace flexwan::server

@@ -1,0 +1,98 @@
+#include "server/replay.h"
+
+#include <string>
+
+#include "obs/eventlog.h"
+#include "obs/trace.h"
+
+namespace flexwan::server {
+
+namespace {
+
+bool blank_or_comment(std::string_view line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Expected<std::vector<Request>> parse_script(std::string_view text) {
+  std::vector<Request> requests;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t eol = text.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? text : text.substr(0, eol);
+    text = eol == std::string_view::npos ? std::string_view{}
+                                         : text.substr(eol + 1);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (blank_or_comment(line)) continue;
+    Expected<Request> request = parse_request(line);
+    if (!request) {
+      return Error::make("bad_script",
+                         "line " + std::to_string(line_no) + ": " +
+                             request.error().message);
+    }
+    requests.push_back(std::move(request.value()));
+  }
+  return requests;
+}
+
+std::string ScriptResult::to_jsonl() const {
+  std::string out;
+  for (const Response& response : responses) {
+    out += response.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+ScriptResult run_script(Service& service,
+                        std::span<const Request> requests) {
+  OBS_SPAN("server.replay");
+  ScriptResult result;
+  result.responses.resize(requests.size());
+  const std::size_t n = requests.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!is_mutation(requests[i].method)) {
+      // Maximal read run: fan out on the engine; per-task event buffers
+      // spliced back in script order keep the log schedule-independent.
+      std::size_t j = i;
+      while (j < n && !is_mutation(requests[j].method)) ++j;
+      const std::size_t count = j - i;
+      std::vector<obs::EventBuffer> buffers(count);
+      service.engine().parallel_for(count, [&](std::size_t k) {
+        obs::ScopedEventBuffer scope(&buffers[k]);
+        result.responses[i + k] = service.execute(requests[i + k]);
+      });
+      for (obs::EventBuffer& buffer : buffers) {
+        obs::EventLog::instance().splice(std::move(buffer));
+      }
+      result.read_count += count;
+      i = j;
+    } else {
+      // Maximal coalescible mutation run -> exactly one commit window.
+      std::size_t j = i + 1;
+      while (j < n && is_mutation(requests[j].method) &&
+             methods_coalesce(requests[i].method, requests[j].method)) {
+        ++j;
+      }
+      const std::vector<Response> responses =
+          service.execute_batch(requests.subspan(i, j - i));
+      for (std::size_t k = 0; k < responses.size(); ++k) {
+        result.responses[i + k] = responses[k];
+      }
+      result.mutation_count += j - i;
+      ++result.windows;
+      i = j;
+    }
+  }
+  return result;
+}
+
+}  // namespace flexwan::server

@@ -1,0 +1,53 @@
+// Scripted replay: deterministic execution of a request script.
+//
+// `flexwand --script reqs.jsonl` replays a recorded request sequence (one
+// request document per line) and must produce byte-identical responses —
+// and a byte-identical final plan and evidence bundle — at every --threads
+// value.  Live dispatch cannot promise that (window composition depends on
+// arrival timing), so replay derives the window structure from the script
+// alone:
+//
+//  * a maximal run of consecutive reads fans out on the service engine
+//    (index-ordered parallel_for); each read collects its events in a
+//    per-task EventBuffer that is spliced back in script order, so the
+//    event log never sees scheduling.
+//  * a maximal run of consecutive coalescible mutations (methods_coalesce
+//    against the run's first request) becomes exactly one commit window via
+//    Service::execute_batch.
+//
+// The same script therefore always yields the same commit log, the same
+// state versions, and the same response bytes — the invariant CI's
+// server-determinism job byte-compares at --threads 1 vs 8.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "server/service.h"
+
+namespace flexwan::server {
+
+// Parses a JSONL script: one request per line; blank lines and lines
+// starting with '#' are skipped.  Fails with "bad_script" naming the
+// 1-based line of the first malformed request.
+Expected<std::vector<Request>> parse_script(std::string_view text);
+
+struct ScriptResult {
+  std::vector<Response> responses;  // script order
+  std::size_t read_count = 0;
+  std::size_t mutation_count = 0;
+  std::size_t windows = 0;  // mutation commit windows executed
+
+  // One response document per line, script order, trailing newline — the
+  // bytes the determinism CI compares.
+  std::string to_jsonl() const;
+};
+
+// Replays `requests` against `service` with the deterministic segmentation
+// described above.
+ScriptResult run_script(Service& service, std::span<const Request> requests);
+
+}  // namespace flexwan::server

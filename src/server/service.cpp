@@ -1,0 +1,589 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "controller/centralized.h"
+#include "controller/distributed.h"
+#include "obs/eventlog.h"
+#include "obs/trace.h"
+#include "planning/incremental.h"
+#include "restoration/apply.h"
+#include "restoration/metrics.h"
+#include "restoration/scenario.h"
+
+namespace flexwan::server {
+
+namespace {
+
+// Per-method span names must be string literals (Span keeps the pointer and
+// span_histogram derives "<name>.us"), so the mapping is a switch, not
+// string concatenation.
+const char* request_span_name(Method method) {
+  switch (method) {
+    case Method::kPing: return "server.request.ping";
+    case Method::kQueryPlan: return "server.request.query_plan";
+    case Method::kAvailability: return "server.request.availability";
+    case Method::kDrill: return "server.request.drill";
+    case Method::kPlan: return "server.request.plan";
+    case Method::kExtend: return "server.request.extend";
+    case Method::kRestore: return "server.request.restore";
+    case Method::kDefrag: return "server.request.defrag";
+    case Method::kDeploy: return "server.request.deploy";
+    case Method::kUnknown: return "server.request.unknown";
+  }
+  return "server.request.unknown";
+}
+
+// OBS_COUNTER_ADD caches a registry pointer per call site, so per-method
+// counters need one literal call site per method.
+void count_method(Method method) {
+  switch (method) {
+    case Method::kPing: OBS_COUNTER_ADD("server.method.ping", 1); break;
+    case Method::kQueryPlan:
+      OBS_COUNTER_ADD("server.method.query_plan", 1);
+      break;
+    case Method::kAvailability:
+      OBS_COUNTER_ADD("server.method.availability", 1);
+      break;
+    case Method::kDrill: OBS_COUNTER_ADD("server.method.drill", 1); break;
+    case Method::kPlan: OBS_COUNTER_ADD("server.method.plan", 1); break;
+    case Method::kExtend: OBS_COUNTER_ADD("server.method.extend", 1); break;
+    case Method::kRestore: OBS_COUNTER_ADD("server.method.restore", 1); break;
+    case Method::kDefrag: OBS_COUNTER_ADD("server.method.defrag", 1); break;
+    case Method::kDeploy: OBS_COUNTER_ADD("server.method.deploy", 1); break;
+    case Method::kUnknown:
+      OBS_COUNTER_ADD("server.method.unknown", 1);
+      break;
+  }
+}
+
+// Commit-window sizes live on their own small-integer bounds (the default
+// latency bounds start at 1 µs and would flatten every window into two
+// buckets).
+void observe_batch_size(int window_size) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram* const hist =
+      obs::Registry::instance().histogram(
+          "server.commit.batch_size",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  hist->observe(static_cast<double>(window_size));
+}
+
+void emit_request_event(const Request& request, const Response& response) {
+  if (!obs::events_enabled()) return;
+  auto record =
+      obs::make_event("server",
+                      response.ok ? obs::Severity::kInfo
+                                  : obs::Severity::kWarn,
+                      "server.request")
+          .with("id", static_cast<std::size_t>(request.id))
+          .with("method", request.method_name.empty()
+                              ? method_name(request.method)
+                              : request.method_name.c_str())
+          .with("ok", response.ok);
+  if (!response.ok) {
+    obs::emit_event(std::move(record).with("error", response.error_code));
+  } else {
+    obs::emit_event(std::move(record));
+  }
+}
+
+obs::json::Object drill_metrics_to_json(
+    const restoration::ScenarioSetMetrics& metrics) {
+  double min_capability = 1.0;
+  for (const double c : metrics.capabilities) {
+    min_capability = std::min(min_capability, c);
+  }
+  obs::json::Object result;
+  result["mean_capability"] = obs::json::Value(metrics.mean_capability);
+  result["min_capability"] = obs::json::Value(min_capability);
+  result["scenarios"] =
+      obs::json::Value(static_cast<double>(metrics.capabilities.size()));
+  result["scenarios_with_loss"] =
+      obs::json::Value(static_cast<double>(metrics.scenarios_with_loss));
+  return result;
+}
+
+}  // namespace
+
+Service::Service(topology::Network net, const transponder::Catalog& catalog,
+                 const engine::Engine& engine, ServiceOptions options)
+    : net_(std::move(net)),
+      catalog_(&catalog),
+      engine_(&engine),
+      options_(options),
+      planner_(catalog, options.planner),
+      restorer_(catalog, options.restorer),
+      state_(std::make_shared<const State>()) {}
+
+std::shared_ptr<const Service::State> Service::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+std::uint64_t Service::state_version() const { return snapshot()->version; }
+
+std::shared_ptr<const planning::Plan> Service::plan_snapshot() const {
+  return snapshot()->plan;
+}
+
+std::vector<CommitRecord> Service::commit_log() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return commit_log_;
+}
+
+std::size_t Service::max_queue_depth() const {
+  return max_queue_depth_.load(std::memory_order_relaxed);
+}
+
+void Service::note_queue_depth(std::size_t depth) {
+  std::size_t cur = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > cur && !max_queue_depth_.compare_exchange_weak(
+                            cur, depth, std::memory_order_relaxed)) {
+  }
+  OBS_GAUGE_SET("server.queue.depth.max",
+                static_cast<double>(
+                    max_queue_depth_.load(std::memory_order_relaxed)));
+}
+
+Response Service::execute(const Request& request) {
+  OBS_SPAN("server.request");
+  obs::Span method_span;
+  if ((obs::enabled_bits() &
+       (obs::kTraceBit | obs::kTimingBit | obs::kWorkProfBit)) != 0u) {
+    const char* name = request_span_name(request.method);
+    method_span.begin(name, obs::span_histogram(name));
+  }
+  OBS_COUNTER_ADD("server.requests.total", 1);
+  count_method(request.method);
+
+  if (!is_mutation(request.method)) {
+    const auto state = snapshot();
+    Response response = execute_read(request, state);
+    emit_request_event(request, response);
+    return response;
+  }
+
+  // Group commit: join the queue; the first mutation to find no active
+  // committer becomes the leader, drains one maximal coalescible window off
+  // the front, commits it outside the queue lock, and hands the role on.
+  auto pending = std::make_shared<PendingMutation>();
+  pending->request = request;
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  pending_.push_back(pending);
+  note_queue_depth(pending_.size());
+  for (;;) {
+    if (pending->done) return pending->response;
+    if (!committer_active_ && !pending_.empty()) {
+      committer_active_ = true;
+      std::vector<std::shared_ptr<PendingMutation>> window;
+      window.push_back(pending_.front());
+      pending_.pop_front();
+      while (!pending_.empty() &&
+             methods_coalesce(window.front()->request.method,
+                              pending_.front()->request.method)) {
+        window.push_back(pending_.front());
+        pending_.pop_front();
+      }
+      lock.unlock();
+      std::vector<Request> requests;
+      requests.reserve(window.size());
+      for (const auto& entry : window) requests.push_back(entry->request);
+      std::vector<Response> responses = commit_window(requests);
+      lock.lock();
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        window[i]->response = std::move(responses[i]);
+        window[i]->done = true;
+      }
+      committer_active_ = false;
+      lock.unlock();
+      queue_cv_.notify_all();
+      lock.lock();
+      continue;
+    }
+    queue_cv_.wait(lock,
+                   [&] { return pending->done || !committer_active_; });
+  }
+}
+
+std::vector<Response> Service::execute_batch(
+    std::span<const Request> requests) {
+  if (requests.empty()) return {};
+  note_queue_depth(requests.size());
+  for (const Request& request : requests) {
+    OBS_COUNTER_ADD("server.requests.total", 1);
+    count_method(request.method);
+  }
+  return commit_window(requests);
+}
+
+std::vector<Response> Service::commit_window(
+    std::span<const Request> requests) {
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  const auto base = snapshot();
+  std::shared_ptr<planning::Plan> working;
+  if (base->plan != nullptr) {
+    working = std::make_shared<planning::Plan>(*base->plan);
+  }
+
+  CommitRecord record;
+  record.method = method_name(requests.front().method);
+  record.window_size = static_cast<int>(requests.size());
+
+  std::vector<Response> responses;
+  responses.reserve(requests.size());
+  for (const Request& request : requests) {
+    Expected<obs::json::Object> result =
+        Error::make("not_a_mutation",
+                    "'" + std::string(method_name(request.method)) +
+                        "' is not a mutation");
+    switch (request.method) {
+      case Method::kPlan:
+        result = handle_plan(working);
+        break;
+      case Method::kExtend:
+        result = working == nullptr
+                     ? Error::make("no_plan", "no plan committed yet")
+                     : handle_extend(request, working);
+        break;
+      case Method::kRestore:
+        result = working == nullptr
+                     ? Error::make("no_plan", "no plan committed yet")
+                     : handle_restore(request, working);
+        break;
+      case Method::kDefrag:
+        result = working == nullptr
+                     ? Error::make("no_plan", "no plan committed yet")
+                     : handle_defrag(working);
+        break;
+      case Method::kDeploy:
+        result = working == nullptr
+                     ? Error::make("no_plan", "no plan committed yet")
+                     : handle_deploy(request, *working);
+        break;
+      default:
+        break;
+    }
+    if (result) {
+      record.request_ids.push_back(request.id);
+      responses.push_back(
+          Response::success(request.id, 0, std::move(result.value())));
+    } else {
+      responses.push_back(Response::failure(request.id, 0,
+                                            result.error().code,
+                                            result.error().message));
+    }
+  }
+
+  std::uint64_t version = base->version;
+  if (!record.request_ids.empty()) {
+    version = base->version + 1;
+    auto next = std::make_shared<State>();
+    next->version = version;
+    next->plan = working;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      state_ = std::move(next);
+    }
+    record.version = version;
+    {
+      std::lock_guard<std::mutex> lock(log_mu_);
+      commit_log_.push_back(record);
+    }
+    OBS_COUNTER_ADD("server.commits", 1);
+    OBS_COUNTER_ADD("server.commit.applied", record.request_ids.size());
+    OBS_GAUGE_SET("server.state.version", static_cast<double>(version));
+    observe_batch_size(record.window_size);
+    if (obs::events_enabled()) {
+      obs::emit_event(
+          obs::make_event("server", obs::Severity::kInfo, "server.commit")
+              .with("version", static_cast<std::size_t>(version))
+              .with("method", record.method)
+              .with("window", record.window_size)
+              .with("applied", record.request_ids.size()));
+    }
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses[i].version = version;
+    emit_request_event(requests[i], responses[i]);
+  }
+  return responses;
+}
+
+Response Service::execute_read(
+    const Request& request,
+    const std::shared_ptr<const State>& state) const {
+  const std::uint64_t version = state->version;
+  switch (request.method) {
+    case Method::kPing: {
+      obs::json::Object result;
+      result["has_plan"] = obs::json::Value(state->plan != nullptr);
+      result["links"] =
+          obs::json::Value(static_cast<double>(net_.ip.link_count()));
+      result["fibers"] =
+          obs::json::Value(static_cast<double>(net_.optical.fiber_count()));
+      return Response::success(request.id, version, std::move(result));
+    }
+    case Method::kQueryPlan:
+    case Method::kAvailability:
+    case Method::kDrill: {
+      if (state->plan == nullptr) {
+        return Response::failure(request.id, version, "no_plan",
+                                 "no plan committed yet");
+      }
+      Expected<obs::json::Object> result =
+          request.method == Method::kQueryPlan
+              ? handle_query_plan(*state->plan)
+          : request.method == Method::kAvailability
+              ? handle_availability(*state->plan)
+              : handle_drill(request, *state->plan);
+      if (!result) {
+        return Response::failure(request.id, version, result.error().code,
+                                 result.error().message);
+      }
+      return Response::success(request.id, version,
+                               std::move(result.value()));
+    }
+    default:
+      return Response::failure(
+          request.id, version, "method_not_found",
+          "unknown method '" + request.method_name + "'");
+  }
+}
+
+Expected<obs::json::Object> Service::handle_plan(
+    std::shared_ptr<planning::Plan>& plan) const {
+  Expected<planning::Plan> planned = planner_.plan(net_, *engine_);
+  if (!planned) return planned.error();
+  plan = std::make_shared<planning::Plan>(std::move(planned.value()));
+  return handle_query_plan(*plan);
+}
+
+Expected<topology::LinkId> Service::resolve_link(
+    const Request& request) const {
+  if (const obs::json::Value* id = request.params.find("link_id")) {
+    if (!id->is_number() || id->as_number() < 0 ||
+        id->as_number() >= net_.ip.link_count()) {
+      return Error::make("unknown_link", "link_id out of range");
+    }
+    return static_cast<topology::LinkId>(id->as_number());
+  }
+  if (const obs::json::Value* name = request.params.find("link")) {
+    if (name->is_string()) {
+      for (const topology::IpLink& link : net_.ip.links()) {
+        if (link.name == name->as_string()) return link.id;
+      }
+      return Error::make("unknown_link",
+                         "no IP link named '" + name->as_string() + "'");
+    }
+  }
+  return Error::make("bad_request",
+                     "extend needs 'link_id' (number) or 'link' (name)");
+}
+
+Expected<obs::json::Object> Service::handle_extend(
+    const Request& request, std::shared_ptr<planning::Plan>& plan) const {
+  const Expected<topology::LinkId> link = resolve_link(request);
+  if (!link) return link.error();
+  const obs::json::Value* gbps = request.params.find("gbps");
+  if (gbps == nullptr || !gbps->is_number() || gbps->as_number() <= 0.0) {
+    return Error::make("bad_request", "'gbps' must be a positive number");
+  }
+  Expected<planning::ExtensionResult> extended = planning::extend_plan(
+      *plan, net_, link.value(), gbps->as_number(), options_.planner);
+  if (!extended) return extended.error();
+  obs::json::Object result;
+  result["link_id"] = obs::json::Value(static_cast<double>(link.value()));
+  result["wavelengths_added"] = obs::json::Value(
+      static_cast<double>(extended.value().wavelengths_added));
+  result["capacity_added_gbps"] =
+      obs::json::Value(extended.value().capacity_added_gbps);
+  return result;
+}
+
+Expected<obs::json::Object> Service::handle_restore(
+    const Request& request, std::shared_ptr<planning::Plan>& plan) const {
+  restoration::FailureScenario scenario;
+  if (const obs::json::Value* fiber = request.params.find("fiber")) {
+    if (!fiber->is_number()) {
+      return Error::make("bad_request", "'fiber' must be a number");
+    }
+    scenario.cut_fibers.push_back(
+        static_cast<topology::FiberId>(fiber->as_number()));
+  } else if (const obs::json::Value* fibers =
+                 request.params.find("fibers")) {
+    if (!fibers->is_array()) {
+      return Error::make("bad_request", "'fibers' must be an array");
+    }
+    for (const obs::json::Value& entry : fibers->as_array()) {
+      if (!entry.is_number()) {
+        return Error::make("bad_request", "'fibers' entries must be numbers");
+      }
+      scenario.cut_fibers.push_back(
+          static_cast<topology::FiberId>(entry.as_number()));
+    }
+  } else {
+    return Error::make("bad_request",
+                       "restore needs 'fiber' or 'fibers' in params");
+  }
+  // FailureScenario requires sorted, duplicate-free cut sets.
+  std::sort(scenario.cut_fibers.begin(), scenario.cut_fibers.end());
+  scenario.cut_fibers.erase(
+      std::unique(scenario.cut_fibers.begin(), scenario.cut_fibers.end()),
+      scenario.cut_fibers.end());
+  if (scenario.cut_fibers.empty()) {
+    return Error::make("bad_request", "no fibers to cut");
+  }
+  for (const topology::FiberId f : scenario.cut_fibers) {
+    if (f < 0 || f >= net_.optical.fiber_count()) {
+      return Error::make("unknown_fiber",
+                         "fiber " + std::to_string(f) + " out of range");
+    }
+  }
+
+  const restoration::Outcome outcome =
+      restorer_.restore(net_, *plan, scenario);
+  Expected<restoration::AppliedOutcome> applied =
+      restoration::apply_outcome(*plan, scenario, outcome);
+  if (!applied) return applied.error();
+
+  obs::json::Object result;
+  result["affected_gbps"] = obs::json::Value(outcome.affected_gbps);
+  result["restored_gbps"] = obs::json::Value(outcome.restored_gbps);
+  result["capability"] = obs::json::Value(outcome.capability());
+  result["wavelengths_restored"] =
+      obs::json::Value(static_cast<double>(outcome.wavelengths.size()));
+  result["links_affected"] =
+      obs::json::Value(static_cast<double>(outcome.links.size()));
+  return result;
+}
+
+Expected<obs::json::Object> Service::handle_defrag(
+    std::shared_ptr<planning::Plan>& plan) const {
+  Expected<planning::DefragResult> defragged = planning::defragment(*plan);
+  if (!defragged) return defragged.error();
+  obs::json::Object result;
+  result["wavelengths_moved"] = obs::json::Value(
+      static_cast<double>(defragged.value().wavelengths_moved));
+  result["free_run_before"] = obs::json::Value(
+      static_cast<double>(defragged.value().free_run_before));
+  result["free_run_after"] = obs::json::Value(
+      static_cast<double>(defragged.value().free_run_after));
+  return result;
+}
+
+Expected<obs::json::Object> Service::handle_deploy(
+    const Request& request, const planning::Plan& plan) const {
+  std::string mode = "centralized";
+  if (const obs::json::Value* controller =
+          request.params.find("controller")) {
+    if (!controller->is_string()) {
+      return Error::make("bad_request", "'controller' must be a string");
+    }
+    mode = controller->as_string();
+  }
+  if (mode != "centralized" && mode != "distributed") {
+    return Error::make("bad_request",
+                       "'controller' must be 'centralized' or 'distributed'");
+  }
+
+  // The fleet is materialized per deployment (the daemon's authoritative
+  // state is the plan; devices are derived).  Centralized control gets the
+  // pixel-wise OLS; the distributed baseline keeps legacy vendor grids —
+  // the §4.3 comparison surfaced through the audit counts below.
+  const bool pixel_wise = mode == "centralized";
+  controller::Fleet fleet(net_, plan, options_.vendors, pixel_wise);
+  obs::json::Object result;
+  result["controller"] = obs::json::Value(mode);
+  if (pixel_wise) {
+    controller::CentralizedController controller(net_);
+    Expected<controller::DeploymentStats> stats = controller.deploy(fleet);
+    if (!stats) return stats.error();
+    result["wavelengths_configured"] = obs::json::Value(
+        static_cast<double>(stats.value().wavelengths_configured));
+    result["config_rpcs"] =
+        obs::json::Value(static_cast<double>(stats.value().config_rpcs));
+  } else {
+    controller::DistributedControllers controllers(net_);
+    Expected<controller::DistributedStats> stats =
+        controllers.deploy(fleet);
+    if (!stats) return stats.error();
+    result["wavelengths_configured"] = obs::json::Value(
+        static_cast<double>(stats.value().wavelengths_configured));
+    result["config_rpcs"] =
+        obs::json::Value(static_cast<double>(stats.value().config_rpcs));
+    result["vendor_controllers"] = obs::json::Value(
+        static_cast<double>(stats.value().vendor_controllers));
+    result["grid_clipped_passbands"] = obs::json::Value(
+        static_cast<double>(stats.value().grid_clipped_passbands));
+  }
+  const controller::AuditReport audit = controller::audit_fleet(fleet, net_);
+  result["audit_inconsistencies"] =
+      obs::json::Value(static_cast<double>(audit.inconsistencies));
+  result["audit_conflicts"] =
+      obs::json::Value(static_cast<double>(audit.conflicts));
+  result["audit_unconfigured"] =
+      obs::json::Value(static_cast<double>(audit.unconfigured));
+  result["audit_clean"] = obs::json::Value(audit.clean());
+  return result;
+}
+
+Expected<obs::json::Object> Service::handle_query_plan(
+    const planning::Plan& plan) const {
+  double provisioned = 0.0;
+  std::size_t wavelengths = 0;
+  for (const planning::LinkPlan& link : plan.links()) {
+    provisioned += link.provisioned_gbps();
+    wavelengths += link.wavelengths.size();
+  }
+  obs::json::Object result;
+  result["scheme"] = obs::json::Value(plan.scheme());
+  result["links"] =
+      obs::json::Value(static_cast<double>(plan.links().size()));
+  result["wavelengths"] = obs::json::Value(static_cast<double>(wavelengths));
+  result["transponder_pairs"] =
+      obs::json::Value(static_cast<double>(plan.transponder_count()));
+  result["provisioned_gbps"] = obs::json::Value(provisioned);
+  result["spectrum_usage_ghz"] = obs::json::Value(plan.spectrum_usage_ghz());
+  return result;
+}
+
+Expected<obs::json::Object> Service::handle_availability(
+    const planning::Plan& plan) const {
+  const std::vector<restoration::FailureScenario> scenarios =
+      restoration::single_fiber_cuts(net_.optical);
+  const restoration::ScenarioSetMetrics metrics =
+      restoration::evaluate_scenarios(net_, plan, restorer_, scenarios,
+                                      *engine_);
+  return drill_metrics_to_json(metrics);
+}
+
+Expected<obs::json::Object> Service::handle_drill(
+    const Request& request, const planning::Plan& plan) const {
+  const obs::json::Value* fibers = request.params.find("fibers");
+  if (fibers == nullptr || !fibers->is_array() ||
+      fibers->as_array().empty()) {
+    return Error::make("bad_request",
+                       "drill needs a non-empty 'fibers' array");
+  }
+  std::vector<restoration::FailureScenario> scenarios;
+  scenarios.reserve(fibers->as_array().size());
+  for (const obs::json::Value& entry : fibers->as_array()) {
+    if (!entry.is_number()) {
+      return Error::make("bad_request", "'fibers' entries must be numbers");
+    }
+    const auto fiber = static_cast<topology::FiberId>(entry.as_number());
+    if (fiber < 0 || fiber >= net_.optical.fiber_count()) {
+      return Error::make("unknown_fiber",
+                         "fiber " + std::to_string(fiber) + " out of range");
+    }
+    scenarios.push_back(restoration::FailureScenario{{fiber}, 1.0});
+  }
+  const restoration::ScenarioSetMetrics metrics =
+      restoration::evaluate_scenarios(net_, plan, restorer_, scenarios,
+                                      *engine_);
+  return drill_metrics_to_json(metrics);
+}
+
+}  // namespace flexwan::server

@@ -1,0 +1,176 @@
+// The flexwand control-plane service: authoritative network state behind
+// snapshot isolation, serving concurrent requests (paper §4.3-§4.4).
+//
+// The paper's controller is a long-running daemon owning the holistic
+// network view; the Session facade (core/flexwan.h) rebuilds that view per
+// CLI invocation.  Service is the daemon half: it owns one Network and the
+// current Plan, and dispatches protocol.h requests under one concurrency
+// contract:
+//
+//  * Reads (ping / query_plan / availability / drill) run against an
+//    immutable state snapshot — a shared_ptr<const State> published by the
+//    last commit — so any number of reader threads proceed in parallel
+//    without blocking writers, and every response names the exact state
+//    version it observed.
+//  * Mutations (plan / extend / restore / defrag / deploy) serialize
+//    through a single-writer group-commit queue: the first arriving
+//    mutation becomes the committer and drains the queue in windows,
+//    coalescing adjacent compatible requests (methods_coalesce) into one
+//    commit; followers block until their window lands.  Each committed
+//    window bumps the state version by exactly one and appends one
+//    CommitRecord, so the commit log is a serialized, monotonic history —
+//    the property server_test pins under N racing client threads.
+//
+// The centralized/distributed conflict machinery in src/controller runs
+// under this writer: a "deploy" request materializes the fleet from the
+// committed plan and pushes configuration through the chosen controller,
+// returning the §4.3 audit (the distributed baseline reports the spectrum
+// conflicts and clipped passbands the centralized controller eliminates).
+//
+// Determinism: a request sequence executed through execute_batch windows in
+// script order (replay.h) yields byte-identical responses and final plan at
+// every engine thread count — reads reduce deterministically on the engine,
+// mutations replay in a fixed window structure.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "controller/fleet.h"
+#include "engine/engine.h"
+#include "planning/heuristic.h"
+#include "planning/plan.h"
+#include "restoration/restorer.h"
+#include "server/protocol.h"
+#include "topology/graph.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::server {
+
+struct ServiceOptions {
+  planning::PlannerConfig planner;
+  restoration::RestorerConfig restorer;
+  controller::VendorAssignment vendors =
+      controller::VendorAssignment::kPerRegionMixed;
+};
+
+// One committed mutation window.
+struct CommitRecord {
+  std::uint64_t version = 0;    // state version this commit produced
+  std::string method;           // the window's method (windows are
+                                // homogeneous by methods_coalesce)
+  int window_size = 0;          // requests coalesced, failed ones included
+  std::vector<std::uint64_t> request_ids;  // successfully applied requests,
+                                           // arrival order
+};
+
+class Service {
+ public:
+  // `catalog` and `engine` must outlive the service.
+  Service(topology::Network net, const transponder::Catalog& catalog,
+          const engine::Engine& engine, ServiceOptions options = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Thread-safe request dispatch: reads run on the calling thread against
+  // the current snapshot; mutations join the group-commit queue and return
+  // once their window committed.
+  Response execute(const Request& request);
+
+  // Commits `requests` — one window, one version bump — bypassing the live
+  // queue.  The scripted replay uses this to reproduce a deterministic
+  // window structure; callers must pass mutations only (reads are answered
+  // with a "not_a_mutation" error response without committing).
+  std::vector<Response> execute_batch(std::span<const Request> requests);
+
+  // Snapshot accessors (each a single atomic-ish read under a short lock).
+  std::uint64_t state_version() const;
+  // The committed plan; null before the first successful "plan" request.
+  // The pointee is immutable — later commits publish a new plan object.
+  std::shared_ptr<const planning::Plan> plan_snapshot() const;
+  std::vector<CommitRecord> commit_log() const;
+
+  const topology::Network& network() const { return net_; }
+  const engine::Engine& engine() const { return *engine_; }
+
+  // High-water mark of the mutation queue (live mode) / window size
+  // (batch mode); mirrored into the "server.queue.depth.max" gauge.
+  std::size_t max_queue_depth() const;
+
+ private:
+  // Immutable once published; commits build a successor and swap it in.
+  struct State {
+    std::uint64_t version = 0;
+    std::shared_ptr<const planning::Plan> plan;
+  };
+
+  struct PendingMutation {
+    Request request;
+    Response response;
+    bool done = false;
+  };
+
+  std::shared_ptr<const State> snapshot() const;
+
+  Response execute_read(const Request& request,
+                        const std::shared_ptr<const State>& state) const;
+
+  // Applies one window under commit_mu_: copies the current plan, applies
+  // each request in order, publishes the successor state (version + 1) iff
+  // any request succeeded, and appends the CommitRecord.
+  std::vector<Response> commit_window(std::span<const Request> requests);
+
+  // Per-method handlers.  Mutation handlers mutate `plan` (the window's
+  // working copy) and return the result object or an error.
+  Expected<obs::json::Object> handle_plan(
+      std::shared_ptr<planning::Plan>& plan) const;
+  Expected<obs::json::Object> handle_extend(
+      const Request& request, std::shared_ptr<planning::Plan>& plan) const;
+  Expected<obs::json::Object> handle_restore(
+      const Request& request, std::shared_ptr<planning::Plan>& plan) const;
+  Expected<obs::json::Object> handle_defrag(
+      std::shared_ptr<planning::Plan>& plan) const;
+  Expected<obs::json::Object> handle_deploy(
+      const Request& request, const planning::Plan& plan) const;
+  Expected<obs::json::Object> handle_query_plan(
+      const planning::Plan& plan) const;
+  Expected<obs::json::Object> handle_availability(
+      const planning::Plan& plan) const;
+  Expected<obs::json::Object> handle_drill(const Request& request,
+                                           const planning::Plan& plan) const;
+
+  Expected<topology::LinkId> resolve_link(const Request& request) const;
+
+  void note_queue_depth(std::size_t depth);
+
+  topology::Network net_;
+  const transponder::Catalog* catalog_;
+  const engine::Engine* engine_;
+  ServiceOptions options_;
+  planning::HeuristicPlanner planner_;
+  restoration::Restorer restorer_;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const State> state_;
+
+  std::mutex commit_mu_;  // the single-writer commit path
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingMutation>> pending_;
+  bool committer_active_ = false;
+  std::atomic<std::size_t> max_queue_depth_{0};
+
+  mutable std::mutex log_mu_;
+  std::vector<CommitRecord> commit_log_;
+};
+
+}  // namespace flexwan::server

@@ -1,0 +1,93 @@
+#include "util/cli.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flexwan::util::cli {
+
+namespace {
+
+// argv[0] arrives as a path ("./build/examples/sim_tool"); messages use the
+// basename so rejection lines read the same from any invocation directory.
+const char* basename_of(const char* tool) {
+  const char* slash = std::strrchr(tool, '/');
+  return slash != nullptr ? slash + 1 : tool;
+}
+
+}  // namespace
+
+Expected<long long> parse_int_in_range(const char* value, long long min,
+                                       long long max) {
+  if (value == nullptr || *value == '\0') {
+    return Error::make("bad_flag", "missing value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    return Error::make("bad_flag",
+                       "'" + std::string(value) + "' is not an integer");
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    return Error::make("bad_flag", std::string(value) + " out of range [" +
+                                       std::to_string(min) + ", " +
+                                       std::to_string(max) + "]");
+  }
+  return v;
+}
+
+Expected<double> parse_double_in_range(const char* value, double min,
+                                       double max) {
+  if (value == nullptr || *value == '\0') {
+    return Error::make("bad_flag", "missing value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    return Error::make("bad_flag",
+                       "'" + std::string(value) + "' is not a number");
+  }
+  if (errno == ERANGE || !(v >= min && v <= max)) {
+    return Error::make("bad_flag", std::string(value) + " out of range [" +
+                                       std::to_string(min) + ", " +
+                                       std::to_string(max) + "]");
+  }
+  return v;
+}
+
+void Cli::usage() const {
+  std::fputs(usage_text, stderr);
+  std::exit(2);
+}
+
+void Cli::reject(const std::string& message) const {
+  std::fprintf(stderr, "%s: %s (see usage below)\n", basename_of(tool),
+               message.c_str());
+  usage();
+}
+
+const char* Cli::require_value(const char* flag, const char* value) const {
+  if (value == nullptr) reject(std::string(flag) + " requires a value");
+  return value;
+}
+
+long long Cli::parse_int(const char* flag, const char* value, long long min,
+                         long long max) const {
+  require_value(flag, value);
+  const auto parsed = parse_int_in_range(value, min, max);
+  if (!parsed) reject(std::string(flag) + ": " + parsed.error().message);
+  return parsed.value();
+}
+
+double Cli::parse_double(const char* flag, const char* value, double min,
+                         double max) const {
+  require_value(flag, value);
+  const auto parsed = parse_double_in_range(value, min, max);
+  if (!parsed) reject(std::string(flag) + ": " + parsed.error().message);
+  return parsed.value();
+}
+
+}  // namespace flexwan::util::cli

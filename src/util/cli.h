@@ -1,0 +1,56 @@
+// Shared strict CLI parsing for the example tools and benches.
+//
+// Every FlexWAN binary feeds byte-comparison CI jobs, so a mistyped flag or
+// an out-of-range value must never be silently ignored: the tool names the
+// offending flag, prints its usage block, and exits 2 (the POSIX usage-error
+// convention the repo's CI asserts on).  These helpers grew up inside
+// sim_tool; they live here so plan_tool, flexwand, and future tools reject
+// malformed input with one spelling instead of re-growing lenient parsers.
+//
+// The value parsers are pure (Expected-based, unit-tested in util_test);
+// the Cli struct layers the exit-2-with-usage policy on top.
+// engine::parse_thread_count builds on parse_int_in_range, so the --threads
+// flag shares the exact rejection semantics.
+#pragma once
+
+#include <string>
+
+#include "util/expected.h"
+
+namespace flexwan::util::cli {
+
+// Parses a base-10 integer in [min, max].  Rejects null/empty input,
+// non-numeric text, trailing garbage, fractional values ("2.5" errors, it
+// does not round), and out-of-range values — including strtoll overflow,
+// which must never truncate into a silently-wrong small number.
+Expected<long long> parse_int_in_range(const char* value, long long min,
+                                       long long max);
+
+// Parses a finite double in [min, max]; same rejection rules (overflowing
+// literals like "1e9999" are out of range, not clamped to infinity).
+Expected<double> parse_double_in_range(const char* value, double min,
+                                       double max);
+
+// One tool's rejection context: the binary name (argv[0]) plus the usage
+// block printed verbatim after any rejection message.
+struct Cli {
+  const char* tool = "";        // argv[0]; basename is used in messages
+  const char* usage_text = "";  // full usage block, trailing newline included
+
+  // Prints usage_text to stderr and exits 2.
+  [[noreturn]] void usage() const;
+
+  // One-line, actionable rejection: "<tool>: <message> (see usage below)",
+  // then usage(), never returns.
+  [[noreturn]] void reject(const std::string& message) const;
+
+  // Flag-value helpers: name the flag in every failure mode and exit 2 via
+  // reject().  `value` may be null ("--flag" given with no argument).
+  const char* require_value(const char* flag, const char* value) const;
+  long long parse_int(const char* flag, const char* value, long long min,
+                      long long max) const;
+  double parse_double(const char* flag, const char* value, double min,
+                      double max) const;
+};
+
+}  // namespace flexwan::util::cli

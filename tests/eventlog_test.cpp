@@ -111,6 +111,54 @@ TEST(EventLog, SeverityFilterDropsAtEmitTime) {
   EXPECT_EQ(EventLog::instance().min_severity(), Severity::kInfo);
 }
 
+// The "server" category (flexwand request/commit events) obeys the same
+// emit-time filter contract as the simulation categories: filtered records
+// are never buffered, and the kept ones keep their fields intact.
+TEST(EventLog, ServerCategoryFiltersAtEmitTime) {
+  const EventGuard guard;
+  EventLog::instance().set_min_severity(Severity::kWarn);
+
+  auto ok = make_event("server", Severity::kInfo, "server.request");
+  ok.fields.emplace_back("method", json::Value(std::string("extend")));
+  emit_event(std::move(ok));
+  auto failed = make_event("server", Severity::kWarn, "server.request");
+  failed.fields.emplace_back("method", json::Value(std::string("extend")));
+  failed.fields.emplace_back("error", json::Value(std::string("no_plan")));
+  emit_event(std::move(failed));
+  emit_event(make_event("server", Severity::kInfo, "server.commit"));
+
+  const auto records = EventLog::instance().records();
+  ASSERT_EQ(records.size(), 1u);  // both kInfo records dropped at emit
+  EXPECT_EQ(records[0].category, "server");
+  EXPECT_EQ(records[0].name, "server.request");
+  EXPECT_EQ(records[0].seq, 1u);
+
+  const auto line = parse_line(EventLog::instance().to_jsonl());
+  bool saw_error_field = false;
+  for (const auto& [key, value] : line.as_object()) {
+    if (key != "fields") continue;
+    for (const auto& [field, field_value] : value.as_object()) {
+      if (field == "error") {
+        saw_error_field = true;
+        EXPECT_EQ(field_value.as_string(), "no_plan");
+      }
+    }
+  }
+  EXPECT_TRUE(saw_error_field);
+
+  // With the filter back at kInfo, server events interleave with the other
+  // categories in one dense sequence.
+  EventLog::instance().reset();
+  emit_event(make_event("server", Severity::kInfo, "server.request"));
+  emit_event(make_event("planner", Severity::kInfo, "planner.stage1.done"));
+  emit_event(make_event("server", Severity::kWarn, "server.request"));
+  const auto mixed = EventLog::instance().records();
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0].category, "server");
+  EXPECT_EQ(mixed[1].category, "planner");
+  EXPECT_EQ(mixed[2].seq, 3u);
+}
+
 TEST(EventLog, JsonlRecordsParseBackWithEscapedPayloads) {
   const EventGuard guard;
   const std::string nasty = "quote \" backslash \\ newline \n tab \t end";

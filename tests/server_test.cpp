@@ -1,0 +1,538 @@
+// Tests for the flexwand control-plane service (src/server): wire-protocol
+// round-trips and framing, snapshot-isolated reads, the single-writer
+// group-commit path under real client threads (serialized commit order, no
+// lost updates — the TSan CI job runs this file), batch coalescing,
+// scripted-replay byte determinism across engine thread counts, and the
+// centralized-vs-distributed deploy audit.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "planning/plan_io.h"
+#include "server/protocol.h"
+#include "server/replay.h"
+#include "server/service.h"
+#include "topology/builders.h"
+#include "transponder/catalog.h"
+
+namespace flexwan::server {
+namespace {
+
+Request make_request(const std::string& text) {
+  auto parsed = parse_request(text);
+  EXPECT_TRUE(parsed.has_value())
+      << (parsed ? "" : parsed.error().message) << " in: " << text;
+  return parsed ? std::move(parsed.value()) : Request{};
+}
+
+// A service over the smaller CERNET topology — every test that does not
+// care about which network runs here.
+std::unique_ptr<Service> make_service(const engine::Engine& engine) {
+  return std::make_unique<Service>(topology::make_cernet(),
+                                   transponder::svt_flexwan(), engine);
+}
+
+const obs::json::Object& result_object(const Response& response) {
+  EXPECT_TRUE(response.ok) << response.error_code << ": "
+                           << response.error_message;
+  return response.result.as_object();
+}
+
+double result_number(const Response& response, const std::string& key) {
+  for (const auto& [k, v] : result_object(response)) {
+    if (k == key) return v.as_number();
+  }
+  ADD_FAILURE() << "missing result key " << key;
+  return 0.0;
+}
+
+bool result_bool(const Response& response, const std::string& key) {
+  for (const auto& [k, v] : result_object(response)) {
+    if (k == key) return v.as_bool();
+  }
+  ADD_FAILURE() << "missing result key " << key;
+  return false;
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTripsThroughJson) {
+  const Request request = make_request(
+      R"({"id": 7, "method": "extend", "params": {"link_id": 3, "gbps": 200}})");
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_EQ(request.method, Method::kExtend);
+  EXPECT_EQ(request.method_name, "extend");
+
+  const Request again = make_request(request.to_json());
+  EXPECT_EQ(again.id, request.id);
+  EXPECT_EQ(again.method, request.method);
+  EXPECT_EQ(again.to_json(), request.to_json());
+}
+
+TEST(Protocol, UnknownMethodParsesSoTheServiceCanAnswerIt) {
+  const Request request = make_request(R"({"id": 1, "method": "frobnicate"})");
+  EXPECT_EQ(request.method, Method::kUnknown);
+  EXPECT_EQ(request.method_name, "frobnicate");
+}
+
+TEST(Protocol, MalformedRequestsFailWithBadRequest) {
+  for (const char* text : {
+           "",                                  // not JSON
+           "[]",                                // not an object
+           R"({"method": "ping"})",             // missing id
+           R"({"id": "x", "method": "ping"})",  // id not a number
+           R"({"id": 1})",                      // missing method
+           R"({"id": 1, "method": 3})",         // method not a string
+           R"({"id": 1, "method": "ping", "params": 4})",  // params scalar
+       }) {
+    const auto parsed = parse_request(text);
+    ASSERT_FALSE(parsed.has_value()) << "accepted: " << text;
+    EXPECT_EQ(parsed.error().code, "bad_request") << text;
+  }
+}
+
+TEST(Protocol, ResponseRoundTripsBothShapes) {
+  obs::json::Object result;
+  result.emplace("wavelengths", 12.0);
+  const Response ok = Response::success(3, 9, std::move(result));
+  const auto ok_again = parse_response(ok.to_json());
+  ASSERT_TRUE(ok_again.has_value());
+  EXPECT_TRUE(ok_again.value().ok);
+  EXPECT_EQ(ok_again.value().id, 3u);
+  EXPECT_EQ(ok_again.value().version, 9u);
+  EXPECT_EQ(ok_again.value().to_json(), ok.to_json());
+
+  const Response bad = Response::failure(4, 9, "no_plan", "plan first");
+  const auto bad_again = parse_response(bad.to_json());
+  ASSERT_TRUE(bad_again.has_value());
+  EXPECT_FALSE(bad_again.value().ok);
+  EXPECT_EQ(bad_again.value().error_code, "no_plan");
+  EXPECT_EQ(bad_again.value().error_message, "plan first");
+  EXPECT_EQ(bad_again.value().to_json(), bad.to_json());
+}
+
+TEST(Protocol, MethodClassification) {
+  for (const Method read : {Method::kPing, Method::kQueryPlan,
+                            Method::kAvailability, Method::kDrill,
+                            Method::kUnknown}) {
+    EXPECT_FALSE(is_mutation(read)) << method_name(read);
+  }
+  for (const Method write : {Method::kPlan, Method::kExtend, Method::kRestore,
+                             Method::kDefrag, Method::kDeploy}) {
+    EXPECT_TRUE(is_mutation(write)) << method_name(write);
+  }
+  EXPECT_TRUE(methods_coalesce(Method::kExtend, Method::kExtend));
+  EXPECT_TRUE(methods_coalesce(Method::kRestore, Method::kRestore));
+  EXPECT_FALSE(methods_coalesce(Method::kExtend, Method::kRestore));
+  EXPECT_FALSE(methods_coalesce(Method::kPlan, Method::kPlan));
+  EXPECT_FALSE(methods_coalesce(Method::kDefrag, Method::kDefrag));
+  EXPECT_FALSE(methods_coalesce(Method::kDeploy, Method::kDeploy));
+}
+
+TEST(Protocol, FramingRoundTripsAndEofIsClean) {
+  std::stringstream stream;
+  write_frame(stream, "hello");
+  write_frame(stream, "");
+  const auto first = read_frame(stream);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(first.value().has_value());
+  EXPECT_EQ(*first.value(), "hello");
+  const auto second = read_frame(stream);
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(second.value().has_value());
+  EXPECT_EQ(*second.value(), "");
+  const auto eof = read_frame(stream);
+  ASSERT_TRUE(eof.has_value());
+  EXPECT_FALSE(eof.value().has_value());  // clean EOF, not an error
+}
+
+TEST(Protocol, FramingRejectsMalformedAndTruncatedFrames) {
+  for (const char* text : {
+           "abc\nxyz",           // non-numeric prefix
+           "5\nab",              // truncated payload
+           "5",                  // EOF inside the prefix
+           "999999999999999\n",  // over kMaxFrameBytes
+       }) {
+    std::stringstream stream(text);
+    const auto framed = read_frame(stream);
+    ASSERT_FALSE(framed.has_value()) << "accepted: " << text;
+    EXPECT_EQ(framed.error().code, "bad_frame") << text;
+  }
+}
+
+// --- service basics ---------------------------------------------------------
+
+TEST(Service, PingReportsStateBeforeAndAfterPlan) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  EXPECT_EQ(service->state_version(), 0u);
+  EXPECT_EQ(service->plan_snapshot(), nullptr);
+
+  const Response before =
+      service->execute(make_request(R"({"id": 1, "method": "ping"})"));
+  EXPECT_EQ(before.version, 0u);
+  EXPECT_FALSE(result_bool(before, "has_plan"));
+
+  const Response planned =
+      service->execute(make_request(R"({"id": 2, "method": "plan"})"));
+  ASSERT_TRUE(planned.ok) << planned.error_message;
+  EXPECT_EQ(planned.version, 1u);
+  EXPECT_GT(result_number(planned, "wavelengths"), 0.0);
+  ASSERT_NE(service->plan_snapshot(), nullptr);
+
+  const Response after =
+      service->execute(make_request(R"({"id": 3, "method": "ping"})"));
+  EXPECT_EQ(after.version, 1u);
+  EXPECT_TRUE(result_bool(after, "has_plan"));
+}
+
+TEST(Service, ReadsAndMutationsNeedAPlanFirst) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  for (const char* method : {"query_plan", "availability", "extend",
+                             "restore", "defrag", "deploy"}) {
+    const Response response = service->execute(make_request(
+        std::string(R"({"id": 1, "method": ")") + method + "\"}"));
+    EXPECT_FALSE(response.ok) << method;
+    EXPECT_EQ(response.error_code, "no_plan") << method;
+  }
+  // Failed mutations never bump the version or dirty the commit log's
+  // applied set.
+  EXPECT_EQ(service->state_version(), 0u);
+  for (const auto& commit : service->commit_log()) {
+    EXPECT_TRUE(commit.request_ids.empty());
+  }
+}
+
+TEST(Service, UnknownMethodAndBadParamsAreErrors) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+
+  const Response unknown =
+      service->execute(make_request(R"({"id": 2, "method": "frobnicate"})"));
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.error_code, "method_not_found");
+
+  const Response no_gbps = service->execute(
+      make_request(R"({"id": 3, "method": "extend", "params": {"link_id": 0}})"));
+  EXPECT_FALSE(no_gbps.ok);
+  EXPECT_EQ(no_gbps.error_code, "bad_request");
+
+  const Response bad_link = service->execute(make_request(
+      R"({"id": 4, "method": "extend", "params": {"link": "nope", "gbps": 100}})"));
+  EXPECT_FALSE(bad_link.ok);
+  EXPECT_EQ(bad_link.error_code, "unknown_link");
+
+  const Response bad_fiber = service->execute(make_request(
+      R"({"id": 5, "method": "restore", "params": {"fiber": 99999}})"));
+  EXPECT_FALSE(bad_fiber.ok);
+  EXPECT_EQ(bad_fiber.error_code, "unknown_fiber");
+
+  EXPECT_EQ(service->state_version(), 1u);  // only the plan committed
+}
+
+TEST(Service, ExtendBumpsVersionAndAddsCapacity) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+  const double wavelengths_before = result_number(
+      service->execute(make_request(R"({"id": 2, "method": "query_plan"})")),
+      "wavelengths");
+
+  const Response extended = service->execute(make_request(
+      R"({"id": 3, "method": "extend", "params": {"link_id": 0, "gbps": 100}})"));
+  ASSERT_TRUE(extended.ok) << extended.error_message;
+  EXPECT_EQ(extended.version, 2u);
+  EXPECT_GE(result_number(extended, "capacity_added_gbps"), 100.0);
+
+  const double wavelengths_after = result_number(
+      service->execute(make_request(R"({"id": 4, "method": "query_plan"})")),
+      "wavelengths");
+  EXPECT_GT(wavelengths_after, wavelengths_before);
+}
+
+// --- batching ---------------------------------------------------------------
+
+TEST(Service, ExecuteBatchCommitsOneWindowForCoalescibleExtends) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+
+  const std::vector<Request> batch = {
+      make_request(
+          R"({"id": 2, "method": "extend", "params": {"link_id": 0, "gbps": 100}})"),
+      make_request(
+          R"({"id": 3, "method": "extend", "params": {"link_id": 1, "gbps": 100}})"),
+      make_request(
+          R"({"id": 4, "method": "extend", "params": {"link_id": 2, "gbps": 100}})"),
+  };
+  const auto responses = service->execute_batch(batch);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const auto& response : responses) {
+    EXPECT_TRUE(response.ok) << response.error_message;
+    // One window -> one version: every member reports the same commit.
+    EXPECT_EQ(response.version, 2u);
+  }
+
+  const auto commits = service->commit_log();
+  ASSERT_EQ(commits.size(), 2u);  // plan, then the extend window
+  EXPECT_EQ(commits[1].version, 2u);
+  EXPECT_EQ(commits[1].method, "extend");
+  EXPECT_EQ(commits[1].window_size, 3);
+  EXPECT_EQ(commits[1].request_ids, (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_EQ(service->state_version(), 2u);
+}
+
+TEST(Service, BatchWithOnlyFailuresDoesNotBumpVersion) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+
+  const std::vector<Request> batch = {
+      make_request(
+          R"({"id": 2, "method": "extend", "params": {"link": "nope", "gbps": 1}})"),
+  };
+  const auto responses = service->execute_batch(batch);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].version, 1u);  // unchanged
+  EXPECT_EQ(service->state_version(), 1u);
+  // The commit log records committed state history only: a window in which
+  // nothing applied leaves no record and no version.
+  const auto commits = service->commit_log();
+  ASSERT_EQ(commits.size(), 1u);
+  EXPECT_EQ(commits[0].method, "plan");
+}
+
+TEST(Service, BatchAnswersReadsWithNotAMutation) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  const std::vector<Request> batch = {
+      make_request(R"({"id": 1, "method": "ping"})"),
+  };
+  const auto responses = service->execute_batch(batch);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_FALSE(responses[0].ok);
+  EXPECT_EQ(responses[0].error_code, "not_a_mutation");
+}
+
+// --- concurrency ------------------------------------------------------------
+
+// The tentpole invariant: N real client threads race conflicting mutations
+// through execute(); the commit log must show a serialized history (dense
+// monotonic versions, one record per window) and no update may be lost —
+// every successful extend's capacity is present in the final plan.  TSan CI
+// runs this test to pin the synchronization itself.
+TEST(Service, ConcurrentConflictingExtendsSerializeWithoutLostUpdates) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+  const double wavelengths_before = result_number(
+      service->execute(make_request(R"({"id": 2, "method": "query_plan"})")),
+      "wavelengths");
+
+  // All threads extend the SAME link — the maximally conflicting schedule.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<Response> responses(kThreads * kPerThread);
+  std::atomic<int> next_id{100};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = next_id.fetch_add(1);
+        responses[t * kPerThread + i] = service->execute(make_request(
+            "{\"id\": " + std::to_string(id) +
+            ", \"method\": \"extend\", \"params\": {\"link_id\": 0, "
+            "\"gbps\": 100}}"));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+
+  double added = 0.0;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.ok) << response.error_message;
+    added += result_number(response, "wavelengths_added");
+  }
+  EXPECT_GE(added, static_cast<double>(kThreads * kPerThread));
+
+  // Serialized history: versions strictly increase by one per commit and
+  // every request id appears in exactly one commit record.
+  const auto commits = service->commit_log();
+  std::set<std::uint64_t> applied_ids;
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    EXPECT_EQ(commits[i].version, i + 1);
+    for (const std::uint64_t id : commits[i].request_ids) {
+      EXPECT_TRUE(applied_ids.insert(id).second) << "id " << id << " twice";
+    }
+  }
+  EXPECT_EQ(applied_ids.size(),
+            static_cast<std::size_t>(kThreads * kPerThread) + 1);  // + plan
+  EXPECT_EQ(service->state_version(), commits.back().version);
+
+  // No lost updates: the final plan carries every extend's wavelengths.
+  const double wavelengths_after = result_number(
+      service->execute(make_request(R"({"id": 9999, "method": "query_plan"})")),
+      "wavelengths");
+  EXPECT_EQ(wavelengths_after - wavelengths_before, added);
+  EXPECT_GE(service->max_queue_depth(), 1u);
+}
+
+// Readers race the writers above and must always observe a consistent
+// snapshot: a version the commit log actually produced, never a torn state.
+TEST(Service, ConcurrentReadersSeeOnlyCommittedVersions) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> max_seen{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      // do-while: every reader completes at least one read even if the
+      // writer finishes before this thread is scheduled.
+      do {
+        const Response response = service->execute(
+            make_request(R"({"id": 7, "method": "query_plan"})"));
+        ASSERT_TRUE(response.ok);
+        std::uint64_t seen = max_seen.load();
+        while (seen < response.version &&
+               !max_seen.compare_exchange_weak(seen, response.version)) {
+        }
+      } while (!stop.load());
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    const Response response = service->execute(make_request(
+        "{\"id\": " + std::to_string(100 + i) +
+        ", \"method\": \"extend\", \"params\": {\"link_id\": 1, "
+        "\"gbps\": 100}}"));
+    ASSERT_TRUE(response.ok) << response.error_message;
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+
+  // Reads observed versions only from the committed range.
+  EXPECT_LE(max_seen.load(), service->state_version());
+  EXPECT_GE(max_seen.load(), 1u);
+}
+
+// --- replay determinism -----------------------------------------------------
+
+constexpr const char* kReplayScript = R"(# mixed read/write workload
+{"id": 1, "method": "ping"}
+{"id": 2, "method": "plan"}
+{"id": 3, "method": "query_plan"}
+{"id": 4, "method": "extend", "params": {"link_id": 0, "gbps": 100}}
+{"id": 5, "method": "extend", "params": {"link_id": 1, "gbps": 200}}
+
+{"id": 6, "method": "drill", "params": {"fibers": [0, 1, 2]}}
+{"id": 7, "method": "restore", "params": {"fiber": 1}}
+{"id": 8, "method": "defrag"}
+{"id": 9, "method": "availability"}
+{"id": 10, "method": "query_plan"}
+)";
+
+TEST(Replay, ScriptParsingSkipsCommentsAndNamesBadLines) {
+  const auto requests = parse_script(kReplayScript);
+  ASSERT_TRUE(requests.has_value()) << requests.error().message;
+  EXPECT_EQ(requests.value().size(), 10u);  // comment + blank line skipped
+
+  const auto bad = parse_script("{\"id\": 1, \"method\": \"ping\"}\nnope\n");
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().code, "bad_script");
+  EXPECT_NE(bad.error().message.find("line 2"), std::string::npos)
+      << bad.error().message;
+}
+
+TEST(Replay, ByteIdenticalResponsesAndPlanAcrossThreadCounts) {
+  const auto requests = parse_script(kReplayScript);
+  ASSERT_TRUE(requests.has_value());
+
+  std::string responses[2];
+  std::string plans[2];
+  std::size_t windows[2] = {0, 0};
+  const int thread_counts[2] = {1, 8};
+  for (int run = 0; run < 2; ++run) {
+    const engine::Engine engine(thread_counts[run]);
+    auto service = make_service(engine);
+    const ScriptResult result = run_script(*service, requests.value());
+    responses[run] = result.to_jsonl();
+    windows[run] = result.windows;
+    ASSERT_NE(service->plan_snapshot(), nullptr);
+    plans[run] = planning::save_plan(*service->plan_snapshot());
+  }
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(plans[0], plans[1]);
+  EXPECT_EQ(windows[0], windows[1]);
+}
+
+TEST(Replay, CoalescesAdjacentExtendRunsIntoOneWindow) {
+  const auto requests = parse_script(kReplayScript);
+  ASSERT_TRUE(requests.has_value());
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  const ScriptResult result = run_script(*service, requests.value());
+
+  EXPECT_EQ(result.read_count, 5u);
+  EXPECT_EQ(result.mutation_count, 5u);
+  EXPECT_EQ(result.windows, 4u);  // plan | extend+extend | restore | defrag
+  const auto commits = service->commit_log();
+  ASSERT_EQ(commits.size(), 4u);
+  EXPECT_EQ(commits[0].method, "plan");
+  EXPECT_EQ(commits[1].method, "extend");
+  EXPECT_EQ(commits[1].window_size, 2);  // ids 4 and 5 share the window
+  EXPECT_EQ(commits[2].method, "restore");
+  EXPECT_EQ(commits[3].method, "defrag");
+  ASSERT_EQ(result.responses.size(), 10u);
+  // Both coalesced extends report the window's single version.
+  EXPECT_EQ(result.responses[3].version, result.responses[4].version);
+}
+
+// --- deploy audit -----------------------------------------------------------
+
+TEST(Service, DeployCentralizedIsCleanDistributedReportsConflicts) {
+  const engine::Engine engine(1);
+  auto service = make_service(engine);
+  ASSERT_TRUE(
+      service->execute(make_request(R"({"id": 1, "method": "plan"})")).ok);
+
+  const Response centralized = service->execute(make_request(
+      R"({"id": 2, "method": "deploy", "params": {"controller": "centralized"}})"));
+  ASSERT_TRUE(centralized.ok) << centralized.error_message;
+  EXPECT_TRUE(result_bool(centralized, "audit_clean"));
+  EXPECT_EQ(result_number(centralized, "audit_conflicts"), 0.0);
+
+  const Response distributed = service->execute(make_request(
+      R"({"id": 3, "method": "deploy", "params": {"controller": "distributed"}})"));
+  ASSERT_TRUE(distributed.ok) << distributed.error_message;
+  EXPECT_FALSE(result_bool(distributed, "audit_clean"));
+  EXPECT_GT(result_number(distributed, "audit_conflicts"), 0.0);
+  EXPECT_GT(result_number(distributed, "grid_clipped_passbands"), 0.0);
+
+  const Response bogus = service->execute(make_request(
+      R"({"id": 4, "method": "deploy", "params": {"controller": "anarchic"}})"));
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_EQ(bogus.error_code, "bad_request");
+}
+
+}  // namespace
+}  // namespace flexwan::server

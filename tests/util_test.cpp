@@ -1,8 +1,10 @@
-// Tests for the util substrate: statistics, tables, RNG, Expected.
+// Tests for the util substrate: statistics, tables, RNG, Expected, strict
+// CLI value parsing.
 #include <gtest/gtest.h>
 
 #include <array>
 
+#include "util/cli.h"
 #include "util/expected.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -162,6 +164,52 @@ TEST(Rng, LognormalPositive) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_GT(rng.lognormal(6.0, 0.7), 0.0);
   }
+}
+
+TEST(Cli, ParseIntInRangeAcceptsExactIntegers) {
+  const auto ok = util::cli::parse_int_in_range("42", 0, 100);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(util::cli::parse_int_in_range("-8", -10, 10).value(), -8);
+  // The bounds are inclusive.
+  EXPECT_EQ(util::cli::parse_int_in_range("0", 0, 100).value(), 0);
+  EXPECT_EQ(util::cli::parse_int_in_range("100", 0, 100).value(), 100);
+}
+
+TEST(Cli, ParseIntInRangeRejectsEveryMalformedShape) {
+  for (const char* text : {"", "abc", "2.5", "7x", "1e3"}) {
+    EXPECT_FALSE(util::cli::parse_int_in_range(text, 0, 100).has_value())
+        << "accepted: '" << text << "'";
+  }
+  EXPECT_FALSE(util::cli::parse_int_in_range(nullptr, 0, 100).has_value());
+  // Out of range — including strtoll saturation, which must error rather
+  // than truncate into a silently-wrong value.
+  EXPECT_FALSE(util::cli::parse_int_in_range("101", 0, 100).has_value());
+  EXPECT_FALSE(util::cli::parse_int_in_range("-1", 0, 100).has_value());
+  EXPECT_FALSE(
+      util::cli::parse_int_in_range("99999999999999999999", 0, 100)
+          .has_value());
+}
+
+TEST(Cli, ParseDoubleInRangeAcceptsFiniteValuesInRange) {
+  const auto ok = util::cli::parse_double_in_range("2.5", 0.0, 10.0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_DOUBLE_EQ(ok.value(), 2.5);
+  EXPECT_DOUBLE_EQ(
+      util::cli::parse_double_in_range("1e2", 0.0, 1000.0).value(), 100.0);
+}
+
+TEST(Cli, ParseDoubleInRangeRejectsNonFiniteAndOutOfRange) {
+  for (const char* text : {"", "abc", "2.5x", "nan", "inf", "1e9999"}) {
+    EXPECT_FALSE(
+        util::cli::parse_double_in_range(text, 0.0, 1e12).has_value())
+        << "accepted: '" << text << "'";
+  }
+  EXPECT_FALSE(util::cli::parse_double_in_range(nullptr, 0.0, 1.0).has_value());
+  EXPECT_FALSE(
+      util::cli::parse_double_in_range("10.1", 0.0, 10.0).has_value());
+  EXPECT_FALSE(
+      util::cli::parse_double_in_range("-0.1", 0.0, 10.0).has_value());
 }
 
 }  // namespace
